@@ -1,0 +1,40 @@
+//! Fig. 2.5 — DOACROSS vs. DSWP on a cyclic-dependence loop, swept over
+//! communication latency.
+//!
+//! The background claim the thesis builds on (from the DSWP line of work):
+//! DOACROSS places the cross-thread forwarding latency on the dependence
+//! chain's critical path once per iteration, while DSWP's pipeline pays it
+//! only to fill — so DOACROSS degrades with latency and DSWP does not.
+
+use crossinvoc_bench::write_csv;
+use crossinvoc_sim::pipeline::{doacross, dswp, StagedLoop};
+
+fn main() {
+    println!("Fig. 2.5: DOACROSS vs DSWP under communication latency");
+    println!(
+        "{:>12} {:>14} {:>10}",
+        "comm (ns)", "DOACROSS spd", "DSWP spd"
+    );
+    // The Fig. 2.4 loop: a short pointer-chase stage feeding a heavy
+    // work stage, split 2 ways.
+    let staged = StagedLoop::new(20_000, vec![300, 700]);
+    let seq = staged.sequential_ns();
+    let mut rows = Vec::new();
+    let mut first_da = 0.0f64;
+    let mut last_da = f64::MAX;
+    for comm in [0u64, 100, 300, 700, 1_500, 3_000] {
+        let da = doacross(&staged, 2, comm).speedup_over(seq);
+        let ds = dswp(&staged, comm).speedup_over(seq);
+        println!("{comm:>12} {da:>13.2}x {ds:>9.2}x");
+        rows.push(format!("{comm},{da:.4},{ds:.4}"));
+        if comm == 0 {
+            first_da = da;
+        }
+        last_da = da;
+    }
+    assert!(
+        last_da < first_da / 1.5,
+        "DOACROSS must degrade with latency"
+    );
+    write_csv("fig2_5", "comm_ns,doacross_speedup,dswp_speedup", &rows);
+}

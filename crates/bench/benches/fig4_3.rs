@@ -1,0 +1,40 @@
+//! Fig. 4.3 — barrier synchronization overhead at 8 and 24 threads.
+//!
+//! For each of the eight SPECCROSS benchmarks, the fraction of aggregate
+//! thread time spent idling at barriers when the program runs under the
+//! conventional plan. The thesis measures >30% for most programs at 24
+//! threads — an Amdahl ceiling of ≈3.3× that motivates barrier removal.
+
+use crossinvoc_bench::{write_csv, FIG4_3_THREADS};
+use crossinvoc_sim::prelude::*;
+use crossinvoc_workloads::{registry, Scale};
+
+fn main() {
+    println!("Fig. 4.3: barrier overhead (% of parallel runtime)");
+    println!("{:<16} {:>10} {:>10}", "Benchmark", "8 threads", "24 threads");
+    let cost = CostModel::default();
+    let mut rows = Vec::new();
+    let mut grows = 0usize;
+    let mut programs = 0usize;
+    for info in registry().into_iter().filter(|b| b.speccross) {
+        let model = info.model(Scale::Figure);
+        let overheads: Vec<f64> = FIG4_3_THREADS
+            .iter()
+            .map(|&t| 100.0 * barrier(model.as_ref(), t, &cost).idle_fraction())
+            .collect();
+        println!(
+            "{:<16} {:>9.1}% {:>9.1}%",
+            info.name, overheads[0], overheads[1]
+        );
+        rows.push(format!(
+            "{},{:.3},{:.3}",
+            info.name, overheads[0], overheads[1]
+        ));
+        programs += 1;
+        grows += usize::from(overheads[1] > overheads[0]);
+    }
+    println!(
+        "(overhead grows with thread count for {grows}/{programs} programs)"
+    );
+    write_csv("fig4_3", "benchmark,overhead_pct_8,overhead_pct_24", &rows);
+}

@@ -1,0 +1,52 @@
+//! Fig. 5.2 — SPECCROSS vs. pthread-barrier speedup for the eight
+//! SPECCROSS benchmarks, swept over thread counts.
+//!
+//! Prints the §1.2 headline aggregates at 24 threads (the thesis reports a
+//! geomean of 4.6× over sequential vs. 1.3× for the barrier plan at the
+//! whole-program level).
+
+use crossinvoc_bench::{geomean, speccross_pair, write_csv, THREADS};
+use crossinvoc_workloads::{registry, Scale};
+
+fn main() {
+    println!("Fig. 5.2: SPECCROSS vs pthread barrier (speedup over sequential)");
+    let mut rows = Vec::new();
+    let mut at24_spec = Vec::new();
+    let mut at24_barrier = Vec::new();
+    for info in registry().into_iter().filter(|b| b.speccross) {
+        println!("\n  ({})", info.name);
+        println!(
+            "{:>7} {:>16} {:>12}",
+            "threads", "pthread barrier", "SPECCROSS"
+        );
+        for threads in THREADS {
+            let pair = speccross_pair(&info, Scale::Figure, threads);
+            println!(
+                "{:>7} {:>15.2}x {:>11.2}x",
+                threads, pair.barrier, pair.technique
+            );
+            rows.push(format!(
+                "{},{},{:.4},{:.4}",
+                info.name, threads, pair.barrier, pair.technique
+            ));
+            if threads == 24 {
+                at24_spec.push(pair.technique);
+                at24_barrier.push(pair.barrier);
+            }
+        }
+    }
+    println!("\nheadline (24 threads):");
+    println!(
+        "  SPECCROSS geomean over sequential: {:.2}x (thesis: 4.6x)",
+        geomean(&at24_spec)
+    );
+    println!(
+        "  barrier-plan geomean over sequential: {:.2}x (thesis: 1.3x whole-program)",
+        geomean(&at24_barrier)
+    );
+    write_csv(
+        "fig5_2",
+        "benchmark,threads,barrier_speedup,speccross_speedup",
+        &rows,
+    );
+}

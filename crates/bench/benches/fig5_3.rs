@@ -1,0 +1,48 @@
+//! Fig. 5.3 — loop speedup vs. number of checkpoints, with and without a
+//! randomly triggered misspeculation (24 threads).
+//!
+//! More checkpoints cost more when speculation succeeds, but bound the
+//! re-execution window when it fails; the two curves cross, which is the
+//! figure's point. Geomean over the eight SPECCROSS benchmarks.
+
+use crossinvoc_bench::{geomean, spec_params, write_csv};
+use crossinvoc_runtime::hash::SplitMix64;
+use crossinvoc_sim::prelude::*;
+use crossinvoc_workloads::{registry, Scale};
+
+fn main() {
+    println!("Fig. 5.3: speedup vs checkpoint count (24 threads)");
+    println!(
+        "{:>12} {:>14} {:>16}",
+        "checkpoints", "no misspec", "with misspec"
+    );
+    let cost = CostModel::default();
+    let threads = 24;
+    let mut rows = Vec::new();
+    let mut rng = SplitMix64::new(0x5EED);
+    for checkpoints in [2usize, 5, 10, 25, 50, 100] {
+        let mut clean = Vec::new();
+        let mut faulty = Vec::new();
+        for info in registry().into_iter().filter(|b| b.speccross) {
+            let model = info.model(Scale::Figure);
+            let seq = sequential(model.as_ref(), &cost).total_ns;
+            let epochs = model.num_invocations();
+            let every = (epochs / checkpoints).max(1);
+            let params = spec_params(&info, Scale::Figure, threads).checkpoint_every(every);
+            clean.push(speccross(model.as_ref(), &params, &cost).speedup_over(seq));
+            // One misspeculation at a random task, as the thesis does.
+            let total = model.total_iterations();
+            let inject = rng.next_below(total.max(1));
+            let params = params.inject_misspec_at_task(Some(inject));
+            faulty.push(speccross(model.as_ref(), &params, &cost).speedup_over(seq));
+        }
+        let (c, f) = (geomean(&clean), geomean(&faulty));
+        println!("{checkpoints:>12} {c:>13.2}x {f:>15.2}x");
+        rows.push(format!("{checkpoints},{c:.4},{f:.4}"));
+    }
+    write_csv(
+        "fig5_3",
+        "checkpoints,speedup_no_misspec,speedup_with_misspec",
+        &rows,
+    );
+}

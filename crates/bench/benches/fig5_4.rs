@@ -1,0 +1,55 @@
+//! Fig. 5.4 — best performance of this work vs. previous work.
+//!
+//! Per program: the best speedup DOMORE/SPECCROSS reach anywhere in the
+//! thread sweep, against the best the conventional (barrier-synchronized
+//! intra-invocation) plan reaches — the strongest baseline this
+//! reproduction implements for the systems the thesis compares against
+//! (substitution S5 of DESIGN.md).
+
+use crossinvoc_bench::{domore_pair, speccross_pair, write_csv, THREADS};
+use crossinvoc_workloads::{registry, Scale};
+
+fn main() {
+    println!("Fig. 5.4: best speedup, this work vs previous work");
+    println!(
+        "{:<16} {:>11} {:>14} {:>10}",
+        "Benchmark", "this work", "previous work", "technique"
+    );
+    let mut rows = Vec::new();
+    for info in registry() {
+        let mut best_ours = 0.0f64;
+        let mut best_prev = 0.0f64;
+        let mut which = "-";
+        for threads in THREADS {
+            if info.domore {
+                let pair = domore_pair(&info, Scale::Figure, threads);
+                best_prev = best_prev.max(pair.barrier);
+                if pair.technique > best_ours {
+                    best_ours = pair.technique;
+                    which = "DOMORE";
+                }
+            }
+            if info.speccross {
+                let pair = speccross_pair(&info, Scale::Figure, threads);
+                best_prev = best_prev.max(pair.barrier);
+                if pair.technique > best_ours {
+                    best_ours = pair.technique;
+                    which = "SPECCROSS";
+                }
+            }
+        }
+        println!(
+            "{:<16} {:>10.2}x {:>13.2}x {:>10}",
+            info.name, best_ours, best_prev, which
+        );
+        rows.push(format!(
+            "{},{:.4},{:.4},{}",
+            info.name, best_ours, best_prev, which
+        ));
+    }
+    write_csv(
+        "fig5_4",
+        "benchmark,this_work_best,previous_work_best,technique",
+        &rows,
+    );
+}

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the runtime primitives the engines are
+//! built on: the SPSC queue (scheduler→worker dispatch latency), shadow
+//! memory updates (per-iteration scheduling cost), access signatures
+//! (per-task checking cost) and the pure scheduler logic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crossinvoc_domore::logic::SchedulerLogic;
+use crossinvoc_runtime::signature::{AccessKind, AccessSignature, BloomSignature, RangeSignature};
+use crossinvoc_runtime::spsc::Queue;
+use crossinvoc_runtime::ShadowMemory;
+
+fn bench_spsc(c: &mut Criterion) {
+    let (tx, rx) = Queue::<u64>::with_capacity(1 << 10);
+    c.bench_function("spsc_produce_consume", |b| {
+        b.iter(|| {
+            tx.produce(black_box(42));
+            black_box(rx.consume());
+        })
+    });
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut dense = ShadowMemory::dense(1 << 16);
+    let mut addr = 0usize;
+    c.bench_function("shadow_dense_update", |b| {
+        b.iter(|| {
+            addr = (addr + 7919) & 0xFFFF;
+            black_box(dense.update(black_box(addr), 1, 1));
+        })
+    });
+    let mut sparse = ShadowMemory::sparse();
+    c.bench_function("shadow_sparse_update", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(7919);
+            black_box(sparse.update(black_box(addr), 1, 1));
+        })
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    c.bench_function("range_signature_record8_compare", |b| {
+        b.iter(|| {
+            let mut a = RangeSignature::empty();
+            let mut x = RangeSignature::empty();
+            for k in 0..8 {
+                a.record(black_box(k * 3), AccessKind::Write);
+                x.record(black_box(k * 3 + 100), AccessKind::Write);
+            }
+            black_box(a.conflicts_with(&x))
+        })
+    });
+    c.bench_function("bloom_signature_record8_compare", |b| {
+        b.iter(|| {
+            let mut a = BloomSignature::empty();
+            let mut x = BloomSignature::empty();
+            for k in 0..8 {
+                a.record(black_box(k * 3), AccessKind::Write);
+                x.record(black_box(k * 3 + 100), AccessKind::Write);
+            }
+            black_box(a.conflicts_with(&x))
+        })
+    });
+}
+
+fn bench_scheduler_logic(c: &mut Criterion) {
+    c.bench_function("scheduler_logic_schedule", |b| {
+        let mut logic = SchedulerLogic::with_dense_shadow(1 << 12);
+        let mut conds = Vec::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            conds.clear();
+            i = (i + 13) & 0xFFF;
+            black_box(logic.schedule(i & 7, &[i, (i + 1) & 0xFFF], &mut conds));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_spsc,
+    bench_shadow,
+    bench_signatures,
+    bench_scheduler_logic
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! crossinvoc — automatic cross-invocation parallelization using runtime
+//! information.
+//!
+//! This is the facade crate of the reproduction of Huang's *Automatically
+//! Exploiting Cross-Invocation Parallelism Using Runtime Information*
+//! (Princeton, 2013; DOMORE appeared at CGO 2013). It re-exports the member
+//! crates and adds the piece that makes the system *automatic*: the
+//! [`driver`], which takes a loop nest in the PIR intermediate
+//! representation, profiles it, applies the decision flow of Fig. 1.5 /
+//! §1.2 — frequent cross-invocation conflicts → DOMORE, rare conflicts →
+//! SPECCROSS, otherwise barriers or sequential — and executes the chosen
+//! plan on the corresponding runtime.
+//!
+//! # Crate map
+//!
+//! | Re-export | Crate | Role |
+//! |-----------|-------|------|
+//! | [`runtime`] | `crossinvoc-runtime` | queues, barriers, shadow memory, signatures |
+//! | [`domore`] | `crossinvoc-domore` | non-speculative scheduler/worker engine (Ch. 3) |
+//! | [`speccross`] | `crossinvoc-speccross` | speculative barriers + checker + recovery (Ch. 4) |
+//! | [`pir`] | `crossinvoc-pir` | mini-IR, PDG, partitioning, slicing, transformations |
+//! | [`sim`] | `crossinvoc-sim` | deterministic multicore simulation (figure harness) |
+//! | [`workloads`] | `crossinvoc-workloads` | the Table 5.1 benchmark suite |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use crossinvoc::driver::{AutoParallelizer, Strategy};
+//! use crossinvoc::pir::interp::Memory;
+//! use crossinvoc::pir::ir::{Expr, ProgramBuilder};
+//!
+//! // A nest with many invocations and rare cross-invocation conflicts:
+//! // the driver picks speculative barriers.
+//! let mut b = ProgramBuilder::new();
+//! let a = b.array("A", 64);
+//! let t = b.var("t");
+//! let i = b.var("i");
+//! let x = b.var("x");
+//! let outer = b.for_loop(t, Expr::Const(0), Expr::Const(10), |b| {
+//!     b.for_loop(i, Expr::Const(0), Expr::Const(64), |b| {
+//!         b.load(x, a, Expr::Var(i));
+//!         b.store(a, Expr::Var(i), Expr::add(Expr::Var(x), Expr::Const(1)));
+//!     });
+//! });
+//! let program = b.finish();
+//!
+//! let driver = AutoParallelizer::new(2);
+//! let decision = driver.plan(&program, outer).unwrap();
+//! assert_eq!(decision.strategy(), Strategy::SpecCross);
+//!
+//! let mut mem = Memory::zeroed(&program);
+//! decision.execute(&mut mem).unwrap();
+//! let mut expected = Memory::zeroed(&program);
+//! decision.execute_sequential(&mut expected);
+//! assert_eq!(mem.snapshot(), expected.snapshot());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod driver;
+
+pub use crossinvoc_domore as domore;
+pub use crossinvoc_pir as pir;
+pub use crossinvoc_runtime as runtime;
+pub use crossinvoc_sim as sim;
+pub use crossinvoc_speccross as speccross;
+pub use crossinvoc_workloads as workloads;
+
+pub use driver::{AutoError, AutoParallelizer, Decision, Strategy};

@@ -1,0 +1,243 @@
+//! Iteration-to-worker assignment policies (§3.3.3).
+//!
+//! The thesis ships two schedulers and notes the design is pluggable
+//! ("DOMORE allows for the easy integration of other smarter scheduling
+//! techniques"): round-robin, and LOCALWRITE-style memory partitioning in
+//! which each worker owns a region of the shared address space and
+//! iterations run on the owner of the memory they touch.
+//!
+//! Policies must be *deterministic* functions of the iteration stream: the
+//! duplicated-scheduler variant (§3.4) replays the policy independently on
+//! every worker and relies on all replicas agreeing.
+
+use crossinvoc_runtime::{IterNum, ThreadId};
+
+/// Deterministic assignment of iterations to workers.
+pub trait Policy: Send {
+    /// Chooses the worker for the iteration with combined number `iter`
+    /// touching `addrs`, among `num_workers` workers.
+    fn assign(&mut self, iter: IterNum, addrs: &[usize], num_workers: usize) -> ThreadId;
+
+    /// A fresh replica with identical future behaviour, for scheduler
+    /// duplication. Stateful policies must replicate their state.
+    fn replicate(&self) -> Box<dyn Policy>;
+}
+
+/// Round-robin assignment: iteration `i` runs on worker `i % N`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl Policy for RoundRobin {
+    fn assign(&mut self, iter: IterNum, _addrs: &[usize], num_workers: usize) -> ThreadId {
+        (iter % num_workers as u64) as ThreadId
+    }
+
+    fn replicate(&self) -> Box<dyn Policy> {
+        Box::new(*self)
+    }
+}
+
+/// LOCALWRITE-style owner-computes assignment (§3.3.3, after Han & Tseng).
+///
+/// The shared address space `0..address_space` is split into `num_workers`
+/// contiguous chunks; an iteration runs on the owner of its *first written*
+/// address. (The thesis notes that when an iteration touches several owners
+/// LOCALWRITE replicates it; DOMORE instead picks one owner and lets the
+/// shadow-memory logic synchronize the rest, which is what this policy does.)
+#[derive(Debug, Clone, Copy)]
+pub struct LocalWrite {
+    address_space: usize,
+}
+
+impl LocalWrite {
+    /// Creates an owner-computes policy over addresses `0..address_space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address_space` is zero.
+    pub fn new(address_space: usize) -> Self {
+        assert!(address_space > 0, "address space must be positive");
+        Self { address_space }
+    }
+
+    /// The worker owning `addr` among `num_workers` workers.
+    pub fn owner(&self, addr: usize, num_workers: usize) -> ThreadId {
+        let chunk = self.address_space.div_ceil(num_workers);
+        (addr / chunk).min(num_workers - 1)
+    }
+}
+
+impl Policy for LocalWrite {
+    fn assign(&mut self, iter: IterNum, addrs: &[usize], num_workers: usize) -> ThreadId {
+        match addrs.first() {
+            Some(&addr) => self.owner(addr, num_workers),
+            // Address-free iterations fall back to round-robin spreading.
+            None => (iter % num_workers as u64) as ThreadId,
+        }
+    }
+
+    fn replicate(&self) -> Box<dyn Policy> {
+        Box::new(*self)
+    }
+}
+
+/// Owner-computes over congruence classes: ownership of address `a` is
+/// decided by `a % modulus`, so arrays laid out back-to-back over the same
+/// logical grid (field arrays of a simulation, one per phase) share one
+/// partition. This is how LOCALWRITE partitions FLUIDANIMATE's grid in the
+/// §5.4 case study: a cell's densities, forces and velocities all belong
+/// to the cell's owner.
+#[derive(Debug, Clone, Copy)]
+pub struct ModuloWrite {
+    inner: LocalWrite,
+    modulus: usize,
+}
+
+impl ModuloWrite {
+    /// Creates a policy partitioning the congruence classes `0..modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn new(modulus: usize) -> Self {
+        Self {
+            inner: LocalWrite::new(modulus),
+            modulus,
+        }
+    }
+}
+
+impl Policy for ModuloWrite {
+    fn assign(&mut self, iter: IterNum, addrs: &[usize], num_workers: usize) -> ThreadId {
+        match addrs.first() {
+            Some(&addr) => self.inner.owner(addr % self.modulus, num_workers),
+            None => (iter % num_workers as u64) as ThreadId,
+        }
+    }
+
+    fn replicate(&self) -> Box<dyn Policy> {
+        Box::new(*self)
+    }
+}
+
+/// Chunked assignment: consecutive runs of `chunk` iterations share a worker.
+///
+/// This is the static-block schedule conventional DOALL codegen uses; it is
+/// provided as a baseline for the scheduling-policy ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunked {
+    chunk: u64,
+}
+
+impl Chunked {
+    /// Creates a policy mapping iterations `[k*chunk, (k+1)*chunk)` to worker
+    /// `k % N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn new(chunk: u64) -> Self {
+        assert!(chunk > 0, "chunk must be positive");
+        Self { chunk }
+    }
+}
+
+impl Policy for Chunked {
+    fn assign(&mut self, iter: IterNum, _addrs: &[usize], num_workers: usize) -> ThreadId {
+        ((iter / self.chunk) % num_workers as u64) as ThreadId
+    }
+
+    fn replicate(&self) -> Box<dyn Policy> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_workers() {
+        let mut p = RoundRobin;
+        let tids: Vec<_> = (0..6).map(|i| p.assign(i, &[], 3)).collect();
+        assert_eq!(tids, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn local_write_partitions_address_space() {
+        let mut p = LocalWrite::new(100);
+        assert_eq!(p.assign(0, &[0], 4), 0);
+        assert_eq!(p.assign(1, &[25], 4), 1);
+        assert_eq!(p.assign(2, &[99], 4), 3);
+    }
+
+    #[test]
+    fn local_write_clamps_last_chunk() {
+        // 10 addresses over 3 workers → chunks of 4; address 9 is owner 2.
+        let p = LocalWrite::new(10);
+        assert_eq!(p.owner(9, 3), 2);
+    }
+
+    #[test]
+    fn local_write_same_address_same_owner() {
+        let mut p = LocalWrite::new(64);
+        let a = p.assign(0, &[17], 8);
+        let b = p.assign(5, &[17], 8);
+        assert_eq!(a, b, "ownership is a pure function of the address");
+    }
+
+    #[test]
+    fn local_write_without_addresses_spreads() {
+        let mut p = LocalWrite::new(64);
+        assert_eq!(p.assign(0, &[], 4), 0);
+        assert_eq!(p.assign(1, &[], 4), 1);
+    }
+
+    #[test]
+    fn modulo_write_unifies_field_arrays() {
+        // Cell c of every field array (base + c) maps to one owner.
+        let mut p = ModuloWrite::new(100);
+        let a = p.assign(0, &[42], 4);
+        let b = p.assign(1, &[100 + 42], 4);
+        let c = p.assign(2, &[500 + 42], 4);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "address space must be positive")]
+    fn modulo_write_zero_panics() {
+        ModuloWrite::new(0);
+    }
+
+    #[test]
+    fn chunked_groups_consecutive_iterations() {
+        let mut p = Chunked::new(2);
+        let tids: Vec<_> = (0..8).map(|i| p.assign(i, &[], 2)).collect();
+        assert_eq!(tids, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn replicas_agree_with_originals() {
+        let mut original = LocalWrite::new(32);
+        let mut replica = original.replicate();
+        for i in 0..32 {
+            assert_eq!(
+                original.assign(i, &[i as usize], 4),
+                replica.assign(i, &[i as usize], 4)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "address space must be positive")]
+    fn local_write_zero_space_panics() {
+        LocalWrite::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn chunked_zero_panics() {
+        Chunked::new(0);
+    }
+}

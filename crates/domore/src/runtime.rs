@@ -1,0 +1,439 @@
+//! The threaded DOMORE runtime (§3.2, Fig. 3.4).
+//!
+//! One scheduler (the calling thread) plus `num_workers` worker threads.
+//! The scheduler executes the sequential prologue of each invocation, runs
+//! the `computeAddr` oracle and the pure scheduling logic for every inner
+//! iteration, and forwards messages over per-worker SPSC queues:
+//! synchronization conditions first, then the iteration itself. Workers obey
+//! Alg. 2: stall on each condition until the named predecessor retires (as
+//! observed through the `latestFinished` status array), run the iteration,
+//! and publish their own progress.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::utils::{Backoff, CachePadded};
+use crossinvoc_runtime::spsc::Queue;
+use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
+use crossinvoc_runtime::{IterNum, ThreadId};
+
+use crate::logic::{SchedulerLogic, SyncCondition};
+use crate::policy::{Policy, RoundRobin};
+use crate::workload::DomoreWorkload;
+
+/// Message from the scheduler to a worker.
+#[derive(Debug)]
+enum Msg {
+    /// Wait for a predecessor iteration before proceeding.
+    Sync(SyncCondition),
+    /// Execute iteration `iter` of invocation `inv` (combined number
+    /// `iter_num`). This doubles as the paper's `(NO_SYNC, iterNum)` token.
+    Run {
+        inv: usize,
+        iter: usize,
+        iter_num: IterNum,
+    },
+    /// No more work (the paper's `END_TOKEN`).
+    End,
+}
+
+/// The `latestFinished` array of Alg. 2.
+///
+/// Each slot stores *one past* the last combined iteration number the worker
+/// has retired (so the zero initial value means "nothing finished", avoiding
+/// a sentinel).
+#[derive(Debug)]
+pub(crate) struct ProgressBoard {
+    finished: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl ProgressBoard {
+    pub(crate) fn new(num_workers: usize) -> Self {
+        Self {
+            finished: (0..num_workers)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    /// Marks `iter_num` retired by `tid`.
+    pub(crate) fn publish(&self, tid: ThreadId, iter_num: IterNum) {
+        self.finished[tid].store(iter_num + 1, Ordering::Release);
+    }
+
+    /// Whether `cond` is already satisfied.
+    pub(crate) fn satisfied(&self, cond: SyncCondition) -> bool {
+        self.finished[cond.dep_tid].load(Ordering::Acquire) > cond.dep_iter
+    }
+
+    /// Spins (with backoff) until `cond` is satisfied.
+    pub(crate) fn await_condition(&self, cond: SyncCondition) {
+        let backoff = Backoff::new();
+        while !self.satisfied(cond) {
+            backoff.snooze();
+        }
+    }
+}
+
+/// Configuration for [`DomoreRuntime`].
+#[derive(Debug)]
+pub struct DomoreConfig {
+    num_workers: usize,
+    queue_capacity: usize,
+}
+
+impl DomoreConfig {
+    /// Configuration with `num_workers` worker threads and default queue
+    /// capacity.
+    pub fn with_workers(num_workers: usize) -> Self {
+        Self {
+            num_workers,
+            queue_capacity: 1 << 12,
+        }
+    }
+
+    /// Sets the per-worker SPSC queue capacity (in messages).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+/// Errors reported by the DOMORE runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomoreError {
+    /// The configuration requested zero workers.
+    NoWorkers,
+    /// The workload declared its prologue non-replicable but the duplicated
+    /// scheduler was requested.
+    PrologueNotReplicable,
+}
+
+impl fmt::Display for DomoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomoreError::NoWorkers => write!(f, "at least one worker thread is required"),
+            DomoreError::PrologueNotReplicable => write!(
+                f,
+                "workload prologue has side effects; duplicated scheduler is unsound"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DomoreError {}
+
+/// Outcome of a DOMORE execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Counter snapshot (tasks, synchronization conditions, stalls, …).
+    pub stats: StatsSummary,
+    /// Wall-clock time of the parallel region.
+    pub elapsed: Duration,
+    /// Number of worker threads used.
+    pub num_workers: usize,
+}
+
+/// The scheduler/worker DOMORE engine.
+///
+/// See the crate-level example for end-to-end usage.
+pub struct DomoreRuntime {
+    config: DomoreConfig,
+    policy: Box<dyn Policy>,
+}
+
+impl fmt::Debug for DomoreRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DomoreRuntime")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DomoreRuntime {
+    /// Creates a runtime with round-robin scheduling.
+    pub fn new(config: DomoreConfig) -> Self {
+        Self {
+            config,
+            policy: Box::new(RoundRobin),
+        }
+    }
+
+    /// Replaces the scheduling policy.
+    pub fn with_policy(mut self, policy: Box<dyn Policy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Executes `workload` to completion: all invocations, in semantic order
+    /// where dependences demand it, overlapped otherwise.
+    ///
+    /// The calling thread acts as the scheduler; `num_workers` additional
+    /// threads are spawned for the duration of the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomoreError::NoWorkers`] if configured with zero workers.
+    pub fn execute<W: DomoreWorkload>(
+        &mut self,
+        workload: &W,
+    ) -> Result<ExecutionReport, DomoreError> {
+        let num_workers = self.config.num_workers;
+        if num_workers == 0 {
+            return Err(DomoreError::NoWorkers);
+        }
+
+        let mut logic = match workload.address_space() {
+            Some(n) => SchedulerLogic::with_dense_shadow(n),
+            None => SchedulerLogic::with_sparse_shadow(),
+        };
+        let board = ProgressBoard::new(num_workers);
+        let stats = RegionStats::new();
+        let start = Instant::now();
+
+        std::thread::scope(|scope| {
+            let mut producers = Vec::with_capacity(num_workers);
+            for tid in 0..num_workers {
+                let (tx, rx) = Queue::<Msg>::with_capacity(self.config.queue_capacity);
+                producers.push(tx);
+                let board = &board;
+                let stats = &stats;
+                scope.spawn(move || loop {
+                    match rx.consume() {
+                        Msg::Sync(cond) => {
+                            if !board.satisfied(cond) {
+                                stats.add_stall();
+                                board.await_condition(cond);
+                            }
+                        }
+                        Msg::Run {
+                            inv,
+                            iter,
+                            iter_num,
+                        } => {
+                            workload.execute_iteration(inv, iter, tid);
+                            board.publish(tid, iter_num);
+                            stats.add_task();
+                        }
+                        Msg::End => break,
+                    }
+                });
+            }
+
+            // ---- Scheduler (this thread) ----
+            let mut writes = Vec::new();
+            let mut reads = Vec::new();
+            let mut addrs = Vec::new();
+            let mut conds = Vec::new();
+            for inv in 0..workload.num_invocations() {
+                workload.prologue(inv);
+                stats.add_epoch();
+                for iter in 0..workload.num_iterations(inv) {
+                    writes.clear();
+                    reads.clear();
+                    workload.touched(inv, iter, &mut writes, &mut reads);
+                    addrs.clear();
+                    addrs.extend_from_slice(&writes);
+                    addrs.extend_from_slice(&reads);
+                    let preview = logic.next_iter_num();
+                    let tid = self.policy.assign(preview, &addrs, num_workers);
+                    conds.clear();
+                    let iter_num = logic.schedule_rw(tid, &writes, &reads, &mut conds);
+                    debug_assert_eq!(iter_num, preview);
+                    for &cond in &conds {
+                        stats.add_sync_condition();
+                        producers[tid].produce(Msg::Sync(cond));
+                    }
+                    producers[tid].produce(Msg::Run {
+                        inv,
+                        iter,
+                        iter_num,
+                    });
+                }
+            }
+            for tx in &producers {
+                tx.produce(Msg::End);
+            }
+        });
+
+        Ok(ExecutionReport {
+            stats: stats.summary(),
+            elapsed: start.elapsed(),
+            num_workers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LocalWrite;
+    use crossinvoc_runtime::SharedSlice;
+
+    /// Invocation k writes cell (i + k) % n for iteration i: shifting
+    /// conflicts across invocations, heavy cross-invocation dependences.
+    struct Rotating {
+        data: SharedSlice<u64>,
+        invocations: usize,
+    }
+
+    impl Rotating {
+        fn new(n: usize, invocations: usize) -> Self {
+            Self {
+                data: SharedSlice::from_vec(vec![0; n]),
+                invocations,
+            }
+        }
+        fn cell(&self, inv: usize, iter: usize) -> usize {
+            (iter + inv) % self.data.len()
+        }
+    }
+
+    impl DomoreWorkload for Rotating {
+        fn num_invocations(&self) -> usize {
+            self.invocations
+        }
+        fn num_iterations(&self, _inv: usize) -> usize {
+            self.data.len()
+        }
+        fn touched_addrs(&self, inv: usize, iter: usize, out: &mut Vec<usize>) {
+            out.push(self.cell(inv, iter));
+        }
+        fn execute_iteration(&self, inv: usize, iter: usize, _tid: ThreadId) {
+            let cell = self.cell(inv, iter);
+            // SAFETY: the runtime serializes conflicting iterations; each
+            // iteration touches exactly the reported cell.
+            unsafe { self.data.update(cell, |v| *v = v.wrapping_mul(31) + 1) };
+        }
+        fn address_space(&self) -> Option<usize> {
+            Some(self.data.len())
+        }
+    }
+
+    fn expected_rotating(n: usize, invocations: usize) -> Vec<u64> {
+        let mut data = vec![0u64; n];
+        for _ in 0..invocations {
+            for v in data.iter_mut() {
+                *v = v.wrapping_mul(31) + 1;
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn matches_sequential_result_under_contention() {
+        for workers in [1, 2, 3, 5] {
+            let mut w = Rotating::new(17, 12);
+            let report = DomoreRuntime::new(DomoreConfig::with_workers(workers))
+                .execute(&w)
+                .unwrap();
+            assert_eq!(w.data.snapshot(), expected_rotating(17, 12));
+            assert_eq!(report.stats.tasks, 17 * 12);
+            assert_eq!(report.stats.epochs, 12);
+        }
+    }
+
+    #[test]
+    fn localwrite_policy_produces_no_sync_conditions_for_owned_cells() {
+        // Same cell always maps to the same owner, so every cross-invocation
+        // dependence stays within one worker: zero conditions.
+        struct Fixed {
+            data: SharedSlice<u64>,
+        }
+        impl DomoreWorkload for Fixed {
+            fn num_invocations(&self) -> usize {
+                8
+            }
+            fn num_iterations(&self, _inv: usize) -> usize {
+                16
+            }
+            fn touched_addrs(&self, _inv: usize, iter: usize, out: &mut Vec<usize>) {
+                out.push(iter);
+            }
+            fn execute_iteration(&self, _inv: usize, iter: usize, _tid: ThreadId) {
+                unsafe { self.data.update(iter, |v| *v += 1) };
+            }
+            fn address_space(&self) -> Option<usize> {
+                Some(16)
+            }
+        }
+        let w = Fixed {
+            data: SharedSlice::from_vec(vec![0; 16]),
+        };
+        let report = DomoreRuntime::new(DomoreConfig::with_workers(4))
+            .with_policy(Box::new(LocalWrite::new(16)))
+            .execute(&w)
+            .unwrap();
+        assert_eq!(report.stats.sync_conditions, 0);
+        let mut w = w;
+        assert!(w.data.snapshot().iter().all(|&v| v == 8));
+    }
+
+    #[test]
+    fn round_robin_generates_conditions_for_repeated_cells() {
+        let mut w = Rotating::new(8, 4);
+        let report = DomoreRuntime::new(DomoreConfig::with_workers(4))
+            .execute(&w)
+            .unwrap();
+        assert!(
+            report.stats.sync_conditions > 0,
+            "rotating cells across round-robin workers must conflict"
+        );
+        assert_eq!(w.data.snapshot(), expected_rotating(8, 4));
+    }
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        let w = Rotating::new(4, 1);
+        let err = DomoreRuntime::new(DomoreConfig::with_workers(0))
+            .execute(&w)
+            .unwrap_err();
+        assert_eq!(err, DomoreError::NoWorkers);
+        assert!(err.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn small_queue_capacity_still_completes() {
+        let mut w = Rotating::new(9, 6);
+        DomoreRuntime::new(DomoreConfig::with_workers(3).queue_capacity(2))
+            .execute(&w)
+            .unwrap();
+        assert_eq!(w.data.snapshot(), expected_rotating(9, 6));
+    }
+
+    #[test]
+    fn progress_board_condition_semantics() {
+        let board = ProgressBoard::new(2);
+        let cond = SyncCondition {
+            dep_tid: 1,
+            dep_iter: 3,
+        };
+        assert!(!board.satisfied(cond));
+        board.publish(1, 2);
+        assert!(!board.satisfied(cond), "iter 3 not yet finished");
+        board.publish(1, 3);
+        assert!(board.satisfied(cond));
+    }
+
+    #[test]
+    fn empty_workload_reports_zero_tasks() {
+        struct Empty;
+        impl DomoreWorkload for Empty {
+            fn num_invocations(&self) -> usize {
+                0
+            }
+            fn num_iterations(&self, _inv: usize) -> usize {
+                0
+            }
+            fn touched_addrs(&self, _inv: usize, _iter: usize, _out: &mut Vec<usize>) {}
+            fn execute_iteration(&self, _inv: usize, _iter: usize, _tid: ThreadId) {}
+        }
+        let report = DomoreRuntime::new(DomoreConfig::with_workers(2))
+            .execute(&Empty)
+            .unwrap();
+        assert_eq!(report.stats.tasks, 0);
+        assert_eq!(report.stats.epochs, 0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Affine index analysis and the may-depend test.
+//!
+//! The precision/fragility trade-off this module embodies is the subject of
+//! §2.1 of the thesis: affine indices (`A[i]`, `A[i+1]`) can be compared
+//! exactly — yielding *no dependence*, *same-iteration only*, or a constant
+//! *dependence distance* (§4.5.6) — while anything indirect (`A[idx[i]]`,
+//! Fig. 2.1's Loop B) collapses to *unknown*, which is precisely what pushes
+//! such loops toward the runtime techniques this repository reproduces.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crossinvoc_runtime::signature::AccessKind;
+
+use crate::ir::{ArrayId, BinOp, Expr, Program, Stmt, StmtId, VarId};
+
+/// An index expression in the form `constant + Σ coefficient·var`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AffineForm {
+    /// Constant term.
+    pub constant: i64,
+    /// Per-variable coefficients (absent = 0).
+    pub terms: BTreeMap<VarId, i64>,
+}
+
+impl AffineForm {
+    /// Attempts to put `expr` in affine form. Returns `None` for anything
+    /// non-linear (products of variables, division, remainder, compares).
+    pub fn of(expr: &Expr) -> Option<AffineForm> {
+        match expr {
+            Expr::Const(c) => Some(AffineForm {
+                constant: *c,
+                terms: BTreeMap::new(),
+            }),
+            Expr::Var(v) => {
+                let mut terms = BTreeMap::new();
+                terms.insert(*v, 1);
+                Some(AffineForm { constant: 0, terms })
+            }
+            Expr::Bin(op, a, b) => {
+                let fa = AffineForm::of(a);
+                let fb = AffineForm::of(b);
+                match op {
+                    BinOp::Add => Some(fa?.combine(&fb?, 1)),
+                    BinOp::Sub => Some(fa?.combine(&fb?, -1)),
+                    BinOp::Mul => match (fa, fb) {
+                        (Some(fa), Some(fb)) if fb.terms.is_empty() => Some(fa.scale(fb.constant)),
+                        (Some(fa), Some(fb)) if fa.terms.is_empty() => Some(fb.scale(fa.constant)),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    fn combine(&self, other: &AffineForm, sign: i64) -> AffineForm {
+        let mut out = self.clone();
+        out.constant += sign * other.constant;
+        for (&v, &c) in &other.terms {
+            let entry = out.terms.entry(v).or_insert(0);
+            *entry += sign * c;
+            if *entry == 0 {
+                out.terms.remove(&v);
+            }
+        }
+        out
+    }
+
+    fn scale(&self, k: i64) -> AffineForm {
+        if k == 0 {
+            return AffineForm::default();
+        }
+        AffineForm {
+            constant: self.constant * k,
+            terms: self.terms.iter().map(|(&v, &c)| (v, c * k)).collect(),
+        }
+    }
+
+    /// Coefficient of `var` (0 if absent).
+    pub fn coefficient(&self, var: VarId) -> i64 {
+        self.terms.get(&var).copied().unwrap_or(0)
+    }
+
+    /// The form without `var`'s term.
+    pub fn without(&self, var: VarId) -> AffineForm {
+        let mut out = self.clone();
+        out.terms.remove(&var);
+        out
+    }
+}
+
+/// Relation between two index expressions across iterations of one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexRelation {
+    /// Provably never equal, for any pair of iterations.
+    Never,
+    /// Equal only when both run in the same iteration.
+    SameIteration,
+    /// `idx1` at iteration `i` equals `idx2` at iteration `i + distance`
+    /// (`distance != 0`): a loop-carried dependence at constant distance.
+    Carried {
+        /// Signed iteration distance.
+        distance: i64,
+    },
+    /// Equal at *every* pair of iterations (neither depends on the
+    /// induction variable).
+    AllPairs,
+    /// Cannot be determined statically (the irregular case).
+    Unknown,
+}
+
+/// The dependence tester for one program.
+#[derive(Debug, Clone, Copy)]
+pub struct DepTest<'p> {
+    program: &'p Program,
+}
+
+impl<'p> DepTest<'p> {
+    /// Creates a tester over `program`.
+    pub fn new(program: &'p Program) -> Self {
+        Self { program }
+    }
+
+    /// The program under analysis.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Classifies how `idx1` (in one iteration of the loop with induction
+    /// variable `iv`) may equal `idx2` (in another). `variant` is the set
+    /// of variables whose value changes within the loop (other than `iv`):
+    /// symbolic terms over them cannot be cancelled.
+    pub fn index_relation(
+        &self,
+        idx1: &Expr,
+        idx2: &Expr,
+        iv: VarId,
+        variant: &HashSet<VarId>,
+    ) -> IndexRelation {
+        let (Some(f1), Some(f2)) = (AffineForm::of(idx1), AffineForm::of(idx2)) else {
+            return IndexRelation::Unknown;
+        };
+        // Any loop-variant symbolic term defeats cancellation: the "same"
+        // variable holds different values in different iterations.
+        let has_variant = |f: &AffineForm| f.terms.keys().any(|v| *v != iv && variant.contains(v));
+        if has_variant(&f1) || has_variant(&f2) {
+            return IndexRelation::Unknown;
+        }
+        // Loop-invariant symbolic parts must agree exactly to cancel.
+        if f1.without(iv).terms != f2.without(iv).terms {
+            return IndexRelation::Unknown;
+        }
+        let (c1, c2) = (f1.coefficient(iv), f2.coefficient(iv));
+        let delta = f1.constant - f2.constant;
+        match (c1, c2) {
+            (0, 0) => {
+                if delta == 0 {
+                    IndexRelation::AllPairs
+                } else {
+                    IndexRelation::Never
+                }
+            }
+            (a, b) if a == b => {
+                // a·i + k1 = a·i' + k2  ⇒  i' = i + (k1-k2)/a.
+                if delta % a != 0 {
+                    IndexRelation::Never
+                } else {
+                    let q = delta / a;
+                    if q == 0 {
+                        IndexRelation::SameIteration
+                    } else {
+                        IndexRelation::Carried { distance: q }
+                    }
+                }
+            }
+            // Distinct coefficients: solvable in principle (Diophantine)
+            // but conservatively unknown, as the thesis' infrastructure is.
+            _ => IndexRelation::Unknown,
+        }
+    }
+}
+
+/// One memory access extracted from a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// Statement performing the access.
+    pub stmt: StmtId,
+    /// Array touched.
+    pub array: ArrayId,
+    /// Index expression; `None` for opaque calls (any element).
+    pub index: Option<Expr>,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// Collects every memory access in the subtrees of `roots`, in preorder.
+pub fn collect_accesses(program: &Program, roots: &[StmtId]) -> Vec<Access> {
+    let mut out = Vec::new();
+    for id in program.subtrees(roots) {
+        match program.stmt(id) {
+            Stmt::Load { array, index, .. } => out.push(Access {
+                stmt: id,
+                array: *array,
+                index: Some(index.clone()),
+                kind: AccessKind::Read,
+            }),
+            Stmt::Store { array, index, .. } => out.push(Access {
+                stmt: id,
+                array: *array,
+                index: Some(index.clone()),
+                kind: AccessKind::Write,
+            }),
+            Stmt::Call { effect, .. } => {
+                for &array in &effect.may_read {
+                    out.push(Access {
+                        stmt: id,
+                        array,
+                        index: None,
+                        kind: AccessKind::Read,
+                    });
+                }
+                for &array in &effect.may_write {
+                    out.push(Access {
+                        stmt: id,
+                        array,
+                        index: None,
+                        kind: AccessKind::Write,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Variables whose value changes within the loop rooted at `loop_stmt`
+/// (assignment/load targets and inner induction variables, the loop's own
+/// induction variable included).
+///
+/// # Panics
+///
+/// Panics if `loop_stmt` is not a `For` statement.
+pub fn loop_variant_vars(program: &Program, loop_stmt: StmtId) -> HashSet<VarId> {
+    let Stmt::For { var, body, .. } = program.stmt(loop_stmt) else {
+        panic!("loop_variant_vars requires a For statement");
+    };
+    let mut out = HashSet::new();
+    out.insert(*var);
+    for id in program.subtrees(body) {
+        match program.stmt(id) {
+            Stmt::Assign { var, .. } | Stmt::Load { var, .. } => {
+                out.insert(*var);
+            }
+            Stmt::For { var, .. } => {
+                out.insert(*var);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ProgramBuilder;
+
+    fn iv() -> VarId {
+        VarId(0)
+    }
+
+    fn rel(idx1: Expr, idx2: Expr) -> IndexRelation {
+        rel_with_variant(idx1, idx2, HashSet::new())
+    }
+
+    fn rel_with_variant(idx1: Expr, idx2: Expr, variant: HashSet<VarId>) -> IndexRelation {
+        let p = ProgramBuilder::new().finish();
+        // DepTest only needs the program for future extensions; a blank one
+        // suffices for expression-level queries.
+        let t = DepTest::new(&p);
+        t.index_relation(&idx1, &idx2, iv(), &variant)
+    }
+
+    #[test]
+    fn identical_affine_indices_are_same_iteration() {
+        assert_eq!(
+            rel(Expr::Var(iv()), Expr::Var(iv())),
+            IndexRelation::SameIteration
+        );
+    }
+
+    #[test]
+    fn shifted_index_has_constant_distance() {
+        // A[i] vs A[i+1]: i' = i - 1.
+        assert_eq!(
+            rel(
+                Expr::Var(iv()),
+                Expr::add(Expr::Var(iv()), Expr::Const(1))
+            ),
+            IndexRelation::Carried { distance: -1 }
+        );
+    }
+
+    #[test]
+    fn strided_disjoint_indices_never_alias() {
+        // A[2i] vs A[2i+1].
+        assert_eq!(
+            rel(
+                Expr::mul(Expr::Const(2), Expr::Var(iv())),
+                Expr::add(Expr::mul(Expr::Const(2), Expr::Var(iv())), Expr::Const(1))
+            ),
+            IndexRelation::Never
+        );
+    }
+
+    #[test]
+    fn constant_indices_conflict_at_all_pairs() {
+        assert_eq!(rel(Expr::Const(3), Expr::Const(3)), IndexRelation::AllPairs);
+        assert_eq!(rel(Expr::Const(3), Expr::Const(4)), IndexRelation::Never);
+    }
+
+    #[test]
+    fn loop_invariant_symbol_cancels() {
+        // A[i+m] vs A[i+m+2] with m invariant: distance -2.
+        let m = VarId(5);
+        assert_eq!(
+            rel(
+                Expr::add(Expr::Var(iv()), Expr::Var(m)),
+                Expr::add(Expr::add(Expr::Var(iv()), Expr::Var(m)), Expr::Const(2))
+            ),
+            IndexRelation::Carried { distance: -2 }
+        );
+    }
+
+    #[test]
+    fn loop_variant_symbol_is_unknown() {
+        // A[i+t] where t is recomputed each iteration: no cancellation.
+        let t = VarId(5);
+        let mut variant = HashSet::new();
+        variant.insert(t);
+        assert_eq!(
+            rel_with_variant(
+                Expr::add(Expr::Var(iv()), Expr::Var(t)),
+                Expr::add(Expr::Var(iv()), Expr::Var(t)),
+                variant
+            ),
+            IndexRelation::Unknown
+        );
+    }
+
+    #[test]
+    fn nonlinear_index_is_unknown() {
+        assert_eq!(
+            rel(
+                Expr::rem(Expr::Var(iv()), Expr::Const(4)),
+                Expr::Var(iv())
+            ),
+            IndexRelation::Unknown
+        );
+    }
+
+    #[test]
+    fn different_coefficients_are_unknown() {
+        assert_eq!(
+            rel(
+                Expr::mul(Expr::Const(2), Expr::Var(iv())),
+                Expr::mul(Expr::Const(3), Expr::Var(iv()))
+            ),
+            IndexRelation::Unknown
+        );
+    }
+
+    #[test]
+    fn affine_of_handles_subtraction_and_cancellation() {
+        // (i + 3) - i  =  3.
+        let e = Expr::sub(
+            Expr::add(Expr::Var(iv()), Expr::Const(3)),
+            Expr::Var(iv()),
+        );
+        let f = AffineForm::of(&e).unwrap();
+        assert_eq!(f.constant, 3);
+        assert!(f.terms.is_empty());
+    }
+
+    #[test]
+    fn collect_accesses_includes_call_effects() {
+        use crate::ir::CallEffect;
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 4);
+        let c = b.array("C", 4);
+        let i = b.var("i");
+        let t = b.var("t");
+        b.for_loop(i, Expr::Const(0), Expr::Const(4), |b| {
+            b.load(t, c, Expr::Var(i));
+            b.call(
+                "update",
+                vec![Expr::Var(t)],
+                CallEffect {
+                    may_write: vec![a],
+                    ..CallEffect::default()
+                },
+            );
+        });
+        let p = b.finish();
+        let accesses = collect_accesses(&p, p.body());
+        assert_eq!(accesses.len(), 2);
+        assert_eq!(accesses[0].kind, AccessKind::Read);
+        assert_eq!(accesses[1].kind, AccessKind::Write);
+        assert_eq!(accesses[1].index, None, "call index is opaque");
+    }
+
+    #[test]
+    fn loop_variant_vars_cover_defs_and_ivs() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 4);
+        let i = b.var("i");
+        let j = b.var("j");
+        let t = b.var("t");
+        let m = b.var("m"); // never assigned inside: invariant
+        let _ = m;
+        let outer = b.for_loop(i, Expr::Const(0), Expr::Const(2), |b| {
+            b.assign(t, Expr::Var(i));
+            b.for_loop(j, Expr::Const(0), Expr::Const(2), |b| {
+                b.store(a, Expr::Var(j), Expr::Var(t));
+            });
+        });
+        let p = b.finish();
+        let variant = loop_variant_vars(&p, outer);
+        assert!(variant.contains(&i));
+        assert!(variant.contains(&j));
+        assert!(variant.contains(&t));
+        assert!(!variant.contains(&m));
+    }
+}

@@ -1,0 +1,501 @@
+//! The PIR interpreter: the semantics of record.
+//!
+//! Every transformation in this crate is validated by interpretation: the
+//! transformed plan must leave memory byte-identical to sequential
+//! interpretation of the original program. The interpreter also doubles as
+//! the dependence *profiler* — [`Interp::run_traced`] streams every memory
+//! access with its statement of origin, from which manifest rates
+//! (Fig. 3.1's 72.4%) and dependence distances are measured.
+//!
+//! Memory is a single linearized array of `i64` cells
+//! ([`crossinvoc_runtime::SharedSlice`] underneath), so a cell's flat index
+//! *is* the address the runtime crates synchronize on.
+
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_runtime::SharedSlice;
+
+use crate::ir::{BinOp, CallEffect, Expr, Program, Stmt, StmtId};
+
+/// Linearized program memory.
+///
+/// Concurrent use is governed by the same contract as
+/// [`SharedSlice`]: the caller's scheduler must order
+/// conflicting accesses. The safe constructors and snapshot methods require
+/// exclusive access.
+#[derive(Debug)]
+pub struct Memory {
+    cells: SharedSlice<i64>,
+}
+
+impl Memory {
+    /// Zero-initialized memory sized for `program`.
+    pub fn zeroed(program: &Program) -> Self {
+        Self {
+            cells: SharedSlice::from_vec(vec![0; program.memory_len()]),
+        }
+    }
+
+    /// Memory initialized from explicit contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contents` does not match the program's memory size.
+    pub fn from_contents(program: &Program, contents: Vec<i64>) -> Self {
+        assert_eq!(
+            contents.len(),
+            program.memory_len(),
+            "contents must cover the whole linearized memory"
+        );
+        Self {
+            cells: SharedSlice::from_vec(contents),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reads a cell.
+    ///
+    /// # Safety
+    ///
+    /// See [`SharedSlice::read`].
+    pub unsafe fn read(&self, addr: usize) -> i64 {
+        self.cells.read(addr)
+    }
+
+    /// Writes a cell.
+    ///
+    /// # Safety
+    ///
+    /// See [`SharedSlice::write`].
+    pub unsafe fn write(&self, addr: usize, value: i64) {
+        self.cells.write(addr, value)
+    }
+
+    /// Copies memory out (exclusive access).
+    pub fn snapshot(&mut self) -> Vec<i64> {
+        self.cells.snapshot()
+    }
+
+    /// Copies memory out through a shared reference.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may be accessing any cell (all workers quiesced, as
+    /// at a SPECCROSS checkpoint or recovery rendezvous).
+    pub unsafe fn snapshot_quiesced(&self) -> Vec<i64> {
+        (0..self.len()).map(|i| self.read(i)).collect()
+    }
+
+    /// Overwrites memory through a shared reference.
+    ///
+    /// # Safety
+    ///
+    /// Same quiescence requirement as [`Memory::snapshot_quiesced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub unsafe fn restore_quiesced(&self, contents: &[i64]) {
+        assert_eq!(contents.len(), self.len(), "length mismatch in restore");
+        for (i, &v) in contents.iter().enumerate() {
+            self.write(i, v);
+        }
+    }
+
+    /// Overwrites memory (exclusive access).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn restore(&mut self, contents: &[i64]) {
+        self.cells.fill(contents)
+    }
+}
+
+/// Scalar environment, indexed by [`crate::ir::VarId`].
+pub type Env = Vec<i64>;
+
+/// One traced memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Statement that performed the access.
+    pub stmt: StmtId,
+    /// Flat memory address.
+    pub addr: usize,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// Deterministic mixing used to give opaque calls observable semantics.
+fn call_mix(seed: u64, x: i64) -> i64 {
+    crossinvoc_runtime::hash::splitmix64(seed ^ x as u64) as i64
+}
+
+/// The interpreter for one [`Program`].
+#[derive(Debug, Clone, Copy)]
+pub struct Interp<'p> {
+    program: &'p Program,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter over `program`.
+    pub fn new(program: &'p Program) -> Self {
+        Self { program }
+    }
+
+    /// Evaluates a scalar expression.
+    pub fn eval(&self, expr: &Expr, env: &Env) -> i64 {
+        match expr {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => env[v.0],
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (self.eval(a, env), self.eval(b, env));
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.rem_euclid(b)
+                        }
+                    }
+                    BinOp::Lt => i64::from(a < b),
+                    BinOp::Eq => i64::from(a == b),
+                }
+            }
+        }
+    }
+
+    fn addr(&self, array: crate::ir::ArrayId, index: i64) -> usize {
+        let len = self.program.arrays()[array.0].len;
+        let idx = usize::try_from(index).unwrap_or_else(|_| {
+            panic!("negative array index {index} into {}", self.program.arrays()[array.0].name)
+        });
+        assert!(
+            idx < len,
+            "index {idx} out of bounds for array {} (len {len})",
+            self.program.arrays()[array.0].name
+        );
+        self.program.array_base(array) + idx
+    }
+
+    /// Runs the whole program on exclusively held memory, returning the
+    /// final scalar environment.
+    pub fn run(&self, mem: &mut Memory) -> Env {
+        let mut env = vec![0; self.program.vars().len()];
+        // SAFETY: `&mut Memory` makes this thread the sole accessor.
+        unsafe { self.exec_stmts(self.program.body(), &mut env, mem, &mut None) };
+        env
+    }
+
+    /// Runs the whole program, streaming every memory access to `sink`.
+    pub fn run_traced(&self, mem: &mut Memory, sink: &mut dyn FnMut(TraceEvent)) -> Env {
+        let mut env = vec![0; self.program.vars().len()];
+        let mut sink: Option<&mut dyn FnMut(TraceEvent)> = Some(sink);
+        // SAFETY: `&mut Memory` makes this thread the sole accessor.
+        unsafe { self.exec_stmts(self.program.body(), &mut env, mem, &mut sink) };
+        env
+    }
+
+    /// Executes a statement sequence under an explicit environment.
+    ///
+    /// # Safety
+    ///
+    /// Shared-memory accesses are unordered with respect to other threads;
+    /// the caller's scheduler must guarantee that any concurrently executing
+    /// statement sequence touches disjoint addresses or is ordered by a
+    /// happens-before edge (the DOMORE/SPECCROSS runtime contracts).
+    pub unsafe fn exec_stmts(
+        &self,
+        stmts: &[StmtId],
+        env: &mut Env,
+        mem: &Memory,
+        sink: &mut Option<&mut dyn FnMut(TraceEvent)>,
+    ) {
+        for &id in stmts {
+            self.exec_stmt(id, env, mem, sink);
+        }
+    }
+
+    unsafe fn exec_stmt(
+        &self,
+        id: StmtId,
+        env: &mut Env,
+        mem: &Memory,
+        sink: &mut Option<&mut dyn FnMut(TraceEvent)>,
+    ) {
+        match self.program.stmt(id) {
+            Stmt::Assign { var, expr } => env[var.0] = self.eval(expr, env),
+            Stmt::Load { var, array, index } => {
+                let addr = self.addr(*array, self.eval(index, env));
+                if let Some(s) = sink {
+                    s(TraceEvent {
+                        stmt: id,
+                        addr,
+                        kind: AccessKind::Read,
+                    });
+                }
+                env[var.0] = mem.read(addr);
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                let addr = self.addr(*array, self.eval(index, env));
+                if let Some(s) = sink {
+                    s(TraceEvent {
+                        stmt: id,
+                        addr,
+                        kind: AccessKind::Write,
+                    });
+                }
+                mem.write(addr, self.eval(value, env));
+            }
+            Stmt::Call { name, args, effect } => {
+                self.exec_call(id, name, args, effect, env, mem, sink)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.eval(cond, env) != 0 {
+                    self.exec_stmts(then_body, env, mem, sink);
+                } else {
+                    self.exec_stmts(else_body, env, mem, sink);
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                let (from, to) = (self.eval(from, env), self.eval(to, env));
+                let mut i = from;
+                while i < to {
+                    env[var.0] = i;
+                    self.exec_stmts(body, env, mem, sink);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn exec_call(
+        &self,
+        id: StmtId,
+        name: &str,
+        args: &[Expr],
+        effect: &CallEffect,
+        env: &mut Env,
+        mem: &Memory,
+        sink: &mut Option<&mut dyn FnMut(TraceEvent)>,
+    ) {
+        // Deterministic uninterpreted semantics: fold the name and scalar
+        // arguments, read one declared element per readable array, then
+        // write one declared element per writable array. The touched
+        // element is selected by the first argument, matching how the
+        // thesis' examples use calls (`update(&C[j])`).
+        let mut acc = name.bytes().fold(0u64, |h, b| {
+            crossinvoc_runtime::hash::splitmix64(h ^ b as u64)
+        }) as i64;
+        let mut first = 0i64;
+        for (k, a) in args.iter().enumerate() {
+            let v = self.eval(a, env);
+            if k == 0 {
+                first = v;
+            }
+            acc = call_mix(acc as u64, v);
+        }
+        for &array in &effect.may_read {
+            let len = self.program.arrays()[array.0].len as i64;
+            let addr = self.addr(array, first.rem_euclid(len.max(1)));
+            if let Some(s) = sink {
+                s(TraceEvent {
+                    stmt: id,
+                    addr,
+                    kind: AccessKind::Read,
+                });
+            }
+            acc = call_mix(acc as u64, mem.read(addr));
+        }
+        for &array in &effect.may_write {
+            let len = self.program.arrays()[array.0].len as i64;
+            let addr = self.addr(array, first.rem_euclid(len.max(1)));
+            if let Some(s) = sink {
+                s(TraceEvent {
+                    stmt: id,
+                    addr,
+                    kind: AccessKind::Write,
+                });
+            }
+            let old = mem.read(addr);
+            mem.write(addr, call_mix(acc as u64, old));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, ProgramBuilder};
+
+    #[test]
+    fn evaluates_loops_and_stores() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 5);
+        let i = b.var("i");
+        b.for_loop(i, Expr::Const(0), Expr::Const(5), |b| {
+            b.store(a, Expr::Var(i), Expr::mul(Expr::Var(i), Expr::Const(2)));
+        });
+        let p = b.finish();
+        let mut mem = Memory::zeroed(&p);
+        Interp::new(&p).run(&mut mem);
+        assert_eq!(mem.snapshot(), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn if_selects_arm() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 2);
+        let i = b.var("i");
+        b.for_loop(i, Expr::Const(0), Expr::Const(2), |b| {
+            b.if_else(
+                Expr::lt(Expr::Var(i), Expr::Const(1)),
+                |b| {
+                    b.store(a, Expr::Var(i), Expr::Const(10));
+                },
+                |b| {
+                    b.store(a, Expr::Var(i), Expr::Const(20));
+                },
+            );
+        });
+        let p = b.finish();
+        let mut mem = Memory::zeroed(&p);
+        Interp::new(&p).run(&mut mem);
+        assert_eq!(mem.snapshot(), vec![10, 20]);
+    }
+
+    #[test]
+    fn loads_read_prior_stores() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 3);
+        let t = b.var("t");
+        b.store(a, Expr::Const(0), Expr::Const(7));
+        b.load(t, a, Expr::Const(0));
+        b.store(a, Expr::Const(2), Expr::add(Expr::Var(t), Expr::Const(1)));
+        let p = b.finish();
+        let mut mem = Memory::zeroed(&p);
+        Interp::new(&p).run(&mut mem);
+        assert_eq!(mem.snapshot(), vec![7, 0, 8]);
+    }
+
+    #[test]
+    fn trace_reports_accesses_with_addresses() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 2);
+        let c = b.array("C", 2);
+        let t = b.var("t");
+        b.load(t, c, Expr::Const(1));
+        b.store(a, Expr::Const(0), Expr::Var(t));
+        let p = b.finish();
+        let mut mem = Memory::zeroed(&p);
+        let mut events = Vec::new();
+        Interp::new(&p).run_traced(&mut mem, &mut |e| events.push(e));
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].addr, 3); // C[1] = base 2 + 1
+        assert_eq!(events[0].kind, AccessKind::Read);
+        assert_eq!(events[1].addr, 0); // A[0]
+        assert_eq!(events[1].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn calls_are_deterministic_and_touch_declared_arrays() {
+        use crate::ir::CallEffect;
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            let a = b.array("A", 4);
+            b.call(
+                "update",
+                vec![Expr::Const(2)],
+                CallEffect {
+                    may_write: vec![a],
+                    ..CallEffect::default()
+                },
+            );
+            b.finish()
+        };
+        let p1 = build();
+        let p2 = build();
+        let mut m1 = Memory::zeroed(&p1);
+        let mut m2 = Memory::zeroed(&p2);
+        Interp::new(&p1).run(&mut m1);
+        Interp::new(&p2).run(&mut m2);
+        let s1 = m1.snapshot();
+        assert_eq!(s1, m2.snapshot());
+        assert_ne!(s1[2], 0, "the call must write element arg0 % len");
+        assert_eq!(s1[0], 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 1);
+        b.store(
+            a,
+            Expr::Const(0),
+            Expr::Bin(
+                crate::ir::BinOp::Div,
+                Box::new(Expr::Const(5)),
+                Box::new(Expr::Const(0)),
+            ),
+        );
+        let p = b.finish();
+        let mut mem = Memory::zeroed(&p);
+        Interp::new(&p).run(&mut mem);
+        assert_eq!(mem.snapshot(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_store_panics() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 1);
+        b.store(a, Expr::Const(5), Expr::Const(0));
+        let p = b.finish();
+        let mut mem = Memory::zeroed(&p);
+        Interp::new(&p).run(&mut mem);
+    }
+
+    #[test]
+    fn memory_snapshot_restore_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        b.array("A", 3);
+        let p = b.finish();
+        let mut mem = Memory::from_contents(&p, vec![1, 2, 3]);
+        let snap = mem.snapshot();
+        unsafe { mem.write(1, 9) };
+        mem.restore(&snap);
+        assert_eq!(mem.snapshot(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,568 @@
+//! The loop-nest IR.
+//!
+//! Programs are arenas of statements with explicit memory operations:
+//! scalar expressions never touch arrays, so every shared access is a
+//! [`Stmt::Load`] or [`Stmt::Store`] the analyses can see (the same property
+//! LLVM's `load`/`store` instructions give the thesis' passes). Opaque
+//! calls carry declared effects — purity, commutativity (the property DOANY
+//! exploits, §2.2), and may-read/may-write array sets — standing in for the
+//! interprocedural summaries of the original infrastructure.
+
+use std::fmt;
+
+/// Index of a declared array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+/// Index of a scalar variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Index of a statement in the program arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub usize);
+
+/// Binary operators over 64-bit integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Euclidean division (0 on division by zero, like a trapping guard).
+    Div,
+    /// Euclidean remainder (0 on division by zero).
+    Rem,
+    /// `1` if less-than, else `0`.
+    Lt,
+    /// `1` if equal, else `0`.
+    Eq,
+}
+
+/// A scalar expression (never reads memory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Scalar variable read.
+    Var(VarId),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+// These constructors build expression *trees*; the names mirror the
+// operators deliberately and take no receiver, so the std::ops traits do
+// not apply.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// `a + b` convenience constructor.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// `a - b` convenience constructor.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+
+    /// `a * b` convenience constructor.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// `a % b` convenience constructor.
+    pub fn rem(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Rem, Box::new(a), Box::new(b))
+    }
+
+    /// `a < b` convenience constructor.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Lt, Box::new(a), Box::new(b))
+    }
+
+    /// Variables read by this expression, appended to `out`.
+    pub fn vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => out.push(*v),
+            Expr::Bin(_, a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+        }
+    }
+}
+
+/// Declared effects of an opaque call.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CallEffect {
+    /// May write outside the modelled state (I/O, allocation, …): cannot be
+    /// duplicated, speculated or sliced into `computeAddr`.
+    pub side_effecting: bool,
+    /// Invocations may be reordered with each other (the property DOANY's
+    /// lock-based parallelization needs, §2.2).
+    pub commutative: bool,
+    /// Arrays the call may read.
+    pub may_read: Vec<ArrayId>,
+    /// Arrays the call may write.
+    pub may_write: Vec<ArrayId>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var = expr`.
+    Assign {
+        /// Destination variable.
+        var: VarId,
+        /// Value computed.
+        expr: Expr,
+    },
+    /// `var = array[index]`.
+    Load {
+        /// Destination variable.
+        var: VarId,
+        /// Source array.
+        array: ArrayId,
+        /// Element index.
+        index: Expr,
+    },
+    /// `array[index] = value`.
+    Store {
+        /// Destination array.
+        array: ArrayId,
+        /// Element index.
+        index: Expr,
+        /// Value stored.
+        value: Expr,
+    },
+    /// `name(args…)` with declared effects. The interpreter applies a fixed
+    /// uninterpreted mixing function to the written arrays so executions
+    /// are comparable.
+    Call {
+        /// Callee name (uninterpreted).
+        name: String,
+        /// Scalar arguments.
+        args: Vec<Expr>,
+        /// Declared effects.
+        effect: CallEffect,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Condition (non-zero = taken).
+        cond: Expr,
+        /// Statements of the then-arm.
+        then_body: Vec<StmtId>,
+        /// Statements of the else-arm.
+        else_body: Vec<StmtId>,
+    },
+    /// Counted loop: `for var in from..to`.
+    For {
+        /// Induction variable (fresh per iteration).
+        var: VarId,
+        /// Inclusive lower bound.
+        from: Expr,
+        /// Exclusive upper bound.
+        to: Expr,
+        /// Loop body.
+        body: Vec<StmtId>,
+    },
+}
+
+/// Declared array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Debug name.
+    pub name: String,
+    /// Element count.
+    pub len: usize,
+}
+
+/// A whole program: declarations plus a top-level statement sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    arrays: Vec<ArrayDecl>,
+    vars: Vec<String>,
+    stmts: Vec<Stmt>,
+    body: Vec<StmtId>,
+}
+
+impl Program {
+    /// Declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Declared variable names.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// The statement arena entry for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a statement of this program.
+    pub fn stmt(&self, id: StmtId) -> &Stmt {
+        &self.stmts[id.0]
+    }
+
+    /// Number of statements in the arena.
+    pub fn num_stmts(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Top-level statement sequence.
+    pub fn body(&self) -> &[StmtId] {
+        &self.body
+    }
+
+    /// Flat element offset of `array` in the program's linearized memory
+    /// (arrays are laid out in declaration order).
+    pub fn array_base(&self, array: ArrayId) -> usize {
+        self.arrays[..array.0].iter().map(|a| a.len).sum()
+    }
+
+    /// Total linearized memory size.
+    pub fn memory_len(&self) -> usize {
+        self.arrays.iter().map(|a| a.len).sum()
+    }
+
+    /// Immediate children of a statement (empty for non-compound ones).
+    pub fn children(&self, id: StmtId) -> Vec<StmtId> {
+        match self.stmt(id) {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => then_body.iter().chain(else_body).copied().collect(),
+            Stmt::For { body, .. } => body.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// All statements in the subtree rooted at `id`, preorder, including
+    /// `id` itself.
+    pub fn subtree(&self, id: StmtId) -> Vec<StmtId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(s) = stack.pop() {
+            out.push(s);
+            let mut kids = self.children(s);
+            kids.reverse();
+            stack.extend(kids);
+        }
+        out
+    }
+
+    /// The statements of `roots` and all their descendants, preorder.
+    pub fn subtrees(&self, roots: &[StmtId]) -> Vec<StmtId> {
+        roots.iter().flat_map(|&r| self.subtree(r)).collect()
+    }
+}
+
+/// Incremental [`Program`] constructor.
+///
+/// Compound statements are built with closures:
+///
+/// ```
+/// use crossinvoc_pir::ir::{Expr, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new();
+/// let a = b.array("A", 10);
+/// let i = b.var("i");
+/// let t = b.var("t");
+/// b.for_loop(i, Expr::Const(0), Expr::Const(10), |b| {
+///     b.load(t, a, Expr::Var(i));
+///     b.store(a, Expr::Var(i), Expr::add(Expr::Var(t), Expr::Const(1)));
+/// });
+/// let program = b.finish();
+/// assert_eq!(program.num_stmts(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+    /// Stack of open bodies; the innermost receives new statements.
+    scopes: Vec<Vec<StmtId>>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self {
+            program: Program::default(),
+            scopes: vec![Vec::new()],
+        }
+    }
+
+    /// Declares an array of `len` elements.
+    pub fn array(&mut self, name: &str, len: usize) -> ArrayId {
+        self.program.arrays.push(ArrayDecl {
+            name: name.to_owned(),
+            len,
+        });
+        ArrayId(self.program.arrays.len() - 1)
+    }
+
+    /// Declares a scalar variable.
+    pub fn var(&mut self, name: &str) -> VarId {
+        self.program.vars.push(name.to_owned());
+        VarId(self.program.vars.len() - 1)
+    }
+
+    fn push(&mut self, stmt: Stmt) -> StmtId {
+        let id = StmtId(self.program.stmts.len());
+        self.program.stmts.push(stmt);
+        self.scopes
+            .last_mut()
+            .expect("builder always has an open scope")
+            .push(id);
+        id
+    }
+
+    /// Appends `var = expr`.
+    pub fn assign(&mut self, var: VarId, expr: Expr) -> StmtId {
+        self.push(Stmt::Assign { var, expr })
+    }
+
+    /// Appends `var = array[index]`.
+    pub fn load(&mut self, var: VarId, array: ArrayId, index: Expr) -> StmtId {
+        self.push(Stmt::Load { var, array, index })
+    }
+
+    /// Appends `array[index] = value`.
+    pub fn store(&mut self, array: ArrayId, index: Expr, value: Expr) -> StmtId {
+        self.push(Stmt::Store {
+            array,
+            index,
+            value,
+        })
+    }
+
+    /// Appends an opaque call.
+    pub fn call(&mut self, name: &str, args: Vec<Expr>, effect: CallEffect) -> StmtId {
+        self.push(Stmt::Call {
+            name: name.to_owned(),
+            args,
+            effect,
+        })
+    }
+
+    /// Appends an `if` whose arms are built by the closures.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_build: impl FnOnce(&mut Self),
+        else_build: impl FnOnce(&mut Self),
+    ) -> StmtId {
+        self.scopes.push(Vec::new());
+        then_build(self);
+        let then_body = self.scopes.pop().expect("then scope");
+        self.scopes.push(Vec::new());
+        else_build(self);
+        let else_body = self.scopes.pop().expect("else scope");
+        self.push(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    /// Appends `for var in from..to { body }`.
+    pub fn for_loop(
+        &mut self,
+        var: VarId,
+        from: Expr,
+        to: Expr,
+        body_build: impl FnOnce(&mut Self),
+    ) -> StmtId {
+        self.scopes.push(Vec::new());
+        body_build(self);
+        let body = self.scopes.pop().expect("loop scope");
+        self.push(Stmt::For {
+            var,
+            from,
+            to,
+            body,
+        })
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a compound statement is still open (cannot
+    /// happen through the closure-based API).
+    pub fn finish(mut self) -> Program {
+        assert_eq!(self.scopes.len(), 1, "unclosed scope");
+        self.program.body = self.scopes.pop().expect("top-level scope");
+        self.program
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn expr(p: &Program, e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match e {
+                Expr::Const(c) => write!(f, "{c}"),
+                Expr::Var(v) => write!(f, "{}", p.vars[v.0]),
+                Expr::Bin(op, a, b) => {
+                    let sym = match op {
+                        BinOp::Add => "+",
+                        BinOp::Sub => "-",
+                        BinOp::Mul => "*",
+                        BinOp::Div => "/",
+                        BinOp::Rem => "%",
+                        BinOp::Lt => "<",
+                        BinOp::Eq => "==",
+                    };
+                    write!(f, "(")?;
+                    expr(p, a, f)?;
+                    write!(f, " {sym} ")?;
+                    expr(p, b, f)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        fn stmt(p: &Program, id: StmtId, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            match p.stmt(id) {
+                Stmt::Assign { var, expr: e } => {
+                    write!(f, "{pad}{} = ", p.vars[var.0])?;
+                    expr(p, e, f)?;
+                    writeln!(f)
+                }
+                Stmt::Load { var, array, index } => {
+                    write!(f, "{pad}{} = {}[", p.vars[var.0], p.arrays[array.0].name)?;
+                    expr(p, index, f)?;
+                    writeln!(f, "]")
+                }
+                Stmt::Store {
+                    array,
+                    index,
+                    value,
+                } => {
+                    write!(f, "{pad}{}[", p.arrays[array.0].name)?;
+                    expr(p, index, f)?;
+                    write!(f, "] = ")?;
+                    expr(p, value, f)?;
+                    writeln!(f)
+                }
+                Stmt::Call { name, .. } => writeln!(f, "{pad}{name}(…)"),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    write!(f, "{pad}if ")?;
+                    expr(p, cond, f)?;
+                    writeln!(f, " {{")?;
+                    for &s in then_body {
+                        stmt(p, s, depth + 1, f)?;
+                    }
+                    if !else_body.is_empty() {
+                        writeln!(f, "{pad}}} else {{")?;
+                        for &s in else_body {
+                            stmt(p, s, depth + 1, f)?;
+                        }
+                    }
+                    writeln!(f, "{pad}}}")
+                }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    write!(f, "{pad}for {} in ", p.vars[var.0])?;
+                    expr(p, from, f)?;
+                    write!(f, "..")?;
+                    expr(p, to, f)?;
+                    writeln!(f, " {{")?;
+                    for &s in body {
+                        stmt(p, s, depth + 1, f)?;
+                    }
+                    writeln!(f, "{pad}}}")
+                }
+            }
+        }
+        for &s in &self.body {
+            stmt(self, s, 0, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_nests_statements() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 4);
+        let i = b.var("i");
+        let outer = b.for_loop(i, Expr::Const(0), Expr::Const(4), |b| {
+            b.store(a, Expr::Var(i), Expr::Const(1));
+        });
+        let p = b.finish();
+        assert_eq!(p.body(), &[outer]);
+        assert_eq!(p.children(outer).len(), 1);
+        assert_eq!(p.subtree(outer).len(), 2);
+    }
+
+    #[test]
+    fn array_layout_is_contiguous() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 3);
+        let c = b.array("C", 5);
+        let p = b.finish();
+        assert_eq!(p.array_base(a), 0);
+        assert_eq!(p.array_base(c), 3);
+        assert_eq!(p.memory_len(), 8);
+    }
+
+    #[test]
+    fn subtree_is_preorder() {
+        let mut b = ProgramBuilder::new();
+        let i = b.var("i");
+        let t = b.var("t");
+        let outer = b.for_loop(i, Expr::Const(0), Expr::Const(2), |b| {
+            b.assign(t, Expr::Const(1));
+            b.if_else(
+                Expr::Var(t),
+                |b| {
+                    b.assign(t, Expr::Const(2));
+                },
+                |_| {},
+            );
+        });
+        let p = b.finish();
+        let sub = p.subtree(outer);
+        assert_eq!(sub[0], outer);
+        assert_eq!(sub.len(), 4);
+    }
+
+    #[test]
+    fn display_renders_structure() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 2);
+        let i = b.var("i");
+        b.for_loop(i, Expr::Const(0), Expr::Const(2), |b| {
+            b.store(a, Expr::Var(i), Expr::Var(i));
+        });
+        let text = b.finish().to_string();
+        assert!(text.contains("for i in 0..2"));
+        assert!(text.contains("A[i] = i"));
+    }
+
+    #[test]
+    fn expr_vars_collects_reads() {
+        let e = Expr::add(Expr::Var(VarId(1)), Expr::mul(Expr::Var(VarId(2)), Expr::Const(3)));
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        assert_eq!(vars, vec![VarId(1), VarId(2)]);
+    }
+}

@@ -1,0 +1,347 @@
+//! Multi-Threaded Code Generation (§3.3.2, Figs. 3.6(d)/(e) and 3.7).
+//!
+//! Given a validated [`crate::transform::DomorePlan`], MTCG emits the two
+//! generated functions of the thesis: the *scheduler* (outer-loop traversal,
+//! sequential prologue, `computeAddr`, `schedule`, synchronization-condition
+//! and live-in `produce`s, `END_TOKEN` broadcast) and the *worker* (consume
+//! loop, synchronization waits, the inner-loop body, `latestFinished`
+//! publication). On this structured IR the thesis' block-creation and
+//! branch-repair rules (its steps 2–3) are identities, so the emission is
+//! the remaining substance: statement placement, the value-communication
+//! rule (step 4: live-ins produced at the inner-loop header) and the
+//! termination protocol (step 5).
+//!
+//! The output is a structural program description (plus a Fig. 3.7-style
+//! renderer); execution of the plan is handled by
+//! [`crate::transform::DomorePlan::execute`], which realizes exactly this
+//! structure over the threaded runtime.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ir::{Program, Stmt, StmtId, VarId};
+use crate::transform::DomorePlan;
+
+/// One step of the generated scheduler function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerStep {
+    /// Execute a sequential outer-loop statement (prologue).
+    Prologue(StmtId),
+    /// Evaluate the inner loop's bounds and iterate.
+    EnterInnerLoop,
+    /// Re-execute one `computeAddr` slice statement.
+    ComputeAddr(StmtId),
+    /// Run the scheduling logic: shadow lookup, assignment, and the
+    /// synchronization-condition `produce`s of Alg. 1.
+    ScheduleIteration,
+    /// `produce` one live-in scalar to the assigned worker (MTCG step 4).
+    ProduceLiveIn(VarId),
+    /// `produce` the iteration token (`NO_SYNC`, combined number).
+    ProduceIteration,
+    /// Broadcast `END_TOKEN` to every worker (MTCG step 5).
+    BroadcastEnd,
+}
+
+/// One step of the generated worker function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerStep {
+    /// `consume` the next token; exit on `END_TOKEN` (MTCG step 5).
+    ConsumeToken,
+    /// Wait on `latestFinished` for a synchronization condition (Alg. 2).
+    AwaitConditions,
+    /// `consume` one live-in scalar (MTCG step 4).
+    ConsumeLiveIn(VarId),
+    /// Execute one inner-loop body statement.
+    Body(StmtId),
+    /// Publish completion in `latestFinished`.
+    PublishFinished,
+}
+
+/// The two generated functions.
+#[derive(Debug, Clone)]
+pub struct MtcgOutput {
+    /// Scheduler-function steps, in emission order.
+    pub scheduler: Vec<SchedulerStep>,
+    /// Worker-function steps (the per-token loop body), in emission order.
+    pub worker: Vec<WorkerStep>,
+    /// Live-in scalars communicated scheduler → worker per iteration.
+    pub live_ins: Vec<VarId>,
+}
+
+impl MtcgOutput {
+    /// Emits the scheduler and worker functions for `plan`.
+    pub fn emit(program: &Program, plan: &DomorePlan<'_>) -> MtcgOutput {
+        let inner_body = plan.inner_body();
+        let body_stmts = program.subtrees(inner_body);
+        // Live-ins: variables the worker body *uses* but does not define,
+        // excluding the inner induction variable (bound by the dispatch
+        // token itself).
+        let mut defined: HashSet<VarId> = HashSet::new();
+        defined.insert(plan.inner_iv());
+        for &s in &body_stmts {
+            match program.stmt(s) {
+                Stmt::Assign { var, .. } | Stmt::Load { var, .. } => {
+                    defined.insert(*var);
+                }
+                Stmt::For { var, .. } => {
+                    defined.insert(*var);
+                }
+                _ => {}
+            }
+        }
+        let mut live_ins: Vec<VarId> = Vec::new();
+        let mut seen = HashSet::new();
+        for &s in &body_stmts {
+            let mut uses = Vec::new();
+            stmt_header_uses(program.stmt(s), &mut uses);
+            for v in uses {
+                if !defined.contains(&v) && seen.insert(v) {
+                    live_ins.push(v);
+                }
+            }
+        }
+
+        let mut scheduler = Vec::new();
+        for &s in plan.prologue_stmts() {
+            scheduler.push(SchedulerStep::Prologue(s));
+        }
+        scheduler.push(SchedulerStep::EnterInnerLoop);
+        for &s in &plan.slice().stmts {
+            scheduler.push(SchedulerStep::ComputeAddr(s));
+        }
+        scheduler.push(SchedulerStep::ScheduleIteration);
+        for &v in &live_ins {
+            scheduler.push(SchedulerStep::ProduceLiveIn(v));
+        }
+        scheduler.push(SchedulerStep::ProduceIteration);
+        scheduler.push(SchedulerStep::BroadcastEnd);
+
+        let mut worker = vec![WorkerStep::ConsumeToken, WorkerStep::AwaitConditions];
+        for &v in &live_ins {
+            worker.push(WorkerStep::ConsumeLiveIn(v));
+        }
+        for &s in inner_body {
+            worker.push(WorkerStep::Body(s));
+        }
+        worker.push(WorkerStep::PublishFinished);
+
+        MtcgOutput {
+            scheduler,
+            worker,
+            live_ins,
+        }
+    }
+
+    /// MTCG's pipeline property: every cross-thread communication flows
+    /// scheduler → worker (produces strictly precede the matching consumes
+    /// in the emitted protocol order).
+    pub fn is_pipelined(&self) -> bool {
+        // Scheduler side: all produces precede BroadcastEnd, and the
+        // iteration token is produced after its live-ins.
+        let iter_pos = self
+            .scheduler
+            .iter()
+            .position(|s| *s == SchedulerStep::ProduceIteration);
+        let livein_ok = self.scheduler.iter().enumerate().all(|(k, s)| match s {
+            SchedulerStep::ProduceLiveIn(_) => Some(k) < iter_pos,
+            _ => true,
+        });
+        // Worker side: token consumption first, body after live-ins,
+        // publication last.
+        let body_first = self.worker.iter().position(|s| matches!(s, WorkerStep::Body(_)));
+        let livein_last = self
+            .worker
+            .iter()
+            .rposition(|s| matches!(s, WorkerStep::ConsumeLiveIn(_)));
+        let order_ok = match (body_first, livein_last) {
+            (Some(b), Some(l)) => l < b,
+            _ => true,
+        };
+        livein_ok
+            && order_ok
+            && self.worker.first() == Some(&WorkerStep::ConsumeToken)
+            && self.worker.last() == Some(&WorkerStep::PublishFinished)
+            && self.scheduler.last() == Some(&SchedulerStep::BroadcastEnd)
+    }
+}
+
+fn stmt_header_uses(stmt: &Stmt, out: &mut Vec<VarId>) {
+    match stmt {
+        Stmt::Assign { expr, .. } => expr.vars(out),
+        Stmt::Load { index, .. } => index.vars(out),
+        Stmt::Store { index, value, .. } => {
+            index.vars(out);
+            value.vars(out);
+        }
+        Stmt::Call { args, .. } => {
+            for a in args {
+                a.vars(out);
+            }
+        }
+        Stmt::If { cond, .. } => cond.vars(out),
+        Stmt::For { from, to, .. } => {
+            from.vars(out);
+            to.vars(out);
+        }
+    }
+}
+
+/// Fig. 3.7-style rendering of the generated pair.
+pub struct MtcgDisplay<'a> {
+    /// The program the statement ids refer to.
+    pub program: &'a Program,
+    /// The emitted functions.
+    pub output: &'a MtcgOutput,
+}
+
+impl fmt::Debug for MtcgDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MtcgDisplay({} steps)", self.output.scheduler.len())
+    }
+}
+
+impl fmt::Display for MtcgDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let var = |v: &VarId| self.program.vars()[v.0].clone();
+        writeln!(f, "void scheduler() {{")?;
+        for step in &self.output.scheduler {
+            match step {
+                SchedulerStep::Prologue(s) => writeln!(f, "  /* seq */ stmt#{}", s.0)?,
+                SchedulerStep::EnterInnerLoop => writeln!(f, "  for each inner iteration {{")?,
+                SchedulerStep::ComputeAddr(s) => writeln!(f, "    computeAddr: stmt#{}", s.0)?,
+                SchedulerStep::ScheduleIteration => {
+                    writeln!(f, "    tid = schedule(iternum, addr_set); schedulerSync(...)")?
+                }
+                SchedulerStep::ProduceLiveIn(v) => writeln!(f, "    produce({})", var(v))?,
+                SchedulerStep::ProduceIteration => {
+                    writeln!(f, "    produce(NO_SYNC, iternum)")?;
+                    writeln!(f, "  }}")?
+                }
+                SchedulerStep::BroadcastEnd => writeln!(f, "  produce_to_all(END_TOKEN)")?,
+            }
+        }
+        writeln!(f, "}}")?;
+        writeln!(f, "void worker() {{ while (1) {{")?;
+        for step in &self.output.worker {
+            match step {
+                WorkerStep::ConsumeToken => {
+                    writeln!(f, "  tok = consume(); if (tok == END_TOKEN) return;")?
+                }
+                WorkerStep::AwaitConditions => {
+                    writeln!(f, "  while (latestFinished[depTid] < depIterNum) wait();")?
+                }
+                WorkerStep::ConsumeLiveIn(v) => writeln!(f, "  {} = consume();", var(v))?,
+                WorkerStep::Body(s) => writeln!(f, "  doWork: stmt#{}", s.0)?,
+                WorkerStep::PublishFinished => {
+                    writeln!(f, "  latestFinished[tid] = iternum;")?
+                }
+            }
+        }
+        writeln!(f, "}} }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, ProgramBuilder};
+    use crate::transform::DomorePlan;
+
+    /// A CG-like nest whose worker body consumes a prologue-computed scalar.
+    fn nest_with_live_in() -> (Program, StmtId, StmtId, VarId) {
+        let mut b = ProgramBuilder::new();
+        let scales = b.array("scales", 8);
+        let c = b.array("C", 32);
+        let i = b.var("i");
+        let j = b.var("j");
+        let scale = b.var("scale");
+        let t = b.var("t");
+        let mut inner = StmtId(0);
+        let outer = b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+            b.load(scale, scales, Expr::Var(i));
+            inner = b.for_loop(j, Expr::Const(0), Expr::Const(32), |b| {
+                b.load(t, c, Expr::Var(j));
+                b.store(
+                    c,
+                    Expr::Var(j),
+                    Expr::add(Expr::Var(t), Expr::Var(scale)),
+                );
+            });
+        });
+        (b.finish(), outer, inner, scale)
+    }
+
+    #[test]
+    fn emission_identifies_live_ins() {
+        let (p, outer, inner, scale) = nest_with_live_in();
+        let plan = DomorePlan::build(&p, outer, inner).unwrap();
+        let out = MtcgOutput::emit(&p, &plan);
+        assert_eq!(out.live_ins, vec![scale], "scale flows scheduler → worker");
+        assert!(out
+            .scheduler
+            .contains(&SchedulerStep::ProduceLiveIn(scale)));
+        assert!(out.worker.contains(&WorkerStep::ConsumeLiveIn(scale)));
+    }
+
+    #[test]
+    fn emission_is_pipelined() {
+        let (p, outer, inner, _) = nest_with_live_in();
+        let plan = DomorePlan::build(&p, outer, inner).unwrap();
+        let out = MtcgOutput::emit(&p, &plan);
+        assert!(out.is_pipelined());
+    }
+
+    #[test]
+    fn worker_contains_exactly_the_inner_body() {
+        let (p, outer, inner, _) = nest_with_live_in();
+        let plan = DomorePlan::build(&p, outer, inner).unwrap();
+        let out = MtcgOutput::emit(&p, &plan);
+        let bodies: Vec<StmtId> = out
+            .worker
+            .iter()
+            .filter_map(|s| match s {
+                WorkerStep::Body(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        let Stmt::For { body, .. } = p.stmt(inner) else {
+            unreachable!()
+        };
+        assert_eq!(&bodies, body);
+    }
+
+    #[test]
+    fn scheduler_ends_with_the_end_token_broadcast() {
+        let (p, outer, inner, _) = nest_with_live_in();
+        let plan = DomorePlan::build(&p, outer, inner).unwrap();
+        let out = MtcgOutput::emit(&p, &plan);
+        assert_eq!(out.scheduler.last(), Some(&SchedulerStep::BroadcastEnd));
+        assert!(out
+            .scheduler
+            .iter()
+            .any(|s| matches!(s, SchedulerStep::Prologue(_))));
+    }
+
+    #[test]
+    fn display_renders_figure_3_7_shape() {
+        let (p, outer, inner, _) = nest_with_live_in();
+        let plan = DomorePlan::build(&p, outer, inner).unwrap();
+        let out = MtcgOutput::emit(&p, &plan);
+        let text = MtcgDisplay {
+            program: &p,
+            output: &out,
+        }
+        .to_string();
+        for needle in [
+            "void scheduler()",
+            "schedule(iternum, addr_set)",
+            "produce(NO_SYNC, iternum)",
+            "produce_to_all(END_TOKEN)",
+            "void worker()",
+            "latestFinished[tid] = iternum;",
+            "scale = consume();",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

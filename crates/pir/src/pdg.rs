@@ -1,0 +1,587 @@
+//! Program dependence graphs (Figs. 2.4(b), 3.1(b)/(c), 3.6(b)).
+//!
+//! A [`Pdg`] is built for one `For` loop: its nodes are the statements of
+//! the loop's subtree (the loop statement itself included — it carries the
+//! induction variable definition and the loop-exit control dependence), and
+//! its edges are register, memory and control dependences, each flagged as
+//! intra-iteration or loop-carried. Memory edges record the constant
+//! dependence distance when the affine test proves one, and can carry a
+//! profiled *manifest rate* — the fraction of iterations in which the
+//! dependence actually bites (the 72.4% of Fig. 3.1(c)) — which is what the
+//! Fig. 1.5 decision flow consumes.
+
+use std::collections::{HashMap, HashSet};
+
+use crossinvoc_runtime::signature::AccessKind;
+
+use crate::analysis::{collect_accesses, loop_variant_vars, DepTest, IndexRelation};
+use crate::interp::{Interp, Memory};
+use crate::ir::{Program, Stmt, StmtId, VarId};
+
+/// Kind of a PDG edge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DepKind {
+    /// Scalar def → use.
+    Register {
+        /// Whether the value flows across iterations.
+        loop_carried: bool,
+    },
+    /// Memory dependence (at least one side writes).
+    Memory {
+        /// Whether the accesses may touch the same cell in different
+        /// iterations.
+        loop_carried: bool,
+        /// Constant iteration distance, when provable.
+        distance: Option<i64>,
+        /// Profiled fraction of iterations in which the dependence
+        /// manifests (`None` = not profiled).
+        manifest_rate: Option<f64>,
+    },
+    /// Control dependence from a branch/loop to a controlled statement.
+    Control,
+}
+
+impl DepKind {
+    /// Whether this dependence crosses iterations.
+    pub fn is_loop_carried(&self) -> bool {
+        match self {
+            DepKind::Register { loop_carried } => *loop_carried,
+            DepKind::Memory { loop_carried, .. } => *loop_carried,
+            DepKind::Control => false,
+        }
+    }
+}
+
+/// One PDG edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdgEdge {
+    /// Source statement.
+    pub src: StmtId,
+    /// Destination statement.
+    pub dst: StmtId,
+    /// Dependence kind and attributes.
+    pub kind: DepKind,
+}
+
+/// The dependence graph of one loop.
+#[derive(Debug, Clone)]
+pub struct Pdg {
+    loop_stmt: StmtId,
+    nodes: Vec<StmtId>,
+    edges: Vec<PdgEdge>,
+}
+
+impl Pdg {
+    /// Builds the PDG of the `For` loop at `loop_stmt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loop_stmt` is not a `For` statement.
+    pub fn build(program: &Program, loop_stmt: StmtId) -> Pdg {
+        let Stmt::For { var: iv, body, .. } = program.stmt(loop_stmt) else {
+            panic!("PDG is built over a For statement");
+        };
+        let iv = *iv;
+        let nodes: Vec<StmtId> = std::iter::once(loop_stmt)
+            .chain(program.subtrees(body))
+            .collect();
+        let order: HashMap<StmtId, usize> =
+            nodes.iter().enumerate().map(|(k, &s)| (s, k)).collect();
+        let variant = loop_variant_vars(program, loop_stmt);
+        let mut edges = Vec::new();
+
+        // --- Register dependences: def → use, flow-insensitive within the
+        // body; a use textually before the def is the carried direction.
+        let mut defs: HashMap<VarId, Vec<StmtId>> = HashMap::new();
+        defs.entry(iv).or_default().push(loop_stmt);
+        for &id in &nodes[1..] {
+            match program.stmt(id) {
+                Stmt::Assign { var, .. } | Stmt::Load { var, .. } => {
+                    defs.entry(*var).or_default().push(id)
+                }
+                Stmt::For { var, .. } => defs.entry(*var).or_default().push(id),
+                _ => {}
+            }
+        }
+        for &id in &nodes[1..] {
+            let mut used = Vec::new();
+            stmt_uses(program.stmt(id), &mut used);
+            for v in used {
+                for &def in defs.get(&v).into_iter().flatten() {
+                    if def == id {
+                        // `x = x + ...`: the statement consumes its own
+                        // previous-iteration value -- a carried self-cycle
+                        // (the cost accumulation of Fig. 2.4).
+                        edges.push(PdgEdge {
+                            src: id,
+                            dst: id,
+                            kind: DepKind::Register { loop_carried: true },
+                        });
+                        continue;
+                    }
+                    let carried = order[&def] > order[&id] && def != loop_stmt;
+                    edges.push(PdgEdge {
+                        src: def,
+                        dst: id,
+                        kind: DepKind::Register {
+                            loop_carried: carried,
+                        },
+                    });
+                    // Self-accumulating variables (`x = x + …` styles reach
+                    // here as def-before-use plus use-before-def between
+                    // distinct statements); a definition reused in a later
+                    // iteration is additionally carried.
+                    if order[&def] < order[&id] && def != loop_stmt && defines(program, id, v) {
+                        edges.push(PdgEdge {
+                            src: id,
+                            dst: def,
+                            kind: DepKind::Register { loop_carried: true },
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- Memory dependences.
+        let accesses = collect_accesses(program, body);
+        let test = DepTest::new(program);
+        for (k1, a1) in accesses.iter().enumerate() {
+            for a2 in accesses.iter().skip(k1) {
+                if a1.array != a2.array {
+                    continue;
+                }
+                if a1.kind == AccessKind::Read && a2.kind == AccessKind::Read {
+                    continue;
+                }
+                let relation = match (&a1.index, &a2.index) {
+                    (Some(i1), Some(i2)) => test.index_relation(i1, i2, iv, &variant),
+                    _ => IndexRelation::Unknown, // opaque call access
+                };
+                let (intra, carried, distance) = match relation {
+                    IndexRelation::Never => (false, false, None),
+                    IndexRelation::SameIteration => (a1.stmt != a2.stmt, false, None),
+                    IndexRelation::Carried { distance } => (false, true, Some(distance)),
+                    IndexRelation::AllPairs => (a1.stmt != a2.stmt, true, None),
+                    IndexRelation::Unknown => (a1.stmt != a2.stmt, true, None),
+                };
+                if intra {
+                    let (src, dst) = if order[&a1.stmt] <= order[&a2.stmt] {
+                        (a1.stmt, a2.stmt)
+                    } else {
+                        (a2.stmt, a1.stmt)
+                    };
+                    edges.push(PdgEdge {
+                        src,
+                        dst,
+                        kind: DepKind::Memory {
+                            loop_carried: false,
+                            distance: None,
+                            manifest_rate: None,
+                        },
+                    });
+                }
+                if carried {
+                    edges.push(PdgEdge {
+                        src: a1.stmt,
+                        dst: a2.stmt,
+                        kind: DepKind::Memory {
+                            loop_carried: true,
+                            distance,
+                            manifest_rate: None,
+                        },
+                    });
+                    if a1.stmt != a2.stmt {
+                        edges.push(PdgEdge {
+                            src: a2.stmt,
+                            dst: a1.stmt,
+                            kind: DepKind::Memory {
+                                loop_carried: true,
+                                distance: distance.map(|d| -d),
+                                manifest_rate: None,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- Control dependences: compound statements control their direct
+        // children; the loop itself controls its body (loop-exit condition).
+        for &id in &nodes {
+            match program.stmt(id) {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    for &child in then_body.iter().chain(else_body) {
+                        edges.push(PdgEdge {
+                            src: id,
+                            dst: child,
+                            kind: DepKind::Control,
+                        });
+                    }
+                }
+                Stmt::For { body, .. } => {
+                    for &child in body {
+                        edges.push(PdgEdge {
+                            src: id,
+                            dst: child,
+                            kind: DepKind::Control,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        edges.retain(|e| order.contains_key(&e.src) && order.contains_key(&e.dst));
+        Pdg {
+            loop_stmt,
+            nodes,
+            edges,
+        }
+    }
+
+    /// The loop this PDG describes.
+    pub fn loop_stmt(&self) -> StmtId {
+        self.loop_stmt
+    }
+
+    /// PDG nodes (the loop statement first, then its subtree in preorder).
+    pub fn nodes(&self) -> &[StmtId] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[PdgEdge] {
+        &self.edges
+    }
+
+    /// Loop-carried edges only.
+    pub fn carried_edges(&self) -> impl Iterator<Item = &PdgEdge> {
+        self.edges.iter().filter(|e| e.kind.is_loop_carried())
+    }
+
+    /// Attaches profiled manifest rates to carried memory edges.
+    pub fn annotate_manifest(&mut self, rates: &HashMap<(StmtId, StmtId), f64>) {
+        for edge in &mut self.edges {
+            if let DepKind::Memory {
+                loop_carried: true,
+                manifest_rate,
+                ..
+            } = &mut edge.kind
+            {
+                if let Some(&r) = rates.get(&(edge.src, edge.dst)) {
+                    *manifest_rate = Some(r);
+                }
+            }
+        }
+    }
+}
+
+fn defines(program: &Program, id: StmtId, v: VarId) -> bool {
+    matches!(
+        program.stmt(id),
+        Stmt::Assign { var, .. } | Stmt::Load { var, .. } | Stmt::For { var, .. } if *var == v
+    )
+}
+
+/// Variables read by a statement (its own header expressions; children are
+/// separate nodes).
+fn stmt_uses(stmt: &Stmt, out: &mut Vec<VarId>) {
+    match stmt {
+        Stmt::Assign { expr, .. } => expr.vars(out),
+        Stmt::Load { index, .. } => index.vars(out),
+        Stmt::Store { index, value, .. } => {
+            index.vars(out);
+            value.vars(out);
+        }
+        Stmt::Call { args, .. } => {
+            for a in args {
+                a.vars(out);
+            }
+        }
+        Stmt::If { cond, .. } => cond.vars(out),
+        Stmt::For { from, to, .. } => {
+            from.vars(out);
+            to.vars(out);
+        }
+    }
+}
+
+/// Profiled manifest rates for the loop-carried memory dependences of one
+/// *top-level* loop: the fraction of iterations whose memory accesses
+/// collide with an earlier iteration's, per statement pair (§3.1).
+#[derive(Debug, Clone, Default)]
+pub struct ManifestProfile {
+    /// Manifest rate per `(earlier stmt, later stmt)` pair.
+    pub rates: HashMap<(StmtId, StmtId), f64>,
+    /// Iterations profiled.
+    pub iterations: u64,
+}
+
+impl ManifestProfile {
+    /// Interprets `program` on `mem`, profiling the top-level loop
+    /// `loop_stmt`: statements before it run normally, then each iteration
+    /// of the loop is traced and checked against all prior iterations'
+    /// accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loop_stmt` is not a top-level `For` of `program`.
+    pub fn collect(program: &Program, loop_stmt: StmtId, mem: &mut Memory) -> ManifestProfile {
+        assert!(
+            program.body().contains(&loop_stmt),
+            "manifest profiling targets a top-level loop"
+        );
+        let Stmt::For {
+            var: iv,
+            from,
+            to,
+            body,
+        } = program.stmt(loop_stmt)
+        else {
+            panic!("manifest profiling requires a For statement");
+        };
+        let interp = Interp::new(program);
+        let mut env = vec![0; program.vars().len()];
+        // Run the prefix of the program.
+        let prefix: Vec<StmtId> = program
+            .body()
+            .iter()
+            .copied()
+            .take_while(|&s| s != loop_stmt)
+            .collect();
+        // SAFETY: exclusive `&mut Memory`.
+        unsafe { interp.exec_stmts(&prefix, &mut env, mem, &mut None) };
+
+        let (lo, hi) = (interp.eval(from, &env), interp.eval(to, &env));
+        // Last accessor per address: (stmt, iteration, was_write).
+        let mut last: HashMap<usize, (StmtId, i64, bool)> = HashMap::new();
+        let mut hits: HashMap<(StmtId, StmtId), HashSet<i64>> = HashMap::new();
+        let mut iterations = 0u64;
+        let mut i = lo;
+        while i < hi {
+            env[iv.0] = i;
+            let mut events = Vec::new();
+            let mut sink: Option<&mut dyn FnMut(crate::interp::TraceEvent)> =
+                Some(&mut |e| events.push(e));
+            // SAFETY: exclusive `&mut Memory`.
+            unsafe { interp.exec_stmts(body, &mut env, mem, &mut sink) };
+            for e in &events {
+                let is_write = e.kind == AccessKind::Write;
+                if let Some(&(src, src_iter, src_write)) = last.get(&e.addr) {
+                    if src_iter != i && (is_write || src_write) {
+                        hits.entry((src, e.stmt)).or_default().insert(i);
+                    }
+                }
+                let entry = last.entry(e.addr).or_insert((e.stmt, i, is_write));
+                // Writes supersede; reads only update the reader slot when
+                // nothing is recorded (keep the writer visible).
+                if is_write || entry.1 != i {
+                    *entry = (e.stmt, i, is_write);
+                }
+            }
+            iterations += 1;
+            i += 1;
+        }
+        let total = (hi - lo).max(1) as f64;
+        ManifestProfile {
+            rates: hits
+                .into_iter()
+                .map(|(pair, iters)| (pair, iters.len() as f64 / total))
+                .collect(),
+            iterations,
+        }
+    }
+
+    /// The highest manifest rate over all profiled pairs (0 if none).
+    pub fn max_rate(&self) -> f64 {
+        self.rates.values().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, ProgramBuilder};
+
+    /// `for i { A[i] = A[i] + 1 }`: only same-iteration memory dependence.
+    #[test]
+    fn doall_loop_has_no_carried_memory_edges() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let i = b.var("i");
+        let t = b.var("t");
+        let l = b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+            b.load(t, a, Expr::Var(i));
+            b.store(a, Expr::Var(i), Expr::add(Expr::Var(t), Expr::Const(1)));
+        });
+        let p = b.finish();
+        let pdg = Pdg::build(&p, l);
+        assert!(
+            pdg.carried_edges()
+                .all(|e| !matches!(e.kind, DepKind::Memory { .. })),
+            "A[i] self-update is iteration-local"
+        );
+    }
+
+    /// `for i { A[i+1] = A[i] }`: carried with distance 1.
+    #[test]
+    fn shifted_store_is_carried_with_distance() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let i = b.var("i");
+        let t = b.var("t");
+        let l = b.for_loop(i, Expr::Const(0), Expr::Const(7), |b| {
+            b.load(t, a, Expr::Var(i));
+            b.store(a, Expr::add(Expr::Var(i), Expr::Const(1)), Expr::Var(t));
+        });
+        let p = b.finish();
+        let pdg = Pdg::build(&p, l);
+        let carried_mem: Vec<_> = pdg
+            .carried_edges()
+            .filter(|e| matches!(e.kind, DepKind::Memory { .. }))
+            .collect();
+        assert!(!carried_mem.is_empty());
+        assert!(carried_mem.iter().any(|e| matches!(
+            e.kind,
+            DepKind::Memory {
+                distance: Some(d),
+                ..
+            } if d.abs() == 1
+        )));
+    }
+
+    /// `for i { A[idx[i]] += 1 }`: irregular — unknown carried dependence.
+    #[test]
+    fn indirect_index_is_carried_unknown() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let idx = b.array("idx", 8);
+        let i = b.var("i");
+        let k = b.var("k");
+        let t = b.var("t");
+        let l = b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+            b.load(k, idx, Expr::Var(i));
+            b.load(t, a, Expr::Var(k));
+            b.store(a, Expr::Var(k), Expr::add(Expr::Var(t), Expr::Const(1)));
+        });
+        let p = b.finish();
+        let pdg = Pdg::build(&p, l);
+        assert!(pdg.carried_edges().any(|e| matches!(
+            e.kind,
+            DepKind::Memory {
+                loop_carried: true,
+                distance: None,
+                ..
+            }
+        )));
+    }
+
+    /// Reduction `s = s + A[i]`: loop-carried register dependence.
+    #[test]
+    fn reduction_has_carried_register_edge() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let i = b.var("i");
+        let t = b.var("t");
+        let s = b.var("s");
+        let l = b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+            b.load(t, a, Expr::Var(i));
+            b.assign(s, Expr::add(Expr::Var(s), Expr::Var(t)));
+        });
+        let p = b.finish();
+        let pdg = Pdg::build(&p, l);
+        assert!(pdg
+            .carried_edges()
+            .any(|e| matches!(e.kind, DepKind::Register { loop_carried: true })));
+    }
+
+    #[test]
+    fn control_edges_link_compounds_to_children() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 4);
+        let i = b.var("i");
+        let l = b.for_loop(i, Expr::Const(0), Expr::Const(4), |b| {
+            b.if_else(
+                Expr::lt(Expr::Var(i), Expr::Const(2)),
+                |b| {
+                    b.store(a, Expr::Var(i), Expr::Const(1));
+                },
+                |_| {},
+            );
+        });
+        let p = b.finish();
+        let pdg = Pdg::build(&p, l);
+        let control = pdg
+            .edges()
+            .iter()
+            .filter(|e| e.kind == DepKind::Control)
+            .count();
+        assert_eq!(control, 2, "loop→if and if→store");
+    }
+
+    /// The CG pattern of Fig. 3.1: irregular outer-loop dependence that
+    /// manifests in a measurable fraction of iterations.
+    #[test]
+    fn manifest_profile_measures_collision_rate() {
+        let mut b = ProgramBuilder::new();
+        let c = b.array("C", 4);
+        let i = b.var("i");
+        let t = b.var("t");
+        // for i in 0..8 { t = C[i % 4]; C[i % 4] = t + 1 }: iteration i
+        // collides with i-4 — every iteration from i=4 on manifests.
+        let l = b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+            b.load(t, c, Expr::rem(Expr::Var(i), Expr::Const(4)));
+            b.store(
+                c,
+                Expr::rem(Expr::Var(i), Expr::Const(4)),
+                Expr::add(Expr::Var(t), Expr::Const(1)),
+            );
+        });
+        let p = b.finish();
+        let mut mem = Memory::zeroed(&p);
+        let profile = ManifestProfile::collect(&p, l, &mut mem);
+        assert_eq!(profile.iterations, 8);
+        assert!(
+            (profile.max_rate() - 0.5).abs() < 1e-9,
+            "4 of 8 iterations collide, got {}",
+            profile.max_rate()
+        );
+    }
+
+    #[test]
+    fn annotate_manifest_updates_matching_edges() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 4);
+        let idx = b.array("idx", 4);
+        let i = b.var("i");
+        let k = b.var("k");
+        let l = b.for_loop(i, Expr::Const(0), Expr::Const(4), |b| {
+            b.load(k, idx, Expr::Var(i));
+            b.store(a, Expr::Var(k), Expr::Var(i));
+        });
+        let p = b.finish();
+        let mut pdg = Pdg::build(&p, l);
+        let carried: Vec<(StmtId, StmtId)> = pdg
+            .carried_edges()
+            .filter(|e| matches!(e.kind, DepKind::Memory { .. }))
+            .map(|e| (e.src, e.dst))
+            .collect();
+        assert!(!carried.is_empty());
+        let mut rates = HashMap::new();
+        for pair in carried {
+            rates.insert(pair, 0.724);
+        }
+        pdg.annotate_manifest(&rates);
+        assert!(pdg.carried_edges().any(|e| matches!(
+            e.kind,
+            DepKind::Memory {
+                manifest_rate: Some(r),
+                ..
+            } if (r - 0.724).abs() < 1e-9
+        )));
+    }
+}

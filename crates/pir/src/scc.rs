@@ -1,0 +1,329 @@
+//! Strongly connected components, the DAG-SCC, and the DOMORE
+//! scheduler/worker partitioner (§3.3.1, Fig. 3.6(c)).
+//!
+//! DOMORE splits a loop nest into a scheduler thread (outer-loop sequential
+//! code plus loop traversal) and worker threads (the inner-loop body). The
+//! split must form a *pipeline* — all cross-thread dependences flowing
+//! scheduler → worker — so the partitioner groups PDG nodes into SCCs and
+//! iterates the thesis' two repair rules until fixpoint: an SCC containing
+//! any scheduler statement becomes scheduler entirely, and a worker SCC
+//! with an edge *back* into a scheduler SCC is re-partitioned to the
+//! scheduler.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::{Program, Stmt, StmtId};
+use crate::pdg::Pdg;
+
+/// The condensation of a PDG into strongly connected components.
+#[derive(Debug, Clone)]
+pub struct SccGraph {
+    components: Vec<Vec<StmtId>>,
+    comp_of: HashMap<StmtId, usize>,
+    dag_edges: HashSet<(usize, usize)>,
+}
+
+impl SccGraph {
+    /// Computes SCCs of `pdg` (Tarjan) and the induced DAG.
+    pub fn build(pdg: &Pdg) -> SccGraph {
+        let nodes = pdg.nodes();
+        let index_of: HashMap<StmtId, usize> =
+            nodes.iter().enumerate().map(|(k, &s)| (s, k)).collect();
+        let mut adj = vec![Vec::new(); nodes.len()];
+        for e in pdg.edges() {
+            adj[index_of[&e.src]].push(index_of[&e.dst]);
+        }
+
+        // Iterative Tarjan.
+        let n = nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            call_stack.push((start, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+            while let Some(&mut (v, ref mut ei)) = call_stack.last_mut() {
+                if *ei < adj[v].len() {
+                    let w = adj[v][*ei];
+                    *ei += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call_stack.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(&(parent, _)) = call_stack.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+
+        let mut comp_of = HashMap::new();
+        let components: Vec<Vec<StmtId>> = components
+            .into_iter()
+            .enumerate()
+            .map(|(cid, comp)| {
+                comp.into_iter()
+                    .map(|k| {
+                        comp_of.insert(nodes[k], cid);
+                        nodes[k]
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut dag_edges = HashSet::new();
+        for e in pdg.edges() {
+            let (a, b) = (comp_of[&e.src], comp_of[&e.dst]);
+            if a != b {
+                dag_edges.insert((a, b));
+            }
+        }
+        SccGraph {
+            components,
+            comp_of,
+            dag_edges,
+        }
+    }
+
+    /// The components (each a set of statements).
+    pub fn components(&self) -> &[Vec<StmtId>] {
+        &self.components
+    }
+
+    /// Component id of a statement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stmt` is not a PDG node.
+    pub fn component_of(&self, stmt: StmtId) -> usize {
+        self.comp_of[&stmt]
+    }
+
+    /// Whether the condensation has an edge between two components.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.dag_edges.contains(&(from, to))
+    }
+
+    /// Edges of the condensation.
+    pub fn dag_edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.dag_edges.iter().copied()
+    }
+}
+
+/// A scheduler/worker split of a loop nest's statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Statements executed by the scheduler thread.
+    pub scheduler: HashSet<StmtId>,
+    /// Statements executed by worker threads.
+    pub worker: HashSet<StmtId>,
+}
+
+impl Partition {
+    /// Runs the partitioning algorithm of §3.3.1 for the nest
+    /// `outer_loop` / `inner_loop` over the outer loop's PDG.
+    ///
+    /// Seed: inner-loop *body* statements belong to the worker; everything
+    /// else (outer sequential code and both loops' traversal) belongs to
+    /// the scheduler. The two repair rules then run to fixpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner_loop` is not a `For` inside the PDG's loop.
+    pub fn scheduler_worker(program: &Program, pdg: &Pdg, inner_loop: StmtId) -> Partition {
+        let Stmt::For { body, .. } = program.stmt(inner_loop) else {
+            panic!("inner loop must be a For statement");
+        };
+        assert!(
+            pdg.nodes().contains(&inner_loop),
+            "inner loop must be inside the partitioned nest"
+        );
+        let worker_seed: HashSet<StmtId> = program.subtrees(body).into_iter().collect();
+        let scc = SccGraph::build(pdg);
+        let ncomp = scc.components().len();
+        // true = scheduler.
+        let mut is_sched = vec![false; ncomp];
+        for (cid, comp) in scc.components().iter().enumerate() {
+            // Rule 1: any scheduler statement claims the whole SCC.
+            if comp.iter().any(|s| !worker_seed.contains(s)) {
+                is_sched[cid] = true;
+            }
+        }
+        // Rule 2: a worker SCC with a backedge into a scheduler SCC moves
+        // to the scheduler; repeat until both partitions converge.
+        loop {
+            let mut changed = false;
+            for (a, b) in scc.dag_edges() {
+                if !is_sched[a] && is_sched[b] {
+                    is_sched[a] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut scheduler = HashSet::new();
+        let mut worker = HashSet::new();
+        for (cid, comp) in scc.components().iter().enumerate() {
+            for &s in comp {
+                if is_sched[cid] {
+                    scheduler.insert(s);
+                } else {
+                    worker.insert(s);
+                }
+            }
+        }
+        Partition { scheduler, worker }
+    }
+
+    /// Whether the split is a valid pipeline: no dependence flows from a
+    /// worker statement to a scheduler statement.
+    pub fn is_pipelined(&self, pdg: &Pdg) -> bool {
+        pdg.edges().iter().all(|e| {
+            !(self.worker.contains(&e.src) && self.scheduler.contains(&e.dst))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, ProgramBuilder};
+
+    /// Builds the CG-style nest of Fig. 3.1 and returns
+    /// (program, outer, inner, store-in-inner).
+    fn cg_like() -> (Program, StmtId, StmtId, StmtId) {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let bb = b.array("B", 8);
+        let c = b.array("C", 16);
+        let i = b.var("i");
+        let j = b.var("j");
+        let start = b.var("start");
+        let end = b.var("end");
+        let t = b.var("t");
+        let mut inner = StmtId(0);
+        let mut store = StmtId(0);
+        let outer = b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+            b.load(start, a, Expr::Var(i));
+            b.load(end, bb, Expr::Var(i));
+            inner = b.for_loop(j, Expr::Var(start), Expr::Var(end), |b| {
+                b.load(t, c, Expr::Var(j));
+                store = b.store(c, Expr::Var(j), Expr::add(Expr::Var(t), Expr::Const(1)));
+            });
+        });
+        (b.finish(), outer, inner, store)
+    }
+
+    #[test]
+    fn tarjan_groups_cycles() {
+        let (p, outer, _, _) = cg_like();
+        let pdg = Pdg::build(&p, outer);
+        let scc = SccGraph::build(&pdg);
+        // The load/store pair on C[j] forms a cycle (carried unknown both
+        // ways via the outer loop's perspective — C[j] with j from a
+        // loop-variant bound).
+        assert!(scc.components().iter().any(|c| c.len() >= 2));
+        // Every PDG node is in exactly one component.
+        let total: usize = scc.components().iter().map(Vec::len).sum();
+        assert_eq!(total, pdg.nodes().len());
+    }
+
+    #[test]
+    fn partition_puts_prologue_on_scheduler_and_body_on_worker() {
+        let (p, outer, inner, store) = cg_like();
+        let pdg = Pdg::build(&p, outer);
+        let part = Partition::scheduler_worker(&p, &pdg, inner);
+        // Loop traversal and bound loads: scheduler.
+        assert!(part.scheduler.contains(&outer));
+        assert!(part.scheduler.contains(&inner));
+        // The C[j] update: worker.
+        assert!(part.worker.contains(&store));
+        assert!(part.is_pipelined(&pdg));
+    }
+
+    #[test]
+    fn worker_scc_feeding_scheduler_is_repartitioned() {
+        // Inner body writes the array the *outer* bounds read: the worker
+        // statement participates in a cycle with scheduler statements and
+        // must be pulled to the scheduler (the Fig. 4.1 pathology).
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let i = b.var("i");
+        let j = b.var("j");
+        let bound = b.var("bound");
+        let mut inner = StmtId(0);
+        let mut bad_store = StmtId(0);
+        let outer = b.for_loop(i, Expr::Const(0), Expr::Const(4), |b| {
+            b.load(bound, a, Expr::Const(0));
+            inner = b.for_loop(
+                j,
+                Expr::Const(0),
+                Expr::add(Expr::rem(Expr::Var(bound), Expr::Const(4)), Expr::Const(1)),
+                |b| {
+                    bad_store = b.store(a, Expr::Const(0), Expr::Var(j));
+                },
+            );
+        });
+        let p = b.finish();
+        let pdg = Pdg::build(&p, outer);
+        let part = Partition::scheduler_worker(&p, &pdg, inner);
+        assert!(
+            part.scheduler.contains(&bad_store),
+            "store feeding the outer bound must move to the scheduler"
+        );
+        assert!(part.is_pipelined(&pdg));
+    }
+
+    #[test]
+    fn fully_parallel_nest_keeps_whole_body_on_worker() {
+        let mut b = ProgramBuilder::new();
+        let c = b.array("C", 8);
+        let i = b.var("i");
+        let j = b.var("j");
+        let t = b.var("t");
+        let mut inner = StmtId(0);
+        let outer = b.for_loop(i, Expr::Const(0), Expr::Const(4), |b| {
+            inner = b.for_loop(j, Expr::Const(0), Expr::Const(8), |b| {
+                b.load(t, c, Expr::Var(j));
+                b.store(c, Expr::Var(j), Expr::add(Expr::Var(t), Expr::Var(i)));
+            });
+        });
+        let p = b.finish();
+        let pdg = Pdg::build(&p, outer);
+        let part = Partition::scheduler_worker(&p, &pdg, inner);
+        assert_eq!(part.worker.len(), 2, "load and store stay on the worker");
+        assert!(part.is_pipelined(&pdg));
+    }
+}

@@ -1,0 +1,443 @@
+//! `computeAddr` generation by reverse program slicing (Alg. 3, §3.3.4).
+//!
+//! DOMORE's scheduler must know, before dispatching an iteration, every
+//! shared address the iteration will touch. The compiler obtains that by
+//! slicing backwards from the address operands of the inner-loop body's
+//! memory accesses: the slice is the minimal set of body statements whose
+//! re-execution (with the loop's induction variables bound) reproduces the
+//! addresses. Three abort conditions from the thesis are enforced:
+//!
+//! 1. **Side effects** — the slice may not contain stores or side-effecting
+//!    calls ("the DOMORE transformation does not handle `computeAddr`
+//!    functions with side-effects").
+//! 2. **Self-invalidation** — the slice may not *read* an array the region
+//!    itself writes (the Fig. 4.1 pathology: index array `C` updated by
+//!    loop `L2`), since the inspector runs ahead of those writes.
+//! 3. **Performance guard** — if the slice is heavy relative to the worker
+//!    body, the scheduler would serialize the region and the transformation
+//!    reports itself inapplicable.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::analysis::collect_accesses;
+use crate::ir::{ArrayId, Expr, Program, Stmt, StmtId, VarId};
+
+/// Why `computeAddr` extraction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceError {
+    /// The slice would contain a store or a side-effecting call.
+    SideEffectInSlice(StmtId),
+    /// The slice reads an array the region writes, so addresses cannot be
+    /// computed ahead of execution (DOMORE inapplicable; SPECCROSS is the
+    /// thesis' answer, Fig. 4.1).
+    SliceReadsRegionWrites(ArrayId),
+    /// The slice's weight exceeds the worker body's: the scheduler would
+    /// bottleneck the region (§3.3.4's performance guard).
+    TooHeavy {
+        /// Estimated slice weight.
+        slice_weight: u64,
+        /// Estimated worker-body weight.
+        worker_weight: u64,
+    },
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceError::SideEffectInSlice(s) => {
+                write!(f, "address slice would include side-effecting statement #{}", s.0)
+            }
+            SliceError::SliceReadsRegionWrites(a) => write!(
+                f,
+                "address slice reads array #{} which the region writes",
+                a.0
+            ),
+            SliceError::TooHeavy {
+                slice_weight,
+                worker_weight,
+            } => write!(
+                f,
+                "address slice weight {slice_weight} exceeds worker weight {worker_weight}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SliceError {}
+
+/// One address the slice computes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrTarget {
+    /// A direct load/store: `array[index]`.
+    Element {
+        /// Array accessed.
+        array: ArrayId,
+        /// Index expression, evaluated after the slice runs.
+        index: Expr,
+    },
+    /// An opaque call touching the element its first scalar argument
+    /// selects (`selector % len`, the interpreter's call semantics);
+    /// `selector = None` means argument-less (element 0).
+    CallElement {
+        /// Array the call may touch.
+        array: ArrayId,
+        /// First-argument expression, if any.
+        selector: Option<Expr>,
+    },
+}
+
+impl AddrTarget {
+    /// The array this target addresses.
+    pub fn array(&self) -> ArrayId {
+        match self {
+            AddrTarget::Element { array, .. } | AddrTarget::CallElement { array, .. } => *array,
+        }
+    }
+}
+
+/// The extracted `computeAddr` function.
+#[derive(Debug, Clone)]
+pub struct AddrSlice {
+    /// Body statements to (re-)execute, in program order, before evaluating
+    /// the targets. All are pure (assignments and loads of region-read-only
+    /// arrays).
+    pub stmts: Vec<StmtId>,
+    /// Address targets to evaluate after the slice runs.
+    pub targets: Vec<AddrTarget>,
+    /// Estimated weight of the slice (scheduler-side work per iteration).
+    pub slice_weight: u64,
+    /// Estimated weight of the worker body per iteration.
+    pub worker_weight: u64,
+}
+
+/// Rough per-statement cost estimate used by the performance guard.
+fn weight(program: &Program, id: StmtId) -> u64 {
+    match program.stmt(id) {
+        Stmt::Assign { .. } => 1,
+        Stmt::Load { .. } | Stmt::Store { .. } => 2,
+        Stmt::Call { .. } => 10,
+        Stmt::If { .. } => 1,
+        Stmt::For { .. } => 2,
+    }
+}
+
+/// Extracts the `computeAddr` slice for the inner loop at `inner_loop`.
+///
+/// `region_writes` is the set of arrays written anywhere in the enclosing
+/// region (used for the self-invalidation check).
+///
+/// # Errors
+///
+/// Returns a [`SliceError`] on any of the three abort conditions.
+///
+/// # Panics
+///
+/// Panics if `inner_loop` is not a `For` statement.
+pub fn compute_addr_slice(
+    program: &Program,
+    inner_loop: StmtId,
+    region_writes: &HashSet<ArrayId>,
+) -> Result<AddrSlice, SliceError> {
+    let Stmt::For { body, .. } = program.stmt(inner_loop) else {
+        panic!("computeAddr extraction targets a For statement");
+    };
+    let body_stmts = program.subtrees(body);
+    let body_set: HashSet<StmtId> = body_stmts.iter().copied().collect();
+
+    // Targets: every shared access of the body (a superset of the accesses
+    // participating in cross-iteration dependences — always sound).
+    let accesses = collect_accesses(program, body);
+    let mut targets = Vec::new();
+    let mut needed: Vec<VarId> = Vec::new();
+    for a in &accesses {
+        match &a.index {
+            Some(idx) => {
+                targets.push(AddrTarget::Element {
+                    array: a.array,
+                    index: idx.clone(),
+                });
+                idx.vars(&mut needed);
+            }
+            None => {
+                // Call access: touched element selected by the first
+                // scalar argument (the interpreter's call semantics).
+                let selector = match program.stmt(a.stmt) {
+                    Stmt::Call { args, .. } => args.first().cloned(),
+                    _ => None,
+                };
+                if let Some(sel) = &selector {
+                    sel.vars(&mut needed);
+                }
+                targets.push(AddrTarget::CallElement {
+                    array: a.array,
+                    selector,
+                });
+            }
+        }
+    }
+
+    // Reverse slice within the body: walk defs of needed variables,
+    // accumulating their own uses, plus control conditions of enclosing
+    // compounds.
+    let mut needed: HashSet<VarId> = needed.into_iter().collect();
+    let mut in_slice: HashSet<StmtId> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for &id in &body_stmts {
+            if in_slice.contains(&id) {
+                continue;
+            }
+            let defines_needed = match program.stmt(id) {
+                Stmt::Assign { var, .. } | Stmt::Load { var, .. } => needed.contains(var),
+                Stmt::For { var, .. } => needed.contains(var),
+                _ => false,
+            };
+            // Compound statements controlling slice members are needed for
+            // their conditions.
+            let controls_member = program
+                .children(id)
+                .iter()
+                .any(|c| in_slice.contains(c))
+                && matches!(program.stmt(id), Stmt::If { .. } | Stmt::For { .. });
+            if defines_needed || controls_member {
+                in_slice.insert(id);
+                let mut uses = Vec::new();
+                match program.stmt(id) {
+                    Stmt::Assign { expr, .. } => expr.vars(&mut uses),
+                    Stmt::Load { index, .. } => index.vars(&mut uses),
+                    Stmt::If { cond, .. } => cond.vars(&mut uses),
+                    Stmt::For { from, to, .. } => {
+                        from.vars(&mut uses);
+                        to.vars(&mut uses);
+                    }
+                    _ => {}
+                }
+                for v in uses {
+                    needed.insert(v);
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Abort conditions 1 and 2.
+    for &id in &body_stmts {
+        if !in_slice.contains(&id) {
+            continue;
+        }
+        match program.stmt(id) {
+            Stmt::Store { .. } => return Err(SliceError::SideEffectInSlice(id)),
+            Stmt::Call { effect, .. }
+                if effect.side_effecting || !effect.may_write.is_empty() =>
+            {
+                return Err(SliceError::SideEffectInSlice(id));
+            }
+            Stmt::Load { array, .. } if region_writes.contains(array) => {
+                return Err(SliceError::SliceReadsRegionWrites(*array));
+            }
+            _ => {}
+        }
+    }
+
+    // Abort condition 3: the performance guard. The scheduler re-executes
+    // the slice for every iteration of every worker, so it must stay well
+    // below the kernel's weight or it serializes the region.
+    let slice_weight: u64 = in_slice.iter().map(|&s| weight(program, s)).sum();
+    let worker_weight: u64 = body_stmts.iter().map(|&s| weight(program, s)).sum();
+    if slice_weight * 2 > worker_weight {
+        return Err(SliceError::TooHeavy {
+            slice_weight,
+            worker_weight,
+        });
+    }
+
+    // Keep program (preorder) order for execution.
+    let stmts: Vec<StmtId> = body_stmts
+        .iter()
+        .copied()
+        .filter(|s| in_slice.contains(s) && body_set.contains(s))
+        .collect();
+    Ok(AddrSlice {
+        stmts,
+        targets,
+        slice_weight,
+        worker_weight,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CallEffect, ProgramBuilder};
+
+    #[test]
+    fn direct_index_needs_empty_slice() {
+        // for j { t = C[j]; C[j] = t+1 }: addresses depend only on j.
+        let mut b = ProgramBuilder::new();
+        let c = b.array("C", 8);
+        let j = b.var("j");
+        let t = b.var("t");
+        let inner = b.for_loop(j, Expr::Const(0), Expr::Const(8), |b| {
+            b.load(t, c, Expr::Var(j));
+            b.store(c, Expr::Var(j), Expr::add(Expr::Var(t), Expr::Const(1)));
+        });
+        let p = b.finish();
+        let slice = compute_addr_slice(&p, inner, &HashSet::from([c])).unwrap();
+        assert!(slice.stmts.is_empty(), "j is bound by the harness");
+        assert_eq!(slice.targets.len(), 2);
+    }
+
+    #[test]
+    fn indirect_index_pulls_the_index_load() {
+        // for j { k = idx[j]; A[k] += 1 }: slice = the idx load.
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let idx = b.array("idx", 8);
+        let j = b.var("j");
+        let k = b.var("k");
+        let t = b.var("t");
+        let mut idx_load = StmtId(0);
+        let inner = b.for_loop(j, Expr::Const(0), Expr::Const(8), |b| {
+            idx_load = b.load(k, idx, Expr::Var(j));
+            b.load(t, a, Expr::Var(k));
+            b.store(a, Expr::Var(k), Expr::add(Expr::Var(t), Expr::Const(1)));
+        });
+        let p = b.finish();
+        let slice = compute_addr_slice(&p, inner, &HashSet::from([a])).unwrap();
+        assert_eq!(slice.stmts, vec![idx_load]);
+    }
+
+    #[test]
+    fn slice_reading_region_written_array_aborts() {
+        // The Fig. 4.1 pathology: the index array is written by the region.
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let idx = b.array("idx", 8);
+        let j = b.var("j");
+        let k = b.var("k");
+        let inner = b.for_loop(j, Expr::Const(0), Expr::Const(8), |b| {
+            b.load(k, idx, Expr::Var(j));
+            b.store(a, Expr::Var(k), Expr::Var(j));
+        });
+        let p = b.finish();
+        let err = compute_addr_slice(&p, inner, &HashSet::from([a, idx])).unwrap_err();
+        assert_eq!(err, SliceError::SliceReadsRegionWrites(idx));
+        assert!(err.to_string().contains("which the region writes"));
+    }
+
+    #[test]
+    fn side_effecting_call_in_slice_aborts() {
+        // The address depends on a value produced by a writing call.
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let scratch = b.array("S", 8);
+        let j = b.var("j");
+        let k = b.var("k");
+        let inner = b.for_loop(j, Expr::Const(0), Expr::Const(8), |b| {
+            b.call(
+                "advance",
+                vec![Expr::Var(j)],
+                CallEffect {
+                    may_write: vec![scratch],
+                    ..CallEffect::default()
+                },
+            );
+            b.load(k, scratch, Expr::Var(j));
+            b.store(a, Expr::Var(k), Expr::Var(j));
+        });
+        let p = b.finish();
+        // The scratch load is in the slice and scratch is region-written.
+        let err = compute_addr_slice(&p, inner, &HashSet::from([a, scratch])).unwrap_err();
+        assert!(matches!(
+            err,
+            SliceError::SliceReadsRegionWrites(_) | SliceError::SideEffectInSlice(_)
+        ));
+    }
+
+    #[test]
+    fn heavy_slice_trips_the_performance_guard() {
+        // Address computed through a chain of assignments much heavier
+        // than the single store the worker performs.
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 64);
+        let j = b.var("j");
+        let vars: Vec<_> = (0..20).map(|k| b.var(&format!("v{k}"))).collect();
+        let inner = b.for_loop(j, Expr::Const(0), Expr::Const(8), |b| {
+            let mut prev = Expr::Var(j);
+            for &v in &vars {
+                b.assign(v, Expr::add(prev.clone(), Expr::Const(1)));
+                prev = Expr::Var(v);
+            }
+            b.store(a, Expr::rem(prev, Expr::Const(64)), Expr::Const(1));
+        });
+        let p = b.finish();
+        let err = compute_addr_slice(&p, inner, &HashSet::from([a])).unwrap_err();
+        assert!(matches!(err, SliceError::TooHeavy { .. }));
+    }
+
+    #[test]
+    fn control_conditions_join_the_slice() {
+        // The store's address var is conditionally reassigned: the if and
+        // its condition's def join the slice.
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let flags = b.array("F", 8);
+        let j = b.var("j");
+        let k = b.var("k");
+        let f = b.var("f");
+        let inner = b.for_loop(j, Expr::Const(0), Expr::Const(8), |b| {
+            b.load(f, flags, Expr::Var(j));
+            b.assign(k, Expr::Var(j));
+            b.if_else(
+                Expr::Var(f),
+                |b| {
+                    b.assign(k, Expr::Const(0));
+                },
+                |_| {},
+            );
+            b.store(a, Expr::Var(k), Expr::Const(1));
+            // A substantial kernel call keeps the performance guard quiet.
+            b.call(
+                "work",
+                vec![Expr::Var(k)],
+                CallEffect {
+                    may_read: vec![a],
+                    ..CallEffect::default()
+                },
+            );
+        });
+        let p = b.finish();
+        let slice = compute_addr_slice(&p, inner, &HashSet::from([a])).unwrap();
+        assert_eq!(slice.stmts.len(), 4, "flag load, both assigns, the if");
+    }
+
+    #[test]
+    fn call_targets_are_opaque() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let j = b.var("j");
+        let inner = b.for_loop(j, Expr::Const(0), Expr::Const(8), |b| {
+            b.call(
+                "update",
+                vec![Expr::Var(j)],
+                CallEffect {
+                    may_write: vec![a],
+                    ..CallEffect::default()
+                },
+            );
+        });
+        let p = b.finish();
+        let slice = compute_addr_slice(&p, inner, &HashSet::from([a])).unwrap();
+        assert_eq!(
+            slice.targets,
+            vec![AddrTarget::CallElement {
+                array: a,
+                selector: Some(Expr::Var(j)),
+            }]
+        );
+    }
+}

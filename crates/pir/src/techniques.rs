@@ -1,0 +1,339 @@
+//! Applicability of the intra-invocation parallelization baselines (§2.2)
+//! and the technique-selection flow of Fig. 1.5.
+//!
+//! The inner loop of a candidate nest is classified against the classic
+//! techniques: DOALL (no loop-carried dependences), Spec-DOALL (carried
+//! dependences that rarely manifest), DOANY (carried dependences only
+//! between commutative operations), LOCALWRITE (carried dependences only
+//! through memory writes, amenable to owner-computes partitioning), and the
+//! universal fallbacks DOACROSS/DSWP. The *nest-level* decision — barriers
+//! vs. DOMORE vs. SPECCROSS — consumes the outer loop's profiled manifest
+//! rates, mirroring the thesis' complementarity claim: frequent conflicts →
+//! DOMORE, rare conflicts → SPECCROSS.
+
+use crate::ir::{Program, Stmt, StmtId};
+use crate::pdg::{DepKind, Pdg, PdgEdge};
+use crate::scc::SccGraph;
+
+/// An intra-invocation parallelization technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Fully independent iterations.
+    Doall,
+    /// Iterations independent after speculating rare dependences away.
+    SpecDoall,
+    /// Carried dependences only between commutative operations (locks).
+    Doany,
+    /// Carried dependences only through writes: owner-computes.
+    LocalWrite,
+    /// Pipelined iterations with cross-thread synchronization.
+    Doacross,
+    /// Pipeline of loop stages (decoupled software pipelining).
+    Dswp,
+    /// No parallel execution.
+    Sequential,
+}
+
+/// Classification of one inner loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Applicability {
+    /// Techniques that soundly apply, strongest first.
+    pub applicable: Vec<Technique>,
+    /// Loop-carried dependences that drove the decision.
+    pub carried: Vec<PdgEdge>,
+    /// Highest profiled manifest rate among carried memory dependences
+    /// (`None` if unprofiled).
+    pub max_manifest_rate: Option<f64>,
+}
+
+impl Applicability {
+    /// The strongest applicable technique.
+    pub fn best(&self) -> Technique {
+        self.applicable
+            .first()
+            .copied()
+            .unwrap_or(Technique::Sequential)
+    }
+
+    /// Whether the loop can run without any cross-iteration
+    /// synchronization (DOALL or speculated DOALL).
+    pub fn is_parallel(&self) -> bool {
+        matches!(self.best(), Technique::Doall | Technique::SpecDoall)
+    }
+}
+
+/// Manifest-rate ceiling below which speculation is considered profitable
+/// (Spec-DOALL inner loops; SPECCROSS across invocations).
+pub const SPECULATION_RATE_CEILING: f64 = 0.05;
+
+/// Classifies the loop behind `pdg` against the §2.2 baselines.
+pub fn classify_loop(program: &Program, pdg: &Pdg) -> Applicability {
+    let loop_stmt = pdg.loop_stmt();
+    let carried: Vec<PdgEdge> = pdg
+        .carried_edges()
+        .filter(|e| !(e.src == loop_stmt && e.dst == loop_stmt))
+        .cloned()
+        .collect();
+
+    let max_manifest_rate = carried
+        .iter()
+        .filter_map(|e| match e.kind {
+            DepKind::Memory { manifest_rate, .. } => manifest_rate,
+            _ => None,
+        })
+        .fold(None, |acc: Option<f64>, r| {
+            Some(acc.map_or(r, |a| a.max(r)))
+        });
+
+    let mut applicable = Vec::new();
+    if carried.is_empty() {
+        applicable.push(Technique::Doall);
+    } else {
+        let all_memory = carried
+            .iter()
+            .all(|e| matches!(e.kind, DepKind::Memory { .. }));
+        // Spec-DOALL: every carried dependence is memory and is profiled
+        // as rarely manifesting.
+        if all_memory
+            && !carried.is_empty()
+            && carried.iter().all(|e| {
+                matches!(
+                    e.kind,
+                    DepKind::Memory {
+                        manifest_rate: Some(r),
+                        ..
+                    } if r < SPECULATION_RATE_CEILING
+                )
+            })
+        {
+            applicable.push(Technique::SpecDoall);
+        }
+        // DOANY: every carried dependence connects commutative calls.
+        let commutative = |s: StmtId| {
+            matches!(
+                program.stmt(s),
+                Stmt::Call { effect, .. } if effect.commutative
+            )
+        };
+        if carried
+            .iter()
+            .all(|e| commutative(e.src) && commutative(e.dst))
+        {
+            applicable.push(Technique::Doany);
+        }
+        // LOCALWRITE: every carried dependence is through memory (no
+        // carried scalar flow), so owner-computes partitioning can route
+        // each conflicting update to the owner of its cell.
+        if all_memory {
+            applicable.push(Technique::LocalWrite);
+        }
+        // DOACROSS/DSWP always apply; DSWP needs at least two SCCs to form
+        // a pipeline (Fig. 2.6's single-SCC loop defeats it).
+        let scc = SccGraph::build(pdg);
+        if scc.components().len() > 1 {
+            applicable.push(Technique::Dswp);
+        }
+        applicable.push(Technique::Doacross);
+    }
+    Applicability {
+        applicable,
+        carried,
+        max_manifest_rate,
+    }
+}
+
+/// How a whole loop *nest* should be parallelized across invocations
+/// (the Fig. 1.5 decision augmented with §1.2's complementarity guidance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NestStrategy {
+    /// Inner loops parallel, speculative barriers between invocations:
+    /// cross-invocation dependences rarely manifest.
+    SpecCross,
+    /// Inner loops parallel, DOMORE scheduler synchronizing exactly the
+    /// manifesting conflicts: dependences manifest frequently.
+    Domore,
+    /// Inner loops parallel, non-speculative barrier after each invocation
+    /// (the conventional plan; chosen when the inner loop cannot be
+    /// parallelized without barriers or no runtime information helps).
+    InnerBarrier,
+    /// Give up: run sequentially.
+    Sequential,
+}
+
+/// Chooses the nest-level strategy from the inner loop's classification and
+/// the outer loop's profiled cross-invocation manifest rate.
+pub fn choose_nest_strategy(
+    inner: &Applicability,
+    outer_manifest_rate: Option<f64>,
+) -> NestStrategy {
+    if inner.best() == Technique::Sequential {
+        return NestStrategy::Sequential;
+    }
+    let inner_parallelizable = matches!(
+        inner.best(),
+        Technique::Doall | Technique::SpecDoall | Technique::Doany | Technique::LocalWrite
+    );
+    if !inner_parallelizable {
+        return NestStrategy::InnerBarrier;
+    }
+    match outer_manifest_rate {
+        // No cross-invocation conflict ever observed, or observed rarely:
+        // speculate across barriers.
+        None => NestStrategy::SpecCross,
+        Some(r) if r < SPECULATION_RATE_CEILING => NestStrategy::SpecCross,
+        // Frequent conflicts: speculation would thrash; synchronize exactly
+        // the conflicting iterations instead.
+        Some(_) => NestStrategy::Domore,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CallEffect, Expr, ProgramBuilder};
+    use std::collections::HashMap;
+
+    fn classify(build: impl FnOnce(&mut ProgramBuilder) -> StmtId) -> Applicability {
+        let mut b = ProgramBuilder::new();
+        let l = build(&mut b);
+        let p = b.finish();
+        let pdg = Pdg::build(&p, l);
+        classify_loop(&p, &pdg)
+    }
+
+    #[test]
+    fn independent_loop_is_doall() {
+        let a = classify(|b| {
+            let arr = b.array("A", 8);
+            let i = b.var("i");
+            b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+                b.store(arr, Expr::Var(i), Expr::Var(i));
+            })
+        });
+        assert_eq!(a.best(), Technique::Doall);
+        assert!(a.is_parallel());
+    }
+
+    #[test]
+    fn commutative_calls_allow_doany() {
+        let a = classify(|b| {
+            let pool = b.array("pool", 8);
+            let i = b.var("i");
+            b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+                b.call(
+                    "malloc",
+                    vec![Expr::Var(i)],
+                    CallEffect {
+                        commutative: true,
+                        may_read: vec![pool],
+                        may_write: vec![pool],
+                        ..CallEffect::default()
+                    },
+                );
+            })
+        });
+        assert!(a.applicable.contains(&Technique::Doany));
+        assert_eq!(a.best(), Technique::Doany);
+    }
+
+    #[test]
+    fn irregular_writes_allow_localwrite_not_doany() {
+        let a = classify(|b| {
+            let arr = b.array("A", 8);
+            let idx = b.array("idx", 8);
+            let i = b.var("i");
+            let k = b.var("k");
+            let t = b.var("t");
+            b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+                b.load(k, idx, Expr::Var(i));
+                b.load(t, arr, Expr::Var(k));
+                b.store(arr, Expr::Var(k), Expr::add(Expr::Var(t), Expr::Const(1)));
+            })
+        });
+        assert!(a.applicable.contains(&Technique::LocalWrite));
+        assert!(!a.applicable.contains(&Technique::Doany));
+        assert!(!a.is_parallel());
+    }
+
+    #[test]
+    fn reduction_falls_back_to_pipeline_techniques() {
+        let a = classify(|b| {
+            let arr = b.array("A", 8);
+            let i = b.var("i");
+            let t = b.var("t");
+            let s = b.var("s");
+            b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+                b.load(t, arr, Expr::Var(i));
+                b.assign(s, Expr::add(Expr::Var(s), Expr::Var(t)));
+            })
+        });
+        assert!(!a.applicable.contains(&Technique::LocalWrite));
+        assert!(a.applicable.contains(&Technique::Doacross));
+        assert!(a.applicable.contains(&Technique::Dswp), "load feeds the sum");
+    }
+
+    #[test]
+    fn rare_dependences_enable_spec_doall() {
+        let mut b = ProgramBuilder::new();
+        let arr = b.array("A", 8);
+        let idx = b.array("idx", 8);
+        let i = b.var("i");
+        let k = b.var("k");
+        let l = b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+            b.load(k, idx, Expr::Var(i));
+            b.store(arr, Expr::Var(k), Expr::Var(i));
+        });
+        let p = b.finish();
+        let mut pdg = Pdg::build(&p, l);
+        // Profile says the carried dependences never manifested.
+        let rates: HashMap<(StmtId, StmtId), f64> = pdg
+            .carried_edges()
+            .filter(|e| matches!(e.kind, DepKind::Memory { .. }))
+            .map(|e| ((e.src, e.dst), 0.0))
+            .collect();
+        pdg.annotate_manifest(&rates);
+        let a = classify_loop(&p, &pdg);
+        assert_eq!(a.best(), Technique::SpecDoall);
+        assert_eq!(a.max_manifest_rate, Some(0.0));
+    }
+
+    #[test]
+    fn nest_strategy_follows_manifest_rate() {
+        let doall = Applicability {
+            applicable: vec![Technique::Doall],
+            carried: vec![],
+            max_manifest_rate: None,
+        };
+        assert_eq!(choose_nest_strategy(&doall, None), NestStrategy::SpecCross);
+        assert_eq!(
+            choose_nest_strategy(&doall, Some(0.01)),
+            NestStrategy::SpecCross
+        );
+        assert_eq!(
+            choose_nest_strategy(&doall, Some(0.724)),
+            NestStrategy::Domore
+        );
+    }
+
+    #[test]
+    fn unparallelizable_inner_loop_forces_fallbacks() {
+        let pipeline_only = Applicability {
+            applicable: vec![Technique::Dswp, Technique::Doacross],
+            carried: vec![],
+            max_manifest_rate: None,
+        };
+        assert_eq!(
+            choose_nest_strategy(&pipeline_only, Some(0.5)),
+            NestStrategy::InnerBarrier
+        );
+        let nothing = Applicability {
+            applicable: vec![],
+            carried: vec![],
+            max_manifest_rate: None,
+        };
+        assert_eq!(
+            choose_nest_strategy(&nothing, None),
+            NestStrategy::Sequential
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Non-speculative barrier synchronization.
+//!
+//! This is the baseline the thesis measures all cross-invocation techniques
+//! against: a global barrier placed after every parallel loop invocation
+//! (`pthread_barrier_wait` in Fig. 1.3(b)). The implementation is a classic
+//! sense-reversing centralized barrier that spins with backoff, plus
+//! per-thread idle-time accounting used by the barrier-overhead experiment
+//! (Fig. 4.3): the time between a thread's arrival and the barrier's release
+//! is pure synchronization loss.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crossbeam::utils::{Backoff, CachePadded};
+
+/// A reusable sense-reversing spinning barrier for a fixed set of threads.
+///
+/// Unlike `std::sync::Barrier`, arrival order and waiting cost are observable
+/// through [`SpinBarrier::idle_nanos`], which sums, over all waits, the time
+/// each thread spent stalled at the barrier. The paper's Fig. 4.3 reports this
+/// quantity as a percentage of total parallel runtime.
+///
+/// # Example
+///
+/// ```
+/// use crossinvoc_runtime::SpinBarrier;
+/// use std::sync::Arc;
+///
+/// let barrier = Arc::new(SpinBarrier::new(2));
+/// let b = Arc::clone(&barrier);
+/// let t = std::thread::spawn(move || {
+///     b.wait(1);
+/// });
+/// barrier.wait(0);
+/// t.join().unwrap();
+/// assert_eq!(barrier.generations(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpinBarrier {
+    num_threads: usize,
+    arrived: CachePadded<AtomicUsize>,
+    sense: CachePadded<AtomicBool>,
+    generations: AtomicU64,
+    idle_nanos: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `num_threads` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "barrier needs at least one thread");
+        let idle = (0..num_threads)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            num_threads,
+            arrived: CachePadded::new(AtomicUsize::new(0)),
+            sense: CachePadded::new(AtomicBool::new(false)),
+            generations: AtomicU64::new(0),
+            idle_nanos: idle,
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Blocks until all `num_threads` participants have called `wait`.
+    ///
+    /// `tid` is the caller's dense thread id, used only for idle accounting.
+    /// Returns `true` on the *last* thread to arrive (the one that released
+    /// the barrier), mirroring `pthread`'s serial-thread return value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= num_threads`.
+    pub fn wait(&self, tid: usize) -> bool {
+        assert!(tid < self.num_threads, "thread id out of range");
+        let local_sense = !self.sense.load(Ordering::Relaxed);
+        let arrival = Instant::now();
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.num_threads {
+            // Last arrival: reset the counter and flip the sense to release
+            // every spinning thread.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generations.fetch_add(1, Ordering::Relaxed);
+            self.sense.store(local_sense, Ordering::Release);
+            true
+        } else {
+            let backoff = Backoff::new();
+            while self.sense.load(Ordering::Acquire) != local_sense {
+                backoff.snooze();
+            }
+            self.idle_nanos[tid]
+                .fetch_add(arrival.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Total nanoseconds thread `tid` has spent stalled at this barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= num_threads`.
+    pub fn idle_nanos(&self, tid: usize) -> u64 {
+        self.idle_nanos[tid].load(Ordering::Relaxed)
+    }
+
+    /// Sum of [`SpinBarrier::idle_nanos`] over all threads.
+    pub fn total_idle_nanos(&self) -> u64 {
+        self.idle_nanos
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Number of times the barrier has been released (loop invocations
+    /// completed, in the paper's usage).
+    pub fn generations(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_thread_barrier_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait(0));
+        }
+        assert_eq!(b.generations(), 10);
+        assert_eq!(b.idle_nanos(0), 0);
+    }
+
+    #[test]
+    fn all_threads_reach_each_phase_before_any_proceeds() {
+        const THREADS: usize = 4;
+        const PHASES: usize = 50;
+        let barrier = Arc::new(SpinBarrier::new(THREADS));
+        let phase_counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let barrier = Arc::clone(&barrier);
+            let counter = Arc::clone(&phase_counter);
+            handles.push(thread::spawn(move || {
+                for phase in 0..PHASES {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait(tid);
+                    // After the barrier every thread must observe all
+                    // THREADS increments of this phase.
+                    let seen = counter.load(Ordering::SeqCst);
+                    assert!(seen >= ((phase + 1) * THREADS) as u64);
+                    barrier.wait(tid);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(barrier.generations(), (PHASES * 2) as u64);
+    }
+
+    #[test]
+    fn exactly_one_serial_thread_per_generation() {
+        const THREADS: usize = 3;
+        let barrier = Arc::new(SpinBarrier::new(THREADS));
+        let serial = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let barrier = Arc::clone(&barrier);
+            let serial = Arc::clone(&serial);
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    if barrier.wait(tid) {
+                        serial.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(serial.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn idle_time_accumulates_for_early_arrivals() {
+        let barrier = Arc::new(SpinBarrier::new(2));
+        let b = Arc::clone(&barrier);
+        let t = thread::spawn(move || {
+            b.wait(1); // arrives first, waits for main
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        barrier.wait(0);
+        t.join().unwrap();
+        assert!(barrier.idle_nanos(1) >= 10_000_000, "early arrival idled");
+        assert!(barrier.total_idle_nanos() >= barrier.idle_nanos(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = SpinBarrier::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread id out of range")]
+    fn out_of_range_tid_panics() {
+        SpinBarrier::new(1).wait(1);
+    }
+}

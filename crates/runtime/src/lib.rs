@@ -1,0 +1,72 @@
+//! Shared runtime substrate for the crossinvoc reproduction of
+//! *Automatically Exploiting Cross-Invocation Parallelism Using Runtime
+//! Information* (Huang, 2012/2013).
+//!
+//! Both runtime engines described by the thesis — the non-speculative
+//! DOMORE scheduler (`crossinvoc-domore`) and the speculative
+//! SPECCROSS barrier (`crossinvoc-speccross`) — are built from a
+//! small set of shared primitives, which this crate provides:
+//!
+//! * [`spsc`] — the lock-free single-producer/single-consumer queue used for
+//!   the `produce`/`consume` primitives of §3.2.3 of the thesis (scheduler →
+//!   worker synchronization conditions, worker → checker signature requests).
+//! * [`barrier`] — a sense-reversing spinning barrier, standing in for the
+//!   `pthread_barrier_wait` baseline the paper compares against, with idle-time
+//!   accounting so the barrier-overhead experiment (Fig. 4.3) can be measured.
+//! * [`shadow`] — the shadow memory of §3.2.1: one `(thread, iteration)` tuple
+//!   per tracked memory location, used by DOMORE to detect dynamic dependences.
+//! * [`signature`] — memory access signatures of §4.2.1: a summarising
+//!   structure per task used by SPECCROSS to detect cross-epoch conflicts.
+//!   Range-based (the paper's default) and Bloom-filter-based schemes are
+//!   provided behind the [`signature::AccessSignature`] trait.
+//! * [`shared`] — [`shared::SharedSlice`], the shared-memory view worker
+//!   threads mutate concurrently. The *runtimes* guarantee conflicting
+//!   iterations are ordered; the type encapsulates the `unsafe` needed to
+//!   express that in Rust.
+//! * [`stats`] — lightweight counters shared by runtimes and the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use crossinvoc_runtime::spsc::Queue;
+//!
+//! let (tx, rx) = Queue::<u64>::with_capacity(8);
+//! tx.produce(41);
+//! tx.produce(42);
+//! assert_eq!(rx.consume(), 41);
+//! assert_eq!(rx.consume(), 42);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod barrier;
+pub mod hash;
+pub mod shadow;
+pub mod shared;
+pub mod signature;
+pub mod spsc;
+pub mod stats;
+
+pub use barrier::SpinBarrier;
+pub use shadow::{ShadowEntry, ShadowMemory};
+pub use shared::SharedSlice;
+pub use signature::{AccessSignature, BloomSignature, RangeSignature};
+pub use spsc::Queue;
+
+/// Identifier of a worker thread within a parallel region.
+///
+/// Thread ids are dense indices in `0..num_workers`, assigned by the runtime
+/// that spawned the region. They are *not* OS thread ids.
+pub type ThreadId = usize;
+
+/// A global iteration (task) number.
+///
+/// DOMORE numbers iterations consecutively across *all* invocations of the
+/// parallelized inner loop (the "combined iteration number" of Fig. 3.5), so a
+/// single monotone counter totally orders every unit of scheduled work.
+pub type IterNum = u64;
+
+/// Sentinel iteration number meaning "no iteration yet" (the `⊥` entries of
+/// the shadow-memory walkthrough in Fig. 3.5).
+pub const NO_ITER: IterNum = IterNum::MAX;

@@ -1,0 +1,315 @@
+//! Lock-free single-producer/single-consumer queue.
+//!
+//! DOMORE forwards synchronization conditions from the scheduler thread to
+//! each worker over a dedicated queue (§3.2.3 cites the lock-free design of
+//! Giacomoni et al.'s FastForward-style queues), and SPECCROSS workers send
+//! checking requests to the checker thread the same way. The queue here is a
+//! bounded ring buffer with a cached head/tail pair per endpoint, which gives
+//! the same single-writer/single-reader cache behaviour the paper relies on
+//! for low communication latency.
+//!
+//! Blocking `produce`/`consume` spin with exponential backoff; non-blocking
+//! `try_*` variants are provided for the checker thread's polling loop.
+
+use std::cell::Cell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::{Backoff, CachePadded};
+
+struct Ring<T> {
+    buf: Box<[MaybeUninit<Cell<Option<T>>>]>,
+    capacity: usize,
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the producer only writes slots in `tail..tail+1` and the consumer
+// only reads slots in `head..head+1`; the head/tail atomics order those
+// accesses (release on publish, acquire on observe), so no slot is accessed
+// concurrently from both endpoints.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    fn slot(&self, index: usize) -> *mut Option<T> {
+        // Each slot is logically owned by exactly one side at a time; see the
+        // Send/Sync justification above.
+        self.buf[index % self.capacity].as_ptr() as *mut Option<T>
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            // SAFETY: elements in head..tail were produced and never consumed.
+            unsafe { std::ptr::drop_in_place(self.slot(i)) };
+        }
+    }
+}
+
+/// A bounded lock-free SPSC queue, split into its two endpoints.
+///
+/// Construct with [`Queue::with_capacity`]; the producer half is
+/// [`Producer`], the consumer half [`Consumer`].
+#[derive(Debug)]
+pub struct Queue<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Send> Queue<T> {
+    /// Creates a queue holding at most `capacity` in-flight elements and
+    /// returns its two endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> (Producer<T>, Consumer<T>) {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let mut buf = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            buf.push(MaybeUninit::new(Cell::new(None)));
+        }
+        let ring = Arc::new(Ring {
+            buf: buf.into_boxed_slice(),
+            capacity,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+        });
+        (
+            Producer {
+                ring: Arc::clone(&ring),
+                cached_head: Cell::new(0),
+            },
+            Consumer {
+                ring,
+                cached_tail: Cell::new(0),
+            },
+        )
+    }
+}
+
+/// The producing endpoint of a [`Queue`].
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+    /// Consumer position as last observed; refreshed only when the ring
+    /// appears full, so the fast path touches a single cache line.
+    cached_head: Cell<usize>,
+}
+
+impl<T: Send> Producer<T> {
+    /// Attempts to enqueue `value` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` if the queue is full.
+    pub fn try_produce(&self, value: T) -> Result<(), T> {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        if tail - self.cached_head.get() >= self.ring.capacity {
+            self.cached_head
+                .set(self.ring.head.load(Ordering::Acquire));
+            if tail - self.cached_head.get() >= self.ring.capacity {
+                return Err(value);
+            }
+        }
+        // SAFETY: slot `tail` is unoccupied (tail - head < capacity) and only
+        // this producer writes it.
+        unsafe { std::ptr::write(self.ring.slot(tail), Some(value)) };
+        self.ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueues `value`, spinning with backoff while the queue is full.
+    pub fn produce(&self, mut value: T) {
+        let backoff = Backoff::new();
+        loop {
+            match self.try_produce(value) {
+                Ok(()) => return,
+                Err(v) => {
+                    value = v;
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// Number of elements currently in flight (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Acquire);
+        tail - head
+    }
+
+    /// Whether the queue appears empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Producer")
+            .field("capacity", &self.ring.capacity)
+            .finish()
+    }
+}
+
+/// The consuming endpoint of a [`Queue`].
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+    /// Producer position as last observed; refreshed only when the ring
+    /// appears empty.
+    cached_tail: Cell<usize>,
+}
+
+impl<T: Send> Consumer<T> {
+    /// Attempts to dequeue without blocking; returns `None` if empty.
+    pub fn try_consume(&self) -> Option<T> {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        if head == self.cached_tail.get() {
+            self.cached_tail
+                .set(self.ring.tail.load(Ordering::Acquire));
+            if head == self.cached_tail.get() {
+                return None;
+            }
+        }
+        // SAFETY: slot `head` was published by the producer (head < tail) and
+        // only this consumer reads it.
+        let value = unsafe { std::ptr::read(self.ring.slot(head)) };
+        self.ring.head.store(head + 1, Ordering::Release);
+        value
+    }
+
+    /// Dequeues the next element, spinning with backoff while empty.
+    pub fn consume(&self) -> T {
+        let backoff = Backoff::new();
+        loop {
+            if let Some(v) = self.try_consume() {
+                return v;
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Number of elements currently in flight (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        let head = self.ring.head.load(Ordering::Relaxed);
+        tail - head
+    }
+
+    /// Whether the queue appears empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Consumer")
+            .field("capacity", &self.ring.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = Queue::with_capacity(4);
+        for i in 0..4 {
+            tx.produce(i);
+        }
+        for i in 0..4 {
+            assert_eq!(rx.consume(), i);
+        }
+    }
+
+    #[test]
+    fn try_produce_fails_when_full() {
+        let (tx, rx) = Queue::with_capacity(2);
+        assert!(tx.try_produce(1).is_ok());
+        assert!(tx.try_produce(2).is_ok());
+        assert_eq!(tx.try_produce(3), Err(3));
+        assert_eq!(rx.try_consume(), Some(1));
+        assert!(tx.try_produce(3).is_ok());
+    }
+
+    #[test]
+    fn try_consume_fails_when_empty() {
+        let (tx, rx) = Queue::<i32>::with_capacity(2);
+        assert_eq!(rx.try_consume(), None);
+        tx.produce(9);
+        assert_eq!(rx.try_consume(), Some(9));
+        assert_eq!(rx.try_consume(), None);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (tx, rx) = Queue::with_capacity(3);
+        for i in 0..1000u32 {
+            tx.produce(i);
+            assert_eq!(rx.consume(), i);
+        }
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_order_and_values() {
+        const N: u64 = 100_000;
+        let (tx, rx) = Queue::with_capacity(64);
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                tx.produce(i);
+            }
+        });
+        let mut expected = 0;
+        while expected < N {
+            assert_eq!(rx.consume(), expected);
+            expected += 1;
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn drops_unconsumed_elements() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (tx, _rx) = Queue::with_capacity(8);
+            tx.produce(D);
+            tx.produce(D);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn len_tracks_in_flight_elements() {
+        let (tx, rx) = Queue::with_capacity(8);
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.produce(1);
+        tx.produce(2);
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.consume();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Queue::<u8>::with_capacity(0);
+    }
+}

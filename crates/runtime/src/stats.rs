@@ -1,0 +1,153 @@
+//! Execution statistics shared by the runtimes and the simulator.
+//!
+//! The evaluation chapter reports several derived quantities — number of
+//! tasks, epochs and checking requests (Table 5.3), scheduler/worker ratio
+//! (Table 5.2), barrier overhead percentage (Fig. 4.3). [`RegionStats`] is
+//! the common container those experiments read out of any executor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters describing one parallel region's execution.
+#[derive(Debug, Default)]
+pub struct RegionStats {
+    tasks: AtomicU64,
+    epochs: AtomicU64,
+    check_requests: AtomicU64,
+    sync_conditions: AtomicU64,
+    misspeculations: AtomicU64,
+    checkpoints: AtomicU64,
+    stalls: AtomicU64,
+}
+
+macro_rules! counter {
+    ($(#[$doc:meta])* $inc:ident, $get:ident, $field:ident) => {
+        $(#[$doc])*
+        pub fn $inc(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Current value of the corresponding counter.
+        pub fn $get(&self) -> u64 {
+            self.$field.load(Ordering::Relaxed)
+        }
+    };
+}
+
+impl RegionStats {
+    /// Creates a zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    counter!(
+        /// Records completion of one task (inner-loop iteration).
+        add_task, tasks, tasks
+    );
+    counter!(
+        /// Records entry into one epoch (loop invocation).
+        add_epoch, epochs, epochs
+    );
+    counter!(
+        /// Records one signature-checking request sent to the checker.
+        add_check_request, check_requests, check_requests
+    );
+    counter!(
+        /// Records one synchronization condition produced by the scheduler.
+        add_sync_condition, sync_conditions, sync_conditions
+    );
+    counter!(
+        /// Records one detected misspeculation (rollback).
+        add_misspeculation, misspeculations, misspeculations
+    );
+    counter!(
+        /// Records one checkpoint taken.
+        add_checkpoint, checkpoints, checkpoints
+    );
+    counter!(
+        /// Records one worker stall on a synchronization condition or gate.
+        add_stall, stalls, stalls
+    );
+
+    /// Snapshot of all counters as a plain value.
+    pub fn summary(&self) -> StatsSummary {
+        StatsSummary {
+            tasks: self.tasks(),
+            epochs: self.epochs(),
+            check_requests: self.check_requests(),
+            sync_conditions: self.sync_conditions(),
+            misspeculations: self.misspeculations(),
+            checkpoints: self.checkpoints(),
+            stalls: self.stalls(),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`RegionStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSummary {
+    /// Tasks (inner-loop iterations) executed.
+    pub tasks: u64,
+    /// Epochs (loop invocations) entered.
+    pub epochs: u64,
+    /// Checking requests sent to the checker thread.
+    pub check_requests: u64,
+    /// Synchronization conditions produced by the DOMORE scheduler.
+    pub sync_conditions: u64,
+    /// Misspeculations detected.
+    pub misspeculations: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Worker stalls.
+    pub stalls: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_increment_independently() {
+        let s = RegionStats::new();
+        s.add_task();
+        s.add_task();
+        s.add_epoch();
+        s.add_check_request();
+        s.add_sync_condition();
+        s.add_misspeculation();
+        s.add_checkpoint();
+        s.add_stall();
+        let sum = s.summary();
+        assert_eq!(sum.tasks, 2);
+        assert_eq!(sum.epochs, 1);
+        assert_eq!(sum.check_requests, 1);
+        assert_eq!(sum.sync_conditions, 1);
+        assert_eq!(sum.misspeculations, 1);
+        assert_eq!(sum.checkpoints, 1);
+        assert_eq!(sum.stalls, 1);
+    }
+
+    #[test]
+    fn summary_of_fresh_stats_is_zero() {
+        assert_eq!(RegionStats::new().summary(), StatsSummary::default());
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        use std::sync::Arc;
+        let s = Arc::new(RegionStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.add_task();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.tasks(), 4000);
+    }
+}

@@ -1,0 +1,129 @@
+//! Barrier-synchronized parallel executor (the `pthread barrier` baseline).
+//!
+//! The conventional plan of Fig. 1.3(b): the inner loop's iterations are
+//! distributed round-robin over the workers; after every invocation all
+//! workers meet at a global barrier; the sequential prologue is executed
+//! redundantly by every worker (as the thesis' generated `par_f` does).
+//! Per-thread idle time — the gap between a thread's arrival at the barrier
+//! and the slowest thread's — is what Fig. 4.3 reports as barrier overhead.
+
+use crossinvoc_runtime::stats::RegionStats;
+
+use crate::cost::CostModel;
+use crate::result::SimResult;
+use crate::workload::SimWorkload;
+
+/// Simulates barrier-synchronized parallel execution on `threads` workers.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn barrier<W: SimWorkload + ?Sized>(workload: &W, threads: usize, cost: &CostModel) -> SimResult {
+    assert!(threads > 0, "at least one thread is required");
+    let stats = RegionStats::new();
+    let mut clocks = vec![0u64; threads];
+    let mut busy = vec![0u64; threads];
+    let mut idle = vec![0u64; threads];
+
+    for inv in 0..workload.num_invocations() {
+        stats.add_epoch();
+        let prologue = workload.prologue_cost(inv);
+        for (clock, b) in clocks.iter_mut().zip(busy.iter_mut()) {
+            *clock += prologue;
+            *b += prologue;
+        }
+        let iterations = workload.num_iterations(inv);
+        for iter in 0..iterations {
+            let tid = iter % threads;
+            let work = workload.iteration_cost(inv, iter);
+            clocks[tid] += work;
+            busy[tid] += work;
+            stats.add_task();
+        }
+        // Global synchronization: everyone waits for the slowest, then pays
+        // the barrier release cost.
+        let slowest = *clocks.iter().max().expect("threads > 0");
+        for (clock, i) in clocks.iter_mut().zip(idle.iter_mut()) {
+            *i += slowest - *clock;
+            *clock = slowest + cost.barrier_ns(threads);
+        }
+    }
+
+    SimResult {
+        total_ns: clocks.into_iter().max().unwrap_or(0),
+        busy_ns: busy,
+        idle_ns: idle,
+        stats: stats.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::sequential;
+    use crate::workload::{SimWorkload, UniformWorkload};
+    use crossinvoc_runtime::signature::AccessKind;
+
+    #[test]
+    fn balanced_work_scales_nearly_linearly() {
+        let w = UniformWorkload::independent(10, 64, 10_000);
+        let seq = sequential(&w, &CostModel::free());
+        let par = barrier(&w, 8, &CostModel::free());
+        let speedup = par.speedup_over(seq.total_ns);
+        assert!((speedup - 8.0).abs() < 1e-9, "frictionless: {speedup}");
+    }
+
+    #[test]
+    fn barrier_cost_caps_scaling_for_many_invocations() {
+        // Tiny invocations: barrier cost dominates, so 24 threads are no
+        // better than 8 — the motivating observation of Chapter 1.
+        let w = UniformWorkload::independent(1_000, 24, 500);
+        let seq = sequential(&w, &CostModel::default());
+        let s8 = barrier(&w, 8, &CostModel::default()).speedup_over(seq.total_ns);
+        let s24 = barrier(&w, 24, &CostModel::default()).speedup_over(seq.total_ns);
+        assert!(
+            s24 < s8 * 2.0,
+            "tripling threads must not triple speedup: {s8} vs {s24}"
+        );
+    }
+
+    /// Uneven task costs: one straggler per invocation forces everyone else
+    /// to idle at the barrier.
+    struct Straggler;
+    impl SimWorkload for Straggler {
+        fn num_invocations(&self) -> usize {
+            20
+        }
+        fn num_iterations(&self, _inv: usize) -> usize {
+            8
+        }
+        fn iteration_cost(&self, _inv: usize, iter: usize) -> u64 {
+            if iter == 0 {
+                10_000
+            } else {
+                1_000
+            }
+        }
+        fn accesses(&self, _inv: usize, _iter: usize, _out: &mut Vec<(usize, AccessKind)>) {}
+    }
+
+    #[test]
+    fn imbalance_shows_up_as_idle_time() {
+        let r = barrier(&Straggler, 8, &CostModel::free());
+        assert!(r.idle_fraction() > 0.5, "idle {}", r.idle_fraction());
+        // Thread 0 (the straggler owner) never waits.
+        assert_eq!(r.idle_ns[0], 0);
+    }
+
+    #[test]
+    fn single_thread_has_no_imbalance_idle() {
+        let r = barrier(&Straggler, 1, &CostModel::free());
+        assert_eq!(r.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        barrier(&Straggler, 0, &CostModel::free());
+    }
+}

@@ -1,0 +1,85 @@
+//! The machine cost model.
+//!
+//! Simulated-time constants for the synchronization and runtime operations
+//! whose real costs the thesis measures on its Xeon testbed. The defaults
+//! are order-of-magnitude matches for that machine (e.g. ~1 ms recovery,
+//! §4.2.2; microsecond-scale centralized barriers that degrade with thread
+//! count). The figure harness uses one model everywhere so series are
+//! comparable.
+
+/// Simulated costs of runtime operations, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost of releasing a barrier.
+    pub barrier_base_ns: u64,
+    /// Additional barrier cost per participating thread (centralized
+    /// barriers serialize arrivals on one cache line).
+    pub barrier_per_thread_ns: u64,
+    /// One produce+consume over an SPSC queue (scheduler → worker dispatch).
+    pub queue_ns: u64,
+    /// Fixed per-task bookkeeping (enter/exit task, position updates).
+    pub task_overhead_ns: u64,
+    /// One signature comparison at the checker.
+    pub check_compare_ns: u64,
+    /// Fixed cost of the checker receiving and logging one request.
+    pub check_request_ns: u64,
+    /// Snapshotting program state at a checkpoint.
+    pub checkpoint_ns: u64,
+    /// Squashing workers and restoring a checkpoint after misspeculation
+    /// (the thesis measures ≈1 ms, §4.2.2).
+    pub recovery_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            barrier_base_ns: 4_000,
+            barrier_per_thread_ns: 900,
+            queue_ns: 120,
+            task_overhead_ns: 60,
+            check_compare_ns: 40,
+            check_request_ns: 90,
+            checkpoint_ns: 200_000,
+            recovery_ns: 1_000_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total cost of one barrier episode for `threads` participants.
+    pub fn barrier_ns(&self, threads: usize) -> u64 {
+        self.barrier_base_ns + self.barrier_per_thread_ns * threads as u64
+    }
+
+    /// A frictionless model (all overheads zero) for analytic tests.
+    pub fn free() -> Self {
+        Self {
+            barrier_base_ns: 0,
+            barrier_per_thread_ns: 0,
+            queue_ns: 0,
+            task_overhead_ns: 0,
+            check_compare_ns: 0,
+            check_request_ns: 0,
+            checkpoint_ns: 0,
+            recovery_ns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_cost_grows_with_threads() {
+        let m = CostModel::default();
+        assert!(m.barrier_ns(24) > m.barrier_ns(8));
+    }
+
+    #[test]
+    fn free_model_is_all_zero() {
+        let m = CostModel::free();
+        assert_eq!(m.barrier_ns(64), 0);
+        assert_eq!(m.queue_ns, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The Inspector-Executor baseline (§2.2, §3.5.3; Saltz et al.).
+//!
+//! IE parallelizes an irregular loop in three phases: an *inspector* walks
+//! the iteration space recording the addresses each iteration touches, a
+//! *scheduler* topologically sorts the dependence graph into wavefronts,
+//! and the *executor* runs one wavefront at a time with a barrier between
+//! wavefronts. Two properties distinguish it from DOMORE, both noted by
+//! the thesis:
+//!
+//! 1. inspection is **serialized with execution** — the wavefronts for an
+//!    invocation are computed before any of its iterations run, whereas
+//!    DOMORE's scheduler dispatches while workers execute; and
+//! 2. it is **intra-invocation only** — every invocation still ends in a
+//!    global barrier, so no cross-invocation overlap is possible.
+
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_runtime::stats::RegionStats;
+
+use crate::cost::CostModel;
+use crate::result::SimResult;
+use crate::workload::SimWorkload;
+
+/// Computes the wavefront number of every iteration of one invocation:
+/// an iteration's wavefront is one past the maximum wavefront of the
+/// earlier iterations it conflicts with (write/any overlap).
+///
+/// Exposed for tests and for the comparison bench; the executor uses it
+/// internally.
+pub fn wavefronts<W: SimWorkload + ?Sized>(workload: &W, inv: usize) -> Vec<u32> {
+    let iterations = workload.num_iterations(inv);
+    let mut last_writer: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+    let mut last_access: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+    let mut fronts = vec![0u32; iterations];
+    let mut pairs = Vec::new();
+    for iter in 0..iterations {
+        pairs.clear();
+        workload.accesses(inv, iter, &mut pairs);
+        let mut front = 0u32;
+        for &(addr, kind) in &pairs {
+            // A write conflicts with any earlier access; a read only with
+            // earlier writes.
+            if let Some(&w) = last_writer.get(&addr) {
+                front = front.max(w + 1);
+            }
+            if kind == AccessKind::Write {
+                if let Some(&a) = last_access.get(&addr) {
+                    front = front.max(a + 1);
+                }
+            }
+        }
+        for &(addr, kind) in &pairs {
+            let slot = last_access.entry(addr).or_insert(front);
+            *slot = (*slot).max(front);
+            if kind == AccessKind::Write {
+                let slot = last_writer.entry(addr).or_insert(front);
+                *slot = (*slot).max(front);
+            }
+        }
+        fronts[iter] = front;
+    }
+    fronts
+}
+
+/// Simulates Inspector-Executor parallelization on `threads` threads.
+///
+/// Per invocation: a serial inspection pass (`inspect_ns` per iteration —
+/// the duplicated address computation, comparable to DOMORE's
+/// `sched_cost`), then each wavefront in parallel with a barrier after it,
+/// then the invocation-ending barrier.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn inspector_executor<W: SimWorkload + ?Sized>(
+    workload: &W,
+    threads: usize,
+    cost: &CostModel,
+) -> SimResult {
+    assert!(threads > 0, "at least one thread is required");
+    let stats = RegionStats::new();
+    let mut clocks = vec![0u64; threads];
+    let mut busy = vec![0u64; threads];
+    let mut idle = vec![0u64; threads];
+
+    for inv in 0..workload.num_invocations() {
+        stats.add_epoch();
+        // Sequential prologue + serial inspection: everyone waits.
+        let mut serial = workload.prologue_cost(inv);
+        let iterations = workload.num_iterations(inv);
+        for iter in 0..iterations {
+            serial += workload.sched_cost(inv, iter);
+        }
+        let start = clocks.iter().max().copied().unwrap_or(0);
+        for (t, (clock, i)) in clocks.iter_mut().zip(idle.iter_mut()).enumerate() {
+            *i += start - *clock;
+            if t == 0 {
+                busy[0] += serial; // thread 0 runs the inspector
+            } else {
+                *i += serial; // everyone else waits it out
+            }
+            *clock = start + serial;
+        }
+
+        // Executor: wavefront by wavefront, barrier after each.
+        let fronts = wavefronts(workload, inv);
+        let max_front = fronts.iter().copied().max().unwrap_or(0);
+        for front in 0..=max_front {
+            let mut any = false;
+            let mut next = 0usize;
+            for (iter, &f) in fronts.iter().enumerate() {
+                if f != front {
+                    continue;
+                }
+                any = true;
+                let tid = next % threads;
+                next += 1;
+                let work = cost.task_overhead_ns + workload.iteration_cost(inv, iter);
+                clocks[tid] += work;
+                busy[tid] += work;
+                stats.add_task();
+            }
+            if any {
+                let slowest = *clocks.iter().max().expect("threads > 0");
+                for (clock, i) in clocks.iter_mut().zip(idle.iter_mut()) {
+                    *i += slowest - *clock;
+                    *clock = slowest + cost.barrier_ns(threads);
+                }
+            }
+        }
+    }
+
+    SimResult {
+        total_ns: clocks.into_iter().max().unwrap_or(0),
+        busy_ns: busy,
+        idle_ns: idle,
+        stats: stats.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domore::domore;
+    use crate::seq::sequential;
+    use crate::workload::UniformWorkload;
+    use crossinvoc_domore::policy::RoundRobin;
+
+    #[test]
+    fn independent_iterations_form_one_wavefront() {
+        let w = UniformWorkload::independent(2, 16, 100);
+        assert!(wavefronts(&w, 0).iter().all(|&f| f == 0));
+    }
+
+    #[test]
+    fn same_cell_chain_forms_one_wavefront_per_iteration() {
+        // Every iteration writes cell `iter`: independent → wavefront 0.
+        let w = UniformWorkload::same_cell(1, 8, 100);
+        assert!(wavefronts(&w, 0).iter().all(|&f| f == 0));
+    }
+
+    /// A serial chain: iteration i writes cell 0 — every iteration depends
+    /// on the previous one.
+    #[derive(Debug)]
+    struct Chain;
+    impl SimWorkload for Chain {
+        fn num_invocations(&self) -> usize {
+            3
+        }
+        fn num_iterations(&self, _inv: usize) -> usize {
+            8
+        }
+        fn iteration_cost(&self, _inv: usize, _iter: usize) -> u64 {
+            1_000
+        }
+        fn accesses(&self, _inv: usize, _iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+            out.push((0, AccessKind::Write));
+        }
+        fn address_space(&self) -> Option<usize> {
+            Some(1)
+        }
+    }
+
+    #[test]
+    fn fully_dependent_chain_gets_distinct_wavefronts() {
+        let fronts = wavefronts(&Chain, 0);
+        assert_eq!(fronts, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn executor_matches_task_counts_and_pays_wavefront_barriers() {
+        let w = UniformWorkload::independent(10, 32, 2_000);
+        let r = inspector_executor(&w, 4, &CostModel::default());
+        assert_eq!(r.stats.tasks, 320);
+        assert_eq!(r.stats.epochs, 10);
+        let seq = sequential(&w, &CostModel::default()).total_ns;
+        assert!(r.speedup_over(seq) > 1.5);
+    }
+
+    /// The §3.5.3 claim: DOMORE overlaps inspection with execution and
+    /// crosses invocation boundaries; IE serializes both. On a workload
+    /// with many small invocations DOMORE wins.
+    #[test]
+    fn domore_beats_inspector_executor_on_many_invocations() {
+        let w = UniformWorkload::same_cell(300, 24, 2_000).with_sched_cost(120);
+        let cost = CostModel::default();
+        let seq = sequential(&w, &cost).total_ns;
+        let ie = inspector_executor(&w, 8, &cost).speedup_over(seq);
+        let dm = domore(&w, 8, &mut RoundRobin, &cost).speedup_over(seq);
+        assert!(
+            dm > ie,
+            "DOMORE {dm:.2}x must beat inspector-executor {ie:.2}x"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        inspector_executor(&Chain, 0, &CostModel::default());
+    }
+}

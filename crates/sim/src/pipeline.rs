@@ -1,0 +1,221 @@
+//! The cyclic-dependence baselines of Chapter 2: DOACROSS and DSWP
+//! (Figs. 2.4–2.5).
+//!
+//! Both handle loops whose iterations form a dependence chain. DOACROSS
+//! distributes whole iterations round-robin and synchronizes the chain
+//! stage across threads — putting the communication latency on the critical
+//! path once per iteration. DSWP splits the body into pipeline *stages*,
+//! one thread per stage, with all cross-thread values flowing forward — so
+//! communication latency is paid once per pipeline fill, not per iteration
+//! (the decoupling property the thesis recounts from [50]).
+//!
+//! The model is a [`StagedLoop`]: per-iteration stage costs, with stage 0
+//! carrying the loop's cross-iteration dependence (the `node = node->next`
+//! of Fig. 2.4).
+
+use crossinvoc_runtime::stats::RegionStats;
+
+use crate::result::SimResult;
+
+/// A loop body split into pipeline stages.
+///
+/// Stage 0 is the sequential chain (its instance in iteration `i` depends
+/// on its instance in iteration `i-1`); later stages depend only on earlier
+/// stages of the *same* iteration.
+#[derive(Debug, Clone)]
+pub struct StagedLoop {
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Cost of each stage, in simulated nanoseconds.
+    pub stage_costs: Vec<u64>,
+}
+
+impl StagedLoop {
+    /// Creates a staged loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no stages or no iterations.
+    pub fn new(iterations: usize, stage_costs: Vec<u64>) -> Self {
+        assert!(iterations > 0, "loop needs iterations");
+        assert!(!stage_costs.is_empty(), "loop needs at least one stage");
+        Self {
+            iterations,
+            stage_costs,
+        }
+    }
+
+    /// Cost of one whole iteration.
+    pub fn iteration_cost(&self) -> u64 {
+        self.stage_costs.iter().sum()
+    }
+
+    /// Sequential execution time.
+    pub fn sequential_ns(&self) -> u64 {
+        self.iteration_cost() * self.iterations as u64
+    }
+}
+
+/// Simulates DOACROSS on `threads` threads with `comm_ns` cross-thread
+/// forwarding latency: iteration `i` runs whole on thread `i % threads`,
+/// but its chain stage may not start before the previous iteration's chain
+/// stage (plus latency when they sit on different threads).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn doacross(staged: &StagedLoop, threads: usize, comm_ns: u64) -> SimResult {
+    assert!(threads > 0, "at least one thread is required");
+    let stats = RegionStats::new();
+    stats.add_epoch();
+    let mut clocks = vec![0u64; threads];
+    let mut busy = vec![0u64; threads];
+    let mut idle = vec![0u64; threads];
+    let mut prev_chain_finish = 0u64;
+    let mut prev_tid = usize::MAX;
+    let chain = staged.stage_costs[0];
+    let rest: u64 = staged.stage_costs[1..].iter().sum();
+    for i in 0..staged.iterations {
+        let tid = i % threads;
+        let release = if prev_tid == tid || prev_tid == usize::MAX {
+            prev_chain_finish
+        } else {
+            prev_chain_finish + comm_ns
+        };
+        let start = clocks[tid].max(release);
+        idle[tid] += start - clocks[tid];
+        prev_chain_finish = start + chain;
+        clocks[tid] = prev_chain_finish + rest;
+        busy[tid] += chain + rest;
+        prev_tid = tid;
+        stats.add_task();
+    }
+    SimResult {
+        total_ns: clocks.into_iter().max().unwrap_or(0),
+        busy_ns: busy,
+        idle_ns: idle,
+        stats: stats.summary(),
+    }
+}
+
+/// Simulates DSWP with one thread per stage and `comm_ns` forwarding
+/// latency between consecutive stages: stage `k` of iteration `i` starts
+/// once its own thread is free and iteration `i`'s stage `k-1` value has
+/// arrived.
+pub fn dswp(staged: &StagedLoop, comm_ns: u64) -> SimResult {
+    let stats = RegionStats::new();
+    stats.add_epoch();
+    let stages = staged.stage_costs.len();
+    let mut clocks = vec![0u64; stages];
+    let mut busy = vec![0u64; stages];
+    let mut idle = vec![0u64; stages];
+    for _ in 0..staged.iterations {
+        let mut upstream_finish = 0u64;
+        for (k, &cost) in staged.stage_costs.iter().enumerate() {
+            let arrival = if k == 0 {
+                0
+            } else {
+                upstream_finish + comm_ns
+            };
+            let start = clocks[k].max(arrival);
+            idle[k] += start - clocks[k];
+            clocks[k] = start + cost;
+            busy[k] += cost;
+            upstream_finish = clocks[k];
+        }
+        stats.add_task();
+    }
+    SimResult {
+        total_ns: clocks.into_iter().max().unwrap_or(0),
+        busy_ns: busy,
+        idle_ns: idle,
+        stats: stats.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig_2_4_loop() -> StagedLoop {
+        // Fig. 2.4: stage {3,6} (pointer chase) and stage {4,5} (work).
+        StagedLoop::new(1000, vec![200, 800])
+    }
+
+    #[test]
+    fn sequential_cost_sums_stages() {
+        let l = fig_2_4_loop();
+        assert_eq!(l.iteration_cost(), 1000);
+        assert_eq!(l.sequential_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn both_techniques_beat_sequential_with_cheap_communication() {
+        let l = fig_2_4_loop();
+        let seq = l.sequential_ns();
+        let da = doacross(&l, 2, 10);
+        let ds = dswp(&l, 10);
+        assert!(da.speedup_over(seq) > 1.5, "{}", da.speedup_over(seq));
+        assert!(ds.speedup_over(seq) > 1.1, "{}", ds.speedup_over(seq));
+    }
+
+    #[test]
+    fn dswp_tolerates_communication_latency_doacross_does_not() {
+        // The Fig. 2.5 claim: latency sits on DOACROSS's critical path once
+        // per iteration, but only fills DSWP's pipeline once.
+        let l = fig_2_4_loop();
+        let cheap = 10;
+        let expensive = 2_000;
+        let da_degradation =
+            doacross(&l, 2, expensive).total_ns as f64 / doacross(&l, 2, cheap).total_ns as f64;
+        let ds_degradation =
+            dswp(&l, expensive).total_ns as f64 / dswp(&l, cheap).total_ns as f64;
+        assert!(
+            da_degradation > 2.0,
+            "DOACROSS must suffer: {da_degradation}"
+        );
+        assert!(
+            ds_degradation < 1.1,
+            "DSWP must shrug it off: {ds_degradation}"
+        );
+    }
+
+    #[test]
+    fn dswp_throughput_is_bounded_by_the_slowest_stage() {
+        let l = StagedLoop::new(10_000, vec![100, 900]);
+        let r = dswp(&l, 50);
+        let per_iter = r.total_ns / 10_000;
+        assert!(
+            (890..=920).contains(&per_iter),
+            "slowest stage gates throughput: {per_iter}"
+        );
+    }
+
+    #[test]
+    fn doacross_scales_when_the_chain_is_short() {
+        let l = StagedLoop::new(10_000, vec![10, 990]);
+        let seq = l.sequential_ns();
+        let s4 = doacross(&l, 4, 50).speedup_over(seq);
+        assert!(s4 > 3.0, "short chain: {s4}");
+    }
+
+    #[test]
+    fn doacross_serializes_when_the_chain_dominates() {
+        let l = StagedLoop::new(1_000, vec![900, 100]);
+        let seq = l.sequential_ns();
+        let s8 = doacross(&l, 8, 100).speedup_over(seq);
+        assert!(s8 < 1.3, "chain-bound: {s8}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn doacross_zero_threads_panics() {
+        doacross(&fig_2_4_loop(), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_stages_panic() {
+        StagedLoop::new(1, vec![]);
+    }
+}

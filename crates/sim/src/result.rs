@@ -1,0 +1,83 @@
+//! Simulation outcomes.
+
+use crossinvoc_runtime::stats::StatsSummary;
+
+/// Timeline summary of one simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Completion time of the whole region (max over thread finish times).
+    pub total_ns: u64,
+    /// Per-thread busy time (kernel + scheduling + bookkeeping work).
+    pub busy_ns: Vec<u64>,
+    /// Per-thread idle time spent waiting at barriers, on synchronization
+    /// conditions, or at the speculative-range gate.
+    pub idle_ns: Vec<u64>,
+    /// Execution counters (tasks, epochs, sync conditions, checkpoints, …).
+    pub stats: StatsSummary,
+}
+
+impl SimResult {
+    /// Speedup of this execution over a baseline duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this result's `total_ns` is zero.
+    pub fn speedup_over(&self, baseline_ns: u64) -> f64 {
+        assert!(self.total_ns > 0, "degenerate simulation: zero duration");
+        baseline_ns as f64 / self.total_ns as f64
+    }
+
+    /// Fraction of aggregate thread time lost to synchronization idling —
+    /// the quantity Fig. 4.3 reports as "barrier overhead".
+    pub fn idle_fraction(&self) -> f64 {
+        let busy: u64 = self.busy_ns.iter().sum();
+        let idle: u64 = self.idle_ns.iter().sum();
+        if busy + idle == 0 {
+            0.0
+        } else {
+            idle as f64 / (busy + idle) as f64
+        }
+    }
+
+    /// Number of simulated worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.busy_ns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(total: u64, busy: Vec<u64>, idle: Vec<u64>) -> SimResult {
+        SimResult {
+            total_ns: total,
+            busy_ns: busy,
+            idle_ns: idle,
+            stats: StatsSummary::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        let r = result(50, vec![50], vec![0]);
+        assert_eq!(r.speedup_over(100), 2.0);
+    }
+
+    #[test]
+    fn idle_fraction_is_idle_over_total() {
+        let r = result(100, vec![60, 80], vec![40, 20]);
+        assert!((r.idle_fraction() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timelines_have_zero_idle_fraction() {
+        assert_eq!(result(1, vec![], vec![]).idle_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_duration_speedup_panics() {
+        result(0, vec![], vec![]).speedup_over(10);
+    }
+}

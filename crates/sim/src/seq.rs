@@ -1,0 +1,51 @@
+//! Sequential baseline executor.
+
+use crossinvoc_runtime::stats::RegionStats;
+
+use crate::cost::CostModel;
+use crate::result::SimResult;
+use crate::workload::SimWorkload;
+
+/// Simulates single-threaded execution: the best-sequential baseline every
+/// speedup in Chapter 5 is measured against. No synchronization, no
+/// scheduling, no per-task overhead — just prologues and kernel work.
+pub fn sequential<W: SimWorkload + ?Sized>(workload: &W, _cost: &CostModel) -> SimResult {
+    let stats = RegionStats::new();
+    let mut clock = 0u64;
+    for inv in 0..workload.num_invocations() {
+        clock += workload.prologue_cost(inv);
+        stats.add_epoch();
+        for iter in 0..workload.num_iterations(inv) {
+            clock += workload.iteration_cost(inv, iter);
+            stats.add_task();
+        }
+    }
+    SimResult {
+        total_ns: clock,
+        busy_ns: vec![clock],
+        idle_ns: vec![0],
+        stats: stats.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::UniformWorkload;
+
+    #[test]
+    fn sums_all_work_and_prologues() {
+        let w = UniformWorkload::independent(4, 10, 100).with_prologue(50);
+        let r = sequential(&w, &CostModel::default());
+        assert_eq!(r.total_ns, 4 * 50 + 4 * 10 * 100);
+        assert_eq!(r.stats.tasks, 40);
+        assert_eq!(r.stats.epochs, 4);
+        assert_eq!(r.idle_ns, vec![0]);
+    }
+
+    #[test]
+    fn empty_workload_is_instant() {
+        let w = UniformWorkload::independent(0, 0, 1);
+        assert_eq!(sequential(&w, &CostModel::default()).total_ns, 0);
+    }
+}

@@ -1,0 +1,522 @@
+//! Simulated SPECCROSS execution (§4.2).
+//!
+//! Tasks are distributed round-robin within each epoch; workers cross epoch
+//! boundaries freely, subject only to the speculative-range gate (a task may
+//! start once every task more than `spec_distance` ahead of it in the
+//! sequential order has finished). The checker is modelled as a single
+//! server processing one request per task; its clock bounds checkpoint
+//! rendezvous and the region's completion, which is how the
+//! checker-bottleneck effect of §5.2 emerges at high thread counts.
+//!
+//! Conflicts are *detected, not assumed*: each task's accesses are folded
+//! into a real [`RangeSignature`], and a pair of time-overlapping tasks from
+//! different epochs on different workers misspeculates exactly when their
+//! signatures conflict — the same test the threaded checker runs. Recovery
+//! replays the thesis' sequence: roll back to the last checkpoint,
+//! re-execute the misspeculated epochs under non-speculative barriers,
+//! resume speculation.
+
+use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
+use crossinvoc_runtime::stats::RegionStats;
+
+use crate::cost::CostModel;
+use crate::result::SimResult;
+use crate::workload::SimWorkload;
+
+/// Parameters of a simulated SPECCROSS execution.
+#[derive(Debug, Clone)]
+pub struct SpecSimParams {
+    /// Worker thread count (the checker is additional).
+    pub threads: usize,
+    /// Speculative range in tasks (profiled minimum dependence distance);
+    /// `None` disables gating.
+    pub spec_distance: Option<u64>,
+    /// Checkpoint every this many epochs.
+    pub checkpoint_every: usize,
+    /// Force a misspeculation when this global task index is admitted
+    /// (the Fig. 5.3 experiment's "randomly triggered" misspeculation).
+    pub inject_misspec_at_task: Option<u64>,
+}
+
+impl SpecSimParams {
+    /// Defaults matching the thesis: checkpoint every 1000 epochs, no
+    /// injection, no gating.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            spec_distance: None,
+            checkpoint_every: 1000,
+            inject_misspec_at_task: None,
+        }
+    }
+
+    /// Sets the speculative range.
+    pub fn spec_distance(mut self, d: Option<u64>) -> Self {
+        self.spec_distance = d;
+        self
+    }
+
+    /// Sets the checkpoint interval in epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    pub fn checkpoint_every(mut self, epochs: usize) -> Self {
+        assert!(epochs > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = epochs;
+        self
+    }
+
+    /// Forces a misspeculation at a global task index.
+    pub fn inject_misspec_at_task(mut self, task: Option<u64>) -> Self {
+        self.inject_misspec_at_task = task;
+        self
+    }
+}
+
+/// One simulated in-flight task retained for conflict detection.
+struct Window {
+    tid: usize,
+    epoch: usize,
+    start: u64,
+    finish: u64,
+    /// Maximum finish time over this entry and all earlier ones: a reverse
+    /// scan can stop as soon as this drops to or below the probe's start,
+    /// since nothing older can overlap it.
+    running_max_finish: u64,
+    sig: RangeSignature,
+}
+
+/// Outcome of one simulated speculative pass.
+enum PassEnd {
+    Completed,
+    Misspeculated {
+        detect_time: u64,
+        checkpoint_epoch: usize,
+        resume_epoch: usize,
+    },
+}
+
+/// Simulates SPECCROSS over `workload`.
+///
+/// # Panics
+///
+/// Panics if `params.threads` is zero.
+pub fn speccross<W: SimWorkload + ?Sized>(
+    workload: &W,
+    params: &SpecSimParams,
+    cost: &CostModel,
+) -> SimResult {
+    assert!(params.threads > 0, "at least one thread is required");
+    let stats = RegionStats::new();
+    let num_epochs = workload.num_invocations();
+    let mut busy = vec![0u64; params.threads];
+    let mut idle = vec![0u64; params.threads];
+    let mut now = 0u64;
+    let mut start_epoch = 0usize;
+
+    while start_epoch < num_epochs {
+        match speculative_pass(
+            workload, params, cost, start_epoch, now, &stats, &mut busy, &mut idle,
+        ) {
+            (PassEnd::Completed, end_time) => {
+                now = end_time;
+                start_epoch = num_epochs;
+            }
+            (
+                PassEnd::Misspeculated {
+                    detect_time,
+                    checkpoint_epoch,
+                    resume_epoch,
+                },
+                _,
+            ) => {
+                stats.add_misspeculation();
+                now = detect_time + cost.recovery_ns;
+                // Re-execute the misspeculated epochs under real barriers.
+                now = barrier_range(
+                    workload,
+                    params.threads,
+                    cost,
+                    checkpoint_epoch,
+                    resume_epoch,
+                    now,
+                    &stats,
+                    &mut busy,
+                    &mut idle,
+                );
+                start_epoch = resume_epoch;
+            }
+        }
+    }
+
+    SimResult {
+        total_ns: now,
+        busy_ns: busy,
+        idle_ns: idle,
+        stats: stats.summary(),
+    }
+}
+
+/// Simulates epochs `[from, to)` with barriers, starting at `t0`; returns
+/// the completion time.
+#[allow(clippy::too_many_arguments)]
+fn barrier_range<W: SimWorkload + ?Sized>(
+    workload: &W,
+    threads: usize,
+    cost: &CostModel,
+    from: usize,
+    to: usize,
+    t0: u64,
+    stats: &RegionStats,
+    busy: &mut [u64],
+    idle: &mut [u64],
+) -> u64 {
+    let mut clocks = vec![t0; threads];
+    for epoch in from..to {
+        stats.add_epoch();
+        for iter in 0..workload.num_iterations(epoch) {
+            let tid = iter % threads;
+            let work = workload.iteration_cost(epoch, iter);
+            clocks[tid] += work;
+            busy[tid] += work;
+            stats.add_task();
+        }
+        let slowest = *clocks.iter().max().expect("threads > 0");
+        for (clock, i) in clocks.iter_mut().zip(idle.iter_mut()) {
+            *i += slowest - *clock;
+            *clock = slowest + cost.barrier_ns(threads);
+        }
+    }
+    clocks.into_iter().max().unwrap_or(t0)
+}
+
+/// Simulates one speculative pass from `start_epoch` beginning at `t0`.
+/// Returns the outcome and the pass completion time (max of worker and
+/// checker clocks) when completed.
+#[allow(clippy::too_many_arguments)]
+fn speculative_pass<W: SimWorkload + ?Sized>(
+    workload: &W,
+    params: &SpecSimParams,
+    cost: &CostModel,
+    start_epoch: usize,
+    t0: u64,
+    stats: &RegionStats,
+    busy: &mut [u64],
+    idle: &mut [u64],
+) -> (PassEnd, u64) {
+    let threads = params.threads;
+    let num_epochs = workload.num_invocations();
+
+    // Global task numbering across the remaining epochs.
+    let mut prefix = Vec::with_capacity(num_epochs + 1 - start_epoch);
+    let mut acc = 0u64;
+    for e in start_epoch..num_epochs {
+        prefix.push(acc);
+        acc += workload.num_iterations(e) as u64;
+    }
+    prefix.push(acc);
+
+    let mut clocks = vec![t0; threads];
+    let mut checker_clock = t0;
+    stats.add_checkpoint(); // pass-entry checkpoint
+    let mut checkpoint_epoch = start_epoch;
+    let mut max_epoch_started = start_epoch;
+    // Current epoch per worker: when all workers sit in the same epoch,
+    // its tasks are mutually independent by construction and their
+    // signatures are "safely skipped" (§4.2.1) — no checking request.
+    let mut cur_epoch = vec![start_epoch; threads];
+
+    // Finish times in global order, for the gate's prefix maximum.
+    let mut finish_prefix_max: Vec<u64> = Vec::with_capacity(acc as usize);
+    let mut window: Vec<Window> = Vec::new();
+    let mut pairs = Vec::new();
+
+    for epoch in start_epoch..num_epochs {
+        stats.add_epoch();
+        let periodic =
+            epoch > start_epoch && (epoch - start_epoch).is_multiple_of(params.checkpoint_every);
+        if periodic {
+            // Rendezvous: all workers synchronize, the checker drains, the
+            // state is snapshotted.
+            let sync = clocks
+                .iter()
+                .copied()
+                .max()
+                .expect("threads > 0")
+                .max(checker_clock)
+                + cost.checkpoint_ns;
+            for (clock, i) in clocks.iter_mut().zip(idle.iter_mut()) {
+                *i += sync - *clock;
+                *clock = sync;
+            }
+            checker_clock = sync;
+            stats.add_checkpoint();
+            checkpoint_epoch = epoch;
+            window.clear(); // nothing before a checkpoint can race past it
+        }
+
+        let ntasks = workload.num_iterations(epoch);
+        for task in 0..ntasks {
+            let tid = task % threads;
+            let global = prefix[epoch - start_epoch] + task as u64;
+            // Speculative-range gate: wait until every task more than
+            // `spec_distance` behind has finished.
+            let mut release = clocks[tid];
+            if let Some(d) = params.spec_distance {
+                // Distance d: every task at least d behind must have
+                // finished (d = 0 degenerates to full serialization).
+                let back = d.max(1);
+                if global >= back {
+                    let gate = finish_prefix_max[(global - back) as usize];
+                    if gate > release {
+                        stats.add_stall();
+                        release = gate;
+                    }
+                }
+            }
+            idle[tid] += release - clocks[tid];
+            let work = cost.task_overhead_ns + workload.iteration_cost(epoch, task);
+            let start = release;
+            let finish = start + work;
+            busy[tid] += work;
+            clocks[tid] = finish;
+            stats.add_task();
+
+            let last_max = finish_prefix_max.last().copied().unwrap_or(0);
+            finish_prefix_max.push(last_max.max(finish));
+            max_epoch_started = max_epoch_started.max(epoch);
+
+            // Build the signature and run the real conflict test against
+            // overlapping cross-epoch tasks.
+            pairs.clear();
+            workload.accesses(epoch, task, &mut pairs);
+            let mut sig = RangeSignature::empty();
+            for &(addr, kind) in &pairs {
+                sig.record(addr, kind);
+            }
+            let mut comparisons = 0u64;
+            let mut conflicted = params.inject_misspec_at_task == Some(global);
+            if !sig.is_empty() {
+                for entry in window.iter().rev() {
+                    if entry.running_max_finish <= start {
+                        break; // nothing older overlaps
+                    }
+                    if entry.epoch != epoch
+                        && entry.tid != tid
+                        && entry.start < finish
+                        && start < entry.finish
+                    {
+                        comparisons += 1;
+                        if entry.sig.conflicts_with(&sig) {
+                            conflicted = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            // Checker server: one request per non-empty signature from a
+            // task whose execution overlaps a different epoch.
+            cur_epoch[tid] = epoch;
+            let epochs_overlap = cur_epoch.iter().any(|&e| e != epoch);
+            if (!sig.is_empty() && epochs_overlap) || conflicted {
+                stats.add_check_request();
+                checker_clock = checker_clock.max(finish)
+                    + cost.check_request_ns
+                    + cost.check_compare_ns * comparisons;
+            }
+            if conflicted {
+                let resume = (max_epoch_started + 1).min(num_epochs);
+                return (
+                    PassEnd::Misspeculated {
+                        detect_time: checker_clock,
+                        checkpoint_epoch,
+                        resume_epoch: resume,
+                    },
+                    checker_clock,
+                );
+            }
+            let running_max_finish = window
+                .last()
+                .map_or(finish, |w| w.running_max_finish.max(finish));
+            window.push(Window {
+                tid,
+                epoch,
+                start,
+                finish,
+                running_max_finish,
+                sig,
+            });
+            // Periodically drop entries that can no longer overlap any
+            // future task (every future start is at least the minimum
+            // worker clock).
+            if window.len().is_multiple_of(4096) {
+                let min_clock = clocks.iter().copied().min().expect("threads > 0");
+                window.retain(|e| e.finish > min_clock);
+            }
+        }
+    }
+
+    let end = clocks
+        .into_iter()
+        .max()
+        .unwrap_or(t0)
+        .max(checker_clock);
+    (PassEnd::Completed, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::barrier;
+    use crate::seq::sequential;
+    use crate::workload::{SimWorkload, UniformWorkload};
+    use crossinvoc_runtime::signature::AccessKind;
+
+    #[test]
+    fn independent_work_scales_past_barriers() {
+        let w = UniformWorkload::independent(500, 24, 2_000);
+        let seq = sequential(&w, &CostModel::default());
+        let bar = barrier(&w, 8, &CostModel::default());
+        let spec = speccross(&w, &SpecSimParams::with_threads(8), &CostModel::default());
+        assert_eq!(spec.stats.misspeculations, 0);
+        assert!(
+            spec.speedup_over(seq.total_ns) > bar.speedup_over(seq.total_ns),
+            "speccross {} vs barrier {}",
+            spec.speedup_over(seq.total_ns),
+            bar.speedup_over(seq.total_ns)
+        );
+    }
+
+    /// Epoch e's task t writes cell t; epoch e+1's task t reads cell t:
+    /// same worker owns the chain, so overlap never conflicts — but a
+    /// *shifted* pattern does.
+    struct Shifted {
+        epochs: usize,
+        tasks: usize,
+    }
+    impl SimWorkload for Shifted {
+        fn num_invocations(&self) -> usize {
+            self.epochs
+        }
+        fn num_iterations(&self, _inv: usize) -> usize {
+            self.tasks
+        }
+        fn iteration_cost(&self, _inv: usize, iter: usize) -> u64 {
+            1_000 + (iter as u64 % 7) * 300
+        }
+        fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+            out.push(((iter + inv) % self.tasks, AccessKind::Write));
+        }
+        fn address_space(&self) -> Option<usize> {
+            Some(self.tasks)
+        }
+    }
+
+    #[test]
+    fn ungated_conflicting_workload_misspeculates() {
+        let w = Shifted {
+            epochs: 40,
+            tasks: 16,
+        };
+        let r = speccross(&w, &SpecSimParams::with_threads(8), &CostModel::default());
+        assert!(
+            r.stats.misspeculations > 0,
+            "shifted writes across workers must conflict when ungated"
+        );
+        // All tasks still execute (possibly more than once after recovery).
+        assert!(r.stats.tasks >= 40 * 16);
+    }
+
+    #[test]
+    fn gating_at_one_epoch_distance_prevents_misspeculation() {
+        let w = Shifted {
+            epochs: 40,
+            tasks: 16,
+        };
+        // Closest conflicting pair is one epoch minus one task apart.
+        let params = SpecSimParams::with_threads(8).spec_distance(Some(15));
+        let r = speccross(&w, &params, &CostModel::default());
+        assert_eq!(r.stats.misspeculations, 0);
+        assert_eq!(r.stats.tasks, 40 * 16);
+        assert!(r.stats.stalls > 0, "the gate must have engaged");
+    }
+
+    #[test]
+    fn injected_misspeculation_recovers_and_completes() {
+        let w = UniformWorkload::independent(100, 16, 1_000);
+        let clean = speccross(&w, &SpecSimParams::with_threads(4), &CostModel::default());
+        let params = SpecSimParams::with_threads(4).inject_misspec_at_task(Some(800));
+        let r = speccross(&w, &params, &CostModel::default());
+        assert_eq!(r.stats.misspeculations, 1);
+        assert!(r.total_ns > clean.total_ns, "recovery has a cost");
+    }
+
+    #[test]
+    fn more_checkpoints_cost_more_without_misspeculation() {
+        let w = UniformWorkload::independent(100, 16, 1_000);
+        let sparse = speccross(
+            &w,
+            &SpecSimParams::with_threads(4).checkpoint_every(50),
+            &CostModel::default(),
+        );
+        let dense = speccross(
+            &w,
+            &SpecSimParams::with_threads(4).checkpoint_every(2),
+            &CostModel::default(),
+        );
+        assert!(dense.total_ns > sparse.total_ns);
+        assert!(dense.stats.checkpoints > sparse.stats.checkpoints);
+    }
+
+    #[test]
+    fn more_checkpoints_reduce_reexecution_after_misspeculation() {
+        // Kernel cost dominates checkpoint cost, as in the paper's
+        // programs, so saved re-execution outweighs extra checkpoints.
+        let w = UniformWorkload::independent(100, 16, 50_000);
+        let inject = Some(95 * 16 + 3); // late misspeculation
+        let sparse = speccross(
+            &w,
+            &SpecSimParams::with_threads(4)
+                .checkpoint_every(1000)
+                .inject_misspec_at_task(inject),
+            &CostModel::default(),
+        );
+        let dense = speccross(
+            &w,
+            &SpecSimParams::with_threads(4)
+                .checkpoint_every(10)
+                .inject_misspec_at_task(inject),
+            &CostModel::default(),
+        );
+        // With one checkpoint at epoch 0, recovery re-executes ~95 epochs;
+        // with checkpoints every 10 epochs it re-executes at most ~15.
+        assert!(
+            dense.total_ns < sparse.total_ns,
+            "dense {} vs sparse {}",
+            dense.total_ns,
+            sparse.total_ns
+        );
+    }
+
+    #[test]
+    fn checker_requests_require_signatures_and_epoch_overlap() {
+        let w = UniformWorkload::same_cell(10, 8, 1_000);
+        let r = speccross(&w, &SpecSimParams::with_threads(4), &CostModel::default());
+        assert!(
+            r.stats.check_requests > 0 && r.stats.check_requests <= 80,
+            "epoch-boundary overlaps must check, lockstep interiors may skip: {}",
+            r.stats.check_requests
+        );
+        let w2 = UniformWorkload::independent(10, 8, 1_000);
+        let r2 = speccross(&w2, &SpecSimParams::with_threads(4), &CostModel::default());
+        assert_eq!(r2.stats.check_requests, 0, "empty signatures are skipped");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let w = UniformWorkload::independent(1, 1, 1);
+        speccross(&w, &SpecSimParams::with_threads(0), &CostModel::default());
+    }
+}

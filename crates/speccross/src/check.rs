@@ -1,0 +1,294 @@
+//! The pure misspeculation-detection algorithm (§4.2.1).
+//!
+//! Barrier semantics demand that every task of epoch *e−1* happen before
+//! every task of epoch *e*. SPECCROSS lets epochs overlap and detects, after
+//! the fact, whether any pair of tasks whose relative order speculation may
+//! have changed actually conflicted. A pair needs checking exactly when
+//!
+//! 1. the tasks ran on different workers,
+//! 2. their epochs differ (same-epoch tasks are independent by the inner
+//!    loop's DOALL property — the key saving over TM-style schemes,
+//!    Fig. 4.4), and
+//! 3. they *overlapped*: the earlier-epoch task had not retired when the
+//!    later-epoch task began (observed through the position snapshot the
+//!    later task records at start; Fig. 4.6's timing diagram).
+//!
+//! [`CheckerState::admit`] realises this symmetrically: an arriving task is
+//! compared both against logged earlier-epoch tasks that overlapped it, and
+//! against logged later-epoch tasks it overlapped (covering stragglers whose
+//! requests arrive late).
+//!
+//! The structure is pure — no threads, no channels — so the threaded checker
+//! (`engine`), the profiler and the discrete-event simulator all share it.
+
+use crossinvoc_runtime::signature::AccessSignature;
+use crossinvoc_runtime::ThreadId;
+
+use crate::position::Position;
+
+/// One task's checking request: who ran it, where, what it touched, and the
+/// position every other worker was at when it started.
+#[derive(Debug, Clone)]
+pub struct CheckRequest<S> {
+    /// Worker that executed the task.
+    pub tid: ThreadId,
+    /// The task's position (epoch, per-thread task number).
+    pub pos: Position,
+    /// Positions of *all* workers observed at task start (`snapshot[tid]`
+    /// is the task's own slot and is ignored).
+    pub snapshot: Box<[Position]>,
+    /// The task's access signature.
+    pub sig: S,
+}
+
+/// A detected dependence violation between two overlapping tasks from
+/// different epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict {
+    /// Worker/position of the earlier-epoch task.
+    pub earlier: (ThreadId, Position),
+    /// Worker/position of the later-epoch task.
+    pub later: (ThreadId, Position),
+}
+
+impl Conflict {
+    /// Epoch of the earlier participant (recovery re-executes from the
+    /// checkpoint at or before this epoch).
+    pub fn earliest_epoch(&self) -> u32 {
+        self.earlier.1.epoch
+    }
+}
+
+/// Append-only signature log plus the conflict test (the Signature Log of
+/// Fig. 4.8 merged with `check_request` of Fig. 4.7).
+#[derive(Debug)]
+pub struct CheckerState<S> {
+    /// Per-worker logs, each ordered by position (workers log in order).
+    logs: Vec<Vec<CheckRequest<S>>>,
+    comparisons: u64,
+}
+
+impl<S: AccessSignature> CheckerState<S> {
+    /// Creates an empty checker for `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        Self {
+            logs: (0..num_workers).map(|_| Vec::new()).collect(),
+            comparisons: 0,
+        }
+    }
+
+    /// Number of signature comparisons performed so far (reported in the
+    /// checking-overhead discussion of §5.2).
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Total logged requests.
+    pub fn logged(&self) -> usize {
+        self.logs.iter().map(Vec::len).sum()
+    }
+
+    /// Logs `req` and tests it against every logged task it may have raced
+    /// with. Returns the first conflict found, if any.
+    ///
+    /// Empty signatures are logged but never compared (they cannot conflict).
+    pub fn admit(&mut self, req: CheckRequest<S>) -> Option<Conflict> {
+        let mut found = None;
+        if !req.sig.is_empty() {
+            'outer: for (other_tid, log) in self.logs.iter().enumerate() {
+                if other_tid == req.tid {
+                    continue;
+                }
+                for logged in log.iter().rev() {
+                    // Logs are position-ordered; once below both windows we
+                    // can stop scanning this worker.
+                    if logged.pos < req.snapshot[other_tid]
+                        && logged.pos.epoch < req.pos.epoch
+                    {
+                        break;
+                    }
+                    let races = if logged.pos.epoch < req.pos.epoch {
+                        // `logged` is earlier-epoch: they overlapped iff it
+                        // had not retired when `req` started.
+                        logged.pos >= req.snapshot[other_tid]
+                    } else if logged.pos.epoch > req.pos.epoch {
+                        // `req` is the earlier-epoch straggler: they
+                        // overlapped iff `req` had not retired when `logged`
+                        // started.
+                        req.pos >= logged.snapshot[req.tid]
+                    } else {
+                        false // same epoch: independent by construction
+                    };
+                    if races {
+                        self.comparisons += 1;
+                        if logged.sig.conflicts_with(&req.sig) {
+                            let (earlier, later) = if logged.pos.epoch < req.pos.epoch {
+                                ((other_tid, logged.pos), (req.tid, req.pos))
+                            } else {
+                                ((req.tid, req.pos), (other_tid, logged.pos))
+                            };
+                            found = Some(Conflict { earlier, later });
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        self.logs[req.tid].push(req);
+        found
+    }
+
+    /// Discards all requests from epochs before `epoch`.
+    ///
+    /// Sound at checkpoint boundaries: a checkpoint fully synchronizes every
+    /// worker and drains the checker, so nothing logged before it can race
+    /// with anything admitted after it.
+    pub fn prune_before_epoch(&mut self, epoch: u32) {
+        for log in &mut self.logs {
+            log.retain(|r| r.pos.epoch >= epoch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossinvoc_runtime::signature::{AccessKind, RangeSignature};
+
+    fn sig(addrs: &[usize]) -> RangeSignature {
+        let mut s = RangeSignature::empty();
+        for &a in addrs {
+            s.record(a, AccessKind::Write);
+        }
+        s
+    }
+
+    fn req(
+        tid: ThreadId,
+        epoch: u32,
+        task: u32,
+        snapshot: &[(u32, u32)],
+        addrs: &[usize],
+    ) -> CheckRequest<RangeSignature> {
+        CheckRequest {
+            tid,
+            pos: Position { epoch, task },
+            snapshot: snapshot
+                .iter()
+                .map(|&(e, t)| Position { epoch: e, task: t })
+                .collect(),
+            sig: sig(addrs),
+        }
+    }
+
+    #[test]
+    fn same_epoch_tasks_are_never_compared() {
+        let mut c = CheckerState::new(2);
+        assert!(c.admit(req(0, 1, 0, &[(1, 0), (1, 0)], &[5])).is_none());
+        // Same epoch, same address: DOALL guarantees independence, so no
+        // conflict may be raised.
+        assert!(c.admit(req(1, 1, 0, &[(1, 1), (1, 0)], &[5])).is_none());
+        assert_eq!(c.comparisons(), 0);
+    }
+
+    #[test]
+    fn overlapping_cross_epoch_conflict_is_detected() {
+        let mut c = CheckerState::new(2);
+        // Worker 0 runs task <1,0> touching address 5.
+        assert!(c.admit(req(0, 1, 0, &[(1, 0), (0, 0)], &[5])).is_none());
+        // Worker 1 starts task <2,0> while worker 0 is still at <1,0>
+        // (snapshot records worker 0 at (1,0)) and touches address 5.
+        let conflict = c.admit(req(1, 2, 0, &[(1, 0), (2, 0)], &[5])).unwrap();
+        assert_eq!(conflict.earlier, (0, Position { epoch: 1, task: 0 }));
+        assert_eq!(conflict.later, (1, Position { epoch: 2, task: 0 }));
+        assert_eq!(conflict.earliest_epoch(), 1);
+    }
+
+    #[test]
+    fn retired_predecessor_does_not_race() {
+        let mut c = CheckerState::new(2);
+        assert!(c.admit(req(0, 1, 0, &[(1, 0), (0, 0)], &[5])).is_none());
+        // Worker 1 starts <2,0> having already observed worker 0 past that
+        // task (snapshot (1,1)): barrier-equivalent order, no race.
+        assert!(c.admit(req(1, 2, 0, &[(1, 1), (2, 0)], &[5])).is_none());
+    }
+
+    #[test]
+    fn straggler_conflict_is_detected_on_late_arrival() {
+        let mut c = CheckerState::new(2);
+        // Worker 1 raced ahead into epoch 2 and its request arrives FIRST.
+        // It began while worker 0 was still at <1,0>.
+        assert!(c.admit(req(1, 2, 0, &[(1, 0), (2, 0)], &[9])).is_none());
+        // Worker 0's earlier-epoch task now arrives; it is position <1,0>,
+        // which the logged task observed as still running.
+        let conflict = c.admit(req(0, 1, 0, &[(1, 0), (0, 0)], &[9])).unwrap();
+        assert_eq!(conflict.earlier, (0, Position { epoch: 1, task: 0 }));
+        assert_eq!(conflict.later, (1, Position { epoch: 2, task: 0 }));
+    }
+
+    #[test]
+    fn disjoint_addresses_never_conflict() {
+        let mut c = CheckerState::new(2);
+        assert!(c.admit(req(0, 1, 0, &[(1, 0), (0, 0)], &[5])).is_none());
+        assert!(c.admit(req(1, 2, 0, &[(1, 0), (2, 0)], &[6])).is_none());
+        assert!(c.comparisons() > 0, "the racing pair was compared");
+    }
+
+    #[test]
+    fn empty_signatures_are_skipped() {
+        let mut c = CheckerState::new(2);
+        assert!(c.admit(req(0, 1, 0, &[(1, 0), (0, 0)], &[])).is_none());
+        assert!(c.admit(req(1, 2, 0, &[(1, 0), (2, 0)], &[])).is_none());
+        assert_eq!(c.comparisons(), 0);
+    }
+
+    #[test]
+    fn same_worker_tasks_are_never_compared() {
+        let mut c = CheckerState::new(2);
+        assert!(c.admit(req(0, 1, 0, &[(1, 0), (0, 0)], &[5])).is_none());
+        assert!(c.admit(req(0, 2, 0, &[(2, 0), (0, 0)], &[5])).is_none());
+    }
+
+    #[test]
+    fn prune_discards_old_epochs() {
+        let mut c = CheckerState::new(2);
+        c.admit(req(0, 1, 0, &[(1, 0), (0, 0)], &[5]));
+        c.admit(req(0, 2, 0, &[(2, 0), (0, 0)], &[6]));
+        assert_eq!(c.logged(), 2);
+        c.prune_before_epoch(2);
+        assert_eq!(c.logged(), 1);
+    }
+
+    #[test]
+    fn epoch_gap_of_two_is_still_checked() {
+        let mut c = CheckerState::new(2);
+        assert!(c.admit(req(0, 1, 0, &[(1, 0), (0, 0)], &[7])).is_none());
+        // Worker 1 jumped to epoch 3 while worker 0 still in epoch 1.
+        let conflict = c.admit(req(1, 3, 0, &[(1, 0), (3, 0)], &[7]));
+        assert!(conflict.is_some());
+    }
+
+    #[test]
+    fn conflicting_but_non_overlapping_many_tasks() {
+        // A long fully-ordered chain: each task observes the previous worker
+        // already past the dependence; no conflicts anywhere.
+        let mut c = CheckerState::new(2);
+        for epoch in 0..20u32 {
+            let tid = (epoch % 2) as usize;
+            let other_done = Position {
+                epoch,
+                task: u32::MAX, // predecessor long retired
+            };
+            let mut snapshot = [Position::ZERO; 2];
+            snapshot[1 - tid] = other_done;
+            snapshot[tid] = Position { epoch, task: 0 };
+            let r = CheckRequest {
+                tid,
+                pos: Position { epoch, task: 0 },
+                snapshot: snapshot.to_vec().into_boxed_slice(),
+                sig: sig(&[3]),
+            };
+            assert!(c.admit(r).is_none(), "epoch {epoch} must not conflict");
+        }
+    }
+}

@@ -1,0 +1,682 @@
+//! The threaded SPECCROSS engine (§4.2, Fig. 4.5).
+//!
+//! One manager (the calling thread), `num_workers` worker threads and one
+//! checker thread. Workers execute epochs back-to-back, crossing barrier
+//! boundaries speculatively; each task's signature and start-time position
+//! snapshot go to the checker, which runs the pure conflict test of
+//! [`crate::check`]. Every `checkpoint_every` epochs the workers rendezvous,
+//! the checker is drained, and the workload state is snapshotted. On
+//! misspeculation all workers unwind cooperatively, the last checkpoint is
+//! restored, the misspeculated epochs re-execute under non-speculative
+//! barriers, and speculation resumes (substitution S3 of DESIGN.md replaces
+//! the thesis' `fork`/`kill` mechanics with snapshot/restore + cooperative
+//! cancellation; the recovery *sequence* is identical).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::utils::Backoff;
+use parking_lot::Mutex;
+
+use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
+use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
+use crossinvoc_runtime::SpinBarrier;
+
+use crate::check::{CheckRequest, CheckerState, Conflict};
+use crate::position::{Position, PositionBoard};
+use crate::profile::{DistanceProfiler, ProfileReport};
+use crate::workload::{NullRecorder, SigRecorder, SpecWorkload};
+
+/// Configuration for [`SpecCrossEngine`].
+#[derive(Debug, Clone)]
+pub struct SpecConfig {
+    /// Worker thread count (the checker thread is additional, matching the
+    /// thesis' accounting in §5.2).
+    pub num_workers: usize,
+    /// Take a checkpoint every this many epochs (thesis default: 1000).
+    pub checkpoint_every: usize,
+    /// Speculative range in tasks, normally the profiled minimum dependence
+    /// distance ([`ProfileReport::min_distance`]). `None` disables gating.
+    pub spec_distance: Option<u64>,
+    /// Test/experiment hook: force a misspeculation the first time any task
+    /// of this epoch is admitted by the checker (used by the Fig. 5.3
+    /// recovery-cost experiment; the thesis triggers it "randomly").
+    pub inject_conflict_at_epoch: Option<u32>,
+}
+
+impl SpecConfig {
+    /// Configuration with `num_workers` workers and thesis defaults.
+    pub fn with_workers(num_workers: usize) -> Self {
+        Self {
+            num_workers,
+            checkpoint_every: 1000,
+            spec_distance: None,
+            inject_conflict_at_epoch: None,
+        }
+    }
+
+    /// Sets the checkpoint interval in epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    pub fn checkpoint_every(mut self, epochs: usize) -> Self {
+        assert!(epochs > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = epochs;
+        self
+    }
+
+    /// Sets the speculative range (minimum dependence distance) in tasks.
+    pub fn spec_distance(mut self, distance: Option<u64>) -> Self {
+        self.spec_distance = distance;
+        self
+    }
+
+    /// Forces a conflict at the given epoch (testing / recovery studies).
+    pub fn inject_conflict_at_epoch(mut self, epoch: Option<u32>) -> Self {
+        self.inject_conflict_at_epoch = epoch;
+        self
+    }
+}
+
+/// Errors reported by the SPECCROSS engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The configuration requested zero workers.
+    NoWorkers,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoWorkers => write!(f, "at least one worker thread is required"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Outcome of a SPECCROSS execution.
+#[derive(Debug, Clone)]
+pub struct SpecReport {
+    /// Counter snapshot (tasks, epochs, checking requests, …).
+    pub stats: StatsSummary,
+    /// Wall-clock time of the region.
+    pub elapsed: Duration,
+    /// Worker threads used (excluding the checker).
+    pub num_workers: usize,
+    /// Signature comparisons the checker performed.
+    pub comparisons: u64,
+    /// Conflicts that triggered recovery, in detection order.
+    pub conflicts: Vec<Conflict>,
+}
+
+/// Message from a worker (or the checkpoint serial thread) to the checker.
+enum CheckerMsg<S> {
+    Check(CheckRequest<S>),
+    /// Discard log entries below this epoch (sent after a checkpoint).
+    Prune(u32),
+}
+
+/// Outcome of one speculative pass.
+enum PassOutcome {
+    Completed,
+    Misspeculated {
+        /// Epoch of the restored checkpoint.
+        checkpoint_epoch: usize,
+        /// First epoch to run speculatively again; `[checkpoint_epoch,
+        /// resume_epoch)` re-executes under non-speculative barriers.
+        resume_epoch: usize,
+    },
+}
+
+/// Interruptible rendezvous used at checkpoints.
+///
+/// Like a barrier, but every wait polls the misspeculation flag: when it
+/// rises, all participants abandon the pass (the structure is discarded with
+/// the pass, so the dirty counter is harmless).
+struct SyncPoint {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+}
+
+enum WaitOutcome {
+    /// Released; `true` on the serial (last-arriving) participant.
+    Released(bool),
+    Aborted,
+}
+
+impl SyncPoint {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    fn wait(&self, abort: &AtomicBool) -> WaitOutcome {
+        if abort.load(Ordering::Acquire) {
+            return WaitOutcome::Aborted;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.store(gen + 1, Ordering::Release);
+            WaitOutcome::Released(true)
+        } else {
+            let backoff = Backoff::new();
+            loop {
+                if self.generation.load(Ordering::Acquire) != gen {
+                    return WaitOutcome::Released(false);
+                }
+                if abort.load(Ordering::Acquire) {
+                    return WaitOutcome::Aborted;
+                }
+                backoff.snooze();
+            }
+        }
+    }
+}
+
+/// Shared state of one speculative pass.
+struct PassShared<S, St> {
+    board: PositionBoard,
+    misspec: AtomicBool,
+    conflict: Mutex<Option<Conflict>>,
+    /// Latest durable checkpoint: (epoch, state).
+    checkpoint: Mutex<(usize, St)>,
+    sent: AtomicU64,
+    processed: AtomicU64,
+    done_workers: AtomicUsize,
+    tx: Sender<CheckerMsg<S>>,
+    sync: SyncPoint,
+    /// Global task index of the first task of each epoch (prefix sums).
+    prefix: Vec<u64>,
+}
+
+/// The software-only speculative-barrier engine.
+///
+/// Generic over the signature scheme `S` (default: the thesis'
+/// [`RangeSignature`]).
+///
+/// # Example
+///
+/// ```
+/// use crossinvoc_speccross::prelude::*;
+/// use crossinvoc_runtime::SharedSlice;
+///
+/// // 6 epochs of 8 independent tasks; task t of each epoch bumps cell t.
+/// // No cross-epoch task ever touches a *different* cell, so the only
+/// // cross-invocation dependences are per-cell chains — and distributing
+/// // tasks round-robin keeps each chain on one worker: speculation never
+/// // misses.
+/// struct Steps {
+///     data: SharedSlice<u64>,
+/// }
+/// impl SpecWorkload for Steps {
+///     type State = Vec<u64>;
+///     fn num_epochs(&self) -> usize { 6 }
+///     fn num_tasks(&self, _epoch: usize) -> usize { 8 }
+///     fn execute_task(&self, _e: usize, t: usize, _tid: usize,
+///                     rec: &mut dyn AccessRecorder) {
+///         rec.write(t);
+///         unsafe { self.data.update(t, |v| *v += 1) };
+///     }
+///     fn snapshot(&self) -> Vec<u64> {
+///         (0..self.data.len()).map(|i| unsafe { self.data.read(i) }).collect()
+///     }
+///     fn restore(&self, s: &Vec<u64>) {
+///         for (i, v) in s.iter().enumerate() {
+///             unsafe { self.data.write(i, *v) };
+///         }
+///     }
+/// }
+///
+/// let mut w = Steps { data: SharedSlice::from_vec(vec![0; 8]) };
+/// let engine: SpecCrossEngine = SpecCrossEngine::new(SpecConfig::with_workers(2));
+/// let report = engine.execute(&w).unwrap();
+/// assert_eq!(report.stats.misspeculations, 0);
+/// assert!(w.data.snapshot().iter().all(|&v| v == 6));
+/// ```
+#[derive(Debug)]
+pub struct SpecCrossEngine<S = RangeSignature> {
+    config: SpecConfig,
+    _sig: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<S: AccessSignature> SpecCrossEngine<S> {
+    /// Creates an engine from `config`.
+    pub fn new(config: SpecConfig) -> Self {
+        Self {
+            config,
+            _sig: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs `workload` with speculative barriers, recovering from
+    /// misspeculation until the region completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::NoWorkers`] if configured with zero workers.
+    pub fn execute<W: SpecWorkload>(&self, workload: &W) -> Result<SpecReport, SpecError> {
+        if self.config.num_workers == 0 {
+            return Err(SpecError::NoWorkers);
+        }
+        let stats = RegionStats::new();
+        let mut conflicts = Vec::new();
+        let mut comparisons = 0;
+        let start = Instant::now();
+        let mut start_epoch = 0usize;
+        let num_epochs = workload.num_epochs();
+
+        while start_epoch < num_epochs {
+            let (outcome, pass_comparisons, pass_conflict, ckpt_state) =
+                self.speculative_pass(workload, start_epoch, &stats);
+            comparisons += pass_comparisons;
+            match outcome {
+                PassOutcome::Completed => {
+                    start_epoch = num_epochs;
+                }
+                PassOutcome::Misspeculated {
+                    checkpoint_epoch,
+                    resume_epoch,
+                } => {
+                    stats.add_misspeculation();
+                    if let Some(c) = pass_conflict {
+                        conflicts.push(c);
+                    }
+                    // Roll back, then re-execute the misspeculated epochs
+                    // with non-speculative barriers (§4.2.2).
+                    workload.restore(&ckpt_state);
+                    self.run_barrier_range(workload, checkpoint_epoch, resume_epoch, &stats);
+                    start_epoch = resume_epoch;
+                }
+            }
+        }
+
+        Ok(SpecReport {
+            stats: stats.summary(),
+            elapsed: start.elapsed(),
+            num_workers: self.config.num_workers,
+            comparisons,
+            conflicts,
+        })
+    }
+
+    /// Executes `workload` entirely under non-speculative barriers — the
+    /// `pthread_barrier` baseline of Figs. 5.1/5.2 and the NON-SPECULATIVE
+    /// mode of Table 4.1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::NoWorkers`] if configured with zero workers.
+    pub fn execute_with_barriers<W: SpecWorkload>(
+        &self,
+        workload: &W,
+    ) -> Result<SpecReport, SpecError> {
+        if self.config.num_workers == 0 {
+            return Err(SpecError::NoWorkers);
+        }
+        let stats = RegionStats::new();
+        let start = Instant::now();
+        self.run_barrier_range(workload, 0, workload.num_epochs(), &stats);
+        Ok(SpecReport {
+            stats: stats.summary(),
+            elapsed: start.elapsed(),
+            num_workers: self.config.num_workers,
+            comparisons: 0,
+            conflicts: Vec::new(),
+        })
+    }
+
+    /// Profiles `workload` sequentially, returning the minimum cross-epoch
+    /// dependence distance (§4.4). `window_epochs` bounds how far apart
+    /// conflicting epochs may be to be observed (Table 5.3 used the whole
+    /// program; a window of a few epochs is sufficient for every workload in
+    /// the suite and keeps profiling linear).
+    pub fn profile<W: SpecWorkload>(workload: &W, window_epochs: u32) -> ProfileReport {
+        let mut profiler = DistanceProfiler::<S>::new(window_epochs);
+        let mut recorder = SigRecorder::<S>::new();
+        for epoch in 0..workload.num_epochs() {
+            for task in 0..workload.num_tasks(epoch) {
+                workload.execute_task(epoch, task, 0, &mut recorder);
+                profiler.record_task(recorder.take());
+            }
+            profiler.epoch_boundary();
+        }
+        profiler.report()
+    }
+
+    /// One speculative attempt from `start_epoch`. Returns the outcome, the
+    /// checker's comparison count, the conflict (if any) and the state of
+    /// the checkpoint to restore on misspeculation.
+    fn speculative_pass<W: SpecWorkload>(
+        &self,
+        workload: &W,
+        start_epoch: usize,
+        stats: &RegionStats,
+    ) -> (PassOutcome, u64, Option<Conflict>, W::State) {
+        let num_workers = self.config.num_workers;
+        let num_epochs = workload.num_epochs();
+        let mut prefix = Vec::with_capacity(num_epochs + 1);
+        let mut acc = 0u64;
+        for e in 0..num_epochs {
+            prefix.push(acc);
+            acc += workload.num_tasks(e) as u64;
+        }
+        prefix.push(acc);
+
+        let (tx, rx) = unbounded::<CheckerMsg<S>>();
+        let shared = PassShared {
+            board: PositionBoard::new(num_workers),
+            misspec: AtomicBool::new(false),
+            conflict: Mutex::new(None),
+            checkpoint: Mutex::new((start_epoch, workload.snapshot())),
+            sent: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            done_workers: AtomicUsize::new(0),
+            tx,
+            sync: SyncPoint::new(num_workers),
+            prefix,
+        };
+        stats.add_checkpoint();
+
+        let mut comparisons = 0;
+        std::thread::scope(|scope| {
+            // Checker thread.
+            let checker = scope.spawn(|| self.checker_loop(&shared, rx, stats));
+            // Worker threads.
+            for tid in 0..num_workers {
+                let shared = &shared;
+                scope.spawn(move || {
+                    self.worker_pass(workload, shared, tid, start_epoch, stats);
+                    shared.done_workers.fetch_add(1, Ordering::Release);
+                    // A finished worker never gates anyone again.
+                    shared.board.set_frontier(tid, u64::MAX);
+                });
+            }
+            comparisons = checker.join().expect("checker thread panicked");
+        });
+
+        let (checkpoint_epoch, ckpt_state) = {
+            let mut guard = shared.checkpoint.lock();
+            let epoch = guard.0;
+            // Replace with a throwaway snapshot to move the state out.
+            let state = std::mem::replace(&mut guard.1, workload.snapshot());
+            (epoch, state)
+        };
+
+        if shared.misspec.load(Ordering::Acquire) {
+            let resume_epoch = (shared.board.max_epoch() as usize + 1)
+                .max(start_epoch + 1)
+                .min(num_epochs);
+            let conflict = *shared.conflict.lock();
+            (
+                PassOutcome::Misspeculated {
+                    checkpoint_epoch,
+                    resume_epoch,
+                },
+                comparisons,
+                conflict,
+                ckpt_state,
+            )
+        } else {
+            (PassOutcome::Completed, comparisons, None, ckpt_state)
+        }
+    }
+
+    /// The per-worker driver (Fig. 4.7's worker pseudo-code, plus the
+    /// checkpoint rendezvous and misspeculation polling).
+    fn worker_pass<W: SpecWorkload>(
+        &self,
+        workload: &W,
+        shared: &PassShared<S, W::State>,
+        tid: usize,
+        start_epoch: usize,
+        stats: &RegionStats,
+    ) {
+        let num_workers = self.config.num_workers;
+        let num_epochs = workload.num_epochs();
+        let mut recorder = SigRecorder::<S>::new();
+
+        for epoch in start_epoch..num_epochs {
+            let irreversible = workload.epoch_is_irreversible(epoch);
+            let periodic = epoch > start_epoch
+                && (epoch - start_epoch).is_multiple_of(self.config.checkpoint_every);
+            if irreversible || periodic {
+                // Synchronize, drain the checker, snapshot (§4.2.2).
+                if !self.checkpoint_rendezvous(workload, shared, tid, epoch, stats) {
+                    return; // aborted by misspeculation
+                }
+            }
+
+            // enter_barrier: cross the invocation boundary speculatively.
+            shared.board.set_position(tid, Position {
+                epoch: epoch as u32,
+                task: 0,
+            });
+            if tid == 0 {
+                stats.add_epoch();
+            }
+
+            let ntasks = workload.num_tasks(epoch);
+            if irreversible {
+                // Runs between two full synchronizations: plain parallel
+                // execution, no signatures, then checkpoint.
+                let mut task = tid;
+                while task < ntasks {
+                    workload.execute_task(epoch, task, tid, &mut NullRecorder);
+                    stats.add_task();
+                    task += num_workers;
+                }
+                if !self.checkpoint_rendezvous(workload, shared, tid, epoch + 1, stats) {
+                    return;
+                }
+                continue;
+            }
+
+            let mut task = tid;
+            let mut local_counter = 0u32;
+            while task < ntasks {
+                let global = shared.prefix[epoch] + task as u64;
+                // enter_task: publish the frontier, then gate on the
+                // speculative range.
+                shared.board.set_frontier(tid, global);
+                if let Some(distance) = self.config.spec_distance {
+                    let mut stalled = false;
+                    let backoff = Backoff::new();
+                    while let Some(min) = shared.board.min_other_frontier(tid) {
+                        // Strict: any still-unfinished task g1 satisfies
+                        // g1 >= min, so global - g1 < distance — closer than
+                        // the closest profiled dependence, hence safe.
+                        if global < min.saturating_add(distance) {
+                            break;
+                        }
+                        if shared.misspec.load(Ordering::Acquire) {
+                            return;
+                        }
+                        if !stalled {
+                            stalled = true;
+                            stats.add_stall();
+                        }
+                        backoff.snooze();
+                    }
+                }
+                if shared.misspec.load(Ordering::Acquire) {
+                    return;
+                }
+                let pos = Position {
+                    epoch: epoch as u32,
+                    task: local_counter,
+                };
+                shared.board.set_position(tid, pos);
+                let snapshot = shared.board.snapshot();
+
+                workload.execute_task(epoch, task, tid, &mut recorder);
+                stats.add_task();
+
+                // exit_task: ship the signature to the checker.
+                let sig = recorder.take();
+                if !sig.is_empty() {
+                    shared.sent.fetch_add(1, Ordering::Release);
+                    stats.add_check_request();
+                    let _ = shared.tx.send(CheckerMsg::Check(CheckRequest {
+                        tid,
+                        pos,
+                        snapshot,
+                        sig,
+                    }));
+                }
+                local_counter += 1;
+                // Advance the position past the completed task so that
+                // later-starting tasks' snapshots observe it as retired;
+                // leaving it at the started coordinate would make every
+                // finished-but-idle worker look like a racing overlap.
+                shared.board.set_position(tid, Position {
+                    epoch: epoch as u32,
+                    task: local_counter,
+                });
+                task += num_workers;
+            }
+        }
+        // send_end_token: completion is signalled via `done_workers` by the
+        // caller; nothing further to do here.
+    }
+
+    /// All-worker rendezvous: drain the checker, then have the serial worker
+    /// snapshot the workload as the new checkpoint. Returns `false` if the
+    /// pass was aborted by misspeculation.
+    fn checkpoint_rendezvous<W: SpecWorkload>(
+        &self,
+        workload: &W,
+        shared: &PassShared<S, W::State>,
+        tid: usize,
+        epoch: usize,
+        stats: &RegionStats,
+    ) -> bool {
+        // While parked here this worker's frontier must not gate leaders
+        // forever: everything below `epoch` is finished, so advertise the
+        // epoch's first global task index (every not-yet-arrived worker's
+        // next task is below it, so none of them can be gated by us).
+        shared.board.set_frontier(tid, shared.prefix[epoch]);
+        let serial = match shared.sync.wait(&shared.misspec) {
+            WaitOutcome::Released(serial) => serial,
+            WaitOutcome::Aborted => return false,
+        };
+        if serial {
+            // Wait for the checker to finish all requests before the
+            // checkpoint, so the snapshot is known-good (§4.2.2).
+            let backoff = Backoff::new();
+            while shared.processed.load(Ordering::Acquire)
+                < shared.sent.load(Ordering::Acquire)
+            {
+                if shared.misspec.load(Ordering::Acquire) {
+                    break;
+                }
+                backoff.snooze();
+            }
+            if !shared.misspec.load(Ordering::Acquire) {
+                *shared.checkpoint.lock() = (epoch, workload.snapshot());
+                stats.add_checkpoint();
+                let _ = shared.tx.send(CheckerMsg::Prune(epoch as u32));
+            }
+        }
+        matches!(
+            shared.sync.wait(&shared.misspec),
+            WaitOutcome::Released(_)
+        )
+    }
+
+    /// The checker thread (Fig. 4.7's checker pseudo-code). Returns the
+    /// number of signature comparisons performed.
+    fn checker_loop<St>(
+        &self,
+        shared: &PassShared<S, St>,
+        rx: Receiver<CheckerMsg<S>>,
+        _stats: &RegionStats,
+    ) -> u64 {
+        let num_workers = self.config.num_workers;
+        let mut state = CheckerState::<S>::new(num_workers);
+        let backoff = Backoff::new();
+        loop {
+            match rx.try_recv() {
+                Ok(CheckerMsg::Check(req)) => {
+                    backoff.reset();
+                    let injected = self
+                        .config
+                        .inject_conflict_at_epoch
+                        .is_some_and(|e| req.pos.epoch == e);
+                    let conflict = if injected {
+                        Some(Conflict {
+                            earlier: (req.tid, req.pos),
+                            later: (req.tid, req.pos),
+                        })
+                    } else {
+                        state.admit(req)
+                    };
+                    shared.processed.fetch_add(1, Ordering::Release);
+                    if let Some(c) = conflict {
+                        *shared.conflict.lock() = Some(c);
+                        shared.misspec.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+                Ok(CheckerMsg::Prune(epoch)) => state.prune_before_epoch(epoch),
+                Err(TryRecvError::Empty) => {
+                    if shared.misspec.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if shared.done_workers.load(Ordering::Acquire) == num_workers
+                        && shared.processed.load(Ordering::Acquire)
+                            == shared.sent.load(Ordering::Acquire)
+                    {
+                        break;
+                    }
+                    backoff.snooze();
+                }
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        state.comparisons()
+    }
+
+    /// Executes epochs `[from, to)` under non-speculative barriers.
+    fn run_barrier_range<W: SpecWorkload>(
+        &self,
+        workload: &W,
+        from: usize,
+        to: usize,
+        stats: &RegionStats,
+    ) {
+        if from >= to {
+            return;
+        }
+        let num_workers = self.config.num_workers;
+        let barrier = SpinBarrier::new(num_workers);
+        std::thread::scope(|scope| {
+            for tid in 0..num_workers {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    for epoch in from..to {
+                        if tid == 0 {
+                            stats.add_epoch();
+                        }
+                        let ntasks = workload.num_tasks(epoch);
+                        let mut task = tid;
+                        while task < ntasks {
+                            workload.execute_task(epoch, task, tid, &mut NullRecorder);
+                            stats.add_task();
+                            task += num_workers;
+                        }
+                        barrier.wait(tid);
+                    }
+                });
+            }
+        });
+    }
+}

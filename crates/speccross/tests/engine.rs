@@ -1,0 +1,354 @@
+//! End-to-end tests of the SPECCROSS engine: correctness under speculation,
+//! deterministic recovery, checkpointing, irreversible epochs and profiling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossinvoc_runtime::SharedSlice;
+use crossinvoc_speccross::prelude::*;
+use crossinvoc_speccross::{SpecError, SpecWorkload};
+
+/// A ping-pong stencil: epoch e reads cells of the (e-1)-parity array and
+/// writes the e-parity array; task t of epoch e writes cell t and reads
+/// cells t-1, t, t+1 of the other array. Real cross-epoch dependences with
+/// distance ≈ one epoch of tasks.
+struct PingPong {
+    a: SharedSlice<u64>,
+    b: SharedSlice<u64>,
+    epochs: usize,
+}
+
+impl PingPong {
+    fn new(n: usize, epochs: usize) -> Self {
+        Self {
+            a: SharedSlice::from_vec((0..n as u64).collect()),
+            b: SharedSlice::from_vec(vec![0; n]),
+            epochs,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.a.len()
+    }
+
+    fn sequential(n: usize, epochs: usize) -> Vec<u64> {
+        let mut a: Vec<u64> = (0..n as u64).collect();
+        let mut b = vec![0u64; n];
+        for _ in 0..epochs {
+            for t in 0..n {
+                let left = a[t.saturating_sub(1)];
+                let right = a[(t + 1).min(n - 1)];
+                b[t] = left.wrapping_add(a[t]).wrapping_add(right) / 3 + 1;
+            }
+            std::mem::swap(&mut a, &mut b);
+        }
+        a
+    }
+
+    fn result(&mut self) -> Vec<u64> {
+        if self.epochs.is_multiple_of(2) {
+            self.a.snapshot()
+        } else {
+            self.b.snapshot()
+        }
+    }
+}
+
+impl SpecWorkload for PingPong {
+    type State = (Vec<u64>, Vec<u64>);
+
+    fn num_epochs(&self) -> usize {
+        self.epochs
+    }
+
+    fn num_tasks(&self, _epoch: usize) -> usize {
+        self.n()
+    }
+
+    fn execute_task(
+        &self,
+        epoch: usize,
+        task: usize,
+        _tid: usize,
+        rec: &mut dyn AccessRecorder,
+    ) {
+        let n = self.n();
+        let (src, dst, base_src, base_dst) = if epoch.is_multiple_of(2) {
+            (&self.a, &self.b, 0usize, n)
+        } else {
+            (&self.b, &self.a, n, 0usize)
+        };
+        let lo = task.saturating_sub(1);
+        let hi = (task + 1).min(n - 1);
+        rec.read(base_src + lo);
+        rec.read(base_src + hi);
+        rec.write(base_dst + task);
+        // SAFETY: same-epoch tasks write disjoint cells of `dst` and only
+        // read `src`; cross-epoch conflicts are the engine's concern.
+        unsafe {
+            let left = src.read(lo);
+            let mid = src.read(task);
+            let right = src.read(hi);
+            dst.write(task, left.wrapping_add(mid).wrapping_add(right) / 3 + 1);
+        }
+    }
+
+    fn snapshot(&self) -> Self::State {
+        let read_all = |s: &SharedSlice<u64>| {
+            (0..s.len())
+                .map(|i| unsafe { s.read(i) })
+                .collect::<Vec<_>>()
+        };
+        (read_all(&self.a), read_all(&self.b))
+    }
+
+    fn restore(&self, state: &Self::State) {
+        for (i, v) in state.0.iter().enumerate() {
+            unsafe { self.a.write(i, *v) };
+        }
+        for (i, v) in state.1.iter().enumerate() {
+            unsafe { self.b.write(i, *v) };
+        }
+    }
+}
+
+#[test]
+fn speculative_matches_sequential_when_gated() {
+    for workers in [1, 2, 4] {
+        let mut w = PingPong::new(32, 10);
+        // The profiled distance for this stencil is about one epoch of
+        // tasks; gate accordingly so dependences never misspeculate.
+        let profile = SpecCrossEngine::<
+            crossinvoc_runtime::RangeSignature,
+        >::profile(&PingPong::new(32, 4), 4);
+        assert!(profile.min_distance.is_some());
+        let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+            SpecConfig::with_workers(workers).spec_distance(profile.min_distance),
+        )
+        .execute(&w)
+        .unwrap();
+        assert_eq!(report.stats.misspeculations, 0, "gated run never rolls back");
+        assert_eq!(w.result(), PingPong::sequential(32, 10));
+        assert_eq!(report.stats.tasks, 32 * 10);
+        assert_eq!(report.stats.epochs, 10);
+    }
+}
+
+#[test]
+fn ungated_speculation_recovers_to_correct_result() {
+    // Without a gate the engine may or may not misspeculate depending on
+    // interleaving; either way the final state must be sequential.
+    for seed in 0..3 {
+        let mut w = PingPong::new(16 + seed, 8);
+        let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+            SpecConfig::with_workers(3),
+        )
+        .execute(&w)
+        .unwrap();
+        assert_eq!(w.result(), PingPong::sequential(16 + seed, 8));
+        assert!(report.stats.tasks >= (16 + seed as u64) * 8);
+    }
+}
+
+#[test]
+fn barrier_baseline_matches_sequential() {
+    let mut w = PingPong::new(24, 7);
+    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+        SpecConfig::with_workers(3),
+    )
+    .execute_with_barriers(&w)
+    .unwrap();
+    assert_eq!(w.result(), PingPong::sequential(24, 7));
+    assert_eq!(report.stats.tasks, 24 * 7);
+    assert_eq!(report.comparisons, 0);
+}
+
+#[test]
+fn injected_conflict_triggers_exactly_one_recovery() {
+    let mut w = PingPong::new(16, 9);
+    let d = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&PingPong::new(16, 4), 4)
+        .min_distance;
+    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+        SpecConfig::with_workers(2)
+            .spec_distance(d)
+            .inject_conflict_at_epoch(Some(4)),
+    )
+    .execute(&w)
+    .unwrap();
+    assert_eq!(report.stats.misspeculations, 1);
+    assert_eq!(report.conflicts.len(), 1);
+    assert_eq!(w.result(), PingPong::sequential(16, 9));
+}
+
+#[test]
+fn frequent_checkpoints_bound_reexecution() {
+    let mut w = PingPong::new(16, 20);
+    let d = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&PingPong::new(16, 4), 4)
+        .min_distance;
+    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+        SpecConfig::with_workers(2)
+            .checkpoint_every(2)
+            .spec_distance(d)
+            .inject_conflict_at_epoch(Some(10)),
+    )
+    .execute(&w)
+    .unwrap();
+    assert_eq!(report.stats.misspeculations, 1);
+    // Pass-start checkpoints plus periodic ones: with an interval of 2 over
+    // 20 epochs there must be many.
+    assert!(
+        report.stats.checkpoints >= 5,
+        "expected frequent checkpoints, got {}",
+        report.stats.checkpoints
+    );
+    assert_eq!(w.result(), PingPong::sequential(16, 20));
+}
+
+/// Wraps PingPong, marking one epoch irreversible and counting how many
+/// times its tasks run.
+struct WithIrreversible {
+    inner: PingPong,
+    irreversible_epoch: usize,
+    irreversible_runs: AtomicU64,
+}
+
+impl SpecWorkload for WithIrreversible {
+    type State = <PingPong as SpecWorkload>::State;
+
+    fn num_epochs(&self) -> usize {
+        self.inner.num_epochs()
+    }
+    fn num_tasks(&self, epoch: usize) -> usize {
+        self.inner.num_tasks(epoch)
+    }
+    fn execute_task(
+        &self,
+        epoch: usize,
+        task: usize,
+        tid: usize,
+        rec: &mut dyn AccessRecorder,
+    ) {
+        if epoch == self.irreversible_epoch {
+            self.irreversible_runs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.execute_task(epoch, task, tid, rec);
+    }
+    fn snapshot(&self) -> Self::State {
+        self.inner.snapshot()
+    }
+    fn restore(&self, state: &Self::State) {
+        self.inner.restore(state);
+    }
+    fn epoch_is_irreversible(&self, epoch: usize) -> bool {
+        epoch == self.irreversible_epoch
+    }
+}
+
+#[test]
+fn irreversible_epoch_is_never_reexecuted() {
+    let n = 16;
+    let epochs = 10;
+    let mut w = WithIrreversible {
+        inner: PingPong::new(n, epochs),
+        irreversible_epoch: 3,
+        irreversible_runs: AtomicU64::new(0),
+    };
+    let d = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(
+        &PingPong::new(n, 4),
+        4,
+    )
+    .min_distance;
+    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+        SpecConfig::with_workers(2)
+            .spec_distance(d)
+            .inject_conflict_at_epoch(Some(7)),
+    )
+    .execute(&w)
+    .unwrap();
+    assert_eq!(report.stats.misspeculations, 1);
+    assert_eq!(
+        w.irreversible_runs.load(Ordering::Relaxed),
+        n as u64,
+        "the irreversible epoch must run its tasks exactly once"
+    );
+    assert_eq!(w.inner.result(), PingPong::sequential(n, epochs));
+}
+
+#[test]
+fn zero_workers_is_an_error() {
+    let w = PingPong::new(4, 2);
+    let engine =
+        SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(SpecConfig::with_workers(0));
+    assert_eq!(engine.execute(&w).unwrap_err(), SpecError::NoWorkers);
+    assert_eq!(
+        engine.execute_with_barriers(&w).unwrap_err(),
+        SpecError::NoWorkers
+    );
+}
+
+#[test]
+fn empty_region_completes_immediately() {
+    let mut w = PingPong::new(4, 0);
+    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+        SpecConfig::with_workers(2),
+    )
+    .execute(&w)
+    .unwrap();
+    assert_eq!(report.stats.tasks, 0);
+    assert_eq!(w.result(), PingPong::sequential(4, 0));
+}
+
+#[test]
+fn profile_reports_stencil_distance() {
+    let w = PingPong::new(32, 6);
+    let profile =
+        SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&w, 4);
+    // Task t of epoch e writes cell t of one array; task t' of epoch e+1
+    // reads cells t'-1..t'+1 of that array. With range signatures the whole
+    // epoch overlaps, so the profiled distance is small but positive.
+    let d = profile.min_distance.expect("stencil must conflict");
+    assert!((1..=64).contains(&d), "distance {d} out of expected range");
+    assert!(profile.conflicts > 0);
+    assert_eq!(profile.tasks, 32 * 6);
+}
+
+#[test]
+fn check_requests_are_counted() {
+    let w = PingPong::new(8, 5);
+    let d = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&PingPong::new(8, 4), 4)
+        .min_distance;
+    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+        SpecConfig::with_workers(2).spec_distance(d),
+    )
+    .execute(&w)
+    .unwrap();
+    // Every task records accesses, so every task files a request.
+    assert_eq!(report.stats.check_requests, 8 * 5);
+}
+
+#[test]
+fn engine_works_with_bloom_signatures() {
+    use crossinvoc_runtime::BloomSignature;
+    let mut w = PingPong::new(16, 6);
+    let d = SpecCrossEngine::<BloomSignature>::profile(&PingPong::new(16, 4), 4).min_distance;
+    let report = SpecCrossEngine::<BloomSignature>::new(
+        SpecConfig::with_workers(2).spec_distance(d),
+    )
+    .execute(&w)
+    .unwrap();
+    assert_eq!(w.result(), PingPong::sequential(16, 6));
+    // Bloom filters may add false-positive conflicts but never unsoundness;
+    // a gated run still recovers to the right answer either way.
+    assert!(report.stats.tasks >= 16 * 6);
+}
+
+#[test]
+fn single_worker_speculation_is_trivially_sound() {
+    let mut w = PingPong::new(8, 5);
+    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+        SpecConfig::with_workers(1),
+    )
+    .execute(&w)
+    .unwrap();
+    assert_eq!(w.result(), PingPong::sequential(8, 5));
+    assert_eq!(report.stats.misspeculations, 0, "one worker cannot race");
+}

@@ -1,0 +1,124 @@
+//! BLACKSCHOLES — the PARSEC option-pricing benchmark (Table 5.1,
+//! Fig. 5.1(a)).
+//!
+//! Each invocation prices a block of options; pricing is embarrassingly
+//! parallel except for a *rare* cross-iteration update to shared error
+//! statistics, which forces a Spec-DOALL inner-loop plan (Table 5.1). At
+//! the nest level that rare-but-real dependence is exactly what DOMORE's
+//! runtime detection turns into an occasional synchronization condition
+//! instead of a barrier.
+
+use crossinvoc_runtime::hash::splitmix64;
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_sim::SimWorkload;
+
+use crate::scale::Scale;
+
+/// The BLACKSCHOLES workload model.
+#[derive(Debug, Clone)]
+pub struct Blackscholes {
+    /// Pricing rounds (invocations).
+    rounds: usize,
+    /// Options per round (iterations).
+    options: usize,
+    /// One in `rarity` iterations updates the shared statistics cell.
+    rarity: u64,
+    seed: u64,
+}
+
+impl Blackscholes {
+    /// Builds the model at the given scale with a fixed input seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self {
+            rounds: scale.pick(12, 200),
+            options: scale.pick(48, 1024),
+            rarity: 400,
+            seed,
+        }
+    }
+
+    fn stats_cell(&self) -> usize {
+        self.options
+    }
+
+    fn is_rare_hit(&self, inv: usize, iter: usize) -> bool {
+        splitmix64(self.seed ^ ((inv as u64) << 32 | iter as u64)).is_multiple_of(self.rarity)
+    }
+}
+
+impl SimWorkload for Blackscholes {
+    fn num_invocations(&self) -> usize {
+        self.rounds
+    }
+
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.options
+    }
+
+    fn iteration_cost(&self, inv: usize, iter: usize) -> u64 {
+        // A closed-form pricing kernel with mild data-dependent variance.
+        5_000 + splitmix64(self.seed ^ ((inv * 977 + iter) as u64)) % 1_500
+    }
+
+    fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        out.push((iter, AccessKind::Write)); // prices[iter]
+        if self.is_rare_hit(inv, iter) {
+            out.push((self.stats_cell(), AccessKind::Write));
+        }
+    }
+
+    fn sched_cost(&self, _inv: usize, _iter: usize) -> u64 {
+        // Table 5.2: 4.5% scheduler/worker ratio.
+        230
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        Some(self.options + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{profile_distance, AccessKernel};
+    use crossinvoc_domore::prelude::*;
+
+    #[test]
+    fn shared_updates_are_rare_but_present() {
+        let b = Blackscholes::new(Scale::Test, 9);
+        let mut hits = 0;
+        let mut v = Vec::new();
+        for inv in 0..b.rounds {
+            for iter in 0..b.options {
+                v.clear();
+                b.accesses(inv, iter, &mut v);
+                hits += usize::from(v.len() == 2);
+            }
+        }
+        let total = b.rounds * b.options;
+        assert!(hits > 0, "the dependence must exist");
+        assert!(
+            (hits as f64) < total as f64 * 0.02,
+            "and be rare: {hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn fixed_price_cells_keep_per_worker_chains() {
+        // prices[iter] is written by worker iter % W every round: the only
+        // cross-worker conflicts go through the stats cell.
+        let b = Blackscholes::new(Scale::Test, 9);
+        let p = profile_distance(&b, 4);
+        assert!(p.conflicts > 0);
+    }
+
+    #[test]
+    fn domore_execution_matches_sequential() {
+        let kernel = AccessKernel::from_model(Blackscholes::new(Scale::Test, 9));
+        let expected = kernel.sequential_checksum();
+        DomoreRuntime::new(DomoreConfig::with_workers(3))
+            .execute(&kernel)
+            .unwrap();
+        assert_eq!(kernel.checksum(), expected);
+    }
+}

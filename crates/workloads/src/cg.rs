@@ -1,0 +1,163 @@
+//! CG — the NAS conjugate-gradient kernel of Figs. 3.1–3.3.
+//!
+//! The performance-dominating nest: an outer loop over matrix rows computes
+//! each row's extent (`start = A[i]; end = B[i]`), and the inner loop
+//! updates `C[j]` for `j ∈ start..end`. Row extents overlap irregularly, so
+//! the `update` dependence between outer iterations manifests often — the
+//! thesis profiles 72.4% — which is why CG is DOMORE's flagship (frequent
+//! conflicts defeat speculation). Epochs are tiny (9 tasks in the thesis'
+//! input, Table 5.3), making barrier overhead catastrophic (Fig. 3.3).
+
+use crossinvoc_runtime::hash::splitmix64;
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_sim::SimWorkload;
+
+use crate::scale::Scale;
+
+/// The CG row-update workload model.
+#[derive(Debug, Clone)]
+pub struct Cg {
+    /// One invocation per matrix row.
+    rows: usize,
+    /// Length of the shared vector `C`.
+    cells: usize,
+    /// Row extent (tasks per invocation; 9 in the thesis' input).
+    extent: usize,
+    /// Start-offset stride between consecutive rows; `stride < extent`
+    /// makes consecutive rows overlap, manifesting the update dependence.
+    stride: usize,
+    seed: u64,
+}
+
+impl Cg {
+    /// Builds the model at the given scale with a fixed input seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self {
+            rows: scale.pick(80, 7000),
+            cells: scale.pick(64, 4096),
+            extent: 9,
+            stride: 4,
+            seed,
+        }
+    }
+
+    /// First cell of row `row`'s extent.
+    fn row_start(&self, row: usize) -> usize {
+        // Mostly-strided with an irregular jitter, as sparse row layouts
+        // are: the jitter is what static analysis cannot see.
+        let jitter = (splitmix64(self.seed ^ row as u64) % 3) as usize;
+        (row * self.stride + jitter) % self.cells
+    }
+
+    /// The fraction of invocations whose extent overlaps the previous
+    /// invocation's — the manifest rate of Fig. 3.1(c).
+    pub fn manifest_rate(&self) -> f64 {
+        let mut hits = 0usize;
+        for row in 1..self.rows {
+            let a = self.row_start(row - 1);
+            let b = self.row_start(row);
+            let overlap = (b.wrapping_sub(a)) % self.cells < self.extent
+                || (a.wrapping_sub(b)) % self.cells < self.extent;
+            hits += usize::from(overlap);
+        }
+        hits as f64 / (self.rows - 1).max(1) as f64
+    }
+}
+
+impl SimWorkload for Cg {
+    fn num_invocations(&self) -> usize {
+        self.rows
+    }
+
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.extent
+    }
+
+    fn iteration_cost(&self, inv: usize, iter: usize) -> u64 {
+        // The update kernel plus sparse-access jitter.
+        2_000 + splitmix64(self.seed ^ ((inv * 31 + iter) as u64)) % 600
+    }
+
+    fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        let cell = (self.row_start(inv) + iter) % self.cells;
+        out.push((cell, AccessKind::Write));
+    }
+
+    fn prologue_cost(&self, _inv: usize) -> u64 {
+        // start/end loads: the sequential region of Fig. 3.1(a).
+        160
+    }
+
+    fn sched_cost(&self, _inv: usize, _iter: usize) -> u64 {
+        // Table 5.2 reports a 4.1% scheduler/worker ratio for CG.
+        90
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        Some(self.cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{profile_distance, AccessKernel};
+    use crossinvoc_domore::prelude::*;
+
+    #[test]
+    fn update_dependence_manifests_frequently() {
+        let cg = Cg::new(Scale::Test, 42);
+        let rate = cg.manifest_rate();
+        assert!(
+            rate > 0.5,
+            "CG's update dependence must manifest often (got {rate:.3}), like the 72.4% of Fig. 3.1"
+        );
+    }
+
+    #[test]
+    fn epochs_are_small() {
+        let cg = Cg::new(Scale::Test, 42);
+        assert_eq!(cg.num_iterations(0), 9, "Table 5.3: ~9 tasks per epoch");
+    }
+
+    #[test]
+    fn profiled_distance_is_short() {
+        let cg = Cg::new(Scale::Test, 42);
+        let p = profile_distance(&cg, 4);
+        let d = p.min_distance.expect("overlapping rows must conflict");
+        assert!(
+            d < 3 * cg.extent as u64,
+            "conflicts within a few rows, got {d}"
+        );
+    }
+
+    #[test]
+    fn domore_execution_matches_sequential() {
+        let kernel = AccessKernel::from_model(Cg::new(Scale::Test, 7));
+        let expected = kernel.sequential_checksum();
+        let report = DomoreRuntime::new(DomoreConfig::with_workers(3))
+            .execute(&kernel)
+            .unwrap();
+        assert_eq!(kernel.checksum(), expected);
+        assert!(
+            report.stats.sync_conditions > 0,
+            "overlapping extents must synchronize"
+        );
+    }
+
+    #[test]
+    fn model_is_deterministic_per_seed() {
+        let a = Cg::new(Scale::Test, 5);
+        let b = Cg::new(Scale::Test, 5);
+        let c = Cg::new(Scale::Test, 6);
+        let collect = |w: &Cg| {
+            let mut v = Vec::new();
+            for inv in 0..4 {
+                w.accesses(inv, 0, &mut v);
+            }
+            v
+        };
+        assert_eq!(collect(&a), collect(&b));
+        assert_ne!(collect(&a), collect(&c));
+    }
+}

@@ -1,0 +1,143 @@
+//! ECLAT — the MineBench frequent-itemset miner (Table 5.1, Fig. 5.1(c)).
+//!
+//! The target nest traverses a graph of itemset nodes (outer loop) and, for
+//! each node, appends its items to per-transaction tid-lists (inner loop).
+//! Transaction ids repeat heavily across nodes — the thesis profiles the
+//! same dependence manifesting in 99% of outer iterations — so speculation
+//! is hopeless and DOMORE's non-speculative synchronization is the only
+//! cross-invocation option. The scheduler slice (computing which tid-list
+//! each item lands in) is comparatively heavy: Table 5.2's 12.5% ratio,
+//! which is what caps ECLAT's scaling at ~5 threads in Fig. 5.1(c).
+
+use crossinvoc_runtime::hash::splitmix64;
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_sim::SimWorkload;
+
+use crate::scale::Scale;
+
+/// The ECLAT workload model.
+#[derive(Debug, Clone)]
+pub struct Eclat {
+    /// Itemset nodes (invocations).
+    nodes: usize,
+    /// Items per node (iterations).
+    items_per_node: usize,
+    /// Distinct transaction ids (tid-lists).
+    transactions: usize,
+    seed: u64,
+}
+
+impl Eclat {
+    /// Builds the model at the given scale with a fixed input seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self {
+            nodes: scale.pick(40, 3000),
+            items_per_node: 8,
+            transactions: scale.pick(24, 96),
+            seed,
+        }
+    }
+
+    /// Transaction id of item `item` of node `node` — a skewed draw, so a
+    /// few hot transactions collide constantly.
+    fn tid(&self, node: usize, item: usize) -> usize {
+        let h = splitmix64(self.seed ^ ((node * 31 + item) as u64));
+        // Square the uniform draw: density piles onto low tids.
+        let u = (h % self.transactions as u64) as usize;
+        (u * u) / self.transactions
+    }
+
+    /// Fraction of invocations that append to a tid-list also touched by
+    /// the previous invocation (the thesis' 99% manifest rate).
+    pub fn manifest_rate(&self) -> f64 {
+        let mut hits = 0;
+        for node in 1..self.nodes {
+            let prev: std::collections::HashSet<usize> = (0..self.items_per_node)
+                .map(|i| self.tid(node - 1, i))
+                .collect();
+            if (0..self.items_per_node).any(|i| prev.contains(&self.tid(node, i))) {
+                hits += 1;
+            }
+        }
+        hits as f64 / (self.nodes - 1).max(1) as f64
+    }
+}
+
+impl SimWorkload for Eclat {
+    fn num_invocations(&self) -> usize {
+        self.nodes
+    }
+
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.items_per_node
+    }
+
+    fn iteration_cost(&self, inv: usize, iter: usize) -> u64 {
+        // Append + list maintenance.
+        1_800 + splitmix64(self.seed ^ ((inv * 577 + iter) as u64)) % 500
+    }
+
+    fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        out.push((self.tid(inv, iter), AccessKind::Write));
+    }
+
+    fn prologue_cost(&self, _inv: usize) -> u64 {
+        // Graph-node traversal.
+        250
+    }
+
+    fn sched_cost(&self, _inv: usize, _iter: usize) -> u64 {
+        // Table 5.2: 12.5% scheduler/worker ratio — the tid computation is
+        // most of the iteration.
+        260
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        Some(self.transactions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::AccessKernel;
+    use crossinvoc_domore::prelude::*;
+
+    #[test]
+    fn dependence_manifests_almost_always() {
+        let e = Eclat::new(Scale::Test, 21);
+        let rate = e.manifest_rate();
+        assert!(
+            rate > 0.9,
+            "ECLAT's tid collisions manifest in ~99% of invocations, got {rate:.3}"
+        );
+    }
+
+    #[test]
+    fn tids_are_skewed_toward_hot_lists() {
+        let e = Eclat::new(Scale::Test, 21);
+        let mut counts = vec![0usize; e.transactions];
+        for node in 0..e.nodes {
+            for item in 0..e.items_per_node {
+                counts[e.tid(node, item)] += 1;
+            }
+        }
+        let hot: usize = counts[..e.transactions / 4].iter().sum();
+        let total: usize = counts.iter().sum();
+        assert!(
+            hot * 10 > total * 4,
+            "the hottest quarter of tids draws an outsized share: {hot}/{total}"
+        );
+    }
+
+    #[test]
+    fn domore_execution_matches_sequential() {
+        let kernel = AccessKernel::from_model(Eclat::new(Scale::Test, 21));
+        let expected = kernel.sequential_checksum();
+        let report = DomoreRuntime::new(DomoreConfig::with_workers(3))
+            .execute(&kernel)
+            .unwrap();
+        assert_eq!(kernel.checksum(), expected);
+        assert!(report.stats.sync_conditions > 0);
+    }
+}

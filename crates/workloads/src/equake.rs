@@ -1,0 +1,140 @@
+//! EQUAKE — the SPECfp earthquake ground-motion simulation (Table 5.1,
+//! Fig. 5.2(b)).
+//!
+//! Each timestep performs a sparse matrix–vector product over the finite
+//! element mesh followed by velocity and displacement integrations — three
+//! epochs per step. Tasks are node *chunks* (Table 5.3's 22 tasks per
+//! epoch). The integration is leapfrog-style: the SMVP reads the
+//! displacement written two steps earlier (double-buffered), so the
+//! closest cross-invocation dependences sit a couple of epochs away and
+//! speculation pays off (Table 5.3 profiles no near conflict for EQUAKE).
+
+use crossinvoc_runtime::hash::splitmix64;
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_sim::SimWorkload;
+
+use crate::scale::Scale;
+
+/// The EQUAKE workload model.
+#[derive(Debug, Clone)]
+pub struct Equake {
+    /// Node chunks per phase (tasks per epoch).
+    chunks: usize,
+    /// Timesteps (epochs = 3 × steps).
+    steps: usize,
+    /// Sparse neighbours each chunk reaches into, per side.
+    reach: usize,
+    seed: u64,
+}
+
+impl Equake {
+    /// Builds the model at the given scale with a fixed input seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self {
+            chunks: scale.pick(10, 22),
+            steps: scale.pick(12, 1000),
+            reach: 2,
+            seed,
+        }
+    }
+
+    /// Double-buffered displacement (leapfrog integration).
+    fn disp(&self, parity: usize) -> usize {
+        parity * self.chunks
+    }
+    fn force(&self) -> usize {
+        2 * self.chunks
+    }
+    fn vel(&self) -> usize {
+        3 * self.chunks
+    }
+}
+
+impl SimWorkload for Equake {
+    fn num_invocations(&self) -> usize {
+        3 * self.steps
+    }
+
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.chunks
+    }
+
+    fn iteration_cost(&self, inv: usize, iter: usize) -> u64 {
+        // Sparse rows have very uneven lengths: strong imbalance, which is
+        // what makes EQUAKE's barriers expensive (Fig. 4.3).
+        4_000 + splitmix64(self.seed ^ ((inv * 269 + iter) as u64)) % 6_000
+    }
+
+    fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        let step = inv / 3;
+        match inv % 3 {
+            0 => {
+                // smvp: force[c] ← disp_old[c ± mesh neighbours], where
+                // disp_old was written two steps earlier (leapfrog).
+                let old = self.disp(step % 2);
+                for k in 0..=self.reach {
+                    let n = (iter + self.chunks - self.reach / 2 + k) % self.chunks;
+                    out.push((old + n, AccessKind::Read));
+                }
+                out.push((self.force() + iter, AccessKind::Write));
+            }
+            1 => {
+                // velocity integration: vel[c] ← force[c]
+                out.push((self.force() + iter, AccessKind::Read));
+                out.push((self.vel() + iter, AccessKind::Write));
+            }
+            _ => {
+                // displacement integration: disp_cur[c] ← vel[c]
+                out.push((self.vel() + iter, AccessKind::Read));
+                out.push((self.disp(step % 2) + iter, AccessKind::Write));
+            }
+        }
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        Some(4 * self.chunks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{profile_distance, AccessKernel};
+    use crossinvoc_runtime::RangeSignature;
+    use crossinvoc_speccross::prelude::*;
+    use crossinvoc_speccross::SpecCrossEngine;
+
+    #[test]
+    fn leapfrog_keeps_conflicts_at_least_an_epoch_away() {
+        let e = Equake::new(Scale::Test, 4);
+        let p = profile_distance(&e, 8);
+        let d = p.min_distance.expect("force/vel chains must conflict");
+        assert!(
+            d >= e.chunks as u64 / 2,
+            "double buffering pushes conflicts out, got {d}"
+        );
+    }
+
+    #[test]
+    fn task_costs_are_uneven() {
+        let e = Equake::new(Scale::Test, 4);
+        let costs: Vec<u64> = (0..e.chunks).map(|c| e.iteration_cost(0, c)).collect();
+        let (min, max) = (costs.iter().min().unwrap(), costs.iter().max().unwrap());
+        assert!(max > &(min + 1_000), "sparse rows are imbalanced");
+    }
+
+    #[test]
+    fn speccross_execution_matches_sequential() {
+        let model = Equake::new(Scale::Test, 4);
+        let d = profile_distance(&model, 6).min_distance;
+        let kernel = AccessKernel::from_model(model);
+        let expected = kernel.sequential_checksum();
+        let report = SpecCrossEngine::<RangeSignature>::new(
+            SpecConfig::with_workers(2).spec_distance(d),
+        )
+        .execute(&kernel)
+        .unwrap();
+        assert_eq!(kernel.checksum(), expected);
+        assert_eq!(report.stats.misspeculations, 0);
+    }
+}

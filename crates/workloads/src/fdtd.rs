@@ -1,0 +1,124 @@
+//! FDTD — the PolyBench 2-D finite-difference time-domain kernel
+//! (Table 5.1, Fig. 5.2(c)).
+//!
+//! Each timestep sweeps three field updates in sequence — `ey` from `hz`,
+//! `ex` from `hz`, then `hz` from both electric fields — so one timestep
+//! contributes *three* epochs, and cross-invocation dependences connect
+//! consecutive sweeps through neighbouring rows.
+
+use crossinvoc_runtime::hash::splitmix64;
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_sim::SimWorkload;
+
+use crate::scale::Scale;
+
+/// The FDTD workload model (row-granular addresses over three fields).
+#[derive(Debug, Clone)]
+pub struct Fdtd {
+    rows: usize,
+    steps: usize,
+    seed: u64,
+}
+
+impl Fdtd {
+    /// Builds the model at the given scale with a fixed input seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self {
+            rows: scale.pick(20, 167),
+            steps: scale.pick(12, 400),
+            seed,
+        }
+    }
+
+    fn ey(&self) -> usize {
+        0
+    }
+    fn ex(&self) -> usize {
+        self.rows
+    }
+    fn hz(&self) -> usize {
+        2 * self.rows
+    }
+}
+
+impl SimWorkload for Fdtd {
+    fn num_invocations(&self) -> usize {
+        3 * self.steps
+    }
+
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.rows
+    }
+
+    fn iteration_cost(&self, inv: usize, iter: usize) -> u64 {
+        3_500 + splitmix64(self.seed ^ ((inv * 17 + iter) as u64)) % 700
+    }
+
+    fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        let up = iter.saturating_sub(1);
+        match inv % 3 {
+            0 => {
+                // ey[r] ← hz[r-1], hz[r]
+                out.push((self.hz() + up, AccessKind::Read));
+                out.push((self.hz() + iter, AccessKind::Read));
+                out.push((self.ey() + iter, AccessKind::Write));
+            }
+            1 => {
+                // ex[r] ← hz[r] (column-shifted in the real kernel).
+                out.push((self.hz() + iter, AccessKind::Read));
+                out.push((self.ex() + iter, AccessKind::Write));
+            }
+            _ => {
+                // hz[r] ← ey[r], ey[r+1], ex[r]
+                let down = (iter + 1).min(self.rows - 1);
+                out.push((self.ey() + iter, AccessKind::Read));
+                out.push((self.ey() + down, AccessKind::Read));
+                out.push((self.ex() + iter, AccessKind::Read));
+                out.push((self.hz() + iter, AccessKind::Write));
+            }
+        }
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        Some(3 * self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{profile_distance, AccessKernel};
+    use crossinvoc_runtime::RangeSignature;
+    use crossinvoc_speccross::prelude::*;
+    use crossinvoc_speccross::SpecCrossEngine;
+
+    #[test]
+    fn three_epochs_per_timestep() {
+        let f = Fdtd::new(Scale::Test, 1);
+        assert_eq!(f.num_invocations(), 3 * 12);
+    }
+
+    #[test]
+    fn sweeps_conflict_across_epochs() {
+        let f = Fdtd::new(Scale::Test, 1);
+        let p = profile_distance(&f, 6);
+        let d = p.min_distance.expect("field chains must conflict");
+        assert!(d <= 3 * f.rows as u64, "within a timestep, got {d}");
+        assert!(p.conflicts > 0);
+    }
+
+    #[test]
+    fn speccross_execution_matches_sequential() {
+        let model = Fdtd::new(Scale::Test, 1);
+        let d = profile_distance(&model, 6).min_distance;
+        let kernel = AccessKernel::from_model(model);
+        let expected = kernel.sequential_checksum();
+        let report = SpecCrossEngine::<RangeSignature>::new(
+            SpecConfig::with_workers(3).spec_distance(d),
+        )
+        .execute(&kernel)
+        .unwrap();
+        assert_eq!(kernel.checksum(), expected);
+        assert_eq!(report.stats.misspeculations, 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! FLUIDANIMATE — the PARSEC smoothed-particle-hydrodynamics simulation
+//! (Table 5.1, Figs. 5.1(d)/5.2(d), and the §5.4 case study of Fig. 5.6).
+//!
+//! Each animation frame runs the eight phases of Fig. 5.5 (clear grid,
+//! rebuild grid, init densities/forces, two density passes, force
+//! computation, collisions, particle advance) — eight epochs per frame.
+//! Tasks are grid cells; the density and force phases read a cell's
+//! *neighbourhood*, so the particle→cell mapping (seeded and non-uniform)
+//! produces irregular cross-invocation dependences and strongly imbalanced
+//! task costs. The model also exposes [`Fluidanimate::force_phase_only`],
+//! the FLUIDANIMATE-1 slice of Table 5.1 (the `ComputeForce` function,
+//! 50.2% of runtime, LOCALWRITE inner plan).
+
+use crossinvoc_runtime::hash::splitmix64;
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_sim::SimWorkload;
+
+use crate::scale::Scale;
+
+/// Number of phases (inner loops) per animation frame (Fig. 5.5).
+pub const PHASES: usize = 8;
+
+/// The FLUIDANIMATE workload model (cell-granular addresses over the
+/// per-phase field arrays).
+#[derive(Debug, Clone)]
+pub struct Fluidanimate {
+    /// Grid side; cells = side².
+    side: usize,
+    /// Animation frames (epochs = 8 × frames).
+    frames: usize,
+    seed: u64,
+}
+
+/// Field array bases within the flat address space.
+#[derive(Debug, Clone, Copy)]
+enum Field {
+    Positions = 0,
+    Grid = 1,
+    Density = 2,
+    Density2 = 3,
+    Force = 4,
+    Velocity = 5,
+}
+
+impl Fluidanimate {
+    /// Builds the model at the given scale with a fixed input seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self {
+            side: scale.pick(6, 30),
+            frames: scale.pick(8, 186),
+            seed,
+        }
+    }
+
+    /// Cells per field array.
+    pub fn cells(&self) -> usize {
+        self.side * self.side
+    }
+
+    fn addr(&self, field: Field, cell: usize) -> usize {
+        field as usize * self.cells() + cell
+    }
+
+    /// Particle count in `cell` (seeded, highly non-uniform: the SPH fluid
+    /// pools in some cells).
+    fn particles(&self, cell: usize) -> u64 {
+        let h = splitmix64(self.seed ^ cell as u64);
+        // Quadratic skew: a few dense cells, many sparse ones.
+        let base = h % 16;
+        base * base / 4 + 1
+    }
+
+    /// The 4-neighbourhood of `cell` on the grid.
+    fn neighbours(&self, cell: usize) -> impl Iterator<Item = usize> + '_ {
+        let side = self.side;
+        let (r, c) = (cell / side, cell % side);
+        [
+            (r.wrapping_sub(1), c),
+            (r + 1, c),
+            (r, c.wrapping_sub(1)),
+            (r, c + 1),
+        ]
+        .into_iter()
+        .filter(move |&(rr, cc)| rr < side && cc < side)
+        .map(move |(rr, cc)| rr * side + cc)
+    }
+
+    /// Whether epoch `inv` is one of the neighbour-scatter phases the
+    /// thesis parallelizes with DOANY/LOCALWRITE/DOMORE (its L4 and L6);
+    /// the other six phases are plain DOALL.
+    pub fn is_scatter_phase(inv: usize) -> bool {
+        matches!(inv % PHASES, 3 | 5)
+    }
+
+    /// The FLUIDANIMATE-1 slice: only the `ComputeForce` phase, one
+    /// invocation per frame (Table 5.1's 50.2%-of-runtime target).
+    pub fn force_phase_only(&self) -> ForcePhase {
+        ForcePhase {
+            inner: self.clone(),
+        }
+    }
+}
+
+impl SimWorkload for Fluidanimate {
+    fn num_invocations(&self) -> usize {
+        PHASES * self.frames
+    }
+
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.cells()
+    }
+
+    fn iteration_cost(&self, inv: usize, iter: usize) -> u64 {
+        let p = self.particles(iter);
+        match inv % PHASES {
+            0 | 2 => 200,                         // clear / init: trivial
+            1 => 400 + 250 * p,                   // rebuild grid
+            3 | 4 => 600 + 900 * p,               // density passes
+            5 => 800 + 1_600 * p * p / 4,         // forces: pairwise
+            6 => 300 + 350 * p,                   // collisions
+            _ => 300 + 300 * p,                   // advance
+        }
+    }
+
+    fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        use Field::*;
+        match inv % PHASES {
+            0 => out.push((self.addr(Density, iter), AccessKind::Write)),
+            1 => {
+                out.push((self.addr(Positions, iter), AccessKind::Read));
+                out.push((self.addr(Grid, iter), AccessKind::Write));
+            }
+            2 => out.push((self.addr(Force, iter), AccessKind::Write)),
+            3 => {
+                out.push((self.addr(Grid, iter), AccessKind::Read));
+                for n in self.neighbours(iter) {
+                    out.push((self.addr(Grid, n), AccessKind::Read));
+                }
+                out.push((self.addr(Density, iter), AccessKind::Write));
+            }
+            4 => {
+                out.push((self.addr(Density, iter), AccessKind::Read));
+                for n in self.neighbours(iter) {
+                    out.push((self.addr(Density, n), AccessKind::Read));
+                }
+                out.push((self.addr(Density2, iter), AccessKind::Write));
+            }
+            5 => {
+                out.push((self.addr(Density2, iter), AccessKind::Read));
+                for n in self.neighbours(iter) {
+                    out.push((self.addr(Density2, n), AccessKind::Read));
+                }
+                out.push((self.addr(Force, iter), AccessKind::Write));
+            }
+            6 => {
+                out.push((self.addr(Force, iter), AccessKind::Read));
+                out.push((self.addr(Velocity, iter), AccessKind::Write));
+            }
+            _ => {
+                out.push((self.addr(Velocity, iter), AccessKind::Read));
+                out.push((self.addr(Force, iter), AccessKind::Read));
+                out.push((self.addr(Positions, iter), AccessKind::Write));
+            }
+        }
+    }
+
+    fn sched_cost(&self, inv: usize, iter: usize) -> u64 {
+        // Only the scatter phases (the thesis' L4/L6) need DOMORE's runtime
+        // scheduling; Table 5.2 reports a 21.5% scheduler/worker ratio for
+        // them (the neighbour/particle enumeration is a heavy computeAddr
+        // slice whose weight tracks the kernel's). The remaining phases are
+        // plain DOALL dispatch.
+        if Self::is_scatter_phase(inv) {
+            self.iteration_cost(inv, iter) * 215 / 1000
+        } else {
+            60
+        }
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        Some(6 * self.cells())
+    }
+}
+
+/// The FLUIDANIMATE-1 model: the `ComputeForce` phase only.
+#[derive(Debug, Clone)]
+pub struct ForcePhase {
+    inner: Fluidanimate,
+}
+
+impl SimWorkload for ForcePhase {
+    fn num_invocations(&self) -> usize {
+        self.inner.frames
+    }
+
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.inner.cells()
+    }
+
+    fn iteration_cost(&self, _inv: usize, iter: usize) -> u64 {
+        self.inner.iteration_cost(5, iter)
+    }
+
+    fn accesses(&self, _inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        self.inner.accesses(5, iter, out);
+    }
+
+    fn sched_cost(&self, _inv: usize, iter: usize) -> u64 {
+        self.inner.sched_cost(5, iter)
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        self.inner.address_space()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{profile_distance, AccessKernel};
+    use crossinvoc_domore::prelude::*;
+    use crossinvoc_runtime::RangeSignature;
+    use crossinvoc_speccross::prelude::*;
+    use crossinvoc_speccross::SpecCrossEngine;
+
+    #[test]
+    fn eight_epochs_per_frame() {
+        let f = Fluidanimate::new(Scale::Test, 11);
+        assert_eq!(f.num_invocations(), 8 * 8);
+    }
+
+    #[test]
+    fn task_costs_are_strongly_imbalanced() {
+        let f = Fluidanimate::new(Scale::Test, 11);
+        let costs: Vec<u64> = (0..f.cells()).map(|c| f.iteration_cost(5, c)).collect();
+        let (min, max) = (*costs.iter().min().unwrap(), *costs.iter().max().unwrap());
+        assert!(max > 5 * min, "dense cells dominate: {min}..{max}");
+    }
+
+    #[test]
+    fn neighbour_chains_conflict_across_phases() {
+        let f = Fluidanimate::new(Scale::Test, 11);
+        let p = profile_distance(&f, 9);
+        assert!(p.min_distance.is_some());
+        assert!(p.conflicts > 0);
+    }
+
+    #[test]
+    fn same_epoch_writes_are_disjoint() {
+        let f = Fluidanimate::new(Scale::Test, 11);
+        for phase in 0..PHASES {
+            let mut writes = std::collections::HashSet::new();
+            for t in 0..f.cells() {
+                let mut v = Vec::new();
+                f.accesses(phase, t, &mut v);
+                for (addr, kind) in v {
+                    if kind == AccessKind::Write {
+                        assert!(writes.insert(addr), "phase {phase} cell {t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speccross_execution_matches_sequential() {
+        let model = Fluidanimate::new(Scale::Test, 11);
+        let d = profile_distance(&model, 9).min_distance;
+        let kernel = AccessKernel::from_model(model);
+        let expected = kernel.sequential_checksum();
+        let report = SpecCrossEngine::<RangeSignature>::new(
+            SpecConfig::with_workers(2).spec_distance(d),
+        )
+        .execute(&kernel)
+        .unwrap();
+        assert_eq!(kernel.checksum(), expected);
+        assert_eq!(report.stats.misspeculations, 0);
+    }
+
+    #[test]
+    fn force_phase_runs_under_domore() {
+        let kernel =
+            AccessKernel::from_model(Fluidanimate::new(Scale::Test, 11).force_phase_only());
+        let expected = kernel.sequential_checksum();
+        DomoreRuntime::new(DomoreConfig::with_workers(3))
+            .with_policy(Box::new(LocalWrite::new(
+                kernel.model().address_space().unwrap(),
+            )))
+            .execute(&kernel)
+            .unwrap();
+        assert_eq!(kernel.checksum(), expected);
+    }
+}

@@ -1,0 +1,124 @@
+//! JACOBI — the PolyBench 2-D stencil (Table 5.1, Fig. 5.2(e)).
+//!
+//! A ping-pong five-point stencil: each timestep (epoch) reads the previous
+//! grid and writes the other. Tasks are grid *rows*; a row's update reads
+//! its neighbouring rows of the source grid, so cross-invocation
+//! dependences sit roughly one epoch apart (Table 5.3 profiles a minimum
+//! distance just below the epoch size: 497/997 for the train/ref grids).
+
+use crossinvoc_runtime::hash::splitmix64;
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_sim::SimWorkload;
+
+use crate::scale::Scale;
+
+/// The Jacobi stencil workload model (row-granular addresses).
+#[derive(Debug, Clone)]
+pub struct Jacobi {
+    rows: usize,
+    steps: usize,
+    /// Per-row kernel cost base (proportional to the row length).
+    row_cost: u64,
+    seed: u64,
+}
+
+impl Jacobi {
+    /// Builds the model at the given scale with a fixed input seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self {
+            rows: scale.pick(24, 100),
+            steps: scale.pick(16, 1000),
+            row_cost: 4_000,
+            seed,
+        }
+    }
+
+    /// Grid-parity base address: epoch `e` writes grid `e % 2`.
+    fn base(&self, epoch: usize) -> (usize, usize) {
+        if epoch.is_multiple_of(2) {
+            (0, self.rows) // read grid 0, write grid 1
+        } else {
+            (self.rows, 0)
+        }
+    }
+}
+
+impl SimWorkload for Jacobi {
+    fn num_invocations(&self) -> usize {
+        self.steps
+    }
+
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.rows
+    }
+
+    fn iteration_cost(&self, inv: usize, iter: usize) -> u64 {
+        // Mild cost variance (cache effects / boundary rows): enough to
+        // create the barrier imbalance of Fig. 4.3.
+        self.row_cost + splitmix64(self.seed ^ ((inv * 131 + iter) as u64)) % 800
+    }
+
+    fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        let (src, dst) = self.base(inv);
+        out.push((src + iter.saturating_sub(1), AccessKind::Read));
+        out.push((src + iter, AccessKind::Read));
+        out.push((src + (iter + 1).min(self.rows - 1), AccessKind::Read));
+        out.push((dst + iter, AccessKind::Write));
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        Some(2 * self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{profile_distance, AccessKernel};
+    use crossinvoc_runtime::RangeSignature;
+    use crossinvoc_speccross::prelude::*;
+    use crossinvoc_speccross::SpecCrossEngine;
+
+    #[test]
+    fn profiled_distance_is_about_one_epoch() {
+        let j = Jacobi::new(Scale::Test, 3);
+        let d = profile_distance(&j, 4)
+            .min_distance
+            .expect("the stencil must conflict across epochs");
+        assert!(
+            d >= j.rows as u64 / 2 && d <= 2 * j.rows as u64,
+            "distance ≈ one epoch of tasks, got {d} for {} rows",
+            j.rows
+        );
+    }
+
+    #[test]
+    fn speccross_execution_matches_sequential() {
+        let model = Jacobi::new(Scale::Test, 3);
+        let d = profile_distance(&model, 4).min_distance;
+        let kernel = AccessKernel::from_model(model);
+        let expected = kernel.sequential_checksum();
+        let report = SpecCrossEngine::<RangeSignature>::new(
+            SpecConfig::with_workers(2).spec_distance(d),
+        )
+        .execute(&kernel)
+        .unwrap();
+        assert_eq!(kernel.checksum(), expected);
+        assert_eq!(report.stats.misspeculations, 0);
+    }
+
+    #[test]
+    fn same_epoch_tasks_write_disjoint_rows() {
+        let j = Jacobi::new(Scale::Test, 3);
+        let mut writes = std::collections::HashSet::new();
+        for t in 0..j.num_iterations(0) {
+            let mut v = Vec::new();
+            j.accesses(0, t, &mut v);
+            for (addr, kind) in v {
+                if kind == AccessKind::Write {
+                    assert!(writes.insert(addr), "duplicate write to {addr}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! LOOPDEP — the OMPBench loop-dependence benchmark (Table 5.1,
+//! Fig. 5.2(g)).
+//!
+//! A rotation of buffers with a *fixed-lag* cross-invocation dependence:
+//! every epoch writes the current buffer and reads an offset cell of the
+//! buffer written `lag` epochs earlier. The profiled minimum dependence
+//! distance is therefore a precise constant — `lag × tasks − offset` — and
+//! Table 5.3's train/ref split (500 vs. 800) is reproduced by two lag
+//! configurations.
+
+use crossinvoc_runtime::hash::splitmix64;
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_sim::SimWorkload;
+
+use crate::scale::Scale;
+
+/// The LOOPDEP workload model.
+#[derive(Debug, Clone)]
+pub struct Loopdep {
+    epochs: usize,
+    tasks: usize,
+    /// How many epochs back the read dependence reaches.
+    lag: usize,
+    /// Task-index offset of the read within the lagged epoch.
+    offset: usize,
+    seed: u64,
+}
+
+impl Loopdep {
+    /// The train configuration (Table 5.3: distance 500 at full scale).
+    pub fn train(scale: Scale, seed: u64) -> Self {
+        let tasks = scale.pick(25, 245);
+        Self {
+            epochs: scale.pick(24, 1000),
+            tasks,
+            lag: 3,
+            offset: scale.pick(15, 235),
+            seed,
+        }
+    }
+
+    /// The ref configuration (Table 5.3: distance 800 at full scale).
+    pub fn reference(scale: Scale, seed: u64) -> Self {
+        let tasks = scale.pick(25, 245);
+        Self {
+            epochs: scale.pick(24, 1000),
+            tasks,
+            lag: 4,
+            offset: scale.pick(20, 180),
+            seed,
+        }
+    }
+
+    /// The exact dependence distance this configuration induces.
+    pub fn exact_distance(&self) -> u64 {
+        (self.lag * self.tasks - self.offset) as u64
+    }
+
+    fn buffers(&self) -> usize {
+        // Twice the lag keeps buffer-reuse (anti-dependence) distances
+        // strictly larger than the flow distance, so the profiled minimum
+        // is exactly `lag*tasks - offset`.
+        2 * self.lag
+    }
+}
+
+impl SimWorkload for Loopdep {
+    fn num_invocations(&self) -> usize {
+        self.epochs
+    }
+
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.tasks
+    }
+
+    fn iteration_cost(&self, inv: usize, iter: usize) -> u64 {
+        2_500 + splitmix64(self.seed ^ ((inv * 53 + iter) as u64)) % 500
+    }
+
+    fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        let cur = (inv % self.buffers()) * self.tasks;
+        out.push((cur + iter, AccessKind::Write));
+        if inv >= self.lag {
+            let lagged = ((inv - self.lag) % self.buffers()) * self.tasks;
+            // Reads the cell that task (iter + offset) % tasks of the
+            // lagged epoch wrote.
+            out.push((lagged + (iter + self.offset) % self.tasks, AccessKind::Read));
+        }
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        Some(self.buffers() * self.tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{profile_distance, AccessKernel};
+    use crossinvoc_runtime::RangeSignature;
+    use crossinvoc_speccross::prelude::*;
+    use crossinvoc_speccross::SpecCrossEngine;
+
+    #[test]
+    fn profiled_distance_matches_the_construction() {
+        let train = Loopdep::train(Scale::Test, 1);
+        let p = profile_distance(&train, 6);
+        assert_eq!(p.min_distance, Some(train.exact_distance()));
+        let reference = Loopdep::reference(Scale::Test, 1);
+        let p = profile_distance(&reference, 6);
+        assert_eq!(p.min_distance, Some(reference.exact_distance()));
+    }
+
+    #[test]
+    fn ref_distance_exceeds_train_distance() {
+        // Table 5.3: 500 (train) vs 800 (ref) at figure scale.
+        let train = Loopdep::train(Scale::Figure, 1);
+        let reference = Loopdep::reference(Scale::Figure, 1);
+        assert_eq!(train.exact_distance(), 500);
+        assert_eq!(reference.exact_distance(), 800);
+    }
+
+    #[test]
+    fn speccross_execution_matches_sequential() {
+        let model = Loopdep::train(Scale::Test, 2);
+        let d = Some(model.exact_distance());
+        let kernel = AccessKernel::from_model(model);
+        let expected = kernel.sequential_checksum();
+        let report = SpecCrossEngine::<RangeSignature>::new(
+            SpecConfig::with_workers(2).spec_distance(d),
+        )
+        .execute(&kernel)
+        .unwrap();
+        assert_eq!(kernel.checksum(), expected);
+        assert_eq!(report.stats.misspeculations, 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! The benchmark registry — Table 5.1 as data.
+//!
+//! The figure harness iterates this registry to regenerate every per-program
+//! series of Chapter 5; each entry records the suite, the target function,
+//! its share of execution time, the inner-loop plan and which of the two
+//! techniques the thesis evaluates it under, plus a constructor for the
+//! workload model at either scale.
+
+use crossinvoc_sim::SimWorkload;
+
+use crate::scale::Scale;
+use crate::{blackscholes, cg, eclat, equake, fdtd, fluidanimate, jacobi, llubench, loopdep, symm};
+
+/// The parallelization plan used for the inner loop (Table 5.1's
+/// "Parallelization plan" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InnerPlan {
+    /// Independent iterations.
+    Doall,
+    /// Independent after speculating rare dependences.
+    SpecDoall,
+    /// Owner-computes partitioning.
+    LocalWrite,
+}
+
+impl std::fmt::Display for InnerPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InnerPlan::Doall => write!(f, "DOALL"),
+            InnerPlan::SpecDoall => write!(f, "Spec-DOALL"),
+            InnerPlan::LocalWrite => write!(f, "LOCALWRITE"),
+        }
+    }
+}
+
+/// One row of Table 5.1.
+#[derive(Debug, Clone)]
+pub struct BenchmarkInfo {
+    /// Program name as the thesis prints it.
+    pub name: &'static str,
+    /// Source benchmark suite.
+    pub suite: &'static str,
+    /// Target function.
+    pub function: &'static str,
+    /// Percent of execution time in the target nest.
+    pub exec_pct: f64,
+    /// Inner-loop parallelization plan.
+    pub inner_plan: InnerPlan,
+    /// Evaluated under DOMORE (Fig. 5.1).
+    pub domore: bool,
+    /// Evaluated under SPECCROSS (Fig. 5.2).
+    pub speccross: bool,
+}
+
+impl BenchmarkInfo {
+    /// For LOCALWRITE-planned programs whose field arrays share a logical
+    /// grid, the congruence modulus deciding ownership (`address %
+    /// modulus`, the §5.4 FLUIDANIMATE partition); `None` partitions the
+    /// flat address space.
+    pub fn owner_modulus(&self, scale: Scale) -> Option<usize> {
+        match self.name {
+            "FLUIDANIMATE-1" | "FLUIDANIMATE-2" => {
+                Some(fluidanimate::Fluidanimate::new(scale, 0).cells())
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds this benchmark's workload model at `scale` (boxed, for
+    /// registry-driven harnesses).
+    pub fn model(&self, scale: Scale) -> Box<dyn SimWorkload + Send + Sync> {
+        let seed = 0xC0FFEE ^ self.name.len() as u64;
+        match self.name {
+            "FDTD" => Box::new(fdtd::Fdtd::new(scale, seed)),
+            "JACOBI" => Box::new(jacobi::Jacobi::new(scale, seed)),
+            "SYMM" => Box::new(symm::Symm::new(scale, seed)),
+            "LOOPDEP" => Box::new(loopdep::Loopdep::train(scale, seed)),
+            "BLACKSCHOLES" => Box::new(blackscholes::Blackscholes::new(scale, seed)),
+            "FLUIDANIMATE-1" => {
+                Box::new(fluidanimate::Fluidanimate::new(scale, seed).force_phase_only())
+            }
+            "FLUIDANIMATE-2" => Box::new(fluidanimate::Fluidanimate::new(scale, seed)),
+            "EQUAKE" => Box::new(equake::Equake::new(scale, seed)),
+            "LLUBENCH" => Box::new(llubench::Llubench::new(scale, seed)),
+            "CG" => Box::new(cg::Cg::new(scale, seed)),
+            "ECLAT" => Box::new(eclat::Eclat::new(scale, seed)),
+            other => unreachable!("unknown benchmark {other}"),
+        }
+    }
+}
+
+/// All rows of Table 5.1, in the thesis' order.
+pub fn registry() -> Vec<BenchmarkInfo> {
+    vec![
+        BenchmarkInfo {
+            name: "FDTD",
+            suite: "PolyBench",
+            function: "main",
+            exec_pct: 100.0,
+            inner_plan: InnerPlan::Doall,
+            domore: false,
+            speccross: true,
+        },
+        BenchmarkInfo {
+            name: "JACOBI",
+            suite: "PolyBench",
+            function: "main",
+            exec_pct: 100.0,
+            inner_plan: InnerPlan::Doall,
+            domore: false,
+            speccross: true,
+        },
+        BenchmarkInfo {
+            name: "SYMM",
+            suite: "PolyBench",
+            function: "main",
+            exec_pct: 100.0,
+            inner_plan: InnerPlan::Doall,
+            domore: true,
+            speccross: true,
+        },
+        BenchmarkInfo {
+            name: "LOOPDEP",
+            suite: "OMPBench",
+            function: "main",
+            exec_pct: 100.0,
+            inner_plan: InnerPlan::Doall,
+            domore: false,
+            speccross: true,
+        },
+        BenchmarkInfo {
+            name: "BLACKSCHOLES",
+            suite: "PARSEC",
+            function: "bs_thread",
+            exec_pct: 99.0,
+            inner_plan: InnerPlan::SpecDoall,
+            domore: true,
+            speccross: false,
+        },
+        BenchmarkInfo {
+            name: "FLUIDANIMATE-1",
+            suite: "PARSEC",
+            function: "ComputeForce",
+            exec_pct: 50.2,
+            inner_plan: InnerPlan::LocalWrite,
+            domore: true,
+            speccross: false,
+        },
+        BenchmarkInfo {
+            name: "FLUIDANIMATE-2",
+            suite: "PARSEC",
+            function: "main",
+            exec_pct: 100.0,
+            inner_plan: InnerPlan::LocalWrite,
+            domore: false,
+            speccross: true,
+        },
+        BenchmarkInfo {
+            name: "EQUAKE",
+            suite: "SpecFP",
+            function: "main",
+            exec_pct: 100.0,
+            inner_plan: InnerPlan::Doall,
+            domore: false,
+            speccross: true,
+        },
+        BenchmarkInfo {
+            name: "LLUBENCH",
+            suite: "LLVMBench",
+            function: "main",
+            exec_pct: 50.0,
+            inner_plan: InnerPlan::Doall,
+            domore: true,
+            speccross: true,
+        },
+        BenchmarkInfo {
+            name: "CG",
+            suite: "NAS",
+            function: "sparse",
+            exec_pct: 12.2,
+            inner_plan: InnerPlan::LocalWrite,
+            domore: true,
+            speccross: true,
+        },
+        BenchmarkInfo {
+            name: "ECLAT",
+            suite: "MineBench",
+            function: "process_inverti",
+            exec_pct: 24.5,
+            inner_plan: InnerPlan::SpecDoall,
+            domore: true,
+            speccross: false,
+        },
+    ]
+}
+
+/// Looks a benchmark up by name.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the registry.
+pub fn by_name(name: &str) -> BenchmarkInfo {
+    registry()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table_5_1_shape() {
+        let r = registry();
+        assert_eq!(r.len(), 11, "10 programs, FLUIDANIMATE split in two");
+        assert_eq!(r.iter().filter(|b| b.domore).count(), 6, "Fig. 5.1 set");
+        assert_eq!(r.iter().filter(|b| b.speccross).count(), 8, "Fig. 5.2 set");
+    }
+
+    #[test]
+    fn every_model_constructs_and_has_work() {
+        for info in registry() {
+            let model = info.model(Scale::Test);
+            assert!(model.num_invocations() > 0, "{}", info.name);
+            assert!(model.total_iterations() > 0, "{}", info.name);
+            assert!(model.total_work_ns() > 0, "{}", info.name);
+            assert!(model.address_space().is_some(), "{}", info.name);
+        }
+    }
+
+    #[test]
+    fn models_are_deterministic_across_constructions() {
+        for info in registry() {
+            let (a, b) = (info.model(Scale::Test), info.model(Scale::Test));
+            assert_eq!(a.total_work_ns(), b.total_work_ns(), "{}", info.name);
+            let mut va = Vec::new();
+            let mut vb = Vec::new();
+            a.accesses(0, 0, &mut va);
+            b.accesses(0, 0, &mut vb);
+            assert_eq!(va, vb, "{}", info.name);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert_eq!(by_name("CG").suite, "NAS");
+        assert_eq!(by_name("ECLAT").inner_plan, InnerPlan::SpecDoall);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn by_name_rejects_unknown() {
+        by_name("NOT-A-BENCHMARK");
+    }
+
+    #[test]
+    fn inner_plan_displays_like_the_table() {
+        assert_eq!(InnerPlan::LocalWrite.to_string(), "LOCALWRITE");
+        assert_eq!(InnerPlan::SpecDoall.to_string(), "Spec-DOALL");
+        assert_eq!(InnerPlan::Doall.to_string(), "DOALL");
+    }
+}

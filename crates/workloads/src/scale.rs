@@ -1,0 +1,39 @@
+//! Workload sizing.
+//!
+//! The thesis runs full benchmark inputs on a 24-core machine; CI boxes
+//! need smaller instances. Every benchmark constructor takes a [`Scale`]
+//! so tests run in milliseconds while the figure harness uses larger
+//! instances whose *shape* (tasks per epoch, conflict rates, distances)
+//! matches the paper's Table 5.3 characteristics.
+
+/// Problem-size tier for a benchmark instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Milliseconds-sized instances for unit tests.
+    Test,
+    /// Seconds-sized instances for the figure harness.
+    #[default]
+    Figure,
+}
+
+impl Scale {
+    /// Multiplies a `Figure`-tier quantity down for tests.
+    pub fn pick(self, test: usize, figure: usize) -> usize {
+        match self {
+            Scale::Test => test,
+            Scale::Figure => figure,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_tier() {
+        assert_eq!(Scale::Test.pick(3, 100), 3);
+        assert_eq!(Scale::Figure.pick(3, 100), 100);
+        assert_eq!(Scale::default(), Scale::Figure);
+    }
+}

@@ -1,0 +1,107 @@
+//! SYMM — the PolyBench symmetric rank-update kernel (Table 5.1,
+//! Figs. 5.1(f)/5.2(h)).
+//!
+//! The outer loop sweeps matrix columns; each invocation updates a
+//! triangular slice of `C`. Invocations are *tiny* (the thesis measures
+//! ≈4000 cycles each, §5.1), so per-invocation parallelization overhead —
+//! barriers, thread dispatch, even DOMORE's queues — dominates, which is
+//! why SYMM scales poorly for every technique and serves as the suite's
+//! overhead-sensitivity probe.
+
+use crossinvoc_runtime::hash::splitmix64;
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_sim::SimWorkload;
+
+use crate::scale::Scale;
+
+/// The SYMM workload model.
+#[derive(Debug, Clone)]
+pub struct Symm {
+    /// Matrix dimension; invocation `j` updates column `j % n`.
+    n: usize,
+    /// Outer sweeps over the matrix (invocations = sweeps × n).
+    sweeps: usize,
+    seed: u64,
+}
+
+impl Symm {
+    /// Builds the model at the given scale with a fixed input seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self {
+            n: scale.pick(24, 1000),
+            sweeps: 2,
+            seed,
+        }
+    }
+}
+
+impl SimWorkload for Symm {
+    fn num_invocations(&self) -> usize {
+        self.sweeps * self.n
+    }
+
+    fn num_iterations(&self, inv: usize) -> usize {
+        // Triangular: column j touches rows 0..=j.
+        (inv % self.n) + 1
+    }
+
+    fn iteration_cost(&self, inv: usize, iter: usize) -> u64 {
+        // Tiny tasks: the whole invocation is ~4000 cycles in the thesis.
+        120 + splitmix64(self.seed ^ ((inv * 7 + iter) as u64)) % 60
+    }
+
+    fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        let j = inv % self.n;
+        // C[iter, j]: each invocation writes its own column, and the A/B
+        // operands are read-only — Table 5.3 profiles *no* cross-invocation
+        // conflict for SYMM (`*`); its problem is overhead, not dependences.
+        out.push((iter * self.n + j, AccessKind::Write));
+        out.push((self.n * self.n + iter, AccessKind::Read)); // A[iter] (read-only)
+    }
+
+    fn sched_cost(&self, _inv: usize, _iter: usize) -> u64 {
+        // Table 5.2: 1.5% scheduler/worker ratio.
+        2
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        Some(self.n * self.n + self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{profile_distance, AccessKernel};
+    use crossinvoc_domore::prelude::*;
+
+    #[test]
+    fn invocations_are_triangular_and_tiny() {
+        let s = Symm::new(Scale::Test, 1);
+        assert_eq!(s.num_iterations(0), 1);
+        assert_eq!(s.num_iterations(23), 24);
+        let inv_cost: u64 = (0..s.num_iterations(5))
+            .map(|t| s.iteration_cost(5, t))
+            .sum();
+        assert!(inv_cost < 4_000, "tiny invocations, got {inv_cost}");
+    }
+
+    #[test]
+    fn no_conflicts_within_the_profiling_window() {
+        // Table 5.3 reports `*` for SYMM: columns are disjoint within a
+        // sweep, and sweeps sit far beyond any realistic window.
+        let s = Symm::new(Scale::Test, 1);
+        let p = profile_distance(&s, 8);
+        assert_eq!(p.min_distance, None);
+    }
+
+    #[test]
+    fn domore_execution_matches_sequential() {
+        let kernel = AccessKernel::from_model(Symm::new(Scale::Test, 1));
+        let expected = kernel.sequential_checksum();
+        DomoreRuntime::new(DomoreConfig::with_workers(2))
+            .execute(&kernel)
+            .unwrap();
+        assert_eq!(kernel.checksum(), expected);
+    }
+}

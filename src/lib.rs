@@ -1,0 +1,13 @@
+//! Workspace-level umbrella for the crossinvoc reproduction.
+//!
+//! This crate exists to host the repository's `examples/` and `tests/`
+//! directories; all functionality lives in the member crates. See the
+//! repository README and DESIGN.md for the system map.
+
+pub use crossinvoc as core;
+pub use crossinvoc_domore as domore;
+pub use crossinvoc_pir as pir;
+pub use crossinvoc_runtime as runtime;
+pub use crossinvoc_sim as sim;
+pub use crossinvoc_speccross as speccross;
+pub use crossinvoc_workloads as workloads;

@@ -1,0 +1,291 @@
+//! Property-based tests of the system's core invariants.
+//!
+//! The correctness argument of both techniques reduces to a handful of
+//! invariants — signature conservativeness, scheduling-condition
+//! well-formedness, runtime/sequential equivalence, simulator determinism.
+//! These are checked here over randomized inputs with `proptest`.
+
+use proptest::prelude::*;
+
+use crossinvoc_domore::logic::SchedulerLogic;
+use crossinvoc_domore::prelude::*;
+use crossinvoc_runtime::signature::{
+    AccessKind, AccessSignature, BloomSignature, RangeSignature,
+};
+use crossinvoc_runtime::SharedSlice;
+use crossinvoc_sim::prelude::*;
+use crossinvoc_speccross::Position;
+
+/// An access list: (address, is_write) pairs over a small address space.
+fn accesses() -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec((0usize..64, any::<bool>()), 0..12)
+}
+
+fn fill<S: AccessSignature>(list: &[(usize, bool)]) -> S {
+    let mut s = S::empty();
+    for &(addr, w) in list {
+        s.record(
+            addr,
+            if w { AccessKind::Write } else { AccessKind::Read },
+        );
+    }
+    s
+}
+
+/// Exact conflict semantics: some address touched by both, with at least
+/// one write on each... (write/any overlap).
+fn exact_conflict(a: &[(usize, bool)], b: &[(usize, bool)]) -> bool {
+    a.iter().any(|&(addr, aw)| {
+        b.iter()
+            .any(|&(baddr, bw)| addr == baddr && (aw || bw))
+    })
+}
+
+proptest! {
+    /// Signatures are conservative: a real conflict is never missed.
+    #[test]
+    fn range_signature_never_misses_conflicts(a in accesses(), b in accesses()) {
+        if exact_conflict(&a, &b) {
+            let sa: RangeSignature = fill(&a);
+            let sb: RangeSignature = fill(&b);
+            prop_assert!(sa.conflicts_with(&sb));
+        }
+    }
+
+    /// Same soundness property for the Bloom scheme.
+    #[test]
+    fn bloom_signature_never_misses_conflicts(a in accesses(), b in accesses()) {
+        if exact_conflict(&a, &b) {
+            let sa: BloomSignature = fill(&a);
+            let sb: BloomSignature = fill(&b);
+            prop_assert!(sa.conflicts_with(&sb));
+        }
+    }
+
+    /// Conflict detection is symmetric for both schemes.
+    #[test]
+    fn signature_conflicts_are_symmetric(a in accesses(), b in accesses()) {
+        let (ra, rb): (RangeSignature, RangeSignature) = (fill(&a), fill(&b));
+        prop_assert_eq!(ra.conflicts_with(&rb), rb.conflicts_with(&ra));
+        let (ba, bb): (BloomSignature, BloomSignature) = (fill(&a), fill(&b));
+        prop_assert_eq!(ba.conflicts_with(&bb), bb.conflicts_with(&ba));
+    }
+
+    /// Scheduler conditions are well-formed: they reference strictly
+    /// earlier combined iterations, never the assigned worker itself, and
+    /// at most one condition per predecessor worker.
+    #[test]
+    fn scheduler_conditions_are_well_formed(
+        stream in prop::collection::vec((0usize..4, prop::collection::vec(0usize..32, 0..4)), 1..80)
+    ) {
+        let mut logic = SchedulerLogic::with_dense_shadow(32);
+        let mut conds = Vec::new();
+        for (tid, addrs) in stream {
+            conds.clear();
+            let iter = logic.schedule(tid, &addrs, &mut conds);
+            for c in &conds {
+                prop_assert!(c.dep_iter < iter, "conditions look backwards");
+                prop_assert_ne!(c.dep_tid, tid, "no self-waits");
+            }
+            let mut tids: Vec<_> = conds.iter().map(|c| c.dep_tid).collect();
+            tids.sort_unstable();
+            tids.dedup();
+            prop_assert_eq!(tids.len(), conds.len(), "one condition per worker");
+        }
+    }
+
+    /// Position packing round-trips and preserves order.
+    #[test]
+    fn position_pack_is_order_preserving(e1 in 0u32..1000, t1 in 0u32..1000,
+                                         e2 in 0u32..1000, t2 in 0u32..1000) {
+        let a = Position { epoch: e1, task: t1 };
+        let b = Position { epoch: e2, task: t2 };
+        prop_assert_eq!(Position::unpack(a.pack()), a);
+        prop_assert_eq!(a < b, a.pack() < b.pack());
+    }
+
+    /// The simulator is a pure function: identical inputs, identical
+    /// timelines.
+    #[test]
+    fn simulator_is_deterministic(invs in 1usize..12, iters in 1usize..16,
+                                  cost_ns in 1u64..10_000, threads in 1usize..9) {
+        let w = UniformWorkload::rotating(invs, iters, cost_ns);
+        let model = CostModel::default();
+        let a = barrier(&w, threads, &model);
+        let b = barrier(&w, threads, &model);
+        prop_assert_eq!(&a, &b);
+        let params = SpecSimParams::with_threads(threads);
+        let sa = speccross(&w, &params, &model);
+        let sb = speccross(&w, &params, &model);
+        prop_assert_eq!(sa.total_ns, sb.total_ns);
+    }
+
+    /// Simulated parallel executions respect the work lower bound
+    /// (total time ≥ total work / threads) and never beat it.
+    #[test]
+    fn simulated_time_respects_work_conservation(invs in 1usize..10, iters in 1usize..16,
+                                                 cost_ns in 100u64..5_000, threads in 1usize..9) {
+        let w = UniformWorkload::independent(invs, iters, cost_ns);
+        let work = w.total_work_ns();
+        let r = barrier(&w, threads, &CostModel::free());
+        prop_assert!(r.total_ns >= work / threads as u64);
+        prop_assert!(r.total_ns <= work, "parallel never slower than serial work");
+    }
+}
+
+/// Randomized DOMORE executions on real threads match sequential
+/// semantics. Kept outside `proptest!` iteration-count defaults: thread
+/// spawning is expensive, so a handful of seeded cases suffice.
+#[test]
+fn randomized_domore_matches_sequential() {
+    struct Random {
+        data: SharedSlice<u64>,
+        cells: Vec<Vec<usize>>, // per (inv, iter) address sets
+        invs: usize,
+        iters: usize,
+    }
+    impl DomoreWorkload for Random {
+        fn num_invocations(&self) -> usize {
+            self.invs
+        }
+        fn num_iterations(&self, _inv: usize) -> usize {
+            self.iters
+        }
+        fn touched_addrs(&self, inv: usize, iter: usize, out: &mut Vec<usize>) {
+            out.extend(&self.cells[inv * self.iters + iter]);
+        }
+        fn execute_iteration(&self, inv: usize, iter: usize, _tid: usize) {
+            for &addr in &self.cells[inv * self.iters + iter] {
+                // SAFETY: the runtime orders conflicting iterations.
+                unsafe {
+                    self.data.update(addr, |v| {
+                        *v = crossinvoc_runtime::hash::splitmix64(*v ^ (inv * 31 + iter) as u64)
+                    })
+                };
+            }
+        }
+        fn address_space(&self) -> Option<usize> {
+            Some(self.data.len())
+        }
+    }
+
+    for seed in 0..6u64 {
+        let mut rng = crossinvoc_runtime::hash::SplitMix64::new(seed);
+        let (invs, iters, space) = (6, 10, 24);
+        let cells: Vec<Vec<usize>> = (0..invs * iters)
+            .map(|_| {
+                (0..1 + rng.next_below(3))
+                    .map(|_| rng.next_below(space as u64) as usize)
+                    .collect()
+            })
+            .collect();
+        let make = |cells: Vec<Vec<usize>>| Random {
+            data: SharedSlice::from_vec(vec![0; space]),
+            cells,
+            invs,
+            iters,
+        };
+        let mut reference = make(cells.clone());
+        for inv in 0..invs {
+            for iter in 0..iters {
+                reference.execute_iteration(inv, iter, 0);
+            }
+        }
+        let expected = reference.data.snapshot();
+        let mut parallel = make(cells);
+        DomoreRuntime::new(DomoreConfig::with_workers(3))
+            .execute(&parallel)
+            .unwrap();
+        assert_eq!(parallel.data.snapshot(), expected, "seed {seed}");
+    }
+}
+
+/// Inspector-Executor wavefront soundness: two iterations placed in the
+/// same wavefront never conflict (write/any overlap) — checked over random
+/// access patterns.
+#[test]
+fn inspector_wavefronts_are_conflict_free() {
+    use crossinvoc_runtime::hash::SplitMix64;
+    use crossinvoc_runtime::signature::AccessKind;
+    use crossinvoc_sim::inspector::wavefronts;
+
+    #[derive(Debug)]
+    struct RandomAccesses {
+        cells: Vec<Vec<(usize, AccessKind)>>,
+    }
+    impl SimWorkload for RandomAccesses {
+        fn num_invocations(&self) -> usize {
+            1
+        }
+        fn num_iterations(&self, _inv: usize) -> usize {
+            self.cells.len()
+        }
+        fn iteration_cost(&self, _inv: usize, _iter: usize) -> u64 {
+            1
+        }
+        fn accesses(&self, _inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+            out.extend_from_slice(&self.cells[iter]);
+        }
+        fn address_space(&self) -> Option<usize> {
+            Some(16)
+        }
+    }
+
+    for seed in 0..20u64 {
+        let mut rng = SplitMix64::new(seed);
+        let cells: Vec<Vec<(usize, AccessKind)>> = (0..40)
+            .map(|_| {
+                (0..1 + rng.next_below(3))
+                    .map(|_| {
+                        let addr = rng.next_below(16) as usize;
+                        let kind = if rng.next_below(2) == 0 {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        };
+                        (addr, kind)
+                    })
+                    .collect()
+            })
+            .collect();
+        let w = RandomAccesses { cells };
+        let fronts = wavefronts(&w, 0);
+        for a in 0..40 {
+            for b in (a + 1)..40 {
+                if fronts[a] != fronts[b] {
+                    continue;
+                }
+                let conflict = w.cells[a].iter().any(|&(addr, ka)| {
+                    w.cells[b].iter().any(|&(baddr, kb)| {
+                        addr == baddr
+                            && (ka == AccessKind::Write || kb == AccessKind::Write)
+                    })
+                });
+                assert!(
+                    !conflict,
+                    "seed {seed}: iterations {a} and {b} share wavefront {} but conflict",
+                    fronts[a]
+                );
+            }
+        }
+    }
+}
+
+/// Restoring DOMORE's barrier at every invocation can only slow it down:
+/// the barriered executor is never faster than the cross-invocation one.
+#[test]
+fn barriered_domore_never_beats_full_domore() {
+    use crossinvoc_domore::policy::RoundRobin;
+    for (invs, iters, cost_ns) in [(20, 8, 500), (5, 64, 3_000), (50, 3, 10_000)] {
+        let w = UniformWorkload::rotating(invs, iters, cost_ns);
+        let model = CostModel::default();
+        let full = domore(&w, 4, &mut RoundRobin, &model);
+        let barriered = domore_barriered(&w, 4, &mut RoundRobin, &model);
+        assert!(
+            barriered.total_ns >= full.total_ns,
+            "({invs},{iters},{cost_ns}): {} < {}",
+            barriered.total_ns,
+            full.total_ns
+        );
+    }
+}
