@@ -264,6 +264,7 @@ pub fn doany_barrier<W: SimWorkload>(
         busy_ns: busy,
         idle_ns: idle,
         stats: stats.summary(),
+        degraded: false,
     }
 }
 

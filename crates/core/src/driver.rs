@@ -91,6 +91,10 @@ impl From<SpecError> for AutoError {
 pub struct Report {
     /// Runtime counters (tasks, epochs, sync conditions, misspeculations).
     pub stats: StatsSummary,
+    /// Whether a SPECCROSS execution abandoned speculation mid-run and
+    /// finished the region under non-speculative barriers (see
+    /// `DegradePolicy`); always `false` for the other strategies.
+    pub degraded: bool,
 }
 
 /// The driver configuration.
@@ -267,6 +271,7 @@ impl Decision<'_> {
                 let report = plan.execute(mem, self.workers)?;
                 Ok(Report {
                     stats: report.stats,
+                    degraded: false,
                 })
             }
             Plan::SpecCross { plan, distance } => {
@@ -276,6 +281,7 @@ impl Decision<'_> {
                 )?;
                 Ok(Report {
                     stats: report.stats,
+                    degraded: report.degraded,
                 })
             }
             Plan::Barrier(plan) => {
@@ -283,6 +289,7 @@ impl Decision<'_> {
                     plan.execute_with_barriers(mem, SpecConfig::with_workers(self.workers))?;
                 Ok(Report {
                     stats: report.stats,
+                    degraded: false,
                 })
             }
             Plan::Sequential => {
@@ -357,7 +364,8 @@ mod tests {
         let decision = AutoParallelizer::new(2).plan(&p, outer).unwrap();
         assert_eq!(decision.strategy(), Strategy::SpecCross);
         let mut mem = Memory::zeroed(&p);
-        decision.execute(&mut mem).unwrap();
+        let report = decision.execute(&mut mem).unwrap();
+        assert!(!report.degraded, "a clean run must not degrade");
         let mut expected = Memory::zeroed(&p);
         decision.execute_sequential(&mut expected);
         assert_eq!(mem.snapshot(), expected.snapshot());

@@ -13,9 +13,12 @@
 //! worker (no side effects beyond its own locals); workloads declare this via
 //! [`DomoreWorkload::prologue_is_replicable`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use crossinvoc_runtime::stats::RegionStats;
+use parking_lot::Mutex;
 
 use crate::logic::SchedulerLogic;
 use crate::policy::{Policy, RoundRobin};
@@ -104,6 +107,16 @@ impl DuplicatedScheduler {
 
         let board = ProgressBoard::new(self.num_workers);
         let stats = RegionStats::new();
+        let abort = AtomicBool::new(false);
+        let error: Mutex<Option<DomoreError>> = Mutex::new(None);
+        let fail = |err: DomoreError| {
+            let mut slot = error.lock();
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+            drop(slot);
+            abort.store(true, Ordering::Release);
+        };
         let start = Instant::now();
 
         std::thread::scope(|scope| {
@@ -115,50 +128,79 @@ impl DuplicatedScheduler {
                 };
                 let board = &board;
                 let stats = &stats;
+                let (abort, fail) = (&abort, &fail);
                 let num_workers = self.num_workers;
                 scope.spawn(move || {
-                    let mut writes = Vec::new();
-                    let mut reads = Vec::new();
-                    let mut addrs = Vec::new();
-                    let mut conds = Vec::new();
-                    for inv in 0..workload.num_invocations() {
-                        workload.prologue(inv);
-                        if tid == 0 {
-                            stats.add_epoch();
-                        }
-                        for iter in 0..workload.num_iterations(inv) {
-                            writes.clear();
-                            reads.clear();
-                            workload.touched(inv, iter, &mut writes, &mut reads);
-                            addrs.clear();
-                            addrs.extend_from_slice(&writes);
-                            addrs.extend_from_slice(&reads);
-                            let preview = logic.next_iter_num();
-                            let assigned = policy.assign(preview, &addrs, num_workers);
-                            conds.clear();
-                            let iter_num =
-                                logic.schedule_rw(assigned, &writes, &reads, &mut conds);
-                            if assigned != tid {
-                                continue;
+                    // Contain the replicated scheduling loop: a panic in the
+                    // prologue or oracle must not tear down the scope while
+                    // peers spin on this worker's conditions.
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        let mut writes = Vec::new();
+                        let mut reads = Vec::new();
+                        let mut addrs = Vec::new();
+                        let mut conds = Vec::new();
+                        for inv in 0..workload.num_invocations() {
+                            workload.prologue(inv);
+                            if tid == 0 {
+                                stats.add_epoch();
                             }
-                            // Only the owning worker waits and executes; the
-                            // replicas merely keep their shadow state warm.
-                            for &cond in &conds {
-                                stats.add_sync_condition();
-                                if !board.satisfied(cond) {
-                                    stats.add_stall();
-                                    board.await_condition(cond);
+                            for iter in 0..workload.num_iterations(inv) {
+                                writes.clear();
+                                reads.clear();
+                                workload.touched(inv, iter, &mut writes, &mut reads);
+                                addrs.clear();
+                                addrs.extend_from_slice(&writes);
+                                addrs.extend_from_slice(&reads);
+                                let preview = logic.next_iter_num();
+                                let assigned = policy.assign(preview, &addrs, num_workers);
+                                conds.clear();
+                                let iter_num =
+                                    logic.schedule_rw(assigned, &writes, &reads, &mut conds);
+                                if assigned != tid {
+                                    continue;
                                 }
+                                // Only the owning worker waits and executes;
+                                // the replicas merely keep their shadow state
+                                // warm. Under abort the replay continues but
+                                // execution is skipped — every owned
+                                // iteration is still published so peers
+                                // blocked on it are released.
+                                if !abort.load(Ordering::Acquire) {
+                                    for &cond in &conds {
+                                        stats.add_sync_condition();
+                                        if !board.satisfied(cond) {
+                                            stats.add_stall();
+                                            board.await_condition_bounded(cond, abort, None);
+                                        }
+                                    }
+                                }
+                                if !abort.load(Ordering::Acquire) {
+                                    let run = catch_unwind(AssertUnwindSafe(|| {
+                                        workload.execute_iteration(inv, iter, tid);
+                                    }));
+                                    match run {
+                                        Ok(()) => stats.add_task(),
+                                        Err(_) => {
+                                            fail(DomoreError::IterationPanicked { inv, iter })
+                                        }
+                                    }
+                                }
+                                board.publish(tid, iter_num);
                             }
-                            workload.execute_iteration(inv, iter, tid);
-                            board.publish(tid, iter_num);
-                            stats.add_task();
                         }
+                    }));
+                    if body.is_err() {
+                        fail(DomoreError::SchedulerPanicked);
+                        // Release every peer that may wait on this worker.
+                        board.publish(tid, u64::MAX - 1);
                     }
                 });
             }
         });
 
+        if let Some(err) = error.into_inner() {
+            return Err(err);
+        }
         Ok(ExecutionReport {
             stats: stats.summary(),
             elapsed: start.elapsed(),

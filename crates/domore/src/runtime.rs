@@ -8,15 +8,33 @@
 //! Alg. 2: stall on each condition until the named predecessor retires (as
 //! observed through the `latestFinished` status array), run the iteration,
 //! and publish their own progress.
+//!
+//! # Failure model
+//!
+//! An iteration that panics (organically or via an injected
+//! [`FaultPlan`]) is caught at the `execute_iteration` call site; the worker
+//! records [`DomoreError::IterationPanicked`], raises the shared abort flag
+//! and — crucially — still publishes the iteration number, so workers
+//! blocked on a synchronization condition naming it are released. From then
+//! on every worker *drains*: it keeps consuming messages (publishing, never
+//! executing) until its `END_TOKEN`, so the scheduler's queues never jam. A
+//! panicking scheduler body is likewise contained
+//! ([`DomoreError::SchedulerPanicked`]) and the end tokens are always sent.
+//! A watchdog deadline ([`DomoreConfig::watchdog`]) bounds every
+//! condition-wait so a lost predecessor becomes
+//! [`DomoreError::WatchdogTimeout`] instead of an unbounded spin.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::utils::{Backoff, CachePadded};
+use crossinvoc_runtime::fault::{FaultPlan, TaskFault};
 use crossinvoc_runtime::spsc::Queue;
 use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
 use crossinvoc_runtime::{IterNum, ThreadId};
+use parking_lot::Mutex;
 
 use crate::logic::{SchedulerLogic, SyncCondition};
 use crate::policy::{Policy, RoundRobin};
@@ -68,13 +86,40 @@ impl ProgressBoard {
         self.finished[cond.dep_tid].load(Ordering::Acquire) > cond.dep_iter
     }
 
-    /// Spins (with backoff) until `cond` is satisfied.
-    pub(crate) fn await_condition(&self, cond: SyncCondition) {
+    /// Spins until `cond` is satisfied, the abort flag rises, or `deadline`
+    /// passes.
+    pub(crate) fn await_condition_bounded(
+        &self,
+        cond: SyncCondition,
+        abort: &AtomicBool,
+        deadline: Option<Instant>,
+    ) -> AwaitOutcome {
         let backoff = Backoff::new();
-        while !self.satisfied(cond) {
-            backoff.snooze();
+        loop {
+            if self.satisfied(cond) {
+                return AwaitOutcome::Satisfied;
+            }
+            if abort.load(Ordering::Acquire) {
+                return AwaitOutcome::Aborted;
+            }
+            if backoff.is_completed() {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return AwaitOutcome::TimedOut;
+                }
+                std::thread::yield_now();
+            } else {
+                backoff.snooze();
+            }
         }
     }
+}
+
+/// Outcome of [`ProgressBoard::await_condition_bounded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AwaitOutcome {
+    Satisfied,
+    Aborted,
+    TimedOut,
 }
 
 /// Configuration for [`DomoreRuntime`].
@@ -82,6 +127,8 @@ impl ProgressBoard {
 pub struct DomoreConfig {
     num_workers: usize,
     queue_capacity: usize,
+    fault_plan: Option<FaultPlan>,
+    watchdog: Option<Duration>,
 }
 
 impl DomoreConfig {
@@ -91,14 +138,32 @@ impl DomoreConfig {
         Self {
             num_workers,
             queue_capacity: 1 << 12,
+            fault_plan: None,
+            watchdog: None,
         }
     }
 
-    /// Sets the per-worker SPSC queue capacity (in messages).
+    /// Sets the per-worker SPSC queue capacity (in messages). A zero
+    /// capacity is rejected with [`DomoreError::InvalidConfig`] at run time.
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
         self
     }
+
+    /// Installs a deterministic fault schedule (testing). Coordinates map as
+    /// epoch = invocation, task = iteration, thread = worker id.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Bounds every synchronization-condition wait by a wall-clock deadline
+    /// measured from the start of the execution.
+    pub fn watchdog(mut self, limit: Duration) -> Self {
+        self.watchdog = Some(limit);
+        self
+    }
+
 }
 
 /// Errors reported by the DOMORE runtime.
@@ -106,19 +171,40 @@ impl DomoreConfig {
 pub enum DomoreError {
     /// The configuration requested zero workers.
     NoWorkers,
+    /// The configuration is inconsistent (message says how).
+    InvalidConfig(String),
     /// The workload declared its prologue non-replicable but the duplicated
     /// scheduler was requested.
     PrologueNotReplicable,
+    /// An iteration body panicked; the runtime aborted the region after
+    /// releasing every worker.
+    IterationPanicked {
+        /// Invocation of the panicking iteration.
+        inv: usize,
+        /// Iteration index within the invocation.
+        iter: usize,
+    },
+    /// The scheduler body (prologue or scheduling logic) panicked.
+    SchedulerPanicked,
+    /// The watchdog deadline elapsed while a worker waited on a
+    /// synchronization condition.
+    WatchdogTimeout,
 }
 
 impl fmt::Display for DomoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DomoreError::NoWorkers => write!(f, "at least one worker thread is required"),
+            DomoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DomoreError::PrologueNotReplicable => write!(
                 f,
                 "workload prologue has side effects; duplicated scheduler is unsound"
             ),
+            DomoreError::IterationPanicked { inv, iter } => {
+                write!(f, "iteration {iter} of invocation {inv} panicked")
+            }
+            DomoreError::SchedulerPanicked => write!(f, "scheduler body panicked"),
+            DomoreError::WatchdogTimeout => write!(f, "watchdog deadline elapsed"),
         }
     }
 }
@@ -175,7 +261,12 @@ impl DomoreRuntime {
     ///
     /// # Errors
     ///
-    /// Returns [`DomoreError::NoWorkers`] if configured with zero workers.
+    /// [`DomoreError::NoWorkers`] / [`DomoreError::InvalidConfig`] for a bad
+    /// configuration; [`DomoreError::IterationPanicked`],
+    /// [`DomoreError::SchedulerPanicked`] and
+    /// [`DomoreError::WatchdogTimeout`] when the region failed (all workers
+    /// are released and joined before the error is returned — no thread is
+    /// leaked and no queue left jammed).
     pub fn execute<W: DomoreWorkload>(
         &mut self,
         workload: &W,
@@ -184,6 +275,14 @@ impl DomoreRuntime {
         if num_workers == 0 {
             return Err(DomoreError::NoWorkers);
         }
+        if self.config.queue_capacity == 0 {
+            return Err(DomoreError::InvalidConfig(
+                "queue capacity must be positive".to_string(),
+            ));
+        }
+        // One shared fault budget for the whole execution (Clone resets it).
+        let fault = self.config.fault_plan.clone().unwrap_or_default();
+        let deadline = self.config.watchdog.map(|w| Instant::now() + w);
 
         let mut logic = match workload.address_space() {
             Some(n) => SchedulerLogic::with_dense_shadow(n),
@@ -191,6 +290,16 @@ impl DomoreRuntime {
         };
         let board = ProgressBoard::new(num_workers);
         let stats = RegionStats::new();
+        let abort = AtomicBool::new(false);
+        let error: Mutex<Option<DomoreError>> = Mutex::new(None);
+        let fail = |err: DomoreError| {
+            let mut slot = error.lock();
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+            drop(slot);
+            abort.store(true, Ordering::Release);
+        };
         let start = Instant::now();
 
         std::thread::scope(|scope| {
@@ -200,12 +309,23 @@ impl DomoreRuntime {
                 producers.push(tx);
                 let board = &board;
                 let stats = &stats;
+                let (abort, fail, fault) = (&abort, &fail, &fault);
                 scope.spawn(move || loop {
                     match rx.consume() {
                         Msg::Sync(cond) => {
-                            if !board.satisfied(cond) {
-                                stats.add_stall();
-                                board.await_condition(cond);
+                            // Under abort the region's result is already
+                            // condemned; draining workers skip the wait (the
+                            // condition may name an iteration that will now
+                            // never execute).
+                            if abort.load(Ordering::Acquire) || board.satisfied(cond) {
+                                continue;
+                            }
+                            stats.add_stall();
+                            match board.await_condition_bounded(cond, abort, deadline) {
+                                AwaitOutcome::Satisfied | AwaitOutcome::Aborted => {}
+                                AwaitOutcome::TimedOut => {
+                                    fail(DomoreError::WatchdogTimeout);
+                                }
                             }
                         }
                         Msg::Run {
@@ -213,9 +333,39 @@ impl DomoreRuntime {
                             iter,
                             iter_num,
                         } => {
-                            workload.execute_iteration(inv, iter, tid);
+                            let mut executed = false;
+                            if !abort.load(Ordering::Acquire) {
+                                let inject =
+                                    match fault.task_start(inv as u32, iter as u64, tid) {
+                                        Some(TaskFault::Delay(d)) => {
+                                            std::thread::sleep(d);
+                                            false
+                                        }
+                                        Some(TaskFault::Panic) => true,
+                                        None => false,
+                                    };
+                                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                    if inject {
+                                        panic!(
+                                            "injected fault: worker panic at invocation {inv}, iteration {iter}"
+                                        );
+                                    }
+                                    workload.execute_iteration(inv, iter, tid);
+                                }));
+                                match outcome {
+                                    Ok(()) => executed = true,
+                                    Err(_) => {
+                                        fail(DomoreError::IterationPanicked { inv, iter });
+                                    }
+                                }
+                            }
+                            // Publish even when the iteration was skipped or
+                            // panicked: dependents blocked on this iteration
+                            // number must be released so the region drains.
                             board.publish(tid, iter_num);
-                            stats.add_task();
+                            if executed {
+                                stats.add_task();
+                            }
                         }
                         Msg::End => break,
                     }
@@ -223,41 +373,59 @@ impl DomoreRuntime {
             }
 
             // ---- Scheduler (this thread) ----
-            let mut writes = Vec::new();
-            let mut reads = Vec::new();
-            let mut addrs = Vec::new();
-            let mut conds = Vec::new();
-            for inv in 0..workload.num_invocations() {
-                workload.prologue(inv);
-                stats.add_epoch();
-                for iter in 0..workload.num_iterations(inv) {
-                    writes.clear();
-                    reads.clear();
-                    workload.touched(inv, iter, &mut writes, &mut reads);
-                    addrs.clear();
-                    addrs.extend_from_slice(&writes);
-                    addrs.extend_from_slice(&reads);
-                    let preview = logic.next_iter_num();
-                    let tid = self.policy.assign(preview, &addrs, num_workers);
-                    conds.clear();
-                    let iter_num = logic.schedule_rw(tid, &writes, &reads, &mut conds);
-                    debug_assert_eq!(iter_num, preview);
-                    for &cond in &conds {
-                        stats.add_sync_condition();
-                        producers[tid].produce(Msg::Sync(cond));
+            // The body is contained so a panicking prologue / oracle cannot
+            // tear down the scope before the end tokens are sent.
+            let sched = catch_unwind(AssertUnwindSafe(|| {
+                let mut writes = Vec::new();
+                let mut reads = Vec::new();
+                let mut addrs = Vec::new();
+                let mut conds = Vec::new();
+                'invocations: for inv in 0..workload.num_invocations() {
+                    if abort.load(Ordering::Acquire) {
+                        break;
                     }
-                    producers[tid].produce(Msg::Run {
-                        inv,
-                        iter,
-                        iter_num,
-                    });
+                    workload.prologue(inv);
+                    stats.add_epoch();
+                    for iter in 0..workload.num_iterations(inv) {
+                        if abort.load(Ordering::Acquire) {
+                            break 'invocations;
+                        }
+                        writes.clear();
+                        reads.clear();
+                        workload.touched(inv, iter, &mut writes, &mut reads);
+                        addrs.clear();
+                        addrs.extend_from_slice(&writes);
+                        addrs.extend_from_slice(&reads);
+                        let preview = logic.next_iter_num();
+                        let tid = self.policy.assign(preview, &addrs, num_workers);
+                        conds.clear();
+                        let iter_num = logic.schedule_rw(tid, &writes, &reads, &mut conds);
+                        debug_assert_eq!(iter_num, preview);
+                        for &cond in &conds {
+                            stats.add_sync_condition();
+                            producers[tid].produce(Msg::Sync(cond));
+                        }
+                        producers[tid].produce(Msg::Run {
+                            inv,
+                            iter,
+                            iter_num,
+                        });
+                    }
                 }
+            }));
+            if sched.is_err() {
+                fail(DomoreError::SchedulerPanicked);
             }
+            // Always send the end tokens — workers drain their queues even
+            // under abort, so this cannot jam and every worker terminates.
             for tx in &producers {
                 tx.produce(Msg::End);
             }
         });
 
+        if let Some(err) = error.into_inner() {
+            return Err(err);
+        }
         Ok(ExecutionReport {
             stats: stats.summary(),
             elapsed: start.elapsed(),

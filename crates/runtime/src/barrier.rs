@@ -13,6 +13,19 @@ use std::time::Instant;
 
 use crossbeam::utils::{Backoff, CachePadded};
 
+/// Outcome of [`SpinBarrier::wait_abortable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierWait {
+    /// The barrier released normally; `true` on the serial (last-arriving)
+    /// thread, as with [`SpinBarrier::wait`].
+    Released(bool),
+    /// The abort flag was observed while spinning.
+    Aborted,
+    /// The deadline elapsed while spinning (a liveness failure elsewhere —
+    /// the caller should abort the pass rather than spin forever).
+    TimedOut,
+}
+
 /// A reusable sense-reversing spinning barrier for a fixed set of threads.
 ///
 /// Unlike `std::sync::Barrier`, arrival order and waiting cost are observable
@@ -98,6 +111,56 @@ impl SpinBarrier {
             self.idle_nanos[tid]
                 .fetch_add(arrival.elapsed().as_nanos() as u64, Ordering::Relaxed);
             false
+        }
+    }
+
+    /// Like [`SpinBarrier::wait`], but gives up when `abort` becomes `true`
+    /// or `deadline` passes while spinning.
+    ///
+    /// An aborted or timed-out wait leaves the barrier's arrival count
+    /// permanently short for the current generation — peers still spinning on
+    /// it must be released by the same abort flag, and the barrier must not
+    /// be reused afterwards. The engines here create a fresh barrier per
+    /// pass, so a poisoned generation dies with its pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= num_threads`.
+    pub fn wait_abortable(
+        &self,
+        tid: usize,
+        abort: &AtomicBool,
+        deadline: Option<Instant>,
+    ) -> BarrierWait {
+        assert!(tid < self.num_threads, "thread id out of range");
+        if abort.load(Ordering::Acquire) {
+            return BarrierWait::Aborted;
+        }
+        let local_sense = !self.sense.load(Ordering::Relaxed);
+        let arrival = Instant::now();
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.num_threads {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generations.fetch_add(1, Ordering::Relaxed);
+            self.sense.store(local_sense, Ordering::Release);
+            BarrierWait::Released(true)
+        } else {
+            let backoff = Backoff::new();
+            while self.sense.load(Ordering::Acquire) != local_sense {
+                if abort.load(Ordering::Acquire) {
+                    return BarrierWait::Aborted;
+                }
+                if backoff.is_completed() {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return BarrierWait::TimedOut;
+                    }
+                    std::thread::yield_now();
+                } else {
+                    backoff.snooze();
+                }
+            }
+            self.idle_nanos[tid]
+                .fetch_add(arrival.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            BarrierWait::Released(false)
         }
     }
 
@@ -205,6 +268,49 @@ mod tests {
         t.join().unwrap();
         assert!(barrier.idle_nanos(1) >= 10_000_000, "early arrival idled");
         assert!(barrier.total_idle_nanos() >= barrier.idle_nanos(1));
+    }
+
+    #[test]
+    fn abortable_wait_releases_normally_when_all_arrive() {
+        let barrier = Arc::new(SpinBarrier::new(2));
+        let abort = Arc::new(AtomicBool::new(false));
+        let (b, a) = (Arc::clone(&barrier), Arc::clone(&abort));
+        let t = thread::spawn(move || b.wait_abortable(1, &a, None));
+        let mine = barrier.wait_abortable(0, &abort, None);
+        let theirs = t.join().unwrap();
+        let serials = [mine, theirs]
+            .iter()
+            .filter(|o| matches!(o, BarrierWait::Released(true)))
+            .count();
+        assert_eq!(serials, 1);
+        assert!([mine, theirs].contains(&BarrierWait::Released(false)));
+    }
+
+    #[test]
+    fn abortable_wait_observes_abort_flag() {
+        let barrier = Arc::new(SpinBarrier::new(2));
+        let abort = Arc::new(AtomicBool::new(false));
+        let (b, a) = (Arc::clone(&barrier), Arc::clone(&abort));
+        let t = thread::spawn(move || b.wait_abortable(1, &a, None));
+        thread::sleep(std::time::Duration::from_millis(10));
+        abort.store(true, Ordering::Release);
+        assert_eq!(t.join().unwrap(), BarrierWait::Aborted);
+        // A pre-set flag short-circuits without touching arrival counts.
+        assert_eq!(
+            barrier.wait_abortable(0, &abort, None),
+            BarrierWait::Aborted
+        );
+    }
+
+    #[test]
+    fn abortable_wait_times_out_when_peer_never_arrives() {
+        let barrier = SpinBarrier::new(2);
+        let abort = AtomicBool::new(false);
+        let deadline = Some(Instant::now() + std::time::Duration::from_millis(20));
+        assert_eq!(
+            barrier.wait_abortable(0, &abort, deadline),
+            BarrierWait::TimedOut
+        );
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   iterations are ordered; the type encapsulates the `unsafe` needed to
 //!   express that in Rust.
 //! * [`stats`] — lightweight counters shared by runtimes and the simulator.
+//! * [`fault`] — a deterministic fault-injection plan ([`fault::FaultPlan`])
+//!   both engines and the simulator consult at well-defined points, so
+//!   recovery and degradation paths can be exercised and replayed exactly.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod barrier;
+pub mod fault;
 pub mod hash;
 pub mod shadow;
 pub mod shared;
@@ -48,7 +52,8 @@ pub mod signature;
 pub mod spsc;
 pub mod stats;
 
-pub use barrier::SpinBarrier;
+pub use barrier::{BarrierWait, SpinBarrier};
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use shadow::{ShadowEntry, ShadowMemory};
 pub use shared::SharedSlice;
 pub use signature::{AccessSignature, BloomSignature, RangeSignature};

@@ -54,6 +54,7 @@ pub fn barrier<W: SimWorkload + ?Sized>(workload: &W, threads: usize, cost: &Cos
         busy_ns: busy,
         idle_ns: idle,
         stats: stats.summary(),
+        degraded: false,
     }
 }
 

@@ -116,6 +116,7 @@ pub fn domore<W: SimWorkload + ?Sized>(
         busy_ns: busy,
         idle_ns: idle,
         stats: stats.summary(),
+        degraded: false,
     }
 }
 
@@ -187,6 +188,7 @@ pub fn domore_barriered<W: SimWorkload + ?Sized>(
         busy_ns: busy,
         idle_ns: idle,
         stats: stats.summary(),
+        degraded: false,
     }
 }
 
@@ -260,6 +262,7 @@ pub fn domore_duplicated<W: SimWorkload + ?Sized>(
         busy_ns: busy,
         idle_ns: idle,
         stats: stats.summary(),
+        degraded: false,
     }
 }
 

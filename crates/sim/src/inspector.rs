@@ -30,7 +30,7 @@ pub fn wavefronts<W: SimWorkload + ?Sized>(workload: &W, inv: usize) -> Vec<u32>
     let iterations = workload.num_iterations(inv);
     let mut last_writer: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
     let mut last_access: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
-    let mut fronts = vec![0u32; iterations];
+    let mut fronts = Vec::with_capacity(iterations);
     let mut pairs = Vec::new();
     for iter in 0..iterations {
         pairs.clear();
@@ -56,7 +56,7 @@ pub fn wavefronts<W: SimWorkload + ?Sized>(workload: &W, inv: usize) -> Vec<u32>
                 *slot = (*slot).max(front);
             }
         }
-        fronts[iter] = front;
+        fronts.push(front);
     }
     fronts
 }
@@ -134,6 +134,7 @@ pub fn inspector_executor<W: SimWorkload + ?Sized>(
         busy_ns: busy,
         idle_ns: idle,
         stats: stats.summary(),
+        degraded: false,
     }
 }
 

@@ -95,6 +95,7 @@ pub fn doacross(staged: &StagedLoop, threads: usize, comm_ns: u64) -> SimResult 
         busy_ns: busy,
         idle_ns: idle,
         stats: stats.summary(),
+        degraded: false,
     }
 }
 
@@ -130,6 +131,7 @@ pub fn dswp(staged: &StagedLoop, comm_ns: u64) -> SimResult {
         busy_ns: busy,
         idle_ns: idle,
         stats: stats.summary(),
+        degraded: false,
     }
 }
 

@@ -14,6 +14,10 @@ pub struct SimResult {
     pub idle_ns: Vec<u64>,
     /// Execution counters (tasks, epochs, sync conditions, checkpoints, …).
     pub stats: StatsSummary,
+    /// Whether the simulated region abandoned speculation mid-run and
+    /// finished under non-speculative barriers (mirrors the threaded
+    /// engine's `SpecReport::degraded`).
+    pub degraded: bool,
 }
 
 impl SimResult {
@@ -55,6 +59,7 @@ mod tests {
             busy_ns: busy,
             idle_ns: idle,
             stats: StatsSummary::default(),
+            degraded: false,
         }
     }
 

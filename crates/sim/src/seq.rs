@@ -25,6 +25,7 @@ pub fn sequential<W: SimWorkload + ?Sized>(workload: &W, _cost: &CostModel) -> S
         busy_ns: vec![clock],
         idle_ns: vec![0],
         stats: stats.summary(),
+        degraded: false,
     }
 }
 

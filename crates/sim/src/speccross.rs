@@ -16,6 +16,7 @@
 //! re-execute the misspeculated epochs under non-speculative barriers,
 //! resume speculation.
 
+use crossinvoc_runtime::fault::{CheckFault, FaultPlan, TaskFault};
 use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
 use crossinvoc_runtime::stats::RegionStats;
 
@@ -36,6 +37,13 @@ pub struct SpecSimParams {
     /// Force a misspeculation when this global task index is admitted
     /// (the Fig. 5.3 experiment's "randomly triggered" misspeculation).
     pub inject_misspec_at_task: Option<u64>,
+    /// Deterministic fault schedule, sharing [`FaultPlan`] semantics with
+    /// the threaded engine: worker panics roll back to the checkpoint and
+    /// re-execute under barriers, checker death degrades the remaining
+    /// region to barriers, forced false positives misspeculate, stalls and
+    /// delays advance the respective clocks, and snapshot/restore failures
+    /// skip a checkpoint / pay an extra recovery.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SpecSimParams {
@@ -47,6 +55,7 @@ impl SpecSimParams {
             spec_distance: None,
             checkpoint_every: 1000,
             inject_misspec_at_task: None,
+            fault_plan: None,
         }
     }
 
@@ -72,6 +81,12 @@ impl SpecSimParams {
         self.inject_misspec_at_task = task;
         self
     }
+
+    /// Installs a deterministic fault schedule.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 /// One simulated in-flight task retained for conflict detection.
@@ -87,13 +102,26 @@ struct Window {
     sig: RangeSignature,
 }
 
+/// Why a simulated speculative pass aborted.
+enum AbortCause {
+    /// Signature conflict (organic or forced false positive): the one
+    /// abort that counts as a misspeculation.
+    Conflict,
+    /// An injected worker panic; rolls back like a conflict but is not a
+    /// misspeculation.
+    Panic,
+    /// The checker died; the remaining region degrades to barriers.
+    CheckerDeath,
+}
+
 /// Outcome of one simulated speculative pass.
 enum PassEnd {
     Completed,
-    Misspeculated {
+    Aborted {
         detect_time: u64,
         checkpoint_epoch: usize,
         resume_epoch: usize,
+        cause: AbortCause,
     },
 }
 
@@ -114,38 +142,58 @@ pub fn speccross<W: SimWorkload + ?Sized>(
     let mut idle = vec![0u64; params.threads];
     let mut now = 0u64;
     let mut start_epoch = 0usize;
+    let mut degraded = false;
+    // Cloning replays the plan with a fresh budget, so repeated `speccross`
+    // calls over the same params are deterministic.
+    let fault = params.fault_plan.clone().unwrap_or_default();
 
     while start_epoch < num_epochs {
         match speculative_pass(
-            workload, params, cost, start_epoch, now, &stats, &mut busy, &mut idle,
+            workload, params, cost, &fault, start_epoch, now, &stats, &mut busy, &mut idle,
         ) {
             (PassEnd::Completed, end_time) => {
                 now = end_time;
                 start_epoch = num_epochs;
             }
             (
-                PassEnd::Misspeculated {
+                PassEnd::Aborted {
                     detect_time,
                     checkpoint_epoch,
                     resume_epoch,
+                    cause,
                 },
                 _,
             ) => {
-                stats.add_misspeculation();
+                if matches!(cause, AbortCause::Conflict) {
+                    stats.add_misspeculation();
+                }
                 now = detect_time + cost.recovery_ns;
-                // Re-execute the misspeculated epochs under real barriers.
+                if fault.restore_fails(checkpoint_epoch as u32) {
+                    // First restore attempt failed; the retry costs another
+                    // recovery round-trip.
+                    now += cost.recovery_ns;
+                }
+                // Re-execute the aborted epochs under real barriers; after a
+                // checker death there is no one left to validate speculation,
+                // so the rest of the region runs under barriers too.
+                let to = if matches!(cause, AbortCause::CheckerDeath) {
+                    degraded = true;
+                    num_epochs
+                } else {
+                    resume_epoch
+                };
                 now = barrier_range(
                     workload,
                     params.threads,
                     cost,
                     checkpoint_epoch,
-                    resume_epoch,
+                    to,
                     now,
                     &stats,
                     &mut busy,
                     &mut idle,
                 );
-                start_epoch = resume_epoch;
+                start_epoch = to;
             }
         }
     }
@@ -155,6 +203,7 @@ pub fn speccross<W: SimWorkload + ?Sized>(
         busy_ns: busy,
         idle_ns: idle,
         stats: stats.summary(),
+        degraded,
     }
 }
 
@@ -199,6 +248,7 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
     workload: &W,
     params: &SpecSimParams,
     cost: &CostModel,
+    fault: &FaultPlan,
     start_epoch: usize,
     t0: u64,
     stats: &RegionStats,
@@ -251,9 +301,14 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 *clock = sync;
             }
             checker_clock = sync;
-            stats.add_checkpoint();
-            checkpoint_epoch = epoch;
-            window.clear(); // nothing before a checkpoint can race past it
+            if fault.snapshot_fails(epoch as u32) {
+                // Snapshot failed: the rendezvous still happened, but the
+                // previous checkpoint stays the rollback target.
+            } else {
+                stats.add_checkpoint();
+                checkpoint_epoch = epoch;
+            }
+            window.clear(); // nothing before the rendezvous can race past it
         }
 
         let ntasks = workload.num_iterations(epoch);
@@ -274,6 +329,28 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                         release = gate;
                     }
                 }
+            }
+            match fault.task_start(epoch as u32, task as u64, tid) {
+                Some(TaskFault::Delay(d)) => {
+                    stats.add_stall();
+                    release += d.as_nanos() as u64;
+                }
+                Some(TaskFault::Panic) => {
+                    // The panic is contained at the task boundary; the pass
+                    // aborts immediately and rolls back to the checkpoint.
+                    idle[tid] += release - clocks[tid];
+                    clocks[tid] = release;
+                    return (
+                        PassEnd::Aborted {
+                            detect_time: release,
+                            checkpoint_epoch,
+                            resume_epoch: (max_epoch_started.max(epoch) + 1).min(num_epochs),
+                            cause: AbortCause::Panic,
+                        },
+                        release,
+                    );
+                }
+                None => {}
             }
             idle[tid] += release - clocks[tid];
             let work = cost.task_overhead_ns + workload.iteration_cost(epoch, task);
@@ -324,14 +401,33 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 checker_clock = checker_clock.max(finish)
                     + cost.check_request_ns
                     + cost.check_compare_ns * comparisons;
+                // Checker-side faults fire while the request is processed,
+                // mirroring the threaded checker loop.
+                match fault.check(epoch as u32, task as u64, tid) {
+                    Some(CheckFault::ForceConflict) => conflicted = true,
+                    Some(CheckFault::Stall(d)) => checker_clock += d.as_nanos() as u64,
+                    Some(CheckFault::Die) => {
+                        return (
+                            PassEnd::Aborted {
+                                detect_time: checker_clock,
+                                checkpoint_epoch,
+                                resume_epoch: (max_epoch_started + 1).min(num_epochs),
+                                cause: AbortCause::CheckerDeath,
+                            },
+                            checker_clock,
+                        );
+                    }
+                    None => {}
+                }
             }
             if conflicted {
                 let resume = (max_epoch_started + 1).min(num_epochs);
                 return (
-                    PassEnd::Misspeculated {
+                    PassEnd::Aborted {
                         detect_time: checker_clock,
                         checkpoint_epoch,
                         resume_epoch: resume,
+                        cause: AbortCause::Conflict,
                     },
                     checker_clock,
                 );
@@ -518,5 +614,82 @@ mod tests {
     fn zero_threads_panics() {
         let w = UniformWorkload::independent(1, 1, 1);
         speccross(&w, &SpecSimParams::with_threads(0), &CostModel::default());
+    }
+
+    #[test]
+    fn injected_worker_panic_rolls_back_without_misspeculation() {
+        let w = UniformWorkload::independent(60, 16, 1_000);
+        let clean = speccross(&w, &SpecSimParams::with_threads(4), &CostModel::default());
+        let params = SpecSimParams::with_threads(4)
+            .fault_plan(FaultPlan::default().worker_panic_at(40, 3));
+        let r = speccross(&w, &params, &CostModel::default());
+        assert_eq!(r.stats.misspeculations, 0, "a panic is not a misspeculation");
+        assert!(!r.degraded);
+        assert!(r.stats.tasks >= 60 * 16, "rollback re-executes epochs");
+        assert!(r.total_ns > clean.total_ns, "recovery has a cost");
+    }
+
+    #[test]
+    fn checker_death_degrades_rest_of_region_to_barriers() {
+        let w = UniformWorkload::same_cell(40, 8, 1_000);
+        let params =
+            SpecSimParams::with_threads(4).fault_plan(FaultPlan::default().checker_death_at(10));
+        let r = speccross(&w, &params, &CostModel::default());
+        assert!(r.degraded, "losing the checker must degrade the region");
+        assert!(r.stats.tasks >= 40 * 8, "every epoch still executes");
+    }
+
+    #[test]
+    fn forced_false_positive_counts_as_misspeculation() {
+        let w = UniformWorkload::same_cell(40, 8, 1_000);
+        let params =
+            SpecSimParams::with_threads(4).fault_plan(FaultPlan::default().false_positive_at(20));
+        let r = speccross(&w, &params, &CostModel::default());
+        assert!(r.stats.misspeculations >= 1);
+        assert!(!r.degraded);
+        assert!(r.stats.tasks >= 40 * 8);
+    }
+
+    #[test]
+    fn snapshot_failure_keeps_previous_checkpoint() {
+        let w = UniformWorkload::independent(30, 8, 1_000);
+        let clean = speccross(
+            &w,
+            &SpecSimParams::with_threads(4).checkpoint_every(10),
+            &CostModel::default(),
+        );
+        let params = SpecSimParams::with_threads(4)
+            .checkpoint_every(10)
+            .fault_plan(FaultPlan::default().snapshot_failure_at(10));
+        let r = speccross(&w, &params, &CostModel::default());
+        assert_eq!(r.stats.checkpoints, clean.stats.checkpoints - 1);
+    }
+
+    #[test]
+    fn restore_failure_costs_an_extra_recovery() {
+        let w = UniformWorkload::independent(60, 16, 1_000);
+        let base = SpecSimParams::with_threads(4).inject_misspec_at_task(Some(500));
+        let plain = speccross(&w, &base, &CostModel::default());
+        let faulty = speccross(
+            &w,
+            &base.clone().fault_plan(FaultPlan::default().restore_failure()),
+            &CostModel::default(),
+        );
+        assert_eq!(
+            faulty.total_ns,
+            plain.total_ns + CostModel::default().recovery_ns,
+            "one failed restore retries once at one extra recovery cost"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let w = UniformWorkload::same_cell(50, 8, 1_000);
+        let plan = FaultPlan::random(0xC0FFEE, 50, 8, 4);
+        let p1 = SpecSimParams::with_threads(4).fault_plan(plan.clone());
+        let p2 = SpecSimParams::with_threads(4).fault_plan(plan);
+        let a = speccross(&w, &p1, &CostModel::default());
+        let b = speccross(&w, &p2, &CostModel::default());
+        assert_eq!(a, b, "the same plan must replay identically");
     }
 }

@@ -11,8 +11,36 @@
 //! barriers, and speculation resumes (substitution S3 of DESIGN.md replaces
 //! the thesis' `fork`/`kill` mechanics with snapshot/restore + cooperative
 //! cancellation; the recovery *sequence* is identical).
+//!
+//! # Failure model
+//!
+//! Everything that can go wrong inside the region is funnelled through the
+//! same cooperative-abort machinery as ordinary misspeculation:
+//!
+//! * A **task panic** (organic or injected via [`FaultPlan`]) is caught at
+//!   the `execute_task` call site, recorded, and converted into a
+//!   poisoned-pass abort. The engine restores the last checkpoint and
+//!   re-executes the range under non-speculative barriers; a *second* panic
+//!   of the same task there surfaces as [`SpecError::TaskPanicked`].
+//! * **Checker loss** (the checker thread dying) releases all workers,
+//!   counts the in-flight check requests it stranded, and either fails the
+//!   region with [`SpecError::CheckerFailed`] or — when a [`DegradePolicy`]
+//!   is configured — finishes the remaining epochs non-speculatively.
+//! * A **misspeculation storm** (e.g. a faulty signature scheme forcing
+//!   conflicts on every pass) trips the [`DegradePolicy`] thresholds and
+//!   downgrades the region to barrier execution instead of thrashing on
+//!   rollback, reported via [`SpecReport::degraded`].
+//! * **Snapshot failures** keep the previous checkpoint (recovery just
+//!   rolls back further); **restore failures** are retried once and then
+//!   surface as [`SpecError::RestoreFailed`].
+//! * A **watchdog deadline** ([`SpecConfig::watchdog`]) bounds every spin
+//!   loop — barrier waits, checkpoint rendezvous, speculative-range gates,
+//!   checker idling — so a lost peer yields [`SpecError::WatchdogTimeout`]
+//!   instead of a livelock.
 
+use std::collections::VecDeque;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -20,6 +48,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use crossbeam::utils::Backoff;
 use parking_lot::Mutex;
 
+use crossinvoc_runtime::barrier::BarrierWait;
+use crossinvoc_runtime::fault::{CheckFault, FaultPlan, TaskFault};
 use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
 use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
 use crossinvoc_runtime::SpinBarrier;
@@ -29,6 +59,37 @@ use crate::position::{Position, PositionBoard};
 use crate::profile::{DistanceProfiler, ProfileReport};
 use crate::workload::{NullRecorder, SigRecorder, SpecWorkload};
 
+/// When to give up on speculation and finish a region under plain barriers.
+///
+/// Rollback-and-retry is only worth it while misspeculation stays rare. When
+/// it is not — a signature scheme gone pathological, a checker forcing false
+/// positives, an input far from the profiled one — repeated recovery costs
+/// more than the barriers SPECCROSS was built to elide. This policy draws
+/// that line: exceed either threshold and the engine restores the last
+/// checkpoint, runs every remaining epoch non-speculatively, and flags the
+/// region via [`SpecReport::degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Number of most-recent speculative passes inspected.
+    pub window: usize,
+    /// Degrade when at least this many passes within the window ended in
+    /// misspeculation.
+    pub max_misspeculations: u32,
+    /// Degrade after this many *consecutive* failed speculative attempts
+    /// (passes that rolled back without completing the region).
+    pub max_consecutive_failures: u32,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        Self {
+            window: 8,
+            max_misspeculations: 4,
+            max_consecutive_failures: 3,
+        }
+    }
+}
+
 /// Configuration for [`SpecCrossEngine`].
 #[derive(Debug, Clone)]
 pub struct SpecConfig {
@@ -36,6 +97,7 @@ pub struct SpecConfig {
     /// thesis' accounting in §5.2).
     pub num_workers: usize,
     /// Take a checkpoint every this many epochs (thesis default: 1000).
+    /// Must be positive; validated by [`SpecCrossEngine::execute`].
     pub checkpoint_every: usize,
     /// Speculative range in tasks, normally the profiled minimum dependence
     /// distance ([`ProfileReport::min_distance`]). `None` disables gating.
@@ -44,6 +106,15 @@ pub struct SpecConfig {
     /// of this epoch is admitted by the checker (used by the Fig. 5.3
     /// recovery-cost experiment; the thesis triggers it "randomly").
     pub inject_conflict_at_epoch: Option<u32>,
+    /// Deterministic fault schedule exercised by the region (testing).
+    pub fault_plan: Option<FaultPlan>,
+    /// When set, switch to non-speculative execution once speculation
+    /// misbehaves persistently.
+    pub degrade: Option<DegradePolicy>,
+    /// Upper bound on the region's wall-clock time: every spin loop checks
+    /// it, turning a lost peer into [`SpecError::WatchdogTimeout`] instead
+    /// of an unbounded spin.
+    pub watchdog: Option<Duration>,
 }
 
 impl SpecConfig {
@@ -54,16 +125,15 @@ impl SpecConfig {
             checkpoint_every: 1000,
             spec_distance: None,
             inject_conflict_at_epoch: None,
+            fault_plan: None,
+            degrade: None,
+            watchdog: None,
         }
     }
 
-    /// Sets the checkpoint interval in epochs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `epochs` is zero.
+    /// Sets the checkpoint interval in epochs. A zero interval is rejected
+    /// with [`SpecError::InvalidConfig`] when the region runs.
     pub fn checkpoint_every(mut self, epochs: usize) -> Self {
-        assert!(epochs > 0, "checkpoint interval must be positive");
         self.checkpoint_every = epochs;
         self
     }
@@ -79,6 +149,24 @@ impl SpecConfig {
         self.inject_conflict_at_epoch = epoch;
         self
     }
+
+    /// Installs a deterministic fault schedule (testing).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables graceful degradation with the given thresholds.
+    pub fn degrade(mut self, policy: DegradePolicy) -> Self {
+        self.degrade = Some(policy);
+        self
+    }
+
+    /// Bounds the region's wall-clock time (liveness watchdog).
+    pub fn watchdog(mut self, limit: Duration) -> Self {
+        self.watchdog = Some(limit);
+        self
+    }
 }
 
 /// Errors reported by the SPECCROSS engine.
@@ -86,17 +174,83 @@ impl SpecConfig {
 pub enum SpecError {
     /// The configuration requested zero workers.
     NoWorkers,
+    /// The configuration is inconsistent (message says how).
+    InvalidConfig(String),
+    /// The checker thread died; this many in-flight check requests were
+    /// stranded unverified.
+    CheckerFailed {
+        /// Check requests sent but never processed.
+        unprocessed: u64,
+    },
+    /// A task panicked during non-speculative (re-)execution, where no
+    /// rollback can mask it. `epoch`/`task` of `u32::MAX`/`u64::MAX` mean
+    /// the panic struck outside any task body.
+    TaskPanicked {
+        /// Epoch of the panicking task.
+        epoch: u32,
+        /// Index of the panicking task within its epoch.
+        task: u64,
+    },
+    /// Restoring the recovery checkpoint failed twice.
+    RestoreFailed {
+        /// Epoch of the checkpoint that could not be restored.
+        epoch: u32,
+    },
+    /// The watchdog deadline elapsed before the region completed.
+    WatchdogTimeout,
 }
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::NoWorkers => write!(f, "at least one worker thread is required"),
+            SpecError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SpecError::CheckerFailed { unprocessed } => write!(
+                f,
+                "checker thread died with {unprocessed} unverified check request(s)"
+            ),
+            SpecError::TaskPanicked { epoch, task } => {
+                write!(f, "task {task} of epoch {epoch} panicked during non-speculative execution")
+            }
+            SpecError::RestoreFailed { epoch } => {
+                write!(f, "restoring the epoch-{epoch} checkpoint failed twice")
+            }
+            SpecError::WatchdogTimeout => write!(f, "watchdog deadline elapsed"),
         }
     }
 }
 
 impl std::error::Error for SpecError {}
+
+/// A fault the engine absorbed without failing the region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainedFault {
+    /// A task panicked during speculation; the pass was rolled back and the
+    /// range re-executed non-speculatively.
+    WorkerPanic {
+        /// Epoch of the panicking task.
+        epoch: u32,
+        /// Task index within the epoch (`u64::MAX`: outside any task).
+        task: u64,
+    },
+    /// The checker thread died, stranding this many in-flight requests; the
+    /// region finished under the degradation policy.
+    CheckerLoss {
+        /// Check requests sent but never processed.
+        unprocessed: u64,
+    },
+    /// A checkpoint snapshot failed; the previous checkpoint was kept, so a
+    /// later rollback merely rewinds further.
+    SnapshotSkipped {
+        /// Epoch whose snapshot was skipped.
+        epoch: u32,
+    },
+    /// Restoring the checkpoint failed once and succeeded on retry.
+    RestoreRetried {
+        /// Epoch of the checkpoint.
+        epoch: u32,
+    },
+}
 
 /// Outcome of a SPECCROSS execution.
 #[derive(Debug, Clone)]
@@ -111,6 +265,12 @@ pub struct SpecReport {
     pub comparisons: u64,
     /// Conflicts that triggered recovery, in detection order.
     pub conflicts: Vec<Conflict>,
+    /// Whether the region fell back to non-speculative barriers mid-run.
+    pub degraded: bool,
+    /// Checkpoint epoch from which the degraded (barrier) tail ran.
+    pub degraded_at_epoch: Option<u32>,
+    /// Faults absorbed without failing the region, in occurrence order.
+    pub contained_faults: Vec<ContainedFault>,
 }
 
 /// Message from a worker (or the checkpoint serial thread) to the checker.
@@ -120,23 +280,48 @@ enum CheckerMsg<S> {
     Prune(u32),
 }
 
+/// Why a speculative pass aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbortReason {
+    /// The checker detected (or was forced to report) a conflict.
+    Conflict,
+    /// A task body panicked (contained by the worker).
+    TaskPanic { epoch: u32, task: u64 },
+    /// The checker thread died.
+    CheckerLoss { unprocessed: u64 },
+    /// The watchdog deadline elapsed.
+    Timeout,
+}
+
 /// Outcome of one speculative pass.
-enum PassOutcome {
+enum PassEnd {
     Completed,
-    Misspeculated {
-        /// Epoch of the restored checkpoint.
-        checkpoint_epoch: usize,
+    Aborted {
         /// First epoch to run speculatively again; `[checkpoint_epoch,
         /// resume_epoch)` re-executes under non-speculative barriers.
         resume_epoch: usize,
+        reason: AbortReason,
     },
+}
+
+/// Everything a speculative pass hands back to the recovery loop.
+struct PassResult<St> {
+    end: PassEnd,
+    comparisons: u64,
+    conflict: Option<Conflict>,
+    /// Epoch of the checkpoint to restore on abort.
+    checkpoint_epoch: usize,
+    /// State of that checkpoint.
+    checkpoint_state: St,
+    contained: Vec<ContainedFault>,
 }
 
 /// Interruptible rendezvous used at checkpoints.
 ///
-/// Like a barrier, but every wait polls the misspeculation flag: when it
-/// rises, all participants abandon the pass (the structure is discarded with
-/// the pass, so the dirty counter is harmless).
+/// Like a barrier, but every wait polls the misspeculation flag and the
+/// watchdog deadline: when either trips, all participants abandon the pass
+/// (the structure is discarded with the pass, so the dirty counter is
+/// harmless).
 struct SyncPoint {
     n: usize,
     arrived: AtomicUsize,
@@ -147,6 +332,7 @@ enum WaitOutcome {
     /// Released; `true` on the serial (last-arriving) participant.
     Released(bool),
     Aborted,
+    TimedOut,
 }
 
 impl SyncPoint {
@@ -158,7 +344,7 @@ impl SyncPoint {
         }
     }
 
-    fn wait(&self, abort: &AtomicBool) -> WaitOutcome {
+    fn wait(&self, abort: &AtomicBool, deadline: Option<Instant>) -> WaitOutcome {
         if abort.load(Ordering::Acquire) {
             return WaitOutcome::Aborted;
         }
@@ -176,7 +362,14 @@ impl SyncPoint {
                 if abort.load(Ordering::Acquire) {
                     return WaitOutcome::Aborted;
                 }
-                backoff.snooze();
+                if backoff.is_completed() {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return WaitOutcome::TimedOut;
+                    }
+                    std::thread::yield_now();
+                } else {
+                    backoff.snooze();
+                }
             }
         }
     }
@@ -187,6 +380,11 @@ struct PassShared<S, St> {
     board: PositionBoard,
     misspec: AtomicBool,
     conflict: Mutex<Option<Conflict>>,
+    /// First abnormal-abort reason (panic, checker loss, timeout); `None`
+    /// with `misspec` raised means an ordinary conflict.
+    failure: Mutex<Option<AbortReason>>,
+    /// Faults absorbed during this pass.
+    contained: Mutex<Vec<ContainedFault>>,
     /// Latest durable checkpoint: (epoch, state).
     checkpoint: Mutex<(usize, St)>,
     sent: AtomicU64,
@@ -194,8 +392,27 @@ struct PassShared<S, St> {
     done_workers: AtomicUsize,
     tx: Sender<CheckerMsg<S>>,
     sync: SyncPoint,
+    /// Shared-budget handle onto the execution's fault plan.
+    fault: FaultPlan,
+    deadline: Option<Instant>,
     /// Global task index of the first task of each epoch (prefix sums).
     prefix: Vec<u64>,
+}
+
+impl<S, St> PassShared<S, St> {
+    /// Records the pass's first abnormal failure and aborts everyone.
+    fn record_failure(&self, reason: AbortReason) {
+        let mut slot = self.failure.lock();
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+        drop(slot);
+        self.misspec.store(true, Ordering::Release);
+    }
+
+    fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 /// The software-only speculative-barrier engine.
@@ -240,6 +457,7 @@ struct PassShared<S, St> {
 /// let engine: SpecCrossEngine = SpecCrossEngine::new(SpecConfig::with_workers(2));
 /// let report = engine.execute(&w).unwrap();
 /// assert_eq!(report.stats.misspeculations, 0);
+/// assert!(!report.degraded);
 /// assert!(w.data.snapshot().iter().all(|&v| v == 6));
 /// ```
 #[derive(Debug)]
@@ -257,43 +475,137 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         }
     }
 
-    /// Runs `workload` with speculative barriers, recovering from
-    /// misspeculation until the region completes.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpecError::NoWorkers`] if configured with zero workers.
-    pub fn execute<W: SpecWorkload>(&self, workload: &W) -> Result<SpecReport, SpecError> {
+    fn validate(&self) -> Result<(), SpecError> {
         if self.config.num_workers == 0 {
             return Err(SpecError::NoWorkers);
         }
+        if self.config.checkpoint_every == 0 {
+            return Err(SpecError::InvalidConfig(
+                "checkpoint interval must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs `workload` with speculative barriers, recovering from
+    /// misspeculation (and contained faults — see the module docs) until the
+    /// region completes or degrades to barrier execution.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::NoWorkers`] / [`SpecError::InvalidConfig`] for a bad
+    /// configuration; [`SpecError::CheckerFailed`],
+    /// [`SpecError::TaskPanicked`], [`SpecError::RestoreFailed`] and
+    /// [`SpecError::WatchdogTimeout`] for failures the engine could not
+    /// absorb.
+    pub fn execute<W: SpecWorkload>(&self, workload: &W) -> Result<SpecReport, SpecError> {
+        self.validate()?;
+        // One shared fault budget for the whole execution: a single-shot
+        // fault consumed during speculation must not re-fire in recovery.
+        let fault = self.config.fault_plan.clone().unwrap_or_default();
+        let deadline = self.config.watchdog.map(|w| Instant::now() + w);
         let stats = RegionStats::new();
         let mut conflicts = Vec::new();
         let mut comparisons = 0;
+        let mut contained: Vec<ContainedFault> = Vec::new();
+        let mut degraded = false;
+        let mut degraded_at_epoch = None;
+        // Degradation bookkeeping: recent pass outcomes + consecutive fails.
+        let mut recent = VecDeque::new();
+        let mut consecutive_failures = 0u32;
         let start = Instant::now();
         let mut start_epoch = 0usize;
         let num_epochs = workload.num_epochs();
 
         while start_epoch < num_epochs {
-            let (outcome, pass_comparisons, pass_conflict, ckpt_state) =
-                self.speculative_pass(workload, start_epoch, &stats);
-            comparisons += pass_comparisons;
-            match outcome {
-                PassOutcome::Completed => {
-                    start_epoch = num_epochs;
-                }
-                PassOutcome::Misspeculated {
-                    checkpoint_epoch,
+            let pass = self.speculative_pass(workload, start_epoch, &stats, &fault, deadline);
+            comparisons += pass.comparisons;
+            contained.extend(pass.contained.iter().copied());
+
+            let (resume_epoch, reason) = match pass.end {
+                PassEnd::Completed => break,
+                PassEnd::Aborted {
                     resume_epoch,
-                } => {
+                    reason,
+                } => (resume_epoch, reason),
+            };
+            consecutive_failures += 1;
+            if let Some(policy) = self.config.degrade {
+                recent.push_back(matches!(reason, AbortReason::Conflict));
+                while recent.len() > policy.window {
+                    recent.pop_front();
+                }
+            }
+
+            match reason {
+                AbortReason::Timeout => return Err(SpecError::WatchdogTimeout),
+                AbortReason::TaskPanic { epoch, task } => {
+                    contained.push(ContainedFault::WorkerPanic { epoch, task });
+                    self.restore_with_retry(workload, &pass, &fault, &mut contained)?;
+                    // Re-execute non-speculatively; a repeat panic there is
+                    // no longer maskable and surfaces as TaskPanicked.
+                    self.run_barrier_range(
+                        workload,
+                        pass.checkpoint_epoch,
+                        resume_epoch,
+                        &stats,
+                        &fault,
+                        deadline,
+                    )?;
+                    start_epoch = resume_epoch;
+                }
+                AbortReason::CheckerLoss { unprocessed } => {
+                    if self.config.degrade.is_some() {
+                        contained.push(ContainedFault::CheckerLoss { unprocessed });
+                        self.restore_with_retry(workload, &pass, &fault, &mut contained)?;
+                        self.run_barrier_range(
+                            workload,
+                            pass.checkpoint_epoch,
+                            num_epochs,
+                            &stats,
+                            &fault,
+                            deadline,
+                        )?;
+                        degraded = true;
+                        degraded_at_epoch = Some(pass.checkpoint_epoch as u32);
+                        break;
+                    }
+                    return Err(SpecError::CheckerFailed { unprocessed });
+                }
+                AbortReason::Conflict => {
                     stats.add_misspeculation();
-                    if let Some(c) = pass_conflict {
+                    if let Some(c) = pass.conflict {
                         conflicts.push(c);
                     }
-                    // Roll back, then re-execute the misspeculated epochs
-                    // with non-speculative barriers (§4.2.2).
-                    workload.restore(&ckpt_state);
-                    self.run_barrier_range(workload, checkpoint_epoch, resume_epoch, &stats);
+                    self.restore_with_retry(workload, &pass, &fault, &mut contained)?;
+                    let give_up = self.config.degrade.is_some_and(|policy| {
+                        let in_window = recent.iter().filter(|&&m| m).count() as u32;
+                        in_window >= policy.max_misspeculations
+                            || consecutive_failures >= policy.max_consecutive_failures
+                    });
+                    if give_up {
+                        self.run_barrier_range(
+                            workload,
+                            pass.checkpoint_epoch,
+                            num_epochs,
+                            &stats,
+                            &fault,
+                            deadline,
+                        )?;
+                        degraded = true;
+                        degraded_at_epoch = Some(pass.checkpoint_epoch as u32);
+                        break;
+                    }
+                    // Roll forward the misspeculated epochs with real
+                    // barriers (§4.2.2), then speculate again.
+                    self.run_barrier_range(
+                        workload,
+                        pass.checkpoint_epoch,
+                        resume_epoch,
+                        &stats,
+                        &fault,
+                        deadline,
+                    )?;
                     start_epoch = resume_epoch;
                 }
             }
@@ -305,7 +617,30 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             num_workers: self.config.num_workers,
             comparisons,
             conflicts,
+            degraded,
+            degraded_at_epoch,
+            contained_faults: contained,
         })
+    }
+
+    /// Restores the pass checkpoint, retrying once if the restore itself is
+    /// scheduled to fail; a second failure is terminal.
+    fn restore_with_retry<W: SpecWorkload>(
+        &self,
+        workload: &W,
+        pass: &PassResult<W::State>,
+        fault: &FaultPlan,
+        contained: &mut Vec<ContainedFault>,
+    ) -> Result<(), SpecError> {
+        let epoch = pass.checkpoint_epoch as u32;
+        if fault.restore_fails(epoch) {
+            contained.push(ContainedFault::RestoreRetried { epoch });
+            if fault.restore_fails(epoch) {
+                return Err(SpecError::RestoreFailed { epoch });
+            }
+        }
+        workload.restore(&pass.checkpoint_state);
+        Ok(())
     }
 
     /// Executes `workload` entirely under non-speculative barriers — the
@@ -314,23 +649,28 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
     ///
     /// # Errors
     ///
-    /// Returns [`SpecError::NoWorkers`] if configured with zero workers.
+    /// Configuration errors as for [`SpecCrossEngine::execute`];
+    /// [`SpecError::TaskPanicked`] if a task panics (barrier mode has no
+    /// rollback to absorb it); [`SpecError::WatchdogTimeout`] on deadline.
     pub fn execute_with_barriers<W: SpecWorkload>(
         &self,
         workload: &W,
     ) -> Result<SpecReport, SpecError> {
-        if self.config.num_workers == 0 {
-            return Err(SpecError::NoWorkers);
-        }
+        self.validate()?;
+        let fault = self.config.fault_plan.clone().unwrap_or_default();
+        let deadline = self.config.watchdog.map(|w| Instant::now() + w);
         let stats = RegionStats::new();
         let start = Instant::now();
-        self.run_barrier_range(workload, 0, workload.num_epochs(), &stats);
+        self.run_barrier_range(workload, 0, workload.num_epochs(), &stats, &fault, deadline)?;
         Ok(SpecReport {
             stats: stats.summary(),
             elapsed: start.elapsed(),
             num_workers: self.config.num_workers,
             comparisons: 0,
             conflicts: Vec::new(),
+            degraded: false,
+            degraded_at_epoch: None,
+            contained_faults: Vec::new(),
         })
     }
 
@@ -352,15 +692,15 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         profiler.report()
     }
 
-    /// One speculative attempt from `start_epoch`. Returns the outcome, the
-    /// checker's comparison count, the conflict (if any) and the state of
-    /// the checkpoint to restore on misspeculation.
+    /// One speculative attempt from `start_epoch`.
     fn speculative_pass<W: SpecWorkload>(
         &self,
         workload: &W,
         start_epoch: usize,
         stats: &RegionStats,
-    ) -> (PassOutcome, u64, Option<Conflict>, W::State) {
+        fault: &FaultPlan,
+        deadline: Option<Instant>,
+    ) -> PassResult<W::State> {
         let num_workers = self.config.num_workers;
         let num_epochs = workload.num_epochs();
         let mut prefix = Vec::with_capacity(num_epochs + 1);
@@ -376,34 +716,64 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             board: PositionBoard::new(num_workers),
             misspec: AtomicBool::new(false),
             conflict: Mutex::new(None),
+            failure: Mutex::new(None),
+            contained: Mutex::new(Vec::new()),
             checkpoint: Mutex::new((start_epoch, workload.snapshot())),
             sent: AtomicU64::new(0),
             processed: AtomicU64::new(0),
             done_workers: AtomicUsize::new(0),
             tx,
             sync: SyncPoint::new(num_workers),
+            fault: fault.share(),
+            deadline,
             prefix,
         };
         stats.add_checkpoint();
 
         let mut comparisons = 0;
+        let mut checker_dead = false;
         std::thread::scope(|scope| {
-            // Checker thread.
-            let checker = scope.spawn(|| self.checker_loop(&shared, rx, stats));
-            // Worker threads.
+            // Checker thread: its body may be killed by an injected fault
+            // (or an organic bug); contain the unwind and convert it into a
+            // cooperative abort so no worker spins on a dead checker.
+            let checker = scope.spawn(|| {
+                let outcome = catch_unwind(AssertUnwindSafe(|| self.checker_loop(&shared, rx, stats)));
+                match outcome {
+                    Ok(count) => (count, false),
+                    Err(_) => {
+                        shared.misspec.store(true, Ordering::Release);
+                        (0, true)
+                    }
+                }
+            });
+            // Worker threads. The whole driver runs under catch_unwind so a
+            // panic anywhere in a worker poisons the pass instead of tearing
+            // down the scope (and with it, the process).
             for tid in 0..num_workers {
                 let shared = &shared;
                 scope.spawn(move || {
-                    self.worker_pass(workload, shared, tid, start_epoch, stats);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        self.worker_pass(workload, shared, tid, start_epoch, stats);
+                    }));
+                    if outcome.is_err() {
+                        // A panic that escaped the per-task containment:
+                        // engine-internal, so no task coordinate to blame.
+                        shared.record_failure(AbortReason::TaskPanic {
+                            epoch: u32::MAX,
+                            task: u64::MAX,
+                        });
+                    }
                     shared.done_workers.fetch_add(1, Ordering::Release);
                     // A finished worker never gates anyone again.
                     shared.board.set_frontier(tid, u64::MAX);
                 });
             }
-            comparisons = checker.join().expect("checker thread panicked");
+            let (count, dead) = checker.join().unwrap_or((0, true));
+            comparisons = count;
+            checker_dead = dead;
         });
 
-        let (checkpoint_epoch, ckpt_state) = {
+        let (checkpoint_epoch, checkpoint_state) = {
             let mut guard = shared.checkpoint.lock();
             let epoch = guard.0;
             // Replace with a throwaway snapshot to move the state out.
@@ -411,23 +781,83 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             (epoch, state)
         };
 
-        if shared.misspec.load(Ordering::Acquire) {
-            let resume_epoch = (shared.board.max_epoch() as usize + 1)
-                .max(start_epoch + 1)
-                .min(num_epochs);
-            let conflict = *shared.conflict.lock();
-            (
-                PassOutcome::Misspeculated {
-                    checkpoint_epoch,
-                    resume_epoch,
-                },
-                comparisons,
-                conflict,
-                ckpt_state,
-            )
+        let resume_epoch = (shared.board.max_epoch() as usize + 1)
+            .max(start_epoch + 1)
+            .min(num_epochs);
+        let failure = shared.failure.lock().take();
+        let conflict = *shared.conflict.lock();
+        let contained = std::mem::take(&mut *shared.contained.lock());
+
+        let end = if let Some(reason) = failure {
+            PassEnd::Aborted {
+                resume_epoch,
+                reason,
+            }
+        } else if checker_dead {
+            // Checker loss: every sent-but-unprocessed request is an
+            // in-flight check that was never verified. Draining here is
+            // counting — the channel died with the checker, and the pass is
+            // condemned regardless of what the requests contained.
+            let unprocessed = shared
+                .sent
+                .load(Ordering::Acquire)
+                .saturating_sub(shared.processed.load(Ordering::Acquire));
+            PassEnd::Aborted {
+                resume_epoch,
+                reason: AbortReason::CheckerLoss { unprocessed },
+            }
+        } else if shared.misspec.load(Ordering::Acquire) {
+            PassEnd::Aborted {
+                resume_epoch,
+                reason: AbortReason::Conflict,
+            }
         } else {
-            (PassOutcome::Completed, comparisons, None, ckpt_state)
+            PassEnd::Completed
+        };
+
+        PassResult {
+            end,
+            comparisons,
+            conflict,
+            checkpoint_epoch,
+            checkpoint_state,
+            contained,
         }
+    }
+
+    /// Executes one task body with fault injection and panic containment.
+    /// Returns `false` if the pass must abort (the failure is recorded).
+    fn contained_task<W: SpecWorkload>(
+        &self,
+        workload: &W,
+        shared: &PassShared<S, W::State>,
+        epoch: usize,
+        task: usize,
+        tid: usize,
+        recorder: &mut dyn crate::workload::AccessRecorder,
+    ) -> bool {
+        let inject = match shared.fault.task_start(epoch as u32, task as u64, tid) {
+            Some(TaskFault::Delay(d)) => {
+                std::thread::sleep(d);
+                false
+            }
+            Some(TaskFault::Panic) => true,
+            None => false,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic!("injected fault: worker panic at epoch {epoch}, task {task}");
+            }
+            workload.execute_task(epoch, task, tid, recorder);
+        }));
+        if outcome.is_err() {
+            shared.record_failure(AbortReason::TaskPanic {
+                epoch: epoch as u32,
+                task: task as u64,
+            });
+            return false;
+        }
+        true
     }
 
     /// The per-worker driver (Fig. 4.7's worker pseudo-code, plus the
@@ -445,13 +875,16 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         let mut recorder = SigRecorder::<S>::new();
 
         for epoch in start_epoch..num_epochs {
+            if shared.misspec.load(Ordering::Acquire) {
+                return;
+            }
             let irreversible = workload.epoch_is_irreversible(epoch);
             let periodic = epoch > start_epoch
                 && (epoch - start_epoch).is_multiple_of(self.config.checkpoint_every);
             if irreversible || periodic {
                 // Synchronize, drain the checker, snapshot (§4.2.2).
                 if !self.checkpoint_rendezvous(workload, shared, tid, epoch, stats) {
-                    return; // aborted by misspeculation
+                    return; // aborted by misspeculation / fault / timeout
                 }
             }
 
@@ -470,7 +903,10 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 // execution, no signatures, then checkpoint.
                 let mut task = tid;
                 while task < ntasks {
-                    workload.execute_task(epoch, task, tid, &mut NullRecorder);
+                    if !self.contained_task(workload, shared, epoch, task, tid, &mut NullRecorder)
+                    {
+                        return;
+                    }
                     stats.add_task();
                     task += num_workers;
                 }
@@ -504,7 +940,15 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                             stalled = true;
                             stats.add_stall();
                         }
-                        backoff.snooze();
+                        if backoff.is_completed() {
+                            if shared.deadline_passed() {
+                                shared.record_failure(AbortReason::Timeout);
+                                return;
+                            }
+                            std::thread::yield_now();
+                        } else {
+                            backoff.snooze();
+                        }
                     }
                 }
                 if shared.misspec.load(Ordering::Acquire) {
@@ -517,7 +961,9 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 shared.board.set_position(tid, pos);
                 let snapshot = shared.board.snapshot();
 
-                workload.execute_task(epoch, task, tid, &mut recorder);
+                if !self.contained_task(workload, shared, epoch, task, tid, &mut recorder) {
+                    return;
+                }
                 stats.add_task();
 
                 // exit_task: ship the signature to the checker.
@@ -550,7 +996,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
 
     /// All-worker rendezvous: drain the checker, then have the serial worker
     /// snapshot the workload as the new checkpoint. Returns `false` if the
-    /// pass was aborted by misspeculation.
+    /// pass was aborted (misspeculation, fault, or timeout).
     fn checkpoint_rendezvous<W: SpecWorkload>(
         &self,
         workload: &W,
@@ -564,9 +1010,13 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         // epoch's first global task index (every not-yet-arrived worker's
         // next task is below it, so none of them can be gated by us).
         shared.board.set_frontier(tid, shared.prefix[epoch]);
-        let serial = match shared.sync.wait(&shared.misspec) {
+        let serial = match shared.sync.wait(&shared.misspec, shared.deadline) {
             WaitOutcome::Released(serial) => serial,
             WaitOutcome::Aborted => return false,
+            WaitOutcome::TimedOut => {
+                shared.record_failure(AbortReason::Timeout);
+                return false;
+            }
         };
         if serial {
             // Wait for the checker to finish all requests before the
@@ -578,22 +1028,42 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 if shared.misspec.load(Ordering::Acquire) {
                     break;
                 }
-                backoff.snooze();
+                if backoff.is_completed() {
+                    if shared.deadline_passed() {
+                        shared.record_failure(AbortReason::Timeout);
+                        break;
+                    }
+                    std::thread::yield_now();
+                } else {
+                    backoff.snooze();
+                }
             }
             if !shared.misspec.load(Ordering::Acquire) {
-                *shared.checkpoint.lock() = (epoch, workload.snapshot());
-                stats.add_checkpoint();
-                let _ = shared.tx.send(CheckerMsg::Prune(epoch as u32));
+                if shared.fault.snapshot_fails(epoch as u32) {
+                    // Keep the previous checkpoint: correctness is
+                    // unaffected, a later rollback just rewinds further.
+                    shared
+                        .contained
+                        .lock()
+                        .push(ContainedFault::SnapshotSkipped {
+                            epoch: epoch as u32,
+                        });
+                } else {
+                    *shared.checkpoint.lock() = (epoch, workload.snapshot());
+                    stats.add_checkpoint();
+                    let _ = shared.tx.send(CheckerMsg::Prune(epoch as u32));
+                }
             }
         }
         matches!(
-            shared.sync.wait(&shared.misspec),
+            shared.sync.wait(&shared.misspec, shared.deadline),
             WaitOutcome::Released(_)
         )
     }
 
     /// The checker thread (Fig. 4.7's checker pseudo-code). Returns the
-    /// number of signature comparisons performed.
+    /// number of signature comparisons performed. May panic when the fault
+    /// plan schedules a checker death; the spawn wrapper contains it.
     fn checker_loop<St>(
         &self,
         shared: &PassShared<S, St>,
@@ -607,10 +1077,45 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             match rx.try_recv() {
                 Ok(CheckerMsg::Check(req)) => {
                     backoff.reset();
-                    let injected = self
-                        .config
-                        .inject_conflict_at_epoch
-                        .is_some_and(|e| req.pos.epoch == e);
+                    let mut forced = false;
+                    match shared
+                        .fault
+                        .check(req.pos.epoch, req.pos.task as u64, req.tid)
+                    {
+                        Some(CheckFault::Stall(d)) => {
+                            // Sleep in slices so an abort — or the watchdog
+                            // expiring — during the injected stall still ends
+                            // the pass promptly instead of waiting it out.
+                            let until = Instant::now() + d;
+                            loop {
+                                if shared.misspec.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                if shared.deadline_passed() {
+                                    shared.record_failure(AbortReason::Timeout);
+                                    break;
+                                }
+                                let now = Instant::now();
+                                if now >= until {
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(5).min(until - now));
+                            }
+                            if shared.misspec.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
+                        Some(CheckFault::Die) => {
+                            panic!("injected fault: checker death at epoch {}", req.pos.epoch)
+                        }
+                        Some(CheckFault::ForceConflict) => forced = true,
+                        None => {}
+                    }
+                    let injected = forced
+                        || self
+                            .config
+                            .inject_conflict_at_epoch
+                            .is_some_and(|e| req.pos.epoch == e);
                     let conflict = if injected {
                         Some(Conflict {
                             earlier: (req.tid, req.pos),
@@ -637,7 +1142,18 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     {
                         break;
                     }
-                    backoff.snooze();
+                    if backoff.is_completed() {
+                        if shared.deadline_passed() {
+                            // The checker doubles as watchdog: if workers
+                            // are stuck somewhere uninstrumented, condemn
+                            // the pass rather than idle forever.
+                            shared.record_failure(AbortReason::Timeout);
+                            break;
+                        }
+                        std::thread::yield_now();
+                    } else {
+                        backoff.snooze();
+                    }
                 }
                 Err(TryRecvError::Disconnected) => break,
             }
@@ -645,22 +1161,37 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         state.comparisons()
     }
 
-    /// Executes epochs `[from, to)` under non-speculative barriers.
+    /// Executes epochs `[from, to)` under non-speculative barriers, with the
+    /// same task-level panic containment as the speculative path — but here
+    /// there is no checkpoint to rescue a panicking task, so the first panic
+    /// fails the range with [`SpecError::TaskPanicked`].
     fn run_barrier_range<W: SpecWorkload>(
         &self,
         workload: &W,
         from: usize,
         to: usize,
         stats: &RegionStats,
-    ) {
+        fault: &FaultPlan,
+        deadline: Option<Instant>,
+    ) -> Result<(), SpecError> {
         if from >= to {
-            return;
+            return Ok(());
         }
         let num_workers = self.config.num_workers;
         let barrier = SpinBarrier::new(num_workers);
+        let abort = AtomicBool::new(false);
+        let failure: Mutex<Option<SpecError>> = Mutex::new(None);
+        let fail = |err: SpecError| {
+            let mut slot = failure.lock();
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+            drop(slot);
+            abort.store(true, Ordering::Release);
+        };
         std::thread::scope(|scope| {
             for tid in 0..num_workers {
-                let barrier = &barrier;
+                let (barrier, abort, fail, fault) = (&barrier, &abort, &fail, fault);
                 scope.spawn(move || {
                     for epoch in from..to {
                         if tid == 0 {
@@ -669,14 +1200,50 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                         let ntasks = workload.num_tasks(epoch);
                         let mut task = tid;
                         while task < ntasks {
-                            workload.execute_task(epoch, task, tid, &mut NullRecorder);
+                            if abort.load(Ordering::Acquire) {
+                                return;
+                            }
+                            let inject = match fault.task_start(epoch as u32, task as u64, tid) {
+                                Some(TaskFault::Delay(d)) => {
+                                    std::thread::sleep(d);
+                                    false
+                                }
+                                Some(TaskFault::Panic) => true,
+                                None => false,
+                            };
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                if inject {
+                                    panic!(
+                                        "injected fault: worker panic at epoch {epoch}, task {task} (barrier mode)"
+                                    );
+                                }
+                                workload.execute_task(epoch, task, tid, &mut NullRecorder);
+                            }));
+                            if outcome.is_err() {
+                                fail(SpecError::TaskPanicked {
+                                    epoch: epoch as u32,
+                                    task: task as u64,
+                                });
+                                return;
+                            }
                             stats.add_task();
                             task += num_workers;
                         }
-                        barrier.wait(tid);
+                        match barrier.wait_abortable(tid, abort, deadline) {
+                            BarrierWait::Released(_) => {}
+                            BarrierWait::Aborted => return,
+                            BarrierWait::TimedOut => {
+                                fail(SpecError::WatchdogTimeout);
+                                return;
+                            }
+                        }
                     }
                 });
             }
         });
+        match failure.into_inner() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
     }
 }

@@ -53,14 +53,16 @@ pub mod profile;
 pub mod workload;
 
 pub use check::{CheckRequest, CheckerState, Conflict};
-pub use engine::{SpecConfig, SpecCrossEngine, SpecError, SpecReport};
+pub use engine::{
+    ContainedFault, DegradePolicy, SpecConfig, SpecCrossEngine, SpecError, SpecReport,
+};
 pub use position::{Position, PositionBoard};
 pub use profile::{DistanceProfiler, ProfileReport};
 pub use workload::{AccessRecorder, NullRecorder, SigRecorder, SpecWorkload};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::engine::{SpecConfig, SpecCrossEngine};
+    pub use crate::engine::{ContainedFault, DegradePolicy, SpecConfig, SpecCrossEngine, SpecError};
     pub use crate::profile::ProfileReport;
     pub use crate::workload::{AccessRecorder, SpecWorkload};
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI entry point — the same gates .github/workflows/ci.yml runs.
+# Every step is wrapped in `timeout` so a deadlocked test can never wedge
+# the pipeline (the runtimes' own watchdogs should fire long before these).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_TIMEOUT="${BUILD_TIMEOUT:-1200}"
+TEST_TIMEOUT="${TEST_TIMEOUT:-900}"
+CLIPPY_TIMEOUT="${CLIPPY_TIMEOUT:-1200}"
+
+run() {
+  local limit="$1"
+  shift
+  echo "==> $*"
+  timeout --kill-after=30 "$limit" "$@"
+}
+
+run "$BUILD_TIMEOUT" cargo build --release --workspace
+run "$TEST_TIMEOUT" cargo test -q
+run "$TEST_TIMEOUT" cargo test -q --workspace
+run "$CLIPPY_TIMEOUT" cargo clippy --all-targets -- -D warnings
+
+echo "CI passed."

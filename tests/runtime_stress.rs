@@ -131,3 +131,334 @@ fn scheduler_numbers_are_strictly_monotone() {
         last = Some(n);
     }
 }
+
+/// The fault matrix: every injectable fault kind, driven through both
+/// engines, must terminate within the watchdog deadline with either the
+/// sequential result or a typed error — never an abort or a hang.
+mod fault_matrix {
+    use std::time::Duration;
+
+    use crossinvoc_domore::prelude::*;
+    use crossinvoc_domore::runtime::DomoreError;
+    use crossinvoc_domore::DuplicatedScheduler;
+    use crossinvoc_runtime::fault::FaultPlan;
+    use crossinvoc_runtime::{RangeSignature, SharedSlice, ThreadId};
+    use crossinvoc_speccross::prelude::*;
+
+    const WATCHDOG: Duration = Duration::from_secs(30);
+
+    /// Task `t` of every epoch increments cell `t` (and records the write).
+    /// The same cell is always touched by the same worker, so a clean run
+    /// never conflicts — every misspeculation below is injected.
+    struct IncGrid {
+        data: SharedSlice<u64>,
+        epochs: usize,
+    }
+
+    impl IncGrid {
+        fn new(n: usize, epochs: usize) -> Self {
+            Self {
+                data: SharedSlice::from_vec(vec![0; n]),
+                epochs,
+            }
+        }
+
+        fn expected(&self) -> Vec<u64> {
+            vec![self.epochs as u64; self.data.len()]
+        }
+
+        fn cells(&self) -> Vec<u64> {
+            (0..self.data.len())
+                .map(|i| unsafe { self.data.read(i) })
+                .collect()
+        }
+    }
+
+    impl SpecWorkload for IncGrid {
+        type State = Vec<u64>;
+
+        fn num_epochs(&self) -> usize {
+            self.epochs
+        }
+        fn num_tasks(&self, _epoch: usize) -> usize {
+            self.data.len()
+        }
+        fn execute_task(
+            &self,
+            _epoch: usize,
+            task: usize,
+            _tid: ThreadId,
+            rec: &mut dyn AccessRecorder,
+        ) {
+            rec.write(task);
+            // SAFETY: same-epoch tasks write disjoint cells; the same cell
+            // is revisited only across epochs, which the engine orders.
+            unsafe { self.data.update(task, |v| *v += 1) };
+        }
+        fn snapshot(&self) -> Self::State {
+            self.cells()
+        }
+        fn restore(&self, state: &Self::State) {
+            for (i, v) in state.iter().enumerate() {
+                unsafe { self.data.write(i, *v) };
+            }
+        }
+    }
+
+    fn engine(plan: FaultPlan) -> SpecCrossEngine {
+        SpecCrossEngine::<RangeSignature>::new(
+            SpecConfig::with_workers(2)
+                .checkpoint_every(2)
+                .fault_plan(plan)
+                .watchdog(WATCHDOG),
+        )
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_rolled_back() {
+        let w = IncGrid::new(8, 6);
+        let report = engine(FaultPlan::default().worker_panic_at(2, 3))
+            .execute(&w)
+            .unwrap();
+        assert_eq!(w.cells(), w.expected());
+        assert!(
+            report
+                .contained_faults
+                .iter()
+                .any(|f| matches!(f, ContainedFault::WorkerPanic { epoch: 2, task: 3 })),
+            "the contained panic must be reported: {:?}",
+            report.contained_faults
+        );
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn checker_stall_only_slows_the_run() {
+        let w = IncGrid::new(8, 6);
+        let report = engine(FaultPlan::default().checker_stall_at(1, 30))
+            .execute(&w)
+            .unwrap();
+        assert_eq!(w.cells(), w.expected());
+        assert_eq!(report.stats.misspeculations, 0);
+    }
+
+    #[test]
+    fn checker_death_without_policy_is_a_typed_error() {
+        let w = IncGrid::new(8, 6);
+        let err = engine(FaultPlan::default().checker_death_at(1))
+            .execute(&w)
+            .unwrap_err();
+        assert!(
+            matches!(err, SpecError::CheckerFailed { .. }),
+            "expected CheckerFailed, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn checker_death_with_policy_degrades_to_barriers() {
+        let w = IncGrid::new(8, 6);
+        let report = SpecCrossEngine::<RangeSignature>::new(
+            SpecConfig::with_workers(2)
+                .checkpoint_every(2)
+                .fault_plan(FaultPlan::default().checker_death_at(1))
+                .degrade(DegradePolicy::default())
+                .watchdog(WATCHDOG),
+        )
+        .execute(&w)
+        .unwrap();
+        assert!(report.degraded, "losing the checker must degrade");
+        assert_eq!(w.cells(), w.expected());
+    }
+
+    #[test]
+    fn forced_false_positive_recovers_like_a_real_conflict() {
+        let w = IncGrid::new(8, 6);
+        let report = engine(FaultPlan::default().false_positive_at(3))
+            .execute(&w)
+            .unwrap();
+        assert!(report.stats.misspeculations >= 1);
+        assert!(!report.degraded);
+        assert_eq!(w.cells(), w.expected());
+    }
+
+    #[test]
+    fn false_positive_storm_trips_the_degrade_policy() {
+        let w = IncGrid::new(8, 12);
+        let report = SpecCrossEngine::<RangeSignature>::new(
+            SpecConfig::with_workers(2)
+                .checkpoint_every(2)
+                .fault_plan(FaultPlan::default().false_positive_storm(32))
+                .degrade(DegradePolicy {
+                    window: 4,
+                    max_misspeculations: 2,
+                    max_consecutive_failures: 2,
+                })
+                .watchdog(WATCHDOG),
+        )
+        .execute(&w)
+        .unwrap();
+        assert!(report.degraded, "a storm of false positives must degrade");
+        assert_eq!(w.cells(), w.expected());
+    }
+
+    #[test]
+    fn snapshot_failure_keeps_the_previous_checkpoint() {
+        let w = IncGrid::new(8, 6);
+        let report = engine(FaultPlan::default().snapshot_failure_at(2))
+            .execute(&w)
+            .unwrap();
+        assert_eq!(w.cells(), w.expected());
+        assert!(
+            report
+                .contained_faults
+                .iter()
+                .any(|f| matches!(f, ContainedFault::SnapshotSkipped { epoch: 2 })),
+            "the skipped snapshot must be reported: {:?}",
+            report.contained_faults
+        );
+    }
+
+    #[test]
+    fn restore_failure_retries_once_then_succeeds() {
+        let w = IncGrid::new(8, 6);
+        let report = SpecCrossEngine::<RangeSignature>::new(
+            SpecConfig::with_workers(2)
+                .checkpoint_every(2)
+                .inject_conflict_at_epoch(Some(3))
+                .fault_plan(FaultPlan::default().restore_failure())
+                .watchdog(WATCHDOG),
+        )
+        .execute(&w)
+        .unwrap();
+        assert_eq!(w.cells(), w.expected());
+        assert!(
+            report
+                .contained_faults
+                .iter()
+                .any(|f| matches!(f, ContainedFault::RestoreRetried { .. })),
+            "the retried restore must be reported: {:?}",
+            report.contained_faults
+        );
+    }
+
+    #[test]
+    fn restore_failing_twice_is_a_typed_error() {
+        let w = IncGrid::new(8, 6);
+        let err = SpecCrossEngine::<RangeSignature>::new(
+            SpecConfig::with_workers(2)
+                .checkpoint_every(2)
+                .inject_conflict_at_epoch(Some(3))
+                .fault_plan(FaultPlan::default().restore_failure().restore_failure())
+                .watchdog(WATCHDOG),
+        )
+        .execute(&w)
+        .unwrap_err();
+        assert!(
+            matches!(err, SpecError::RestoreFailed { .. }),
+            "expected RestoreFailed, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn task_delay_changes_timing_not_results() {
+        let w = IncGrid::new(8, 6);
+        let report = engine(FaultPlan::default().delay_at(1, 2, 200))
+            .execute(&w)
+            .unwrap();
+        assert_eq!(w.cells(), w.expected());
+        assert_eq!(report.stats.misspeculations, 0);
+    }
+
+    /// Iteration `i` of every invocation increments cell `i` through the
+    /// DOMORE shadow-memory scheduler.
+    struct DomoreGrid {
+        data: SharedSlice<u64>,
+        invocations: usize,
+    }
+
+    impl DomoreWorkload for DomoreGrid {
+        fn num_invocations(&self) -> usize {
+            self.invocations
+        }
+        fn num_iterations(&self, _inv: usize) -> usize {
+            self.data.len()
+        }
+        fn touched_addrs(&self, _inv: usize, iter: usize, out: &mut Vec<usize>) {
+            out.push(iter);
+        }
+        fn execute_iteration(&self, _inv: usize, iter: usize, _tid: ThreadId) {
+            // SAFETY: conflicting iterations are ordered by the runtime.
+            unsafe { self.data.update(iter, |v| *v += 1) };
+        }
+        fn address_space(&self) -> Option<usize> {
+            Some(self.data.len())
+        }
+    }
+
+    #[test]
+    fn domore_iteration_panic_is_a_typed_error_not_a_hang() {
+        let w = DomoreGrid {
+            data: SharedSlice::from_vec(vec![0; 8]),
+            invocations: 5,
+        };
+        let err = DomoreRuntime::new(
+            DomoreConfig::with_workers(3)
+                .fault_plan(FaultPlan::default().worker_panic_at(1, 3))
+                .watchdog(WATCHDOG),
+        )
+        .execute(&w)
+        .unwrap_err();
+        assert_eq!(err, DomoreError::IterationPanicked { inv: 1, iter: 3 });
+    }
+
+    #[test]
+    fn domore_delay_changes_timing_not_results() {
+        let mut w = DomoreGrid {
+            data: SharedSlice::from_vec(vec![0; 8]),
+            invocations: 5,
+        };
+        DomoreRuntime::new(
+            DomoreConfig::with_workers(3)
+                .fault_plan(FaultPlan::default().delay_at(2, 4, 200))
+                .watchdog(WATCHDOG),
+        )
+        .execute(&w)
+        .unwrap();
+        assert_eq!(w.data.snapshot(), vec![5; 8]);
+    }
+
+    /// The duplicated-scheduler variant has no fault hooks, so drive it with
+    /// an organically panicking workload: containment must hold there too.
+    #[test]
+    fn duplicated_scheduler_contains_organic_panics() {
+        struct Poisoned {
+            inner: DomoreGrid,
+        }
+        impl DomoreWorkload for Poisoned {
+            fn num_invocations(&self) -> usize {
+                self.inner.num_invocations()
+            }
+            fn num_iterations(&self, inv: usize) -> usize {
+                self.inner.num_iterations(inv)
+            }
+            fn touched_addrs(&self, inv: usize, iter: usize, out: &mut Vec<usize>) {
+                self.inner.touched_addrs(inv, iter, out);
+            }
+            fn execute_iteration(&self, inv: usize, iter: usize, tid: ThreadId) {
+                assert!(!(inv == 2 && iter == 5), "organic failure");
+                self.inner.execute_iteration(inv, iter, tid);
+            }
+            fn address_space(&self) -> Option<usize> {
+                self.inner.address_space()
+            }
+        }
+        let w = Poisoned {
+            inner: DomoreGrid {
+                data: SharedSlice::from_vec(vec![0; 8]),
+                invocations: 5,
+            },
+        };
+        let err = DuplicatedScheduler::new(3).execute(&w).unwrap_err();
+        assert_eq!(err, DomoreError::IterationPanicked { inv: 2, iter: 5 });
+    }
+}
