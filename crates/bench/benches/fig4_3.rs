@@ -5,7 +5,7 @@
 //! conventional plan. The thesis measures >30% for most programs at 24
 //! threads — an Amdahl ceiling of ≈3.3× that motivates barrier removal.
 
-use crossinvoc_bench::{write_csv, FIG4_3_THREADS};
+use crossinvoc_bench::{trace_capacity, write_csv, write_trace, FIG4_3_THREADS};
 use crossinvoc_sim::prelude::*;
 use crossinvoc_workloads::{registry, Scale};
 
@@ -13,6 +13,7 @@ fn main() {
     println!("Fig. 4.3: barrier overhead (% of parallel runtime)");
     println!("{:<16} {:>10} {:>10}", "Benchmark", "8 threads", "24 threads");
     let cost = CostModel::default();
+    let trace_cap = trace_capacity();
     let mut rows = Vec::new();
     let mut grows = 0usize;
     let mut programs = 0usize;
@@ -22,6 +23,14 @@ fn main() {
             .iter()
             .map(|&t| 100.0 * barrier(model.as_ref(), t, &cost).idle_fraction())
             .collect();
+        if let Some(cap) = trace_cap {
+            // The same 24-thread run, with the per-thread barrier waits
+            // recorded: trace-report's "barrier idle" reproduces this row.
+            let traced = barrier_traced(model.as_ref(), FIG4_3_THREADS[1], &cost, Some(cap));
+            if let Some(trace) = traced.trace {
+                write_trace(&format!("fig4_3.{}", info.name.to_lowercase()), &trace);
+            }
+        }
         println!(
             "{:<16} {:>9.1}% {:>9.1}%",
             info.name, overheads[0], overheads[1]

@@ -5,7 +5,7 @@
 //! re-execution window when it fails; the two curves cross, which is the
 //! figure's point. Geomean over the eight SPECCROSS benchmarks.
 
-use crossinvoc_bench::{geomean, spec_params, write_csv};
+use crossinvoc_bench::{geomean, spec_params, trace_capacity, write_csv, write_trace};
 use crossinvoc_runtime::hash::SplitMix64;
 use crossinvoc_sim::prelude::*;
 use crossinvoc_workloads::{registry, Scale};
@@ -45,4 +45,22 @@ fn main() {
         "checkpoints,speedup_no_misspec,speedup_with_misspec",
         &rows,
     );
+    if let Some(cap) = trace_capacity() {
+        // One exemplar trace: the first SPECCROSS benchmark with a single
+        // mid-region misspeculation, from which trace-report reconstructs
+        // the misspeculation ledger and the recovery's barrier tail.
+        if let Some(info) = registry().into_iter().find(|b| b.speccross) {
+            let model = info.model(Scale::Figure);
+            let epochs = model.num_invocations();
+            let inject = model.total_iterations() / 2;
+            let params = spec_params(&info, Scale::Figure, threads)
+                .checkpoint_every((epochs / 10).max(1))
+                .inject_misspec_at_task(Some(inject))
+                .trace(cap);
+            let r = speccross(model.as_ref(), &params, &cost);
+            if let Some(trace) = r.trace {
+                write_trace(&format!("fig5_3.{}", info.name.to_lowercase()), &trace);
+            }
+        }
+    }
 }

@@ -1,0 +1,56 @@
+//! `trace-report` — renders JSONL execution traces into the barrier-idle
+//! breakdown, per-thread utilization timeline, and misspeculation ledger
+//! (see `docs/OBSERVABILITY.md`).
+//!
+//! Traces come from a figure bench run with `CROSSINVOC_TRACE=1` (written
+//! to `target/figures/<name>.trace.jsonl`), or from any engine run whose
+//! `SpecReport`/`ExecutionReport` trace was serialized with
+//! `Trace::to_jsonl`. Usage:
+//!
+//! ```text
+//! cargo run -p crossinvoc-bench --bin trace-report -- target/figures/*.trace.jsonl
+//! ```
+
+use std::process::ExitCode;
+
+use crossinvoc_runtime::trace::{Trace, TraceReport};
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace-report <trace.jsonl>...");
+        eprintln!(
+            "hint: run a figure bench with CROSSINVOC_TRACE=1 to write \
+             target/figures/<name>.trace.jsonl"
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("{path}: {err}");
+                failed = true;
+                continue;
+            }
+        };
+        match Trace::from_jsonl(&text) {
+            Ok(trace) => {
+                let report = TraceReport::from_trace(&trace);
+                println!("== {path}");
+                print!("{}", report.render(&trace));
+                println!();
+            }
+            Err(err) => {
+                eprintln!("{path}: {err}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

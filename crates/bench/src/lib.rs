@@ -6,6 +6,7 @@
 //! `target/figures/<name>.csv`. This library holds the shared machinery:
 //! the thread sweep, the per-benchmark executor dispatch, the composite
 //! plans of the Fig. 5.6 case study, and small output helpers.
+#![deny(rustdoc::broken_intra_doc_links)]
 
 use std::collections::HashMap;
 use std::fs;
@@ -51,6 +52,32 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     for row in rows {
         writeln!(f, "{row}").expect("write row");
     }
+    println!("[wrote {}]", path.display());
+}
+
+/// Per-thread trace-ring capacity requested via the `CROSSINVOC_TRACE`
+/// environment variable: unset, empty, or `0` disables tracing; `1` (or any
+/// non-numeric value such as `on`) enables it at the default capacity of
+/// 65536 records; a number ≥ 2 is used as the capacity itself. Figure
+/// benches consult this to emit `<name>.trace.jsonl` files next to their
+/// CSVs, which `trace-report` renders (see `docs/OBSERVABILITY.md`).
+pub fn trace_capacity() -> Option<usize> {
+    let raw = std::env::var("CROSSINVOC_TRACE").ok()?;
+    let raw = raw.trim();
+    if raw.is_empty() || raw == "0" {
+        return None;
+    }
+    match raw.parse::<usize>() {
+        Ok(1) | Err(_) => Some(1 << 16),
+        Ok(n) => Some(n),
+    }
+}
+
+/// Writes a JSONL execution trace next to the figure CSVs
+/// (`target/figures/<name>.trace.jsonl`) and announces it on stdout.
+pub fn write_trace(name: &str, trace: &crossinvoc_runtime::trace::Trace) {
+    let path = out_dir().join(format!("{name}.trace.jsonl"));
+    fs::write(&path, trace.to_jsonl()).expect("write figure trace");
     println!("[wrote {}]", path.display());
 }
 
@@ -265,6 +292,7 @@ pub fn doany_barrier<W: SimWorkload>(
         idle_ns: idle,
         stats: stats.summary(),
         degraded: false,
+        trace: None,
     }
 }
 

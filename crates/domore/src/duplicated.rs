@@ -17,7 +17,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use crossinvoc_runtime::stats::RegionStats;
+use crossinvoc_runtime::metrics::Metrics;
 use parking_lot::Mutex;
 
 use crate::logic::SchedulerLogic;
@@ -106,7 +106,7 @@ impl DuplicatedScheduler {
         }
 
         let board = ProgressBoard::new(self.num_workers);
-        let stats = RegionStats::new();
+        let metrics = Metrics::new();
         let abort = AtomicBool::new(false);
         let error: Mutex<Option<DomoreError>> = Mutex::new(None);
         let fail = |err: DomoreError| {
@@ -127,10 +127,11 @@ impl DuplicatedScheduler {
                     None => SchedulerLogic::with_sparse_shadow(),
                 };
                 let board = &board;
-                let stats = &stats;
+                let metrics = &metrics;
                 let (abort, fail) = (&abort, &fail);
                 let num_workers = self.num_workers;
                 scope.spawn(move || {
+                    let stats = metrics.stats();
                     // Contain the replicated scheduling loop: a panic in the
                     // prologue or oracle must not tear down the scope while
                     // peers spin on this worker's conditions.
@@ -170,7 +171,11 @@ impl DuplicatedScheduler {
                                         stats.add_sync_condition();
                                         if !board.satisfied(cond) {
                                             stats.add_stall();
+                                            let entered = Instant::now();
                                             board.await_condition_bounded(cond, abort, None);
+                                            metrics.record_stall_wait(
+                                                entered.elapsed().as_nanos() as u64,
+                                            );
                                         }
                                     }
                                 }
@@ -201,10 +206,14 @@ impl DuplicatedScheduler {
         if let Some(err) = error.into_inner() {
             return Err(err);
         }
+        // Worker scope joined: the snapshot is exact.
+        let metrics = metrics.snapshot();
         Ok(ExecutionReport {
-            stats: stats.summary(),
+            stats: metrics.stats,
             elapsed: start.elapsed(),
             num_workers: self.num_workers,
+            metrics,
+            trace: None,
         })
     }
 }

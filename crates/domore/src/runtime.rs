@@ -30,9 +30,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::utils::{Backoff, CachePadded};
-use crossinvoc_runtime::fault::{FaultPlan, TaskFault};
+use crossinvoc_runtime::fault::{FaultKind, FaultPlan, TaskFault};
+use crossinvoc_runtime::metrics::{Metrics, MetricsSummary};
 use crossinvoc_runtime::spsc::Queue;
-use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
+use crossinvoc_runtime::stats::StatsSummary;
+use crossinvoc_runtime::trace::{Event, Trace, TraceCollector, MANAGER_TID};
 use crossinvoc_runtime::{IterNum, ThreadId};
 use parking_lot::Mutex;
 
@@ -43,8 +45,9 @@ use crate::workload::DomoreWorkload;
 /// Message from the scheduler to a worker.
 #[derive(Debug)]
 enum Msg {
-    /// Wait for a predecessor iteration before proceeding.
-    Sync(SyncCondition),
+    /// Wait for a predecessor iteration before proceeding. `inv` is the
+    /// invocation the condition guards (trace/metrics attribution only).
+    Sync { cond: SyncCondition, inv: u32 },
     /// Execute iteration `iter` of invocation `inv` (combined number
     /// `iter_num`). This doubles as the paper's `(NO_SYNC, iterNum)` token.
     Run {
@@ -129,6 +132,7 @@ pub struct DomoreConfig {
     queue_capacity: usize,
     fault_plan: Option<FaultPlan>,
     watchdog: Option<Duration>,
+    trace_capacity: Option<usize>,
 }
 
 impl DomoreConfig {
@@ -140,6 +144,7 @@ impl DomoreConfig {
             queue_capacity: 1 << 12,
             fault_plan: None,
             watchdog: None,
+            trace_capacity: None,
         }
     }
 
@@ -164,6 +169,12 @@ impl DomoreConfig {
         self
     }
 
+    /// Enables execution tracing with per-thread rings of `capacity`
+    /// records (see [`ExecutionReport::trace`]).
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
 }
 
 /// Errors reported by the DOMORE runtime.
@@ -220,6 +231,11 @@ pub struct ExecutionReport {
     pub elapsed: Duration,
     /// Number of worker threads used.
     pub num_workers: usize,
+    /// Counters plus wait-time histograms (exact: snapshotted after the
+    /// worker scope joined).
+    pub metrics: MetricsSummary,
+    /// Merged execution trace when [`DomoreConfig::trace`] was enabled.
+    pub trace: Option<Trace>,
 }
 
 /// The scheduler/worker DOMORE engine.
@@ -289,7 +305,8 @@ impl DomoreRuntime {
             None => SchedulerLogic::with_sparse_shadow(),
         };
         let board = ProgressBoard::new(num_workers);
-        let stats = RegionStats::new();
+        let metrics = Metrics::new();
+        let collector = TraceCollector::new(self.config.trace_capacity.unwrap_or(0));
         let abort = AtomicBool::new(false);
         let error: Mutex<Option<DomoreError>> = Mutex::new(None);
         let fail = |err: DomoreError| {
@@ -308,73 +325,112 @@ impl DomoreRuntime {
                 let (tx, rx) = Queue::<Msg>::with_capacity(self.config.queue_capacity);
                 producers.push(tx);
                 let board = &board;
-                let stats = &stats;
+                let metrics = &metrics;
+                let collector = &collector;
                 let (abort, fail, fault) = (&abort, &fail, &fault);
-                scope.spawn(move || loop {
-                    match rx.consume() {
-                        Msg::Sync(cond) => {
-                            // Under abort the region's result is already
-                            // condemned; draining workers skip the wait (the
-                            // condition may name an iteration that will now
-                            // never execute).
-                            if abort.load(Ordering::Acquire) || board.satisfied(cond) {
-                                continue;
-                            }
-                            stats.add_stall();
-                            match board.await_condition_bounded(cond, abort, deadline) {
-                                AwaitOutcome::Satisfied | AwaitOutcome::Aborted => {}
-                                AwaitOutcome::TimedOut => {
-                                    fail(DomoreError::WatchdogTimeout);
+                scope.spawn(move || {
+                    let stats = metrics.stats();
+                    let mut sink = collector.sink(tid);
+                    loop {
+                        match rx.consume() {
+                            Msg::Sync { cond, inv } => {
+                                // Under abort the region's result is already
+                                // condemned; draining workers skip the wait
+                                // (the condition may name an iteration that
+                                // will now never execute).
+                                if abort.load(Ordering::Acquire) || board.satisfied(cond) {
+                                    continue;
                                 }
+                                stats.add_stall();
+                                sink.emit(Event::BarrierEnter { epoch: inv });
+                                let entered = Instant::now();
+                                match board.await_condition_bounded(cond, abort, deadline) {
+                                    AwaitOutcome::Satisfied | AwaitOutcome::Aborted => {}
+                                    AwaitOutcome::TimedOut => {
+                                        fail(DomoreError::WatchdogTimeout);
+                                    }
+                                }
+                                let wait_ns = entered.elapsed().as_nanos() as u64;
+                                metrics.record_stall_wait(wait_ns);
+                                sink.emit(Event::BarrierLeave {
+                                    epoch: inv,
+                                    wait_ns,
+                                });
                             }
-                        }
-                        Msg::Run {
-                            inv,
-                            iter,
-                            iter_num,
-                        } => {
-                            let mut executed = false;
-                            if !abort.load(Ordering::Acquire) {
-                                let inject =
-                                    match fault.task_start(inv as u32, iter as u64, tid) {
-                                        Some(TaskFault::Delay(d)) => {
-                                            std::thread::sleep(d);
-                                            false
+                            Msg::Run {
+                                inv,
+                                iter,
+                                iter_num,
+                            } => {
+                                let mut executed = false;
+                                if !abort.load(Ordering::Acquire) {
+                                    let inject =
+                                        match fault.task_start(inv as u32, iter as u64, tid) {
+                                            Some(TaskFault::Delay(d)) => {
+                                                sink.emit(Event::FaultInjected {
+                                                    kind: FaultKind::Delay(d.as_micros() as u64),
+                                                    epoch: inv as u32,
+                                                    task: iter as u64,
+                                                });
+                                                std::thread::sleep(d);
+                                                false
+                                            }
+                                            Some(TaskFault::Panic) => {
+                                                sink.emit(Event::FaultInjected {
+                                                    kind: FaultKind::WorkerPanic,
+                                                    epoch: inv as u32,
+                                                    task: iter as u64,
+                                                });
+                                                true
+                                            }
+                                            None => false,
+                                        };
+                                    sink.emit(Event::TaskDispatch {
+                                        epoch: inv as u32,
+                                        task: iter as u64,
+                                    });
+                                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                        if inject {
+                                            panic!(
+                                                "injected fault: worker panic at invocation {inv}, iteration {iter}"
+                                            );
                                         }
-                                        Some(TaskFault::Panic) => true,
-                                        None => false,
-                                    };
-                                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                    if inject {
-                                        panic!(
-                                            "injected fault: worker panic at invocation {inv}, iteration {iter}"
-                                        );
-                                    }
-                                    workload.execute_iteration(inv, iter, tid);
-                                }));
-                                match outcome {
-                                    Ok(()) => executed = true,
-                                    Err(_) => {
-                                        fail(DomoreError::IterationPanicked { inv, iter });
+                                        workload.execute_iteration(inv, iter, tid);
+                                    }));
+                                    match outcome {
+                                        Ok(()) => executed = true,
+                                        Err(_) => {
+                                            fail(DomoreError::IterationPanicked { inv, iter });
+                                        }
                                     }
                                 }
+                                // Publish even when the iteration was skipped
+                                // or panicked: dependents blocked on this
+                                // iteration number must be released so the
+                                // region drains.
+                                board.publish(tid, iter_num);
+                                if executed {
+                                    stats.add_task();
+                                    sink.emit(Event::TaskRetire {
+                                        epoch: inv as u32,
+                                        task: iter as u64,
+                                    });
+                                }
                             }
-                            // Publish even when the iteration was skipped or
-                            // panicked: dependents blocked on this iteration
-                            // number must be released so the region drains.
-                            board.publish(tid, iter_num);
-                            if executed {
-                                stats.add_task();
-                            }
+                            Msg::End => break,
                         }
-                        Msg::End => break,
                     }
+                    collector.absorb(sink);
                 });
             }
 
             // ---- Scheduler (this thread) ----
             // The body is contained so a panicking prologue / oracle cannot
-            // tear down the scope before the end tokens are sent.
+            // tear down the scope before the end tokens are sent. The sink
+            // lives outside the unwind boundary so events emitted before a
+            // scheduler panic survive into the trace.
+            let mut sched_sink = collector.sink(MANAGER_TID);
+            let stats = metrics.stats();
             let sched = catch_unwind(AssertUnwindSafe(|| {
                 let mut writes = Vec::new();
                 let mut reads = Vec::new();
@@ -386,6 +442,7 @@ impl DomoreRuntime {
                     }
                     workload.prologue(inv);
                     stats.add_epoch();
+                    sched_sink.emit(Event::EpochBegin { epoch: inv as u32 });
                     for iter in 0..workload.num_iterations(inv) {
                         if abort.load(Ordering::Acquire) {
                             break 'invocations;
@@ -403,7 +460,10 @@ impl DomoreRuntime {
                         debug_assert_eq!(iter_num, preview);
                         for &cond in &conds {
                             stats.add_sync_condition();
-                            producers[tid].produce(Msg::Sync(cond));
+                            producers[tid].produce(Msg::Sync {
+                                cond,
+                                inv: inv as u32,
+                            });
                         }
                         producers[tid].produce(Msg::Run {
                             inv,
@@ -411,8 +471,10 @@ impl DomoreRuntime {
                             iter_num,
                         });
                     }
+                    sched_sink.emit(Event::EpochEnd { epoch: inv as u32 });
                 }
             }));
+            collector.absorb(sched_sink);
             if sched.is_err() {
                 fail(DomoreError::SchedulerPanicked);
             }
@@ -426,10 +488,15 @@ impl DomoreRuntime {
         if let Some(err) = error.into_inner() {
             return Err(err);
         }
+        // The worker scope has joined: snapshots are exact per the
+        // RegionStats ordering contract.
+        let metrics = metrics.snapshot();
         Ok(ExecutionReport {
-            stats: stats.summary(),
+            stats: metrics.stats,
             elapsed: start.elapsed(),
             num_workers,
+            metrics,
+            trace: collector.finish(),
         })
     }
 }

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod analysis;
 pub mod interp;

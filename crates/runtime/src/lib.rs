@@ -24,6 +24,12 @@
 //!   iterations are ordered; the type encapsulates the `unsafe` needed to
 //!   express that in Rust.
 //! * [`stats`] — lightweight counters shared by runtimes and the simulator.
+//! * [`metrics`] — the counters plus log₂ wait-time histograms, snapshotted
+//!   once per execution into a [`metrics::MetricsSummary`].
+//! * [`trace`] — structured execution tracing: per-thread ring-buffered
+//!   [`trace::TraceSink`]s of typed [`trace::Event`]s, merged into a
+//!   time-ordered JSONL [`trace::Trace`] with the same schema from the
+//!   threaded engines and the simulator (see `docs/OBSERVABILITY.md`).
 //! * [`fault`] — a deterministic fault-injection plan ([`fault::FaultPlan`])
 //!   both engines and the simulator consult at well-defined points, so
 //!   recovery and degradation paths can be exercised and replayed exactly.
@@ -42,22 +48,27 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod barrier;
 pub mod fault;
 pub mod hash;
+pub mod metrics;
 pub mod shadow;
 pub mod shared;
 pub mod signature;
 pub mod spsc;
 pub mod stats;
+pub mod trace;
 
 pub use barrier::{BarrierWait, SpinBarrier};
 pub use fault::{FaultKind, FaultPlan, FaultSite};
+pub use metrics::{Metrics, MetricsSummary};
 pub use shadow::{ShadowEntry, ShadowMemory};
 pub use shared::SharedSlice;
 pub use signature::{AccessSignature, BloomSignature, RangeSignature};
 pub use spsc::Queue;
+pub use trace::{Event, Trace, TraceCollector, TraceRecord, TraceReport, TraceSink};
 
 /// Identifier of a worker thread within a parallel region.
 ///

@@ -1,0 +1,277 @@
+//! Metrics registry: [`RegionStats`] counters plus wait-time histograms.
+//!
+//! The counters of [`crate::stats`] say *how often* things happened; the
+//! figures of the evaluation chapter also need *how long* — how many
+//! nanoseconds workers spent inside barrier waits (Fig. 4.3) and stalled on
+//! synchronization conditions or the speculative-range gate (Table 5.2's
+//! scheduler/worker story). [`Metrics`] bundles the existing counters with
+//! two log₂-bucketed [`Histogram`]s for those durations. Recording is
+//! lock-free (one `fetch_add` pair per sample) and the registry is shared
+//! by reference across worker threads exactly like [`RegionStats`] is.
+//!
+//! Unlike [tracing](crate::trace), which captures individual events and can
+//! be disabled, metrics are always on: a histogram sample costs two relaxed
+//! atomic adds, cheap enough for every wait site.
+//!
+//! # Example
+//!
+//! ```
+//! use crossinvoc_runtime::metrics::Metrics;
+//!
+//! let m = Metrics::new();
+//! m.stats().add_task();
+//! m.record_barrier_wait(1_500);   // ns
+//! m.record_barrier_wait(900);
+//!
+//! let snap = m.snapshot();        // exact once writers are joined
+//! assert_eq!(snap.stats.tasks, 1);
+//! assert_eq!(snap.barrier_wait.count, 2);
+//! assert_eq!(snap.barrier_wait.sum_ns, 2_400);
+//! assert!(snap.barrier_wait.mean_ns() > 1_000.0);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::stats::{RegionStats, StatsSummary};
+
+/// Number of log₂ buckets: bucket `i` holds samples in `[2^i, 2^(i+1))` ns
+/// (bucket 0 also holds zero). 40 buckets cover up to ~18 minutes.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A lock-free log₂-bucketed duration histogram (nanosecond samples).
+///
+/// Each [`Histogram::record`] costs one relaxed `fetch_add` on the bucket
+/// and one on the sum — no locks, no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A zeroed histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a sample (saturates into the last bucket).
+    fn bucket(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Plain-value snapshot; exact under the same contract as
+    /// [`RegionStats::snapshot`] (writers joined or otherwise quiesced).
+    pub fn snapshot(&self) -> HistogramSummary {
+        let buckets = std::array::from_fn(|i| self.buckets[i].load(Ordering::Acquire));
+        HistogramSummary {
+            buckets,
+            count: buckets.iter().sum(),
+            sum_ns: self.sum_ns.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Plain-value snapshot of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Sample count per log₂ bucket (`buckets[i]` counts samples in
+    /// `[2^i, 2^(i+1))` ns; the last bucket saturates).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        HistogramSummary {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl HistogramSummary {
+    /// Mean sample in nanoseconds (0 for an empty histogram).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive, ns) of the bucket containing the p-quantile
+    /// (`0.0 ..= 1.0`), a conservative percentile estimate. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile_upper_bound(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank.max(1) {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// The metrics registry one engine execution writes into: the
+/// [`RegionStats`] counters plus wait-duration histograms.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    stats: RegionStats,
+    barrier_wait_ns: Histogram,
+    stall_wait_ns: Histogram,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter block (same API the engines already use).
+    pub fn stats(&self) -> &RegionStats {
+        &self.stats
+    }
+
+    /// Records time one thread spent in a barrier / checkpoint-rendezvous
+    /// wait.
+    pub fn record_barrier_wait(&self, ns: u64) {
+        self.barrier_wait_ns.record(ns);
+    }
+
+    /// Records time one thread spent stalled on a synchronization condition
+    /// or the speculative-range gate.
+    pub fn record_stall_wait(&self, ns: u64) {
+        self.stall_wait_ns.record(ns);
+    }
+
+    /// Exact end-of-run snapshot, under the [`RegionStats::snapshot`]
+    /// contract (writers joined first).
+    pub fn snapshot(&self) -> MetricsSummary {
+        MetricsSummary {
+            stats: self.stats.snapshot(),
+            barrier_wait: self.barrier_wait_ns.snapshot(),
+            stall_wait: self.stall_wait_ns.snapshot(),
+        }
+    }
+}
+
+/// Plain-value snapshot of a [`Metrics`] registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSummary {
+    /// Counter snapshot.
+    pub stats: StatsSummary,
+    /// Barrier/rendezvous wait durations.
+    pub barrier_wait: HistogramSummary,
+    /// Synchronization-condition / gate stall durations.
+    pub stall_wait: HistogramSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 0);
+        assert_eq!(Histogram::bucket(2), 1);
+        assert_eq!(Histogram::bucket(3), 1);
+        assert_eq!(Histogram::bucket(4), 2);
+        assert_eq!(Histogram::bucket(1023), 9);
+        assert_eq!(Histogram::bucket(1024), 10);
+        assert_eq!(Histogram::bucket(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_accumulates_count_and_sum() {
+        let h = Histogram::new();
+        for ns in [0, 1, 2, 100, 1_000_000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum_ns, 1_000_103);
+        assert_eq!(s.buckets[0], 2); // 0 and 1
+        assert!((s.mean_ns() - 1_000_103.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_bound_brackets_the_samples() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert!(s.quantile_upper_bound(0.5) <= 16);
+        assert!(s.quantile_upper_bound(1.0) >= 1_000_000);
+        assert_eq!(HistogramSummary::default().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn metrics_bundle_counters_and_histograms() {
+        let m = Metrics::new();
+        m.stats().add_task();
+        m.stats().add_stall();
+        m.record_barrier_wait(500);
+        m.record_stall_wait(2_000);
+        let s = m.snapshot();
+        assert_eq!(s.stats.tasks, 1);
+        assert_eq!(s.stats.stalls, 1);
+        assert_eq!(s.barrier_wait.count, 1);
+        assert_eq!(s.barrier_wait.sum_ns, 500);
+        assert_eq!(s.stall_wait.count, 1);
+        assert_eq!(s.stall_wait.sum_ns, 2_000);
+    }
+
+    #[test]
+    fn histograms_are_thread_safe() {
+        use std::sync::Arc;
+        let m = Arc::new(Metrics::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        m.record_barrier_wait(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.barrier_wait.count, 4000);
+        assert_eq!(s.barrier_wait.sum_ns, 4 * (0..1000).sum::<u64>());
+    }
+}

@@ -4,6 +4,24 @@
 //! tasks, epochs and checking requests (Table 5.3), scheduler/worker ratio
 //! (Table 5.2), barrier overhead percentage (Fig. 4.3). [`RegionStats`] is
 //! the common container those experiments read out of any executor.
+//!
+//! # Ordering contract
+//!
+//! Increments use `Ordering::Relaxed`: each counter is independent and the
+//! hot path must not pay for inter-counter ordering. That makes mid-run
+//! reads ([the per-counter getters](RegionStats::tasks) and
+//! [`RegionStats::summary`]) *approximate* — they may observe one counter
+//! ahead of a causally-earlier one (e.g. a task counted whose epoch is not
+//! yet). They are fine for progress displays and watchdogs, which is all
+//! the engines use them for mid-run.
+//!
+//! Final reporting must instead call [`RegionStats::snapshot`] **after
+//! joining every thread that writes the counters**. Thread join establishes
+//! a happens-before edge covering all of the joined thread's writes, so the
+//! snapshot is exact and mutually consistent; `snapshot()` additionally
+//! loads with `Ordering::Acquire` so the contract holds for writers
+//! quiesced by any other synchronizing release operation (a channel
+//! handoff, an `Arc` drop) rather than a join.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -68,7 +86,11 @@ impl RegionStats {
         add_stall, stalls, stalls
     );
 
-    /// Snapshot of all counters as a plain value.
+    /// Approximate mid-run view of all counters (Relaxed loads).
+    ///
+    /// Counters may be mutually inconsistent while writer threads are still
+    /// running; see the [module docs](self) for the ordering contract. For
+    /// final reporting, use [`RegionStats::snapshot`] after join.
     pub fn summary(&self) -> StatsSummary {
         StatsSummary {
             tasks: self.tasks(),
@@ -78,6 +100,26 @@ impl RegionStats {
             misspeculations: self.misspeculations(),
             checkpoints: self.checkpoints(),
             stalls: self.stalls(),
+        }
+    }
+
+    /// Exact end-of-run snapshot.
+    ///
+    /// **Contract:** call only after every thread that increments these
+    /// counters has been joined (or otherwise quiesced through a
+    /// release-synchronizing operation). Under that contract the returned
+    /// values are exact and mutually consistent; the loads use
+    /// `Ordering::Acquire` to pair with non-join release edges. See the
+    /// [module docs](self).
+    pub fn snapshot(&self) -> StatsSummary {
+        StatsSummary {
+            tasks: self.tasks.load(Ordering::Acquire),
+            epochs: self.epochs.load(Ordering::Acquire),
+            check_requests: self.check_requests.load(Ordering::Acquire),
+            sync_conditions: self.sync_conditions.load(Ordering::Acquire),
+            misspeculations: self.misspeculations.load(Ordering::Acquire),
+            checkpoints: self.checkpoints.load(Ordering::Acquire),
+            stalls: self.stalls.load(Ordering::Acquire),
         }
     }
 }
@@ -148,6 +190,17 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // All writers joined: snapshot() is exact per the ordering contract.
+        assert_eq!(s.snapshot().tasks, 4000);
         assert_eq!(s.tasks(), 4000);
+    }
+
+    #[test]
+    fn snapshot_matches_summary_when_quiescent() {
+        let s = RegionStats::new();
+        s.add_task();
+        s.add_epoch();
+        s.add_stall();
+        assert_eq!(s.snapshot(), s.summary());
     }
 }

@@ -1,0 +1,1213 @@
+//! Structured execution tracing shared by the runtimes and the simulator.
+//!
+//! The evaluation chapter's claims — where time goes inside an epoch, why a
+//! run degraded, which task pair misspeculated — are *runtime information*,
+//! and the counters of [`crate::stats`] compress it beyond recovery. This
+//! module is the uncompressed record: a typed [`Event`] stream, stamped with
+//! nanosecond timestamps and the emitting thread, buffered per thread in a
+//! fixed-capacity ring ([`TraceSink`]) so the hot path never allocates,
+//! locks, or touches an atomic, and merged after the region joins into one
+//! time-ordered [`Trace`] that serializes to JSONL.
+//!
+//! Both threaded engines (`crossinvoc-speccross`, `crossinvoc-domore`) and
+//! both simulators (`crossinvoc-sim`) emit the *same schema*: a trace of a
+//! simulated run and a trace of a real run differ only in their timestamps,
+//! so every analysis — the barrier-idle breakdown of Fig. 4.3, the
+//! misspeculation ledger of Table 5.3, the per-thread utilization timeline —
+//! is written once, in [`TraceReport`], and works on either. The
+//! `trace-report` binary (in `crates/bench`) is a thin wrapper around it.
+//!
+//! See `docs/OBSERVABILITY.md` for the JSONL schema, the overhead budget,
+//! and a worked trace-to-figure example.
+//!
+//! # Example
+//!
+//! ```
+//! use crossinvoc_runtime::trace::{Event, Trace, TraceSink};
+//!
+//! // A sink with virtual timestamps, as the simulator uses; the threaded
+//! // engines use `TraceCollector` sinks that stamp wall-clock time.
+//! let mut sink = TraceSink::with_capacity(0, 64);
+//! sink.emit_at(10, Event::EpochBegin { epoch: 0 });
+//! sink.emit_at(25, Event::TaskRetire { epoch: 0, task: 3 });
+//! let trace = Trace::from_sinks([sink]);
+//! assert_eq!(trace.records().len(), 2);
+//!
+//! // JSONL round-trip is lossless.
+//! let jsonl = trace.to_jsonl();
+//! assert_eq!(Trace::from_jsonl(&jsonl).unwrap(), trace);
+//! ```
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::fault::FaultKind;
+use crate::ThreadId;
+
+/// Pseudo thread-id under which the manager/scheduler thread emits events.
+///
+/// Worker ids are dense `0..num_workers`; the two service threads use the
+/// top of the id space so they can never collide with a worker.
+pub const MANAGER_TID: ThreadId = usize::MAX;
+
+/// Pseudo thread-id under which the SPECCROSS checker thread emits events.
+pub const CHECKER_TID: ThreadId = usize::MAX - 1;
+
+/// One structured execution event.
+///
+/// `epoch` means the SPECCROSS epoch / DOMORE invocation; `task` is the
+/// per-epoch task (iteration) index. Both engines and both simulators emit
+/// exactly this set, so a trace consumer never needs to know which engine
+/// produced the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A parallel-loop invocation (epoch) began.
+    EpochBegin {
+        /// Epoch number.
+        epoch: u32,
+    },
+    /// The epoch's last task (on the emitting thread's view) retired.
+    EpochEnd {
+        /// Epoch number.
+        epoch: u32,
+    },
+    /// A task was handed to a worker (DOMORE: scheduler dispatch; SPECCROSS:
+    /// the worker admitted the task past the speculative-range gate).
+    TaskDispatch {
+        /// Epoch of the task.
+        epoch: u32,
+        /// Task index within the epoch.
+        task: u64,
+    },
+    /// A task finished executing.
+    TaskRetire {
+        /// Epoch of the task.
+        epoch: u32,
+        /// Task index within the epoch.
+        task: u64,
+    },
+    /// The emitting thread arrived at a synchronization point (a barrier, a
+    /// checkpoint rendezvous, or a DOMORE synchronization-condition wait).
+    BarrierEnter {
+        /// Epoch at which the wait happened.
+        epoch: u32,
+    },
+    /// The wait of the matching [`Event::BarrierEnter`] ended; `wait_ns` is
+    /// the time the thread spent stalled — the quantity Fig. 4.3 aggregates.
+    BarrierLeave {
+        /// Epoch at which the wait happened.
+        epoch: u32,
+        /// Nanoseconds spent waiting.
+        wait_ns: u64,
+    },
+    /// A recovery checkpoint was taken at this epoch.
+    Checkpoint {
+        /// Epoch of the snapshot.
+        epoch: u32,
+    },
+    /// A misspeculation was detected: the signatures of the two recorded
+    /// tasks conflicted (for forced/injected conflicts both sides name the
+    /// admitted task).
+    Misspeculation {
+        /// Worker of the earlier-epoch task.
+        earlier_tid: ThreadId,
+        /// Epoch of the earlier task.
+        earlier_epoch: u32,
+        /// Per-epoch index of the earlier task.
+        earlier_task: u64,
+        /// Worker of the later-epoch task.
+        later_tid: ThreadId,
+        /// Epoch of the later task.
+        later_epoch: u32,
+        /// Per-epoch index of the later task.
+        later_task: u64,
+    },
+    /// The region abandoned speculation and fell back to non-speculative
+    /// barriers from this epoch on.
+    Degradation {
+        /// First epoch of the degraded (barrier-mode) tail.
+        epoch: u32,
+    },
+    /// An injected fault from a [`crate::fault::FaultPlan`] fired. The
+    /// record's thread id is the worker at which it fired (checker-side
+    /// faults report the requesting worker's coordinates).
+    FaultInjected {
+        /// The fault that fired.
+        kind: FaultKind,
+        /// Epoch coordinate of the firing.
+        epoch: u32,
+        /// Task coordinate of the firing.
+        task: u64,
+    },
+}
+
+impl Event {
+    /// The event's wire name (the `"ev"` field of the JSONL schema).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::EpochBegin { .. } => "epoch_begin",
+            Event::EpochEnd { .. } => "epoch_end",
+            Event::TaskDispatch { .. } => "task_dispatch",
+            Event::TaskRetire { .. } => "task_retire",
+            Event::BarrierEnter { .. } => "barrier_enter",
+            Event::BarrierLeave { .. } => "barrier_leave",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::Misspeculation { .. } => "misspeculation",
+            Event::Degradation { .. } => "degradation",
+            Event::FaultInjected { .. } => "fault",
+        }
+    }
+}
+
+/// One trace record: when, who, what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Nanoseconds since the trace origin (region start for the threaded
+    /// engines, virtual time zero for the simulators).
+    pub t_ns: u64,
+    /// Emitting thread ([`MANAGER_TID`] / [`CHECKER_TID`] for the service
+    /// threads).
+    pub tid: ThreadId,
+    /// The event.
+    pub event: Event,
+}
+
+/// A per-thread, fixed-capacity event ring.
+///
+/// The hot path ([`TraceSink::emit`] / [`TraceSink::emit_at`]) is designed
+/// to cost one predictable branch when tracing is disabled and one ring
+/// write when enabled: no atomics, no locks, and no allocation after
+/// construction (a disabled sink never allocates at all). When the ring
+/// overflows, the *oldest* records are overwritten and counted in
+/// [`TraceSink::dropped`] — a bounded trace of the most recent history, like
+/// a flight recorder.
+///
+/// # Example
+///
+/// ```
+/// use crossinvoc_runtime::trace::{Event, TraceSink};
+///
+/// let mut sink = TraceSink::with_capacity(3, 2);
+/// sink.emit_at(5, Event::Checkpoint { epoch: 0 });
+/// sink.emit_at(9, Event::Checkpoint { epoch: 1 });
+/// sink.emit_at(12, Event::Checkpoint { epoch: 2 }); // evicts the first
+/// assert_eq!(sink.len(), 2);
+/// assert_eq!(sink.dropped(), 1);
+///
+/// let disabled = TraceSink::disabled();
+/// assert!(!disabled.is_enabled());
+/// ```
+#[derive(Debug)]
+pub struct TraceSink {
+    tid: ThreadId,
+    /// Plain bool, *not* atomic: the sink is single-owner by construction
+    /// (one per thread), so the disabled check is branch-predictable and
+    /// free of synchronization. This is the "tracing off costs zero atomic
+    /// operations" guarantee the overhead smoke test pins down.
+    enabled: bool,
+    capacity: usize,
+    buf: Vec<TraceRecord>,
+    /// Next write slot once the ring is full.
+    next: usize,
+    dropped: u64,
+    /// Wall-clock origin for [`TraceSink::emit`]; `None` for virtual-time
+    /// sinks, whose callers stamp timestamps explicitly.
+    origin: Option<Instant>,
+}
+
+impl TraceSink {
+    /// A sink for thread `tid` holding at most `capacity` records, stamped
+    /// with caller-provided (virtual) timestamps via [`TraceSink::emit_at`].
+    pub fn with_capacity(tid: ThreadId, capacity: usize) -> Self {
+        Self {
+            tid,
+            enabled: capacity > 0,
+            capacity,
+            buf: Vec::with_capacity(capacity),
+            next: 0,
+            dropped: 0,
+            origin: None,
+        }
+    }
+
+    /// Like [`TraceSink::with_capacity`], but [`TraceSink::emit`] stamps
+    /// wall-clock nanoseconds since `origin`.
+    pub fn with_origin(tid: ThreadId, capacity: usize, origin: Instant) -> Self {
+        Self {
+            origin: Some(origin),
+            ..Self::with_capacity(tid, capacity)
+        }
+    }
+
+    /// A permanently disabled sink: every emit is a single branch and the
+    /// sink never allocates.
+    pub fn disabled() -> Self {
+        Self::with_capacity(0, 0)
+    }
+
+    /// Whether emits are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` stamped with the wall clock (no-op without an origin
+    /// or when disabled).
+    #[inline]
+    pub fn emit(&mut self, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        let t_ns = match self.origin {
+            Some(origin) => origin.elapsed().as_nanos() as u64,
+            None => 0,
+        };
+        self.push(TraceRecord {
+            t_ns,
+            tid: self.tid,
+            event,
+        });
+    }
+
+    /// Records `event` at the explicit timestamp `t_ns` (virtual time).
+    #[inline]
+    pub fn emit_at(&mut self, t_ns: u64, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceRecord {
+            t_ns,
+            tid: self.tid,
+            event,
+        });
+    }
+
+    fn push(&mut self, rec: TraceRecord) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.next] = rec;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Records currently held (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Allocated ring capacity (zero for a disabled sink — the allocation
+    /// itself is skipped, which the overhead smoke test asserts).
+    pub fn ring_capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Records evicted by ring overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the sink, returning its records in emission order.
+    fn into_records(mut self) -> (Vec<TraceRecord>, u64) {
+        // Rotate so the oldest surviving record comes first.
+        if self.buf.len() == self.capacity && self.next > 0 {
+            self.buf.rotate_left(self.next);
+        }
+        (self.buf, self.dropped)
+    }
+}
+
+/// Shared factory/collection point for the sinks of one traced region.
+///
+/// The threaded engines create one collector per execution; each spawned
+/// thread takes a sink ([`TraceCollector::sink`]), emits into it privately,
+/// and hands it back ([`TraceCollector::absorb`]) before joining. The only
+/// synchronization is the absorb-side mutex, which is touched once per
+/// thread per pass — never on the event hot path.
+#[derive(Debug)]
+pub struct TraceCollector {
+    capacity: usize,
+    origin: Instant,
+    slots: Mutex<Vec<TraceSink>>,
+}
+
+impl TraceCollector {
+    /// A collector handing out sinks of `capacity` records each; zero
+    /// capacity disables tracing (sinks are inert and `finish` yields
+    /// `None`).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            origin: Instant::now(),
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A disabled collector: every sink is inert, [`TraceCollector::finish`]
+    /// returns `None`.
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// Whether sinks record events.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Nanoseconds since the collector's origin (for callers that need a
+    /// timestamp outside a sink).
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// A fresh sink for `tid`, stamping wall-clock time from the shared
+    /// origin.
+    pub fn sink(&self, tid: ThreadId) -> TraceSink {
+        if self.capacity == 0 {
+            TraceSink::disabled()
+        } else {
+            TraceSink::with_origin(tid, self.capacity, self.origin)
+        }
+    }
+
+    /// Returns a finished sink's records to the collector.
+    pub fn absorb(&self, sink: TraceSink) {
+        if sink.is_enabled() {
+            self.slots.lock().expect("trace collector poisoned").push(sink);
+        }
+    }
+
+    /// Merges every absorbed sink into a time-ordered [`Trace`]; `None` when
+    /// tracing was disabled.
+    pub fn finish(self) -> Option<Trace> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let sinks = self.slots.into_inner().expect("trace collector poisoned");
+        Some(Trace::from_sinks(sinks))
+    }
+}
+
+/// A complete, time-ordered execution trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Builds a trace from per-thread sinks, merging by timestamp (ties
+    /// break by thread id, then emission order — deterministic for the
+    /// simulators' virtual clocks).
+    pub fn from_sinks(sinks: impl IntoIterator<Item = TraceSink>) -> Self {
+        let mut records = Vec::new();
+        let mut dropped = 0;
+        for sink in sinks {
+            let (recs, drops) = sink.into_records();
+            records.extend(recs);
+            dropped += drops;
+        }
+        records.sort_by_key(|r| (r.t_ns, r.tid));
+        Trace { records, dropped }
+    }
+
+    /// Builds a trace from loose records (sorts them).
+    pub fn from_records(mut records: Vec<TraceRecord>) -> Self {
+        records.sort_by_key(|r| (r.t_ns, r.tid));
+        Trace {
+            records,
+            dropped: 0,
+        }
+    }
+
+    /// The time-ordered records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records lost to ring overflow across all sinks.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Timestamp of the last record (the trace's span, since origins are 0).
+    pub fn span_ns(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.t_ns)
+    }
+
+    /// Serializes to JSONL: one flat JSON object per record, schema per
+    /// `docs/OBSERVABILITY.md`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 64);
+        for rec in &self.records {
+            write_record(&mut out, rec);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL trace produced by [`Trace::to_jsonl`] (or any stream
+    /// following the documented schema). Blank lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceParseError`] names the offending line and what was wrong.
+    pub fn from_jsonl(input: &str) -> Result<Trace, TraceParseError> {
+        let mut records = Vec::new();
+        for (idx, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            records.push(parse_record(line).map_err(|msg| TraceParseError {
+                line: idx + 1,
+                message: msg,
+            })?);
+        }
+        Ok(Trace::from_records(records))
+    }
+}
+
+/// Why a JSONL trace line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+// ---- JSONL serialization ------------------------------------------------
+
+fn fault_kind_wire(kind: FaultKind) -> (&'static str, Option<u64>) {
+    match kind {
+        FaultKind::WorkerPanic => ("worker_panic", None),
+        FaultKind::CheckerStall(ms) => ("checker_stall", Some(ms)),
+        FaultKind::CheckerDeath => ("checker_death", None),
+        FaultKind::FalsePositive => ("false_positive", None),
+        FaultKind::SnapshotFail => ("snapshot_fail", None),
+        FaultKind::RestoreFail => ("restore_fail", None),
+        FaultKind::Delay(us) => ("delay", Some(us)),
+    }
+}
+
+fn fault_kind_parse(name: &str, param: Option<u64>) -> Result<FaultKind, String> {
+    Ok(match name {
+        "worker_panic" => FaultKind::WorkerPanic,
+        "checker_stall" => FaultKind::CheckerStall(param.ok_or("checker_stall needs param")?),
+        "checker_death" => FaultKind::CheckerDeath,
+        "false_positive" => FaultKind::FalsePositive,
+        "snapshot_fail" => FaultKind::SnapshotFail,
+        "restore_fail" => FaultKind::RestoreFail,
+        "delay" => FaultKind::Delay(param.ok_or("delay needs param")?),
+        other => return Err(format!("unknown fault kind {other:?}")),
+    })
+}
+
+fn write_record(out: &mut String, rec: &TraceRecord) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"t\":{},\"tid\":{},\"ev\":\"{}\"",
+        rec.t_ns,
+        rec.tid,
+        rec.event.name()
+    );
+    fn field(out: &mut String, key: &str, value: u64) {
+        let _ = write!(out, ",\"{key}\":{value}");
+    }
+    match rec.event {
+        Event::EpochBegin { epoch }
+        | Event::EpochEnd { epoch }
+        | Event::BarrierEnter { epoch }
+        | Event::Checkpoint { epoch }
+        | Event::Degradation { epoch } => field(out, "epoch", epoch as u64),
+        Event::BarrierLeave { epoch, wait_ns } => {
+            field(out, "epoch", epoch as u64);
+            field(out, "wait_ns", wait_ns);
+        }
+        Event::TaskDispatch { epoch, task } | Event::TaskRetire { epoch, task } => {
+            field(out, "epoch", epoch as u64);
+            field(out, "task", task);
+        }
+        Event::Misspeculation {
+            earlier_tid,
+            earlier_epoch,
+            earlier_task,
+            later_tid,
+            later_epoch,
+            later_task,
+        } => {
+            field(out, "earlier_tid", earlier_tid as u64);
+            field(out, "earlier_epoch", earlier_epoch as u64);
+            field(out, "earlier_task", earlier_task);
+            field(out, "later_tid", later_tid as u64);
+            field(out, "later_epoch", later_epoch as u64);
+            field(out, "later_task", later_task);
+        }
+        Event::FaultInjected { kind, epoch, task } => {
+            let (name, param) = fault_kind_wire(kind);
+            let _ = write!(out, ",\"kind\":\"{name}\"");
+            if let Some(p) = param {
+                field(out, "param", p);
+            }
+            field(out, "epoch", epoch as u64);
+            field(out, "task", task);
+        }
+    }
+    out.push('}');
+}
+
+/// Minimal parser for one flat JSON object with unsigned-integer and string
+/// values — exactly the shape [`write_record`] produces. Unknown keys are an
+/// error (the schema is closed; see `docs/OBSERVABILITY.md`).
+fn parse_record(line: &str) -> Result<TraceRecord, String> {
+    let mut nums: Vec<(String, u64)> = Vec::new();
+    let mut strs: Vec<(String, String)> = Vec::new();
+
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // key
+        if bytes[i] != b'"' {
+            return Err(format!("expected key quote at byte {i}"));
+        }
+        let key_end = inner[i + 1..]
+            .find('"')
+            .ok_or("unterminated key")?
+            + i
+            + 1;
+        let key = inner[i + 1..key_end].to_string();
+        i = key_end + 1;
+        if bytes.get(i) != Some(&b':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        i += 1;
+        // value: string or unsigned integer
+        if bytes.get(i) == Some(&b'"') {
+            let val_end = inner[i + 1..]
+                .find('"')
+                .ok_or("unterminated string value")?
+                + i
+                + 1;
+            strs.push((key, inner[i + 1..val_end].to_string()));
+            i = val_end + 1;
+        } else {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i == start {
+                return Err(format!("expected number for key {key:?}"));
+            }
+            let v: u64 = inner[start..i]
+                .parse()
+                .map_err(|_| format!("number out of range for key {key:?}"))?;
+            nums.push((key, v));
+        }
+        if bytes.get(i) == Some(&b',') {
+            i += 1;
+        } else if i != bytes.len() {
+            return Err(format!("trailing garbage at byte {i}"));
+        }
+    }
+
+    let num = |key: &str| -> Result<u64, String> {
+        nums.iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    };
+    let opt_num = |key: &str| nums.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+    let str_field = |key: &str| -> Result<&str, String> {
+        strs.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("missing field {key:?}"))
+    };
+
+    let t_ns = num("t")?;
+    let tid = num("tid")? as usize;
+    let ev = str_field("ev")?;
+    let epoch = |v: u64| -> u32 { v as u32 };
+    let event = match ev {
+        "epoch_begin" => Event::EpochBegin {
+            epoch: epoch(num("epoch")?),
+        },
+        "epoch_end" => Event::EpochEnd {
+            epoch: epoch(num("epoch")?),
+        },
+        "task_dispatch" => Event::TaskDispatch {
+            epoch: epoch(num("epoch")?),
+            task: num("task")?,
+        },
+        "task_retire" => Event::TaskRetire {
+            epoch: epoch(num("epoch")?),
+            task: num("task")?,
+        },
+        "barrier_enter" => Event::BarrierEnter {
+            epoch: epoch(num("epoch")?),
+        },
+        "barrier_leave" => Event::BarrierLeave {
+            epoch: epoch(num("epoch")?),
+            wait_ns: num("wait_ns")?,
+        },
+        "checkpoint" => Event::Checkpoint {
+            epoch: epoch(num("epoch")?),
+        },
+        "degradation" => Event::Degradation {
+            epoch: epoch(num("epoch")?),
+        },
+        "misspeculation" => Event::Misspeculation {
+            earlier_tid: num("earlier_tid")? as usize,
+            earlier_epoch: epoch(num("earlier_epoch")?),
+            earlier_task: num("earlier_task")?,
+            later_tid: num("later_tid")? as usize,
+            later_epoch: epoch(num("later_epoch")?),
+            later_task: num("later_task")?,
+        },
+        "fault" => Event::FaultInjected {
+            kind: fault_kind_parse(str_field("kind")?, opt_num("param"))?,
+            epoch: epoch(num("epoch")?),
+            task: num("task")?,
+        },
+        other => return Err(format!("unknown event {other:?}")),
+    };
+    Ok(TraceRecord { t_ns, tid, event })
+}
+
+// ---- Trace analysis -----------------------------------------------------
+
+/// One misspeculation as reconstructed from a trace: when it was detected
+/// and which task pair conflicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MisspecEntry {
+    /// Detection timestamp.
+    pub t_ns: u64,
+    /// `(tid, epoch, task)` of the earlier-epoch participant.
+    pub earlier: (ThreadId, u32, u64),
+    /// `(tid, epoch, task)` of the later-epoch participant.
+    pub later: (ThreadId, u32, u64),
+}
+
+/// Per-thread totals reconstructed from a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreadBreakdown {
+    /// Thread id.
+    pub tid: ThreadId,
+    /// Tasks retired.
+    pub tasks: u64,
+    /// Synchronization waits (barrier/rendezvous/condition) endured.
+    pub barrier_waits: u64,
+    /// Total nanoseconds spent in those waits.
+    pub barrier_wait_ns: u64,
+    /// Total nanoseconds spent executing tasks (sum of matched
+    /// dispatch→retire intervals).
+    pub busy_ns: u64,
+}
+
+/// An injected fault as it appears in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultFiring {
+    /// Firing timestamp.
+    pub t_ns: u64,
+    /// Thread at which it fired.
+    pub tid: ThreadId,
+    /// The fault.
+    pub kind: FaultKind,
+    /// Epoch coordinate.
+    pub epoch: u32,
+    /// Task coordinate.
+    pub task: u64,
+}
+
+/// Everything the `trace-report` tool derives from a [`Trace`]: the
+/// barrier-idle breakdown (Fig. 4.3), the misspeculation ledger
+/// (Table 5.3's checking story), the fault ledger, and a per-thread
+/// utilization timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Trace span (timestamp of the last record).
+    pub span_ns: u64,
+    /// Per-thread totals, sorted by thread id (service threads last).
+    pub threads: Vec<ThreadBreakdown>,
+    /// Misspeculations in detection order.
+    pub misspeculations: Vec<MisspecEntry>,
+    /// Injected-fault firings in time order.
+    pub faults: Vec<FaultFiring>,
+    /// Checkpoint epochs in time order.
+    pub checkpoints: Vec<u32>,
+    /// Epochs at which the region degraded to barrier execution.
+    pub degradations: Vec<u32>,
+    /// Records lost to ring overflow (analysis is approximate if nonzero).
+    pub dropped: u64,
+}
+
+impl TraceReport {
+    /// Reconstructs the report from a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut threads: Vec<ThreadBreakdown> = Vec::new();
+        let mut open_tasks: Vec<(ThreadId, u64)> = Vec::new(); // (tid, dispatch t)
+        let mut misspeculations = Vec::new();
+        let mut faults = Vec::new();
+        let mut checkpoints = Vec::new();
+        let mut degradations = Vec::new();
+
+        let slot = |threads: &mut Vec<ThreadBreakdown>, tid: ThreadId| -> usize {
+            match threads.iter().position(|t| t.tid == tid) {
+                Some(i) => i,
+                None => {
+                    threads.push(ThreadBreakdown {
+                        tid,
+                        ..Default::default()
+                    });
+                    threads.len() - 1
+                }
+            }
+        };
+
+        for rec in trace.records() {
+            match rec.event {
+                Event::TaskDispatch { .. } => {
+                    // Remember the dispatch time; the matching retire (same
+                    // tid, next retire) closes the busy interval.
+                    open_tasks.push((rec.tid, rec.t_ns));
+                }
+                Event::TaskRetire { .. } => {
+                    let i = slot(&mut threads, rec.tid);
+                    threads[i].tasks += 1;
+                    if let Some(pos) = open_tasks.iter().position(|&(t, _)| t == rec.tid) {
+                        let (_, start) = open_tasks.swap_remove(pos);
+                        threads[i].busy_ns += rec.t_ns.saturating_sub(start);
+                    }
+                }
+                Event::BarrierLeave { wait_ns, .. } => {
+                    let i = slot(&mut threads, rec.tid);
+                    threads[i].barrier_waits += 1;
+                    threads[i].barrier_wait_ns += wait_ns;
+                }
+                Event::Misspeculation {
+                    earlier_tid,
+                    earlier_epoch,
+                    earlier_task,
+                    later_tid,
+                    later_epoch,
+                    later_task,
+                } => misspeculations.push(MisspecEntry {
+                    t_ns: rec.t_ns,
+                    earlier: (earlier_tid, earlier_epoch, earlier_task),
+                    later: (later_tid, later_epoch, later_task),
+                }),
+                Event::FaultInjected { kind, epoch, task } => faults.push(FaultFiring {
+                    t_ns: rec.t_ns,
+                    tid: rec.tid,
+                    kind,
+                    epoch,
+                    task,
+                }),
+                Event::Checkpoint { epoch } => checkpoints.push(epoch),
+                Event::Degradation { epoch } => degradations.push(epoch),
+                Event::EpochBegin { .. } | Event::EpochEnd { .. } | Event::BarrierEnter { .. } => {
+                }
+            }
+        }
+        threads.sort_by_key(|t| t.tid);
+        TraceReport {
+            span_ns: trace.span_ns(),
+            threads,
+            misspeculations,
+            faults,
+            checkpoints,
+            degradations,
+            dropped: trace.dropped(),
+        }
+    }
+
+    /// Fraction of aggregate worker time lost to synchronization waits —
+    /// the Fig. 4.3 quantity, from the trace instead of counters. Service
+    /// threads (manager/checker) are excluded, matching the figure's
+    /// accounting.
+    pub fn barrier_idle_fraction(&self) -> f64 {
+        let workers = self
+            .threads
+            .iter()
+            .filter(|t| t.tid != MANAGER_TID && t.tid != CHECKER_TID);
+        let (mut busy, mut wait) = (0u64, 0u64);
+        for t in workers {
+            busy += t.busy_ns;
+            wait += t.barrier_wait_ns;
+        }
+        if busy + wait == 0 {
+            0.0
+        } else {
+            wait as f64 / (busy + wait) as f64
+        }
+    }
+
+    /// Per-thread busy fraction per time bucket: `timeline(n)[i][b]` is the
+    /// fraction of bucket `b` that worker `i` (in [`TraceReport::threads`]
+    /// order) spent executing tasks. Derived from matched dispatch→retire
+    /// pairs, so a bucket with no completed task reads as idle.
+    pub fn utilization_timeline(&self, trace: &Trace, buckets: usize) -> Vec<Vec<f64>> {
+        let span = self.span_ns.max(1);
+        let bucket_ns = span.div_ceil(buckets.max(1) as u64).max(1);
+        let mut rows = vec![vec![0.0f64; buckets]; self.threads.len()];
+        let row = |tid: ThreadId| self.threads.iter().position(|t| t.tid == tid);
+        let mut open: Vec<(ThreadId, u64)> = Vec::new();
+        for rec in trace.records() {
+            match rec.event {
+                Event::TaskDispatch { .. } => open.push((rec.tid, rec.t_ns)),
+                Event::TaskRetire { .. } => {
+                    let Some(pos) = open.iter().position(|&(t, _)| t == rec.tid) else {
+                        continue;
+                    };
+                    let (_, start) = open.swap_remove(pos);
+                    let Some(r) = row(rec.tid) else { continue };
+                    // Spread the busy interval across the buckets it covers.
+                    let (mut a, b) = (start, rec.t_ns.max(start));
+                    while a < b {
+                        let bucket = ((a / bucket_ns) as usize).min(buckets - 1);
+                        let bucket_end = (bucket as u64 + 1) * bucket_ns;
+                        let chunk = b.min(bucket_end) - a;
+                        rows[r][bucket] += chunk as f64 / bucket_ns as f64;
+                        a += chunk.max(1);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for row in &mut rows {
+            for v in row.iter_mut() {
+                *v = v.min(1.0);
+            }
+        }
+        rows
+    }
+
+    /// Renders the report as the human-readable text the `trace-report`
+    /// binary prints.
+    pub fn render(&self, trace: &Trace) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "span: {} ns, {} records", self.span_ns, trace.records().len());
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} records dropped by ring overflow; totals are lower bounds",
+                self.dropped
+            );
+        }
+        let _ = writeln!(
+            out,
+            "barrier-idle fraction (workers): {:.1}%",
+            100.0 * self.barrier_idle_fraction()
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>8} {:>14} {:>14}",
+            "thread", "tasks", "waits", "wait_ns", "busy_ns"
+        );
+        for t in &self.threads {
+            let name = match t.tid {
+                MANAGER_TID => "manager".to_string(),
+                CHECKER_TID => "checker".to_string(),
+                tid => format!("worker-{tid}"),
+            };
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10} {:>8} {:>14} {:>14}",
+                name, t.tasks, t.barrier_waits, t.barrier_wait_ns, t.busy_ns
+            );
+        }
+        const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let timeline = self.utilization_timeline(trace, 40);
+        if timeline.iter().any(|row| row.iter().any(|&v| v > 0.0)) {
+            let _ = writeln!(out, "utilization timeline (40 buckets):");
+            for (t, row) in self.threads.iter().zip(&timeline) {
+                if t.tid == MANAGER_TID || t.tid == CHECKER_TID {
+                    continue;
+                }
+                let bar: String = row
+                    .iter()
+                    .map(|&v| BLOCKS[((v * 8.0).round() as usize).min(8)])
+                    .collect();
+                let _ = writeln!(out, "  worker-{:<3} |{bar}|", t.tid);
+            }
+        }
+        let _ = writeln!(out, "checkpoints: {:?}", self.checkpoints);
+        if !self.misspeculations.is_empty() {
+            let _ = writeln!(out, "misspeculation ledger:");
+            for m in &self.misspeculations {
+                let _ = writeln!(
+                    out,
+                    "  t={} earlier=(tid {}, epoch {}, task {}) later=(tid {}, epoch {}, task {})",
+                    m.t_ns, m.earlier.0, m.earlier.1, m.earlier.2, m.later.0, m.later.1, m.later.2
+                );
+            }
+        }
+        if !self.faults.is_empty() {
+            let _ = writeln!(out, "injected faults:");
+            for f in &self.faults {
+                let _ = writeln!(
+                    out,
+                    "  t={} tid={} {} at (epoch {}, task {})",
+                    f.t_ns, f.tid, f.kind, f.epoch, f.task
+                );
+            }
+        }
+        for epoch in &self.degradations {
+            let _ = writeln!(out, "degraded to barrier execution from epoch {epoch}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                t_ns: 0,
+                tid: MANAGER_TID,
+                event: Event::Checkpoint { epoch: 0 },
+            },
+            TraceRecord {
+                t_ns: 5,
+                tid: 0,
+                event: Event::EpochBegin { epoch: 0 },
+            },
+            TraceRecord {
+                t_ns: 10,
+                tid: 0,
+                event: Event::TaskDispatch { epoch: 0, task: 0 },
+            },
+            TraceRecord {
+                t_ns: 30,
+                tid: 0,
+                event: Event::TaskRetire { epoch: 0, task: 0 },
+            },
+            TraceRecord {
+                t_ns: 35,
+                tid: 1,
+                event: Event::BarrierEnter { epoch: 0 },
+            },
+            TraceRecord {
+                t_ns: 60,
+                tid: 1,
+                event: Event::BarrierLeave {
+                    epoch: 0,
+                    wait_ns: 25,
+                },
+            },
+            TraceRecord {
+                t_ns: 70,
+                tid: CHECKER_TID,
+                event: Event::Misspeculation {
+                    earlier_tid: 0,
+                    earlier_epoch: 0,
+                    earlier_task: 0,
+                    later_tid: 1,
+                    later_epoch: 1,
+                    later_task: 2,
+                },
+            },
+            TraceRecord {
+                t_ns: 75,
+                tid: 1,
+                event: Event::FaultInjected {
+                    kind: FaultKind::CheckerStall(5),
+                    epoch: 1,
+                    task: 2,
+                },
+            },
+            TraceRecord {
+                t_ns: 80,
+                tid: MANAGER_TID,
+                event: Event::Degradation { epoch: 1 },
+            },
+            TraceRecord {
+                t_ns: 90,
+                tid: 0,
+                event: Event::EpochEnd { epoch: 1 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_every_event() {
+        let trace = Trace::from_records(sample_records());
+        let jsonl = trace.to_jsonl();
+        let parsed = Trace::from_jsonl(&jsonl).expect("parse");
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn every_fault_kind_round_trips() {
+        let kinds = [
+            FaultKind::WorkerPanic,
+            FaultKind::CheckerStall(7),
+            FaultKind::CheckerDeath,
+            FaultKind::FalsePositive,
+            FaultKind::SnapshotFail,
+            FaultKind::RestoreFail,
+            FaultKind::Delay(123),
+        ];
+        let records: Vec<_> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| TraceRecord {
+                t_ns: i as u64,
+                tid: i,
+                event: Event::FaultInjected {
+                    kind,
+                    epoch: i as u32,
+                    task: i as u64 * 3,
+                },
+            })
+            .collect();
+        let trace = Trace::from_records(records);
+        assert_eq!(Trace::from_jsonl(&trace.to_jsonl()).unwrap(), trace);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "not json",
+            "{\"t\":1}",
+            "{\"t\":1,\"tid\":0,\"ev\":\"no_such_event\"}",
+            "{\"t\":1,\"tid\":0,\"ev\":\"task_retire\",\"epoch\":0}",
+            "{\"t\":-5,\"tid\":0,\"ev\":\"checkpoint\",\"epoch\":0}",
+        ] {
+            assert!(Trace::from_jsonl(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn sink_ring_keeps_most_recent_records() {
+        let mut sink = TraceSink::with_capacity(0, 3);
+        for i in 0..5u64 {
+            sink.emit_at(i, Event::Checkpoint { epoch: i as u32 });
+        }
+        assert_eq!(sink.dropped(), 2);
+        let trace = Trace::from_sinks([sink]);
+        let epochs: Vec<u32> = trace
+            .records()
+            .iter()
+            .map(|r| match r.event {
+                Event::Checkpoint { epoch } => epoch,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(epochs, vec![2, 3, 4]);
+        assert_eq!(trace.dropped(), 2);
+    }
+
+    #[test]
+    fn disabled_sink_never_allocates_or_records() {
+        let mut sink = TraceSink::disabled();
+        for i in 0..10_000u64 {
+            sink.emit_at(i, Event::TaskRetire { epoch: 0, task: i });
+            sink.emit(Event::EpochBegin { epoch: 0 });
+        }
+        assert!(sink.is_empty());
+        assert_eq!(sink.ring_capacity(), 0, "no buffer was ever allocated");
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn collector_merges_sinks_time_ordered() {
+        let collector = TraceCollector::new(16);
+        let mut a = collector.sink(0);
+        let mut b = collector.sink(1);
+        a.emit(Event::EpochBegin { epoch: 0 });
+        b.emit(Event::EpochBegin { epoch: 0 });
+        a.emit(Event::EpochEnd { epoch: 0 });
+        collector.absorb(a);
+        collector.absorb(b);
+        let trace = collector.finish().expect("enabled");
+        assert_eq!(trace.records().len(), 3);
+        let ts: Vec<u64> = trace.records().iter().map(|r| r.t_ns).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted);
+    }
+
+    #[test]
+    fn disabled_collector_finishes_to_none() {
+        let collector = TraceCollector::disabled();
+        let mut sink = collector.sink(3);
+        sink.emit(Event::EpochBegin { epoch: 0 });
+        collector.absorb(sink);
+        assert!(collector.finish().is_none());
+    }
+
+    #[test]
+    fn report_reconstructs_breakdown_and_ledgers() {
+        let trace = Trace::from_records(sample_records());
+        let report = TraceReport::from_trace(&trace);
+        assert_eq!(report.span_ns, 90);
+        assert_eq!(report.misspeculations.len(), 1);
+        assert_eq!(report.misspeculations[0].later, (1, 1, 2));
+        assert_eq!(report.faults.len(), 1);
+        assert_eq!(report.checkpoints, vec![0]);
+        assert_eq!(report.degradations, vec![1]);
+        let w0 = report.threads.iter().find(|t| t.tid == 0).unwrap();
+        assert_eq!(w0.tasks, 1);
+        assert_eq!(w0.busy_ns, 20);
+        let w1 = report.threads.iter().find(|t| t.tid == 1).unwrap();
+        assert_eq!(w1.barrier_waits, 1);
+        assert_eq!(w1.barrier_wait_ns, 25);
+        // Worker 1 did nothing but wait, worker 0 nothing but work.
+        let frac = report.barrier_idle_fraction();
+        assert!((frac - 25.0 / 45.0).abs() < 1e-9, "{frac}");
+        let render = report.render(&trace);
+        assert!(render.contains("misspeculation ledger"));
+        assert!(render.contains("worker-0"));
+    }
+
+    #[test]
+    fn utilization_timeline_localizes_busy_intervals() {
+        let trace = Trace::from_records(vec![
+            TraceRecord {
+                t_ns: 0,
+                tid: 0,
+                event: Event::TaskDispatch { epoch: 0, task: 0 },
+            },
+            TraceRecord {
+                t_ns: 50,
+                tid: 0,
+                event: Event::TaskRetire { epoch: 0, task: 0 },
+            },
+            TraceRecord {
+                t_ns: 100,
+                tid: 0,
+                event: Event::EpochEnd { epoch: 0 },
+            },
+        ]);
+        let report = TraceReport::from_trace(&trace);
+        let rows = report.utilization_timeline(&trace, 2);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0][0] > 0.9, "first half busy: {:?}", rows[0]);
+        assert!(rows[0][1] < 0.1, "second half idle: {:?}", rows[0]);
+    }
+}

@@ -8,9 +8,11 @@
 //! and the slowest thread's — is what Fig. 4.3 reports as barrier overhead.
 
 use crossinvoc_runtime::stats::RegionStats;
+use crossinvoc_runtime::trace::Event;
 
 use crate::cost::CostModel;
 use crate::result::SimResult;
+use crate::tracing::SimSinks;
 use crate::workload::SimWorkload;
 
 /// Simulates barrier-synchronized parallel execution on `threads` workers.
@@ -19,8 +21,26 @@ use crate::workload::SimWorkload;
 ///
 /// Panics if `threads` is zero.
 pub fn barrier<W: SimWorkload + ?Sized>(workload: &W, threads: usize, cost: &CostModel) -> SimResult {
+    barrier_traced(workload, threads, cost, None)
+}
+
+/// Like [`barrier`], but optionally records a virtual-time execution trace
+/// with `trace_capacity` records per thread — the same JSONL schema the
+/// engines emit (see `docs/OBSERVABILITY.md`), so the barrier-idle
+/// breakdown of Fig. 4.3 can be reconstructed from the trace alone.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn barrier_traced<W: SimWorkload + ?Sized>(
+    workload: &W,
+    threads: usize,
+    cost: &CostModel,
+    trace_capacity: Option<usize>,
+) -> SimResult {
     assert!(threads > 0, "at least one thread is required");
     let stats = RegionStats::new();
+    let mut sinks = SimSinks::new(threads, trace_capacity.unwrap_or(0));
     let mut clocks = vec![0u64; threads];
     let mut busy = vec![0u64; threads];
     let mut idle = vec![0u64; threads];
@@ -32,21 +52,46 @@ pub fn barrier<W: SimWorkload + ?Sized>(workload: &W, threads: usize, cost: &Cos
             *clock += prologue;
             *b += prologue;
         }
+        sinks.workers[0].emit_at(clocks[0], Event::EpochBegin { epoch: inv as u32 });
         let iterations = workload.num_iterations(inv);
         for iter in 0..iterations {
             let tid = iter % threads;
             let work = workload.iteration_cost(inv, iter);
+            sinks.workers[tid].emit_at(
+                clocks[tid],
+                Event::TaskDispatch {
+                    epoch: inv as u32,
+                    task: iter as u64,
+                },
+            );
             clocks[tid] += work;
             busy[tid] += work;
+            sinks.workers[tid].emit_at(
+                clocks[tid],
+                Event::TaskRetire {
+                    epoch: inv as u32,
+                    task: iter as u64,
+                },
+            );
             stats.add_task();
         }
         // Global synchronization: everyone waits for the slowest, then pays
         // the barrier release cost.
         let slowest = *clocks.iter().max().expect("threads > 0");
-        for (clock, i) in clocks.iter_mut().zip(idle.iter_mut()) {
-            *i += slowest - *clock;
+        for (tid, (clock, i)) in clocks.iter_mut().zip(idle.iter_mut()).enumerate() {
+            let wait = slowest - *clock;
+            sinks.workers[tid].emit_at(*clock, Event::BarrierEnter { epoch: inv as u32 });
+            *i += wait;
             *clock = slowest + cost.barrier_ns(threads);
+            sinks.workers[tid].emit_at(
+                *clock,
+                Event::BarrierLeave {
+                    epoch: inv as u32,
+                    wait_ns: wait,
+                },
+            );
         }
+        sinks.workers[0].emit_at(clocks[0], Event::EpochEnd { epoch: inv as u32 });
     }
 
     SimResult {
@@ -55,6 +100,7 @@ pub fn barrier<W: SimWorkload + ?Sized>(workload: &W, threads: usize, cost: &Cos
         idle_ns: idle,
         stats: stats.summary(),
         degraded: false,
+        trace: sinks.finish(),
     }
 }
 
@@ -114,6 +160,17 @@ mod tests {
         assert!(r.idle_fraction() > 0.5, "idle {}", r.idle_fraction());
         // Thread 0 (the straggler owner) never waits.
         assert_eq!(r.idle_ns[0], 0);
+    }
+
+    #[test]
+    fn traced_barrier_reconstructs_the_idle_fraction() {
+        use crossinvoc_runtime::trace::TraceReport;
+        let r = barrier_traced(&Straggler, 8, &CostModel::free(), Some(1 << 14));
+        let trace = r.trace.as_ref().expect("tracing was requested");
+        let report = TraceReport::from_trace(&trace);
+        // Barrier waits in the trace reproduce the timeline's idle fraction
+        // (free cost model: no release cost, so the two accountings agree).
+        assert!((report.barrier_idle_fraction() - r.idle_fraction()).abs() < 1e-9);
     }
 
     #[test]

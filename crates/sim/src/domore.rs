@@ -13,9 +13,11 @@
 use crossinvoc_domore::logic::SchedulerLogic;
 use crossinvoc_domore::policy::Policy;
 use crossinvoc_runtime::stats::RegionStats;
+use crossinvoc_runtime::trace::Event;
 
 use crate::cost::CostModel;
 use crate::result::SimResult;
+use crate::tracing::SimSinks;
 use crate::workload::SimWorkload;
 
 fn make_logic<W: SimWorkload + ?Sized>(workload: &W) -> SchedulerLogic {
@@ -62,8 +64,28 @@ pub fn domore<W: SimWorkload + ?Sized>(
     policy: &mut dyn Policy,
     cost: &CostModel,
 ) -> SimResult {
+    domore_traced(workload, workers, policy, cost, None)
+}
+
+/// Like [`domore`], but optionally records a virtual-time execution trace
+/// (the shared JSONL schema of `docs/OBSERVABILITY.md`) with
+/// `trace_capacity` records per simulated thread. Scheduler events carry
+/// the manager pseudo thread-id; worker condition waits appear as
+/// barrier-enter/leave pairs, exactly as in the threaded runtime.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn domore_traced<W: SimWorkload + ?Sized>(
+    workload: &W,
+    workers: usize,
+    policy: &mut dyn Policy,
+    cost: &CostModel,
+    trace_capacity: Option<usize>,
+) -> SimResult {
     assert!(workers > 0, "at least one worker is required");
     let stats = RegionStats::new();
+    let mut sinks = SimSinks::new(workers, trace_capacity.unwrap_or(0));
     let mut logic = make_logic(workload);
     let mut sched_clock = 0u64;
     let mut clocks = vec![0u64; workers];
@@ -79,6 +101,9 @@ pub fn domore<W: SimWorkload + ?Sized>(
     for inv in 0..workload.num_invocations() {
         stats.add_epoch();
         sched_clock += workload.prologue_cost(inv);
+        sinks
+            .manager
+            .emit_at(sched_clock, Event::EpochBegin { epoch: inv as u32 });
         for iter in 0..workload.num_iterations(inv) {
             // computeAddr + conflict detection + the produce() call.
             sched_clock += workload.sched_cost(inv, iter) + cost.queue_ns;
@@ -92,7 +117,8 @@ pub fn domore<W: SimWorkload + ?Sized>(
             debug_assert_eq!(iter_num, preview);
 
             let arrival = sched_clock + cost.queue_ns;
-            let mut release = arrival.max(clocks[tid]);
+            let wait_from = arrival.max(clocks[tid]);
+            let mut release = wait_from;
             for cond in &conds {
                 stats.add_sync_condition();
                 let dep_finish = finish_times[cond.dep_iter as usize];
@@ -101,13 +127,42 @@ pub fn domore<W: SimWorkload + ?Sized>(
                     release = dep_finish;
                 }
             }
+            if release > wait_from {
+                // A synchronization-condition wait: the threaded worker's
+                // barrier-enter/leave pair around `await_condition`.
+                sinks.workers[tid].emit_at(wait_from, Event::BarrierEnter { epoch: inv as u32 });
+                sinks.workers[tid].emit_at(
+                    release,
+                    Event::BarrierLeave {
+                        epoch: inv as u32,
+                        wait_ns: release - wait_from,
+                    },
+                );
+            }
             idle[tid] += release - clocks[tid].min(release);
             let work = cost.task_overhead_ns + workload.iteration_cost(inv, iter);
             busy[tid] += work;
+            sinks.workers[tid].emit_at(
+                release,
+                Event::TaskDispatch {
+                    epoch: inv as u32,
+                    task: iter as u64,
+                },
+            );
             clocks[tid] = release + work;
+            sinks.workers[tid].emit_at(
+                clocks[tid],
+                Event::TaskRetire {
+                    epoch: inv as u32,
+                    task: iter as u64,
+                },
+            );
             finish_times.push(clocks[tid]);
             stats.add_task();
         }
+        sinks
+            .manager
+            .emit_at(sched_clock, Event::EpochEnd { epoch: inv as u32 });
     }
 
     let total = clocks.iter().copied().max().unwrap_or(0).max(sched_clock);
@@ -117,6 +172,7 @@ pub fn domore<W: SimWorkload + ?Sized>(
         idle_ns: idle,
         stats: stats.summary(),
         degraded: false,
+        trace: sinks.finish(),
     }
 }
 
@@ -189,6 +245,7 @@ pub fn domore_barriered<W: SimWorkload + ?Sized>(
         idle_ns: idle,
         stats: stats.summary(),
         degraded: false,
+        trace: None,
     }
 }
 
@@ -263,6 +320,7 @@ pub fn domore_duplicated<W: SimWorkload + ?Sized>(
         idle_ns: idle,
         stats: stats.summary(),
         degraded: false,
+        trace: None,
     }
 }
 
@@ -355,6 +413,29 @@ mod tests {
         // Scheduler and worker pipeline: worker finishes after all work.
         assert!(r.total_ns >= 12 * 100);
         assert_eq!(r.stats.tasks, 12);
+    }
+
+    #[test]
+    fn traced_run_emits_dispatches_and_condition_waits() {
+        use crossinvoc_runtime::trace::{Event, Trace, TraceReport};
+        let w = UniformWorkload::rotating(50, 16, 3_000);
+        let r = domore_traced(&w, 4, &mut RoundRobin, &CostModel::default(), Some(1 << 14));
+        let trace = r.trace.expect("tracing was requested");
+        let parsed = Trace::from_jsonl(&trace.to_jsonl()).expect("valid JSONL");
+        assert_eq!(parsed, trace);
+        let report = TraceReport::from_trace(&trace);
+        let tasks: u64 = report.threads.iter().map(|t| t.tasks).sum();
+        assert_eq!(tasks, r.stats.tasks);
+        if r.stats.stalls > 0 {
+            assert!(trace
+                .records()
+                .iter()
+                .any(|rec| matches!(rec.event, Event::BarrierLeave { .. })));
+        }
+        // The untraced entry point stays trace-free.
+        assert!(domore(&w, 4, &mut RoundRobin, &CostModel::default())
+            .trace
+            .is_none());
     }
 
     #[test]

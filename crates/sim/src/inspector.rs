@@ -135,6 +135,7 @@ pub fn inspector_executor<W: SimWorkload + ?Sized>(
         idle_ns: idle,
         stats: stats.summary(),
         degraded: false,
+        trace: None,
     }
 }
 

@@ -7,7 +7,7 @@
 //! path once per iteration. DSWP splits the body into pipeline *stages*,
 //! one thread per stage, with all cross-thread values flowing forward — so
 //! communication latency is paid once per pipeline fill, not per iteration
-//! (the decoupling property the thesis recounts from [50]).
+//! (the decoupling property the thesis recounts from its citation \[50\]).
 //!
 //! The model is a [`StagedLoop`]: per-iteration stage costs, with stage 0
 //! carrying the loop's cross-iteration dependence (the `node = node->next`
@@ -96,6 +96,7 @@ pub fn doacross(staged: &StagedLoop, threads: usize, comm_ns: u64) -> SimResult 
         idle_ns: idle,
         stats: stats.summary(),
         degraded: false,
+        trace: None,
     }
 }
 
@@ -132,6 +133,7 @@ pub fn dswp(staged: &StagedLoop, comm_ns: u64) -> SimResult {
         idle_ns: idle,
         stats: stats.summary(),
         degraded: false,
+        trace: None,
     }
 }
 

@@ -1,6 +1,7 @@
 //! Simulation outcomes.
 
 use crossinvoc_runtime::stats::StatsSummary;
+use crossinvoc_runtime::trace::Trace;
 
 /// Timeline summary of one simulated execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +19,10 @@ pub struct SimResult {
     /// finished under non-speculative barriers (mirrors the threaded
     /// engine's `SpecReport::degraded`).
     pub degraded: bool,
+    /// Virtual-time execution trace in the shared JSONL schema (see
+    /// `docs/OBSERVABILITY.md`), when tracing was requested. Timestamps are
+    /// simulated nanoseconds, so identical runs produce identical traces.
+    pub trace: Option<Trace>,
 }
 
 impl SimResult {
@@ -60,6 +65,7 @@ mod tests {
             idle_ns: idle,
             stats: StatsSummary::default(),
             degraded: false,
+            trace: None,
         }
     }
 

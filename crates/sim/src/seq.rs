@@ -26,6 +26,7 @@ pub fn sequential<W: SimWorkload + ?Sized>(workload: &W, _cost: &CostModel) -> S
         idle_ns: vec![0],
         stats: stats.summary(),
         degraded: false,
+        trace: None,
     }
 }
 

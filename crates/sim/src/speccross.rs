@@ -16,12 +16,14 @@
 //! re-execute the misspeculated epochs under non-speculative barriers,
 //! resume speculation.
 
-use crossinvoc_runtime::fault::{CheckFault, FaultPlan, TaskFault};
+use crossinvoc_runtime::fault::{CheckFault, FaultKind, FaultPlan, TaskFault};
 use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
 use crossinvoc_runtime::stats::RegionStats;
+use crossinvoc_runtime::trace::Event;
 
 use crate::cost::CostModel;
 use crate::result::SimResult;
+use crate::tracing::SimSinks;
 use crate::workload::SimWorkload;
 
 /// Parameters of a simulated SPECCROSS execution.
@@ -44,6 +46,11 @@ pub struct SpecSimParams {
     /// delays advance the respective clocks, and snapshot/restore failures
     /// skip a checkpoint / pay an extra recovery.
     pub fault_plan: Option<FaultPlan>,
+    /// Ring capacity per simulated thread for execution tracing; `None`
+    /// disables it. Traced runs stamp events with virtual time, producing
+    /// the same JSONL schema as the threaded engine (see
+    /// `docs/OBSERVABILITY.md`), deterministically.
+    pub trace_capacity: Option<usize>,
 }
 
 impl SpecSimParams {
@@ -56,6 +63,7 @@ impl SpecSimParams {
             checkpoint_every: 1000,
             inject_misspec_at_task: None,
             fault_plan: None,
+            trace_capacity: None,
         }
     }
 
@@ -87,12 +95,20 @@ impl SpecSimParams {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Enables execution tracing with `capacity` records per thread.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
 }
 
 /// One simulated in-flight task retained for conflict detection.
 struct Window {
     tid: usize,
     epoch: usize,
+    /// Per-epoch task index, for the misspeculation trace event.
+    task: u64,
     start: u64,
     finish: u64,
     /// Maximum finish time over this entry and all earlier ones: a reverse
@@ -146,10 +162,12 @@ pub fn speccross<W: SimWorkload + ?Sized>(
     // Cloning replays the plan with a fresh budget, so repeated `speccross`
     // calls over the same params are deterministic.
     let fault = params.fault_plan.clone().unwrap_or_default();
+    let mut sinks = SimSinks::new(params.threads, params.trace_capacity.unwrap_or(0));
 
     while start_epoch < num_epochs {
         match speculative_pass(
             workload, params, cost, &fault, start_epoch, now, &stats, &mut busy, &mut idle,
+            &mut sinks,
         ) {
             (PassEnd::Completed, end_time) => {
                 now = end_time;
@@ -171,6 +189,14 @@ pub fn speccross<W: SimWorkload + ?Sized>(
                 if fault.restore_fails(checkpoint_epoch as u32) {
                     // First restore attempt failed; the retry costs another
                     // recovery round-trip.
+                    sinks.manager.emit_at(
+                        now,
+                        Event::FaultInjected {
+                            kind: FaultKind::RestoreFail,
+                            epoch: checkpoint_epoch as u32,
+                            task: 0,
+                        },
+                    );
                     now += cost.recovery_ns;
                 }
                 // Re-execute the aborted epochs under real barriers; after a
@@ -178,6 +204,12 @@ pub fn speccross<W: SimWorkload + ?Sized>(
                 // so the rest of the region runs under barriers too.
                 let to = if matches!(cause, AbortCause::CheckerDeath) {
                     degraded = true;
+                    sinks.manager.emit_at(
+                        now,
+                        Event::Degradation {
+                            epoch: checkpoint_epoch as u32,
+                        },
+                    );
                     num_epochs
                 } else {
                     resume_epoch
@@ -192,6 +224,7 @@ pub fn speccross<W: SimWorkload + ?Sized>(
                     &stats,
                     &mut busy,
                     &mut idle,
+                    &mut sinks,
                 );
                 start_epoch = to;
             }
@@ -204,6 +237,7 @@ pub fn speccross<W: SimWorkload + ?Sized>(
         idle_ns: idle,
         stats: stats.summary(),
         degraded,
+        trace: sinks.finish(),
     }
 }
 
@@ -220,21 +254,46 @@ fn barrier_range<W: SimWorkload + ?Sized>(
     stats: &RegionStats,
     busy: &mut [u64],
     idle: &mut [u64],
+    sinks: &mut SimSinks,
 ) -> u64 {
     let mut clocks = vec![t0; threads];
     for epoch in from..to {
         stats.add_epoch();
+        sinks.workers[0].emit_at(clocks[0], Event::EpochBegin { epoch: epoch as u32 });
         for iter in 0..workload.num_iterations(epoch) {
             let tid = iter % threads;
             let work = workload.iteration_cost(epoch, iter);
+            sinks.workers[tid].emit_at(
+                clocks[tid],
+                Event::TaskDispatch {
+                    epoch: epoch as u32,
+                    task: iter as u64,
+                },
+            );
             clocks[tid] += work;
             busy[tid] += work;
+            sinks.workers[tid].emit_at(
+                clocks[tid],
+                Event::TaskRetire {
+                    epoch: epoch as u32,
+                    task: iter as u64,
+                },
+            );
             stats.add_task();
         }
         let slowest = *clocks.iter().max().expect("threads > 0");
-        for (clock, i) in clocks.iter_mut().zip(idle.iter_mut()) {
-            *i += slowest - *clock;
+        for (tid, (clock, i)) in clocks.iter_mut().zip(idle.iter_mut()).enumerate() {
+            let wait = slowest - *clock;
+            sinks.workers[tid].emit_at(*clock, Event::BarrierEnter { epoch: epoch as u32 });
+            *i += wait;
             *clock = slowest + cost.barrier_ns(threads);
+            sinks.workers[tid].emit_at(
+                *clock,
+                Event::BarrierLeave {
+                    epoch: epoch as u32,
+                    wait_ns: wait,
+                },
+            );
         }
     }
     clocks.into_iter().max().unwrap_or(t0)
@@ -254,6 +313,7 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
     stats: &RegionStats,
     busy: &mut [u64],
     idle: &mut [u64],
+    sinks: &mut SimSinks,
 ) -> (PassEnd, u64) {
     let threads = params.threads;
     let num_epochs = workload.num_invocations();
@@ -270,6 +330,12 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
     let mut clocks = vec![t0; threads];
     let mut checker_clock = t0;
     stats.add_checkpoint(); // pass-entry checkpoint
+    sinks.manager.emit_at(
+        t0,
+        Event::Checkpoint {
+            epoch: start_epoch as u32,
+        },
+    );
     let mut checkpoint_epoch = start_epoch;
     let mut max_epoch_started = start_epoch;
     // Current epoch per worker: when all workers sit in the same epoch,
@@ -296,22 +362,43 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 .expect("threads > 0")
                 .max(checker_clock)
                 + cost.checkpoint_ns;
-            for (clock, i) in clocks.iter_mut().zip(idle.iter_mut()) {
-                *i += sync - *clock;
+            for (tid, (clock, i)) in clocks.iter_mut().zip(idle.iter_mut()).enumerate() {
+                let wait = sync - *clock;
+                sinks.workers[tid].emit_at(*clock, Event::BarrierEnter { epoch: epoch as u32 });
+                *i += wait;
                 *clock = sync;
+                sinks.workers[tid].emit_at(
+                    sync,
+                    Event::BarrierLeave {
+                        epoch: epoch as u32,
+                        wait_ns: wait,
+                    },
+                );
             }
             checker_clock = sync;
             if fault.snapshot_fails(epoch as u32) {
                 // Snapshot failed: the rendezvous still happened, but the
                 // previous checkpoint stays the rollback target.
+                sinks.manager.emit_at(
+                    sync,
+                    Event::FaultInjected {
+                        kind: FaultKind::SnapshotFail,
+                        epoch: epoch as u32,
+                        task: 0,
+                    },
+                );
             } else {
                 stats.add_checkpoint();
                 checkpoint_epoch = epoch;
+                sinks
+                    .manager
+                    .emit_at(sync, Event::Checkpoint { epoch: epoch as u32 });
             }
             window.clear(); // nothing before the rendezvous can race past it
         }
 
         let ntasks = workload.num_iterations(epoch);
+        sinks.workers[0].emit_at(clocks[0], Event::EpochBegin { epoch: epoch as u32 });
         for task in 0..ntasks {
             let tid = task % threads;
             let global = prefix[epoch - start_epoch] + task as u64;
@@ -333,11 +420,27 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
             match fault.task_start(epoch as u32, task as u64, tid) {
                 Some(TaskFault::Delay(d)) => {
                     stats.add_stall();
+                    sinks.workers[tid].emit_at(
+                        release,
+                        Event::FaultInjected {
+                            kind: FaultKind::Delay(d.as_micros() as u64),
+                            epoch: epoch as u32,
+                            task: task as u64,
+                        },
+                    );
                     release += d.as_nanos() as u64;
                 }
                 Some(TaskFault::Panic) => {
                     // The panic is contained at the task boundary; the pass
                     // aborts immediately and rolls back to the checkpoint.
+                    sinks.workers[tid].emit_at(
+                        release,
+                        Event::FaultInjected {
+                            kind: FaultKind::WorkerPanic,
+                            epoch: epoch as u32,
+                            task: task as u64,
+                        },
+                    );
                     idle[tid] += release - clocks[tid];
                     clocks[tid] = release;
                     return (
@@ -359,6 +462,20 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
             busy[tid] += work;
             clocks[tid] = finish;
             stats.add_task();
+            sinks.workers[tid].emit_at(
+                start,
+                Event::TaskDispatch {
+                    epoch: epoch as u32,
+                    task: task as u64,
+                },
+            );
+            sinks.workers[tid].emit_at(
+                finish,
+                Event::TaskRetire {
+                    epoch: epoch as u32,
+                    task: task as u64,
+                },
+            );
 
             let last_max = finish_prefix_max.last().copied().unwrap_or(0);
             finish_prefix_max.push(last_max.max(finish));
@@ -374,6 +491,10 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
             }
             let mut comparisons = 0u64;
             let mut conflicted = params.inject_misspec_at_task == Some(global);
+            // The earlier half of the conflicting pair, for the trace's
+            // misspeculation ledger; forced/injected conflicts have no real
+            // partner, so both sides name the admitted task.
+            let mut conflict_with: Option<(usize, usize, u64)> = None;
             if !sig.is_empty() {
                 for entry in window.iter().rev() {
                     if entry.running_max_finish <= start {
@@ -387,6 +508,7 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                         comparisons += 1;
                         if entry.sig.conflicts_with(&sig) {
                             conflicted = true;
+                            conflict_with = Some((entry.tid, entry.epoch, entry.task));
                             break;
                         }
                     }
@@ -404,9 +526,37 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 // Checker-side faults fire while the request is processed,
                 // mirroring the threaded checker loop.
                 match fault.check(epoch as u32, task as u64, tid) {
-                    Some(CheckFault::ForceConflict) => conflicted = true,
-                    Some(CheckFault::Stall(d)) => checker_clock += d.as_nanos() as u64,
+                    Some(CheckFault::ForceConflict) => {
+                        sinks.checker.emit_at(
+                            checker_clock,
+                            Event::FaultInjected {
+                                kind: FaultKind::FalsePositive,
+                                epoch: epoch as u32,
+                                task: task as u64,
+                            },
+                        );
+                        conflicted = true;
+                    }
+                    Some(CheckFault::Stall(d)) => {
+                        sinks.checker.emit_at(
+                            checker_clock,
+                            Event::FaultInjected {
+                                kind: FaultKind::CheckerStall(d.as_millis() as u64),
+                                epoch: epoch as u32,
+                                task: task as u64,
+                            },
+                        );
+                        checker_clock += d.as_nanos() as u64;
+                    }
                     Some(CheckFault::Die) => {
+                        sinks.checker.emit_at(
+                            checker_clock,
+                            Event::FaultInjected {
+                                kind: FaultKind::CheckerDeath,
+                                epoch: epoch as u32,
+                                task: task as u64,
+                            },
+                        );
                         return (
                             PassEnd::Aborted {
                                 detect_time: checker_clock,
@@ -421,6 +571,18 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 }
             }
             if conflicted {
+                let (e_tid, e_epoch, e_task) = conflict_with.unwrap_or((tid, epoch, task as u64));
+                sinks.checker.emit_at(
+                    checker_clock,
+                    Event::Misspeculation {
+                        earlier_tid: e_tid,
+                        earlier_epoch: e_epoch as u32,
+                        earlier_task: e_task,
+                        later_tid: tid,
+                        later_epoch: epoch as u32,
+                        later_task: task as u64,
+                    },
+                );
                 let resume = (max_epoch_started + 1).min(num_epochs);
                 return (
                     PassEnd::Aborted {
@@ -438,6 +600,7 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
             window.push(Window {
                 tid,
                 epoch,
+                task: task as u64,
                 start,
                 finish,
                 running_max_finish,
@@ -451,6 +614,7 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 window.retain(|e| e.finish > min_clock);
             }
         }
+        sinks.workers[0].emit_at(clocks[0], Event::EpochEnd { epoch: epoch as u32 });
     }
 
     let end = clocks
@@ -680,6 +844,49 @@ mod tests {
             plain.total_ns + CostModel::default().recovery_ns,
             "one failed restore retries once at one extra recovery cost"
         );
+    }
+
+    #[test]
+    fn traced_run_reconstructs_misspeculation_ledger() {
+        use crossinvoc_runtime::trace::TraceReport;
+        let w = UniformWorkload::independent(100, 16, 1_000);
+        let params = SpecSimParams::with_threads(4)
+            .inject_misspec_at_task(Some(800))
+            .trace(1 << 14);
+        let r = speccross(&w, &params, &CostModel::default());
+        let trace = r.trace.expect("tracing was requested");
+        // Round-trips through the JSONL wire format losslessly.
+        let parsed =
+            crossinvoc_runtime::trace::Trace::from_jsonl(&trace.to_jsonl()).expect("valid JSONL");
+        assert_eq!(parsed, trace);
+        let report = TraceReport::from_trace(&trace);
+        assert_eq!(report.misspeculations.len(), 1);
+        // Task 800 = epoch 50, task 0 on worker 0 (round-robin over 4).
+        let m = &report.misspeculations[0];
+        assert_eq!(m.later.1, 50);
+        assert_eq!(m.later.2, 0);
+        assert!(!report.threads.is_empty());
+    }
+
+    #[test]
+    fn untraced_run_has_no_trace() {
+        let w = UniformWorkload::independent(10, 8, 1_000);
+        let r = speccross(&w, &SpecSimParams::with_threads(4), &CostModel::default());
+        assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn traced_runs_are_deterministic() {
+        let w = UniformWorkload::same_cell(50, 8, 1_000);
+        let plan = FaultPlan::random(0xC0FFEE, 50, 8, 4);
+        let p1 = SpecSimParams::with_threads(4)
+            .fault_plan(plan.clone())
+            .trace(1 << 14);
+        let p2 = SpecSimParams::with_threads(4).fault_plan(plan).trace(1 << 14);
+        let a = speccross(&w, &p1, &CostModel::default());
+        let b = speccross(&w, &p2, &CostModel::default());
+        assert_eq!(a, b, "virtual-time traces must replay identically");
+        assert!(a.trace.is_some());
     }
 
     #[test]

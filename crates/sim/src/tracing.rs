@@ -1,0 +1,45 @@
+//! Virtual-time trace sinks shared by the simulated executors.
+//!
+//! The simulators stamp events with their per-thread virtual clocks via
+//! [`TraceSink::emit_at`], so two runs over the same inputs produce
+//! byte-identical traces — the same JSONL schema the threaded engines emit
+//! from wall-clock sinks (see `docs/OBSERVABILITY.md`).
+
+use crossinvoc_runtime::trace::{Trace, TraceSink, CHECKER_TID, MANAGER_TID};
+
+/// One sink per simulated thread plus the two service pseudo-threads.
+///
+/// With capacity zero every sink is disabled and each emit is a single
+/// branch, so untraced simulations pay nothing.
+#[derive(Debug)]
+pub(crate) struct SimSinks {
+    /// Worker sinks, indexed by dense thread id.
+    pub workers: Vec<TraceSink>,
+    /// Sink for manager-level events (checkpoints, degradations).
+    pub manager: TraceSink,
+    /// Sink for checker-side events (misspeculations, checker faults).
+    pub checker: TraceSink,
+}
+
+impl SimSinks {
+    pub fn new(threads: usize, capacity: usize) -> Self {
+        Self {
+            workers: (0..threads)
+                .map(|tid| TraceSink::with_capacity(tid, capacity))
+                .collect(),
+            manager: TraceSink::with_capacity(MANAGER_TID, capacity),
+            checker: TraceSink::with_capacity(CHECKER_TID, capacity),
+        }
+    }
+
+    /// Merges every sink into a time-ordered trace; `None` when disabled.
+    pub fn finish(self) -> Option<Trace> {
+        if !self.manager.is_enabled() {
+            return None;
+        }
+        let mut all = self.workers;
+        all.push(self.manager);
+        all.push(self.checker);
+        Some(Trace::from_sinks(all))
+    }
+}

@@ -49,9 +49,11 @@ use crossbeam::utils::Backoff;
 use parking_lot::Mutex;
 
 use crossinvoc_runtime::barrier::BarrierWait;
-use crossinvoc_runtime::fault::{CheckFault, FaultPlan, TaskFault};
+use crossinvoc_runtime::fault::{CheckFault, FaultKind, FaultPlan, TaskFault};
+use crossinvoc_runtime::metrics::{Metrics, MetricsSummary};
 use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
-use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
+use crossinvoc_runtime::stats::StatsSummary;
+use crossinvoc_runtime::trace::{Event, Trace, TraceCollector, TraceSink, CHECKER_TID, MANAGER_TID};
 use crossinvoc_runtime::SpinBarrier;
 
 use crate::check::{CheckRequest, CheckerState, Conflict};
@@ -115,6 +117,11 @@ pub struct SpecConfig {
     /// it, turning a lost peer into [`SpecError::WatchdogTimeout`] instead
     /// of an unbounded spin.
     pub watchdog: Option<Duration>,
+    /// When set, record structured execution events into per-thread rings of
+    /// this many records each, surfaced as [`SpecReport::trace`]. `None`
+    /// (the default) keeps tracing off — workers then pay one predicted
+    /// branch per would-be event, nothing more.
+    pub trace_capacity: Option<usize>,
 }
 
 impl SpecConfig {
@@ -128,6 +135,7 @@ impl SpecConfig {
             fault_plan: None,
             degrade: None,
             watchdog: None,
+            trace_capacity: None,
         }
     }
 
@@ -165,6 +173,13 @@ impl SpecConfig {
     /// Bounds the region's wall-clock time (liveness watchdog).
     pub fn watchdog(mut self, limit: Duration) -> Self {
         self.watchdog = Some(limit);
+        self
+    }
+
+    /// Enables execution tracing with per-thread rings of `capacity`
+    /// records (see [`SpecReport::trace`]).
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
         self
     }
 }
@@ -271,6 +286,11 @@ pub struct SpecReport {
     pub degraded_at_epoch: Option<u32>,
     /// Faults absorbed without failing the region, in occurrence order.
     pub contained_faults: Vec<ContainedFault>,
+    /// Counters plus wait-time histograms (exact: snapshotted after every
+    /// region thread joined; see `RegionStats::snapshot`).
+    pub metrics: MetricsSummary,
+    /// Merged execution trace when [`SpecConfig::trace`] was enabled.
+    pub trace: Option<Trace>,
 }
 
 /// Message from a worker (or the checkpoint serial thread) to the checker.
@@ -504,7 +524,10 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         // fault consumed during speculation must not re-fire in recovery.
         let fault = self.config.fault_plan.clone().unwrap_or_default();
         let deadline = self.config.watchdog.map(|w| Instant::now() + w);
-        let stats = RegionStats::new();
+        let metrics = Metrics::new();
+        let stats = metrics.stats();
+        let collector = TraceCollector::new(self.config.trace_capacity.unwrap_or(0));
+        let mut manager_sink = collector.sink(MANAGER_TID);
         let mut conflicts = Vec::new();
         let mut comparisons = 0;
         let mut contained: Vec<ContainedFault> = Vec::new();
@@ -518,7 +541,8 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         let num_epochs = workload.num_epochs();
 
         while start_epoch < num_epochs {
-            let pass = self.speculative_pass(workload, start_epoch, &stats, &fault, deadline);
+            let pass =
+                self.speculative_pass(workload, start_epoch, &metrics, &fault, deadline, &collector);
             comparisons += pass.comparisons;
             contained.extend(pass.contained.iter().copied());
 
@@ -548,9 +572,10 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                         workload,
                         pass.checkpoint_epoch,
                         resume_epoch,
-                        &stats,
+                        &metrics,
                         &fault,
                         deadline,
+                        &collector,
                     )?;
                     start_epoch = resume_epoch;
                 }
@@ -558,13 +583,17 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     if self.config.degrade.is_some() {
                         contained.push(ContainedFault::CheckerLoss { unprocessed });
                         self.restore_with_retry(workload, &pass, &fault, &mut contained)?;
+                        manager_sink.emit(Event::Degradation {
+                            epoch: pass.checkpoint_epoch as u32,
+                        });
                         self.run_barrier_range(
                             workload,
                             pass.checkpoint_epoch,
                             num_epochs,
-                            &stats,
+                            &metrics,
                             &fault,
                             deadline,
+                            &collector,
                         )?;
                         degraded = true;
                         degraded_at_epoch = Some(pass.checkpoint_epoch as u32);
@@ -584,13 +613,17 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                             || consecutive_failures >= policy.max_consecutive_failures
                     });
                     if give_up {
+                        manager_sink.emit(Event::Degradation {
+                            epoch: pass.checkpoint_epoch as u32,
+                        });
                         self.run_barrier_range(
                             workload,
                             pass.checkpoint_epoch,
                             num_epochs,
-                            &stats,
+                            &metrics,
                             &fault,
                             deadline,
+                            &collector,
                         )?;
                         degraded = true;
                         degraded_at_epoch = Some(pass.checkpoint_epoch as u32);
@@ -602,17 +635,22 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                         workload,
                         pass.checkpoint_epoch,
                         resume_epoch,
-                        &stats,
+                        &metrics,
                         &fault,
                         deadline,
+                        &collector,
                     )?;
                     start_epoch = resume_epoch;
                 }
             }
         }
 
+        collector.absorb(manager_sink);
+        // Every region thread has joined (thread::scope) by this point, so
+        // the snapshot is exact per the RegionStats ordering contract.
+        let metrics = metrics.snapshot();
         Ok(SpecReport {
-            stats: stats.summary(),
+            stats: metrics.stats,
             elapsed: start.elapsed(),
             num_workers: self.config.num_workers,
             comparisons,
@@ -620,6 +658,8 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             degraded,
             degraded_at_epoch,
             contained_faults: contained,
+            metrics,
+            trace: collector.finish(),
         })
     }
 
@@ -659,11 +699,21 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         self.validate()?;
         let fault = self.config.fault_plan.clone().unwrap_or_default();
         let deadline = self.config.watchdog.map(|w| Instant::now() + w);
-        let stats = RegionStats::new();
+        let metrics = Metrics::new();
+        let collector = TraceCollector::new(self.config.trace_capacity.unwrap_or(0));
         let start = Instant::now();
-        self.run_barrier_range(workload, 0, workload.num_epochs(), &stats, &fault, deadline)?;
+        self.run_barrier_range(
+            workload,
+            0,
+            workload.num_epochs(),
+            &metrics,
+            &fault,
+            deadline,
+            &collector,
+        )?;
+        let metrics = metrics.snapshot();
         Ok(SpecReport {
-            stats: stats.summary(),
+            stats: metrics.stats,
             elapsed: start.elapsed(),
             num_workers: self.config.num_workers,
             comparisons: 0,
@@ -671,6 +721,8 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             degraded: false,
             degraded_at_epoch: None,
             contained_faults: Vec::new(),
+            metrics,
+            trace: collector.finish(),
         })
     }
 
@@ -697,10 +749,12 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         &self,
         workload: &W,
         start_epoch: usize,
-        stats: &RegionStats,
+        metrics: &Metrics,
         fault: &FaultPlan,
         deadline: Option<Instant>,
+        collector: &TraceCollector,
     ) -> PassResult<W::State> {
+        let stats = metrics.stats();
         let num_workers = self.config.num_workers;
         let num_epochs = workload.num_epochs();
         let mut prefix = Vec::with_capacity(num_epochs + 1);
@@ -729,15 +783,26 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             prefix,
         };
         stats.add_checkpoint();
+        let mut pass_sink = collector.sink(MANAGER_TID);
+        pass_sink.emit(Event::Checkpoint {
+            epoch: start_epoch as u32,
+        });
+        collector.absorb(pass_sink);
 
         let mut comparisons = 0;
         let mut checker_dead = false;
         std::thread::scope(|scope| {
             // Checker thread: its body may be killed by an injected fault
             // (or an organic bug); contain the unwind and convert it into a
-            // cooperative abort so no worker spins on a dead checker.
+            // cooperative abort so no worker spins on a dead checker. The
+            // sink lives outside the unwind boundary so events emitted
+            // before an injected death survive into the trace.
             let checker = scope.spawn(|| {
-                let outcome = catch_unwind(AssertUnwindSafe(|| self.checker_loop(&shared, rx, stats)));
+                let mut sink = collector.sink(CHECKER_TID);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    self.checker_loop(&shared, rx, &mut sink)
+                }));
+                collector.absorb(sink);
                 match outcome {
                     Ok(count) => (count, false),
                     Err(_) => {
@@ -752,9 +817,11 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             for tid in 0..num_workers {
                 let shared = &shared;
                 scope.spawn(move || {
+                    let mut sink = collector.sink(tid);
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        self.worker_pass(workload, shared, tid, start_epoch, stats);
+                        self.worker_pass(workload, shared, tid, start_epoch, metrics, &mut sink);
                     }));
+                    collector.absorb(sink);
                     if outcome.is_err() {
                         // A panic that escaped the per-task containment:
                         // engine-internal, so no task coordinate to blame.
@@ -827,6 +894,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
 
     /// Executes one task body with fault injection and panic containment.
     /// Returns `false` if the pass must abort (the failure is recorded).
+    #[allow(clippy::too_many_arguments)]
     fn contained_task<W: SpecWorkload>(
         &self,
         workload: &W,
@@ -835,13 +903,26 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         task: usize,
         tid: usize,
         recorder: &mut dyn crate::workload::AccessRecorder,
+        sink: &mut TraceSink,
     ) -> bool {
         let inject = match shared.fault.task_start(epoch as u32, task as u64, tid) {
             Some(TaskFault::Delay(d)) => {
+                sink.emit(Event::FaultInjected {
+                    kind: FaultKind::Delay(d.as_micros() as u64),
+                    epoch: epoch as u32,
+                    task: task as u64,
+                });
                 std::thread::sleep(d);
                 false
             }
-            Some(TaskFault::Panic) => true,
+            Some(TaskFault::Panic) => {
+                sink.emit(Event::FaultInjected {
+                    kind: FaultKind::WorkerPanic,
+                    epoch: epoch as u32,
+                    task: task as u64,
+                });
+                true
+            }
             None => false,
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -868,8 +949,10 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         shared: &PassShared<S, W::State>,
         tid: usize,
         start_epoch: usize,
-        stats: &RegionStats,
+        metrics: &Metrics,
+        sink: &mut TraceSink,
     ) {
+        let stats = metrics.stats();
         let num_workers = self.config.num_workers;
         let num_epochs = workload.num_epochs();
         let mut recorder = SigRecorder::<S>::new();
@@ -883,7 +966,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 && (epoch - start_epoch).is_multiple_of(self.config.checkpoint_every);
             if irreversible || periodic {
                 // Synchronize, drain the checker, snapshot (§4.2.2).
-                if !self.checkpoint_rendezvous(workload, shared, tid, epoch, stats) {
+                if !self.checkpoint_rendezvous(workload, shared, tid, epoch, metrics, sink) {
                     return; // aborted by misspeculation / fault / timeout
                 }
             }
@@ -895,6 +978,9 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             });
             if tid == 0 {
                 stats.add_epoch();
+                sink.emit(Event::EpochBegin {
+                    epoch: epoch as u32,
+                });
             }
 
             let ntasks = workload.num_tasks(epoch);
@@ -903,14 +989,29 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 // execution, no signatures, then checkpoint.
                 let mut task = tid;
                 while task < ntasks {
-                    if !self.contained_task(workload, shared, epoch, task, tid, &mut NullRecorder)
-                    {
+                    sink.emit(Event::TaskDispatch {
+                        epoch: epoch as u32,
+                        task: task as u64,
+                    });
+                    if !self.contained_task(
+                        workload,
+                        shared,
+                        epoch,
+                        task,
+                        tid,
+                        &mut NullRecorder,
+                        sink,
+                    ) {
                         return;
                     }
                     stats.add_task();
+                    sink.emit(Event::TaskRetire {
+                        epoch: epoch as u32,
+                        task: task as u64,
+                    });
                     task += num_workers;
                 }
-                if !self.checkpoint_rendezvous(workload, shared, tid, epoch + 1, stats) {
+                if !self.checkpoint_rendezvous(workload, shared, tid, epoch + 1, metrics, sink) {
                     return;
                 }
                 continue;
@@ -924,7 +1025,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 // speculative range.
                 shared.board.set_frontier(tid, global);
                 if let Some(distance) = self.config.spec_distance {
-                    let mut stalled = false;
+                    let mut stalled_at: Option<Instant> = None;
                     let backoff = Backoff::new();
                     while let Some(min) = shared.board.min_other_frontier(tid) {
                         // Strict: any still-unfinished task g1 satisfies
@@ -936,8 +1037,8 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                         if shared.misspec.load(Ordering::Acquire) {
                             return;
                         }
-                        if !stalled {
-                            stalled = true;
+                        if stalled_at.is_none() {
+                            stalled_at = Some(Instant::now());
                             stats.add_stall();
                         }
                         if backoff.is_completed() {
@@ -950,6 +1051,9 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                             backoff.snooze();
                         }
                     }
+                    if let Some(since) = stalled_at {
+                        metrics.record_stall_wait(since.elapsed().as_nanos() as u64);
+                    }
                 }
                 if shared.misspec.load(Ordering::Acquire) {
                     return;
@@ -961,10 +1065,18 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 shared.board.set_position(tid, pos);
                 let snapshot = shared.board.snapshot();
 
-                if !self.contained_task(workload, shared, epoch, task, tid, &mut recorder) {
+                sink.emit(Event::TaskDispatch {
+                    epoch: epoch as u32,
+                    task: task as u64,
+                });
+                if !self.contained_task(workload, shared, epoch, task, tid, &mut recorder, sink) {
                     return;
                 }
                 stats.add_task();
+                sink.emit(Event::TaskRetire {
+                    epoch: epoch as u32,
+                    task: task as u64,
+                });
 
                 // exit_task: ship the signature to the checker.
                 let sig = recorder.take();
@@ -989,6 +1101,11 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 });
                 task += num_workers;
             }
+            if tid == 0 {
+                sink.emit(Event::EpochEnd {
+                    epoch: epoch as u32,
+                });
+            }
         }
         // send_end_token: completion is signalled via `done_workers` by the
         // caller; nothing further to do here.
@@ -1003,13 +1120,19 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         shared: &PassShared<S, W::State>,
         tid: usize,
         epoch: usize,
-        stats: &RegionStats,
+        metrics: &Metrics,
+        sink: &mut TraceSink,
     ) -> bool {
+        let stats = metrics.stats();
         // While parked here this worker's frontier must not gate leaders
         // forever: everything below `epoch` is finished, so advertise the
         // epoch's first global task index (every not-yet-arrived worker's
         // next task is below it, so none of them can be gated by us).
         shared.board.set_frontier(tid, shared.prefix[epoch]);
+        sink.emit(Event::BarrierEnter {
+            epoch: epoch as u32,
+        });
+        let entered = Instant::now();
         let serial = match shared.sync.wait(&shared.misspec, shared.deadline) {
             WaitOutcome::Released(serial) => serial,
             WaitOutcome::Aborted => return false,
@@ -1040,6 +1163,11 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             }
             if !shared.misspec.load(Ordering::Acquire) {
                 if shared.fault.snapshot_fails(epoch as u32) {
+                    sink.emit(Event::FaultInjected {
+                        kind: FaultKind::SnapshotFail,
+                        epoch: epoch as u32,
+                        task: 0,
+                    });
                     // Keep the previous checkpoint: correctness is
                     // unaffected, a later rollback just rewinds further.
                     shared
@@ -1051,14 +1179,26 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 } else {
                     *shared.checkpoint.lock() = (epoch, workload.snapshot());
                     stats.add_checkpoint();
+                    sink.emit(Event::Checkpoint {
+                        epoch: epoch as u32,
+                    });
                     let _ = shared.tx.send(CheckerMsg::Prune(epoch as u32));
                 }
             }
         }
-        matches!(
+        let released = matches!(
             shared.sync.wait(&shared.misspec, shared.deadline),
             WaitOutcome::Released(_)
-        )
+        );
+        if released {
+            let wait_ns = entered.elapsed().as_nanos() as u64;
+            metrics.record_barrier_wait(wait_ns);
+            sink.emit(Event::BarrierLeave {
+                epoch: epoch as u32,
+                wait_ns,
+            });
+        }
+        released
     }
 
     /// The checker thread (Fig. 4.7's checker pseudo-code). Returns the
@@ -1068,7 +1208,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         &self,
         shared: &PassShared<S, St>,
         rx: Receiver<CheckerMsg<S>>,
-        _stats: &RegionStats,
+        sink: &mut TraceSink,
     ) -> u64 {
         let num_workers = self.config.num_workers;
         let mut state = CheckerState::<S>::new(num_workers);
@@ -1078,10 +1218,22 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 Ok(CheckerMsg::Check(req)) => {
                     backoff.reset();
                     let mut forced = false;
-                    match shared
+                    let check_fault = shared
                         .fault
-                        .check(req.pos.epoch, req.pos.task as u64, req.tid)
-                    {
+                        .check(req.pos.epoch, req.pos.task as u64, req.tid);
+                    if let Some(f) = check_fault {
+                        let kind = match f {
+                            CheckFault::ForceConflict => FaultKind::FalsePositive,
+                            CheckFault::Stall(d) => FaultKind::CheckerStall(d.as_millis() as u64),
+                            CheckFault::Die => FaultKind::CheckerDeath,
+                        };
+                        sink.emit(Event::FaultInjected {
+                            kind,
+                            epoch: req.pos.epoch,
+                            task: req.pos.task as u64,
+                        });
+                    }
+                    match check_fault {
                         Some(CheckFault::Stall(d)) => {
                             // Sleep in slices so an abort — or the watchdog
                             // expiring — during the injected stall still ends
@@ -1126,6 +1278,14 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     };
                     shared.processed.fetch_add(1, Ordering::Release);
                     if let Some(c) = conflict {
+                        sink.emit(Event::Misspeculation {
+                            earlier_tid: c.earlier.0,
+                            earlier_epoch: c.earlier.1.epoch,
+                            earlier_task: c.earlier.1.task as u64,
+                            later_tid: c.later.0,
+                            later_epoch: c.later.1.epoch,
+                            later_task: c.later.1.task as u64,
+                        });
                         *shared.conflict.lock() = Some(c);
                         shared.misspec.store(true, Ordering::Release);
                         break;
@@ -1165,18 +1325,21 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
     /// same task-level panic containment as the speculative path — but here
     /// there is no checkpoint to rescue a panicking task, so the first panic
     /// fails the range with [`SpecError::TaskPanicked`].
+    #[allow(clippy::too_many_arguments)]
     fn run_barrier_range<W: SpecWorkload>(
         &self,
         workload: &W,
         from: usize,
         to: usize,
-        stats: &RegionStats,
+        metrics: &Metrics,
         fault: &FaultPlan,
         deadline: Option<Instant>,
+        collector: &TraceCollector,
     ) -> Result<(), SpecError> {
         if from >= to {
             return Ok(());
         }
+        let stats = metrics.stats();
         let num_workers = self.config.num_workers;
         let barrier = SpinBarrier::new(num_workers);
         let abort = AtomicBool::new(false);
@@ -1193,24 +1356,45 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             for tid in 0..num_workers {
                 let (barrier, abort, fail, fault) = (&barrier, &abort, &fail, fault);
                 scope.spawn(move || {
+                    let mut sink = collector.sink(tid);
                     for epoch in from..to {
                         if tid == 0 {
                             stats.add_epoch();
+                            sink.emit(Event::EpochBegin {
+                                epoch: epoch as u32,
+                            });
                         }
                         let ntasks = workload.num_tasks(epoch);
                         let mut task = tid;
                         while task < ntasks {
                             if abort.load(Ordering::Acquire) {
+                                collector.absorb(sink);
                                 return;
                             }
                             let inject = match fault.task_start(epoch as u32, task as u64, tid) {
                                 Some(TaskFault::Delay(d)) => {
+                                    sink.emit(Event::FaultInjected {
+                                        kind: FaultKind::Delay(d.as_micros() as u64),
+                                        epoch: epoch as u32,
+                                        task: task as u64,
+                                    });
                                     std::thread::sleep(d);
                                     false
                                 }
-                                Some(TaskFault::Panic) => true,
+                                Some(TaskFault::Panic) => {
+                                    sink.emit(Event::FaultInjected {
+                                        kind: FaultKind::WorkerPanic,
+                                        epoch: epoch as u32,
+                                        task: task as u64,
+                                    });
+                                    true
+                                }
                                 None => false,
                             };
+                            sink.emit(Event::TaskDispatch {
+                                epoch: epoch as u32,
+                                task: task as u64,
+                            });
                             let outcome = catch_unwind(AssertUnwindSafe(|| {
                                 if inject {
                                     panic!(
@@ -1224,20 +1408,41 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                                     epoch: epoch as u32,
                                     task: task as u64,
                                 });
+                                collector.absorb(sink);
                                 return;
                             }
                             stats.add_task();
+                            sink.emit(Event::TaskRetire {
+                                epoch: epoch as u32,
+                                task: task as u64,
+                            });
                             task += num_workers;
                         }
+                        sink.emit(Event::BarrierEnter {
+                            epoch: epoch as u32,
+                        });
+                        let entered = Instant::now();
                         match barrier.wait_abortable(tid, abort, deadline) {
-                            BarrierWait::Released(_) => {}
-                            BarrierWait::Aborted => return,
+                            BarrierWait::Released(_) => {
+                                let wait_ns = entered.elapsed().as_nanos() as u64;
+                                metrics.record_barrier_wait(wait_ns);
+                                sink.emit(Event::BarrierLeave {
+                                    epoch: epoch as u32,
+                                    wait_ns,
+                                });
+                            }
+                            BarrierWait::Aborted => {
+                                collector.absorb(sink);
+                                return;
+                            }
                             BarrierWait::TimedOut => {
                                 fail(SpecError::WatchdogTimeout);
+                                collector.absorb(sink);
                                 return;
                             }
                         }
                     }
+                    collector.absorb(sink);
                 });
             }
         });

@@ -206,6 +206,15 @@ pub fn by_name(name: &str) -> BenchmarkInfo {
         .unwrap_or_else(|| panic!("unknown benchmark {name}"))
 }
 
+/// Looks a benchmark up by name, case-insensitively; `None` when unknown.
+/// The fallible counterpart of [`by_name`] for tooling that takes user
+/// input (e.g. the `trace-report` workflow of `docs/OBSERVABILITY.md`).
+pub fn find(name: &str) -> Option<BenchmarkInfo> {
+    registry()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +255,13 @@ mod tests {
     fn by_name_round_trips() {
         assert_eq!(by_name("CG").suite, "NAS");
         assert_eq!(by_name("ECLAT").inner_plan, InnerPlan::SpecDoall);
+    }
+
+    #[test]
+    fn find_is_case_insensitive_and_total() {
+        assert_eq!(find("eclat").unwrap().name, "ECLAT");
+        assert_eq!(find("Cg").unwrap().suite, "NAS");
+        assert!(find("NOT-A-BENCHMARK").is_none());
     }
 
     #[test]

@@ -20,5 +20,6 @@ run "$BUILD_TIMEOUT" cargo build --release --workspace
 run "$TEST_TIMEOUT" cargo test -q
 run "$TEST_TIMEOUT" cargo test -q --workspace
 run "$CLIPPY_TIMEOUT" cargo clippy --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" run "$BUILD_TIMEOUT" cargo doc --no-deps --workspace
 
 echo "CI passed."

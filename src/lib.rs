@@ -3,6 +3,7 @@
 //! This crate exists to host the repository's `examples/` and `tests/`
 //! directories; all functionality lives in the member crates. See the
 //! repository README and DESIGN.md for the system map.
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub use crossinvoc as core;
 pub use crossinvoc_domore as domore;

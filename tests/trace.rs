@@ -1,0 +1,174 @@
+//! Integration tests for the structured execution-trace layer: the JSONL
+//! schema round-trips, injected faults surface in the trace at their
+//! planned coordinates, and the threaded engine and the simulator emit the
+//! *same* schema — a trace from either side feeds the same `TraceReport`
+//! reconstruction (misspeculation ledger, per-thread barrier-wait
+//! breakdown). See `docs/OBSERVABILITY.md`.
+
+use crossinvoc_runtime::fault::{FaultKind, FaultPlan};
+use crossinvoc_runtime::trace::{Event, Trace, TraceReport, TraceSink};
+use crossinvoc_runtime::{RangeSignature, SharedSlice, ThreadId};
+use crossinvoc_sim::prelude::*;
+use crossinvoc_speccross::prelude::*;
+use crossinvoc_speccross::SpecCrossEngine;
+
+/// Task `t` of every epoch increments cell `t`: same-epoch tasks are
+/// disjoint and cross-epoch revisits are ordered by the engine, so a clean
+/// run never misspeculates — any conflict below is injected.
+struct IncGrid {
+    data: SharedSlice<u64>,
+    epochs: usize,
+}
+
+impl IncGrid {
+    fn new(n: usize, epochs: usize) -> Self {
+        Self {
+            data: SharedSlice::from_vec(vec![0; n]),
+            epochs,
+        }
+    }
+}
+
+impl SpecWorkload for IncGrid {
+    type State = Vec<u64>;
+
+    fn num_epochs(&self) -> usize {
+        self.epochs
+    }
+    fn num_tasks(&self, _epoch: usize) -> usize {
+        self.data.len()
+    }
+    fn execute_task(
+        &self,
+        _epoch: usize,
+        task: usize,
+        _tid: ThreadId,
+        rec: &mut dyn AccessRecorder,
+    ) {
+        rec.write(task);
+        // SAFETY: same-epoch tasks write disjoint cells; the same cell is
+        // revisited only across epochs, which the engine orders.
+        unsafe { self.data.update(task, |v| *v += 1) };
+    }
+    fn snapshot(&self) -> Self::State {
+        (0..self.data.len())
+            .map(|i| unsafe { self.data.read(i) })
+            .collect()
+    }
+    fn restore(&self, state: &Self::State) {
+        for (i, v) in state.iter().enumerate() {
+            unsafe { self.data.write(i, *v) };
+        }
+    }
+}
+
+fn traced_engine(plan: FaultPlan) -> SpecCrossEngine {
+    SpecCrossEngine::<RangeSignature>::new(
+        SpecConfig::with_workers(2)
+            .checkpoint_every(2)
+            .fault_plan(plan)
+            .trace(1 << 14),
+    )
+}
+
+/// An engine trace serializes to JSONL and parses back to an equal trace —
+/// the schema is lossless over the wire.
+#[test]
+fn engine_trace_round_trips_through_jsonl() {
+    let w = IncGrid::new(8, 6);
+    let report = traced_engine(FaultPlan::default()).execute(&w).unwrap();
+    let trace = report.trace.expect("tracing was configured");
+    assert!(!trace.records().is_empty());
+    let parsed = Trace::from_jsonl(&trace.to_jsonl()).expect("engine JSONL must parse");
+    assert_eq!(parsed, trace);
+}
+
+/// A seeded `FaultPlan` leaves its firings in the trace at the planned
+/// (epoch, task, thread) coordinates: tasks are assigned round-robin, so
+/// task 3 on 2 workers runs — and fires — on thread `3 % 2`.
+#[test]
+fn injected_faults_appear_at_planned_coordinates() {
+    let w = IncGrid::new(8, 6);
+    let report = traced_engine(FaultPlan::default().delay_at(2, 3, 50))
+        .execute(&w)
+        .unwrap();
+    let trace = report.trace.expect("tracing was configured");
+    let firing = trace
+        .records()
+        .iter()
+        .find(|r| matches!(r.event, Event::FaultInjected { .. }))
+        .expect("the planned delay must be recorded");
+    assert_eq!(
+        firing.event,
+        Event::FaultInjected {
+            kind: FaultKind::Delay(50),
+            epoch: 2,
+            task: 3,
+        }
+    );
+    assert_eq!(firing.tid, 3 % 2, "round-robin assignment places task 3");
+}
+
+/// The acceptance scenario: one injected misspeculation, traced through
+/// the real engine *and* the simulator. Both traces parse under the same
+/// closed schema, and the same `TraceReport` reconstruction yields a
+/// one-entry misspeculation ledger and a per-thread barrier-wait breakdown
+/// from each.
+#[test]
+fn engine_and_sim_traces_share_schema_and_reconstruct_the_ledger() {
+    // Real engine: force one false-positive conflict at epoch 3.
+    let w = IncGrid::new(8, 6);
+    let report = traced_engine(FaultPlan::default().false_positive_at(3))
+        .execute(&w)
+        .unwrap();
+    assert_eq!(report.stats.misspeculations, 1);
+    let engine_trace = report.trace.expect("tracing was configured");
+
+    // Simulator: inject one misspeculation into an equivalent clean model.
+    let model = UniformWorkload::independent(100, 16, 1_000);
+    let params = SpecSimParams::with_threads(2)
+        .checkpoint_every(2)
+        .inject_misspec_at_task(Some(800))
+        .trace(1 << 14);
+    let sim = speccross(&model, &params, &CostModel::default());
+    assert_eq!(sim.stats.misspeculations, 1);
+    let sim_trace = sim.trace.expect("tracing was requested");
+
+    for (label, trace) in [("engine", &engine_trace), ("sim", &sim_trace)] {
+        // Same wire schema: one parser accepts both byte streams.
+        let parsed = Trace::from_jsonl(&trace.to_jsonl())
+            .unwrap_or_else(|e| panic!("{label} trace must parse: {e}"));
+        assert_eq!(&parsed, trace, "{label}");
+        // Same reconstruction: one misspeculation in the ledger, and a
+        // breakdown row with barrier waits for every worker.
+        let report = TraceReport::from_trace(trace);
+        assert_eq!(report.misspeculations.len(), 1, "{label}");
+        let workers: Vec<_> = report.threads.iter().filter(|t| t.tid < 2).collect();
+        assert_eq!(workers.len(), 2, "{label}");
+        assert!(
+            workers.iter().any(|t| t.barrier_waits > 0),
+            "{label}: checkpoint rendezvous must show up as barrier waits"
+        );
+        assert!(workers.iter().all(|t| t.tasks > 0), "{label}");
+    }
+}
+
+/// Overhead smoke: with tracing off the engine reports no trace, and a
+/// disabled sink costs one branch — no ring allocation, no atomics (the
+/// sink is a plain-field struct; see the ordering notes in
+/// `crossinvoc_runtime::trace`).
+#[test]
+fn tracing_off_allocates_nothing_and_reports_no_trace() {
+    let w = IncGrid::new(8, 4);
+    let report = SpecCrossEngine::<RangeSignature>::new(SpecConfig::with_workers(2))
+        .execute(&w)
+        .unwrap();
+    assert!(report.trace.is_none(), "untraced runs must not carry a trace");
+
+    let mut sink = TraceSink::disabled();
+    for i in 0..10_000 {
+        sink.emit_at(i, Event::Checkpoint { epoch: 0 });
+    }
+    assert_eq!(sink.ring_capacity(), 0, "disabled sinks never allocate");
+    assert_eq!(sink.len(), 0);
+}
