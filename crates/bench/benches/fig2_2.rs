@@ -39,9 +39,17 @@ fn kernel(name: &str, indirect: bool) -> (Program, StmtId) {
         b.load(t, src, Expr::Var(i));
         if indirect {
             b.load(k, idx, Expr::Var(i));
-            b.store(a, Expr::Var(k), Expr::mul(Expr::Var(t), Expr::Const(weight)));
+            b.store(
+                a,
+                Expr::Var(k),
+                Expr::mul(Expr::Var(t), Expr::Const(weight)),
+            );
         } else {
-            b.store(a, Expr::Var(i), Expr::mul(Expr::Var(t), Expr::Const(weight)));
+            b.store(
+                a,
+                Expr::Var(i),
+                Expr::mul(Expr::Var(t), Expr::Const(weight)),
+            );
         }
     });
     (b.finish(), l)
@@ -73,10 +81,7 @@ fn main() {
             };
             speedups.push(speedup);
         }
-        println!(
-            "{:<14} {:>15.2}x {:>17.2}x",
-            name, speedups[0], speedups[1]
-        );
+        println!("{:<14} {:>15.2}x {:>17.2}x", name, speedups[0], speedups[1]);
         rows.push(format!("{},{:.4},{:.4}", name, speedups[0], speedups[1]));
     }
     write_csv("fig2_2", "kernel,static_speedup,dynamic_speedup", &rows);

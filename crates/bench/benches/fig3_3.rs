@@ -10,7 +10,10 @@ use crossinvoc_workloads::Scale;
 
 fn main() {
     println!("Fig. 3.3: performance improvement of CG with and without DOMORE");
-    println!("{:>7} {:>16} {:>12}", "threads", "pthread barrier", "DOMORE");
+    println!(
+        "{:>7} {:>16} {:>12}",
+        "threads", "pthread barrier", "DOMORE"
+    );
     let info = by_name("CG");
     let mut rows = Vec::new();
     let mut crossover_seen = false;

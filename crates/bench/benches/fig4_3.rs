@@ -11,7 +11,10 @@ use crossinvoc_workloads::{registry, Scale};
 
 fn main() {
     println!("Fig. 4.3: barrier overhead (% of parallel runtime)");
-    println!("{:<16} {:>10} {:>10}", "Benchmark", "8 threads", "24 threads");
+    println!(
+        "{:<16} {:>10} {:>10}",
+        "Benchmark", "8 threads", "24 threads"
+    );
     let cost = CostModel::default();
     let trace_cap = trace_capacity();
     let mut rows = Vec::new();
@@ -42,8 +45,6 @@ fn main() {
         programs += 1;
         grows += usize::from(overheads[1] > overheads[0]);
     }
-    println!(
-        "(overhead grows with thread count for {grows}/{programs} programs)"
-    );
+    println!("(overhead grows with thread count for {grows}/{programs} programs)");
     write_csv("fig4_3", "benchmark,overhead_pct_8,overhead_pct_24", &rows);
 }

@@ -15,7 +15,10 @@ fn main() {
     let mut at24_barrier = Vec::new();
     for info in registry().into_iter().filter(|b| b.domore) {
         println!("\n  ({})", info.name);
-        println!("{:>7} {:>16} {:>12}", "threads", "pthread barrier", "DOMORE");
+        println!(
+            "{:>7} {:>16} {:>12}",
+            "threads", "pthread barrier", "DOMORE"
+        );
         for threads in THREADS {
             let pair = domore_pair(&info, Scale::Figure, threads);
             println!(

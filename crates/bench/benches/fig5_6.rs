@@ -141,11 +141,7 @@ fn main() {
             "{threads},{manual:.4},{lw_bar:.4},{lw_spec:.4},{dm_bar:.4},{dm_spec:.4}"
         ));
         dm_spec_best = dm_spec_best.max(dm_spec);
-        others_best = others_best
-            .max(manual)
-            .max(lw_bar)
-            .max(lw_spec)
-            .max(dm_bar);
+        others_best = others_best.max(manual).max(lw_bar).max(lw_spec).max(dm_bar);
     }
     println!(
         "\nDOMORE+SPECCROSS best {dm_spec_best:.2}x vs best other plan {others_best:.2}x \

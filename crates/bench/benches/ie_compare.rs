@@ -7,8 +7,8 @@
 //! the overlap discipline differs.
 
 use crossinvoc_bench::{domore_policy, write_csv};
-use crossinvoc_sim::prelude::*;
 use crossinvoc_sim::inspector::inspector_executor;
+use crossinvoc_sim::prelude::*;
 use crossinvoc_workloads::{registry, Scale};
 
 fn main() {

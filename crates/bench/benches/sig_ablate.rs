@@ -10,8 +10,8 @@
 
 use crossinvoc_bench::write_csv;
 use crossinvoc_runtime::signature::{AccessSignature, BloomSignature, RangeSignature};
-use crossinvoc_speccross::DistanceProfiler;
 use crossinvoc_sim::SimWorkload;
+use crossinvoc_speccross::DistanceProfiler;
 use crossinvoc_workloads::{registry, Scale};
 
 fn profile_with<S: AccessSignature>(model: &dyn SimWorkload) -> (Option<u64>, u64) {
@@ -56,7 +56,14 @@ fn main() {
             fmt(bd),
             bc
         );
-        rows.push(format!("{},{},{},{},{}", info.name, fmt(rd), rc, fmt(bd), bc));
+        rows.push(format!(
+            "{},{},{},{},{}",
+            info.name,
+            fmt(rd),
+            rc,
+            fmt(bd),
+            bc
+        ));
     }
     write_csv(
         "sig_ablate",

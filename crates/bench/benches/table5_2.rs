@@ -25,10 +25,7 @@ fn paper_ratio(name: &str) -> Option<f64> {
 
 fn main() {
     println!("Table 5.2: Scheduler/worker ratio for benchmarks");
-    println!(
-        "{:<16} {:>12} {:>12}",
-        "Benchmark", "measured %", "paper %"
-    );
+    println!("{:<16} {:>12} {:>12}", "Benchmark", "measured %", "paper %");
     let mut rows = Vec::new();
     for info in registry().into_iter().filter(|b| b.domore) {
         let model = info.model(Scale::Figure);

@@ -1,0 +1,732 @@
+//! `bench-suite`: the machine-readable scheduling-policy regression
+//! harness behind `target/figures/BENCH_3.json`.
+//!
+//! For every DOMORE-evaluated Table 5.1 kernel the suite runs three
+//! configurations — `seq`, `round_robin` dispatch, and `adaptive`
+//! dispatch — and reports, per kernel:
+//!
+//! * **simulated speedups** from the discrete-event model (virtual time,
+//!   deterministic: the models carry fixed seeds), which is what the
+//!   acceptance criteria are evaluated against — this container has one
+//!   core, so parallel wall-clock would measure noise, not scheduling;
+//! * **median wall time** of real-thread executions of the same kernels
+//!   through [`AccessKernel`] (checksum-validated against the sequential
+//!   image every repetition);
+//! * **queue-wait histograms** from the runtime's [`Metrics`] — the
+//!   stall-wait distribution each policy produced.
+//!
+//! Full mode additionally gates the regression criteria: adaptive must
+//! beat round-robin by ≥1.15× (virtual time) on at least one imbalanced
+//! kernel at the configured worker count and may not regress any balanced
+//! kernel by more than 5%. `--smoke` keeps every run at test scale and
+//! skips the criteria (they are calibrated at figure scale) so CI stays
+//! under its time budget; the JSON is still written and validated.
+//!
+//! ```text
+//! bench-suite [--smoke] [--out PATH] [--workers N] [--reps N]
+//! bench-suite --validate PATH   # parse an existing BENCH_3.json
+//! ```
+//!
+//! Exit status is nonzero on panic, checksum mismatch, malformed JSON, or
+//! (full mode) failed criteria.
+//!
+//! [`AccessKernel`]: crossinvoc_workloads::AccessKernel
+//! [`Metrics`]: crossinvoc_runtime::metrics::Metrics
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use crossinvoc_bench::out_dir;
+use crossinvoc_domore::prelude::*;
+use crossinvoc_runtime::metrics::HistogramSummary;
+use crossinvoc_sim::prelude::*;
+use crossinvoc_workloads::{registry, AccessKernel, BenchmarkInfo, Scale};
+
+/// Minimum virtual-time win adaptive must show over round-robin on at
+/// least one imbalanced kernel (full mode).
+const WIN_THRESHOLD: f64 = 1.15;
+/// Maximum virtual-time regression tolerated on each balanced kernel.
+const BALANCED_TOLERANCE: f64 = 0.95;
+
+struct Args {
+    smoke: bool,
+    out: PathBuf,
+    workers: usize,
+    reps: usize,
+    validate: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: out_dir().join("BENCH_3.json"),
+        workers: 8,
+        reps: 0, // resolved after --smoke is known
+        validate: None,
+    };
+    let mut reps: Option<usize> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--reps" => {
+                reps = Some(
+                    value("--reps")?
+                        .parse()
+                        .map_err(|e| format!("--reps: {e}"))?,
+                )
+            }
+            "--validate" => args.validate = Some(PathBuf::from(value("--validate")?)),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    args.reps = reps.unwrap_or(if args.smoke { 1 } else { 5 });
+    if args.workers == 0 || args.reps == 0 {
+        return Err("--workers and --reps must be positive".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench-suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.validate {
+        return match std::fs::read_to_string(path) {
+            Ok(text) => match validate_report(&text) {
+                Ok(kernels) => {
+                    println!(
+                        "{}: valid BENCH_3 report, {kernels} kernels",
+                        path.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{}: invalid: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+    run_suite(&args)
+}
+
+/// One kernel's simulated timings for one dispatch policy.
+struct SimRow {
+    dispatch: Dispatch,
+    total_ns: u64,
+    speedup_vs_seq: f64,
+    sync_conditions: u64,
+    stalls: u64,
+}
+
+/// One kernel's real-thread timings for one configuration.
+struct RealRow {
+    name: &'static str,
+    wall_ns: Vec<u64>,
+    speedup_vs_seq: f64,
+    stall_wait: Option<HistogramSummary>,
+}
+
+struct KernelReport {
+    name: &'static str,
+    imbalanced: bool,
+    sim_scale: Scale,
+    sim_seq_ns: u64,
+    sim: Vec<SimRow>,
+    real: Vec<RealRow>,
+}
+
+impl KernelReport {
+    fn sim_ratio(&self) -> f64 {
+        let rr = self.sim.iter().find(|r| r.dispatch == Dispatch::RoundRobin);
+        let ad = self.sim.iter().find(|r| r.dispatch == Dispatch::Adaptive);
+        match (rr, ad) {
+            (Some(rr), Some(ad)) => rr.total_ns as f64 / ad.total_ns as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+fn median(samples: &[u64]) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+fn run_suite(args: &Args) -> ExitCode {
+    let sim_scale = if args.smoke {
+        Scale::Test
+    } else {
+        Scale::Figure
+    };
+    let cost = CostModel::default();
+    let kernels: Vec<BenchmarkInfo> = registry().into_iter().filter(|b| b.domore).collect();
+    let mut reports = Vec::new();
+    let suite_start = Instant::now();
+
+    for info in &kernels {
+        println!("[{}] simulating at {sim_scale:?} scale", info.name);
+        let model = info.model(sim_scale);
+        let seq_ns = sequential(model.as_ref(), &cost).total_ns;
+        let mut sim = Vec::new();
+        for dispatch in [Dispatch::RoundRobin, Dispatch::Adaptive] {
+            let mut policy = dispatch.policy();
+            let r = crossinvoc_sim::domore(model.as_ref(), args.workers, policy.as_mut(), &cost);
+            sim.push(SimRow {
+                dispatch,
+                total_ns: r.total_ns,
+                speedup_vs_seq: r.speedup_over(seq_ns),
+                sync_conditions: r.stats.sync_conditions,
+                stalls: r.stats.stalls,
+            });
+        }
+
+        // Real threads always run the test-scale kernel: wall time on this
+        // host measures harness overhead, not parallel speedup, so small
+        // checksum-validated runs are the honest configuration.
+        println!(
+            "[{}] executing on real threads ({} reps)",
+            info.name, args.reps
+        );
+        let kernel = AccessKernel::from_model(info.model(Scale::Test));
+        let expected = kernel.sequential_checksum();
+        let mut real = Vec::new();
+
+        let mut seq_walls = Vec::with_capacity(args.reps);
+        for _ in 0..args.reps {
+            kernel.reset();
+            let t = Instant::now();
+            for inv in 0..DomoreWorkload::num_invocations(&kernel) {
+                for iter in 0..DomoreWorkload::num_iterations(&kernel, inv) {
+                    kernel.execute_iteration(inv, iter, 0);
+                }
+            }
+            seq_walls.push(t.elapsed().as_nanos() as u64);
+            if kernel.checksum() != expected {
+                eprintln!("[{}] sequential checksum mismatch", info.name);
+                return ExitCode::FAILURE;
+            }
+        }
+        let seq_median = median(&seq_walls).max(1);
+        real.push(RealRow {
+            name: "seq",
+            wall_ns: seq_walls,
+            speedup_vs_seq: 1.0,
+            stall_wait: None,
+        });
+
+        for dispatch in [Dispatch::RoundRobin, Dispatch::Adaptive] {
+            let mut walls = Vec::with_capacity(args.reps);
+            let mut stall_wait = None;
+            for _ in 0..args.reps {
+                kernel.reset();
+                let t = Instant::now();
+                let report = DomoreRuntime::new(DomoreConfig::with_workers(args.workers))
+                    .with_dispatch(dispatch)
+                    .execute(&kernel);
+                walls.push(t.elapsed().as_nanos() as u64);
+                let report = match report {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("[{}] {} run failed: {e}", info.name, dispatch.name());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if kernel.checksum() != expected {
+                    eprintln!(
+                        "[{}] checksum mismatch under {} dispatch",
+                        info.name,
+                        dispatch.name()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                stall_wait = Some(report.metrics.stall_wait);
+            }
+            real.push(RealRow {
+                name: dispatch.name(),
+                speedup_vs_seq: seq_median as f64 / median(&walls).max(1) as f64,
+                wall_ns: walls,
+                stall_wait,
+            });
+        }
+        kernel.reset();
+
+        reports.push(KernelReport {
+            name: info.name,
+            imbalanced: info.imbalanced(),
+            sim_scale,
+            sim_seq_ns: seq_ns,
+            sim,
+            real,
+        });
+    }
+
+    // Criteria (full mode only: smoke runs at test scale, where the models
+    // are too small for the calibrated thresholds).
+    let best_win = reports
+        .iter()
+        .filter(|r| r.imbalanced)
+        .map(|r| (r.name, r.sim_ratio()))
+        .max_by(|a, b| a.1.total_cmp(&b.1));
+    let worst_balanced = reports
+        .iter()
+        .filter(|r| !r.imbalanced)
+        .map(|r| (r.name, r.sim_ratio()))
+        .min_by(|a, b| a.1.total_cmp(&b.1));
+    let pass = !args.smoke
+        && best_win.is_some_and(|(_, w)| w >= WIN_THRESHOLD)
+        && worst_balanced.is_none_or(|(_, w)| w >= BALANCED_TOLERANCE);
+
+    let json = render_json(args, &reports, best_win, worst_balanced, pass);
+    if let Err(e) = std::fs::create_dir_all(args.out.parent().unwrap_or(&args.out)) {
+        eprintln!("bench-suite: creating output directory: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("bench-suite: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    // Self-check: the file we just wrote must parse. A malformed report is
+    // a bug in this harness and must fail the run (and the CI step).
+    if let Err(e) = validate_report(&json) {
+        eprintln!("bench-suite: produced malformed JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "[wrote {}] {} kernels in {:.1}s",
+        args.out.display(),
+        reports.len(),
+        suite_start.elapsed().as_secs_f64()
+    );
+    for r in &reports {
+        println!(
+            "  {:<16} adaptive/round_robin (virtual) = {:.3}{}",
+            r.name,
+            r.sim_ratio(),
+            if r.imbalanced { "  [imbalanced]" } else { "" }
+        );
+    }
+    if args.smoke {
+        println!("smoke mode: criteria not evaluated (test-scale models)");
+        return ExitCode::SUCCESS;
+    }
+    if let Some((name, win)) = best_win {
+        println!("best imbalanced win: {win:.3} on {name} (need ≥ {WIN_THRESHOLD})");
+    }
+    if let Some((name, worst)) = worst_balanced {
+        println!("worst balanced ratio: {worst:.3} on {name} (need ≥ {BALANCED_TOLERANCE})");
+    }
+    if pass {
+        println!("criteria: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("criteria: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+// ---- JSON rendering (hand-rolled: the workspace carries no serde) ----
+
+fn render_json(
+    args: &Args,
+    reports: &[KernelReport],
+    best_win: Option<(&str, f64)>,
+    worst_balanced: Option<(&str, f64)>,
+    pass: bool,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"crossinvoc-bench-3\",");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"workers\": {},", args.workers);
+    let _ = writeln!(s, "  \"reps\": {},", args.reps);
+    let _ = writeln!(s, "  \"smoke\": {},", args.smoke);
+    s.push_str("  \"criteria\": {\n");
+    let _ = writeln!(s, "    \"evaluated\": {},", !args.smoke);
+    let _ = writeln!(s, "    \"adaptive_min_win\": {WIN_THRESHOLD},");
+    let _ = writeln!(s, "    \"balanced_min_ratio\": {BALANCED_TOLERANCE},");
+    match best_win {
+        Some((name, win)) => {
+            let _ = writeln!(s, "    \"best_imbalanced_win\": {win:.4},");
+            let _ = writeln!(s, "    \"best_imbalanced_kernel\": \"{name}\",");
+        }
+        None => {
+            s.push_str("    \"best_imbalanced_win\": null,\n");
+            s.push_str("    \"best_imbalanced_kernel\": null,\n");
+        }
+    }
+    match worst_balanced {
+        Some((name, w)) => {
+            let _ = writeln!(s, "    \"worst_balanced_ratio\": {w:.4},");
+            let _ = writeln!(s, "    \"worst_balanced_kernel\": \"{name}\",");
+        }
+        None => {
+            s.push_str("    \"worst_balanced_ratio\": null,\n");
+            s.push_str("    \"worst_balanced_kernel\": null,\n");
+        }
+    }
+    let _ = writeln!(s, "    \"pass\": {pass}");
+    s.push_str("  },\n");
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"imbalanced\": {},", r.imbalanced);
+        s.push_str("      \"sim\": {\n");
+        let _ = writeln!(
+            s,
+            "        \"scale\": \"{}\",",
+            match r.sim_scale {
+                Scale::Test => "test",
+                Scale::Figure => "figure",
+            }
+        );
+        let _ = writeln!(s, "        \"seq_ns\": {},", r.sim_seq_ns);
+        let _ = writeln!(
+            s,
+            "        \"adaptive_over_round_robin\": {:.4},",
+            r.sim_ratio()
+        );
+        s.push_str("        \"configs\": [\n");
+        for (j, row) in r.sim.iter().enumerate() {
+            let _ = write!(
+                s,
+                "          {{\"dispatch\": \"{}\", \"total_ns\": {}, \
+                 \"speedup_vs_seq\": {:.4}, \"sync_conditions\": {}, \"stalls\": {}}}",
+                row.dispatch.name(),
+                row.total_ns,
+                row.speedup_vs_seq,
+                row.sync_conditions,
+                row.stalls
+            );
+            s.push_str(if j + 1 < r.sim.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("        ]\n      },\n");
+        s.push_str("      \"real\": {\n");
+        s.push_str("        \"scale\": \"test\",\n");
+        s.push_str("        \"configs\": [\n");
+        for (j, row) in r.real.iter().enumerate() {
+            s.push_str("          {\n");
+            let _ = writeln!(s, "            \"config\": \"{}\",", row.name);
+            let _ = writeln!(
+                s,
+                "            \"median_wall_ns\": {},",
+                median(&row.wall_ns)
+            );
+            let _ = writeln!(
+                s,
+                "            \"speedup_vs_seq\": {:.4},",
+                row.speedup_vs_seq
+            );
+            let walls: Vec<String> = row.wall_ns.iter().map(|w| w.to_string()).collect();
+            let _ = writeln!(s, "            \"wall_ns\": [{}],", walls.join(", "));
+            match &row.stall_wait {
+                Some(h) => {
+                    s.push_str("            \"stall_wait\": {\n");
+                    let _ = writeln!(s, "              \"count\": {},", h.count);
+                    let _ = writeln!(s, "              \"sum_ns\": {},", h.sum_ns);
+                    let _ = writeln!(s, "              \"mean_ns\": {:.1},", h.mean_ns());
+                    let _ = writeln!(
+                        s,
+                        "              \"p50_ns\": {},",
+                        h.quantile_upper_bound(0.50)
+                    );
+                    let _ = writeln!(
+                        s,
+                        "              \"p90_ns\": {},",
+                        h.quantile_upper_bound(0.90)
+                    );
+                    let _ = writeln!(
+                        s,
+                        "              \"p99_ns\": {},",
+                        h.quantile_upper_bound(0.99)
+                    );
+                    let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+                    let _ = writeln!(
+                        s,
+                        "              \"log2_buckets\": [{}]",
+                        buckets.join(", ")
+                    );
+                    s.push_str("            }\n");
+                }
+                None => s.push_str("            \"stall_wait\": null\n"),
+            }
+            s.push_str("          }");
+            s.push_str(if j + 1 < r.real.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("        ]\n      }\n    }");
+        s.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+// ---- Minimal JSON parser (validation only) ----
+//
+// Mirrors the dependency posture of `trace.rs`: the workspace vendors no
+// JSON library, so validation parses with a small recursive-descent
+// reader. Values are checked structurally; numbers are not range-checked.
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self
+                        .bytes
+                        .get(self.pos + 1)
+                        .ok_or("dangling escape".to_string())?;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => *other as char,
+                    });
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("bad array at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("bad object at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parses `text` and checks the BENCH_3 structural contract. Returns the
+/// kernel count.
+fn validate_report(text: &str) -> Result<usize, String> {
+    let mut parser = Parser::new(text);
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", parser.pos));
+    }
+    match root.get("schema") {
+        Some(Json::Str(s)) if s == "crossinvoc-bench-3" => {}
+        other => return Err(format!("bad schema field: {other:?}")),
+    }
+    let criteria = root.get("criteria").ok_or("missing criteria")?;
+    if !matches!(criteria.get("pass"), Some(Json::Bool(_))) {
+        return Err("criteria.pass must be a bool".into());
+    }
+    let kernels = match root.get("kernels") {
+        Some(Json::Arr(items)) if !items.is_empty() => items,
+        _ => return Err("kernels must be a non-empty array".into()),
+    };
+    for kernel in kernels {
+        let name = match kernel.get("name") {
+            Some(Json::Str(n)) => n.clone(),
+            _ => return Err("kernel missing name".into()),
+        };
+        for section in ["sim", "real"] {
+            let configs = kernel
+                .get(section)
+                .and_then(|s| s.get("configs"))
+                .ok_or_else(|| format!("{name}: missing {section}.configs"))?;
+            match configs {
+                Json::Arr(items) if !items.is_empty() => {}
+                _ => return Err(format!("{name}: {section}.configs empty")),
+            }
+        }
+    }
+    Ok(kernels.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_nested_values() {
+        let mut p = Parser::new(r#"{"a": [1, 2.5, -3], "b": {"c": true, "d": null}, "e": "x"}"#);
+        let v = p.value().unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Num(-3.0),
+            ]))
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("e"), Some(&Json::Str("x".into())));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        for bad in ["{", "[1,]", "{\"a\": }", "{} trailing", "{\"a\"; 1}"] {
+            assert!(validate_report(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn structural_contract_is_enforced() {
+        // Parses fine, but violates the report shape.
+        let err =
+            validate_report(r#"{"schema": "crossinvoc-bench-3", "kernels": []}"#).unwrap_err();
+        assert!(err.contains("criteria"), "{err}");
+    }
+}

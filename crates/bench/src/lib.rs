@@ -38,8 +38,7 @@ pub fn geomean(values: &[f64]) -> f64 {
 
 /// Output directory for figure CSVs (`target/figures`).
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/figures");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
     fs::create_dir_all(&dir).expect("create target/figures");
     dir
 }
@@ -339,6 +338,9 @@ mod tests {
         let seq = sequential(&w, &cost).total_ns;
         let free = doany_barrier(&w, 8, &|_| 0, &cost).speedup_over(seq);
         let locked = doany_barrier(&w, 8, &|_| 60, &cost).speedup_over(seq);
-        assert!(locked < free, "lock contention must cost: {locked} vs {free}");
+        assert!(
+            locked < free,
+            "lock contention must cost: {locked} vs {free}"
+        );
     }
 }

@@ -15,11 +15,11 @@
 
 use std::fmt;
 
+use crossinvoc_domore::runtime::DomoreError;
 use crossinvoc_pir::interp::{Interp, Memory};
 use crossinvoc_pir::ir::{Program, Stmt, StmtId};
 use crossinvoc_pir::pdg::ManifestProfile;
 use crossinvoc_pir::transform::{DomorePlan, SpecCrossPlan};
-use crossinvoc_domore::runtime::DomoreError;
 use crossinvoc_runtime::stats::StatsSummary;
 use crossinvoc_speccross::engine::{SpecConfig, SpecError};
 
@@ -134,11 +134,7 @@ impl AutoParallelizer {
     ///
     /// Returns [`AutoError::NotATopLevelLoop`] if `outer` is not a
     /// top-level `For` of `program`.
-    pub fn plan<'p>(
-        &self,
-        program: &'p Program,
-        outer: StmtId,
-    ) -> Result<Decision<'p>, AutoError> {
+    pub fn plan<'p>(&self, program: &'p Program, outer: StmtId) -> Result<Decision<'p>, AutoError> {
         if !program.body().contains(&outer) || !matches!(program.stmt(outer), Stmt::For { .. }) {
             return Err(AutoError::NotATopLevelLoop(outer));
         }
@@ -159,7 +155,9 @@ impl AutoParallelizer {
         let speculate = match &spec_plan {
             Some(plan) => {
                 let mut training = Memory::zeroed(program);
-                distance = plan.profile(&mut training, self.profile_window).min_distance;
+                distance = plan
+                    .profile(&mut training, self.profile_window)
+                    .min_distance;
                 match distance {
                     None => true,
                     Some(d) => d >= self.workers as u64,

@@ -94,10 +94,7 @@ impl DuplicatedScheduler {
     /// * [`DomoreError::NoWorkers`] if `num_workers` is zero.
     /// * [`DomoreError::PrologueNotReplicable`] if the workload's prologue
     ///   cannot be re-executed by each worker.
-    pub fn execute<W: DomoreWorkload>(
-        &self,
-        workload: &W,
-    ) -> Result<ExecutionReport, DomoreError> {
+    pub fn execute<W: DomoreWorkload>(&self, workload: &W) -> Result<ExecutionReport, DomoreError> {
         if self.num_workers == 0 {
             return Err(DomoreError::NoWorkers);
         }
@@ -172,9 +169,9 @@ impl DuplicatedScheduler {
                                         if !board.satisfied(cond) {
                                             stats.add_stall();
                                             let entered = Instant::now();
-                                            board.await_condition_bounded(cond, abort, None);
+                                            board.await_condition_bounded(tid, cond, abort, None);
                                             metrics.record_stall_wait(
-                                                entered.elapsed().as_nanos() as u64,
+                                                entered.elapsed().as_nanos() as u64
                                             );
                                         }
                                     }

@@ -16,8 +16,9 @@
 //!
 //! * [`logic`] — the pure scheduler algorithm (Alg. 1 of the thesis):
 //!   shadow-memory lookups and synchronization-condition generation.
-//! * [`policy`] — iteration-to-thread assignment (§3.3.3): round-robin and
-//!   LOCALWRITE-style memory partitioning.
+//! * [`policy`] — iteration-to-thread assignment (§3.3.3): round-robin,
+//!   LOCALWRITE-style memory partitioning, and locality-aware adaptive
+//!   dispatch ([`policy::Adaptive`], selectable via [`policy::Dispatch`]).
 //! * [`workload`] — the [`workload::DomoreWorkload`] trait a loop nest
 //!   implements: the sequential prologue, the iteration space, the
 //!   `computeAddr` address oracle (§3.3.4) and the worker body.
@@ -73,7 +74,7 @@ pub mod workload;
 
 pub use duplicated::DuplicatedScheduler;
 pub use logic::{SchedulerLogic, SyncCondition};
-pub use policy::{LocalWrite, ModuloWrite, Policy, RoundRobin};
+pub use policy::{Adaptive, Chunked, Dispatch, LocalWrite, ModuloWrite, Policy, RoundRobin};
 pub use runtime::{DomoreConfig, DomoreError, DomoreRuntime, ExecutionReport};
 pub use workload::DomoreWorkload;
 
@@ -81,7 +82,9 @@ pub use workload::DomoreWorkload;
 pub mod prelude {
     pub use crate::duplicated::DuplicatedScheduler;
     pub use crate::logic::{SchedulerLogic, SyncCondition};
-    pub use crate::policy::{LocalWrite, ModuloWrite, Policy, RoundRobin};
+    pub use crate::policy::{
+        Adaptive, Chunked, Dispatch, LocalWrite, ModuloWrite, Policy, RoundRobin,
+    };
     pub use crate::runtime::{DomoreConfig, DomoreRuntime};
     pub use crate::workload::DomoreWorkload;
 }

@@ -254,7 +254,7 @@ mod tests {
         let mut logic = SchedulerLogic::with_dense_shadow(16);
         schedule(&mut logic, 0, &[1]); // iter 0 on worker 0
         schedule(&mut logic, 0, &[2]); // iter 1 on worker 0
-        // Worker 1 touches both: must wait for worker 0's iter 1 only.
+                                       // Worker 1 touches both: must wait for worker 0's iter 1 only.
         let (_, c) = schedule(&mut logic, 1, &[1, 2]);
         assert_eq!(
             c,
@@ -271,8 +271,8 @@ mod tests {
         schedule(&mut logic, 0, &[3]); // iter 0
         schedule(&mut logic, 1, &[3]); // iter 1 waits on worker 0
         let (_, c) = schedule(&mut logic, 2, &[3]); // iter 2
-        // Transitivity: waiting on worker 1/iter 1 implies worker 0/iter 0
-        // already retired (worker 1 waited for it).
+                                                    // Transitivity: waiting on worker 1/iter 1 implies worker 0/iter 0
+                                                    // already retired (worker 1 waited for it).
         assert_eq!(
             c,
             vec![SyncCondition {

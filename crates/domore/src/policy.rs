@@ -8,7 +8,12 @@
 //!
 //! Policies must be *deterministic* functions of the iteration stream: the
 //! duplicated-scheduler variant (§3.4) replays the policy independently on
-//! every worker and relies on all replicas agreeing.
+//! every worker and relies on all replicas agreeing. The locality-aware
+//! [`Adaptive`] policy keeps that property by deriving both its locality map
+//! and its load estimate purely from the assignment stream itself, never
+//! from runtime feedback.
+
+use std::collections::HashMap;
 
 use crossinvoc_runtime::{IterNum, ThreadId};
 
@@ -152,6 +157,159 @@ impl Policy for Chunked {
     }
 }
 
+/// Locality-aware dynamic dispatch: route an iteration to the worker that
+/// last touched its `computeAddr` cell, falling back to the least-loaded
+/// worker.
+///
+/// Two pieces of state, both pure functions of the assignment stream (so the
+/// policy stays deterministic and replicable):
+///
+/// * a *locality map* from address to the worker most recently assigned an
+///   iteration touching it — following it keeps dependence chains on one
+///   worker, which turns would-be synchronization conditions into ordinary
+///   program order (no stall, no `latestFinished` polling) and keeps the
+///   touched cells hot in one cache;
+/// * a per-worker *assigned-load* estimate (iterations weighted by their
+///   access-list length). Locality is honoured only while the preferred
+///   worker's load stays within [`Adaptive::with_imbalance_limit`] of the
+///   least-loaded worker's; beyond that the iteration goes to the
+///   least-loaded worker (lowest id on ties) and ownership migrates with it.
+///
+/// This is the "smarter scheduling" slot §3.3.3 leaves open: unlike
+/// [`LocalWrite`] it needs no address-space partition up front, and unlike
+/// [`RoundRobin`] it does not scatter dependence chains across workers.
+#[derive(Debug, Clone)]
+pub struct Adaptive {
+    owner: HashMap<usize, ThreadId>,
+    load: Vec<u64>,
+    imbalance_limit: u64,
+}
+
+/// Default load gap (in weight units: one iteration costs `1 + #addrs`)
+/// beyond which locality yields to balance.
+const DEFAULT_IMBALANCE_LIMIT: u64 = 64;
+
+impl Adaptive {
+    /// Creates the policy with the default imbalance limit.
+    pub fn new() -> Self {
+        Self::with_imbalance_limit(DEFAULT_IMBALANCE_LIMIT)
+    }
+
+    /// Creates the policy with an explicit imbalance limit: the preferred
+    /// (locality) worker is used only while its assigned load exceeds the
+    /// least-loaded worker's by at most `limit` weight units. `0` makes the
+    /// policy pure least-loaded; large values make it pure locality.
+    pub fn with_imbalance_limit(limit: u64) -> Self {
+        Self {
+            owner: HashMap::new(),
+            load: Vec::new(),
+            imbalance_limit: limit,
+        }
+    }
+
+    fn least_loaded(&self) -> ThreadId {
+        let mut best = 0;
+        for (tid, &load) in self.load.iter().enumerate() {
+            if load < self.load[best] {
+                best = tid;
+            }
+        }
+        best
+    }
+}
+
+impl Default for Adaptive {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for Adaptive {
+    fn assign(&mut self, _iter: IterNum, addrs: &[usize], num_workers: usize) -> ThreadId {
+        if self.load.len() != num_workers {
+            self.load.clear();
+            self.load.resize(num_workers, 0);
+            self.owner.clear();
+        }
+        let least = self.least_loaded();
+        let tid = match addrs.first().and_then(|a| self.owner.get(a).copied()) {
+            Some(owner)
+                if owner < num_workers
+                    && self.load[owner] <= self.load[least] + self.imbalance_limit =>
+            {
+                owner
+            }
+            _ => least,
+        };
+        for &addr in addrs {
+            self.owner.insert(addr, tid);
+        }
+        self.load[tid] += 1 + addrs.len() as u64;
+        tid
+    }
+
+    fn replicate(&self) -> Box<dyn Policy> {
+        Box::new(self.clone())
+    }
+}
+
+/// The dispatch policies a runtime can be configured with, as plain data —
+/// the value-level mirror of the [`Policy`] objects, for configuration
+/// surfaces (benchmark harnesses, CLI flags) that need to name a policy
+/// before constructing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// [`RoundRobin`].
+    #[default]
+    RoundRobin,
+    /// [`Chunked`] with the given chunk length.
+    Chunked {
+        /// Consecutive iterations sharing a worker.
+        chunk: u64,
+    },
+    /// [`LocalWrite`] over the given address space.
+    LocalWrite {
+        /// Size of the partitioned address space.
+        address_space: usize,
+    },
+    /// [`ModuloWrite`] with the given congruence modulus.
+    ModuloWrite {
+        /// Number of congruence classes.
+        modulus: usize,
+    },
+    /// [`Adaptive`] with the default imbalance limit.
+    Adaptive,
+}
+
+impl Dispatch {
+    /// Instantiates the named policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero chunk, empty address space or
+    /// zero modulus), exactly as the policy constructors do.
+    pub fn policy(&self) -> Box<dyn Policy> {
+        match *self {
+            Dispatch::RoundRobin => Box::new(RoundRobin),
+            Dispatch::Chunked { chunk } => Box::new(Chunked::new(chunk)),
+            Dispatch::LocalWrite { address_space } => Box::new(LocalWrite::new(address_space)),
+            Dispatch::ModuloWrite { modulus } => Box::new(ModuloWrite::new(modulus)),
+            Dispatch::Adaptive => Box::new(Adaptive::new()),
+        }
+    }
+
+    /// Stable lower-case name (used by bench output and trace tooling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dispatch::RoundRobin => "round_robin",
+            Dispatch::Chunked { .. } => "chunked",
+            Dispatch::LocalWrite { .. } => "local_write",
+            Dispatch::ModuloWrite { .. } => "modulo_write",
+            Dispatch::Adaptive => "adaptive",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +397,87 @@ mod tests {
     #[should_panic(expected = "chunk must be positive")]
     fn chunked_zero_panics() {
         Chunked::new(0);
+    }
+
+    #[test]
+    fn adaptive_follows_the_last_toucher() {
+        let mut p = Adaptive::new();
+        let first = p.assign(0, &[7], 4);
+        for i in 1..10 {
+            assert_eq!(
+                p.assign(i, &[7], 4),
+                first,
+                "the dependence chain on cell 7 stays on one worker"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_spreads_fresh_addresses_to_least_loaded() {
+        let mut p = Adaptive::new();
+        // Four never-seen addresses: each goes to the emptiest worker, so
+        // the first four iterations cover all four workers.
+        let tids: Vec<_> = (0..4)
+            .map(|i| p.assign(i, &[100 + i as usize], 4))
+            .collect();
+        let mut sorted = tids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "got {tids:?}");
+    }
+
+    #[test]
+    fn adaptive_abandons_locality_beyond_the_imbalance_limit() {
+        let mut p = Adaptive::with_imbalance_limit(4);
+        let hot = p.assign(0, &[1], 2);
+        // Pile iterations onto the hot cell until the limit trips.
+        let mut moved = false;
+        for i in 1..32 {
+            if p.assign(i, &[1], 2) != hot {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved, "a bounded limit must eventually rebalance");
+    }
+
+    #[test]
+    fn adaptive_is_deterministic_across_replicas() {
+        let mut original = Adaptive::new();
+        let mut replica = original.replicate();
+        for i in 0..64 {
+            let addrs = [(i as usize * 13) % 7, (i as usize * 5) % 11];
+            assert_eq!(
+                original.assign(i, &addrs, 4),
+                replica.assign(i, &addrs, 4),
+                "replicas diverged at iteration {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_without_addresses_balances() {
+        let mut p = Adaptive::new();
+        let tids: Vec<_> = (0..4).map(|i| p.assign(i, &[], 4)).collect();
+        let mut sorted = tids;
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dispatch_constructs_each_policy() {
+        let cases = [
+            (Dispatch::RoundRobin, "round_robin"),
+            (Dispatch::Chunked { chunk: 2 }, "chunked"),
+            (Dispatch::LocalWrite { address_space: 8 }, "local_write"),
+            (Dispatch::ModuloWrite { modulus: 8 }, "modulo_write"),
+            (Dispatch::Adaptive, "adaptive"),
+        ];
+        for (dispatch, name) in cases {
+            assert_eq!(dispatch.name(), name);
+            let mut policy = dispatch.policy();
+            let tid = policy.assign(0, &[3], 4);
+            assert!(tid < 4, "{name} returned worker {tid}");
+        }
+        assert_eq!(Dispatch::default(), Dispatch::RoundRobin);
     }
 }

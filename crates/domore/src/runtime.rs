@@ -13,34 +13,55 @@
 //!
 //! An iteration that panics (organically or via an injected
 //! [`FaultPlan`]) is caught at the `execute_iteration` call site; the worker
-//! records [`DomoreError::IterationPanicked`], raises the shared abort flag
-//! and — crucially — still publishes the iteration number, so workers
-//! blocked on a synchronization condition naming it are released. From then
-//! on every worker *drains*: it keeps consuming messages (publishing, never
-//! executing) until its `END_TOKEN`, so the scheduler's queues never jam. A
-//! panicking scheduler body is likewise contained
+//! records [`DomoreError::IterationPanicked`], marks itself *dead* and —
+//! crucially — still publishes the iteration number, so workers blocked on
+//! a synchronization condition naming it are released. From then on the
+//! dead worker *drains*: it keeps consuming messages (publishing, never
+//! executing) until its `END_TOKEN`, so the scheduler's queues never jam.
+//! The scheduler routes every subsequent assignment around dead workers
+//! (next live worker in thread-id order), so the surviving workers finish
+//! the region instead of stalling behind a corpse; the recorded error is
+//! surfaced exactly once, after the region joins. Only when *every* worker
+//! has died does the scheduler raise the shared abort flag and cut the
+//! region short. A panicking scheduler body is likewise contained
 //! ([`DomoreError::SchedulerPanicked`]) and the end tokens are always sent.
 //! A watchdog deadline ([`DomoreConfig::watchdog`]) bounds every
 //! condition-wait so a lost predecessor becomes
 //! [`DomoreError::WatchdogTimeout`] instead of an unbounded spin.
+//!
+//! # Waiting discipline
+//!
+//! Condition waits (the progress board's bounded await) and full
+//! queues use the shared spin-then-park policy
+//! ([`crossinvoc_runtime::wait`]): a bounded adaptive spin for the common
+//! short wait, then timed parks of [`PARK_SLICE`] so abort flags and
+//! watchdog deadlines are still observed promptly while a long wait burns
+//! no CPU. Publishers skip the wake entirely while no worker is parked, so
+//! the hot retire path stays a store plus one relaxed-ish load.
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use crossbeam::utils::{Backoff, CachePadded};
+use crossbeam::utils::CachePadded;
 use crossinvoc_runtime::fault::{FaultKind, FaultPlan, TaskFault};
 use crossinvoc_runtime::metrics::{Metrics, MetricsSummary};
 use crossinvoc_runtime::spsc::Queue;
 use crossinvoc_runtime::stats::StatsSummary;
 use crossinvoc_runtime::trace::{Event, Trace, TraceCollector, MANAGER_TID};
+use crossinvoc_runtime::wait::{AdaptiveSpin, Parker, PARK_SLICE};
 use crossinvoc_runtime::{IterNum, ThreadId};
 use parking_lot::Mutex;
 
 use crate::logic::{SchedulerLogic, SyncCondition};
-use crate::policy::{Policy, RoundRobin};
+use crate::policy::{Dispatch, Policy, RoundRobin};
 use crate::workload::DomoreWorkload;
+
+/// Messages the scheduler buffers per worker before flushing them to the
+/// SPSC queue in one batched enqueue (single tail publication). See the
+/// flush-before-`Sync` invariant in [`DomoreRuntime::execute`].
+const SCHED_BATCH: usize = 32;
 
 /// Message from the scheduler to a worker.
 #[derive(Debug)]
@@ -67,6 +88,14 @@ enum Msg {
 #[derive(Debug)]
 pub(crate) struct ProgressBoard {
     finished: Box<[CachePadded<AtomicU64>]>,
+    /// One parker per worker; a waiter parks on *its own* slot and every
+    /// publisher wakes all registered parkers. Parks are timed
+    /// ([`PARK_SLICE`]) so a lost wake costs at most one slice of latency,
+    /// never liveness.
+    parkers: Box<[Parker]>,
+    /// Workers currently inside a park window. Publishers skip the wake
+    /// entirely while this is zero — the common case on the retire path.
+    waiters: CachePadded<AtomicUsize>,
 }
 
 impl ProgressBoard {
@@ -76,12 +105,19 @@ impl ProgressBoard {
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
+            parkers: (0..num_workers).map(|_| Parker::new()).collect(),
+            waiters: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 
-    /// Marks `iter_num` retired by `tid`.
+    /// Marks `iter_num` retired by `tid` and wakes any parked waiters.
     pub(crate) fn publish(&self, tid: ThreadId, iter_num: IterNum) {
         self.finished[tid].store(iter_num + 1, Ordering::Release);
+        if self.waiters.load(Ordering::SeqCst) != 0 {
+            for parker in self.parkers.iter() {
+                parker.unpark();
+            }
+        }
     }
 
     /// Whether `cond` is already satisfied.
@@ -89,15 +125,16 @@ impl ProgressBoard {
         self.finished[cond.dep_tid].load(Ordering::Acquire) > cond.dep_iter
     }
 
-    /// Spins until `cond` is satisfied, the abort flag rises, or `deadline`
-    /// passes.
+    /// Waits (spin, then timed park on `tid`'s slot) until `cond` is
+    /// satisfied, the abort flag rises, or `deadline` passes.
     pub(crate) fn await_condition_bounded(
         &self,
+        tid: ThreadId,
         cond: SyncCondition,
         abort: &AtomicBool,
         deadline: Option<Instant>,
     ) -> AwaitOutcome {
-        let backoff = Backoff::new();
+        let mut spin = AdaptiveSpin::new();
         loop {
             if self.satisfied(cond) {
                 return AwaitOutcome::Satisfied;
@@ -105,14 +142,21 @@ impl ProgressBoard {
             if abort.load(Ordering::Acquire) {
                 return AwaitOutcome::Aborted;
             }
-            if backoff.is_completed() {
-                if deadline.is_some_and(|d| Instant::now() >= d) {
-                    return AwaitOutcome::TimedOut;
-                }
-                std::thread::yield_now();
-            } else {
-                backoff.snooze();
+            if !spin.should_park() {
+                continue;
             }
+            // Spin budget exhausted: check the deadline once per slice (a
+            // slice is 200µs, far below any watchdog resolution we accept),
+            // then register as a waiter. The re-check between registration
+            // and the park closes the publish race down to one timed slice.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return AwaitOutcome::TimedOut;
+            }
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            if !self.satisfied(cond) && !abort.load(Ordering::Acquire) {
+                self.parkers[tid].park_timeout(PARK_SLICE);
+            }
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
@@ -269,6 +313,13 @@ impl DomoreRuntime {
         self
     }
 
+    /// Selects the scheduling policy by name via the [`Dispatch`] enum —
+    /// the configuration-friendly surface used by the bench harness.
+    pub fn with_dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.policy = dispatch.policy();
+        self
+    }
+
     /// Executes `workload` to completion: all invocations, in semantic order
     /// where dependences demand it, overlapped otherwise.
     ///
@@ -308,13 +359,21 @@ impl DomoreRuntime {
         let metrics = Metrics::new();
         let collector = TraceCollector::new(self.config.trace_capacity.unwrap_or(0));
         let abort = AtomicBool::new(false);
+        // Workers that panicked and now only drain; the scheduler routes
+        // new assignments around them.
+        let dead: Box<[AtomicBool]> = (0..num_workers).map(|_| AtomicBool::new(false)).collect();
         let error: Mutex<Option<DomoreError>> = Mutex::new(None);
-        let fail = |err: DomoreError| {
+        // First error wins; it is surfaced exactly once, after the join.
+        let record = |err: DomoreError| {
             let mut slot = error.lock();
             if slot.is_none() {
                 *slot = Some(err);
             }
-            drop(slot);
+        };
+        // Fatal failures (scheduler panic, watchdog, last worker dead)
+        // additionally condemn the whole region.
+        let fail = |err: DomoreError| {
+            record(err);
             abort.store(true, Ordering::Release);
         };
         let start = Instant::now();
@@ -327,24 +386,31 @@ impl DomoreRuntime {
                 let board = &board;
                 let metrics = &metrics;
                 let collector = &collector;
-                let (abort, fail, fault) = (&abort, &fail, &fault);
+                let (abort, fault) = (&abort, &fault);
+                let (dead, record, fail) = (&dead, &record, &fail);
                 scope.spawn(move || {
                     let stats = metrics.stats();
                     let mut sink = collector.sink(tid);
+                    // Set after a local panic: this worker only drains
+                    // (publishes, never executes) from then on.
+                    let mut draining = false;
                     loop {
                         match rx.consume() {
                             Msg::Sync { cond, inv } => {
-                                // Under abort the region's result is already
-                                // condemned; draining workers skip the wait
-                                // (the condition may name an iteration that
-                                // will now never execute).
-                                if abort.load(Ordering::Acquire) || board.satisfied(cond) {
+                                // Under abort or local drain the result is
+                                // already condemned; skip the wait (the
+                                // condition may name an iteration that will
+                                // now never execute).
+                                if draining
+                                    || abort.load(Ordering::Acquire)
+                                    || board.satisfied(cond)
+                                {
                                     continue;
                                 }
                                 stats.add_stall();
                                 sink.emit(Event::BarrierEnter { epoch: inv });
                                 let entered = Instant::now();
-                                match board.await_condition_bounded(cond, abort, deadline) {
+                                match board.await_condition_bounded(tid, cond, abort, deadline) {
                                     AwaitOutcome::Satisfied | AwaitOutcome::Aborted => {}
                                     AwaitOutcome::TimedOut => {
                                         fail(DomoreError::WatchdogTimeout);
@@ -363,7 +429,7 @@ impl DomoreRuntime {
                                 iter_num,
                             } => {
                                 let mut executed = false;
-                                if !abort.load(Ordering::Acquire) {
+                                if !draining && !abort.load(Ordering::Acquire) {
                                     let inject =
                                         match fault.task_start(inv as u32, iter as u64, tid) {
                                             Some(TaskFault::Delay(d)) => {
@@ -400,7 +466,14 @@ impl DomoreRuntime {
                                     match outcome {
                                         Ok(()) => executed = true,
                                         Err(_) => {
-                                            fail(DomoreError::IterationPanicked { inv, iter });
+                                            // Record (don't abort): mark
+                                            // this worker dead and let the
+                                            // scheduler route around it so
+                                            // live workers finish the
+                                            // region.
+                                            record(DomoreError::IterationPanicked { inv, iter });
+                                            dead[tid].store(true, Ordering::Release);
+                                            draining = true;
                                         }
                                     }
                                 }
@@ -436,6 +509,16 @@ impl DomoreRuntime {
                 let mut reads = Vec::new();
                 let mut addrs = Vec::new();
                 let mut conds = Vec::new();
+                // Per-worker message buffers, flushed with one batched
+                // enqueue (single tail publication each). Invariant: before
+                // a `Sync` naming `dep_tid` is buffered anywhere, pending
+                // messages for `dep_tid` are flushed — so by induction on
+                // enqueue order, every condition a worker can block on
+                // names a `Run` that is already in its owner's queue, and
+                // the region cannot deadlock on an unflushed dependency.
+                let mut pending: Vec<Vec<Msg>> = (0..num_workers)
+                    .map(|_| Vec::with_capacity(SCHED_BATCH))
+                    .collect();
                 'invocations: for inv in 0..workload.num_invocations() {
                     if abort.load(Ordering::Acquire) {
                         break;
@@ -454,24 +537,66 @@ impl DomoreRuntime {
                         addrs.extend_from_slice(&writes);
                         addrs.extend_from_slice(&reads);
                         let preview = logic.next_iter_num();
-                        let tid = self.policy.assign(preview, &addrs, num_workers);
+                        let mut tid = self.policy.assign(preview, &addrs, num_workers);
+                        // Route around dead workers: next live thread in id
+                        // order. Rerouting happens *before* the scheduling
+                        // logic runs, so every synchronization condition
+                        // names the worker that will actually execute.
+                        if dead[tid].load(Ordering::Acquire) {
+                            match (1..num_workers)
+                                .map(|k| (tid + k) % num_workers)
+                                .find(|&t| !dead[t].load(Ordering::Acquire))
+                            {
+                                Some(live) => tid = live,
+                                None => {
+                                    // Every worker is dead: condemn the
+                                    // region (the first panic is already
+                                    // recorded) and stop scheduling.
+                                    abort.store(true, Ordering::Release);
+                                    break 'invocations;
+                                }
+                            }
+                        }
+                        sched_sink.emit(Event::TaskAssign {
+                            epoch: inv as u32,
+                            task: iter as u64,
+                            worker: tid,
+                        });
                         conds.clear();
                         let iter_num = logic.schedule_rw(tid, &writes, &reads, &mut conds);
                         debug_assert_eq!(iter_num, preview);
                         for &cond in &conds {
                             stats.add_sync_condition();
-                            producers[tid].produce(Msg::Sync {
+                            if cond.dep_tid != tid && !pending[cond.dep_tid].is_empty() {
+                                producers[cond.dep_tid].produce_batch(&mut pending[cond.dep_tid]);
+                            }
+                            pending[tid].push(Msg::Sync {
                                 cond,
                                 inv: inv as u32,
                             });
                         }
-                        producers[tid].produce(Msg::Run {
+                        pending[tid].push(Msg::Run {
                             inv,
                             iter,
                             iter_num,
                         });
+                        if pending[tid].len() >= SCHED_BATCH {
+                            producers[tid].produce_batch(&mut pending[tid]);
+                        }
+                    }
+                    // Keep the pipeline warm across the (sequential)
+                    // prologue of the next invocation.
+                    for (tx, buf) in producers.iter().zip(pending.iter_mut()) {
+                        if !buf.is_empty() {
+                            tx.produce_batch(buf);
+                        }
                     }
                     sched_sink.emit(Event::EpochEnd { epoch: inv as u32 });
+                }
+                for (tx, buf) in producers.iter().zip(pending.iter_mut()) {
+                    if !buf.is_empty() {
+                        tx.produce_batch(buf);
+                    }
                 }
             }));
             collector.absorb(sched_sink);

@@ -52,13 +52,7 @@ pub trait DomoreWorkload: Sync {
     /// address as written — the thesis' conservative single-tuple shadow —
     /// which is always sound; overriding lets the scheduler skip read-read
     /// pairs (gather patterns are then never serialized).
-    fn touched(
-        &self,
-        inv: usize,
-        iter: usize,
-        writes: &mut Vec<usize>,
-        reads: &mut Vec<usize>,
-    ) {
+    fn touched(&self, inv: usize, iter: usize, writes: &mut Vec<usize>, reads: &mut Vec<usize>) {
         let _ = reads;
         self.touched_addrs(inv, iter, writes);
     }

@@ -294,10 +294,7 @@ mod tests {
     fn shifted_index_has_constant_distance() {
         // A[i] vs A[i+1]: i' = i - 1.
         assert_eq!(
-            rel(
-                Expr::Var(iv()),
-                Expr::add(Expr::Var(iv()), Expr::Const(1))
-            ),
+            rel(Expr::Var(iv()), Expr::add(Expr::Var(iv()), Expr::Const(1))),
             IndexRelation::Carried { distance: -1 }
         );
     }
@@ -352,10 +349,7 @@ mod tests {
     #[test]
     fn nonlinear_index_is_unknown() {
         assert_eq!(
-            rel(
-                Expr::rem(Expr::Var(iv()), Expr::Const(4)),
-                Expr::Var(iv())
-            ),
+            rel(Expr::rem(Expr::Var(iv()), Expr::Const(4)), Expr::Var(iv())),
             IndexRelation::Unknown
         );
     }
@@ -374,10 +368,7 @@ mod tests {
     #[test]
     fn affine_of_handles_subtraction_and_cancellation() {
         // (i + 3) - i  =  3.
-        let e = Expr::sub(
-            Expr::add(Expr::Var(iv()), Expr::Const(3)),
-            Expr::Var(iv()),
-        );
+        let e = Expr::sub(Expr::add(Expr::Var(iv()), Expr::Const(3)), Expr::Var(iv()));
         let f = AffineForm::of(&e).unwrap();
         assert_eq!(f.constant, 3);
         assert!(f.terms.is_empty());

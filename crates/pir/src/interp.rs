@@ -186,7 +186,10 @@ impl<'p> Interp<'p> {
     fn addr(&self, array: crate::ir::ArrayId, index: i64) -> usize {
         let len = self.program.arrays()[array.0].len;
         let idx = usize::try_from(index).unwrap_or_else(|_| {
-            panic!("negative array index {index} into {}", self.program.arrays()[array.0].name)
+            panic!(
+                "negative array index {index} into {}",
+                self.program.arrays()[array.0].name
+            )
         });
         assert!(
             idx < len,

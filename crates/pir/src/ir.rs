@@ -560,7 +560,10 @@ mod tests {
 
     #[test]
     fn expr_vars_collects_reads() {
-        let e = Expr::add(Expr::Var(VarId(1)), Expr::mul(Expr::Var(VarId(2)), Expr::Const(3)));
+        let e = Expr::add(
+            Expr::Var(VarId(1)),
+            Expr::mul(Expr::Var(VarId(2)), Expr::Const(3)),
+        );
         let mut vars = Vec::new();
         e.vars(&mut vars);
         assert_eq!(vars, vec![VarId(1), VarId(2)]);

@@ -148,7 +148,10 @@ impl MtcgOutput {
         });
         // Worker side: token consumption first, body after live-ins,
         // publication last.
-        let body_first = self.worker.iter().position(|s| matches!(s, WorkerStep::Body(_)));
+        let body_first = self
+            .worker
+            .iter()
+            .position(|s| matches!(s, WorkerStep::Body(_)));
         let livein_last = self
             .worker
             .iter()
@@ -209,9 +212,10 @@ impl fmt::Display for MtcgDisplay<'_> {
                 SchedulerStep::Prologue(s) => writeln!(f, "  /* seq */ stmt#{}", s.0)?,
                 SchedulerStep::EnterInnerLoop => writeln!(f, "  for each inner iteration {{")?,
                 SchedulerStep::ComputeAddr(s) => writeln!(f, "    computeAddr: stmt#{}", s.0)?,
-                SchedulerStep::ScheduleIteration => {
-                    writeln!(f, "    tid = schedule(iternum, addr_set); schedulerSync(...)")?
-                }
+                SchedulerStep::ScheduleIteration => writeln!(
+                    f,
+                    "    tid = schedule(iternum, addr_set); schedulerSync(...)"
+                )?,
                 SchedulerStep::ProduceLiveIn(v) => writeln!(f, "    produce({})", var(v))?,
                 SchedulerStep::ProduceIteration => {
                     writeln!(f, "    produce(NO_SYNC, iternum)")?;
@@ -232,9 +236,7 @@ impl fmt::Display for MtcgDisplay<'_> {
                 }
                 WorkerStep::ConsumeLiveIn(v) => writeln!(f, "  {} = consume();", var(v))?,
                 WorkerStep::Body(s) => writeln!(f, "  doWork: stmt#{}", s.0)?,
-                WorkerStep::PublishFinished => {
-                    writeln!(f, "  latestFinished[tid] = iternum;")?
-                }
+                WorkerStep::PublishFinished => writeln!(f, "  latestFinished[tid] = iternum;")?,
             }
         }
         writeln!(f, "}} }}")
@@ -261,11 +263,7 @@ mod tests {
             b.load(scale, scales, Expr::Var(i));
             inner = b.for_loop(j, Expr::Const(0), Expr::Const(32), |b| {
                 b.load(t, c, Expr::Var(j));
-                b.store(
-                    c,
-                    Expr::Var(j),
-                    Expr::add(Expr::Var(t), Expr::Var(scale)),
-                );
+                b.store(c, Expr::Var(j), Expr::add(Expr::Var(t), Expr::Var(scale)));
             });
         });
         (b.finish(), outer, inner, scale)
@@ -277,9 +275,7 @@ mod tests {
         let plan = DomorePlan::build(&p, outer, inner).unwrap();
         let out = MtcgOutput::emit(&p, &plan);
         assert_eq!(out.live_ins, vec![scale], "scale flows scheduler → worker");
-        assert!(out
-            .scheduler
-            .contains(&SchedulerStep::ProduceLiveIn(scale)));
+        assert!(out.scheduler.contains(&SchedulerStep::ProduceLiveIn(scale)));
         assert!(out.worker.contains(&WorkerStep::ConsumeLiveIn(scale)));
     }
 

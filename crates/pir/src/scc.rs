@@ -210,9 +210,9 @@ impl Partition {
     /// Whether the split is a valid pipeline: no dependence flows from a
     /// worker statement to a scheduler statement.
     pub fn is_pipelined(&self, pdg: &Pdg) -> bool {
-        pdg.edges().iter().all(|e| {
-            !(self.worker.contains(&e.src) && self.scheduler.contains(&e.dst))
-        })
+        pdg.edges()
+            .iter()
+            .all(|e| !(self.worker.contains(&e.src) && self.scheduler.contains(&e.dst)))
     }
 }
 

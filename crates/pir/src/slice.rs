@@ -46,7 +46,11 @@ impl fmt::Display for SliceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SliceError::SideEffectInSlice(s) => {
-                write!(f, "address slice would include side-effecting statement #{}", s.0)
+                write!(
+                    f,
+                    "address slice would include side-effecting statement #{}",
+                    s.0
+                )
             }
             SliceError::SliceReadsRegionWrites(a) => write!(
                 f,
@@ -195,10 +199,7 @@ pub fn compute_addr_slice(
             };
             // Compound statements controlling slice members are needed for
             // their conditions.
-            let controls_member = program
-                .children(id)
-                .iter()
-                .any(|c| in_slice.contains(c))
+            let controls_member = program.children(id).iter().any(|c| in_slice.contains(c))
                 && matches!(program.stmt(id), Stmt::If { .. } | Stmt::For { .. });
             if defines_needed || controls_member {
                 in_slice.insert(id);
@@ -231,9 +232,7 @@ pub fn compute_addr_slice(
         }
         match program.stmt(id) {
             Stmt::Store { .. } => return Err(SliceError::SideEffectInSlice(id)),
-            Stmt::Call { effect, .. }
-                if effect.side_effecting || !effect.may_write.is_empty() =>
-            {
+            Stmt::Call { effect, .. } if effect.side_effecting || !effect.may_write.is_empty() => {
                 return Err(SliceError::SideEffectInSlice(id));
             }
             Stmt::Load { array, .. } if region_writes.contains(array) => {

@@ -269,7 +269,10 @@ mod tests {
         });
         assert!(!a.applicable.contains(&Technique::LocalWrite));
         assert!(a.applicable.contains(&Technique::Doacross));
-        assert!(a.applicable.contains(&Technique::Dswp), "load feeds the sum");
+        assert!(
+            a.applicable.contains(&Technique::Dswp),
+            "load feeds the sum"
+        );
     }
 
     #[test]

@@ -27,10 +27,10 @@ use parking_lot::Mutex;
 
 use crossinvoc_domore::prelude::*;
 use crossinvoc_domore::runtime::{DomoreConfig, DomoreError, DomoreRuntime, ExecutionReport};
+use crossinvoc_runtime::signature::RangeSignature;
 use crossinvoc_speccross::engine::{SpecConfig, SpecCrossEngine, SpecError, SpecReport};
 use crossinvoc_speccross::profile::ProfileReport;
 use crossinvoc_speccross::workload::{AccessRecorder, SpecWorkload};
-use crossinvoc_runtime::signature::RangeSignature;
 
 use crate::analysis::collect_accesses;
 use crate::interp::{Env, Interp, Memory, TraceEvent};
@@ -555,9 +555,7 @@ impl<'p> SpecCrossPlan<'p> {
         };
         let (_, suffix) = split_body(self.program, self.outer);
         // SAFETY: the engine joined all workers; this thread is exclusive.
-        unsafe {
-            Interp::new(self.program).exec_stmts(&suffix, &mut exit_env, mem, &mut None)
-        };
+        unsafe { Interp::new(self.program).exec_stmts(&suffix, &mut exit_env, mem, &mut None) };
         Ok(report)
     }
 
@@ -579,9 +577,7 @@ impl<'p> SpecCrossPlan<'p> {
         };
         let (_, suffix) = split_body(self.program, self.outer);
         // SAFETY: the engine joined all workers; this thread is exclusive.
-        unsafe {
-            Interp::new(self.program).exec_stmts(&suffix, &mut exit_env, mem, &mut None)
-        };
+        unsafe { Interp::new(self.program).exec_stmts(&suffix, &mut exit_env, mem, &mut None) };
         Ok(report)
     }
 
@@ -725,12 +721,10 @@ impl SpecWorkload for SpecAdapter<'_, '_> {
             // Alg. 5: only accesses to region-written arrays participate in
             // cross-invocation dependences.
             let array_of = |addr: usize| {
-                watched
-                    .iter()
-                    .any(|&a| {
-                        let base = program.array_base(a);
-                        addr >= base && addr < base + program.arrays()[a.0].len
-                    })
+                watched.iter().any(|&a| {
+                    let base = program.array_base(a);
+                    addr >= base && addr < base + program.arrays()[a.0].len
+                })
             };
             if array_of(e.addr) {
                 recorder.record(e.addr, e.kind);

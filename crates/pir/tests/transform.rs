@@ -38,7 +38,10 @@ fn cg_nest(rows: usize, cells: usize) -> (Program, StmtId, StmtId) {
             Expr::sub(
                 e.clone(),
                 Expr::mul(
-                    Expr::sub(Expr::Const(1), Expr::lt(e.clone(), Expr::Const(cells as i64))),
+                    Expr::sub(
+                        Expr::Const(1),
+                        Expr::lt(e.clone(), Expr::Const(cells as i64)),
+                    ),
                     Expr::sub(e, Expr::Const(cells as i64)),
                 ),
             ),
@@ -97,7 +100,10 @@ fn domore_plan_generates_sync_conditions_for_overlapping_rows() {
 fn domore_plan_exposes_partition_and_slice() {
     let (p, outer, inner) = cg_nest(8, 16);
     let plan = DomorePlan::build(&p, outer, inner).unwrap();
-    assert!(plan.slice().stmts.is_empty(), "C[j] addressing needs only j");
+    assert!(
+        plan.slice().stmts.is_empty(),
+        "C[j] addressing needs only j"
+    );
     assert_eq!(plan.slice().targets.len(), 2, "load and store of C[j]");
     assert!(!plan.partition().worker.is_empty());
     assert!(!plan.partition().scheduler.is_empty());
@@ -219,7 +225,10 @@ fn speccross_plan_matches_sequential_on_two_loop_region() {
             reference.snapshot(),
             "{workers} workers diverged"
         );
-        assert_eq!(report.stats.misspeculations, 0, "gated run never rolls back");
+        assert_eq!(
+            report.stats.misspeculations, 0,
+            "gated run never rolls back"
+        );
         assert_eq!(report.stats.epochs, 16);
     }
 }
@@ -280,11 +289,7 @@ fn speccross_plan_rejects_impure_region_code() {
         // A store between the parallel loops cannot be privatized.
         b.store(a, Expr::Const(0), Expr::Var(t));
         b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
-            b.call(
-                "work",
-                vec![Expr::Var(i)],
-                CallEffect::default(),
-            );
+            b.call("work", vec![Expr::Var(i)], CallEffect::default());
         });
     });
     let p = b.finish();
@@ -336,7 +341,6 @@ fn speccross_plan_handles_scalar_prologues_between_loops() {
     let mut reference = Memory::zeroed(&p);
     plan.execute_sequential(&mut reference);
     let mut mem = Memory::zeroed(&p);
-    plan.execute(&mut mem, SpecConfig::with_workers(2))
-        .unwrap();
+    plan.execute(&mut mem, SpecConfig::with_workers(2)).unwrap();
     assert_eq!(mem.snapshot(), reference.snapshot());
 }

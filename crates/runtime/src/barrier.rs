@@ -3,7 +3,8 @@
 //! This is the baseline the thesis measures all cross-invocation techniques
 //! against: a global barrier placed after every parallel loop invocation
 //! (`pthread_barrier_wait` in Fig. 1.3(b)). The implementation is a classic
-//! sense-reversing centralized barrier that spins with backoff, plus
+//! sense-reversing centralized barrier that waits adaptively — a bounded
+//! spin, then timed parks (see [`crate::wait`]) — plus
 //! per-thread idle-time accounting used by the barrier-overhead experiment
 //! (Fig. 4.3): the time between a thread's arrival and the barrier's release
 //! is pure synchronization loss.
@@ -11,7 +12,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use crossbeam::utils::{Backoff, CachePadded};
+use crossbeam::utils::CachePadded;
+
+use crate::wait::{AdaptiveSpin, Parker, PARK_SLICE};
 
 /// Outcome of [`SpinBarrier::wait_abortable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +58,12 @@ pub struct SpinBarrier {
     sense: CachePadded<AtomicBool>,
     generations: AtomicU64,
     idle_nanos: Box<[CachePadded<AtomicU64>]>,
+    /// Per-thread parking spots for waits that outlive the spin budget.
+    parkers: Box<[Parker]>,
+    /// How many threads are registered as (about to be) parked; the
+    /// releasing thread only walks `parkers` when this is nonzero, keeping
+    /// the all-spinning fast path free of parking traffic.
+    parked: CachePadded<AtomicUsize>,
 }
 
 impl SpinBarrier {
@@ -75,12 +84,42 @@ impl SpinBarrier {
             sense: CachePadded::new(AtomicBool::new(false)),
             generations: AtomicU64::new(0),
             idle_nanos: idle,
+            parkers: (0..num_threads).map(|_| Parker::new()).collect(),
+            parked: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 
     /// Number of participating threads.
     pub fn num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    /// Releases every thread that fell back from spinning to parking.
+    /// Called after the sense flip (and by abort-raising peers); a racing
+    /// park that misses the wakeup self-wakes after one timed slice.
+    fn wake_parked(&self) {
+        if self.parked.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        for p in self.parkers.iter() {
+            p.unpark();
+        }
+    }
+
+    /// One failed-predicate step of a spin-then-park wait: burns spin
+    /// budget, then registers in `parked` and parks for one timed slice.
+    fn spin_or_park(&self, tid: usize, spin: &mut AdaptiveSpin, local_sense: bool) {
+        if !spin.should_park() {
+            return;
+        }
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        // Re-check after registering: a release that happened in between
+        // has already walked (or will walk) the parkers, and the timed
+        // slice bounds the remaining race window.
+        if self.sense.load(Ordering::Acquire) != local_sense {
+            self.parkers[tid].park_timeout(PARK_SLICE);
+        }
+        self.parked.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Blocks until all `num_threads` participants have called `wait`.
@@ -102,14 +141,14 @@ impl SpinBarrier {
             self.arrived.store(0, Ordering::Relaxed);
             self.generations.fetch_add(1, Ordering::Relaxed);
             self.sense.store(local_sense, Ordering::Release);
+            self.wake_parked();
             true
         } else {
-            let backoff = Backoff::new();
+            let mut spin = AdaptiveSpin::new();
             while self.sense.load(Ordering::Acquire) != local_sense {
-                backoff.snooze();
+                self.spin_or_park(tid, &mut spin, local_sense);
             }
-            self.idle_nanos[tid]
-                .fetch_add(arrival.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.idle_nanos[tid].fetch_add(arrival.elapsed().as_nanos() as u64, Ordering::Relaxed);
             false
         }
     }
@@ -142,24 +181,22 @@ impl SpinBarrier {
             self.arrived.store(0, Ordering::Relaxed);
             self.generations.fetch_add(1, Ordering::Relaxed);
             self.sense.store(local_sense, Ordering::Release);
+            self.wake_parked();
             BarrierWait::Released(true)
         } else {
-            let backoff = Backoff::new();
+            let mut spin = AdaptiveSpin::new();
             while self.sense.load(Ordering::Acquire) != local_sense {
                 if abort.load(Ordering::Acquire) {
                     return BarrierWait::Aborted;
                 }
-                if backoff.is_completed() {
-                    if deadline.is_some_and(|d| Instant::now() >= d) {
-                        return BarrierWait::TimedOut;
-                    }
-                    std::thread::yield_now();
-                } else {
-                    backoff.snooze();
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return BarrierWait::TimedOut;
                 }
+                // Timed parks re-check the abort flag and deadline at least
+                // once per PARK_SLICE, preserving the pre-park semantics.
+                self.spin_or_park(tid, &mut spin, local_sense);
             }
-            self.idle_nanos[tid]
-                .fetch_add(arrival.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.idle_nanos[tid].fetch_add(arrival.elapsed().as_nanos() as u64, Ordering::Relaxed);
             BarrierWait::Released(false)
         }
     }

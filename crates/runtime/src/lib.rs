@@ -33,6 +33,10 @@
 //! * [`fault`] — a deterministic fault-injection plan ([`fault::FaultPlan`])
 //!   both engines and the simulator consult at well-defined points, so
 //!   recovery and degradation paths can be exercised and replayed exactly.
+//! * [`wait`] — adaptive spin-then-park waiting ([`wait::AdaptiveSpin`] +
+//!   [`wait::Parker`]): bounded spin, bounded yields, then timed parks, so
+//!   long waits stop burning a core while abort flags and watchdog deadlines
+//!   keep being observed.
 //!
 //! # Example
 //!
@@ -60,6 +64,7 @@ pub mod signature;
 pub mod spsc;
 pub mod stats;
 pub mod trace;
+pub mod wait;
 
 pub use barrier::{BarrierWait, SpinBarrier};
 pub use fault::{FaultKind, FaultPlan, FaultSite};
@@ -69,6 +74,7 @@ pub use shared::SharedSlice;
 pub use signature::{AccessSignature, BloomSignature, RangeSignature};
 pub use spsc::Queue;
 pub use trace::{Event, Trace, TraceCollector, TraceRecord, TraceReport, TraceSink};
+pub use wait::{AdaptiveSpin, Parker};
 
 /// Identifier of a worker thread within a parallel region.
 ///

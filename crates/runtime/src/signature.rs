@@ -93,7 +93,8 @@ impl RangeSignature {
 
     /// The inclusive write range, if any write was recorded.
     pub fn write_range(&self) -> Option<(usize, usize)> {
-        self.has_writes().then_some((self.write_min, self.write_max))
+        self.has_writes()
+            .then_some((self.write_min, self.write_max))
     }
 
     /// The inclusive read range, if any read was recorded.

@@ -8,8 +8,12 @@
 //! the same single-writer/single-reader cache behaviour the paper relies on
 //! for low communication latency.
 //!
-//! Blocking `produce`/`consume` spin with exponential backoff; non-blocking
-//! `try_*` variants are provided for the checker thread's polling loop.
+//! Blocking `produce`/`consume` wait adaptively — a bounded spin, then timed
+//! parks on the endpoint's [`Parker`] (woken by the opposite endpoint) — so a
+//! long-idle endpoint stops burning its core. Non-blocking `try_*` variants
+//! are provided for the checker thread's polling loop, and
+//! [`Producer::produce_batch`] / [`Consumer::consume_batch`] move runs of
+//! messages with a single atomic publish per chunk to amortize queue traffic.
 
 use std::cell::Cell;
 use std::fmt;
@@ -17,13 +21,21 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::utils::{Backoff, CachePadded};
+use crossbeam::utils::CachePadded;
+
+use crate::wait::{AdaptiveSpin, Parker, PARK_SLICE};
 
 struct Ring<T> {
     buf: Box<[MaybeUninit<Cell<Option<T>>>]>,
     capacity: usize,
     head: CachePadded<AtomicUsize>,
     tail: CachePadded<AtomicUsize>,
+    /// Where the consumer sleeps when the ring stays empty; the producer
+    /// unparks it after publishing.
+    consumer_parker: Parker,
+    /// Where the producer sleeps when the ring stays full; the consumer
+    /// unparks it after freeing slots.
+    producer_parker: Parker,
 }
 
 // SAFETY: the producer only writes slots in `tail..tail+1` and the consumer
@@ -79,6 +91,8 @@ impl<T: Send> Queue<T> {
             capacity,
             head: CachePadded::new(AtomicUsize::new(0)),
             tail: CachePadded::new(AtomicUsize::new(0)),
+            consumer_parker: Parker::new(),
+            producer_parker: Parker::new(),
         });
         (
             Producer {
@@ -110,8 +124,7 @@ impl<T: Send> Producer<T> {
     pub fn try_produce(&self, value: T) -> Result<(), T> {
         let tail = self.ring.tail.load(Ordering::Relaxed);
         if tail - self.cached_head.get() >= self.ring.capacity {
-            self.cached_head
-                .set(self.ring.head.load(Ordering::Acquire));
+            self.cached_head.set(self.ring.head.load(Ordering::Acquire));
             if tail - self.cached_head.get() >= self.ring.capacity {
                 return Err(value);
             }
@@ -120,20 +133,56 @@ impl<T: Send> Producer<T> {
         // this producer writes it.
         unsafe { std::ptr::write(self.ring.slot(tail), Some(value)) };
         self.ring.tail.store(tail + 1, Ordering::Release);
+        self.ring.consumer_parker.unpark();
         Ok(())
     }
 
-    /// Enqueues `value`, spinning with backoff while the queue is full.
+    /// Enqueues `value`, waiting adaptively (spin, then timed parks) while
+    /// the queue is full.
     pub fn produce(&self, mut value: T) {
-        let backoff = Backoff::new();
+        let mut spin = AdaptiveSpin::new();
         loop {
             match self.try_produce(value) {
                 Ok(()) => return,
                 Err(v) => {
                     value = v;
-                    backoff.snooze();
+                    if spin.should_park() {
+                        self.ring.producer_parker.park_timeout(PARK_SLICE);
+                    }
                 }
             }
+        }
+    }
+
+    /// Enqueues every element of `values` in order (leaving it empty),
+    /// writing each run of free slots with a single atomic tail publish —
+    /// the batched half of the scheduler→worker fast path. Waits adaptively
+    /// whenever the ring fills mid-batch.
+    pub fn produce_batch(&self, values: &mut Vec<T>) {
+        let mut spin = AdaptiveSpin::new();
+        while !values.is_empty() {
+            let tail = self.ring.tail.load(Ordering::Relaxed);
+            if tail - self.cached_head.get() >= self.ring.capacity {
+                self.cached_head.set(self.ring.head.load(Ordering::Acquire));
+            }
+            let free = self.ring.capacity - (tail - self.cached_head.get());
+            if free == 0 {
+                if spin.should_park() {
+                    self.ring.producer_parker.park_timeout(PARK_SLICE);
+                }
+                continue;
+            }
+            let n = free.min(values.len());
+            for (k, value) in values.drain(..n).enumerate() {
+                // SAFETY: slots `tail..tail + n` are unoccupied
+                // (tail + n - head <= capacity) and only this producer
+                // writes them; the single Release store below publishes
+                // the whole run.
+                unsafe { std::ptr::write(self.ring.slot(tail + k), Some(value)) };
+            }
+            self.ring.tail.store(tail + n, Ordering::Release);
+            self.ring.consumer_parker.unpark();
+            spin = AdaptiveSpin::new();
         }
     }
 
@@ -171,8 +220,7 @@ impl<T: Send> Consumer<T> {
     pub fn try_consume(&self) -> Option<T> {
         let head = self.ring.head.load(Ordering::Relaxed);
         if head == self.cached_tail.get() {
-            self.cached_tail
-                .set(self.ring.tail.load(Ordering::Acquire));
+            self.cached_tail.set(self.ring.tail.load(Ordering::Acquire));
             if head == self.cached_tail.get() {
                 return None;
             }
@@ -181,18 +229,47 @@ impl<T: Send> Consumer<T> {
         // only this consumer reads it.
         let value = unsafe { std::ptr::read(self.ring.slot(head)) };
         self.ring.head.store(head + 1, Ordering::Release);
+        self.ring.producer_parker.unpark();
         value
     }
 
-    /// Dequeues the next element, spinning with backoff while empty.
+    /// Dequeues the next element, waiting adaptively (spin, then timed
+    /// parks) while the queue is empty.
     pub fn consume(&self) -> T {
-        let backoff = Backoff::new();
+        let mut spin = AdaptiveSpin::new();
         loop {
             if let Some(v) = self.try_consume() {
                 return v;
             }
-            backoff.snooze();
+            if spin.should_park() {
+                self.ring.consumer_parker.park_timeout(PARK_SLICE);
+            }
         }
+    }
+
+    /// Drains up to `max` available elements into `out` with a single atomic
+    /// head publish, returning how many were moved (zero when the queue is
+    /// empty — this never blocks).
+    pub fn consume_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        if head == self.cached_tail.get() {
+            self.cached_tail.set(self.ring.tail.load(Ordering::Acquire));
+            if head == self.cached_tail.get() {
+                return 0;
+            }
+        }
+        let n = (self.cached_tail.get() - head).min(max);
+        out.reserve(n);
+        for k in 0..n {
+            // SAFETY: slots `head..head + n` were published by the producer
+            // (head + n <= tail) and only this consumer reads them; the
+            // single Release store below frees the whole run.
+            let value = unsafe { std::ptr::read(self.ring.slot(head + k)) };
+            out.extend(value);
+        }
+        self.ring.head.store(head + n, Ordering::Release);
+        self.ring.producer_parker.unpark();
+        n
     }
 
     /// Number of elements currently in flight (approximate under concurrency).
@@ -275,6 +352,59 @@ mod tests {
             expected += 1;
         }
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn batch_round_trip_preserves_order() {
+        let (tx, rx) = Queue::with_capacity(8);
+        let mut batch: Vec<u32> = (0..8).collect();
+        tx.produce_batch(&mut batch);
+        assert!(batch.is_empty());
+        let mut out = Vec::new();
+        assert_eq!(rx.consume_batch(&mut out, 8), 8);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(rx.consume_batch(&mut out, 8), 0);
+    }
+
+    #[test]
+    fn produce_batch_larger_than_capacity_completes_across_thread() {
+        const N: u32 = 10_000;
+        let (tx, rx) = Queue::with_capacity(16);
+        let producer = thread::spawn(move || {
+            let mut batch: Vec<u32> = (0..N).collect();
+            tx.produce_batch(&mut batch);
+        });
+        let mut out = Vec::new();
+        while out.len() < N as usize {
+            if rx.consume_batch(&mut out, 64) == 0 {
+                thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(out, (0..N).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn consume_batch_respects_max() {
+        let (tx, rx) = Queue::with_capacity(8);
+        let mut batch: Vec<u32> = (0..6).collect();
+        tx.produce_batch(&mut batch);
+        let mut out = Vec::new();
+        assert_eq!(rx.consume_batch(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.consume_batch(&mut out, 4), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn parked_consumer_is_woken_by_produce() {
+        // The consumer parks (nothing to do for well over the spin budget);
+        // a late produce must still reach it promptly.
+        let (tx, rx) = Queue::with_capacity(4);
+        let consumer = thread::spawn(move || rx.consume());
+        thread::sleep(std::time::Duration::from_millis(30));
+        tx.produce(7u32);
+        assert_eq!(consumer.join().unwrap(), 7);
     }
 
     #[test]

@@ -72,6 +72,19 @@ pub enum Event {
         /// Epoch number.
         epoch: u32,
     },
+    /// The scheduler *assigned* a task to a worker (DOMORE: the policy
+    /// decision, recorded on the manager's timeline at enqueue time). The
+    /// per-worker distribution of these events is the scheduler's load
+    /// balance; compare with [`Event::TaskDispatch`], which marks when the
+    /// worker actually picked the task up.
+    TaskAssign {
+        /// Epoch of the task.
+        epoch: u32,
+        /// Task index within the epoch.
+        task: u64,
+        /// Worker the task was routed to.
+        worker: ThreadId,
+    },
     /// A task was handed to a worker (DOMORE: scheduler dispatch; SPECCROSS:
     /// the worker admitted the task past the speculative-range gate).
     TaskDispatch {
@@ -148,6 +161,7 @@ impl Event {
         match self {
             Event::EpochBegin { .. } => "epoch_begin",
             Event::EpochEnd { .. } => "epoch_end",
+            Event::TaskAssign { .. } => "task_assign",
             Event::TaskDispatch { .. } => "task_dispatch",
             Event::TaskRetire { .. } => "task_retire",
             Event::BarrierEnter { .. } => "barrier_enter",
@@ -379,7 +393,10 @@ impl TraceCollector {
     /// Returns a finished sink's records to the collector.
     pub fn absorb(&self, sink: TraceSink) {
         if sink.is_enabled() {
-            self.slots.lock().expect("trace collector poisoned").push(sink);
+            self.slots
+                .lock()
+                .expect("trace collector poisoned")
+                .push(sink);
         }
     }
 
@@ -544,6 +561,15 @@ fn write_record(out: &mut String, rec: &TraceRecord) {
             field(out, "epoch", epoch as u64);
             field(out, "task", task);
         }
+        Event::TaskAssign {
+            epoch,
+            task,
+            worker,
+        } => {
+            field(out, "epoch", epoch as u64);
+            field(out, "task", task);
+            field(out, "worker", worker as u64);
+        }
         Event::Misspeculation {
             earlier_tid,
             earlier_epoch,
@@ -590,11 +616,7 @@ fn parse_record(line: &str) -> Result<TraceRecord, String> {
         if bytes[i] != b'"' {
             return Err(format!("expected key quote at byte {i}"));
         }
-        let key_end = inner[i + 1..]
-            .find('"')
-            .ok_or("unterminated key")?
-            + i
-            + 1;
+        let key_end = inner[i + 1..].find('"').ok_or("unterminated key")? + i + 1;
         let key = inner[i + 1..key_end].to_string();
         i = key_end + 1;
         if bytes.get(i) != Some(&b':') {
@@ -655,6 +677,11 @@ fn parse_record(line: &str) -> Result<TraceRecord, String> {
         "epoch_end" => Event::EpochEnd {
             epoch: epoch(num("epoch")?),
         },
+        "task_assign" => Event::TaskAssign {
+            epoch: epoch(num("epoch")?),
+            task: num("task")?,
+            worker: num("worker")? as usize,
+        },
         "task_dispatch" => Event::TaskDispatch {
             epoch: epoch(num("epoch")?),
             task: num("task")?,
@@ -713,6 +740,9 @@ pub struct MisspecEntry {
 pub struct ThreadBreakdown {
     /// Thread id.
     pub tid: ThreadId,
+    /// Tasks the scheduler routed to this worker ([`Event::TaskAssign`]
+    /// events naming it). Zero on engines that do not emit assignments.
+    pub assigned: u64,
     /// Tasks retired.
     pub tasks: u64,
     /// Synchronization waits (barrier/rendezvous/condition) endured.
@@ -786,6 +816,12 @@ impl TraceReport {
 
         for rec in trace.records() {
             match rec.event {
+                Event::TaskAssign { worker, .. } => {
+                    // Credited to the *named* worker: the event itself sits
+                    // on the scheduler's timeline.
+                    let i = slot(&mut threads, worker);
+                    threads[i].assigned += 1;
+                }
                 Event::TaskDispatch { .. } => {
                     // Remember the dispatch time; the matching retire (same
                     // tid, next retire) closes the busy interval.
@@ -825,8 +861,7 @@ impl TraceReport {
                 }),
                 Event::Checkpoint { epoch } => checkpoints.push(epoch),
                 Event::Degradation { epoch } => degradations.push(epoch),
-                Event::EpochBegin { .. } | Event::EpochEnd { .. } | Event::BarrierEnter { .. } => {
-                }
+                Event::EpochBegin { .. } | Event::EpochEnd { .. } | Event::BarrierEnter { .. } => {}
             }
         }
         threads.sort_by_key(|t| t.tid);
@@ -860,6 +895,26 @@ impl TraceReport {
         } else {
             wait as f64 / (busy + wait) as f64
         }
+    }
+
+    /// Scheduler load balance from [`Event::TaskAssign`] events: the ratio
+    /// of the most-assigned worker's task count to the mean over all worker
+    /// rows (`1.0` is perfectly balanced, `num_workers` is fully serialized
+    /// onto one worker). `None` when the trace carries no assignments (e.g.
+    /// SPECCROSS, which has no scheduler).
+    pub fn dispatch_balance(&self) -> Option<f64> {
+        let workers: Vec<&ThreadBreakdown> = self
+            .threads
+            .iter()
+            .filter(|t| t.tid != MANAGER_TID && t.tid != CHECKER_TID)
+            .collect();
+        let total: u64 = workers.iter().map(|t| t.assigned).sum();
+        if total == 0 || workers.is_empty() {
+            return None;
+        }
+        let max = workers.iter().map(|t| t.assigned).max().unwrap_or(0);
+        let mean = total as f64 / workers.len() as f64;
+        Some(max as f64 / mean)
     }
 
     /// Per-thread busy fraction per time bucket: `timeline(n)[i][b]` is the
@@ -907,7 +962,12 @@ impl TraceReport {
     pub fn render(&self, trace: &Trace) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "span: {} ns, {} records", self.span_ns, trace.records().len());
+        let _ = writeln!(
+            out,
+            "span: {} ns, {} records",
+            self.span_ns,
+            trace.records().len()
+        );
         if self.dropped > 0 {
             let _ = writeln!(
                 out,
@@ -920,10 +980,13 @@ impl TraceReport {
             "barrier-idle fraction (workers): {:.1}%",
             100.0 * self.barrier_idle_fraction()
         );
+        if let Some(balance) = self.dispatch_balance() {
+            let _ = writeln!(out, "dispatch balance (max/mean assigned): {balance:.2}");
+        }
         let _ = writeln!(
             out,
-            "{:<10} {:>10} {:>8} {:>14} {:>14}",
-            "thread", "tasks", "waits", "wait_ns", "busy_ns"
+            "{:<10} {:>10} {:>10} {:>8} {:>14} {:>14}",
+            "thread", "assigned", "tasks", "waits", "wait_ns", "busy_ns"
         );
         for t in &self.threads {
             let name = match t.tid {
@@ -933,8 +996,8 @@ impl TraceReport {
             };
             let _ = writeln!(
                 out,
-                "{:<10} {:>10} {:>8} {:>14} {:>14}",
-                name, t.tasks, t.barrier_waits, t.barrier_wait_ns, t.busy_ns
+                "{:<10} {:>10} {:>10} {:>8} {:>14} {:>14}",
+                name, t.assigned, t.tasks, t.barrier_waits, t.barrier_wait_ns, t.busy_ns
             );
         }
         const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];

@@ -20,7 +20,11 @@ use crate::workload::SimWorkload;
 /// # Panics
 ///
 /// Panics if `threads` is zero.
-pub fn barrier<W: SimWorkload + ?Sized>(workload: &W, threads: usize, cost: &CostModel) -> SimResult {
+pub fn barrier<W: SimWorkload + ?Sized>(
+    workload: &W,
+    threads: usize,
+    cost: &CostModel,
+) -> SimResult {
     barrier_traced(workload, threads, cost, None)
 }
 

@@ -51,7 +51,6 @@ fn split_accesses(
     addrs.extend_from_slice(reads);
 }
 
-
 /// Simulates DOMORE with a dedicated scheduler thread and `workers` worker
 /// threads (the final plan of Fig. 3.2(c)).
 ///
@@ -112,6 +111,14 @@ pub fn domore_traced<W: SimWorkload + ?Sized>(
             split_accesses(&pairs, &mut writes, &mut reads, &mut addrs);
             let preview = logic.next_iter_num();
             let tid = policy.assign(preview, &addrs, workers);
+            sinks.manager.emit_at(
+                sched_clock,
+                Event::TaskAssign {
+                    epoch: inv as u32,
+                    task: iter as u64,
+                    worker: tid,
+                },
+            );
             conds.clear();
             let iter_num = logic.schedule_rw(tid, &writes, &reads, &mut conds);
             debug_assert_eq!(iter_num, preview);
@@ -380,7 +387,10 @@ mod tests {
         let seq = sequential(&w, &CostModel::default());
         let s8 = domore(&w, 8, &mut RoundRobin, &CostModel::default());
         let s16 = domore(&w, 16, &mut RoundRobin, &CostModel::default());
-        let (a, b) = (s8.speedup_over(seq.total_ns), s16.speedup_over(seq.total_ns));
+        let (a, b) = (
+            s8.speedup_over(seq.total_ns),
+            s16.speedup_over(seq.total_ns),
+        );
         assert!(b < a * 1.2, "scheduler-bound: {a} vs {b}");
     }
 

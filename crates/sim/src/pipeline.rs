@@ -114,11 +114,7 @@ pub fn dswp(staged: &StagedLoop, comm_ns: u64) -> SimResult {
     for _ in 0..staged.iterations {
         let mut upstream_finish = 0u64;
         for (k, &cost) in staged.stage_costs.iter().enumerate() {
-            let arrival = if k == 0 {
-                0
-            } else {
-                upstream_finish + comm_ns
-            };
+            let arrival = if k == 0 { 0 } else { upstream_finish + comm_ns };
             let start = clocks[k].max(arrival);
             idle[k] += start - clocks[k];
             clocks[k] = start + cost;
@@ -172,8 +168,7 @@ mod tests {
         let expensive = 2_000;
         let da_degradation =
             doacross(&l, 2, expensive).total_ns as f64 / doacross(&l, 2, cheap).total_ns as f64;
-        let ds_degradation =
-            dswp(&l, expensive).total_ns as f64 / dswp(&l, cheap).total_ns as f64;
+        let ds_degradation = dswp(&l, expensive).total_ns as f64 / dswp(&l, cheap).total_ns as f64;
         assert!(
             da_degradation > 2.0,
             "DOACROSS must suffer: {da_degradation}"

@@ -166,7 +166,15 @@ pub fn speccross<W: SimWorkload + ?Sized>(
 
     while start_epoch < num_epochs {
         match speculative_pass(
-            workload, params, cost, &fault, start_epoch, now, &stats, &mut busy, &mut idle,
+            workload,
+            params,
+            cost,
+            &fault,
+            start_epoch,
+            now,
+            &stats,
+            &mut busy,
+            &mut idle,
             &mut sinks,
         ) {
             (PassEnd::Completed, end_time) => {
@@ -259,7 +267,12 @@ fn barrier_range<W: SimWorkload + ?Sized>(
     let mut clocks = vec![t0; threads];
     for epoch in from..to {
         stats.add_epoch();
-        sinks.workers[0].emit_at(clocks[0], Event::EpochBegin { epoch: epoch as u32 });
+        sinks.workers[0].emit_at(
+            clocks[0],
+            Event::EpochBegin {
+                epoch: epoch as u32,
+            },
+        );
         for iter in 0..workload.num_iterations(epoch) {
             let tid = iter % threads;
             let work = workload.iteration_cost(epoch, iter);
@@ -284,7 +297,12 @@ fn barrier_range<W: SimWorkload + ?Sized>(
         let slowest = *clocks.iter().max().expect("threads > 0");
         for (tid, (clock, i)) in clocks.iter_mut().zip(idle.iter_mut()).enumerate() {
             let wait = slowest - *clock;
-            sinks.workers[tid].emit_at(*clock, Event::BarrierEnter { epoch: epoch as u32 });
+            sinks.workers[tid].emit_at(
+                *clock,
+                Event::BarrierEnter {
+                    epoch: epoch as u32,
+                },
+            );
             *i += wait;
             *clock = slowest + cost.barrier_ns(threads);
             sinks.workers[tid].emit_at(
@@ -364,7 +382,12 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 + cost.checkpoint_ns;
             for (tid, (clock, i)) in clocks.iter_mut().zip(idle.iter_mut()).enumerate() {
                 let wait = sync - *clock;
-                sinks.workers[tid].emit_at(*clock, Event::BarrierEnter { epoch: epoch as u32 });
+                sinks.workers[tid].emit_at(
+                    *clock,
+                    Event::BarrierEnter {
+                        epoch: epoch as u32,
+                    },
+                );
                 *i += wait;
                 *clock = sync;
                 sinks.workers[tid].emit_at(
@@ -390,15 +413,23 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
             } else {
                 stats.add_checkpoint();
                 checkpoint_epoch = epoch;
-                sinks
-                    .manager
-                    .emit_at(sync, Event::Checkpoint { epoch: epoch as u32 });
+                sinks.manager.emit_at(
+                    sync,
+                    Event::Checkpoint {
+                        epoch: epoch as u32,
+                    },
+                );
             }
             window.clear(); // nothing before the rendezvous can race past it
         }
 
         let ntasks = workload.num_iterations(epoch);
-        sinks.workers[0].emit_at(clocks[0], Event::EpochBegin { epoch: epoch as u32 });
+        sinks.workers[0].emit_at(
+            clocks[0],
+            Event::EpochBegin {
+                epoch: epoch as u32,
+            },
+        );
         for task in 0..ntasks {
             let tid = task % threads;
             let global = prefix[epoch - start_epoch] + task as u64;
@@ -614,14 +645,15 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 window.retain(|e| e.finish > min_clock);
             }
         }
-        sinks.workers[0].emit_at(clocks[0], Event::EpochEnd { epoch: epoch as u32 });
+        sinks.workers[0].emit_at(
+            clocks[0],
+            Event::EpochEnd {
+                epoch: epoch as u32,
+            },
+        );
     }
 
-    let end = clocks
-        .into_iter()
-        .max()
-        .unwrap_or(t0)
-        .max(checker_clock);
+    let end = clocks.into_iter().max().unwrap_or(t0).max(checker_clock);
     (PassEnd::Completed, end)
 }
 
@@ -784,10 +816,13 @@ mod tests {
     fn injected_worker_panic_rolls_back_without_misspeculation() {
         let w = UniformWorkload::independent(60, 16, 1_000);
         let clean = speccross(&w, &SpecSimParams::with_threads(4), &CostModel::default());
-        let params = SpecSimParams::with_threads(4)
-            .fault_plan(FaultPlan::default().worker_panic_at(40, 3));
+        let params =
+            SpecSimParams::with_threads(4).fault_plan(FaultPlan::default().worker_panic_at(40, 3));
         let r = speccross(&w, &params, &CostModel::default());
-        assert_eq!(r.stats.misspeculations, 0, "a panic is not a misspeculation");
+        assert_eq!(
+            r.stats.misspeculations, 0,
+            "a panic is not a misspeculation"
+        );
         assert!(!r.degraded);
         assert!(r.stats.tasks >= 60 * 16, "rollback re-executes epochs");
         assert!(r.total_ns > clean.total_ns, "recovery has a cost");
@@ -836,7 +871,9 @@ mod tests {
         let plain = speccross(&w, &base, &CostModel::default());
         let faulty = speccross(
             &w,
-            &base.clone().fault_plan(FaultPlan::default().restore_failure()),
+            &base
+                .clone()
+                .fault_plan(FaultPlan::default().restore_failure()),
             &CostModel::default(),
         );
         assert_eq!(
@@ -882,7 +919,9 @@ mod tests {
         let p1 = SpecSimParams::with_threads(4)
             .fault_plan(plan.clone())
             .trace(1 << 14);
-        let p2 = SpecSimParams::with_threads(4).fault_plan(plan).trace(1 << 14);
+        let p2 = SpecSimParams::with_threads(4)
+            .fault_plan(plan)
+            .trace(1 << 14);
         let a = speccross(&w, &p1, &CostModel::default());
         let b = speccross(&w, &p2, &CostModel::default());
         assert_eq!(a, b, "virtual-time traces must replay identically");

@@ -177,9 +177,7 @@ impl SimWorkload for UniformWorkload {
         match self.addr_fn {
             AddrPattern::Independent => {}
             AddrPattern::SameCell => out.push((iter, AccessKind::Write)),
-            AddrPattern::Rotating => {
-                out.push(((iter + inv) % self.iterations, AccessKind::Write))
-            }
+            AddrPattern::Rotating => out.push(((iter + inv) % self.iterations, AccessKind::Write)),
         }
     }
 

@@ -102,9 +102,7 @@ impl<S: AccessSignature> CheckerState<S> {
                 for logged in log.iter().rev() {
                     // Logs are position-ordered; once below both windows we
                     // can stop scanning this worker.
-                    if logged.pos < req.snapshot[other_tid]
-                        && logged.pos.epoch < req.pos.epoch
-                    {
+                    if logged.pos < req.snapshot[other_tid] && logged.pos.epoch < req.pos.epoch {
                         break;
                     }
                     let races = if logged.pos.epoch < req.pos.epoch {

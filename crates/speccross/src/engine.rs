@@ -53,7 +53,9 @@ use crossinvoc_runtime::fault::{CheckFault, FaultKind, FaultPlan, TaskFault};
 use crossinvoc_runtime::metrics::{Metrics, MetricsSummary};
 use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
 use crossinvoc_runtime::stats::StatsSummary;
-use crossinvoc_runtime::trace::{Event, Trace, TraceCollector, TraceSink, CHECKER_TID, MANAGER_TID};
+use crossinvoc_runtime::trace::{
+    Event, Trace, TraceCollector, TraceSink, CHECKER_TID, MANAGER_TID,
+};
 use crossinvoc_runtime::SpinBarrier;
 
 use crate::check::{CheckRequest, CheckerState, Conflict};
@@ -225,7 +227,10 @@ impl fmt::Display for SpecError {
                 "checker thread died with {unprocessed} unverified check request(s)"
             ),
             SpecError::TaskPanicked { epoch, task } => {
-                write!(f, "task {task} of epoch {epoch} panicked during non-speculative execution")
+                write!(
+                    f,
+                    "task {task} of epoch {epoch} panicked during non-speculative execution"
+                )
             }
             SpecError::RestoreFailed { epoch } => {
                 write!(f, "restoring the epoch-{epoch} checkpoint failed twice")
@@ -541,8 +546,14 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         let num_epochs = workload.num_epochs();
 
         while start_epoch < num_epochs {
-            let pass =
-                self.speculative_pass(workload, start_epoch, &metrics, &fault, deadline, &collector);
+            let pass = self.speculative_pass(
+                workload,
+                start_epoch,
+                &metrics,
+                &fault,
+                deadline,
+                &collector,
+            );
             comparisons += pass.comparisons;
             contained.extend(pass.contained.iter().copied());
 
@@ -972,10 +983,13 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             }
 
             // enter_barrier: cross the invocation boundary speculatively.
-            shared.board.set_position(tid, Position {
-                epoch: epoch as u32,
-                task: 0,
-            });
+            shared.board.set_position(
+                tid,
+                Position {
+                    epoch: epoch as u32,
+                    task: 0,
+                },
+            );
             if tid == 0 {
                 stats.add_epoch();
                 sink.emit(Event::EpochBegin {
@@ -1095,10 +1109,13 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 // later-starting tasks' snapshots observe it as retired;
                 // leaving it at the started coordinate would make every
                 // finished-but-idle worker look like a racing overlap.
-                shared.board.set_position(tid, Position {
-                    epoch: epoch as u32,
-                    task: local_counter,
-                });
+                shared.board.set_position(
+                    tid,
+                    Position {
+                        epoch: epoch as u32,
+                        task: local_counter,
+                    },
+                );
                 task += num_workers;
             }
             if tid == 0 {
@@ -1145,9 +1162,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             // Wait for the checker to finish all requests before the
             // checkpoint, so the snapshot is known-good (§4.2.2).
             let backoff = Backoff::new();
-            while shared.processed.load(Ordering::Acquire)
-                < shared.sent.load(Ordering::Acquire)
-            {
+            while shared.processed.load(Ordering::Acquire) < shared.sent.load(Ordering::Acquire) {
                 if shared.misspec.load(Ordering::Acquire) {
                     break;
                 }
@@ -1218,9 +1233,10 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 Ok(CheckerMsg::Check(req)) => {
                     backoff.reset();
                     let mut forced = false;
-                    let check_fault = shared
-                        .fault
-                        .check(req.pos.epoch, req.pos.task as u64, req.tid);
+                    let check_fault =
+                        shared
+                            .fault
+                            .check(req.pos.epoch, req.pos.task as u64, req.tid);
                     if let Some(f) = check_fault {
                         let kind = match f {
                             CheckFault::ForceConflict => FaultKind::FalsePositive,

@@ -63,7 +63,9 @@ pub use workload::{AccessRecorder, NullRecorder, SigRecorder, SpecWorkload};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::engine::{ContainedFault, DegradePolicy, SpecConfig, SpecCrossEngine, SpecError};
+    pub use crate::engine::{
+        ContainedFault, DegradePolicy, SpecConfig, SpecCrossEngine, SpecError,
+    };
     pub use crate::profile::ProfileReport;
     pub use crate::workload::{AccessRecorder, SpecWorkload};
 }

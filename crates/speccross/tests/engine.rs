@@ -64,13 +64,7 @@ impl SpecWorkload for PingPong {
         self.n()
     }
 
-    fn execute_task(
-        &self,
-        epoch: usize,
-        task: usize,
-        _tid: usize,
-        rec: &mut dyn AccessRecorder,
-    ) {
+    fn execute_task(&self, epoch: usize, task: usize, _tid: usize, rec: &mut dyn AccessRecorder) {
         let n = self.n();
         let (src, dst, base_src, base_dst) = if epoch.is_multiple_of(2) {
             (&self.a, &self.b, 0usize, n)
@@ -117,16 +111,20 @@ fn speculative_matches_sequential_when_gated() {
         let mut w = PingPong::new(32, 10);
         // The profiled distance for this stencil is about one epoch of
         // tasks; gate accordingly so dependences never misspeculate.
-        let profile = SpecCrossEngine::<
-            crossinvoc_runtime::RangeSignature,
-        >::profile(&PingPong::new(32, 4), 4);
+        let profile = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(
+            &PingPong::new(32, 4),
+            4,
+        );
         assert!(profile.min_distance.is_some());
         let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
             SpecConfig::with_workers(workers).spec_distance(profile.min_distance),
         )
         .execute(&w)
         .unwrap();
-        assert_eq!(report.stats.misspeculations, 0, "gated run never rolls back");
+        assert_eq!(
+            report.stats.misspeculations, 0,
+            "gated run never rolls back"
+        );
         assert_eq!(w.result(), PingPong::sequential(32, 10));
         assert_eq!(report.stats.tasks, 32 * 10);
         assert_eq!(report.stats.epochs, 10);
@@ -139,11 +137,10 @@ fn ungated_speculation_recovers_to_correct_result() {
     // interleaving; either way the final state must be sequential.
     for seed in 0..3 {
         let mut w = PingPong::new(16 + seed, 8);
-        let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
-            SpecConfig::with_workers(3),
-        )
-        .execute(&w)
-        .unwrap();
+        let report =
+            SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(SpecConfig::with_workers(3))
+                .execute(&w)
+                .unwrap();
         assert_eq!(w.result(), PingPong::sequential(16 + seed, 8));
         assert!(report.stats.tasks >= (16 + seed as u64) * 8);
     }
@@ -152,11 +149,10 @@ fn ungated_speculation_recovers_to_correct_result() {
 #[test]
 fn barrier_baseline_matches_sequential() {
     let mut w = PingPong::new(24, 7);
-    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
-        SpecConfig::with_workers(3),
-    )
-    .execute_with_barriers(&w)
-    .unwrap();
+    let report =
+        SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(SpecConfig::with_workers(3))
+            .execute_with_barriers(&w)
+            .unwrap();
     assert_eq!(w.result(), PingPong::sequential(24, 7));
     assert_eq!(report.stats.tasks, 24 * 7);
     assert_eq!(report.comparisons, 0);
@@ -165,8 +161,9 @@ fn barrier_baseline_matches_sequential() {
 #[test]
 fn injected_conflict_triggers_exactly_one_recovery() {
     let mut w = PingPong::new(16, 9);
-    let d = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&PingPong::new(16, 4), 4)
-        .min_distance;
+    let d =
+        SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&PingPong::new(16, 4), 4)
+            .min_distance;
     let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
         SpecConfig::with_workers(2)
             .spec_distance(d)
@@ -182,8 +179,9 @@ fn injected_conflict_triggers_exactly_one_recovery() {
 #[test]
 fn frequent_checkpoints_bound_reexecution() {
     let mut w = PingPong::new(16, 20);
-    let d = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&PingPong::new(16, 4), 4)
-        .min_distance;
+    let d =
+        SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&PingPong::new(16, 4), 4)
+            .min_distance;
     let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
         SpecConfig::with_workers(2)
             .checkpoint_every(2)
@@ -220,13 +218,7 @@ impl SpecWorkload for WithIrreversible {
     fn num_tasks(&self, epoch: usize) -> usize {
         self.inner.num_tasks(epoch)
     }
-    fn execute_task(
-        &self,
-        epoch: usize,
-        task: usize,
-        tid: usize,
-        rec: &mut dyn AccessRecorder,
-    ) {
+    fn execute_task(&self, epoch: usize, task: usize, tid: usize, rec: &mut dyn AccessRecorder) {
         if epoch == self.irreversible_epoch {
             self.irreversible_runs.fetch_add(1, Ordering::Relaxed);
         }
@@ -252,11 +244,8 @@ fn irreversible_epoch_is_never_reexecuted() {
         irreversible_epoch: 3,
         irreversible_runs: AtomicU64::new(0),
     };
-    let d = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(
-        &PingPong::new(n, 4),
-        4,
-    )
-    .min_distance;
+    let d = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&PingPong::new(n, 4), 4)
+        .min_distance;
     let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
         SpecConfig::with_workers(2)
             .spec_distance(d)
@@ -288,11 +277,10 @@ fn zero_workers_is_an_error() {
 #[test]
 fn empty_region_completes_immediately() {
     let mut w = PingPong::new(4, 0);
-    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
-        SpecConfig::with_workers(2),
-    )
-    .execute(&w)
-    .unwrap();
+    let report =
+        SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(SpecConfig::with_workers(2))
+            .execute(&w)
+            .unwrap();
     assert_eq!(report.stats.tasks, 0);
     assert_eq!(w.result(), PingPong::sequential(4, 0));
 }
@@ -300,8 +288,7 @@ fn empty_region_completes_immediately() {
 #[test]
 fn profile_reports_stencil_distance() {
     let w = PingPong::new(32, 6);
-    let profile =
-        SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&w, 4);
+    let profile = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&w, 4);
     // Task t of epoch e writes cell t of one array; task t' of epoch e+1
     // reads cells t'-1..t'+1 of that array. With range signatures the whole
     // epoch overlaps, so the profiled distance is small but positive.
@@ -330,11 +317,10 @@ fn engine_works_with_bloom_signatures() {
     use crossinvoc_runtime::BloomSignature;
     let mut w = PingPong::new(16, 6);
     let d = SpecCrossEngine::<BloomSignature>::profile(&PingPong::new(16, 4), 4).min_distance;
-    let report = SpecCrossEngine::<BloomSignature>::new(
-        SpecConfig::with_workers(2).spec_distance(d),
-    )
-    .execute(&w)
-    .unwrap();
+    let report =
+        SpecCrossEngine::<BloomSignature>::new(SpecConfig::with_workers(2).spec_distance(d))
+            .execute(&w)
+            .unwrap();
     assert_eq!(w.result(), PingPong::sequential(16, 6));
     // Bloom filters may add false-positive conflicts but never unsoundness;
     // a gated run still recovers to the right answer either way.
@@ -344,11 +330,10 @@ fn engine_works_with_bloom_signatures() {
 #[test]
 fn single_worker_speculation_is_trivially_sound() {
     let mut w = PingPong::new(8, 5);
-    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
-        SpecConfig::with_workers(1),
-    )
-    .execute(&w)
-    .unwrap();
+    let report =
+        SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(SpecConfig::with_workers(1))
+            .execute(&w)
+            .unwrap();
     assert_eq!(w.result(), PingPong::sequential(8, 5));
     assert_eq!(report.stats.misspeculations, 0, "one worker cannot race");
 }

@@ -113,12 +113,12 @@ impl SimWorkload for Fluidanimate {
     fn iteration_cost(&self, inv: usize, iter: usize) -> u64 {
         let p = self.particles(iter);
         match inv % PHASES {
-            0 | 2 => 200,                         // clear / init: trivial
-            1 => 400 + 250 * p,                   // rebuild grid
-            3 | 4 => 600 + 900 * p,               // density passes
-            5 => 800 + 1_600 * p * p / 4,         // forces: pairwise
-            6 => 300 + 350 * p,                   // collisions
-            _ => 300 + 300 * p,                   // advance
+            0 | 2 => 200,                 // clear / init: trivial
+            1 => 400 + 250 * p,           // rebuild grid
+            3 | 4 => 600 + 900 * p,       // density passes
+            5 => 800 + 1_600 * p * p / 4, // forces: pairwise
+            6 => 300 + 350 * p,           // collisions
+            _ => 300 + 300 * p,           // advance
         }
     }
 
@@ -268,11 +268,10 @@ mod tests {
         let d = profile_distance(&model, 9).min_distance;
         let kernel = AccessKernel::from_model(model);
         let expected = kernel.sequential_checksum();
-        let report = SpecCrossEngine::<RangeSignature>::new(
-            SpecConfig::with_workers(2).spec_distance(d),
-        )
-        .execute(&kernel)
-        .unwrap();
+        let report =
+            SpecCrossEngine::<RangeSignature>::new(SpecConfig::with_workers(2).spec_distance(d))
+                .execute(&kernel)
+                .unwrap();
         assert_eq!(kernel.checksum(), expected);
         assert_eq!(report.stats.misspeculations, 0);
     }

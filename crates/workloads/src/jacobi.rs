@@ -98,11 +98,10 @@ mod tests {
         let d = profile_distance(&model, 4).min_distance;
         let kernel = AccessKernel::from_model(model);
         let expected = kernel.sequential_checksum();
-        let report = SpecCrossEngine::<RangeSignature>::new(
-            SpecConfig::with_workers(2).spec_distance(d),
-        )
-        .execute(&kernel)
-        .unwrap();
+        let report =
+            SpecCrossEngine::<RangeSignature>::new(SpecConfig::with_workers(2).spec_distance(d))
+                .execute(&kernel)
+                .unwrap();
         assert_eq!(kernel.checksum(), expected);
         assert_eq!(report.stats.misspeculations, 0);
     }

@@ -165,13 +165,7 @@ impl<W: SimWorkload + Sync> crossinvoc_domore::DomoreWorkload for AccessKernel<W
         );
     }
 
-    fn touched(
-        &self,
-        inv: usize,
-        iter: usize,
-        writes: &mut Vec<usize>,
-        reads: &mut Vec<usize>,
-    ) {
+    fn touched(&self, inv: usize, iter: usize, writes: &mut Vec<usize>, reads: &mut Vec<usize>) {
         let mut pairs = Vec::new();
         self.model.accesses(inv, iter, &mut pairs);
         for (addr, kind) in pairs {
@@ -185,13 +179,7 @@ impl<W: SimWorkload + Sync> crossinvoc_domore::DomoreWorkload for AccessKernel<W
     fn execute_iteration(&self, inv: usize, iter: usize, _tid: ThreadId) {
         // SAFETY: DOMORE orders iterations with intersecting address sets,
         // and `touched_addrs` reports exactly the performed accesses.
-        unsafe {
-            self.perform(
-                inv,
-                iter,
-                &mut crossinvoc_speccross::workload::NullRecorder,
-            )
-        };
+        unsafe { self.perform(inv, iter, &mut crossinvoc_speccross::workload::NullRecorder) };
     }
 
     fn address_space(&self) -> Option<usize> {

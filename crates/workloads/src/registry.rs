@@ -66,6 +66,15 @@ impl BenchmarkInfo {
         }
     }
 
+    /// Whether the model's per-iteration work is load-imbalanced enough
+    /// that round-robin dispatch leaves workers idle: CG's rows vary in
+    /// nonzero count, ECLAT's transaction buckets collide unevenly, and
+    /// FLUIDANIMATE's cells hold varying particle counts. The bench
+    /// harness uses these rows to demonstrate the adaptive policy's win.
+    pub fn imbalanced(&self) -> bool {
+        matches!(self.name, "CG" | "ECLAT" | "FLUIDANIMATE-1")
+    }
+
     /// Builds this benchmark's workload model at `scale` (boxed, for
     /// registry-driven harnesses).
     pub fn model(&self, scale: Scale) -> Box<dyn SimWorkload + Send + Sync> {

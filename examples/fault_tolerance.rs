@@ -46,13 +46,7 @@ impl SpecWorkload for Grid {
     fn num_tasks(&self, _epoch: usize) -> usize {
         self.data.len()
     }
-    fn execute_task(
-        &self,
-        _epoch: usize,
-        task: usize,
-        _tid: usize,
-        rec: &mut dyn AccessRecorder,
-    ) {
+    fn execute_task(&self, _epoch: usize, task: usize, _tid: usize, rec: &mut dyn AccessRecorder) {
         rec.write(task);
         // SAFETY: same-epoch tasks write disjoint cells; cross-epoch
         // revisits of a cell are ordered by the engine.
@@ -140,7 +134,10 @@ fn main() {
                 .degrade(DegradePolicy::default()),
         )
         .execute(&w);
-        (out.map(|r| (r.degraded, r.stats.misspeculations)), w.cells())
+        (
+            out.map(|r| (r.degraded, r.stats.misspeculations)),
+            w.cells(),
+        )
     };
     let (a, cells_a) = run(plan.clone());
     let (b, cells_b) = run(plan);

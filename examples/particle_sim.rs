@@ -28,7 +28,9 @@ impl ParticleGrid {
     fn new() -> Self {
         Self {
             field: SharedSlice::from_vec(
-                (0..CELLS as i64).map(|c| splitmix64(c as u64) as i64).collect(),
+                (0..CELLS as i64)
+                    .map(|c| splitmix64(c as u64) as i64)
+                    .collect(),
             ),
         }
     }

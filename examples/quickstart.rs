@@ -35,15 +35,20 @@ fn main() {
             );
         });
         // L2: B[j] = g(A[j-1], A[j])
-        b.for_loop(j, Expr::Const(1), Expr::add(Expr::Const(n), Expr::Const(1)), |b| {
-            b.load(x, a, Expr::sub(Expr::Var(j), Expr::Const(1)));
-            b.load(y, a, Expr::Var(j));
-            b.store(
-                bb,
-                Expr::Var(j),
-                Expr::add(Expr::Var(x), Expr::mul(Expr::Var(y), Expr::Const(7))),
-            );
-        });
+        b.for_loop(
+            j,
+            Expr::Const(1),
+            Expr::add(Expr::Const(n), Expr::Const(1)),
+            |b| {
+                b.load(x, a, Expr::sub(Expr::Var(j), Expr::Const(1)));
+                b.load(y, a, Expr::Var(j));
+                b.store(
+                    bb,
+                    Expr::Var(j),
+                    Expr::add(Expr::Var(x), Expr::mul(Expr::Var(y), Expr::Const(7))),
+                );
+            },
+        );
     });
     let program = b.finish();
 
@@ -62,7 +67,11 @@ fn main() {
     let report = decision.execute(&mut mem).expect("parallel execution");
     let mut expected = Memory::zeroed(&program);
     decision.execute_sequential(&mut expected);
-    assert_eq!(mem.snapshot(), expected.snapshot(), "parallel == sequential");
+    assert_eq!(
+        mem.snapshot(),
+        expected.snapshot(),
+        "parallel == sequential"
+    );
     println!(
         "executed {} tasks over {} epochs with {} misspeculations — results verified",
         report.stats.tasks, report.stats.epochs, report.stats.misspeculations,

@@ -8,6 +8,7 @@ cd "$(dirname "$0")/.."
 BUILD_TIMEOUT="${BUILD_TIMEOUT:-1200}"
 TEST_TIMEOUT="${TEST_TIMEOUT:-900}"
 CLIPPY_TIMEOUT="${CLIPPY_TIMEOUT:-1200}"
+BENCH_TIMEOUT="${BENCH_TIMEOUT:-120}"
 
 run() {
   local limit="$1"
@@ -16,10 +17,17 @@ run() {
   timeout --kill-after=30 "$limit" "$@"
 }
 
+run "$BUILD_TIMEOUT" cargo fmt --all -- --check
 run "$BUILD_TIMEOUT" cargo build --release --workspace
 run "$TEST_TIMEOUT" cargo test -q
 run "$TEST_TIMEOUT" cargo test -q --workspace
 run "$CLIPPY_TIMEOUT" cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" run "$BUILD_TIMEOUT" cargo doc --no-deps --workspace
+
+# Scheduling-policy regression smoke: must produce a well-formed
+# BENCH_3.json (the full criteria run at figure scale; see EXPERIMENTS.md).
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- --smoke
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
+  --validate target/figures/BENCH_3.json
 
 echo "CI passed."

@@ -158,7 +158,14 @@ fn display_covers_all_statement_forms() {
     });
     let p = b.finish();
     let text = p.to_string();
-    for needle in ["for i in 0..4", "t = A[i]", "if t {", "log(…)", "A[i] = 1", "(t * 2)"] {
+    for needle in [
+        "for i in 0..4",
+        "t = A[i]",
+        "if t {",
+        "log(…)",
+        "A[i] = 1",
+        "(t * 2)",
+    ] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }
 }
@@ -170,11 +177,7 @@ fn collect_accesses_traverses_deep_nests() {
         if depth == 0 {
             b.store(arr, Expr::Const(0), Expr::Const(1));
         } else {
-            b.if_else(
-                Expr::Const(1),
-                |b| deep(b, arr, depth - 1),
-                |_| {},
-            );
+            b.if_else(Expr::Const(1), |b| deep(b, arr, depth - 1), |_| {});
         }
     }
     let mut b = ProgramBuilder::new();
@@ -193,10 +196,7 @@ fn interpretation_is_reproducible() {
         let i = b.var("i");
         let t = b.var("t");
         b.for_loop(i, Expr::Const(0), Expr::Const(64), |b| {
-            let idx = Expr::rem(
-                Expr::mul(Expr::Var(i), Expr::Const(seed)),
-                Expr::Const(16),
-            );
+            let idx = Expr::rem(Expr::mul(Expr::Var(i), Expr::Const(seed)), Expr::Const(16));
             b.load(t, a, idx.clone());
             b.store(a, idx, Expr::add(Expr::Var(t), Expr::Var(i)));
         });

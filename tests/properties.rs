@@ -9,9 +9,7 @@ use proptest::prelude::*;
 
 use crossinvoc_domore::logic::SchedulerLogic;
 use crossinvoc_domore::prelude::*;
-use crossinvoc_runtime::signature::{
-    AccessKind, AccessSignature, BloomSignature, RangeSignature,
-};
+use crossinvoc_runtime::signature::{AccessKind, AccessSignature, BloomSignature, RangeSignature};
 use crossinvoc_runtime::SharedSlice;
 use crossinvoc_sim::prelude::*;
 use crossinvoc_speccross::Position;
@@ -26,7 +24,11 @@ fn fill<S: AccessSignature>(list: &[(usize, bool)]) -> S {
     for &(addr, w) in list {
         s.record(
             addr,
-            if w { AccessKind::Write } else { AccessKind::Read },
+            if w {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
         );
     }
     s
@@ -35,10 +37,8 @@ fn fill<S: AccessSignature>(list: &[(usize, bool)]) -> S {
 /// Exact conflict semantics: some address touched by both, with at least
 /// one write on each... (write/any overlap).
 fn exact_conflict(a: &[(usize, bool)], b: &[(usize, bool)]) -> bool {
-    a.iter().any(|&(addr, aw)| {
-        b.iter()
-            .any(|&(baddr, bw)| addr == baddr && (aw || bw))
-    })
+    a.iter()
+        .any(|&(addr, aw)| b.iter().any(|&(baddr, bw)| addr == baddr && (aw || bw)))
 }
 
 proptest! {
@@ -289,6 +289,101 @@ fn randomized_domore_matches_sequential() {
     }
 }
 
+/// A seeded random DOMORE nest over a small address space, shared by the
+/// dispatch-equivalence property below.
+struct RandomNest {
+    data: SharedSlice<u64>,
+    cells: Vec<Vec<usize>>, // per (inv, iter) address sets
+    invs: usize,
+    iters: usize,
+}
+
+impl RandomNest {
+    fn generate(seed: u64, invs: usize, iters: usize, space: usize) -> Vec<Vec<usize>> {
+        let mut rng = crossinvoc_runtime::hash::SplitMix64::new(seed);
+        (0..invs * iters)
+            .map(|_| {
+                (0..1 + rng.next_below(3))
+                    .map(|_| rng.next_below(space as u64) as usize)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn new(cells: Vec<Vec<usize>>, invs: usize, iters: usize, space: usize) -> Self {
+        Self {
+            data: SharedSlice::from_vec(vec![0; space]),
+            cells,
+            invs,
+            iters,
+        }
+    }
+}
+
+impl DomoreWorkload for RandomNest {
+    fn num_invocations(&self) -> usize {
+        self.invs
+    }
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.iters
+    }
+    fn touched_addrs(&self, inv: usize, iter: usize, out: &mut Vec<usize>) {
+        out.extend(&self.cells[inv * self.iters + iter]);
+    }
+    fn execute_iteration(&self, inv: usize, iter: usize, _tid: usize) {
+        for &addr in &self.cells[inv * self.iters + iter] {
+            // SAFETY: the runtime orders conflicting iterations.
+            unsafe {
+                self.data.update(addr, |v| {
+                    *v = crossinvoc_runtime::hash::splitmix64(*v ^ (inv * 31 + iter) as u64)
+                })
+            };
+        }
+    }
+    fn address_space(&self) -> Option<usize> {
+        Some(self.data.len())
+    }
+}
+
+proptest! {
+    /// Dispatch-policy transparency: round-robin and adaptive dispatch are
+    /// different *placements* of the same dependence-ordered iteration
+    /// stream, so both must land in exactly the sequential state — policy
+    /// choice can change timing, never observable results.
+    #[test]
+    fn round_robin_and_adaptive_dispatch_agree_with_sequential(
+        seed in any::<u64>(),
+        workers in 1usize..=3,
+    ) {
+        let (invs, iters, space) = (4usize, 8usize, 16usize);
+        let cells = RandomNest::generate(seed, invs, iters, space);
+
+        let mut reference = RandomNest::new(cells.clone(), invs, iters, space);
+        for inv in 0..invs {
+            for iter in 0..iters {
+                reference.execute_iteration(inv, iter, 0);
+            }
+        }
+        let expected = reference.data.snapshot();
+
+        for dispatch in [Dispatch::RoundRobin, Dispatch::Adaptive] {
+            let mut nest = RandomNest::new(cells.clone(), invs, iters, space);
+            DomoreRuntime::new(DomoreConfig::with_workers(workers))
+                .with_dispatch(dispatch)
+                .execute(&nest)
+                .unwrap();
+            prop_assert_eq!(
+                nest.data.snapshot(),
+                expected.clone(),
+                "dispatch {:?} diverged (seed {}, {} workers)",
+                dispatch,
+                seed,
+                workers
+            );
+        }
+    }
+}
+
 /// Inspector-Executor wavefront soundness: two iterations placed in the
 /// same wavefront never conflict (write/any overlap) — checked over random
 /// access patterns.
@@ -346,8 +441,7 @@ fn inspector_wavefronts_are_conflict_free() {
                 }
                 let conflict = w.cells[a].iter().any(|&(addr, ka)| {
                     w.cells[b].iter().any(|&(baddr, kb)| {
-                        addr == baddr
-                            && (ka == AccessKind::Write || kb == AccessKind::Write)
+                        addr == baddr && (ka == AccessKind::Write || kb == AccessKind::Write)
                     })
                 });
                 assert!(

@@ -114,11 +114,9 @@ fn bloom_signatures_preserve_results_on_the_speccross_set() {
         let distance = profile_distance(model.as_ref(), 6).min_distance;
         let kernel = AccessKernel::from_model(info.model(Scale::Test));
         let expected = kernel.sequential_checksum();
-        SpecCrossEngine::<BloomSignature>::new(
-            SpecConfig::with_workers(2).spec_distance(distance),
-        )
-        .execute(&kernel)
-        .unwrap_or_else(|e| panic!("{}: {e}", info.name));
+        SpecCrossEngine::<BloomSignature>::new(SpecConfig::with_workers(2).spec_distance(distance))
+            .execute(&kernel)
+            .unwrap_or_else(|e| panic!("{}: {e}", info.name));
         assert_eq!(kernel.checksum(), expected, "{} diverged", info.name);
     }
 }

@@ -59,7 +59,13 @@ fn barrier_keeps_phases_aligned_for_thousands_of_generations() {
     assert_eq!(barrier.generations(), GENERATIONS * 2);
 }
 
-fn req(tid: usize, epoch: u32, task: u32, snapshot: &[(u32, u32)], addr: usize) -> CheckRequest<RangeSignature> {
+fn req(
+    tid: usize,
+    epoch: u32,
+    task: u32,
+    snapshot: &[(u32, u32)],
+    addr: usize,
+) -> CheckRequest<RangeSignature> {
     let mut sig = RangeSignature::empty();
     sig.record(addr, AccessKind::Write);
     CheckRequest {
@@ -409,6 +415,91 @@ mod fault_matrix {
         .execute(&w)
         .unwrap_err();
         assert_eq!(err, DomoreError::IterationPanicked { inv: 1, iter: 3 });
+    }
+
+    /// Regression: a worker panic used to condemn the whole region
+    /// immediately — every queued iteration everywhere was skipped. The
+    /// scheduler now routes around the dead worker, so only the panicked
+    /// iteration plus the (bounded) work already in flight to the corpse
+    /// is lost; the live workers finish the region.
+    #[test]
+    fn domore_routes_around_a_dead_worker() {
+        use std::sync::atomic::AtomicU64;
+
+        struct Counting {
+            inner: DomoreGrid,
+            executed: AtomicU64,
+        }
+        impl DomoreWorkload for Counting {
+            fn num_invocations(&self) -> usize {
+                self.inner.num_invocations()
+            }
+            fn num_iterations(&self, inv: usize) -> usize {
+                self.inner.num_iterations(inv)
+            }
+            fn touched_addrs(&self, inv: usize, iter: usize, out: &mut Vec<usize>) {
+                self.inner.touched_addrs(inv, iter, out);
+            }
+            fn execute_iteration(&self, inv: usize, iter: usize, tid: ThreadId) {
+                self.executed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.inner.execute_iteration(inv, iter, tid);
+            }
+            fn address_space(&self) -> Option<usize> {
+                self.inner.address_space()
+            }
+        }
+
+        const CELLS: usize = 8;
+        const INVOCATIONS: usize = 50;
+        const QUEUE: usize = 4;
+        let w = Counting {
+            inner: DomoreGrid {
+                data: SharedSlice::from_vec(vec![0; CELLS]),
+                invocations: INVOCATIONS,
+            },
+            executed: AtomicU64::new(0),
+        };
+        let err = DomoreRuntime::new(
+            DomoreConfig::with_workers(3)
+                .queue_capacity(QUEUE)
+                .fault_plan(FaultPlan::default().worker_panic_at(0, 3))
+                .watchdog(WATCHDOG),
+        )
+        .execute(&w)
+        .unwrap_err();
+        // The first (and only) panic is the surfaced error.
+        assert_eq!(err, DomoreError::IterationPanicked { inv: 0, iter: 3 });
+        // At most the panicked iteration plus work already queued or
+        // batched toward the dead worker can be lost (the scheduler batch
+        // is 32 messages; leave slack for one extra in-flight batch).
+        let total = (CELLS * INVOCATIONS) as u64;
+        let lost_bound = 1 + (QUEUE + 2 * 32) as u64;
+        let executed = w.executed.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(
+            executed >= total - lost_bound,
+            "live workers should finish the region: executed {executed} of {total} \
+             (allowed loss {lost_bound})"
+        );
+        assert!(executed < total, "the panicked iteration itself never ran");
+    }
+
+    /// When every worker is dead the scheduler must cut the region short
+    /// (abort) instead of spinning looking for a live thread.
+    #[test]
+    fn domore_all_workers_dead_terminates_with_the_panic_error() {
+        let w = DomoreGrid {
+            data: SharedSlice::from_vec(vec![0; 8]),
+            invocations: 50,
+        };
+        let err = DomoreRuntime::new(
+            DomoreConfig::with_workers(1)
+                .fault_plan(FaultPlan::default().worker_panic_at(0, 2))
+                .watchdog(WATCHDOG),
+        )
+        .execute(&w)
+        .unwrap_err();
+        assert_eq!(err, DomoreError::IterationPanicked { inv: 0, iter: 2 });
     }
 
     #[test]

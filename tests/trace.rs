@@ -163,7 +163,10 @@ fn tracing_off_allocates_nothing_and_reports_no_trace() {
     let report = SpecCrossEngine::<RangeSignature>::new(SpecConfig::with_workers(2))
         .execute(&w)
         .unwrap();
-    assert!(report.trace.is_none(), "untraced runs must not carry a trace");
+    assert!(
+        report.trace.is_none(),
+        "untraced runs must not carry a trace"
+    );
 
     let mut sink = TraceSink::disabled();
     for i in 0..10_000 {

@@ -1,10 +1,12 @@
 //! Offline shim for the subset of `parking_lot` this workspace uses: a
-//! [`Mutex`] whose `lock` neither returns a `Result` nor propagates poison.
+//! [`Mutex`] whose `lock` neither returns a `Result` nor propagates poison,
+//! and the matching [`Condvar`] the runtimes' spin-then-park waits block on.
 //! Poison-transparency matters for the fault-tolerance story: a worker that
 //! panics while holding a runtime lock must not wedge recovery.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::time::Duration;
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-transparent API.
 #[derive(Default)]
@@ -31,16 +33,16 @@ impl<T: ?Sized> Mutex<T> {
     /// a previous holder does not poison the lock.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
-            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
         }
     }
 
     /// Attempts the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: g }),
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
             Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: e.into_inner(),
+                inner: Some(e.into_inner()),
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
@@ -68,26 +70,103 @@ impl<T> From<T> for Mutex<T> {
 }
 
 /// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner `std` guard is optional only so [`Condvar`] can hand it to
+/// `std`'s wait primitives (which consume and return guards) and restore it
+/// before control returns; outside that window it is always present.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: std::sync::MutexGuard<'a, T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_deref().expect("guard present outside waits")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner
+            .as_deref_mut()
+            .expect("guard present outside waits")
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because its timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable with `parking_lot`'s guard-borrowing API: waits take
+/// `&mut MutexGuard` instead of consuming the guard, and a panicking peer
+/// never poisons the associated mutex.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified. Spurious wakeups are possible, as with every
+    /// condition variable; callers re-check their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present outside waits");
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present outside waits");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
     }
 }
 
@@ -111,6 +190,32 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_without_notification() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn condvar_notify_releases_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let peer = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*peer;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
     }
 
     #[test]

@@ -230,11 +230,11 @@ pub mod test_runner {
         let base = name_seed(name);
         for case in 0..case_count() {
             let mut rng = TestRng::new(base ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                body(&mut rng)
-            }));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
             if let Err(payload) = result {
-                eprintln!("proptest case {case} of `{name}` failed (deterministic; rerun reproduces it)");
+                eprintln!(
+                    "proptest case {case} of `{name}` failed (deterministic; rerun reproduces it)"
+                );
                 std::panic::resume_unwind(payload);
             }
         }
