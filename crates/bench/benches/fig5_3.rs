@@ -6,7 +6,9 @@
 //! figure's point. Geomean over the eight SPECCROSS benchmarks.
 
 use crossinvoc_bench::{geomean, spec_params, trace_capacity, write_csv, write_trace};
+use crossinvoc_runtime::critpath::what_if;
 use crossinvoc_runtime::hash::SplitMix64;
+use crossinvoc_runtime::trace::WakeEdge;
 use crossinvoc_sim::prelude::*;
 use crossinvoc_workloads::{registry, Scale};
 
@@ -43,6 +45,33 @@ fn main() {
     write_csv(
         "fig5_3",
         "checkpoints,speedup_no_misspec,speedup_with_misspec",
+        &rows,
+    );
+
+    // Companion table: per benchmark, the *measured* barrier-vs-SPECCROSS
+    // ratio next to the ratio the what-if analysis *predicts* by replaying
+    // the traced barrier run with its barrier edges zeroed (see
+    // docs/OBSERVABILITY.md). Test scale keeps every record in the ring, so
+    // the replay sees the full DAG.
+    println!("what-if: predicted vs measured barrier-removal speedup");
+    let mut rows = Vec::new();
+    for info in registry().into_iter().filter(|b| b.speccross) {
+        let model = info.model(Scale::Test);
+        let params = spec_params(&info, Scale::Test, threads);
+        let spec = speccross(model.as_ref(), &params, &cost);
+        let bar = barrier_traced(model.as_ref(), threads, &cost, Some(1 << 16));
+        let measured = bar.total_ns as f64 / spec.total_ns.max(1) as f64;
+        let trace = bar.trace.expect("tracing was requested");
+        let predicted = what_if(&trace, &[WakeEdge::Barrier]).predicted_speedup();
+        println!(
+            "  {:<16} measured={measured:>6.3} predicted={predicted:>6.3}",
+            info.name
+        );
+        rows.push(format!("{},{measured:.4},{predicted:.4}", info.name));
+    }
+    write_csv(
+        "fig5_3_whatif",
+        "benchmark,measured_barrier_over_speccross,whatif_predicted_barrier_removal",
         &rows,
     );
     if let Some(cap) = trace_capacity() {

@@ -8,6 +8,8 @@
 //! plans of the Fig. 5.6 case study, and small output helpers.
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod json;
+
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write as _;
@@ -57,14 +59,32 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
 /// Per-thread trace-ring capacity requested via the `CROSSINVOC_TRACE`
 /// environment variable: unset, empty, or `0` disables tracing; `1` (or any
 /// non-numeric value such as `on`) enables it at the default capacity of
-/// 65536 records; a number ≥ 2 is used as the capacity itself. Figure
-/// benches consult this to emit `<name>.trace.jsonl` files next to their
-/// CSVs, which `trace-report` renders (see `docs/OBSERVABILITY.md`).
+/// 65536 records; a number ≥ 2 is used as the capacity itself. The
+/// `CROSSINVOC_TRACE_CAP` variable, when set to a number ≥ 1, overrides the
+/// capacity — and enables tracing on its own, so a dropped-record repro
+/// needs only one variable (an explicit `CROSSINVOC_TRACE=0` still wins and
+/// disables tracing). Figure benches consult this to emit
+/// `<name>.trace.jsonl` files next to their CSVs, which `trace-report`
+/// renders (see `docs/OBSERVABILITY.md`).
 pub fn trace_capacity() -> Option<usize> {
-    let raw = std::env::var("CROSSINVOC_TRACE").ok()?;
+    let cap_override = std::env::var("CROSSINVOC_TRACE_CAP")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    let raw = match std::env::var("CROSSINVOC_TRACE") {
+        Ok(raw) => raw,
+        // CROSSINVOC_TRACE_CAP alone still enables tracing.
+        Err(_) => return cap_override,
+    };
     let raw = raw.trim();
-    if raw.is_empty() || raw == "0" {
+    if raw == "0" {
         return None;
+    }
+    if raw.is_empty() {
+        return cap_override;
+    }
+    if let Some(cap) = cap_override {
+        return Some(cap);
     }
     match raw.parse::<usize>() {
         Ok(1) | Err(_) => Some(1 << 16),
@@ -84,7 +104,8 @@ pub fn write_trace(name: &str, trace: &crossinvoc_runtime::trace::Trace) {
 /// profiling the larger models costs tens of seconds and the sweeps would
 /// otherwise repeat it per thread count.
 pub fn profiled_distance(info: &BenchmarkInfo, scale: Scale) -> Option<u64> {
-    static CACHE: OnceLock<Mutex<HashMap<(&'static str, Scale), Option<u64>>>> = OnceLock::new();
+    type DistanceCache = Mutex<HashMap<(&'static str, Scale), Option<u64>>>;
+    static CACHE: OnceLock<DistanceCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(&d) = cache.lock().expect("cache lock").get(&(info.name, scale)) {
         return d;

@@ -49,7 +49,7 @@ use crossinvoc_runtime::fault::{FaultKind, FaultPlan, TaskFault};
 use crossinvoc_runtime::metrics::{Metrics, MetricsSummary};
 use crossinvoc_runtime::spsc::Queue;
 use crossinvoc_runtime::stats::StatsSummary;
-use crossinvoc_runtime::trace::{Event, Trace, TraceCollector, MANAGER_TID};
+use crossinvoc_runtime::trace::{Event, Trace, TraceCollector, WakeEdge, MANAGER_TID};
 use crossinvoc_runtime::wait::{AdaptiveSpin, Parker, PARK_SLICE};
 use crossinvoc_runtime::{IterNum, ThreadId};
 use parking_lot::Mutex;
@@ -410,11 +410,10 @@ impl DomoreRuntime {
                                 stats.add_stall();
                                 sink.emit(Event::BarrierEnter { epoch: inv });
                                 let entered = Instant::now();
-                                match board.await_condition_bounded(tid, cond, abort, deadline) {
-                                    AwaitOutcome::Satisfied | AwaitOutcome::Aborted => {}
-                                    AwaitOutcome::TimedOut => {
-                                        fail(DomoreError::WatchdogTimeout);
-                                    }
+                                let outcome =
+                                    board.await_condition_bounded(tid, cond, abort, deadline);
+                                if outcome == AwaitOutcome::TimedOut {
+                                    fail(DomoreError::WatchdogTimeout);
                                 }
                                 let wait_ns = entered.elapsed().as_nanos() as u64;
                                 metrics.record_stall_wait(wait_ns);
@@ -422,6 +421,15 @@ impl DomoreRuntime {
                                     epoch: inv,
                                     wait_ns,
                                 });
+                                if outcome == AwaitOutcome::Satisfied {
+                                    // The predecessor's retire released this
+                                    // condition wait.
+                                    sink.emit(Event::Wake {
+                                        edge: WakeEdge::Barrier,
+                                        src_tid: cond.dep_tid,
+                                        seq: cond.dep_iter,
+                                    });
+                                }
                             }
                             Msg::Run {
                                 inv,
@@ -451,6 +459,13 @@ impl DomoreRuntime {
                                             }
                                             None => false,
                                         };
+                                    // SPSC produce → consume: the scheduler's
+                                    // enqueue is what this dispatch picks up.
+                                    sink.emit(Event::Wake {
+                                        edge: WakeEdge::Queue,
+                                        src_tid: MANAGER_TID,
+                                        seq: iter_num,
+                                    });
                                     sink.emit(Event::TaskDispatch {
                                         epoch: inv as u32,
                                         task: iter as u64,

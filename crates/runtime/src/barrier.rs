@@ -57,6 +57,11 @@ pub struct SpinBarrier {
     arrived: CachePadded<AtomicUsize>,
     sense: CachePadded<AtomicBool>,
     generations: AtomicU64,
+    /// Thread id of the last arrival of the most recent release — the
+    /// source of the barrier-release causality edge. Written before the
+    /// sense flip, so a released waiter always reads its own generation's
+    /// releaser.
+    releaser: CachePadded<AtomicUsize>,
     idle_nanos: Box<[CachePadded<AtomicU64>]>,
     /// Per-thread parking spots for waits that outlive the spin budget.
     parkers: Box<[Parker]>,
@@ -83,6 +88,7 @@ impl SpinBarrier {
             arrived: CachePadded::new(AtomicUsize::new(0)),
             sense: CachePadded::new(AtomicBool::new(false)),
             generations: AtomicU64::new(0),
+            releaser: CachePadded::new(AtomicUsize::new(0)),
             idle_nanos: idle,
             parkers: (0..num_threads).map(|_| Parker::new()).collect(),
             parked: CachePadded::new(AtomicUsize::new(0)),
@@ -140,6 +146,7 @@ impl SpinBarrier {
             // every spinning thread.
             self.arrived.store(0, Ordering::Relaxed);
             self.generations.fetch_add(1, Ordering::Relaxed);
+            self.releaser.store(tid, Ordering::Relaxed);
             self.sense.store(local_sense, Ordering::Release);
             self.wake_parked();
             true
@@ -180,6 +187,7 @@ impl SpinBarrier {
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.num_threads {
             self.arrived.store(0, Ordering::Relaxed);
             self.generations.fetch_add(1, Ordering::Relaxed);
+            self.releaser.store(tid, Ordering::Relaxed);
             self.sense.store(local_sense, Ordering::Release);
             self.wake_parked();
             BarrierWait::Released(true)
@@ -222,6 +230,15 @@ impl SpinBarrier {
     /// completed, in the paper's usage).
     pub fn generations(&self) -> u64 {
         self.generations.load(Ordering::Relaxed)
+    }
+
+    /// Thread id of the last arrival that performed the most recent
+    /// release — the `src_tid` of the barrier-release causality edge a
+    /// freshly released waiter records. The write happens before the sense
+    /// flip that releases the waiter, so reading it right after a released
+    /// wait is race-free for that generation.
+    pub fn last_releaser(&self) -> usize {
+        self.releaser.load(Ordering::Relaxed)
     }
 }
 
@@ -305,6 +322,7 @@ mod tests {
         t.join().unwrap();
         assert!(barrier.idle_nanos(1) >= 10_000_000, "early arrival idled");
         assert!(barrier.total_idle_nanos() >= barrier.idle_nanos(1));
+        assert_eq!(barrier.last_releaser(), 0, "main thread arrived last");
     }
 
     #[test]

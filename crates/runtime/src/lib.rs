@@ -30,6 +30,15 @@
 //!   [`trace::TraceSink`]s of typed [`trace::Event`]s, merged into a
 //!   time-ordered JSONL [`trace::Trace`] with the same schema from the
 //!   threaded engines and the simulator (see `docs/OBSERVABILITY.md`).
+//! * [`critpath`] — the causal profiler over a trace: builds the
+//!   cross-thread happens-before DAG from [`trace::Event::Wake`] edges,
+//!   extracts the critical path with per-category time attribution, and
+//!   answers what-if questions ("what if barrier waits were free?") by
+//!   replaying the DAG with an edge class zeroed.
+//! * [`chrome`] — Chrome/Perfetto `trace_event` JSON export
+//!   ([`trace::Trace::to_chrome_json`]): one track per thread, flow events
+//!   for every causality edge, counter tracks — open any trace in
+//!   `ui.perfetto.dev`.
 //! * [`fault`] — a deterministic fault-injection plan ([`fault::FaultPlan`])
 //!   both engines and the simulator consult at well-defined points, so
 //!   recovery and degradation paths can be exercised and replayed exactly.
@@ -55,6 +64,8 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod barrier;
+pub mod chrome;
+pub mod critpath;
 pub mod fault;
 pub mod hash;
 pub mod metrics;
@@ -67,13 +78,14 @@ pub mod trace;
 pub mod wait;
 
 pub use barrier::{BarrierWait, SpinBarrier};
+pub use critpath::{critical_path, what_if, CritPathReport, PathCategory, WhatIfReport};
 pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use metrics::{Metrics, MetricsSummary};
 pub use shadow::{ShadowEntry, ShadowMemory};
 pub use shared::SharedSlice;
 pub use signature::{AccessSignature, BloomSignature, RangeSignature};
 pub use spsc::Queue;
-pub use trace::{Event, Trace, TraceCollector, TraceRecord, TraceReport, TraceSink};
+pub use trace::{Event, Trace, TraceCollector, TraceRecord, TraceReport, TraceSink, WakeEdge};
 pub use wait::{AdaptiveSpin, Parker};
 
 /// Identifier of a worker thread within a parallel region.

@@ -30,6 +30,7 @@
 //! assert!(snap.barrier_wait.mean_ns() > 1_000.0);
 //! ```
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::stats::{RegionStats, StatsSummary};
@@ -46,6 +47,7 @@ pub const HISTOGRAM_BUCKETS: usize = 40;
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     sum_ns: AtomicU64,
+    max_ns: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -60,6 +62,7 @@ impl Histogram {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
         }
     }
 
@@ -76,6 +79,7 @@ impl Histogram {
     pub fn record(&self, ns: u64) {
         self.buckets[Self::bucket(ns)].fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
     /// Plain-value snapshot; exact under the same contract as
@@ -86,6 +90,7 @@ impl Histogram {
             buckets,
             count: buckets.iter().sum(),
             sum_ns: self.sum_ns.load(Ordering::Acquire),
+            max_ns: self.max_ns.load(Ordering::Acquire),
         }
     }
 }
@@ -100,6 +105,8 @@ pub struct HistogramSummary {
     pub count: u64,
     /// Sum of all samples in nanoseconds.
     pub sum_ns: u64,
+    /// Largest sample observed in nanoseconds (exact, not a bucket bound).
+    pub max_ns: u64,
 }
 
 impl Default for HistogramSummary {
@@ -108,6 +115,7 @@ impl Default for HistogramSummary {
             buckets: [0; HISTOGRAM_BUCKETS],
             count: 0,
             sum_ns: 0,
+            max_ns: 0,
         }
     }
 }
@@ -138,6 +146,40 @@ impl HistogramSummary {
             }
         }
         u64::MAX
+    }
+}
+
+/// One line: count, mean, the derived p50/p95/p99 bucket upper bounds, the
+/// exact max, then the nonzero raw buckets — so reports show both the
+/// derived columns and the underlying distribution.
+impl fmt::Display for HistogramSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "count=0");
+        }
+        write!(
+            f,
+            "count={} mean={:.0}ns p50\u{2264}{}ns p95\u{2264}{}ns p99\u{2264}{}ns max={}ns",
+            self.count,
+            self.mean_ns(),
+            self.quantile_upper_bound(0.50),
+            self.quantile_upper_bound(0.95),
+            self.quantile_upper_bound(0.99),
+            self.max_ns,
+        )?;
+        write!(f, " buckets[")?;
+        let mut first = true;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            write!(f, "2^{i}:{n}")?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -235,6 +277,31 @@ mod tests {
         assert!(s.quantile_upper_bound(0.5) <= 16);
         assert!(s.quantile_upper_bound(1.0) >= 1_000_000);
         assert_eq!(HistogramSummary::default().quantile_upper_bound(0.5), 0);
+    }
+
+    /// Pins the quantile math on a fully known distribution: samples
+    /// 1..=100 land 1, 2, 4, 8, 16, 32, 37 deep in buckets 0..=6, so the
+    /// cumulative counts are 1, 3, 7, 15, 31, 63, 100. Rank 50 (p50) falls
+    /// in bucket 5 → upper bound 2^6 = 64; ranks 95 and 99 fall in bucket 6
+    /// → 2^7 = 128. The max is exact, not a bucket bound.
+    #[test]
+    fn quantiles_and_max_pinned_on_known_distribution() {
+        let h = Histogram::new();
+        for ns in 1..=100u64 {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper_bound(0.50), 64);
+        assert_eq!(s.quantile_upper_bound(0.95), 128);
+        assert_eq!(s.quantile_upper_bound(0.99), 128);
+        assert_eq!(s.max_ns, 100);
+        let line = s.to_string();
+        assert!(line.contains("p50\u{2264}64ns"), "{line}");
+        assert!(line.contains("p95\u{2264}128ns"), "{line}");
+        assert!(line.contains("p99\u{2264}128ns"), "{line}");
+        assert!(line.contains("max=100ns"), "{line}");
+        assert!(line.contains("2^6:37"), "raw buckets still shown: {line}");
+        assert_eq!(HistogramSummary::default().to_string(), "count=0");
     }
 
     #[test]

@@ -54,6 +54,66 @@ pub const MANAGER_TID: ThreadId = usize::MAX;
 /// Pseudo thread-id under which the SPECCROSS checker thread emits events.
 pub const CHECKER_TID: ThreadId = usize::MAX - 1;
 
+/// Which kind of cross-thread causality a [`Event::Wake`] record encodes.
+///
+/// Each class names the mechanism whose release let the emitting thread
+/// resume; together they are the edge set of the happens-before DAG that
+/// [`crate::critpath`] walks. The wire names (`"edge"` field) are
+/// `barrier` / `queue` / `checkpoint` / `checker`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WakeEdge {
+    /// Barrier (or DOMORE synchronization-condition) release → waiter
+    /// resume: the predecessor that released the wait is `src_tid`.
+    Barrier,
+    /// SPSC produce → consume: the producer (`src_tid`) made the message
+    /// available that the emitting thread just picked up.
+    Queue,
+    /// Checkpoint rendezvous release → resume: the participant that
+    /// completed the rendezvous work (checker drain + snapshot) last.
+    Checkpoint,
+    /// Checker verdict → commit/rollback: the checker's conflict decision
+    /// started the recovery the emitting (manager) thread performs.
+    Checker,
+}
+
+impl WakeEdge {
+    /// The edge's wire name (the `"edge"` field of the JSONL schema).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WakeEdge::Barrier => "barrier",
+            WakeEdge::Queue => "queue",
+            WakeEdge::Checkpoint => "checkpoint",
+            WakeEdge::Checker => "checker",
+        }
+    }
+
+    /// All edge classes, in a fixed order (used by reports and the what-if
+    /// sweep in `trace-report`).
+    pub const ALL: [WakeEdge; 4] = [
+        WakeEdge::Barrier,
+        WakeEdge::Queue,
+        WakeEdge::Checkpoint,
+        WakeEdge::Checker,
+    ];
+
+    /// This edge's position in [`WakeEdge::ALL`] (a stable dense index for
+    /// per-class arrays).
+    pub fn index(self) -> usize {
+        match self {
+            WakeEdge::Barrier => 0,
+            WakeEdge::Queue => 1,
+            WakeEdge::Checkpoint => 2,
+            WakeEdge::Checker => 3,
+        }
+    }
+}
+
+impl fmt::Display for WakeEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One structured execution event.
 ///
 /// `epoch` means the SPECCROSS epoch / DOMORE invocation; `task` is the
@@ -153,6 +213,23 @@ pub enum Event {
         /// Task coordinate of the firing.
         task: u64,
     },
+    /// A cross-thread causality edge: the emitting thread resumed (or
+    /// consumed) because `src_tid` released it. Recorded on the *destination*
+    /// thread's timeline at resume/consume time, immediately after the
+    /// matching [`Event::BarrierLeave`] when the edge ends a recorded wait.
+    /// These edges are what turn a per-thread event stream into the
+    /// happens-before DAG of [`crate::critpath`].
+    Wake {
+        /// Which mechanism's release this edge encodes.
+        edge: WakeEdge,
+        /// The releasing thread ([`MANAGER_TID`] / [`CHECKER_TID`] for the
+        /// service threads).
+        src_tid: ThreadId,
+        /// Disambiguating sequence number: the epoch for barrier and
+        /// checkpoint edges, the global task/request number for queue edges,
+        /// the misspeculation ordinal for checker edges.
+        seq: u64,
+    },
 }
 
 impl Event {
@@ -170,6 +247,7 @@ impl Event {
             Event::Misspeculation { .. } => "misspeculation",
             Event::Degradation { .. } => "degradation",
             Event::FaultInjected { .. } => "fault",
+            Event::Wake { .. } => "wake",
         }
     }
 }
@@ -594,8 +672,23 @@ fn write_record(out: &mut String, rec: &TraceRecord) {
             field(out, "epoch", epoch as u64);
             field(out, "task", task);
         }
+        Event::Wake { edge, src_tid, seq } => {
+            let _ = write!(out, ",\"edge\":\"{}\"", edge.name());
+            field(out, "src_tid", src_tid as u64);
+            field(out, "seq", seq);
+        }
     }
     out.push('}');
+}
+
+fn wake_edge_parse(name: &str) -> Result<WakeEdge, String> {
+    Ok(match name {
+        "barrier" => WakeEdge::Barrier,
+        "queue" => WakeEdge::Queue,
+        "checkpoint" => WakeEdge::Checkpoint,
+        "checker" => WakeEdge::Checker,
+        other => return Err(format!("unknown wake edge {other:?}")),
+    })
 }
 
 /// Minimal parser for one flat JSON object with unsigned-integer and string
@@ -716,6 +809,11 @@ fn parse_record(line: &str) -> Result<TraceRecord, String> {
             epoch: epoch(num("epoch")?),
             task: num("task")?,
         },
+        "wake" => Event::Wake {
+            edge: wake_edge_parse(str_field("edge")?)?,
+            src_tid: num("src_tid")? as usize,
+            seq: num("seq")?,
+        },
         other => return Err(format!("unknown event {other:?}")),
     };
     Ok(TraceRecord { t_ns, tid, event })
@@ -787,6 +885,8 @@ pub struct TraceReport {
     pub checkpoints: Vec<u32>,
     /// Epochs at which the region degraded to barrier execution.
     pub degradations: Vec<u32>,
+    /// Causality-edge counts per class, indexed like [`WakeEdge::ALL`].
+    pub wakes: [u64; 4],
     /// Records lost to ring overflow (analysis is approximate if nonzero).
     pub dropped: u64,
 }
@@ -800,6 +900,7 @@ impl TraceReport {
         let mut faults = Vec::new();
         let mut checkpoints = Vec::new();
         let mut degradations = Vec::new();
+        let mut wakes = [0u64; 4];
 
         let slot = |threads: &mut Vec<ThreadBreakdown>, tid: ThreadId| -> usize {
             match threads.iter().position(|t| t.tid == tid) {
@@ -861,6 +962,7 @@ impl TraceReport {
                 }),
                 Event::Checkpoint { epoch } => checkpoints.push(epoch),
                 Event::Degradation { epoch } => degradations.push(epoch),
+                Event::Wake { edge, .. } => wakes[edge.index()] += 1,
                 Event::EpochBegin { .. } | Event::EpochEnd { .. } | Event::BarrierEnter { .. } => {}
             }
         }
@@ -872,6 +974,7 @@ impl TraceReport {
             faults,
             checkpoints,
             degradations,
+            wakes,
             dropped: trace.dropped(),
         }
     }
@@ -1016,6 +1119,15 @@ impl TraceReport {
             }
         }
         let _ = writeln!(out, "checkpoints: {:?}", self.checkpoints);
+        if self.wakes.iter().any(|&n| n > 0) {
+            let counts: Vec<String> = WakeEdge::ALL
+                .iter()
+                .zip(self.wakes.iter())
+                .filter(|(_, &n)| n > 0)
+                .map(|(e, n)| format!("{e}={n}"))
+                .collect();
+            let _ = writeln!(out, "causality edges: {}", counts.join(" "));
+        }
         if !self.misspeculations.is_empty() {
             let _ = writeln!(out, "misspeculation ledger:");
             for m in &self.misspeculations {
@@ -1080,6 +1192,15 @@ mod tests {
                 event: Event::BarrierLeave {
                     epoch: 0,
                     wait_ns: 25,
+                },
+            },
+            TraceRecord {
+                t_ns: 60,
+                tid: 1,
+                event: Event::Wake {
+                    edge: WakeEdge::Barrier,
+                    src_tid: 0,
+                    seq: 0,
                 },
             },
             TraceRecord {
@@ -1160,9 +1281,30 @@ mod tests {
             "{\"t\":1,\"tid\":0,\"ev\":\"no_such_event\"}",
             "{\"t\":1,\"tid\":0,\"ev\":\"task_retire\",\"epoch\":0}",
             "{\"t\":-5,\"tid\":0,\"ev\":\"checkpoint\",\"epoch\":0}",
+            "{\"t\":1,\"tid\":0,\"ev\":\"wake\",\"edge\":\"mystery\",\"src_tid\":0,\"seq\":0}",
+            "{\"t\":1,\"tid\":0,\"ev\":\"wake\",\"src_tid\":0,\"seq\":0}",
         ] {
             assert!(Trace::from_jsonl(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn every_wake_edge_round_trips() {
+        let records: Vec<_> = WakeEdge::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &edge)| TraceRecord {
+                t_ns: i as u64,
+                tid: i,
+                event: Event::Wake {
+                    edge,
+                    src_tid: if i % 2 == 0 { MANAGER_TID } else { CHECKER_TID },
+                    seq: i as u64 * 7,
+                },
+            })
+            .collect();
+        let trace = Trace::from_records(records);
+        assert_eq!(Trace::from_jsonl(&trace.to_jsonl()).unwrap(), trace);
     }
 
     #[test]
@@ -1234,6 +1376,7 @@ mod tests {
         assert_eq!(report.faults.len(), 1);
         assert_eq!(report.checkpoints, vec![0]);
         assert_eq!(report.degradations, vec![1]);
+        assert_eq!(report.wakes, [1, 0, 0, 0]);
         let w0 = report.threads.iter().find(|t| t.tid == 0).unwrap();
         assert_eq!(w0.tasks, 1);
         assert_eq!(w0.busy_ns, 20);

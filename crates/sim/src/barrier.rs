@@ -8,7 +8,7 @@
 //! and the slowest thread's — is what Fig. 4.3 reports as barrier overhead.
 
 use crossinvoc_runtime::stats::RegionStats;
-use crossinvoc_runtime::trace::Event;
+use crossinvoc_runtime::trace::{Event, WakeEdge};
 
 use crate::cost::CostModel;
 use crate::result::SimResult;
@@ -82,6 +82,9 @@ pub fn barrier_traced<W: SimWorkload + ?Sized>(
         // Global synchronization: everyone waits for the slowest, then pays
         // the barrier release cost.
         let slowest = *clocks.iter().max().expect("threads > 0");
+        // The slowest arrival (smallest tid on ties, deterministically) is
+        // the release's causal source.
+        let releaser = clocks.iter().position(|&c| c == slowest).expect("nonempty");
         for (tid, (clock, i)) in clocks.iter_mut().zip(idle.iter_mut()).enumerate() {
             let wait = slowest - *clock;
             sinks.workers[tid].emit_at(*clock, Event::BarrierEnter { epoch: inv as u32 });
@@ -94,6 +97,16 @@ pub fn barrier_traced<W: SimWorkload + ?Sized>(
                     wait_ns: wait,
                 },
             );
+            if wait > 0 {
+                sinks.workers[tid].emit_at(
+                    *clock,
+                    Event::Wake {
+                        edge: WakeEdge::Barrier,
+                        src_tid: releaser,
+                        seq: inv as u64,
+                    },
+                );
+            }
         }
         sinks.workers[0].emit_at(clocks[0], Event::EpochEnd { epoch: inv as u32 });
     }
@@ -171,7 +184,7 @@ mod tests {
         use crossinvoc_runtime::trace::TraceReport;
         let r = barrier_traced(&Straggler, 8, &CostModel::free(), Some(1 << 14));
         let trace = r.trace.as_ref().expect("tracing was requested");
-        let report = TraceReport::from_trace(&trace);
+        let report = TraceReport::from_trace(trace);
         // Barrier waits in the trace reproduce the timeline's idle fraction
         // (free cost model: no release cost, so the two accountings agree).
         assert!((report.barrier_idle_fraction() - r.idle_fraction()).abs() < 1e-9);

@@ -13,7 +13,7 @@
 use crossinvoc_domore::logic::SchedulerLogic;
 use crossinvoc_domore::policy::Policy;
 use crossinvoc_runtime::stats::RegionStats;
-use crossinvoc_runtime::trace::Event;
+use crossinvoc_runtime::trace::{Event, WakeEdge, MANAGER_TID};
 
 use crate::cost::CostModel;
 use crate::result::SimResult;
@@ -126,12 +126,16 @@ pub fn domore_traced<W: SimWorkload + ?Sized>(
             let arrival = sched_clock + cost.queue_ns;
             let wait_from = arrival.max(clocks[tid]);
             let mut release = wait_from;
+            // The condition whose source finished last binds the wait — the
+            // source of the release causality edge.
+            let mut binding: Option<&crossinvoc_domore::logic::SyncCondition> = None;
             for cond in &conds {
                 stats.add_sync_condition();
                 let dep_finish = finish_times[cond.dep_iter as usize];
                 if dep_finish > release {
                     stats.add_stall();
                     release = dep_finish;
+                    binding = Some(cond);
                 }
             }
             if release > wait_from {
@@ -145,10 +149,30 @@ pub fn domore_traced<W: SimWorkload + ?Sized>(
                         wait_ns: release - wait_from,
                     },
                 );
+                if let Some(cond) = binding {
+                    sinks.workers[tid].emit_at(
+                        release,
+                        Event::Wake {
+                            edge: WakeEdge::Barrier,
+                            src_tid: cond.dep_tid,
+                            seq: cond.dep_iter,
+                        },
+                    );
+                }
             }
             idle[tid] += release - clocks[tid].min(release);
             let work = cost.task_overhead_ns + workload.iteration_cost(inv, iter);
             busy[tid] += work;
+            // SPSC produce → consume: the worker picks the scheduler's
+            // message up at dispatch.
+            sinks.workers[tid].emit_at(
+                release,
+                Event::Wake {
+                    edge: WakeEdge::Queue,
+                    src_tid: MANAGER_TID,
+                    seq: iter_num,
+                },
+            );
             sinks.workers[tid].emit_at(
                 release,
                 Event::TaskDispatch {

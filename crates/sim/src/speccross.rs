@@ -19,7 +19,7 @@
 use crossinvoc_runtime::fault::{CheckFault, FaultKind, FaultPlan, TaskFault};
 use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
 use crossinvoc_runtime::stats::RegionStats;
-use crossinvoc_runtime::trace::Event;
+use crossinvoc_runtime::trace::{Event, WakeEdge, CHECKER_TID};
 
 use crate::cost::CostModel;
 use crate::result::SimResult;
@@ -163,6 +163,7 @@ pub fn speccross<W: SimWorkload + ?Sized>(
     // calls over the same params are deterministic.
     let fault = params.fault_plan.clone().unwrap_or_default();
     let mut sinks = SimSinks::new(params.threads, params.trace_capacity.unwrap_or(0));
+    let mut misspec_ordinal = 0u64;
 
     while start_epoch < num_epochs {
         match speculative_pass(
@@ -192,6 +193,18 @@ pub fn speccross<W: SimWorkload + ?Sized>(
             ) => {
                 if matches!(cause, AbortCause::Conflict) {
                     stats.add_misspeculation();
+                    // Checker verdict → rollback: the recovery the manager
+                    // now performs was caused by the checker's decision at
+                    // `detect_time`.
+                    sinks.manager.emit_at(
+                        detect_time,
+                        Event::Wake {
+                            edge: WakeEdge::Checker,
+                            src_tid: CHECKER_TID,
+                            seq: misspec_ordinal,
+                        },
+                    );
+                    misspec_ordinal += 1;
                 }
                 now = detect_time + cost.recovery_ns;
                 if fault.restore_fails(checkpoint_epoch as u32) {
@@ -295,6 +308,7 @@ fn barrier_range<W: SimWorkload + ?Sized>(
             stats.add_task();
         }
         let slowest = *clocks.iter().max().expect("threads > 0");
+        let releaser = clocks.iter().position(|&c| c == slowest).expect("nonempty");
         for (tid, (clock, i)) in clocks.iter_mut().zip(idle.iter_mut()).enumerate() {
             let wait = slowest - *clock;
             sinks.workers[tid].emit_at(
@@ -312,6 +326,16 @@ fn barrier_range<W: SimWorkload + ?Sized>(
                     wait_ns: wait,
                 },
             );
+            if wait > 0 {
+                sinks.workers[tid].emit_at(
+                    *clock,
+                    Event::Wake {
+                        edge: WakeEdge::Barrier,
+                        src_tid: releaser,
+                        seq: epoch as u64,
+                    },
+                );
+            }
         }
     }
     clocks.into_iter().max().unwrap_or(t0)
@@ -373,13 +397,18 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
         if periodic {
             // Rendezvous: all workers synchronize, the checker drains, the
             // state is snapshotted.
-            let sync = clocks
-                .iter()
-                .copied()
-                .max()
-                .expect("threads > 0")
-                .max(checker_clock)
-                + cost.checkpoint_ns;
+            let worker_max = clocks.iter().copied().max().expect("threads > 0");
+            let sync = worker_max.max(checker_clock) + cost.checkpoint_ns;
+            // The release's causal source: the checker when its drain bound
+            // the rendezvous, else the slowest worker.
+            let releaser = if checker_clock > worker_max {
+                CHECKER_TID
+            } else {
+                clocks
+                    .iter()
+                    .position(|&c| c == worker_max)
+                    .expect("nonempty")
+            };
             for (tid, (clock, i)) in clocks.iter_mut().zip(idle.iter_mut()).enumerate() {
                 let wait = sync - *clock;
                 sinks.workers[tid].emit_at(
@@ -397,6 +426,16 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                         wait_ns: wait,
                     },
                 );
+                if wait > 0 && tid != releaser {
+                    sinks.workers[tid].emit_at(
+                        sync,
+                        Event::Wake {
+                            edge: WakeEdge::Checkpoint,
+                            src_tid: releaser,
+                            seq: epoch as u64,
+                        },
+                    );
+                }
             }
             checker_clock = sync;
             if fault.snapshot_fails(epoch as u32) {
@@ -551,9 +590,20 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
             let epochs_overlap = cur_epoch.iter().any(|&e| e != epoch);
             if (!sig.is_empty() && epochs_overlap) || conflicted {
                 stats.add_check_request();
-                checker_clock = checker_clock.max(finish)
-                    + cost.check_request_ns
-                    + cost.check_compare_ns * comparisons;
+                // SPSC produce → consume: the checker picks the request up
+                // once it is both sent (task finished) and the server is
+                // free.
+                let pickup = checker_clock.max(finish);
+                sinks.checker.emit_at(
+                    pickup,
+                    Event::Wake {
+                        edge: WakeEdge::Queue,
+                        src_tid: tid,
+                        seq: global,
+                    },
+                );
+                checker_clock =
+                    pickup + cost.check_request_ns + cost.check_compare_ns * comparisons;
                 // Checker-side faults fire while the request is processed,
                 // mirroring the threaded checker loop.
                 match fault.check(epoch as u32, task as u64, tid) {

@@ -54,7 +54,7 @@ use crossinvoc_runtime::metrics::{Metrics, MetricsSummary};
 use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
 use crossinvoc_runtime::stats::StatsSummary;
 use crossinvoc_runtime::trace::{
-    Event, Trace, TraceCollector, TraceSink, CHECKER_TID, MANAGER_TID,
+    Event, Trace, TraceCollector, TraceSink, WakeEdge, CHECKER_TID, MANAGER_TID,
 };
 use crossinvoc_runtime::SpinBarrier;
 
@@ -351,6 +351,11 @@ struct SyncPoint {
     n: usize,
     arrived: AtomicUsize,
     generation: AtomicU64,
+    /// Worker id of the last arrival of the most recent release — the
+    /// source of the checkpoint-release causality edge. Written before the
+    /// generation bump, so a released waiter reads its own generation's
+    /// releaser.
+    releaser: AtomicUsize,
 }
 
 enum WaitOutcome {
@@ -366,16 +371,25 @@ impl SyncPoint {
             n,
             arrived: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
+            releaser: AtomicUsize::new(0),
         }
     }
 
-    fn wait(&self, abort: &AtomicBool, deadline: Option<Instant>) -> WaitOutcome {
+    /// Worker id of the last arrival that performed the most recent
+    /// release. Race-free for a waiter reading it right after its own
+    /// released wait (the store precedes the generation bump).
+    fn last_releaser(&self) -> usize {
+        self.releaser.load(Ordering::Relaxed)
+    }
+
+    fn wait(&self, tid: usize, abort: &AtomicBool, deadline: Option<Instant>) -> WaitOutcome {
         if abort.load(Ordering::Acquire) {
             return WaitOutcome::Aborted;
         }
         let gen = self.generation.load(Ordering::Acquire);
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
             self.arrived.store(0, Ordering::Relaxed);
+            self.releaser.store(tid, Ordering::Relaxed);
             self.generation.store(gen + 1, Ordering::Release);
             WaitOutcome::Released(true)
         } else {
@@ -541,6 +555,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         // Degradation bookkeeping: recent pass outcomes + consecutive fails.
         let mut recent = VecDeque::new();
         let mut consecutive_failures = 0u32;
+        let mut misspec_ordinal: u64 = 0;
         let start = Instant::now();
         let mut start_epoch = 0usize;
         let num_epochs = workload.num_epochs();
@@ -614,6 +629,14 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 }
                 AbortReason::Conflict => {
                     stats.add_misspeculation();
+                    // The checker's verdict causes the rollback + redo that
+                    // the manager performs next.
+                    manager_sink.emit(Event::Wake {
+                        edge: WakeEdge::Checker,
+                        src_tid: CHECKER_TID,
+                        seq: misspec_ordinal,
+                    });
+                    misspec_ordinal += 1;
                     if let Some(c) = pass.conflict {
                         conflicts.push(c);
                     }
@@ -1150,7 +1173,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             epoch: epoch as u32,
         });
         let entered = Instant::now();
-        let serial = match shared.sync.wait(&shared.misspec, shared.deadline) {
+        let serial = match shared.sync.wait(tid, &shared.misspec, shared.deadline) {
             WaitOutcome::Released(serial) => serial,
             WaitOutcome::Aborted => return false,
             WaitOutcome::TimedOut => {
@@ -1202,7 +1225,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             }
         }
         let released = matches!(
-            shared.sync.wait(&shared.misspec, shared.deadline),
+            shared.sync.wait(tid, &shared.misspec, shared.deadline),
             WaitOutcome::Released(_)
         );
         if released {
@@ -1212,6 +1235,14 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 epoch: epoch as u32,
                 wait_ns,
             });
+            let releaser = shared.sync.last_releaser();
+            if releaser != tid {
+                sink.emit(Event::Wake {
+                    edge: WakeEdge::Checkpoint,
+                    src_tid: releaser,
+                    seq: epoch as u64,
+                });
+            }
         }
         released
     }
@@ -1228,10 +1259,19 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         let num_workers = self.config.num_workers;
         let mut state = CheckerState::<S>::new(num_workers);
         let backoff = Backoff::new();
+        let mut picked: u64 = 0;
         loop {
             match rx.try_recv() {
                 Ok(CheckerMsg::Check(req)) => {
                     backoff.reset();
+                    // SPSC produce → consume: the worker's exit_task send is
+                    // the causal source of this pickup.
+                    sink.emit(Event::Wake {
+                        edge: WakeEdge::Queue,
+                        src_tid: req.tid,
+                        seq: picked,
+                    });
+                    picked += 1;
                     let mut forced = false;
                     let check_fault =
                         shared
@@ -1446,6 +1486,14 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                                     epoch: epoch as u32,
                                     wait_ns,
                                 });
+                                let releaser = barrier.last_releaser();
+                                if releaser != tid {
+                                    sink.emit(Event::Wake {
+                                        edge: WakeEdge::Barrier,
+                                        src_tid: releaser,
+                                        seq: epoch as u64,
+                                    });
+                                }
                             }
                             BarrierWait::Aborted => {
                                 collector.absorb(sink);

@@ -9,6 +9,7 @@ BUILD_TIMEOUT="${BUILD_TIMEOUT:-1200}"
 TEST_TIMEOUT="${TEST_TIMEOUT:-900}"
 CLIPPY_TIMEOUT="${CLIPPY_TIMEOUT:-1200}"
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-120}"
+TRACE_TIMEOUT="${TRACE_TIMEOUT:-600}"
 
 run() {
   local limit="$1"
@@ -29,5 +30,15 @@ RUSTDOCFLAGS="-D warnings" run "$BUILD_TIMEOUT" cargo doc --no-deps --workspace
 run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- --smoke
 run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
   --validate target/figures/BENCH_3.json
+
+# Observability smoke: a traced figure run must produce traces that survive
+# strict analysis (non-zero exit on any ring overflow) and export to
+# Chrome/Perfetto trace_event JSON (see docs/OBSERVABILITY.md). The text
+# report and the chrome/ directory are the artifacts CI archives.
+run "$TRACE_TIMEOUT" env CROSSINVOC_TRACE=1 cargo bench -p crossinvoc-bench --bench fig4_3
+run "$TRACE_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin trace-report -- \
+  --strict --chrome target/figures/chrome target/figures/*.trace.jsonl \
+  >target/figures/trace-report.txt
+echo "    wrote target/figures/trace-report.txt + target/figures/chrome/"
 
 echo "CI passed."

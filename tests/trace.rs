@@ -5,12 +5,17 @@
 //! reconstruction (misspeculation ledger, per-thread barrier-wait
 //! breakdown). See `docs/OBSERVABILITY.md`.
 
+use std::collections::{BTreeMap, BTreeSet};
+
+use crossinvoc_bench::json::{self, Json};
+use crossinvoc_runtime::critpath::what_if;
 use crossinvoc_runtime::fault::{FaultKind, FaultPlan};
-use crossinvoc_runtime::trace::{Event, Trace, TraceReport, TraceSink};
+use crossinvoc_runtime::trace::{Event, Trace, TraceReport, TraceSink, WakeEdge};
 use crossinvoc_runtime::{RangeSignature, SharedSlice, ThreadId};
 use crossinvoc_sim::prelude::*;
 use crossinvoc_speccross::prelude::*;
 use crossinvoc_speccross::SpecCrossEngine;
+use crossinvoc_workloads::{registry, Scale};
 
 /// Task `t` of every epoch increments cell `t`: same-epoch tasks are
 /// disjoint and cross-epoch revisits are ordered by the engine, so a clean
@@ -150,6 +155,142 @@ fn engine_and_sim_traces_share_schema_and_reconstruct_the_ledger() {
             "{label}: checkpoint rendezvous must show up as barrier waits"
         );
         assert!(workers.iter().all(|t| t.tasks > 0), "{label}");
+    }
+}
+
+/// The what-if estimator's acceptance bound: replaying a traced barrier
+/// run of a Table 5.1 kernel with its barrier edges zeroed predicts the
+/// *measured* barrier-vs-SPECCROSS simulator ratio within 10% on at least
+/// one kernel. Free synchronization costs isolate exactly the waits the
+/// estimator models, an over-long checkpoint interval keeps rendezvous
+/// stalls out of the SPECCROSS run, and kernels whose speculative run
+/// stalls or misspeculates are skipped — those measure more than barrier
+/// removal.
+#[test]
+fn what_if_barrier_removal_predicts_sim_ratio_within_ten_percent() {
+    let cost = CostModel::free();
+    let threads = 4;
+    let mut checked: Vec<(&str, f64, f64, f64)> = Vec::new();
+    for info in registry().into_iter().filter(|b| b.speccross) {
+        let model = info.model(Scale::Test);
+        let epochs = model.num_invocations();
+        let params = SpecSimParams::with_threads(threads).checkpoint_every(epochs.max(1) * 2);
+        let spec = speccross(model.as_ref(), &params, &cost);
+        if spec.stats.misspeculations != 0 || spec.stats.stalls != 0 {
+            continue;
+        }
+        let bar = barrier_traced(model.as_ref(), threads, &cost, Some(1 << 16));
+        let trace = bar.trace.expect("tracing was requested");
+        if trace.dropped() > 0 {
+            continue; // a truncated DAG would bias the replay
+        }
+        let measured = bar.total_ns as f64 / spec.total_ns.max(1) as f64;
+        let predicted = what_if(&trace, &[WakeEdge::Barrier]).predicted_speedup();
+        let rel = (measured - predicted).abs() / measured;
+        checked.push((info.name, measured, predicted, rel));
+    }
+    assert!(
+        !checked.is_empty(),
+        "at least one clean SPECCROSS kernel must be measurable at test scale"
+    );
+    let best = checked
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.3.total_cmp(&b.3))
+        .unwrap();
+    assert!(
+        best.3 < 0.10,
+        "no kernel within 10%: best was {} (measured {:.3}, predicted {:.3}, rel err {:.3}); all: {checked:?}",
+        best.0,
+        best.1,
+        best.2,
+        best.3
+    );
+}
+
+/// Engine- and sim-emitted traces of the same plan both export to valid
+/// Chrome `trace_event` JSON — parsed with a real JSON parser, every event
+/// carries the required fields, and the flow (`s`/`f`) pairs cover all
+/// four causality-edge classes with matching ids.
+#[test]
+fn chrome_export_is_schema_valid_with_flows_for_all_edge_classes() {
+    // Engine: a forced false positive at epoch 3 exercises every edge —
+    // check-request pickups (queue), the verdict-driven rollback (checker),
+    // the recovery barriers (barrier), and the rendezvous (checkpoint).
+    let w = IncGrid::new(8, 6);
+    let report = traced_engine(FaultPlan::default().false_positive_at(3))
+        .execute(&w)
+        .unwrap();
+    let engine_trace = report.trace.expect("tracing was configured");
+
+    // Simulator: 17 tasks over 2 threads keep every epoch imbalanced, so
+    // barrier and rendezvous waits are nonzero and emit wakes; the injected
+    // misspeculation supplies the queue pickup and the checker verdict.
+    let model = UniformWorkload::independent(100, 17, 1_000);
+    let params = SpecSimParams::with_threads(2)
+        .checkpoint_every(2)
+        .inject_misspec_at_task(Some(800))
+        .trace(1 << 14);
+    let sim = speccross(&model, &params, &CostModel::default());
+    let sim_trace = sim.trace.expect("tracing was requested");
+
+    for (label, trace) in [("engine", &engine_trace), ("sim", &sim_trace)] {
+        let text = trace.to_chrome_json(None);
+        let root = json::parse(&text)
+            .unwrap_or_else(|e| panic!("{label}: chrome export must be valid JSON: {e}"));
+        assert_eq!(
+            root.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ns"),
+            "{label}"
+        );
+        let events = root
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("{label}: traceEvents must be an array"));
+        assert!(!events.is_empty(), "{label}");
+
+        let mut starts: BTreeMap<u64, String> = BTreeMap::new();
+        let mut finishes: BTreeMap<u64, String> = BTreeMap::new();
+        for ev in events {
+            for key in ["name", "ph", "pid", "tid", "ts"] {
+                assert!(
+                    ev.get(key).is_some(),
+                    "{label}: every event carries \"{key}\""
+                );
+            }
+            let ph = ev
+                .get("ph")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("{label}: ph must be a string"));
+            if ev.get("cat").and_then(Json::as_str) == Some("wake") {
+                let name = ev
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| panic!("{label}: flow events carry an edge name"))
+                    .to_string();
+                let id = ev
+                    .get("id")
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| panic!("{label}: flow events carry a numeric id"))
+                    as u64;
+                match ph {
+                    "s" => assert!(starts.insert(id, name).is_none(), "{label}: dup flow id"),
+                    "f" => assert!(finishes.insert(id, name).is_none(), "{label}: dup flow id"),
+                    other => panic!("{label}: wake events must be flow s/f, got {other}"),
+                }
+            }
+        }
+        assert_eq!(
+            starts, finishes,
+            "{label}: every flow start has a matching finish"
+        );
+        let flow_names: BTreeSet<&str> = starts.values().map(String::as_str).collect();
+        for edge in ["barrier", "queue", "checkpoint", "checker"] {
+            assert!(
+                flow_names.contains(edge),
+                "{label}: missing {edge} flows; present: {flow_names:?}"
+            );
+        }
     }
 }
 
