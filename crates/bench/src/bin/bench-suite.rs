@@ -22,13 +22,30 @@
 //! skips the criteria (they are calibrated at figure scale) so CI stays
 //! under its time budget; the JSON is still written and validated.
 //!
+//! With `--fastpath` the suite instead produces
+//! `target/figures/BENCH_5.json`, the regression gate for the two
+//! serial-bottleneck fast paths this codebase layers on the thesis
+//! runtimes:
+//!
+//! * **checker epoch-summary pruning** — a clustered-access SPECCROSS
+//!   workload is simulated with the per-epoch aggregate fast path on and
+//!   off; full mode requires the per-admitted-task signature-comparison
+//!   count to drop by ≥5× and the critical path's checker-latency share
+//!   to shrink strictly;
+//! * **cross-invocation schedule memoization** — the periodic DOMORE
+//!   kernels (JACOBI's ping-pong grids, FDTD's three-sweep cycle) are
+//!   simulated with the schedule memo; full mode requires a ≥90%
+//!   schedule-cache hit rate on each.
+//!
 //! ```text
 //! bench-suite [--smoke] [--out PATH] [--workers N] [--reps N]
-//! bench-suite --validate PATH   # parse an existing BENCH_3.json
+//! bench-suite --fastpath [--smoke] [--out PATH] [--workers N]
+//! bench-suite --validate PATH   # parse an existing BENCH_3/BENCH_5 report
 //! ```
 //!
-//! Exit status is nonzero on panic, checksum mismatch, malformed JSON, or
-//! (full mode) failed criteria.
+//! `--validate` dispatches on the report's `schema` field, so one CI step
+//! checks either artifact. Exit status is nonzero on panic, checksum
+//! mismatch, malformed JSON, or (full mode) failed criteria.
 //!
 //! [`AccessKernel`]: crossinvoc_workloads::AccessKernel
 //! [`Metrics`]: crossinvoc_runtime::metrics::Metrics
@@ -39,9 +56,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use crossinvoc_bench::json::{self, Json};
-use crossinvoc_bench::out_dir;
+use crossinvoc_bench::{domore_policy, out_dir};
 use crossinvoc_domore::prelude::*;
 use crossinvoc_runtime::metrics::HistogramSummary;
+use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_runtime::{critical_path, what_if, PathCategory, TraceReport, WakeEdge};
 use crossinvoc_sim::prelude::*;
 use crossinvoc_workloads::{registry, AccessKernel, BenchmarkInfo, Scale};
 
@@ -50,9 +69,17 @@ use crossinvoc_workloads::{registry, AccessKernel, BenchmarkInfo, Scale};
 const WIN_THRESHOLD: f64 = 1.15;
 /// Maximum virtual-time regression tolerated on each balanced kernel.
 const BALANCED_TOLERANCE: f64 = 0.95;
+/// Minimum reduction of signature comparisons per admitted task the
+/// epoch-summary fast path must show on the clustered workload (BENCH_5,
+/// full mode).
+const PRUNING_THRESHOLD: f64 = 5.0;
+/// Minimum schedule-cache hit rate on each periodic DOMORE kernel
+/// (BENCH_5, full mode).
+const HIT_RATE_THRESHOLD: f64 = 0.90;
 
 struct Args {
     smoke: bool,
+    fastpath: bool,
     out: PathBuf,
     workers: usize,
     reps: usize,
@@ -62,18 +89,21 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
-        out: out_dir().join("BENCH_3.json"),
+        fastpath: false,
+        out: PathBuf::new(), // resolved after --fastpath is known
         workers: 8,
         reps: 0, // resolved after --smoke is known
         validate: None,
     };
     let mut reps: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--smoke" => args.smoke = true,
-            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--fastpath" => args.fastpath = true,
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--workers" => {
                 args.workers = value("--workers")?
                     .parse()
@@ -91,6 +121,12 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     args.reps = reps.unwrap_or(if args.smoke { 1 } else { 5 });
+    let default_name = if args.fastpath {
+        "BENCH_5.json"
+    } else {
+        "BENCH_3.json"
+    };
+    args.out = out.unwrap_or_else(|| out_dir().join(default_name));
     if args.workers == 0 || args.reps == 0 {
         return Err("--workers and --reps must be positive".into());
     }
@@ -108,11 +144,8 @@ fn main() -> ExitCode {
     if let Some(path) = &args.validate {
         return match std::fs::read_to_string(path) {
             Ok(text) => match validate_report(&text) {
-                Ok(kernels) => {
-                    println!(
-                        "{}: valid BENCH_3 report, {kernels} kernels",
-                        path.display()
-                    );
+                Ok(desc) => {
+                    println!("{}: {desc}", path.display());
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -126,7 +159,11 @@ fn main() -> ExitCode {
             }
         };
     }
-    run_suite(&args)
+    if args.fastpath {
+        run_fastpath(&args)
+    } else {
+        run_suite(&args)
+    }
 }
 
 /// One kernel's simulated timings for one dispatch policy.
@@ -344,6 +381,323 @@ fn run_suite(args: &Args) -> ExitCode {
     }
 }
 
+// ---- BENCH_5: the fast-path regression suite ----
+
+/// The clustered-access SPECCROSS workload of the BENCH_5 pruning
+/// criterion: task `t` of epoch `e` writes cell `e * tasks + t`, so every
+/// epoch's signature aggregate is disjoint from every other epoch's — the
+/// shape the per-epoch aggregate test prunes best — while task costs are
+/// staggered (`500 + (iter % 5) * 1000` ns) so admissions from many
+/// epochs are in flight at once and the checker actually faces deep logs.
+struct Clustered {
+    epochs: usize,
+    tasks: usize,
+}
+
+impl SimWorkload for Clustered {
+    fn num_invocations(&self) -> usize {
+        self.epochs
+    }
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.tasks
+    }
+    fn iteration_cost(&self, _inv: usize, iter: usize) -> u64 {
+        500 + (iter % 5) as u64 * 1000
+    }
+    fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        out.push((inv * self.tasks + iter, AccessKind::Write));
+    }
+    fn address_space(&self) -> Option<usize> {
+        Some(self.epochs * self.tasks)
+    }
+}
+
+/// One traced clustered run's checker-side measurements.
+struct CheckerSide {
+    total_ns: u64,
+    check_requests: u64,
+    comparisons: u64,
+    epoch_skips: u64,
+    /// Fraction of the critical path spent waiting on the checker: the
+    /// checkpoint-drain/verdict categories plus the SPSC stalls, which on
+    /// this trace are exclusively workers' check requests sitting in the
+    /// ring while the checker scans signatures (the speccross simulator
+    /// emits queue wakes only at checker pickups).
+    checker_share: f64,
+    /// `what_if` speedup from zeroing the checker's pickup and verdict
+    /// wake edges — how much faster the run would finish were signature
+    /// checking free.
+    zero_checker_speedup: f64,
+}
+
+fn checker_side(
+    w: &Clustered,
+    threads: usize,
+    checkpoint_every: usize,
+    summaries: bool,
+    cost: &CostModel,
+) -> CheckerSide {
+    let params = SpecSimParams::with_threads(threads)
+        .trace(1 << 17)
+        .checkpoint_every(checkpoint_every)
+        .epoch_summaries(summaries);
+    let r = crossinvoc_sim::speccross(w, &params, cost);
+    let trace = r.trace.as_ref().expect("tracing was requested");
+    let report = TraceReport::from_trace(trace);
+    let crit = critical_path(trace);
+    let total = crit.attribution.total().max(1);
+    let waiting_on_checker = crit.attribution.get(PathCategory::CheckerLatency)
+        + crit.attribution.get(PathCategory::SpscStall);
+    CheckerSide {
+        total_ns: r.total_ns,
+        check_requests: r.stats.check_requests,
+        comparisons: report.checker_comparisons,
+        epoch_skips: report.checker_epoch_skips,
+        checker_share: waiting_on_checker as f64 / total as f64,
+        zero_checker_speedup: what_if(trace, &[WakeEdge::Queue, WakeEdge::Checker])
+            .predicted_speedup(),
+    }
+}
+
+impl CheckerSide {
+    fn comparisons_per_admit(&self) -> f64 {
+        self.comparisons as f64 / self.check_requests.max(1) as f64
+    }
+}
+
+/// One periodic kernel's schedule-memo measurements.
+struct MemoRow {
+    name: &'static str,
+    invocations: u64,
+    cache_hits: u64,
+    memo_ns: u64,
+    no_memo_ns: u64,
+}
+
+impl MemoRow {
+    fn hit_rate(&self) -> f64 {
+        self.cache_hits as f64 / self.invocations.max(1) as f64
+    }
+}
+
+fn memo_row(name: &'static str, scale: Scale, workers: usize, cost: &CostModel) -> MemoRow {
+    let info = crossinvoc_workloads::registry::by_name(name);
+    let model = info.model(scale);
+    let run = |memo: bool| {
+        let mut policy = domore_policy(&info, scale);
+        domore_configured(model.as_ref(), workers, policy.as_mut(), cost, None, memo)
+    };
+    let with_memo = run(true);
+    let without = run(false);
+    MemoRow {
+        name,
+        invocations: model.num_invocations() as u64,
+        cache_hits: with_memo.stats.schedule_cache_hits,
+        memo_ns: with_memo.total_ns,
+        no_memo_ns: without.total_ns,
+    }
+}
+
+fn run_fastpath(args: &Args) -> ExitCode {
+    let scale = if args.smoke {
+        Scale::Test
+    } else {
+        Scale::Figure
+    };
+    let cost = CostModel::default();
+    let suite_start = Instant::now();
+
+    // The pruning shape needs enough concurrent cross-epoch candidates for
+    // aggregates to matter: thread count, not --workers, sets that, so the
+    // clustered run has its own (documented) configuration.
+    // Checkpoint rendezvous drain the checker, which is how its service
+    // time (summaries on vs off) reaches the critical path.
+    let (epochs, tasks, threads, ckpt) = if args.smoke {
+        (12, 8, 8, 4)
+    } else {
+        (60, 32, 32, 10)
+    };
+    let w = Clustered { epochs, tasks };
+    println!(
+        "[clustered] {epochs} epochs x {tasks} tasks on {threads} threads, checkpoint every {ckpt}"
+    );
+    let on = checker_side(&w, threads, ckpt, true, &cost);
+    let off = checker_side(&w, threads, ckpt, false, &cost);
+    let pruning_ratio =
+        off.comparisons_per_admit() / on.comparisons_per_admit().max(f64::MIN_POSITIVE);
+
+    println!(
+        "[memo] JACOBI + FDTD at {scale:?} scale, {} workers",
+        args.workers
+    );
+    let memo_rows = [
+        memo_row("JACOBI", scale, args.workers, &cost),
+        memo_row("FDTD", scale, args.workers, &cost),
+    ];
+    let worst_hit_rate = memo_rows
+        .iter()
+        .map(MemoRow::hit_rate)
+        .fold(f64::INFINITY, f64::min);
+
+    let pass = !args.smoke
+        && pruning_ratio >= PRUNING_THRESHOLD
+        && worst_hit_rate >= HIT_RATE_THRESHOLD
+        && on.checker_share < off.checker_share;
+
+    let json = render_fastpath_json(
+        args,
+        &on,
+        &off,
+        pruning_ratio,
+        &memo_rows,
+        epochs,
+        tasks,
+        threads,
+        pass,
+    );
+    if let Err(e) = std::fs::create_dir_all(args.out.parent().unwrap_or(&args.out)) {
+        eprintln!("bench-suite: creating output directory: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("bench-suite: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = validate_report(&json) {
+        eprintln!("bench-suite: produced malformed JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "[wrote {}] in {:.1}s",
+        args.out.display(),
+        suite_start.elapsed().as_secs_f64()
+    );
+    println!(
+        "  comparisons/admit: {:.2} with summaries, {:.2} without  (ratio {:.2})",
+        on.comparisons_per_admit(),
+        off.comparisons_per_admit(),
+        pruning_ratio
+    );
+    println!(
+        "  checker-wait critical-path share: {:.4} with summaries, {:.4} without \
+         (what-if free checks: {:.3}x vs {:.3}x)",
+        on.checker_share, off.checker_share, on.zero_checker_speedup, off.zero_checker_speedup
+    );
+    for row in &memo_rows {
+        println!(
+            "  {:<8} schedule-cache hit rate {:.3} ({}/{} invocations), {} -> {} ns",
+            row.name,
+            row.hit_rate(),
+            row.cache_hits,
+            row.invocations,
+            row.no_memo_ns,
+            row.memo_ns
+        );
+    }
+    if args.smoke {
+        println!("smoke mode: criteria not evaluated (test-scale models)");
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "pruning ratio {pruning_ratio:.2} (need >= {PRUNING_THRESHOLD}), worst hit rate \
+         {worst_hit_rate:.3} (need >= {HIT_RATE_THRESHOLD}), checker share shrank: {}",
+        on.checker_share < off.checker_share
+    );
+    if pass {
+        println!("criteria: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("criteria: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_fastpath_json(
+    args: &Args,
+    on: &CheckerSide,
+    off: &CheckerSide,
+    pruning_ratio: f64,
+    memo_rows: &[MemoRow],
+    epochs: usize,
+    tasks: usize,
+    threads: usize,
+    pass: bool,
+) -> String {
+    let side = |s: &mut String, label: &str, c: &CheckerSide, comma: bool| {
+        let _ = writeln!(s, "    \"{label}\": {{");
+        let _ = writeln!(s, "      \"total_ns\": {},", c.total_ns);
+        let _ = writeln!(s, "      \"check_requests\": {},", c.check_requests);
+        let _ = writeln!(s, "      \"comparisons\": {},", c.comparisons);
+        let _ = writeln!(s, "      \"epoch_skips\": {},", c.epoch_skips);
+        let _ = writeln!(
+            s,
+            "      \"comparisons_per_admit\": {:.4},",
+            c.comparisons_per_admit()
+        );
+        let _ = writeln!(s, "      \"checker_wait_share\": {:.6},", c.checker_share);
+        let _ = writeln!(
+            s,
+            "      \"what_if_zero_checker_wait_speedup\": {:.4}",
+            c.zero_checker_speedup
+        );
+        s.push_str(if comma { "    },\n" } else { "    }\n" });
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"crossinvoc-bench-5\",");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"workers\": {},", args.workers);
+    let _ = writeln!(s, "  \"smoke\": {},", args.smoke);
+    s.push_str("  \"checker\": {\n");
+    let _ = writeln!(s, "    \"workload\": \"clustered\",");
+    let _ = writeln!(s, "    \"epochs\": {epochs},");
+    let _ = writeln!(s, "    \"tasks\": {tasks},");
+    let _ = writeln!(s, "    \"threads\": {threads},");
+    let _ = writeln!(s, "    \"pruning_ratio\": {pruning_ratio:.4},");
+    side(&mut s, "summaries_on", on, true);
+    side(&mut s, "summaries_off", off, false);
+    s.push_str("  },\n");
+    s.push_str("  \"memo\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"scale\": \"{}\",",
+        if args.smoke { "test" } else { "figure" }
+    );
+    s.push_str("    \"kernels\": [\n");
+    for (i, row) in memo_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"name\": \"{}\", \"invocations\": {}, \"cache_hits\": {}, \
+             \"hit_rate\": {:.4}, \"memo_total_ns\": {}, \"no_memo_total_ns\": {}}}",
+            row.name,
+            row.invocations,
+            row.cache_hits,
+            row.hit_rate(),
+            row.memo_ns,
+            row.no_memo_ns
+        );
+        s.push_str(if i + 1 < memo_rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ]\n  },\n");
+    s.push_str("  \"criteria\": {\n");
+    let _ = writeln!(s, "    \"evaluated\": {},", !args.smoke);
+    let _ = writeln!(s, "    \"min_pruning_ratio\": {PRUNING_THRESHOLD},");
+    let _ = writeln!(s, "    \"min_hit_rate\": {HIT_RATE_THRESHOLD},");
+    let _ = writeln!(s, "    \"pruning_ratio\": {pruning_ratio:.4},");
+    let worst = memo_rows
+        .iter()
+        .map(MemoRow::hit_rate)
+        .fold(f64::INFINITY, f64::min);
+    let _ = writeln!(s, "    \"worst_hit_rate\": {worst:.4},");
+    let _ = writeln!(s, "    \"checker_share_on\": {:.6},", on.checker_share);
+    let _ = writeln!(s, "    \"checker_share_off\": {:.6},", off.checker_share);
+    let _ = writeln!(s, "    \"pass\": {pass}");
+    s.push_str("  }\n}\n");
+    s
+}
+
 // ---- JSON rendering (hand-rolled: the workspace carries no serde) ----
 
 fn render_json(
@@ -483,16 +837,21 @@ fn render_json(
 // ---- JSON validation ----
 //
 // Parsing is the shared `crossinvoc_bench::json` reader (the workspace
-// vendors no JSON library); this file only checks the BENCH_3 structure.
+// vendors no JSON library); this file only checks the report structures,
+// dispatching on the `schema` field.
 
-/// Parses `text` and checks the BENCH_3 structural contract. Returns the
-/// kernel count.
-fn validate_report(text: &str) -> Result<usize, String> {
+/// Parses `text`, dispatches on its `schema` field and checks the
+/// corresponding structural contract. Returns a one-line description.
+fn validate_report(text: &str) -> Result<String, String> {
     let root = json::parse(text)?;
     match root.get("schema") {
-        Some(Json::Str(s)) if s == "crossinvoc-bench-3" => {}
-        other => return Err(format!("bad schema field: {other:?}")),
+        Some(Json::Str(s)) if s == "crossinvoc-bench-3" => validate_bench3(&root),
+        Some(Json::Str(s)) if s == "crossinvoc-bench-5" => validate_bench5(&root),
+        other => Err(format!("bad schema field: {other:?}")),
     }
+}
+
+fn validate_bench3(root: &Json) -> Result<String, String> {
     let criteria = root.get("criteria").ok_or("missing criteria")?;
     if !matches!(criteria.get("pass"), Some(Json::Bool(_))) {
         return Err("criteria.pass must be a bool".into());
@@ -517,7 +876,43 @@ fn validate_report(text: &str) -> Result<usize, String> {
             }
         }
     }
-    Ok(kernels.len())
+    Ok(format!("valid BENCH_3 report, {} kernels", kernels.len()))
+}
+
+fn validate_bench5(root: &Json) -> Result<String, String> {
+    let criteria = root.get("criteria").ok_or("missing criteria")?;
+    if !matches!(criteria.get("pass"), Some(Json::Bool(_))) {
+        return Err("criteria.pass must be a bool".into());
+    }
+    let checker = root.get("checker").ok_or("missing checker section")?;
+    for side in ["summaries_on", "summaries_off"] {
+        let c = checker
+            .get(side)
+            .ok_or_else(|| format!("checker missing {side}"))?;
+        for field in ["comparisons", "check_requests"] {
+            if !matches!(c.get(field), Some(Json::Num(_))) {
+                return Err(format!("checker.{side}.{field} must be a number"));
+            }
+        }
+    }
+    if !matches!(checker.get("pruning_ratio"), Some(Json::Num(_))) {
+        return Err("checker.pruning_ratio must be a number".into());
+    }
+    let kernels = match root.get("memo").and_then(|m| m.get("kernels")) {
+        Some(Json::Arr(items)) if !items.is_empty() => items,
+        _ => return Err("memo.kernels must be a non-empty array".into()),
+    };
+    for kernel in kernels {
+        if !matches!(kernel.get("name"), Some(Json::Str(_)))
+            || !matches!(kernel.get("hit_rate"), Some(Json::Num(_)))
+        {
+            return Err("memo kernel needs name and hit_rate".into());
+        }
+    }
+    Ok(format!(
+        "valid BENCH_5 report, {} memo kernels",
+        kernels.len()
+    ))
 }
 
 #[cfg(test)]
@@ -537,5 +932,29 @@ mod tests {
         let err =
             validate_report(r#"{"schema": "crossinvoc-bench-3", "kernels": []}"#).unwrap_err();
         assert!(err.contains("criteria"), "{err}");
+    }
+
+    #[test]
+    fn bench5_contract_is_enforced() {
+        let err =
+            validate_report(r#"{"schema": "crossinvoc-bench-5", "criteria": {"pass": true}}"#)
+                .unwrap_err();
+        assert!(err.contains("checker"), "{err}");
+
+        let ok = r#"{
+          "schema": "crossinvoc-bench-5",
+          "criteria": {"pass": false},
+          "checker": {
+            "pruning_ratio": 6.5,
+            "summaries_on": {"comparisons": 10, "check_requests": 5},
+            "summaries_off": {"comparisons": 65, "check_requests": 5}
+          },
+          "memo": {"kernels": [{"name": "JACOBI", "hit_rate": 0.99}]}
+        }"#;
+        let desc = validate_report(ok).unwrap();
+        assert!(desc.contains("BENCH_5"), "{desc}");
+
+        let no_rate = ok.replace("\"hit_rate\": 0.99", "\"hit_rate\": \"high\"");
+        assert!(validate_report(&no_rate).is_err());
     }
 }

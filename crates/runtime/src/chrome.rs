@@ -188,6 +188,21 @@ impl Trace {
                     ));
                     w.close();
                 }
+                Event::CheckerSummary {
+                    epoch,
+                    skips,
+                    comparisons,
+                } => {
+                    w.open("checker_summary", 'i', dt, rec.t_ns).push_str(&format!(
+                        ",\"s\":\"t\",\"args\":{{\"epoch\":{epoch},\"skips\":{skips},\"comparisons\":{comparisons}}}"
+                    ));
+                    w.close();
+                }
+                Event::ScheduleCacheHit { epoch } => {
+                    w.open("schedule_cache_hit", 'i', dt, rec.t_ns)
+                        .push_str(&format!(",\"s\":\"t\",\"args\":{{\"epoch\":{epoch}}}"));
+                    w.close();
+                }
                 Event::EpochBegin { .. } | Event::EpochEnd { .. } | Event::TaskAssign { .. } => {}
             }
             last_ts.insert(rec.tid, rec.t_ns);

@@ -306,7 +306,9 @@ impl<'a> Dag<'a> {
             | Event::TaskAssign { epoch, .. }
             | Event::TaskDispatch { epoch, .. }
             | Event::TaskRetire { epoch, .. }
-            | Event::FaultInjected { epoch, .. } => Some(epoch),
+            | Event::FaultInjected { epoch, .. }
+            | Event::CheckerSummary { epoch, .. }
+            | Event::ScheduleCacheHit { epoch } => Some(epoch),
             Event::Misspeculation { later_epoch, .. } => Some(later_epoch),
             Event::Wake { edge, seq, .. } => match edge {
                 // For barrier/checkpoint edges the sequence number *is* the

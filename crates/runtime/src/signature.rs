@@ -52,6 +52,17 @@ pub trait AccessSignature: Clone + Send + std::fmt::Debug + 'static {
     /// Whether no access has been recorded.
     fn is_empty(&self) -> bool;
 
+    /// Folds `other` into `self` so that the result summarizes the union of
+    /// both access sets.
+    ///
+    /// The union must stay conservative in both directions: for any
+    /// signature `q`, if `other.conflicts_with(&q)` (or `self` before the
+    /// call conflicted with `q`) then the merged `self.conflicts_with(&q)`.
+    /// This is what lets a per-epoch *aggregate* signature stand in for
+    /// every member of the epoch — a request disjoint from the aggregate is
+    /// disjoint from each member individually.
+    fn merge(&mut self, other: &Self);
+
     /// Resets to the empty signature, retaining any allocation.
     fn clear(&mut self) {
         *self = Self::empty();
@@ -161,6 +172,15 @@ impl AccessSignature for RangeSignature {
     fn is_empty(&self) -> bool {
         !self.has_reads() && !self.has_writes()
     }
+
+    fn merge(&mut self, other: &Self) {
+        // Empty ranges are (MAX, 0), so plain min/max folding absorbs them
+        // without special-casing: min(MAX, x) = x and max(0, x) = x.
+        self.read_min = self.read_min.min(other.read_min);
+        self.read_max = self.read_max.max(other.read_max);
+        self.write_min = self.write_min.min(other.write_min);
+        self.write_max = self.write_max.max(other.write_max);
+    }
 }
 
 /// Number of 64-bit words in a [`BloomSignature`] filter.
@@ -217,6 +237,26 @@ impl AccessSignature for BloomSignature {
 
     fn is_empty(&self) -> bool {
         self.reads.iter().all(|&w| w == 0) && self.writes.iter().all(|&w| w == 0)
+    }
+
+    fn merge(&mut self, other: &Self) {
+        // Bitwise OR is exactly Bloom-filter union: a bit set in either
+        // filter is set in the union, so membership queries stay
+        // conservative.
+        for (a, b) in self.reads.iter_mut().zip(&other.reads) {
+            *a |= b;
+        }
+        for (a, b) in self.writes.iter_mut().zip(&other.writes) {
+            *a |= b;
+        }
+    }
+
+    fn clear(&mut self) {
+        // The trait default (`*self = Self::empty()`) is correct but builds
+        // a fresh value; zeroing the words in place honors the "retaining
+        // any allocation" contract and keeps the per-task reset branchless.
+        self.reads.fill(0);
+        self.writes.fill(0);
     }
 }
 
@@ -336,6 +376,73 @@ mod tests {
         assert!(!s.is_empty());
         s.clear();
         assert!(s.is_empty());
+    }
+
+    fn merge_is_conservative_union<S: AccessSignature>() {
+        let mut a = S::empty();
+        a.record(10, AccessKind::Write);
+        let mut b = S::empty();
+        b.record(200, AccessKind::Read);
+        let mut q_w = S::empty();
+        q_w.record(10, AccessKind::Read);
+        let mut q_r = S::empty();
+        q_r.record(200, AccessKind::Write);
+
+        let mut agg = a.clone();
+        agg.merge(&b);
+        // Anything conflicting with a member conflicts with the aggregate.
+        assert!(agg.conflicts_with(&q_w));
+        assert!(agg.conflicts_with(&q_r));
+
+        // Merging an empty signature changes nothing.
+        let before = format!("{agg:?}");
+        agg.merge(&S::empty());
+        assert_eq!(format!("{agg:?}"), before);
+
+        // Merging into an empty signature adopts the member's conflicts.
+        let mut from_empty = S::empty();
+        from_empty.merge(&a);
+        assert!(from_empty.conflicts_with(&q_w));
+        assert!(!from_empty.is_empty());
+    }
+
+    #[test]
+    fn range_merge_union() {
+        merge_is_conservative_union::<RangeSignature>();
+    }
+
+    #[test]
+    fn bloom_merge_union() {
+        merge_is_conservative_union::<BloomSignature>();
+    }
+
+    #[test]
+    fn range_merge_keeps_read_write_split() {
+        let mut a = RangeSignature::empty();
+        a.record(5, AccessKind::Read);
+        let mut b = RangeSignature::empty();
+        b.record(50, AccessKind::Read);
+        a.merge(&b);
+        // Two read-only signatures stay read-only after union: no conflict
+        // against another reader of the same region.
+        let mut reader = RangeSignature::empty();
+        reader.record(20, AccessKind::Read);
+        assert!(!a.conflicts_with(&reader));
+        assert_eq!(a.read_range(), Some((5, 50)));
+        assert_eq!(a.write_range(), None);
+    }
+
+    #[test]
+    fn bloom_clear_zeroes_in_place() {
+        let mut s = BloomSignature::empty();
+        for addr in 0..128 {
+            s.record(addr, AccessKind::Write);
+            s.record(addr * 3 + 1, AccessKind::Read);
+        }
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s, BloomSignature::empty());
     }
 
     #[test]

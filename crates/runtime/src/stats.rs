@@ -35,6 +35,8 @@ pub struct RegionStats {
     misspeculations: AtomicU64,
     checkpoints: AtomicU64,
     stalls: AtomicU64,
+    checker_epoch_skips: AtomicU64,
+    schedule_cache_hits: AtomicU64,
 }
 
 macro_rules! counter {
@@ -85,6 +87,23 @@ impl RegionStats {
         /// Records one worker stall on a synchronization condition or gate.
         add_stall, stalls, stalls
     );
+    counter!(
+        /// Records one invocation whose schedule was replayed from the
+        /// cross-invocation memo instead of recomputed (DOMORE fast path).
+        add_schedule_cache_hit, schedule_cache_hits, schedule_cache_hits
+    );
+
+    /// Records `n` whole-epoch log skips taken by the checker's
+    /// aggregate-signature fast path (SPECCROSS). Bulk because the checker
+    /// accumulates skips locally and folds them in at drain points.
+    pub fn add_checker_epoch_skips(&self, n: u64) {
+        self.checker_epoch_skips.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the checker epoch-skip counter.
+    pub fn checker_epoch_skips(&self) -> u64 {
+        self.checker_epoch_skips.load(Ordering::Relaxed)
+    }
 
     /// Approximate mid-run view of all counters (Relaxed loads).
     ///
@@ -100,6 +119,8 @@ impl RegionStats {
             misspeculations: self.misspeculations(),
             checkpoints: self.checkpoints(),
             stalls: self.stalls(),
+            checker_epoch_skips: self.checker_epoch_skips(),
+            schedule_cache_hits: self.schedule_cache_hits(),
         }
     }
 
@@ -120,6 +141,8 @@ impl RegionStats {
             misspeculations: self.misspeculations.load(Ordering::Acquire),
             checkpoints: self.checkpoints.load(Ordering::Acquire),
             stalls: self.stalls.load(Ordering::Acquire),
+            checker_epoch_skips: self.checker_epoch_skips.load(Ordering::Acquire),
+            schedule_cache_hits: self.schedule_cache_hits.load(Ordering::Acquire),
         }
     }
 }
@@ -141,6 +164,12 @@ pub struct StatsSummary {
     pub checkpoints: u64,
     /// Worker stalls.
     pub stalls: u64,
+    /// Whole-epoch checker log skips taken by the aggregate-signature fast
+    /// path (SPECCROSS).
+    pub checker_epoch_skips: u64,
+    /// Invocations whose DOMORE schedule was replayed from the
+    /// cross-invocation memo instead of recomputed.
+    pub schedule_cache_hits: u64,
 }
 
 #[cfg(test)]
@@ -158,6 +187,8 @@ mod tests {
         s.add_misspeculation();
         s.add_checkpoint();
         s.add_stall();
+        s.add_checker_epoch_skips(3);
+        s.add_schedule_cache_hit();
         let sum = s.summary();
         assert_eq!(sum.tasks, 2);
         assert_eq!(sum.epochs, 1);
@@ -166,6 +197,8 @@ mod tests {
         assert_eq!(sum.misspeculations, 1);
         assert_eq!(sum.checkpoints, 1);
         assert_eq!(sum.stalls, 1);
+        assert_eq!(sum.checker_epoch_skips, 3);
+        assert_eq!(sum.schedule_cache_hits, 1);
     }
 
     #[test]

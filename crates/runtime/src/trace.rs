@@ -179,6 +179,27 @@ pub enum Event {
         /// Epoch of the snapshot.
         epoch: u32,
     },
+    /// Aggregate fast-path summary from the SPECCROSS checker, emitted at
+    /// retirement (checkpoint/prune) boundaries rather than per admit so the
+    /// bounded flight-recorder rings are not flooded: how many whole-epoch
+    /// log buckets the aggregate-signature test skipped and how many
+    /// signature comparisons ran since the previous summary.
+    CheckerSummary {
+        /// Retirement epoch the summary was emitted at.
+        epoch: u32,
+        /// Whole-epoch bucket skips since the last summary.
+        skips: u64,
+        /// Signature comparisons (aggregate tests included) since the last
+        /// summary.
+        comparisons: u64,
+    },
+    /// The DOMORE scheduler replayed this invocation's schedule from the
+    /// cross-invocation memo (one event per memoized invocation, on the
+    /// manager's timeline) instead of running the scheduling logic.
+    ScheduleCacheHit {
+        /// The replayed invocation.
+        epoch: u32,
+    },
     /// A misspeculation was detected: the signatures of the two recorded
     /// tasks conflicted (for forced/injected conflicts both sides name the
     /// admitted task).
@@ -244,6 +265,8 @@ impl Event {
             Event::BarrierEnter { .. } => "barrier_enter",
             Event::BarrierLeave { .. } => "barrier_leave",
             Event::Checkpoint { .. } => "checkpoint",
+            Event::CheckerSummary { .. } => "checker_summary",
+            Event::ScheduleCacheHit { .. } => "schedule_cache_hit",
             Event::Misspeculation { .. } => "misspeculation",
             Event::Degradation { .. } => "degradation",
             Event::FaultInjected { .. } => "fault",
@@ -630,7 +653,17 @@ fn write_record(out: &mut String, rec: &TraceRecord) {
         | Event::EpochEnd { epoch }
         | Event::BarrierEnter { epoch }
         | Event::Checkpoint { epoch }
+        | Event::ScheduleCacheHit { epoch }
         | Event::Degradation { epoch } => field(out, "epoch", epoch as u64),
+        Event::CheckerSummary {
+            epoch,
+            skips,
+            comparisons,
+        } => {
+            field(out, "epoch", epoch as u64);
+            field(out, "skips", skips);
+            field(out, "comparisons", comparisons);
+        }
         Event::BarrierLeave { epoch, wait_ns } => {
             field(out, "epoch", epoch as u64);
             field(out, "wait_ns", wait_ns);
@@ -793,6 +826,14 @@ fn parse_record(line: &str) -> Result<TraceRecord, String> {
         "checkpoint" => Event::Checkpoint {
             epoch: epoch(num("epoch")?),
         },
+        "checker_summary" => Event::CheckerSummary {
+            epoch: epoch(num("epoch")?),
+            skips: num("skips")?,
+            comparisons: num("comparisons")?,
+        },
+        "schedule_cache_hit" => Event::ScheduleCacheHit {
+            epoch: epoch(num("epoch")?),
+        },
         "degradation" => Event::Degradation {
             epoch: epoch(num("epoch")?),
         },
@@ -887,6 +928,14 @@ pub struct TraceReport {
     pub degradations: Vec<u32>,
     /// Causality-edge counts per class, indexed like [`WakeEdge::ALL`].
     pub wakes: [u64; 4],
+    /// Whole-epoch checker-log skips summed over every
+    /// [`Event::CheckerSummary`] in the trace.
+    pub checker_epoch_skips: u64,
+    /// Signature comparisons summed over every [`Event::CheckerSummary`].
+    pub checker_comparisons: u64,
+    /// Invocations replayed from the DOMORE schedule memo
+    /// ([`Event::ScheduleCacheHit`] count).
+    pub schedule_cache_hits: u64,
     /// Records lost to ring overflow (analysis is approximate if nonzero).
     pub dropped: u64,
 }
@@ -901,6 +950,9 @@ impl TraceReport {
         let mut checkpoints = Vec::new();
         let mut degradations = Vec::new();
         let mut wakes = [0u64; 4];
+        let mut checker_epoch_skips = 0u64;
+        let mut checker_comparisons = 0u64;
+        let mut schedule_cache_hits = 0u64;
 
         let slot = |threads: &mut Vec<ThreadBreakdown>, tid: ThreadId| -> usize {
             match threads.iter().position(|t| t.tid == tid) {
@@ -961,6 +1013,13 @@ impl TraceReport {
                     task,
                 }),
                 Event::Checkpoint { epoch } => checkpoints.push(epoch),
+                Event::CheckerSummary {
+                    skips, comparisons, ..
+                } => {
+                    checker_epoch_skips += skips;
+                    checker_comparisons += comparisons;
+                }
+                Event::ScheduleCacheHit { .. } => schedule_cache_hits += 1,
                 Event::Degradation { epoch } => degradations.push(epoch),
                 Event::Wake { edge, .. } => wakes[edge.index()] += 1,
                 Event::EpochBegin { .. } | Event::EpochEnd { .. } | Event::BarrierEnter { .. } => {}
@@ -975,6 +1034,9 @@ impl TraceReport {
             checkpoints,
             degradations,
             wakes,
+            checker_epoch_skips,
+            checker_comparisons,
+            schedule_cache_hits,
             dropped: trace.dropped(),
         }
     }
@@ -1119,6 +1181,20 @@ impl TraceReport {
             }
         }
         let _ = writeln!(out, "checkpoints: {:?}", self.checkpoints);
+        if self.checker_epoch_skips > 0 || self.checker_comparisons > 0 {
+            let _ = writeln!(
+                out,
+                "checker fast path: {} epoch skips, {} comparisons",
+                self.checker_epoch_skips, self.checker_comparisons
+            );
+        }
+        if self.schedule_cache_hits > 0 {
+            let _ = writeln!(
+                out,
+                "schedule cache: {} invocations replayed from memo",
+                self.schedule_cache_hits
+            );
+        }
         if self.wakes.iter().any(|&n| n > 0) {
             let counts: Vec<String> = WakeEdge::ALL
                 .iter()
@@ -1223,6 +1299,20 @@ mod tests {
                     epoch: 1,
                     task: 2,
                 },
+            },
+            TraceRecord {
+                t_ns: 76,
+                tid: CHECKER_TID,
+                event: Event::CheckerSummary {
+                    epoch: 1,
+                    skips: 4,
+                    comparisons: 9,
+                },
+            },
+            TraceRecord {
+                t_ns: 78,
+                tid: MANAGER_TID,
+                event: Event::ScheduleCacheHit { epoch: 1 },
             },
             TraceRecord {
                 t_ns: 80,
@@ -1377,6 +1467,9 @@ mod tests {
         assert_eq!(report.checkpoints, vec![0]);
         assert_eq!(report.degradations, vec![1]);
         assert_eq!(report.wakes, [1, 0, 0, 0]);
+        assert_eq!(report.checker_epoch_skips, 4);
+        assert_eq!(report.checker_comparisons, 9);
+        assert_eq!(report.schedule_cache_hits, 1);
         let w0 = report.threads.iter().find(|t| t.tid == 0).unwrap();
         assert_eq!(w0.tasks, 1);
         assert_eq!(w0.busy_ns, 20);

@@ -51,6 +51,14 @@ pub struct SpecSimParams {
     /// the same JSONL schema as the threaded engine (see
     /// `docs/OBSERVABILITY.md`), deterministically.
     pub trace_capacity: Option<usize>,
+    /// Model the checker's per-epoch aggregate-signature fast path (the
+    /// threaded checker's epoch-summary pruning): one aggregate test per
+    /// epoch bucket replaces the per-entry scan whenever the aggregate is
+    /// disjoint from the probe. Verdicts are identical either way — the
+    /// conflict test is monotone under signature union — only the
+    /// comparison count (and with it the checker's service time) changes.
+    /// On by default; turn off for the pre-summary baseline.
+    pub epoch_summaries: bool,
 }
 
 impl SpecSimParams {
@@ -64,6 +72,7 @@ impl SpecSimParams {
             inject_misspec_at_task: None,
             fault_plan: None,
             trace_capacity: None,
+            epoch_summaries: true,
         }
     }
 
@@ -101,21 +110,39 @@ impl SpecSimParams {
         self.trace_capacity = Some(capacity);
         self
     }
+
+    /// Enables or disables the checker's epoch-summary fast path.
+    pub fn epoch_summaries(mut self, enabled: bool) -> Self {
+        self.epoch_summaries = enabled;
+        self
+    }
 }
 
 /// One simulated in-flight task retained for conflict detection.
 struct Window {
     tid: usize,
-    epoch: usize,
     /// Per-epoch task index, for the misspeculation trace event.
     task: u64,
     start: u64,
     finish: u64,
-    /// Maximum finish time over this entry and all earlier ones: a reverse
-    /// scan can stop as soon as this drops to or below the probe's start,
-    /// since nothing older can overlap it.
+    /// Maximum finish time over this entry and all earlier ones (across
+    /// buckets): a reverse scan can stop as soon as this drops to or below
+    /// the probe's start, since nothing older can overlap it.
     running_max_finish: u64,
     sig: RangeSignature,
+}
+
+/// The retained window entries of one epoch plus their merged aggregate —
+/// the structure the threaded checker's `CheckerState` keeps, mirrored in
+/// virtual time. Buckets are appended in epoch order (tasks are admitted
+/// epoch by epoch), so a reverse bucket walk is a reverse time walk.
+struct EpochBucket {
+    epoch: usize,
+    entries: Vec<Window>,
+    /// Union of every entry's signature: disjoint from a probe ⇒ every
+    /// member is disjoint, and the whole bucket is skipped with a single
+    /// comparison.
+    aggregate: RangeSignature,
 }
 
 /// Why a simulated speculative pass aborted.
@@ -387,8 +414,52 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
 
     // Finish times in global order, for the gate's prefix maximum.
     let mut finish_prefix_max: Vec<u64> = Vec::with_capacity(acc as usize);
-    let mut window: Vec<Window> = Vec::new();
+    let mut buckets: Vec<EpochBucket> = Vec::new();
+    let mut window_len = 0usize;
     let mut pairs = Vec::new();
+    // Cumulative fast-path accounting for this pass; flushed as
+    // delta-encoded `CheckerSummary` events at epoch boundaries and on
+    // every pass exit, mirroring the threaded checker's
+    // retirement-boundary summaries.
+    let mut total_skips = 0u64;
+    let mut total_comparisons = 0u64;
+    // (skips, comparisons) already covered by an emitted summary.
+    let mut reported = (0u64, 0u64);
+    fn flush_summary(
+        stats: &RegionStats,
+        checker: &mut crossinvoc_runtime::trace::TraceSink,
+        at: u64,
+        epoch: u32,
+        total_skips: u64,
+        total_comparisons: u64,
+        reported: &mut (u64, u64),
+    ) {
+        if total_skips != reported.0 || total_comparisons != reported.1 {
+            stats.add_checker_epoch_skips(total_skips - reported.0);
+            checker.emit_at(
+                at,
+                Event::CheckerSummary {
+                    epoch,
+                    skips: total_skips - reported.0,
+                    comparisons: total_comparisons - reported.1,
+                },
+            );
+            *reported = (total_skips, total_comparisons);
+        }
+    }
+    macro_rules! flush_summary {
+        ($epoch:expr) => {
+            flush_summary(
+                stats,
+                &mut sinks.checker,
+                checker_clock,
+                $epoch as u32,
+                total_skips,
+                total_comparisons,
+                &mut reported,
+            )
+        };
+    }
 
     for epoch in start_epoch..num_epochs {
         stats.add_epoch();
@@ -459,7 +530,10 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                     },
                 );
             }
-            window.clear(); // nothing before the rendezvous can race past it
+            // Nothing before the rendezvous can race past it; this is the
+            // prune watermark the threaded checker retires by.
+            buckets.clear();
+            window_len = 0;
         }
 
         let ntasks = workload.num_iterations(epoch);
@@ -513,6 +587,7 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                     );
                     idle[tid] += release - clocks[tid];
                     clocks[tid] = release;
+                    flush_summary!(epoch);
                     return (
                         PassEnd::Aborted {
                             detect_time: release,
@@ -560,27 +635,79 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 sig.record(addr, kind);
             }
             let mut comparisons = 0u64;
+            let mut skips = 0u64;
             let mut conflicted = params.inject_misspec_at_task == Some(global);
             // The earlier half of the conflicting pair, for the trace's
             // misspeculation ledger; forced/injected conflicts have no real
             // partner, so both sides name the admitted task.
             let mut conflict_with: Option<(usize, usize, u64)> = None;
             if !sig.is_empty() {
-                for entry in window.iter().rev() {
-                    if entry.running_max_finish <= start {
-                        break; // nothing older overlaps
-                    }
-                    if entry.epoch != epoch
-                        && entry.tid != tid
-                        && entry.start < finish
-                        && start < entry.finish
+                // Reverse bucket walk = reverse admission order. Same-epoch
+                // buckets never conflict (their tasks are mutually
+                // independent by construction); with summaries on, a
+                // cross-epoch bucket whose aggregate is disjoint from the
+                // probe is skipped whole for one comparison.
+                'scan: for bucket in buckets.iter().rev() {
+                    if bucket
+                        .entries
+                        .last()
+                        .is_none_or(|e| e.running_max_finish <= start)
                     {
-                        comparisons += 1;
-                        if entry.sig.conflicts_with(&sig) {
-                            conflicted = true;
-                            conflict_with = Some((entry.tid, entry.epoch, entry.task));
-                            break;
+                        break; // nothing this old (or older) overlaps
+                    }
+                    let oldest_done = bucket
+                        .entries
+                        .first()
+                        .is_none_or(|e| e.running_max_finish <= start);
+                    if bucket.epoch != epoch {
+                        let overlaps =
+                            |e: &Window| e.tid != tid && e.start < finish && start < e.finish;
+                        if params.epoch_summaries {
+                            let any = bucket
+                                .entries
+                                .iter()
+                                .rev()
+                                .take_while(|e| e.running_max_finish > start)
+                                .any(overlaps);
+                            if any {
+                                comparisons += 1; // the aggregate test
+                                if !bucket.aggregate.conflicts_with(&sig) {
+                                    skips += 1;
+                                } else {
+                                    for entry in bucket.entries.iter().rev() {
+                                        if entry.running_max_finish <= start {
+                                            break;
+                                        }
+                                        if overlaps(entry) {
+                                            comparisons += 1;
+                                            if entry.sig.conflicts_with(&sig) {
+                                                conflicted = true;
+                                                conflict_with =
+                                                    Some((entry.tid, bucket.epoch, entry.task));
+                                                break 'scan;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        } else {
+                            for entry in bucket.entries.iter().rev() {
+                                if entry.running_max_finish <= start {
+                                    break 'scan; // nothing older overlaps
+                                }
+                                if overlaps(entry) {
+                                    comparisons += 1;
+                                    if entry.sig.conflicts_with(&sig) {
+                                        conflicted = true;
+                                        conflict_with = Some((entry.tid, bucket.epoch, entry.task));
+                                        break 'scan;
+                                    }
+                                }
+                            }
                         }
+                    }
+                    if oldest_done {
+                        break; // everything older has retired past the probe
                     }
                 }
             }
@@ -590,6 +717,8 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
             let epochs_overlap = cur_epoch.iter().any(|&e| e != epoch);
             if (!sig.is_empty() && epochs_overlap) || conflicted {
                 stats.add_check_request();
+                total_comparisons += comparisons;
+                total_skips += skips;
                 // SPSC produce → consume: the checker picks the request up
                 // once it is both sent (task finished) and the server is
                 // free.
@@ -638,6 +767,7 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                                 task: task as u64,
                             },
                         );
+                        flush_summary!(epoch);
                         return (
                             PassEnd::Aborted {
                                 detect_time: checker_clock,
@@ -665,6 +795,7 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                     },
                 );
                 let resume = (max_epoch_started + 1).min(num_epochs);
+                flush_summary!(epoch);
                 return (
                     PassEnd::Aborted {
                         detect_time: checker_clock,
@@ -675,26 +806,47 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                     checker_clock,
                 );
             }
-            let running_max_finish = window
+            let running_max_finish = buckets
                 .last()
+                .and_then(|b| b.entries.last())
                 .map_or(finish, |w| w.running_max_finish.max(finish));
-            window.push(Window {
+            if buckets.last().is_none_or(|b| b.epoch != epoch) {
+                buckets.push(EpochBucket {
+                    epoch,
+                    entries: Vec::new(),
+                    aggregate: RangeSignature::empty(),
+                });
+            }
+            let bucket = buckets.last_mut().expect("just pushed");
+            bucket.aggregate.merge(&sig);
+            bucket.entries.push(Window {
                 tid,
-                epoch,
                 task: task as u64,
                 start,
                 finish,
                 running_max_finish,
                 sig,
             });
+            window_len += 1;
             // Periodically drop entries that can no longer overlap any
             // future task (every future start is at least the minimum
-            // worker clock).
-            if window.len().is_multiple_of(4096) {
+            // worker clock), rebuilding the touched buckets' aggregates.
+            if window_len.is_multiple_of(4096) {
                 let min_clock = clocks.iter().copied().min().expect("threads > 0");
-                window.retain(|e| e.finish > min_clock);
+                for b in buckets.iter_mut() {
+                    let before = b.entries.len();
+                    b.entries.retain(|e| e.finish > min_clock);
+                    if b.entries.len() != before {
+                        b.aggregate = RangeSignature::empty();
+                        for e in &b.entries {
+                            b.aggregate.merge(&e.sig);
+                        }
+                    }
+                }
+                buckets.retain(|b| !b.entries.is_empty());
             }
         }
+        flush_summary!(epoch);
         sinks.workers[0].emit_at(
             clocks[0],
             Event::EpochEnd {
@@ -782,6 +934,89 @@ mod tests {
         assert_eq!(r.stats.misspeculations, 0);
         assert_eq!(r.stats.tasks, 40 * 16);
         assert!(r.stats.stalls > 0, "the gate must have engaged");
+    }
+
+    /// Epoch e's task t writes cell `e*tasks + t`: epochs touch disjoint
+    /// address clusters, so cross-epoch overlaps never conflict and every
+    /// bucket aggregate is disjoint from every probe — the epoch-summary
+    /// fast path's best case.
+    struct Clustered {
+        epochs: usize,
+        tasks: usize,
+    }
+    impl SimWorkload for Clustered {
+        fn num_invocations(&self) -> usize {
+            self.epochs
+        }
+        fn num_iterations(&self, _inv: usize) -> usize {
+            self.tasks
+        }
+        fn iteration_cost(&self, _inv: usize, iter: usize) -> u64 {
+            500 + (iter as u64 % 5) * 1_000
+        }
+        fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+            out.push((inv * self.tasks + iter, AccessKind::Write));
+        }
+        fn address_space(&self) -> Option<usize> {
+            Some(self.epochs * self.tasks)
+        }
+    }
+
+    #[test]
+    fn epoch_summaries_skip_disjoint_buckets_without_changing_verdicts() {
+        let w = Clustered {
+            epochs: 60,
+            tasks: 32,
+        };
+        let on = speccross(
+            &w,
+            &SpecSimParams::with_threads(32).trace(1 << 17),
+            &CostModel::default(),
+        );
+        let off = speccross(
+            &w,
+            &SpecSimParams::with_threads(32)
+                .trace(1 << 17)
+                .epoch_summaries(false),
+            &CostModel::default(),
+        );
+        assert_eq!(on.stats.misspeculations, 0);
+        assert_eq!(off.stats.misspeculations, 0);
+        assert_eq!(on.stats.tasks, off.stats.tasks);
+        assert!(on.stats.checker_epoch_skips > 0, "buckets must be skipped");
+        assert_eq!(off.stats.checker_epoch_skips, 0);
+        let comparisons = |r: &crate::result::SimResult| {
+            crossinvoc_runtime::trace::TraceReport::from_trace(r.trace.as_ref().unwrap())
+                .checker_comparisons
+        };
+        let (c_on, c_off) = (comparisons(&on), comparisons(&off));
+        assert!(
+            c_on * 5 <= c_off,
+            "aggregate tests must replace per-entry scans: {c_on} vs {c_off}"
+        );
+        assert!(
+            on.total_ns <= off.total_ns,
+            "a faster checker can only help"
+        );
+    }
+
+    #[test]
+    fn epoch_summaries_preserve_misspeculation_verdicts() {
+        // A genuinely conflicting workload: the fast path must not change
+        // what the checker decides, only how much it scans.
+        let w = Shifted {
+            epochs: 40,
+            tasks: 16,
+        };
+        let on = speccross(&w, &SpecSimParams::with_threads(8), &CostModel::default());
+        let off = speccross(
+            &w,
+            &SpecSimParams::with_threads(8).epoch_summaries(false),
+            &CostModel::default(),
+        );
+        assert_eq!(on.stats.misspeculations, off.stats.misspeculations);
+        assert_eq!(on.stats.tasks, off.stats.tasks);
+        assert_eq!(on.stats.check_requests, off.stats.check_requests);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! The structure is pure — no threads, no channels — so the threaded checker
 //! (`engine`), the profiler and the discrete-event simulator all share it.
 
+use std::collections::VecDeque;
+
 use crossinvoc_runtime::signature::AccessSignature;
 use crossinvoc_runtime::ThreadId;
 
@@ -52,99 +54,224 @@ pub struct Conflict {
 }
 
 impl Conflict {
-    /// Epoch of the earlier participant (recovery re-executes from the
-    /// checkpoint at or before this epoch).
+    /// Epoch of the earlier participant of *this* conflict.
+    ///
+    /// Note that [`CheckerState::admit`] returns the first conflict in scan
+    /// order, so when several logged tasks conflict with one request this is
+    /// **not** necessarily the globally smallest conflicting epoch. That is
+    /// fine for recovery: the engine rolls back to the last *checkpoint*,
+    /// and a checkpoint only completes after the checker has drained — so
+    /// every conflict still live involves epochs after that checkpoint and
+    /// the rollback target is the same whichever conflict is reported
+    /// first. The value is informational (which pair tripped), not the
+    /// recovery bound.
     pub fn earliest_epoch(&self) -> u32 {
         self.earlier.1.epoch
     }
 }
 
+/// One epoch's slice of a worker's signature log, summarized by the union
+/// of its members' signatures.
+///
+/// The conflict test is monotone under signature union (see
+/// [`AccessSignature::merge`]): a request disjoint from the aggregate is
+/// disjoint from every member, so the whole bucket can be skipped with one
+/// comparison instead of one per member.
+#[derive(Debug)]
+struct EpochBucket<S> {
+    epoch: u32,
+    /// Union of every member signature (empty members contribute nothing).
+    agg: S,
+    /// Members in arrival (= position) order; never empty.
+    entries: Vec<CheckRequest<S>>,
+}
+
 /// Append-only signature log plus the conflict test (the Signature Log of
 /// Fig. 4.8 merged with `check_request` of Fig. 4.7).
+///
+/// Each worker's log is bucketed by epoch and every bucket carries an
+/// *aggregate* signature — the union of its members'. [`CheckerState::admit`]
+/// tests an arriving request against a bucket's aggregate first and skips
+/// the whole bucket when disjoint, which turns the common no-conflict case
+/// from O(in-flight tasks) into O(in-flight epochs) comparisons.
 #[derive(Debug)]
 pub struct CheckerState<S> {
-    /// Per-worker logs, each ordered by position (workers log in order).
-    logs: Vec<Vec<CheckRequest<S>>>,
+    /// Per-worker epoch buckets, ordered by epoch (workers log in order).
+    logs: Vec<VecDeque<EpochBucket<S>>>,
     comparisons: u64,
+    epoch_skips: u64,
 }
 
 impl<S: AccessSignature> CheckerState<S> {
     /// Creates an empty checker for `num_workers` workers.
     pub fn new(num_workers: usize) -> Self {
         Self {
-            logs: (0..num_workers).map(|_| Vec::new()).collect(),
+            logs: (0..num_workers).map(|_| VecDeque::new()).collect(),
             comparisons: 0,
+            epoch_skips: 0,
         }
     }
 
     /// Number of signature comparisons performed so far (reported in the
-    /// checking-overhead discussion of §5.2).
+    /// checking-overhead discussion of §5.2). Aggregate tests count as one
+    /// comparison each.
     pub fn comparisons(&self) -> u64 {
         self.comparisons
     }
 
+    /// Number of whole-epoch buckets skipped because the request was
+    /// disjoint from the bucket's aggregate signature.
+    pub fn epoch_skips(&self) -> u64 {
+        self.epoch_skips
+    }
+
     /// Total logged requests.
     pub fn logged(&self) -> usize {
-        self.logs.iter().map(Vec::len).sum()
+        self.logs
+            .iter()
+            .map(|buckets| buckets.iter().map(|b| b.entries.len()).sum::<usize>())
+            .sum()
     }
 
     /// Logs `req` and tests it against every logged task it may have raced
-    /// with. Returns the first conflict found, if any.
+    /// with.
+    ///
+    /// **Contract:** returns the *first* conflict in scan order — workers in
+    /// ascending id, each worker's log newest-to-oldest — not the conflict
+    /// with the globally earliest epoch. See [`Conflict::earliest_epoch`]
+    /// for why recovery does not depend on which conflict is reported.
+    ///
+    /// **Invariant:** one worker's requests must be admitted in position
+    /// order with monotone snapshots. The engine guarantees both: a worker
+    /// retires tasks in order over a FIFO queue, and the progress board it
+    /// snapshots only moves forward.
     ///
     /// Empty signatures are logged but never compared (they cannot conflict).
     pub fn admit(&mut self, req: CheckRequest<S>) -> Option<Conflict> {
         let mut found = None;
         if !req.sig.is_empty() {
-            'outer: for (other_tid, log) in self.logs.iter().enumerate() {
+            'outer: for (other_tid, buckets) in self.logs.iter().enumerate() {
                 if other_tid == req.tid {
                     continue;
                 }
-                for logged in log.iter().rev() {
-                    // Logs are position-ordered; once below both windows we
-                    // can stop scanning this worker.
-                    if logged.pos < req.snapshot[other_tid] && logged.pos.epoch < req.pos.epoch {
-                        break;
-                    }
-                    let races = if logged.pos.epoch < req.pos.epoch {
-                        // `logged` is earlier-epoch: they overlapped iff it
-                        // had not retired when `req` started.
-                        logged.pos >= req.snapshot[other_tid]
-                    } else if logged.pos.epoch > req.pos.epoch {
-                        // `req` is the earlier-epoch straggler: they
-                        // overlapped iff `req` had not retired when `logged`
-                        // started.
-                        req.pos >= logged.snapshot[req.tid]
-                    } else {
-                        false // same epoch: independent by construction
-                    };
-                    if races {
-                        self.comparisons += 1;
-                        if logged.sig.conflicts_with(&req.sig) {
-                            let (earlier, later) = if logged.pos.epoch < req.pos.epoch {
-                                ((other_tid, logged.pos), (req.tid, req.pos))
-                            } else {
-                                ((req.tid, req.pos), (other_tid, logged.pos))
-                            };
-                            found = Some(Conflict { earlier, later });
-                            break 'outer;
+                for bucket in buckets.iter().rev() {
+                    match bucket.epoch.cmp(&req.pos.epoch) {
+                        // Same epoch: independent by the DOALL property.
+                        std::cmp::Ordering::Equal => continue,
+                        std::cmp::Ordering::Greater => {
+                            // `req` is the earlier-epoch straggler: a logged
+                            // task raced it iff `req` had not retired when
+                            // the logged task began. Snapshots are monotone
+                            // within a worker's log, so if even the oldest
+                            // member observed `req` retired, none raced.
+                            let oldest = &bucket.entries[0];
+                            if req.pos < oldest.snapshot[req.tid] {
+                                continue;
+                            }
+                            self.comparisons += 1;
+                            if !bucket.agg.conflicts_with(&req.sig) {
+                                self.epoch_skips += 1;
+                                continue;
+                            }
+                            for logged in bucket.entries.iter().rev() {
+                                if req.pos >= logged.snapshot[req.tid] {
+                                    self.comparisons += 1;
+                                    if logged.sig.conflicts_with(&req.sig) {
+                                        found = Some(Conflict {
+                                            earlier: (req.tid, req.pos),
+                                            later: (other_tid, logged.pos),
+                                        });
+                                        break 'outer;
+                                    }
+                                }
+                            }
+                        }
+                        std::cmp::Ordering::Less => {
+                            // `logged` tasks are earlier-epoch: they raced
+                            // `req` iff not yet retired when `req` started.
+                            let snap = req.snapshot[other_tid];
+                            let newest = bucket
+                                .entries
+                                .last()
+                                .expect("epoch buckets are never empty");
+                            if newest.pos < snap {
+                                // The whole bucket (and everything older)
+                                // retired before `req` began.
+                                break;
+                            }
+                            // Entries below `snap` end the scan of this
+                            // worker once reached; remember whether the
+                            // bucket contains any.
+                            let has_retired_tail = bucket.entries[0].pos < snap;
+                            self.comparisons += 1;
+                            if !bucket.agg.conflicts_with(&req.sig) {
+                                self.epoch_skips += 1;
+                                if has_retired_tail {
+                                    break;
+                                }
+                                continue;
+                            }
+                            for logged in bucket.entries.iter().rev() {
+                                if logged.pos < snap {
+                                    break;
+                                }
+                                self.comparisons += 1;
+                                if logged.sig.conflicts_with(&req.sig) {
+                                    found = Some(Conflict {
+                                        earlier: (other_tid, logged.pos),
+                                        later: (req.tid, req.pos),
+                                    });
+                                    break 'outer;
+                                }
+                            }
+                            if has_retired_tail {
+                                break;
+                            }
                         }
                     }
                 }
             }
         }
-        self.logs[req.tid].push(req);
+        let buckets = &mut self.logs[req.tid];
+        match buckets.back_mut() {
+            Some(last) if last.epoch == req.pos.epoch => {
+                last.agg.merge(&req.sig);
+                last.entries.push(req);
+            }
+            other => {
+                debug_assert!(
+                    other.is_none_or(|b| b.epoch < req.pos.epoch),
+                    "per-worker requests must be admitted in epoch order"
+                );
+                buckets.push_back(EpochBucket {
+                    epoch: req.pos.epoch,
+                    agg: req.sig.clone(),
+                    entries: vec![req],
+                });
+            }
+        }
         found
     }
 
-    /// Discards all requests from epochs before `epoch`.
+    /// Discards all requests from epochs before `epoch` by popping whole
+    /// buckets off the front of each worker's log — O(retired epochs), no
+    /// per-entry scan.
     ///
     /// Sound at checkpoint boundaries: a checkpoint fully synchronizes every
     /// worker and drains the checker, so nothing logged before it can race
     /// with anything admitted after it.
-    pub fn prune_before_epoch(&mut self, epoch: u32) {
-        for log in &mut self.logs {
-            log.retain(|r| r.pos.epoch >= epoch);
+    pub fn retire_before(&mut self, epoch: u32) {
+        for buckets in &mut self.logs {
+            while buckets.front().is_some_and(|b| b.epoch < epoch) {
+                buckets.pop_front();
+            }
         }
+    }
+
+    /// Alias for [`CheckerState::retire_before`], kept for the pre-bucketed
+    /// name.
+    pub fn prune_before_epoch(&mut self, epoch: u32) {
+        self.retire_before(epoch);
     }
 }
 
@@ -264,6 +391,75 @@ mod tests {
         // Worker 1 jumped to epoch 3 while worker 0 still in epoch 1.
         let conflict = c.admit(req(1, 3, 0, &[(1, 0), (3, 0)], &[7]));
         assert!(conflict.is_some());
+    }
+
+    #[test]
+    fn multiple_conflicts_report_first_in_scan_order() {
+        // Regression test pinning the admit contract: when several logged
+        // tasks conflict with one request, the FIRST conflict in scan order
+        // (ascending worker id) is returned — not the one with the earliest
+        // epoch. Worker 1 logged an epoch-3 task and worker 2 an epoch-1
+        // task; both overlap and conflict with the request, and the report
+        // names worker 1's pair, so `earliest_epoch()` is 3 even though a
+        // conflicting epoch-1 task exists.
+        let mut c = CheckerState::new(3);
+        assert!(c
+            .admit(req(1, 3, 0, &[(0, 0), (3, 0), (0, 0)], &[7]))
+            .is_none());
+        assert!(c
+            .admit(req(2, 1, 0, &[(0, 0), (4, 0), (1, 0)], &[9]))
+            .is_none());
+        // Request from worker 0 at epoch 5, overlapping both logged tasks
+        // (snapshot shows neither retired) and touching both addresses.
+        let conflict = c
+            .admit(req(0, 5, 0, &[(5, 0), (3, 0), (1, 0)], &[7, 8, 9]))
+            .expect("both logged tasks conflict");
+        assert_eq!(conflict.earlier, (1, Position { epoch: 3, task: 0 }));
+        assert_eq!(conflict.later, (0, Position { epoch: 5, task: 0 }));
+        assert_eq!(conflict.earliest_epoch(), 3, "scan order, not min epoch");
+    }
+
+    #[test]
+    fn disjoint_epoch_buckets_are_skipped_via_aggregate() {
+        // Worker 0 logs many epoch-1 tasks clustered in [0, 100); a later
+        // epoch-2 request touching [200, 300) skips the whole bucket with
+        // one aggregate comparison.
+        let mut c = CheckerState::new(2);
+        for task in 0..16u32 {
+            assert!(c
+                .admit(req(0, 1, task, &[(1, task), (0, 0)], &[task as usize * 4]))
+                .is_none());
+        }
+        let before = c.comparisons();
+        assert!(c.admit(req(1, 2, 0, &[(1, 0), (2, 0)], &[250])).is_none());
+        assert_eq!(c.comparisons() - before, 1, "one aggregate test only");
+        assert_eq!(c.epoch_skips(), 1);
+    }
+
+    #[test]
+    fn aggregate_hit_falls_back_to_member_scan() {
+        // The aggregate overlaps but only one member really conflicts: the
+        // per-member scan still runs and finds the right pair.
+        let mut c = CheckerState::new(2);
+        assert!(c.admit(req(0, 1, 0, &[(1, 0), (0, 0)], &[10])).is_none());
+        assert!(c.admit(req(0, 1, 1, &[(1, 1), (0, 0)], &[50])).is_none());
+        let conflict = c.admit(req(1, 2, 0, &[(1, 0), (2, 0)], &[50])).unwrap();
+        assert_eq!(conflict.earlier, (0, Position { epoch: 1, task: 1 }));
+        assert_eq!(c.epoch_skips(), 0);
+    }
+
+    #[test]
+    fn retire_before_pops_whole_buckets() {
+        let mut c = CheckerState::new(2);
+        c.admit(req(0, 1, 0, &[(1, 0), (0, 0)], &[5]));
+        c.admit(req(0, 1, 1, &[(1, 1), (0, 0)], &[5]));
+        c.admit(req(0, 2, 0, &[(2, 0), (0, 0)], &[6]));
+        c.admit(req(1, 1, 0, &[(1, 0), (1, 0)], &[7]));
+        assert_eq!(c.logged(), 4);
+        c.retire_before(2);
+        assert_eq!(c.logged(), 1);
+        c.retire_before(3);
+        assert_eq!(c.logged(), 0);
     }
 
     #[test]

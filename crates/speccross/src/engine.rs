@@ -3,8 +3,11 @@
 //! One manager (the calling thread), `num_workers` worker threads and one
 //! checker thread. Workers execute epochs back-to-back, crossing barrier
 //! boundaries speculatively; each task's signature and start-time position
-//! snapshot go to the checker, which runs the pure conflict test of
-//! [`crate::check`]. Every `checkpoint_every` epochs the workers rendezvous,
+//! snapshot go to the checker — buffered locally and published to a
+//! per-worker SPSC ring in batches, so the checker admits requests in
+//! bursts against the epoch-bucketed log of [`crate::check`] instead of
+//! waking once per task. Checkpoint pruning rides an atomic epoch
+//! watermark rather than an in-band message. Every `checkpoint_every` epochs the workers rendezvous,
 //! the checker is drained, and the workload state is snapshotted. On
 //! misspeculation all workers unwind cooperatively, the last checkpoint is
 //! restored, the misspeculated epochs re-execute under non-speculative
@@ -41,10 +44,9 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use crossbeam::utils::Backoff;
 use parking_lot::Mutex;
 
@@ -52,7 +54,8 @@ use crossinvoc_runtime::barrier::BarrierWait;
 use crossinvoc_runtime::fault::{CheckFault, FaultKind, FaultPlan, TaskFault};
 use crossinvoc_runtime::metrics::{Metrics, MetricsSummary};
 use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
-use crossinvoc_runtime::stats::StatsSummary;
+use crossinvoc_runtime::spsc;
+use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
 use crossinvoc_runtime::trace::{
     Event, Trace, TraceCollector, TraceSink, WakeEdge, CHECKER_TID, MANAGER_TID,
 };
@@ -298,12 +301,17 @@ pub struct SpecReport {
     pub trace: Option<Trace>,
 }
 
-/// Message from a worker (or the checkpoint serial thread) to the checker.
-enum CheckerMsg<S> {
-    Check(CheckRequest<S>),
-    /// Discard log entries below this epoch (sent after a checkpoint).
-    Prune(u32),
-}
+/// Capacity of each worker→checker SPSC ring, in check requests.
+const CHECK_RING: usize = 1024;
+
+/// Worker-side flush threshold: a worker buffers up to this many check
+/// requests locally and ships them to its ring with one batched publish,
+/// so the checker is woken in bursts instead of once per task.
+const CHECK_BATCH: usize = 16;
+
+/// Checker-side burst size: how many requests the checker drains from one
+/// worker's ring per pickup.
+const CHECK_PICKUP: usize = 64;
 
 /// Why a speculative pass aborted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -415,7 +423,7 @@ impl SyncPoint {
 }
 
 /// Shared state of one speculative pass.
-struct PassShared<S, St> {
+struct PassShared<St> {
     board: PositionBoard,
     misspec: AtomicBool,
     conflict: Mutex<Option<Conflict>>,
@@ -429,7 +437,12 @@ struct PassShared<S, St> {
     sent: AtomicU64,
     processed: AtomicU64,
     done_workers: AtomicUsize,
-    tx: Sender<CheckerMsg<S>>,
+    /// Epoch below which the checker may discard its logs. Written (with
+    /// Release) only by the checkpoint serial worker, *after* the drain
+    /// observed `processed == sent`, so by the time the checker reads a new
+    /// watermark every pre-checkpoint request has already been admitted.
+    /// Monotone: checkpoints happen at increasing epochs.
+    prune_epoch: AtomicU32,
     sync: SyncPoint,
     /// Shared-budget handle onto the execution's fault plan.
     fault: FaultPlan,
@@ -438,7 +451,7 @@ struct PassShared<S, St> {
     prefix: Vec<u64>,
 }
 
-impl<S, St> PassShared<S, St> {
+impl<St> PassShared<St> {
     /// Records the pass's first abnormal failure and aborts everyone.
     fn record_failure(&self, reason: AbortReason) {
         let mut slot = self.failure.lock();
@@ -799,7 +812,16 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         }
         prefix.push(acc);
 
-        let (tx, rx) = unbounded::<CheckerMsg<S>>();
+        // One dedicated SPSC ring per worker: single-writer/single-reader
+        // cache behaviour on the exit_task → checker path (the channel this
+        // replaces serialized every worker through one shared queue).
+        let mut check_txs = Vec::with_capacity(num_workers);
+        let mut check_rxs = Vec::with_capacity(num_workers);
+        for _ in 0..num_workers {
+            let (tx, rx) = spsc::Queue::with_capacity(CHECK_RING);
+            check_txs.push(tx);
+            check_rxs.push(rx);
+        }
         let shared = PassShared {
             board: PositionBoard::new(num_workers),
             misspec: AtomicBool::new(false),
@@ -810,7 +832,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             sent: AtomicU64::new(0),
             processed: AtomicU64::new(0),
             done_workers: AtomicUsize::new(0),
-            tx,
+            prune_epoch: AtomicU32::new(0),
             sync: SyncPoint::new(num_workers),
             fault: fault.share(),
             deadline,
@@ -830,30 +852,42 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             // (or an organic bug); contain the unwind and convert it into a
             // cooperative abort so no worker spins on a dead checker. The
             // sink lives outside the unwind boundary so events emitted
-            // before an injected death survive into the trace.
-            let checker = scope.spawn(|| {
+            // before an injected death survive into the trace. The consumer
+            // endpoints move into the thread (they are single-reader by
+            // construction).
+            let shared_ref = &shared;
+            let checker = scope.spawn(move || {
                 let mut sink = collector.sink(CHECKER_TID);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    self.checker_loop(&shared, rx, &mut sink)
+                    self.checker_loop(shared_ref, &check_rxs, metrics, &mut sink)
                 }));
                 collector.absorb(sink);
                 match outcome {
                     Ok(count) => (count, false),
                     Err(_) => {
-                        shared.misspec.store(true, Ordering::Release);
+                        shared_ref.misspec.store(true, Ordering::Release);
                         (0, true)
                     }
                 }
             });
             // Worker threads. The whole driver runs under catch_unwind so a
             // panic anywhere in a worker poisons the pass instead of tearing
-            // down the scope (and with it, the process).
-            for tid in 0..num_workers {
+            // down the scope (and with it, the process). Each worker owns
+            // the producer endpoint of its check-request ring.
+            for (tid, check_tx) in check_txs.into_iter().enumerate() {
                 let shared = &shared;
                 scope.spawn(move || {
                     let mut sink = collector.sink(tid);
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        self.worker_pass(workload, shared, tid, start_epoch, metrics, &mut sink);
+                        self.worker_pass(
+                            workload,
+                            shared,
+                            &check_tx,
+                            tid,
+                            start_epoch,
+                            metrics,
+                            &mut sink,
+                        );
                     }));
                     collector.absorb(sink);
                     if outcome.is_err() {
@@ -932,7 +966,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
     fn contained_task<W: SpecWorkload>(
         &self,
         workload: &W,
-        shared: &PassShared<S, W::State>,
+        shared: &PassShared<W::State>,
         epoch: usize,
         task: usize,
         tid: usize,
@@ -975,12 +1009,48 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         true
     }
 
+    /// Ships the worker's locally-buffered check requests into its SPSC
+    /// ring. [`spsc::Producer::produce_batch`] would park unconditionally on
+    /// a full ring, and a dead checker never frees slots — so the wait here
+    /// interleaves non-blocking batch publishes with abort/deadline checks.
+    /// Returns `false` if the pass aborted mid-flush (remaining requests are
+    /// dropped; the raised `misspec` flag is what ends the checker, not the
+    /// `sent`/`processed` ledger).
+    fn flush_checks<St>(
+        shared: &PassShared<St>,
+        check_tx: &spsc::Producer<CheckRequest<S>>,
+        batch: &mut Vec<CheckRequest<S>>,
+    ) -> bool {
+        let backoff = Backoff::new();
+        while !batch.is_empty() {
+            if check_tx.try_produce_batch(batch) > 0 {
+                backoff.reset();
+                continue;
+            }
+            if shared.misspec.load(Ordering::Acquire) {
+                return false;
+            }
+            if backoff.is_completed() {
+                if shared.deadline_passed() {
+                    shared.record_failure(AbortReason::Timeout);
+                    return false;
+                }
+                std::thread::yield_now();
+            } else {
+                backoff.snooze();
+            }
+        }
+        true
+    }
+
     /// The per-worker driver (Fig. 4.7's worker pseudo-code, plus the
     /// checkpoint rendezvous and misspeculation polling).
+    #[allow(clippy::too_many_arguments)]
     fn worker_pass<W: SpecWorkload>(
         &self,
         workload: &W,
-        shared: &PassShared<S, W::State>,
+        shared: &PassShared<W::State>,
+        check_tx: &spsc::Producer<CheckRequest<S>>,
         tid: usize,
         start_epoch: usize,
         metrics: &Metrics,
@@ -990,6 +1060,11 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         let num_workers = self.config.num_workers;
         let num_epochs = workload.num_epochs();
         let mut recorder = SigRecorder::<S>::new();
+        // Local check-request buffer: flushed at the CHECK_BATCH threshold
+        // and at every epoch boundary, so it is empty at each rendezvous
+        // (the checkpoint drain counts on every `sent` request being in a
+        // ring by the time all workers have arrived).
+        let mut batch: Vec<CheckRequest<S>> = Vec::with_capacity(CHECK_BATCH);
 
         for epoch in start_epoch..num_epochs {
             if shared.misspec.load(Ordering::Acquire) {
@@ -1115,17 +1190,23 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     task: task as u64,
                 });
 
-                // exit_task: ship the signature to the checker.
+                // exit_task: buffer the signature for the checker; a full
+                // buffer is published to the ring as one batch.
                 let sig = recorder.take();
                 if !sig.is_empty() {
                     shared.sent.fetch_add(1, Ordering::Release);
                     stats.add_check_request();
-                    let _ = shared.tx.send(CheckerMsg::Check(CheckRequest {
+                    batch.push(CheckRequest {
                         tid,
                         pos,
                         snapshot,
                         sig,
-                    }));
+                    });
+                    if batch.len() >= CHECK_BATCH
+                        && !Self::flush_checks(shared, check_tx, &mut batch)
+                    {
+                        return;
+                    }
                 }
                 local_counter += 1;
                 // Advance the position past the completed task so that
@@ -1140,6 +1221,12 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     },
                 );
                 task += num_workers;
+            }
+            // Epoch boundary: drain the local buffer so the rendezvous /
+            // completion invariants hold (every `sent` request is in a ring
+            // whenever this worker is parked or finished).
+            if !Self::flush_checks(shared, check_tx, &mut batch) {
+                return;
             }
             if tid == 0 {
                 sink.emit(Event::EpochEnd {
@@ -1157,7 +1244,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
     fn checkpoint_rendezvous<W: SpecWorkload>(
         &self,
         workload: &W,
-        shared: &PassShared<S, W::State>,
+        shared: &PassShared<W::State>,
         tid: usize,
         epoch: usize,
         metrics: &Metrics,
@@ -1220,7 +1307,10 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     sink.emit(Event::Checkpoint {
                         epoch: epoch as u32,
                     });
-                    let _ = shared.tx.send(CheckerMsg::Prune(epoch as u32));
+                    // Everything below this epoch is durably checkpointed
+                    // and fully checked (the drain above saw processed ==
+                    // sent): let the checker truncate its logs.
+                    shared.prune_epoch.store(epoch as u32, Ordering::Release);
                 }
             }
         }
@@ -1247,24 +1337,78 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         released
     }
 
-    /// The checker thread (Fig. 4.7's checker pseudo-code). Returns the
-    /// number of signature comparisons performed. May panic when the fault
-    /// plan schedules a checker death; the spawn wrapper contains it.
+    /// Folds the checker's fast-path counters accumulated since the last
+    /// summary into `stats` and the trace. Called at prune boundaries and on
+    /// checker exit, so the flight-recorder rings see one low-volume record
+    /// per checkpoint interval instead of one per admit.
+    fn fold_checker_summary(
+        state: &CheckerState<S>,
+        epoch: u32,
+        reported_skips: &mut u64,
+        reported_comparisons: &mut u64,
+        stats: &RegionStats,
+        sink: &mut TraceSink,
+    ) {
+        let skips = state.epoch_skips() - *reported_skips;
+        let comparisons = state.comparisons() - *reported_comparisons;
+        if skips == 0 && comparisons == 0 {
+            return;
+        }
+        *reported_skips = state.epoch_skips();
+        *reported_comparisons = state.comparisons();
+        stats.add_checker_epoch_skips(skips);
+        sink.emit(Event::CheckerSummary {
+            epoch,
+            skips,
+            comparisons,
+        });
+    }
+
+    /// The checker thread (Fig. 4.7's checker pseudo-code). Drains every
+    /// worker's SPSC ring in bursts and admits each request against the
+    /// epoch-bucketed log. Returns the number of signature comparisons
+    /// performed. May panic when the fault plan schedules a checker death;
+    /// the spawn wrapper contains it.
     fn checker_loop<St>(
         &self,
-        shared: &PassShared<S, St>,
-        rx: Receiver<CheckerMsg<S>>,
+        shared: &PassShared<St>,
+        check_rxs: &[spsc::Consumer<CheckRequest<S>>],
+        metrics: &Metrics,
         sink: &mut TraceSink,
     ) -> u64 {
+        let stats = metrics.stats();
         let num_workers = self.config.num_workers;
         let mut state = CheckerState::<S>::new(num_workers);
         let backoff = Backoff::new();
         let mut picked: u64 = 0;
-        loop {
-            match rx.try_recv() {
-                Ok(CheckerMsg::Check(req)) => {
+        let mut last_pruned: u32 = 0;
+        let mut reported_skips: u64 = 0;
+        let mut reported_comparisons: u64 = 0;
+        let mut inbox: Vec<CheckRequest<S>> = Vec::with_capacity(CHECK_PICKUP);
+        'run: loop {
+            // Apply a new checkpoint watermark before the next burst. The
+            // serial worker publishes it only after the drain, so every
+            // request below it has already been admitted (never pruned
+            // unchecked).
+            let watermark = shared.prune_epoch.load(Ordering::Acquire);
+            if watermark > last_pruned {
+                state.retire_before(watermark);
+                last_pruned = watermark;
+                Self::fold_checker_summary(
+                    &state,
+                    watermark,
+                    &mut reported_skips,
+                    &mut reported_comparisons,
+                    stats,
+                    sink,
+                );
+            }
+            let mut drained = 0usize;
+            for rx in check_rxs {
+                drained += rx.consume_batch(&mut inbox, CHECK_PICKUP);
+                for req in inbox.drain(..) {
                     backoff.reset();
-                    // SPSC produce → consume: the worker's exit_task send is
+                    // SPSC produce → consume: the worker's exit_task flush is
                     // the causal source of this pickup.
                     sink.emit(Event::Wake {
                         edge: WakeEdge::Queue,
@@ -1310,7 +1454,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                                 std::thread::sleep(Duration::from_millis(5).min(until - now));
                             }
                             if shared.misspec.load(Ordering::Acquire) {
-                                break;
+                                break 'run;
                             }
                         }
                         Some(CheckFault::Die) => {
@@ -1344,36 +1488,43 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                         });
                         *shared.conflict.lock() = Some(c);
                         shared.misspec.store(true, Ordering::Release);
-                        break;
+                        break 'run;
                     }
                 }
-                Ok(CheckerMsg::Prune(epoch)) => state.prune_before_epoch(epoch),
-                Err(TryRecvError::Empty) => {
-                    if shared.misspec.load(Ordering::Acquire) {
-                        break;
-                    }
-                    if shared.done_workers.load(Ordering::Acquire) == num_workers
-                        && shared.processed.load(Ordering::Acquire)
-                            == shared.sent.load(Ordering::Acquire)
-                    {
-                        break;
-                    }
-                    if backoff.is_completed() {
-                        if shared.deadline_passed() {
-                            // The checker doubles as watchdog: if workers
-                            // are stuck somewhere uninstrumented, condemn
-                            // the pass rather than idle forever.
-                            shared.record_failure(AbortReason::Timeout);
-                            break;
-                        }
-                        std::thread::yield_now();
-                    } else {
-                        backoff.snooze();
-                    }
+            }
+            if drained == 0 {
+                if shared.misspec.load(Ordering::Acquire) {
+                    break;
                 }
-                Err(TryRecvError::Disconnected) => break,
+                if shared.done_workers.load(Ordering::Acquire) == num_workers
+                    && shared.processed.load(Ordering::Acquire)
+                        == shared.sent.load(Ordering::Acquire)
+                {
+                    break;
+                }
+                if backoff.is_completed() {
+                    if shared.deadline_passed() {
+                        // The checker doubles as watchdog: if workers
+                        // are stuck somewhere uninstrumented, condemn
+                        // the pass rather than idle forever.
+                        shared.record_failure(AbortReason::Timeout);
+                        break;
+                    }
+                    std::thread::yield_now();
+                } else {
+                    backoff.snooze();
+                }
             }
         }
+        // Whatever accrued since the last checkpoint still needs surfacing.
+        Self::fold_checker_summary(
+            &state,
+            last_pruned,
+            &mut reported_skips,
+            &mut reported_comparisons,
+            stats,
+            sink,
+        );
         state.comparisons()
     }
 

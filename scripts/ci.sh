@@ -31,6 +31,14 @@ run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suit
 run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
   --validate target/figures/BENCH_3.json
 
+# Fast-path regression smoke: must produce a well-formed BENCH_5.json
+# (checker epoch-summary pruning + schedule memoization; the criteria run
+# at figure scale via `--fastpath` without `--smoke`, see EXPERIMENTS.md).
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
+  --fastpath --smoke
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
+  --validate target/figures/BENCH_5.json
+
 # Observability smoke: a traced figure run must produce traces that survive
 # strict analysis (non-zero exit on any ring overflow) and export to
 # Chrome/Perfetto trace_event JSON (see docs/OBSERVABILITY.md). The text

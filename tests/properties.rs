@@ -468,7 +468,7 @@ fn tid_from(raw: u64) -> usize {
 /// Builds one arbitrary trace [`Event`]: `sel` picks the variant and the
 /// raw words fill its fields. (The vendored proptest shim has no
 /// `prop_oneof!`, so variant choice is an explicit decode; callers sweep
-/// `sel` over `0..12` to guarantee every variant appears in every case.)
+/// `sel` over `0..14` to guarantee every variant appears in every case.)
 fn event_from(
     sel: usize,
     x: (u64, u64, u64),
@@ -479,7 +479,7 @@ fn event_from(
     let (a, b, c) = x;
     let (d, e, f) = y;
     let epoch = a as u32;
-    match sel % 12 {
+    match sel % 14 {
         0 => Event::EpochBegin { epoch },
         1 => Event::EpochEnd { epoch },
         2 => Event::TaskAssign {
@@ -514,6 +514,12 @@ fn event_from(
             epoch,
             task: d,
         },
+        11 => Event::CheckerSummary {
+            epoch,
+            skips: b,
+            comparisons: c,
+        },
+        12 => Event::ScheduleCacheHit { epoch },
         _ => Event::Wake {
             edge: WakeEdge::ALL[(b % 4) as usize],
             src_tid: tid_from(c),
@@ -526,8 +532,8 @@ proptest! {
     /// The JSONL wire schema is lossless over *every* event variant,
     /// including `Wake` over all four edge classes and full-range `u64`
     /// fields: a trace built from arbitrary records round-trips through
-    /// `to_jsonl`/`from_jsonl` unchanged. At least 12 records per case and
-    /// an `i % 12` variant sweep guarantee full variant coverage in every
+    /// `to_jsonl`/`from_jsonl` unchanged. At least 14 records per case and
+    /// an `i % 14` variant sweep guarantee full variant coverage in every
     /// case, not just in expectation.
     #[test]
     fn trace_jsonl_round_trips_every_event_variant(
@@ -535,7 +541,7 @@ proptest! {
             (any::<u64>(), any::<u64>(),
              (any::<u64>(), any::<u64>(), any::<u64>()),
              (any::<u64>(), any::<u64>(), any::<u64>())),
-            12..40)
+            14..40)
     ) {
         use crossinvoc_runtime::trace::{Trace, TraceRecord};
         let records: Vec<TraceRecord> = raw
@@ -550,6 +556,212 @@ proptest! {
         let trace = Trace::from_records(records);
         let parsed = Trace::from_jsonl(&trace.to_jsonl());
         prop_assert_eq!(parsed.expect("round-trip must parse"), trace);
+    }
+}
+
+/// The exact overlap-race predicate the checker implements, restated
+/// pointwise for the naive reference below: two logged tasks race iff they
+/// ran on different workers in different epochs and the earlier-epoch task
+/// had not retired when the later-epoch task began.
+fn races(
+    a: &crossinvoc_speccross::CheckRequest<RangeSignature>,
+    b: &crossinvoc_speccross::CheckRequest<RangeSignature>,
+) -> bool {
+    if a.tid == b.tid || a.pos.epoch == b.pos.epoch {
+        return false;
+    }
+    let (earlier, later) = if a.pos.epoch < b.pos.epoch {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    earlier.pos >= later.snapshot[earlier.tid] && a.sig.conflicts_with(&b.sig)
+}
+
+proptest! {
+    /// The epoch-bucketed checker with its aggregate fast path reaches the
+    /// same verdict as a naive reference that compares the arriving request
+    /// against *every* logged task with the pure race predicate — over
+    /// randomized interleavings with monotone progress boards, lagging
+    /// snapshot views and interleaved retirement. When the bucketed checker
+    /// reports a conflict, the named pair must really race.
+    #[test]
+    fn bucketed_checker_matches_naive_reference(
+        workers in 2usize..5,
+        steps in prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(0usize..24, 0..4)), 1..100),
+    ) {
+        use crossinvoc_speccross::{CheckRequest, CheckerState};
+
+        let mut board = vec![Position::ZERO; workers]; // latest started pos
+        let mut observed = vec![Position::ZERO; workers]; // lagging view
+        let mut live = vec![false; workers];
+        let mut bucketed = CheckerState::<RangeSignature>::new(workers);
+        let mut naive: Vec<CheckRequest<RangeSignature>> = Vec::new();
+
+        for (r, addrs) in steps {
+            let w = (r % workers as u64) as usize;
+            // Advance worker `w` to its next position: a fresh epoch with
+            // probability 1/3, the next task of the current epoch otherwise.
+            let pos = if !live[w] {
+                live[w] = true;
+                board[w]
+            } else if (r >> 4) % 3 == 0 {
+                Position { epoch: board[w].epoch + 1, task: 0 }
+            } else {
+                Position { epoch: board[w].epoch, task: board[w].task + 1 }
+            };
+            board[w] = pos;
+            // Occasionally publish some worker's progress into the lagging
+            // view; both moves keep every log's snapshots monotone.
+            if (r >> 16) % 2 == 0 {
+                let v = ((r >> 20) % workers as u64) as usize;
+                observed[v] = board[v];
+            }
+            observed[w] = pos;
+            let mut sig = RangeSignature::empty();
+            for &a in &addrs {
+                sig.record(a, AccessKind::Write);
+            }
+            let req = CheckRequest {
+                tid: w,
+                pos,
+                snapshot: observed.clone().into_boxed_slice(),
+                sig,
+            };
+
+            let expect = naive.iter().any(|logged| races(logged, &req));
+            let got = bucketed.admit(req.clone());
+            prop_assert_eq!(got.is_some(), expect, "verdicts diverged");
+            if let Some(c) = got {
+                let find = |(tid, pos): (usize, Position)| {
+                    if req.tid == tid && req.pos == pos {
+                        req.clone()
+                    } else {
+                        naive
+                            .iter()
+                            .find(|q| q.tid == tid && q.pos == pos)
+                            .expect("conflict names a logged task")
+                            .clone()
+                    }
+                };
+                let (earlier, later) = (find(c.earlier), find(c.later));
+                prop_assert!(earlier.pos.epoch < later.pos.epoch);
+                prop_assert!(races(&earlier, &later), "reported pair must race");
+            }
+            naive.push(req);
+
+            // Occasional retirement at a globally-passed epoch; both sides
+            // must drop exactly the same entries.
+            if (r >> 24) % 8 == 0 {
+                let e = board.iter().map(|p| p.epoch).min().unwrap_or(0);
+                bucketed.retire_before(e);
+                naive.retain(|q| q.pos.epoch >= e);
+                prop_assert_eq!(bucketed.logged(), naive.len());
+            }
+        }
+    }
+}
+
+/// Drives `memo` + `logic` through one invocation of `stream`
+/// (per-iteration `(tid, writes, reads)`), collecting the dispatched
+/// `(tid, iter_num, conds)` tuples exactly as the runtime would: replay
+/// when the memo offers it, verified per iteration, with shadow catch-up on
+/// divergence.
+#[allow(clippy::type_complexity)]
+fn run_memoized(
+    memo: &mut crossinvoc_domore::ScheduleMemo,
+    logic: &mut SchedulerLogic,
+    stream: &[(usize, Vec<usize>, Vec<usize>)],
+) -> (Vec<(usize, u64, Vec<SyncCondition>)>, bool) {
+    use crossinvoc_domore::ReplayStep;
+    let base = logic.next_iter_num();
+    let mut out = Vec::new();
+    let mut iter = 0;
+    if memo.begin_invocation(stream.len(), base, true) {
+        while iter < stream.len() {
+            let (tid, ref writes, ref reads) = stream[iter];
+            match memo.replay_step(iter, writes, reads, tid) {
+                ReplayStep::Match {
+                    tid,
+                    iter_num,
+                    conds,
+                } => {
+                    out.push((tid, iter_num, conds.to_vec()));
+                    iter += 1;
+                }
+                ReplayStep::Diverged => {
+                    // Catch the shadow up over the already-dispatched
+                    // prefix, discarding its (already-correct) conditions.
+                    let mut scratch = Vec::new();
+                    for (k, (_, w, r)) in stream.iter().enumerate().take(iter) {
+                        scratch.clear();
+                        let _ = logic.schedule_rw(memo.recorded_tid(k), w, r, &mut scratch);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    while iter < stream.len() {
+        let (tid, ref writes, ref reads) = stream[iter];
+        let mut conds = Vec::new();
+        let iter_num = logic.schedule_rw(tid, writes, reads, &mut conds);
+        memo.record_step(writes, reads, tid, &conds);
+        out.push((tid, iter_num, conds));
+        iter += 1;
+    }
+    let hit = memo.end_invocation(logic);
+    (out, hit)
+}
+
+proptest! {
+    /// Cross-invocation schedule memoization is *transparent*: over any
+    /// randomized steady stream — arbitrary per-iteration read/write sets
+    /// and worker placements, repeated across invocations with one randomly
+    /// perturbed invocation in the middle — the memo-driven scheduler emits
+    /// byte-identical `(tid, iter_num, conditions)` streams to a plain
+    /// [`SchedulerLogic`] that never memoizes, through warm-up, replay,
+    /// mid-replay divergence and re-warming alike.
+    #[test]
+    fn memoized_schedule_is_byte_identical_to_recomputation(
+        workers in 1usize..4,
+        raw in prop::collection::vec(
+            (any::<u64>(),
+             prop::collection::vec(0usize..16, 0..3),
+             prop::collection::vec(0usize..16, 0..3)),
+            2..24),
+        divergence in any::<u64>(),
+    ) {
+        let stream: Vec<(usize, Vec<usize>, Vec<usize>)> = raw
+            .into_iter()
+            .map(|(t, w, r)| ((t % workers as u64) as usize, w, r))
+            .collect();
+        let mut memo = crossinvoc_domore::ScheduleMemo::new();
+        let mut logic = SchedulerLogic::with_dense_shadow(16);
+        let mut reference = SchedulerLogic::with_dense_shadow(16);
+        let mut hits = 0u64;
+        for inv in 0..7usize {
+            // One invocation (picked by `divergence`) perturbs a single
+            // iteration's write set, exercising the fallback path.
+            let mut s = stream.clone();
+            if inv == (divergence % 7) as usize {
+                let k = (divergence >> 8) as usize % s.len();
+                s[k].1 = vec![(divergence >> 16) as usize % 16];
+            }
+            let (got, hit) = run_memoized(&mut memo, &mut logic, &s);
+            let want: Vec<(usize, u64, Vec<SyncCondition>)> = s
+                .iter()
+                .map(|(tid, writes, reads)| {
+                    let mut conds = Vec::new();
+                    let n = reference.schedule_rw(*tid, writes, reads, &mut conds);
+                    (*tid, n, conds)
+                })
+                .collect();
+            prop_assert_eq!(got, want, "invocation {} diverged", inv);
+            hits += u64::from(hit);
+        }
+        prop_assert_eq!(memo.hits(), hits);
     }
 }
 
