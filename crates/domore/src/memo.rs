@@ -703,6 +703,90 @@ mod tests {
         assert!(hit);
     }
 
+    /// Warms `memo` until `stream` replays, mirroring every invocation
+    /// into `reference`.
+    fn warm(
+        memo: &mut ScheduleMemo,
+        logic: &mut SchedulerLogic,
+        reference: &mut SchedulerLogic,
+        stream: &[(ThreadId, Vec<usize>, Vec<usize>)],
+    ) {
+        for _ in 0..3 {
+            let (got, _) = run_invocation(memo, logic, stream);
+            assert_eq!(got, run_reference(reference, stream));
+        }
+        assert!(memo.is_replayable());
+    }
+
+    #[test]
+    fn fingerprint_divergence_at_first_iteration_falls_back() {
+        // The very first replayed iteration already mismatches (no
+        // dispatched prefix to catch up): the fallback must still schedule
+        // the whole invocation byte-identically to the reference.
+        let steady = stencil_stream(8, 2);
+        let mut memo = ScheduleMemo::new();
+        let mut logic = SchedulerLogic::with_dense_shadow(8);
+        let mut reference = SchedulerLogic::with_dense_shadow(8);
+        warm(&mut memo, &mut logic, &mut reference, &steady);
+        let mut changed = steady.clone();
+        changed[0].2 = vec![5]; // different read set at iteration 0
+        let (got, hit) = run_invocation(&mut memo, &mut logic, &changed);
+        assert_eq!(got, run_reference(&mut reference, &changed));
+        assert!(!hit, "a diverged invocation is not a cache hit");
+        assert!(!memo.is_replayable(), "divergence invalidates the memo");
+    }
+
+    #[test]
+    fn fingerprint_divergence_at_last_iteration_falls_back() {
+        // Divergence on the final iteration: the longest possible
+        // dispatched prefix must be caught up through `recorded_tid` and
+        // the shadow must end bit-identical to plain scheduling —
+        // observable through the *next* invocation's conditions.
+        let steady = stencil_stream(8, 2);
+        let mut memo = ScheduleMemo::new();
+        let mut logic = SchedulerLogic::with_dense_shadow(8);
+        let mut reference = SchedulerLogic::with_dense_shadow(8);
+        warm(&mut memo, &mut logic, &mut reference, &steady);
+        let mut changed = steady.clone();
+        let last = changed.len() - 1;
+        changed[last].1 = vec![2]; // write set differs only at the end
+        let (got, hit) = run_invocation(&mut memo, &mut logic, &changed);
+        assert_eq!(got, run_reference(&mut reference, &changed));
+        assert!(!hit);
+        // The shadow state after fallback must drive identical sync
+        // conditions on the following invocations.
+        for inv in 0..3 {
+            let (got, _) = run_invocation(&mut memo, &mut logic, &steady);
+            assert_eq!(
+                got,
+                run_reference(&mut reference, &steady),
+                "post-fallback invocation {inv}"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_divergence_falls_back_like_a_fingerprint_mismatch() {
+        // Same access stream, different live policy decision (dead-worker
+        // rerouting): `replay_step` must treat the tid mismatch exactly
+        // like a fingerprint mismatch.
+        let steady = stencil_stream(8, 2);
+        let mut memo = ScheduleMemo::new();
+        let mut logic = SchedulerLogic::with_dense_shadow(8);
+        let mut reference = SchedulerLogic::with_dense_shadow(8);
+        warm(&mut memo, &mut logic, &mut reference, &steady);
+        let mut rerouted = steady.clone();
+        rerouted[3].0 = (rerouted[3].0 + 1) % 2;
+        let (got, hit) = run_invocation(&mut memo, &mut logic, &rerouted);
+        assert_eq!(got, run_reference(&mut reference, &rerouted));
+        assert!(!hit);
+        assert!(!memo.is_replayable());
+        // Re-warms and replays again afterwards.
+        warm(&mut memo, &mut logic, &mut reference, &steady);
+        let (_, hit) = run_invocation(&mut memo, &mut logic, &steady);
+        assert!(hit);
+    }
+
     #[test]
     fn changed_iteration_count_is_not_replayed() {
         let stream = stencil_stream(6, 2);

@@ -1,0 +1,390 @@
+//! Executes one case through every applicable engine path and diffs the
+//! observable outcomes against the sequential oracle.
+//!
+//! Outcome contract (the acceptance property of the differential fuzzer):
+//!
+//! * A path that returns `Ok` — degraded or not — must leave memory
+//!   **byte-identical** to the oracle's final image.
+//! * A path that returns a typed error is acceptable **only when the case
+//!   injects faults** (a fault-free typed error is a divergence).
+//! * Panics that escape an engine, hangs (bounded by each engine's
+//!   watchdog plus the harness timeout in CI), and oracle rejections of a
+//!   generated program are divergences.
+//!
+//! Verdict streams of the *threaded* engines are timing-dependent (whether
+//! a cross-epoch conflict materializes depends on actual overlap), so
+//! verdict equality is asserted where it is deterministic: the discrete
+//! simulators, replaying the region's recorded access trace, must produce
+//! identical misspeculation counts and schedules with the epoch-summary
+//! and schedule-memo fast paths on and off.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use crossinvoc_domore::policy::RoundRobin;
+use crossinvoc_domore::runtime::DomoreConfig;
+use crossinvoc_pir::{DomorePlan, Memory, SpecCrossPlan};
+use crossinvoc_runtime::signature::{AccessKind, BloomSignature, RangeSignature};
+use crossinvoc_sim::prelude::*;
+use crossinvoc_speccross::engine::{DegradePolicy, SpecConfig};
+
+use crate::gen::{FuzzCase, SigKind};
+use crate::oracle::run_oracle;
+
+/// Watchdog handed to every threaded engine run. Far above any legitimate
+/// case runtime; far below the harness timeout in CI.
+const WATCHDOG: Duration = Duration::from_secs(10);
+
+/// One observed disagreement.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Which execution path disagreed.
+    pub path: &'static str,
+    /// What was observed.
+    pub detail: String,
+}
+
+/// Everything `run_case` learned about one case.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Paths that executed (for coverage accounting).
+    pub paths_run: Vec<&'static str>,
+    /// The first divergence, if any.
+    pub divergence: Option<Divergence>,
+    /// Whether `SpecCrossPlan::build` accepted the region.
+    pub spec_applicable: bool,
+    /// Whether `DomorePlan::build` accepted the nest.
+    pub domore_applicable: bool,
+}
+
+impl DiffReport {
+    fn diverge(&mut self, path: &'static str, detail: String) {
+        if self.divergence.is_none() {
+            self.divergence = Some(Divergence { path, detail });
+        }
+    }
+}
+
+/// Replays a recorded region through the simulators.
+struct RecordedWorkload {
+    epochs: Vec<Vec<Vec<(usize, AccessKind)>>>,
+    space: usize,
+}
+
+impl RecordedWorkload {
+    fn new(epochs: Vec<Vec<Vec<(usize, AccessKind)>>>) -> Self {
+        let space = epochs
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|&(a, _)| a + 1)
+            .max()
+            .unwrap_or(1);
+        Self { epochs, space }
+    }
+}
+
+impl SimWorkload for RecordedWorkload {
+    fn num_invocations(&self) -> usize {
+        self.epochs.len()
+    }
+
+    fn num_iterations(&self, inv: usize) -> usize {
+        self.epochs[inv].len()
+    }
+
+    fn iteration_cost(&self, _inv: usize, _iter: usize) -> u64 {
+        90
+    }
+
+    fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
+        out.extend(self.epochs[inv][iter].iter().copied());
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        Some(self.space)
+    }
+}
+
+/// Runs every applicable path for `case` and returns the classified
+/// outcome. Never panics; engine panics are caught and reported.
+pub fn run_case(case: &FuzzCase) -> DiffReport {
+    let mut report = DiffReport::default();
+    let faults_empty = case.faults.is_empty();
+
+    // Path 0: the independent oracle. A rejection here is a generator (or
+    // corpus-entry) bug and is reported as a divergence on its own path.
+    report.paths_run.push("oracle");
+    let expected = match run_oracle(&case.program) {
+        Ok(mem) => mem,
+        Err(e) => {
+            report.diverge("oracle", format!("oracle rejected the program: {e}"));
+            return report;
+        }
+    };
+
+    // Path 1: the production sequential interpreter vs the oracle.
+    report.paths_run.push("seq");
+    match exec_caught(
+        "seq",
+        |mem| {
+            crossinvoc_pir::Interp::new(&case.program).run(mem);
+            Ok::<(), String>(())
+        },
+        case,
+    ) {
+        Outcome::Ok(mem) => {
+            if mem != expected {
+                report.diverge("seq", first_mismatch(&expected, &mem));
+            }
+        }
+        Outcome::Err(e) => report.diverge("seq", format!("interpreter error: {e}")),
+        Outcome::Panicked(p) => report.diverge("seq", format!("interpreter panicked: {p}")),
+    }
+    if report.divergence.is_some() {
+        return report;
+    }
+
+    let Some(outer) = case.outer() else {
+        return report; // no region: sequential paths are the whole story
+    };
+
+    // SPECCROSS paths.
+    if let Ok(plan) = SpecCrossPlan::build(&case.program, outer) {
+        report.spec_applicable = true;
+        let distance = if case.gate_distance {
+            let mut scratch = Memory::zeroed(&case.program);
+            plan.profile(&mut scratch, 4).min_distance
+        } else {
+            None
+        };
+        let base = || {
+            let mut c = SpecConfig::with_workers(case.workers)
+                .checkpoint_every(case.checkpoint_every)
+                .spec_distance(distance)
+                .fault_plan(case.faults.clone())
+                .watchdog(WATCHDOG);
+            if case.degrade {
+                c = c.degrade(DegradePolicy::default());
+            }
+            c
+        };
+
+        for (path, summaries) in [("spec+summaries", true), ("spec-summaries", false)] {
+            report.paths_run.push(path);
+            let config = base().epoch_summaries(summaries);
+            let out = match case.signature {
+                SigKind::Range => exec_caught(
+                    path,
+                    |mem| plan.execute_sig::<RangeSignature>(mem, config).map(|_| ()),
+                    case,
+                ),
+                SigKind::Bloom => exec_caught(
+                    path,
+                    |mem| plan.execute_sig::<BloomSignature>(mem, config).map(|_| ()),
+                    case,
+                ),
+            };
+            check_outcome(&mut report, path, out, &expected, faults_empty);
+        }
+
+        report.paths_run.push("barrier");
+        let out = exec_caught(
+            "barrier",
+            |mem| plan.execute_with_barriers(mem, base()).map(|_| ()),
+            case,
+        );
+        check_outcome(&mut report, "barrier", out, &expected, faults_empty);
+
+        // Deterministic verdict streams: replay the recorded region through
+        // the simulators with each fast path on and off.
+        report.paths_run.push("sim");
+        let mut scratch = Memory::zeroed(&case.program);
+        let recorded = RecordedWorkload::new(plan.record_region(&mut scratch));
+        let cost = CostModel::default();
+        let params = || {
+            SpecSimParams::with_threads(case.workers)
+                .checkpoint_every(case.checkpoint_every)
+                .spec_distance(distance)
+                .fault_plan(case.faults.clone())
+        };
+        let sim_on = speccross(&recorded, &params().epoch_summaries(true), &cost);
+        let sim_off = speccross(&recorded, &params().epoch_summaries(false), &cost);
+        if sim_on.stats.misspeculations != sim_off.stats.misspeculations
+            || sim_on.stats.tasks != sim_off.stats.tasks
+            || sim_on.degraded != sim_off.degraded
+        {
+            report.diverge(
+                "sim",
+                format!(
+                    "epoch summaries changed the sim verdict stream: \
+                     on = {{misspec: {}, tasks: {}, degraded: {}}}, \
+                     off = {{misspec: {}, tasks: {}, degraded: {}}}",
+                    sim_on.stats.misspeculations,
+                    sim_on.stats.tasks,
+                    sim_on.degraded,
+                    sim_off.stats.misspeculations,
+                    sim_off.stats.tasks,
+                    sim_off.degraded,
+                ),
+            );
+        }
+        let memo_on =
+            domore_configured(&recorded, case.workers, &mut RoundRobin, &cost, None, true);
+        let memo_off =
+            domore_configured(&recorded, case.workers, &mut RoundRobin, &cost, None, false);
+        if memo_on.stats.tasks != memo_off.stats.tasks
+            || memo_on.stats.sync_conditions != memo_off.stats.sync_conditions
+        {
+            report.diverge(
+                "sim",
+                format!(
+                    "schedule memo changed the sim schedule: \
+                     on = {{tasks: {}, syncs: {}}}, off = {{tasks: {}, syncs: {}}}",
+                    memo_on.stats.tasks,
+                    memo_on.stats.sync_conditions,
+                    memo_off.stats.tasks,
+                    memo_off.stats.sync_conditions,
+                ),
+            );
+        }
+    }
+
+    // DOMORE paths.
+    if let Some(inner) = case.inner() {
+        if let Ok(plan) = DomorePlan::build(&case.program, outer, inner) {
+            report.domore_applicable = true;
+            for (path, memo) in [("domore+memo", true), ("domore-memo", false)] {
+                report.paths_run.push(path);
+                let config = DomoreConfig::with_workers(case.workers)
+                    .fault_plan(case.faults.clone())
+                    .watchdog(WATCHDOG)
+                    .schedule_memo(memo);
+                let out = exec_caught(path, |mem| plan.execute_with(mem, config).map(|_| ()), case);
+                check_outcome(&mut report, path, out, &expected, faults_empty);
+            }
+        }
+    }
+
+    report
+}
+
+/// What one engine execution produced.
+enum Outcome {
+    /// Completed; final memory image.
+    Ok(Vec<i64>),
+    /// Typed engine error.
+    Err(String),
+    /// A panic escaped the engine.
+    Panicked(String),
+}
+
+fn exec_caught<E: std::fmt::Debug>(
+    _path: &'static str,
+    run: impl FnOnce(&mut Memory) -> Result<(), E>,
+    case: &FuzzCase,
+) -> Outcome {
+    let mut mem = Memory::zeroed(&case.program);
+    match catch_unwind(AssertUnwindSafe(|| run(&mut mem))) {
+        Ok(Ok(())) => Outcome::Ok(mem.snapshot()),
+        Ok(Err(e)) => Outcome::Err(format!("{e:?}")),
+        Err(p) => Outcome::Panicked(panic_message(&p)),
+    }
+}
+
+fn check_outcome(
+    report: &mut DiffReport,
+    path: &'static str,
+    out: Outcome,
+    expected: &[i64],
+    faults_empty: bool,
+) {
+    match out {
+        Outcome::Ok(mem) => {
+            if mem != expected {
+                report.diverge(path, first_mismatch(expected, &mem));
+            }
+        }
+        Outcome::Err(e) => {
+            if faults_empty {
+                report.diverge(path, format!("typed error without injected faults: {e}"));
+            }
+        }
+        Outcome::Panicked(p) => {
+            report.diverge(path, format!("panic escaped the engine: {p}"));
+        }
+    }
+}
+
+fn first_mismatch(expected: &[i64], got: &[i64]) -> String {
+    if expected.len() != got.len() {
+        return format!(
+            "memory size mismatch: expected {} cells, got {}",
+            expected.len(),
+            got.len()
+        );
+    }
+    let diffs: Vec<usize> = (0..expected.len())
+        .filter(|&i| expected[i] != got[i])
+        .collect();
+    let first = diffs.first().copied().unwrap_or(0);
+    format!(
+        "memory diverges at {} of {} cells, first at addr {first}: expected {}, got {}",
+        diffs.len(),
+        expected.len(),
+        expected.get(first).copied().unwrap_or(0),
+        got.get(first).copied().unwrap_or(0),
+    )
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenParams};
+
+    #[test]
+    fn fault_free_seeds_run_clean() {
+        let params = GenParams {
+            fault_percent: 0,
+            ..GenParams::default()
+        };
+        for seed in 0..25 {
+            let case = generate(seed, &params);
+            let r = run_case(&case);
+            assert!(
+                r.divergence.is_none(),
+                "seed {seed} ({}): {:?}",
+                case.note,
+                r.divergence
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_seeds_terminate_with_clean_outcomes() {
+        let params = GenParams {
+            fault_percent: 100,
+            ..GenParams::default()
+        };
+        for seed in 0..15 {
+            let case = generate(seed, &params);
+            let r = run_case(&case);
+            assert!(
+                r.divergence.is_none(),
+                "seed {seed} ({}): {:?}",
+                case.note,
+                r.divergence
+            );
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The sequential oracle: an independent, bounds-checked, fueled
+//! evaluator for PIR programs.
+//!
+//! The production interpreter ([`crossinvoc_pir::Interp`]) is part of the
+//! system under test — every engine path executes through it — so the
+//! oracle re-implements the language semantics from the [`Stmt`]/[`Expr`]
+//! definitions instead of calling it. Differences between the two are
+//! reported as divergences like any other. Unlike the interpreter, the
+//! oracle returns *typed errors* for out-of-bounds accesses and runaway
+//! loops (a fuel budget), which lets the minimizer reject invalid shrink
+//! candidates without catching panics.
+
+use crossinvoc_pir::ir::{BinOp, Expr, Program, Stmt, StmtId};
+
+/// Why the oracle rejected a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// An array access fell outside the array (index, array name).
+    OutOfBounds {
+        /// The evaluated element index.
+        index: i64,
+        /// Name of the accessed array.
+        array: String,
+    },
+    /// The program exceeded the execution-step budget.
+    FuelExhausted,
+    /// The program contains an opaque call (the fuzzer never generates
+    /// them, and the corpus format cannot express them).
+    UnsupportedCall(String),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::OutOfBounds { index, array } => {
+                write!(f, "index {index} out of bounds for array {array}")
+            }
+            OracleError::FuelExhausted => write!(f, "execution-step budget exhausted"),
+            OracleError::UnsupportedCall(name) => write!(f, "opaque call {name:?}"),
+        }
+    }
+}
+
+/// Default step budget: generous for generated cases (thousands of
+/// iterations), tight enough to bound hand-edited corpus entries.
+pub const DEFAULT_FUEL: u64 = 20_000_000;
+
+struct Oracle<'p> {
+    program: &'p Program,
+    mem: Vec<i64>,
+    env: Vec<i64>,
+    fuel: u64,
+}
+
+/// Runs `program` sequentially on zeroed memory and returns the final
+/// memory image.
+///
+/// # Errors
+///
+/// [`OracleError`] on out-of-bounds accesses, opaque calls, or fuel
+/// exhaustion.
+pub fn run_oracle(program: &Program) -> Result<Vec<i64>, OracleError> {
+    run_oracle_fueled(program, DEFAULT_FUEL)
+}
+
+/// [`run_oracle`] with an explicit step budget.
+///
+/// # Errors
+///
+/// As for [`run_oracle`].
+pub fn run_oracle_fueled(program: &Program, fuel: u64) -> Result<Vec<i64>, OracleError> {
+    let mut o = Oracle {
+        program,
+        mem: vec![0; program.memory_len()],
+        env: vec![0; program.vars().len()],
+        fuel,
+    };
+    for &s in program.body() {
+        o.exec(s)?;
+    }
+    Ok(o.mem)
+}
+
+impl Oracle<'_> {
+    fn eval(&self, e: &Expr) -> i64 {
+        match e {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => self.env[v.0],
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (self.eval(a), self.eval(b));
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.rem_euclid(b)
+                        }
+                    }
+                    BinOp::Lt => i64::from(a < b),
+                    BinOp::Eq => i64::from(a == b),
+                }
+            }
+        }
+    }
+
+    fn addr(&self, array: crossinvoc_pir::ArrayId, index: i64) -> Result<usize, OracleError> {
+        let len = self.program.arrays()[array.0].len;
+        let oob = || OracleError::OutOfBounds {
+            index,
+            array: self.program.arrays()[array.0].name.clone(),
+        };
+        let idx = usize::try_from(index).map_err(|_| oob())?;
+        if idx >= len {
+            return Err(oob());
+        }
+        Ok(self.program.array_base(array) + idx)
+    }
+
+    fn exec(&mut self, id: StmtId) -> Result<(), OracleError> {
+        self.fuel = self.fuel.checked_sub(1).ok_or(OracleError::FuelExhausted)?;
+        match self.program.stmt(id) {
+            Stmt::Assign { var, expr } => {
+                self.env[var.0] = self.eval(expr);
+            }
+            Stmt::Load { var, array, index } => {
+                let addr = self.addr(*array, self.eval(index))?;
+                self.env[var.0] = self.mem[addr];
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                let addr = self.addr(*array, self.eval(index))?;
+                self.mem[addr] = self.eval(value);
+            }
+            Stmt::Call { name, .. } => {
+                return Err(OracleError::UnsupportedCall(name.clone()));
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let arm = if self.eval(cond) != 0 {
+                    then_body
+                } else {
+                    else_body
+                };
+                for &s in arm.clone().iter() {
+                    self.exec(s)?;
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                let (var, from, to) = (*var, self.eval(from), self.eval(to));
+                let body = body.clone();
+                let mut i = from;
+                while i < to {
+                    self.env[var.0] = i;
+                    for &s in &body {
+                        self.exec(s)?;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossinvoc_pir::ir::ProgramBuilder;
+    use crossinvoc_pir::Memory;
+
+    #[test]
+    fn oracle_matches_the_interpreter() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 8);
+        let i = b.var("i");
+        let x = b.var("x");
+        b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+            b.load(x, a, Expr::Var(i));
+            b.store(
+                a,
+                Expr::Var(i),
+                Expr::add(Expr::mul(Expr::Var(x), Expr::Const(3)), Expr::Var(i)),
+            );
+        });
+        let p = b.finish();
+        let oracle = run_oracle(&p).unwrap();
+        let mut mem = Memory::zeroed(&p);
+        crossinvoc_pir::Interp::new(&p).run(&mut mem);
+        assert_eq!(oracle, mem.snapshot());
+    }
+
+    #[test]
+    fn out_of_bounds_is_a_typed_error() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 2);
+        b.store(a, Expr::Const(5), Expr::Const(1));
+        let p = b.finish();
+        assert!(matches!(
+            run_oracle(&p),
+            Err(OracleError::OutOfBounds { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn fuel_bounds_runaway_loops() {
+        let mut b = ProgramBuilder::new();
+        let i = b.var("i");
+        let x = b.var("x");
+        b.for_loop(i, Expr::Const(0), Expr::Const(1_000_000), |b| {
+            b.assign(x, Expr::Var(i));
+        });
+        let p = b.finish();
+        assert_eq!(run_oracle_fueled(&p, 1000), Err(OracleError::FuelExhausted));
+    }
+}

@@ -181,7 +181,11 @@ pub struct ArrayDecl {
 }
 
 /// A whole program: declarations plus a top-level statement sequence.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is structural over declarations and the statement arena, so a
+/// program rebuilt through the same builder traversal (e.g. a
+/// [`crate::text`] round-trip) compares equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     arrays: Vec<ArrayDecl>,
     vars: Vec<String>,

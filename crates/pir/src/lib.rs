@@ -51,6 +51,7 @@ pub mod pdg;
 pub mod scc;
 pub mod slice;
 pub mod techniques;
+pub mod text;
 pub mod transform;
 
 pub use analysis::{AffineForm, DepTest};

@@ -1,0 +1,512 @@
+//! Serde-free textual round-trip for [`Program`]s.
+//!
+//! The format exists for the fuzz corpus: counterexamples must be diffable,
+//! hand-editable, and stable across toolchain versions, so the grammar is a
+//! deliberately small line-based form with s-expression scalars:
+//!
+//! ```text
+//! # pir v1
+//! array A 16
+//! var t
+//! var i
+//! var x
+//! for t 0 4 {
+//!   for i 0 8 {
+//!     load x A (add i t)
+//!     store A i (mul x 3)
+//!   }
+//! }
+//! ```
+//!
+//! Statements: `let <var> <expr>`, `load <var> <array> <expr>`,
+//! `store <array> <expr> <expr>`, `for <var> <expr> <expr> {`,
+//! `if <expr> {` / `} else {`, and a bare `}` closing either. Expressions
+//! are atoms (integer literals or declared names) or `(<op> <a> <b>)` with
+//! ops `add sub mul div rem lt eq`. `#` lines and blank lines are ignored.
+//!
+//! [`from_text`] rebuilds the program through [`ProgramBuilder`], which
+//! yields the same statement-arena order as the original construction
+//! (children before parents, siblings in order), so
+//! `from_text(&to_text(p)?) == p` for every builder-built program. Opaque
+//! calls are not representable (the fuzzer never generates them);
+//! [`to_text`] reports them as errors.
+
+use std::collections::HashMap;
+
+use crate::ir::{ArrayId, BinOp, Expr, Program, ProgramBuilder, Stmt, StmtId, VarId};
+
+/// Renders `program` in the corpus text format.
+///
+/// # Errors
+///
+/// Returns a message if the program contains a [`Stmt::Call`] (not
+/// representable) or a declared name that is not a plain identifier or is
+/// duplicated (names are the identity carrier in the text form).
+pub fn to_text(program: &Program) -> Result<String, String> {
+    let mut seen = HashMap::new();
+    for (i, a) in program.arrays().iter().enumerate() {
+        check_name(&a.name)?;
+        if seen.insert(a.name.clone(), ()).is_some() {
+            return Err(format!("duplicate declared name {:?}", a.name));
+        }
+        let _ = i;
+    }
+    for v in program.vars() {
+        check_name(v)?;
+        if seen.insert(v.clone(), ()).is_some() {
+            return Err(format!("duplicate declared name {v:?}"));
+        }
+    }
+    let mut out = String::from("# pir v1\n");
+    for a in program.arrays() {
+        out.push_str(&format!("array {} {}\n", a.name, a.len));
+    }
+    for v in program.vars() {
+        out.push_str(&format!("var {v}\n"));
+    }
+    for &s in program.body() {
+        write_stmt(program, s, 0, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn check_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        Ok(())
+    } else {
+        Err(format!("name {name:?} is not a plain identifier"))
+    }
+}
+
+fn write_stmt(p: &Program, id: StmtId, depth: usize, out: &mut String) -> Result<(), String> {
+    let pad = "  ".repeat(depth);
+    match p.stmt(id) {
+        Stmt::Assign { var, expr } => {
+            out.push_str(&format!(
+                "{pad}let {} {}\n",
+                p.vars()[var.0],
+                sexpr(p, expr)
+            ));
+        }
+        Stmt::Load { var, array, index } => {
+            out.push_str(&format!(
+                "{pad}load {} {} {}\n",
+                p.vars()[var.0],
+                p.arrays()[array.0].name,
+                sexpr(p, index)
+            ));
+        }
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => {
+            out.push_str(&format!(
+                "{pad}store {} {} {}\n",
+                p.arrays()[array.0].name,
+                sexpr(p, index),
+                sexpr(p, value)
+            ));
+        }
+        Stmt::Call { name, .. } => {
+            return Err(format!("opaque call {name:?} has no text form"));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            out.push_str(&format!("{pad}if {} {{\n", sexpr(p, cond)));
+            for &s in then_body {
+                write_stmt(p, s, depth + 1, out)?;
+            }
+            out.push_str(&format!("{pad}}} else {{\n"));
+            for &s in else_body {
+                write_stmt(p, s, depth + 1, out)?;
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        Stmt::For {
+            var,
+            from,
+            to,
+            body,
+        } => {
+            out.push_str(&format!(
+                "{pad}for {} {} {} {{\n",
+                p.vars()[var.0],
+                sexpr(p, from),
+                sexpr(p, to)
+            ));
+            for &s in body {
+                write_stmt(p, s, depth + 1, out)?;
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+    Ok(())
+}
+
+fn sexpr(p: &Program, e: &Expr) -> String {
+    match e {
+        Expr::Const(c) => c.to_string(),
+        Expr::Var(v) => p.vars()[v.0].clone(),
+        Expr::Bin(op, a, b) => {
+            let name = match op {
+                BinOp::Add => "add",
+                BinOp::Sub => "sub",
+                BinOp::Mul => "mul",
+                BinOp::Div => "div",
+                BinOp::Rem => "rem",
+                BinOp::Lt => "lt",
+                BinOp::Eq => "eq",
+            };
+            format!("({name} {} {})", sexpr(p, a), sexpr(p, b))
+        }
+    }
+}
+
+/// Statement tree as parsed, before the builder pass assigns arena ids.
+enum Node {
+    Assign(VarId, Expr),
+    Load(VarId, ArrayId, Expr),
+    Store(ArrayId, Expr, Expr),
+    If(Expr, Vec<Node>, Vec<Node>),
+    For(VarId, Expr, Expr, Vec<Node>),
+}
+
+/// Parses the [`to_text`] format back into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed input,
+/// undeclared names, or declarations appearing after the first statement.
+pub fn from_text(text: &str) -> Result<Program, String> {
+    let mut b = ProgramBuilder::new();
+    let mut arrays: HashMap<String, ArrayId> = HashMap::new();
+    let mut vars: HashMap<String, VarId> = HashMap::new();
+
+    // Frames of (body-so-far); `If` keeps then/else in a side slot.
+    enum Frame {
+        If(Expr, Option<Vec<Node>>),
+        For(VarId, Expr, Expr),
+    }
+    let mut body_stack: Vec<Vec<Node>> = vec![Vec::new()];
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut decls_done = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks = tokenize(line);
+        let mut t = Tokens::new(&toks);
+        let head = t.next().expect("non-blank line has a token");
+        match head {
+            "array" | "var" if decls_done => {
+                return Err(err("declarations must precede statements".into()));
+            }
+            "array" => {
+                let name = t.next().ok_or_else(|| err("array needs a name".into()))?;
+                check_name(name).map_err(err)?;
+                let len: usize = t
+                    .next()
+                    .and_then(|l| l.parse().ok())
+                    .ok_or_else(|| err("array needs a length".into()))?;
+                if arrays.contains_key(name) || vars.contains_key(name) {
+                    return Err(err(format!("duplicate declared name {name:?}")));
+                }
+                arrays.insert(name.to_owned(), b.array(name, len));
+            }
+            "var" => {
+                let name = t.next().ok_or_else(|| err("var needs a name".into()))?;
+                check_name(name).map_err(err)?;
+                if arrays.contains_key(name) || vars.contains_key(name) {
+                    return Err(err(format!("duplicate declared name {name:?}")));
+                }
+                vars.insert(name.to_owned(), b.var(name));
+            }
+            "let" => {
+                decls_done = true;
+                let var = lookup(&vars, t.next(), "let").map_err(err)?;
+                let expr = parse_expr(&mut t, &vars).map_err(err)?;
+                t.done().map_err(err)?;
+                body_stack.last_mut().unwrap().push(Node::Assign(var, expr));
+            }
+            "load" => {
+                decls_done = true;
+                let var = lookup(&vars, t.next(), "load").map_err(err)?;
+                let array = lookup(&arrays, t.next(), "load").map_err(err)?;
+                let index = parse_expr(&mut t, &vars).map_err(err)?;
+                t.done().map_err(err)?;
+                body_stack
+                    .last_mut()
+                    .unwrap()
+                    .push(Node::Load(var, array, index));
+            }
+            "store" => {
+                decls_done = true;
+                let array = lookup(&arrays, t.next(), "store").map_err(err)?;
+                let index = parse_expr(&mut t, &vars).map_err(err)?;
+                let value = parse_expr(&mut t, &vars).map_err(err)?;
+                t.done().map_err(err)?;
+                body_stack
+                    .last_mut()
+                    .unwrap()
+                    .push(Node::Store(array, index, value));
+            }
+            "for" => {
+                decls_done = true;
+                let var = lookup(&vars, t.next(), "for").map_err(err)?;
+                let from = parse_expr(&mut t, &vars).map_err(err)?;
+                let to = parse_expr(&mut t, &vars).map_err(err)?;
+                t.expect("{").map_err(err)?;
+                t.done().map_err(err)?;
+                frames.push(Frame::For(var, from, to));
+                body_stack.push(Vec::new());
+            }
+            "if" => {
+                decls_done = true;
+                let cond = parse_expr(&mut t, &vars).map_err(err)?;
+                t.expect("{").map_err(err)?;
+                t.done().map_err(err)?;
+                frames.push(Frame::If(cond, None));
+                body_stack.push(Vec::new());
+            }
+            "}" => {
+                let else_follows = match t.next() {
+                    None => false,
+                    Some("else") => {
+                        t.expect("{").map_err(err)?;
+                        t.done().map_err(err)?;
+                        true
+                    }
+                    Some(other) => return Err(err(format!("unexpected {other:?} after `}}`"))),
+                };
+                let closed = body_stack.pop().unwrap();
+                let frame = frames
+                    .pop()
+                    .ok_or_else(|| err("unmatched closing brace".into()))?;
+                match (frame, else_follows) {
+                    (Frame::If(cond, None), true) => {
+                        frames.push(Frame::If(cond, Some(closed)));
+                        body_stack.push(Vec::new());
+                    }
+                    (Frame::If(cond, None), false) => {
+                        body_stack
+                            .last_mut()
+                            .unwrap()
+                            .push(Node::If(cond, closed, Vec::new()));
+                    }
+                    (Frame::If(cond, Some(then_body)), false) => {
+                        body_stack
+                            .last_mut()
+                            .unwrap()
+                            .push(Node::If(cond, then_body, closed));
+                    }
+                    (Frame::If(_, Some(_)), true) => {
+                        return Err(err("an `if` has at most one `else`".into()));
+                    }
+                    (Frame::For(var, from, to), false) => {
+                        body_stack
+                            .last_mut()
+                            .unwrap()
+                            .push(Node::For(var, from, to, closed));
+                    }
+                    (Frame::For(..), true) => {
+                        return Err(err("`else` cannot follow a `for` body".into()));
+                    }
+                }
+            }
+            other => return Err(err(format!("unknown statement {other:?}"))),
+        }
+    }
+    if !frames.is_empty() {
+        return Err("unclosed block at end of input".into());
+    }
+    let top = body_stack.pop().unwrap();
+    emit(&mut b, &top);
+    Ok(b.finish())
+}
+
+fn emit(b: &mut ProgramBuilder, nodes: &[Node]) {
+    for node in nodes {
+        match node {
+            Node::Assign(var, expr) => {
+                b.assign(*var, expr.clone());
+            }
+            Node::Load(var, array, index) => {
+                b.load(*var, *array, index.clone());
+            }
+            Node::Store(array, index, value) => {
+                b.store(*array, index.clone(), value.clone());
+            }
+            Node::If(cond, then_body, else_body) => {
+                b.if_else(cond.clone(), |b| emit(b, then_body), |b| emit(b, else_body));
+            }
+            Node::For(var, from, to, body) => {
+                b.for_loop(*var, from.clone(), to.clone(), |b| emit(b, body));
+            }
+        }
+    }
+}
+
+fn lookup<T: Copy>(map: &HashMap<String, T>, name: Option<&str>, stmt: &str) -> Result<T, String> {
+    let name = name.ok_or_else(|| format!("`{stmt}` is missing a name"))?;
+    map.get(name)
+        .copied()
+        .ok_or_else(|| format!("undeclared name {name:?}"))
+}
+
+fn tokenize(line: &str) -> Vec<String> {
+    line.replace('(', " ( ")
+        .replace(')', " ) ")
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect()
+}
+
+struct Tokens<'a> {
+    toks: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(toks: &'a [String]) -> Self {
+        Self { toks, pos: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let t = self.toks.get(self.pos)?;
+        self.pos += 1;
+        Some(t)
+    }
+
+    fn expect(&mut self, want: &str) -> Result<(), String> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            other => Err(format!("expected {want:?}, got {other:?}")),
+        }
+    }
+
+    fn done(&mut self) -> Result<(), String> {
+        match self.next() {
+            None => Ok(()),
+            Some(t) => Err(format!("trailing token {t:?}")),
+        }
+    }
+}
+
+fn parse_expr(t: &mut Tokens<'_>, vars: &HashMap<String, VarId>) -> Result<Expr, String> {
+    let tok = t
+        .next()
+        .ok_or_else(|| "expected an expression".to_owned())?;
+    if tok == "(" {
+        let op = match t.next() {
+            Some("add") => BinOp::Add,
+            Some("sub") => BinOp::Sub,
+            Some("mul") => BinOp::Mul,
+            Some("div") => BinOp::Div,
+            Some("rem") => BinOp::Rem,
+            Some("lt") => BinOp::Lt,
+            Some("eq") => BinOp::Eq,
+            other => return Err(format!("unknown operator {other:?}")),
+        };
+        let a = parse_expr(t, vars)?;
+        let b = parse_expr(t, vars)?;
+        t.expect(")")?;
+        Ok(Expr::Bin(op, Box::new(a), Box::new(b)))
+    } else if let Ok(c) = tok.parse::<i64>() {
+        Ok(Expr::Const(c))
+    } else {
+        vars.get(tok)
+            .map(|&v| Expr::Var(v))
+            .ok_or_else(|| format!("undeclared variable {tok:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::CallEffect;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", 16);
+        let idx = b.array("IDX", 8);
+        let t = b.var("t");
+        let i = b.var("i");
+        let x = b.var("x");
+        let s = b.var("s");
+        b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+            b.store(
+                idx,
+                Expr::Var(i),
+                Expr::rem(Expr::mul(Expr::Var(i), Expr::Const(3)), Expr::Const(16)),
+            );
+        });
+        b.for_loop(t, Expr::Const(0), Expr::Const(4), |b| {
+            b.assign(s, Expr::rem(Expr::Var(t), Expr::Const(3)));
+            b.for_loop(i, Expr::Const(0), Expr::Const(8), |b| {
+                b.load(x, a, Expr::add(Expr::Var(i), Expr::Var(s)));
+                b.if_else(
+                    Expr::lt(Expr::Var(x), Expr::Const(100)),
+                    |b| {
+                        b.store(
+                            a,
+                            Expr::Var(i),
+                            Expr::add(Expr::mul(Expr::Var(x), Expr::Const(3)), Expr::Var(i)),
+                        );
+                    },
+                    |b| {
+                        b.store(a, Expr::Var(i), Expr::Const(0));
+                    },
+                );
+            });
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let p = sample();
+        let text = to_text(&p).unwrap();
+        let back = from_text(&text).unwrap();
+        assert_eq!(p, back, "round-trip must preserve the arena:\n{text}");
+        // And the text itself is a fixed point.
+        assert_eq!(text, to_text(&back).unwrap());
+    }
+
+    #[test]
+    fn parses_if_without_else_and_nested_loops() {
+        let text = "array A 4\nvar i\nfor i 0 4 {\n  if (lt i 2) {\n    store A i 1\n  }\n}\n";
+        let p = from_text(text).unwrap();
+        assert_eq!(p.body().len(), 1);
+        // Writer always emits the else arm; re-parse must agree.
+        assert_eq!(p, from_text(&to_text(&p).unwrap()).unwrap());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_text("frob A 3").is_err(), "unknown statement");
+        assert!(from_text("var i\nlet j 3").is_err(), "undeclared name");
+        assert!(from_text("var i\nfor i 0 4 {").is_err(), "unclosed block");
+        assert!(from_text("var i\nlet i 3\nvar j").is_err(), "late decl");
+        assert!(from_text("var i\nlet i (frob 1 2)").is_err(), "bad op");
+        assert!(from_text("array A 4\narray A 4").is_err(), "duplicate");
+    }
+
+    #[test]
+    fn calls_are_rejected_by_the_writer() {
+        let mut b = ProgramBuilder::new();
+        b.call("update", vec![], CallEffect::default());
+        let p = b.finish();
+        assert!(to_text(&p).is_err());
+    }
+}

@@ -27,7 +27,7 @@ use parking_lot::Mutex;
 
 use crossinvoc_domore::prelude::*;
 use crossinvoc_domore::runtime::{DomoreConfig, DomoreError, DomoreRuntime, ExecutionReport};
-use crossinvoc_runtime::signature::RangeSignature;
+use crossinvoc_runtime::signature::{AccessKind, AccessSignature, RangeSignature};
 use crossinvoc_speccross::engine::{SpecConfig, SpecCrossEngine, SpecError, SpecReport};
 use crossinvoc_speccross::profile::ProfileReport;
 use crossinvoc_speccross::workload::{AccessRecorder, SpecWorkload};
@@ -280,6 +280,21 @@ impl<'p> DomorePlan<'p> {
         mem: &mut Memory,
         workers: usize,
     ) -> Result<ExecutionReport, DomoreError> {
+        self.execute_with(mem, DomoreConfig::with_workers(workers))
+    }
+
+    /// Like [`DomorePlan::execute`], but under a caller-supplied runtime
+    /// configuration (fault plans, watchdog, schedule memoization toggle —
+    /// the knobs the differential fuzzer sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DomoreError`] from the runtime.
+    pub fn execute_with(
+        &self,
+        mem: &mut Memory,
+        config: DomoreConfig,
+    ) -> Result<ExecutionReport, DomoreError> {
         let interp = Interp::new(self.program);
         let mut env = vec![0; self.program.vars().len()];
         let (prefix, suffix) = split_body(self.program, self.outer);
@@ -309,7 +324,7 @@ impl<'p> DomorePlan<'p> {
             sched_env: Mutex::new(env.clone()),
             inv_ctx: (0..num_inv).map(|_| Mutex::new(None)).collect(),
         };
-        let report = DomoreRuntime::new(DomoreConfig::with_workers(workers)).execute(&adapter)?;
+        let report = DomoreRuntime::new(config).execute(&adapter)?;
 
         // Suffix: the outer IV holds its final value, as after a real loop.
         let mut env = adapter.sched_env.into_inner();
@@ -548,10 +563,25 @@ impl<'p> SpecCrossPlan<'p> {
     ///
     /// Propagates [`SpecError`] from the engine.
     pub fn execute(&self, mem: &mut Memory, config: SpecConfig) -> Result<SpecReport, SpecError> {
+        self.execute_sig::<RangeSignature>(mem, config)
+    }
+
+    /// Like [`SpecCrossPlan::execute`], but with a caller-chosen access
+    /// signature type (e.g. `BloomSignature`, whose false positives the
+    /// differential fuzzer must tolerate without state divergence).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError`] from the engine.
+    pub fn execute_sig<S: AccessSignature>(
+        &self,
+        mem: &mut Memory,
+        config: SpecConfig,
+    ) -> Result<SpecReport, SpecError> {
         let (base_env, mut exit_env) = self.run_prefix(mem);
         let report = {
             let adapter = self.make_adapter(&*mem, base_env);
-            SpecCrossEngine::<RangeSignature>::new(config).execute(&adapter)?
+            SpecCrossEngine::<S>::new(config).execute(&adapter)?
         };
         let (_, suffix) = split_body(self.program, self.outer);
         // SAFETY: the engine joined all workers; this thread is exclusive.
@@ -579,6 +609,27 @@ impl<'p> SpecCrossPlan<'p> {
         // SAFETY: the engine joined all workers; this thread is exclusive.
         unsafe { Interp::new(self.program).exec_stmts(&suffix, &mut exit_env, mem, &mut None) };
         Ok(report)
+    }
+
+    /// Executes the prefix and region *sequentially* (epoch-major, task
+    /// order — exactly program order), capturing the instrumented accesses
+    /// each task reports, per epoch. The suffix is not run; pass a scratch
+    /// memory. This is the state-capture hook the differential fuzzer uses
+    /// to replay a region through the deterministic simulators.
+    pub fn record_region(&self, mem: &mut Memory) -> Vec<Vec<Vec<(usize, AccessKind)>>> {
+        let (base_env, _) = self.run_prefix(mem);
+        let adapter = self.make_adapter(&*mem, base_env);
+        let mut epochs = Vec::with_capacity(adapter.num_epochs());
+        for epoch in 0..adapter.num_epochs() {
+            let mut tasks = Vec::with_capacity(adapter.num_tasks(epoch));
+            for task in 0..adapter.num_tasks(epoch) {
+                let mut rec = CollectRecorder::default();
+                adapter.execute_task(epoch, task, 0, &mut rec);
+                tasks.push(rec.0);
+            }
+            epochs.push(tasks);
+        }
+        epochs
     }
 
     /// Runs the program sequentially (the validation baseline).
@@ -632,6 +683,16 @@ impl<'p> SpecCrossPlan<'p> {
             outer_from,
             num_outer: (outer_to - outer_from).max(0) as usize,
         }
+    }
+}
+
+/// Collects reported accesses verbatim (the `record_region` sink).
+#[derive(Default)]
+struct CollectRecorder(Vec<(usize, AccessKind)>);
+
+impl AccessRecorder for CollectRecorder {
+    fn record(&mut self, addr: usize, kind: AccessKind) {
+        self.0.push((addr, kind));
     }
 }
 

@@ -108,7 +108,7 @@ impl FaultSite {
 }
 
 /// One scheduled fault: where, what, and how often.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultSpec {
     /// Coordinate pattern at which the fault fires.
     pub site: FaultSite,
@@ -383,6 +383,105 @@ impl FaultPlan {
             _ => unreachable!("filtered by accept"),
         }
     }
+
+    // ---- textual round-trip ---------------------------------------------
+
+    /// Renders the schedule in the diffable, hand-editable corpus format:
+    /// one spec per line, `<kind> @ epoch=<n|*> task=<n|*> thread=<n|*>
+    /// hits=<n>`. `#`-prefixed lines and blank lines are comments. The hit
+    /// *budget* is serialized, not the consumed state — parsing the text
+    /// always yields a fresh replay.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for spec in &self.inner.specs {
+            let kind = match spec.kind {
+                FaultKind::WorkerPanic => "panic".to_string(),
+                FaultKind::CheckerStall(ms) => format!("stall:{ms}"),
+                FaultKind::CheckerDeath => "death".to_string(),
+                FaultKind::FalsePositive => "false-positive".to_string(),
+                FaultKind::SnapshotFail => "snapshot-fail".to_string(),
+                FaultKind::RestoreFail => "restore-fail".to_string(),
+                FaultKind::Delay(us) => format!("delay:{us}"),
+            };
+            let coord = |name: &str, v: Option<String>| match v {
+                Some(v) => format!("{name}={v}"),
+                None => format!("{name}=*"),
+            };
+            out.push_str(&format!(
+                "{kind} @ {} {} {} hits={}\n",
+                coord("epoch", spec.site.epoch.map(|e| e.to_string())),
+                coord("task", spec.site.task.map(|t| t.to_string())),
+                coord("thread", spec.site.thread.map(|t| t.to_string())),
+                spec.max_hits,
+            ));
+        }
+        out
+    }
+
+    /// Parses the [`FaultPlan::to_text`] format. Returns a plan with a
+    /// fresh hit budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        fn wild<T: std::str::FromStr>(v: &str, line: &str) -> Result<Option<T>, String> {
+            if v == "*" {
+                return Ok(None);
+            }
+            v.parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("bad coordinate {v:?} in fault line {line:?}"))
+        }
+        let mut specs = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let kind_tok = parts.next().expect("non-empty line has a token");
+            let kind = if let Some(ms) = kind_tok.strip_prefix("stall:") {
+                FaultKind::CheckerStall(ms.parse().map_err(|_| format!("bad stall in {line:?}"))?)
+            } else if let Some(us) = kind_tok.strip_prefix("delay:") {
+                FaultKind::Delay(us.parse().map_err(|_| format!("bad delay in {line:?}"))?)
+            } else {
+                match kind_tok {
+                    "panic" => FaultKind::WorkerPanic,
+                    "death" => FaultKind::CheckerDeath,
+                    "false-positive" => FaultKind::FalsePositive,
+                    "snapshot-fail" => FaultKind::SnapshotFail,
+                    "restore-fail" => FaultKind::RestoreFail,
+                    other => return Err(format!("unknown fault kind {other:?} in {line:?}")),
+                }
+            };
+            if parts.next() != Some("@") {
+                return Err(format!("expected `@` after the kind in {line:?}"));
+            }
+            let mut site = FaultSite::ANY;
+            let mut max_hits = 1u32;
+            for field in parts {
+                let (key, value) = field
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected key=value, got {field:?} in {line:?}"))?;
+                match key {
+                    "epoch" => site.epoch = wild(value, line)?,
+                    "task" => site.task = wild(value, line)?,
+                    "thread" => site.thread = wild(value, line)?,
+                    "hits" => {
+                        max_hits = value.parse().map_err(|_| format!("bad hits in {line:?}"))?
+                    }
+                    other => return Err(format!("unknown field {other:?} in {line:?}")),
+                }
+            }
+            specs.push(FaultSpec {
+                site,
+                kind,
+                max_hits,
+            });
+        }
+        Ok(Self::from_specs(specs))
+    }
 }
 
 #[cfg(test)]
@@ -513,6 +612,46 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_every_spec() {
+        for seed in 0..100u64 {
+            let plan = FaultPlan::random(seed, 12, 9, 4);
+            let text = plan.to_text();
+            let back = FaultPlan::from_text(&text).expect("own output parses");
+            assert_eq!(plan.specs(), back.specs(), "seed {seed}:\n{text}");
+        }
+        let builders = FaultPlan::new()
+            .worker_panic_at(3, 5)
+            .checker_stall_at(2, 4)
+            .false_positive_storm(7)
+            .restore_failure()
+            .delay_at(0, 1, 250);
+        let back = FaultPlan::from_text(&builders.to_text()).unwrap();
+        assert_eq!(builders.specs(), back.specs());
+    }
+
+    #[test]
+    fn from_text_accepts_comments_and_rejects_junk() {
+        let plan =
+            FaultPlan::from_text("# a comment\n\n  panic @ epoch=1 task=* thread=2 hits=3\n")
+                .unwrap();
+        assert_eq!(
+            plan.specs(),
+            &[FaultSpec {
+                site: FaultSite {
+                    epoch: Some(1),
+                    task: None,
+                    thread: Some(2),
+                },
+                kind: FaultKind::WorkerPanic,
+                max_hits: 3,
+            }]
+        );
+        assert!(FaultPlan::from_text("explode @ epoch=1").is_err());
+        assert!(FaultPlan::from_text("panic epoch=1").is_err());
+        assert!(FaultPlan::from_text("panic @ epoch=x").is_err());
     }
 
     #[test]

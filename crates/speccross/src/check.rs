@@ -100,15 +100,28 @@ pub struct CheckerState<S> {
     logs: Vec<VecDeque<EpochBucket<S>>>,
     comparisons: u64,
     epoch_skips: u64,
+    /// Whether `admit` may use the per-bucket aggregate short-circuit.
+    /// Disabling it forces the member-by-member scan — verdicts must be
+    /// identical either way (the differential fuzzer exercises both).
+    aggregates: bool,
 }
 
 impl<S: AccessSignature> CheckerState<S> {
     /// Creates an empty checker for `num_workers` workers.
     pub fn new(num_workers: usize) -> Self {
+        Self::with_aggregates(num_workers, true)
+    }
+
+    /// Creates an empty checker, choosing whether the per-epoch aggregate
+    /// fast path is `enabled`. With it disabled every request is compared
+    /// member-by-member; conflict verdicts are unchanged, only the
+    /// comparison counts differ.
+    pub fn with_aggregates(num_workers: usize, enabled: bool) -> Self {
         Self {
             logs: (0..num_workers).map(|_| VecDeque::new()).collect(),
             comparisons: 0,
             epoch_skips: 0,
+            aggregates: enabled,
         }
     }
 
@@ -168,10 +181,12 @@ impl<S: AccessSignature> CheckerState<S> {
                             if req.pos < oldest.snapshot[req.tid] {
                                 continue;
                             }
-                            self.comparisons += 1;
-                            if !bucket.agg.conflicts_with(&req.sig) {
-                                self.epoch_skips += 1;
-                                continue;
+                            if self.aggregates {
+                                self.comparisons += 1;
+                                if !bucket.agg.conflicts_with(&req.sig) {
+                                    self.epoch_skips += 1;
+                                    continue;
+                                }
                             }
                             for logged in bucket.entries.iter().rev() {
                                 if req.pos >= logged.snapshot[req.tid] {
@@ -203,13 +218,15 @@ impl<S: AccessSignature> CheckerState<S> {
                             // worker once reached; remember whether the
                             // bucket contains any.
                             let has_retired_tail = bucket.entries[0].pos < snap;
-                            self.comparisons += 1;
-                            if !bucket.agg.conflicts_with(&req.sig) {
-                                self.epoch_skips += 1;
-                                if has_retired_tail {
-                                    break;
+                            if self.aggregates {
+                                self.comparisons += 1;
+                                if !bucket.agg.conflicts_with(&req.sig) {
+                                    self.epoch_skips += 1;
+                                    if has_retired_tail {
+                                        break;
+                                    }
+                                    continue;
                                 }
-                                continue;
                             }
                             for logged in bucket.entries.iter().rev() {
                                 if logged.pos < snap {
@@ -460,6 +477,102 @@ mod tests {
         assert_eq!(c.logged(), 1);
         c.retire_before(3);
         assert_eq!(c.logged(), 0);
+    }
+
+    #[test]
+    fn retire_at_epoch_boundary_keeps_that_epoch() {
+        // `retire_before(e)` is strict: a bucket AT epoch `e` survives and
+        // still participates in conflict detection afterwards.
+        let mut c = CheckerState::new(2);
+        c.admit(req(0, 1, 0, &[(1, 0), (0, 0)], &[5]));
+        c.admit(req(0, 2, 0, &[(2, 0), (0, 0)], &[6]));
+        c.retire_before(2);
+        assert_eq!(c.logged(), 1, "epoch-2 bucket survives its own boundary");
+        let conflict = c.admit(req(1, 3, 0, &[(2, 0), (3, 0)], &[6]));
+        assert!(conflict.is_some(), "surviving bucket still detects races");
+    }
+
+    #[test]
+    fn retire_all_empties_every_log_and_admission_restarts() {
+        let mut c = CheckerState::new(3);
+        for tid in 0..3 {
+            c.admit(req(tid, 1, 0, &[(1, 0), (1, 0), (1, 0)], &[tid * 8]));
+        }
+        assert_eq!(c.logged(), 3);
+        c.retire_before(u32::MAX);
+        assert_eq!(c.logged(), 0);
+        // Admission after a full retire starts fresh buckets; the wiped log
+        // cannot produce phantom conflicts against pre-retire tasks.
+        assert!(c
+            .admit(req(0, 9, 0, &[(9, 0), (1, 0), (1, 0)], &[0]))
+            .is_none());
+        assert!(c
+            .admit(req(1, 9, 0, &[(9, 0), (9, 0), (1, 0)], &[0]))
+            .is_none());
+        assert_eq!(c.logged(), 2);
+    }
+
+    #[test]
+    fn retire_with_in_flight_batch_pops_the_whole_bucket_at_once() {
+        // A worker batches several requests into one epoch bucket; a retire
+        // strictly past that epoch drops ALL of them in one pop, while a
+        // retire at the boundary drops none — there is no partial state.
+        let mut c = CheckerState::new(2);
+        for task in 0..5u32 {
+            c.admit(req(0, 3, task, &[(3, task), (0, 0)], &[task as usize]));
+        }
+        c.admit(req(1, 3, 0, &[(3, 0), (3, 0)], &[40]));
+        assert_eq!(c.logged(), 6);
+        c.retire_before(3);
+        assert_eq!(c.logged(), 6, "boundary retire keeps the in-flight batch");
+        c.retire_before(4);
+        assert_eq!(c.logged(), 0, "one epoch later the whole batch retires");
+        // In-flight work admitted after the truncation is checked only
+        // against post-truncation entries.
+        assert!(c.admit(req(0, 5, 0, &[(5, 0), (3, 0)], &[2])).is_none());
+    }
+
+    #[test]
+    fn retire_interleaved_with_stragglers_keeps_verdicts() {
+        // Retire runs between two admissions of a racing pair: as long as
+        // the logged side survives the truncation, the verdict is unchanged.
+        let mut c = CheckerState::new(2);
+        assert!(c.admit(req(1, 4, 0, &[(2, 0), (4, 0)], &[9])).is_none());
+        c.retire_before(3); // drops nothing from worker 1 (epoch 4 >= 3)
+        let conflict = c.admit(req(0, 2, 0, &[(2, 0), (0, 0)], &[9]));
+        assert!(conflict.is_some(), "straggler still conflicts after retire");
+    }
+
+    #[test]
+    fn aggregates_off_reaches_identical_verdicts() {
+        // The epoch-summary fast path is an optimization only: the same
+        // admission stream must produce the same verdict sequence with the
+        // aggregate short-circuit disabled (member-by-member scanning).
+        let streams: Vec<Vec<CheckRequest<RangeSignature>>> = vec![
+            vec![
+                req(0, 1, 0, &[(1, 0), (0, 0)], &[5]),
+                req(1, 2, 0, &[(1, 0), (2, 0)], &[5]),
+            ],
+            vec![
+                req(0, 1, 0, &[(1, 0), (0, 0)], &[5]),
+                req(1, 2, 0, &[(1, 0), (2, 0)], &[6]),
+                req(0, 2, 0, &[(2, 0), (2, 0)], &[7]),
+            ],
+            vec![
+                req(1, 2, 0, &[(1, 0), (2, 0)], &[9]),
+                req(0, 1, 0, &[(1, 0), (0, 0)], &[9]),
+            ],
+        ];
+        for (i, stream) in streams.into_iter().enumerate() {
+            let mut fast = CheckerState::with_aggregates(2, true);
+            let mut slow = CheckerState::with_aggregates(2, false);
+            for (j, r) in stream.into_iter().enumerate() {
+                let a = fast.admit(r.clone());
+                let b = slow.admit(r);
+                assert_eq!(a, b, "stream {i}, request {j}");
+            }
+            assert_eq!(slow.epoch_skips(), 0, "no skips without aggregates");
+        }
     }
 
     #[test]

@@ -127,6 +127,11 @@ pub struct SpecConfig {
     /// (the default) keeps tracing off — workers then pay one predicted
     /// branch per would-be event, nothing more.
     pub trace_capacity: Option<usize>,
+    /// Whether the checker may use per-epoch aggregate signatures to skip
+    /// whole buckets (the PR 5 pruning fast path). `false` forces the
+    /// member-by-member scan; conflict verdicts are identical either way —
+    /// the differential fuzzer runs regions through both settings.
+    pub epoch_summaries: bool,
 }
 
 impl SpecConfig {
@@ -141,6 +146,7 @@ impl SpecConfig {
             degrade: None,
             watchdog: None,
             trace_capacity: None,
+            epoch_summaries: true,
         }
     }
 
@@ -185,6 +191,12 @@ impl SpecConfig {
     /// records (see [`SpecReport::trace`]).
     pub fn trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Toggles the checker's per-epoch aggregate fast path (on by default).
+    pub fn epoch_summaries(mut self, enabled: bool) -> Self {
+        self.epoch_summaries = enabled;
         self
     }
 }
@@ -1378,7 +1390,8 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
     ) -> u64 {
         let stats = metrics.stats();
         let num_workers = self.config.num_workers;
-        let mut state = CheckerState::<S>::new(num_workers);
+        let mut state =
+            CheckerState::<S>::with_aggregates(num_workers, self.config.epoch_summaries);
         let backoff = Backoff::new();
         let mut picked: u64 = 0;
         let mut last_pruned: u32 = 0;

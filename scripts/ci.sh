@@ -9,6 +9,7 @@ BUILD_TIMEOUT="${BUILD_TIMEOUT:-1200}"
 TEST_TIMEOUT="${TEST_TIMEOUT:-900}"
 CLIPPY_TIMEOUT="${CLIPPY_TIMEOUT:-1200}"
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-120}"
+FUZZ_TIMEOUT="${FUZZ_TIMEOUT:-60}"
 TRACE_TIMEOUT="${TRACE_TIMEOUT:-600}"
 
 run() {
@@ -38,6 +39,15 @@ run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suit
   --fastpath --smoke
 run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
   --validate target/figures/BENCH_5.json
+
+# Differential-fuzzing smoke: replay the checked-in corpus, then a fixed
+# seed window through every engine path against the sequential oracle
+# (docs/FUZZING.md). Any divergence is minimized into
+# target/fuzz-corpus/ (CI uploads it as an artifact) and fails the run.
+run "$FUZZ_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin fuzz-diff -- \
+  --smoke --corpus corpus --out target/fuzz-corpus
+run "$FUZZ_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin fuzz-diff -- \
+  --smoke --start 100000 --fault-percent 100 --corpus corpus --out target/fuzz-corpus
 
 # Observability smoke: a traced figure run must produce traces that survive
 # strict analysis (non-zero exit on any ring overflow) and export to

@@ -783,3 +783,48 @@ fn barriered_domore_never_beats_full_domore() {
         );
     }
 }
+
+proptest! {
+    /// The differential fuzzer's acceptance property: a randomly generated
+    /// case with a randomly injected fault schedule always terminates
+    /// (watchdog-bounded inside `run_case`) and every engine path either
+    /// reproduces the sequential oracle's memory image byte for byte or
+    /// fails with a typed error / degraded report — never a hang, never
+    /// silent corruption.
+    #[test]
+    fn fault_injected_cases_terminate_with_clean_outcomes(seed in 0u64..1_000_000) {
+        let params = crossinvoc_fuzz::GenParams {
+            fault_percent: 100,
+            ..crossinvoc_fuzz::GenParams::default()
+        };
+        let case = crossinvoc_fuzz::generate(seed, &params);
+        let report = crossinvoc_fuzz::run_case(&case);
+        prop_assert!(
+            report.divergence.is_none(),
+            "seed {} ({}): {:?}",
+            seed,
+            case.note,
+            report.divergence
+        );
+    }
+
+    /// Fault-free cases are exact: every applicable path must agree with
+    /// the oracle, including the Bloom-signature configurations whose
+    /// false positives trigger rollbacks.
+    #[test]
+    fn fault_free_cases_are_oracle_exact(seed in 0u64..1_000_000) {
+        let params = crossinvoc_fuzz::GenParams {
+            fault_percent: 0,
+            ..crossinvoc_fuzz::GenParams::default()
+        };
+        let case = crossinvoc_fuzz::generate(seed, &params);
+        let report = crossinvoc_fuzz::run_case(&case);
+        prop_assert!(
+            report.divergence.is_none(),
+            "seed {} ({}): {:?}",
+            seed,
+            case.note,
+            report.divergence
+        );
+    }
+}
