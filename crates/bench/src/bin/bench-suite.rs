@@ -37,14 +37,24 @@
 //!   simulated with the schedule memo; full mode requires a ≥90%
 //!   schedule-cache hit rate on each.
 //!
+//! With `--shards` the suite produces `target/figures/BENCH_7.json`, the
+//! regression gate for the sharded checker: the same clustered SPECCROSS
+//! workload is simulated with the checker partitioned into 1, 2, 4 and 8
+//! address-range shards. Every shard count must report the verdict stream
+//! of the single checker (misspeculations, admitted tasks, check
+//! requests), and in full mode the best sharded configuration must cut
+//! the checker-wait critical-path share below `0.9738×` the single-shard
+//! (BENCH_5 baseline) share.
+//!
 //! ```text
 //! bench-suite [--smoke] [--out PATH] [--workers N] [--reps N]
 //! bench-suite --fastpath [--smoke] [--out PATH] [--workers N]
-//! bench-suite --validate PATH   # parse an existing BENCH_3/BENCH_5 report
+//! bench-suite --shards [--smoke] [--out PATH]
+//! bench-suite --validate PATH   # parse an existing BENCH_3/5/7 report
 //! ```
 //!
 //! `--validate` dispatches on the report's `schema` field, so one CI step
-//! checks either artifact. Exit status is nonzero on panic, checksum
+//! checks any artifact. Exit status is nonzero on panic, checksum
 //! mismatch, malformed JSON, or (full mode) failed criteria.
 //!
 //! [`AccessKernel`]: crossinvoc_workloads::AccessKernel
@@ -76,10 +86,16 @@ const PRUNING_THRESHOLD: f64 = 5.0;
 /// Minimum schedule-cache hit rate on each periodic DOMORE kernel
 /// (BENCH_5, full mode).
 const HIT_RATE_THRESHOLD: f64 = 0.90;
+/// Maximum checker-wait critical-path share the best sharded checker may
+/// report, as a fraction of the single-shard share (BENCH_7, full mode).
+const SHARD_SHARE_FACTOR: f64 = 0.9738;
+/// Shard counts the BENCH_7 suite sweeps; the leading 1 is the baseline.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 struct Args {
     smoke: bool,
     fastpath: bool,
+    shards: bool,
     out: PathBuf,
     workers: usize,
     reps: usize,
@@ -90,7 +106,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
         fastpath: false,
-        out: PathBuf::new(), // resolved after --fastpath is known
+        shards: false,
+        out: PathBuf::new(), // resolved after the mode flags are known
         workers: 8,
         reps: 0, // resolved after --smoke is known
         validate: None,
@@ -103,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--smoke" => args.smoke = true,
             "--fastpath" => args.fastpath = true,
+            "--shards" => args.shards = true,
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--workers" => {
                 args.workers = value("--workers")?
@@ -121,7 +139,12 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     args.reps = reps.unwrap_or(if args.smoke { 1 } else { 5 });
-    let default_name = if args.fastpath {
+    if args.fastpath && args.shards {
+        return Err("--fastpath and --shards are mutually exclusive".into());
+    }
+    let default_name = if args.shards {
+        "BENCH_7.json"
+    } else if args.fastpath {
         "BENCH_5.json"
     } else {
         "BENCH_3.json"
@@ -159,7 +182,9 @@ fn main() -> ExitCode {
             }
         };
     }
-    if args.fastpath {
+    if args.shards {
+        run_shards(&args)
+    } else if args.fastpath {
         run_fastpath(&args)
     } else {
         run_suite(&args)
@@ -418,6 +443,10 @@ struct CheckerSide {
     check_requests: u64,
     comparisons: u64,
     epoch_skips: u64,
+    /// Verdict stream of the run: misspeculation count and admitted
+    /// tasks. BENCH_7 requires these to be shard-count-invariant.
+    misspeculations: u64,
+    tasks: u64,
     /// Fraction of the critical path spent waiting on the checker: the
     /// checkpoint-drain/verdict categories plus the SPSC stalls, which on
     /// this trace are exclusively workers' check requests sitting in the
@@ -435,12 +464,14 @@ fn checker_side(
     threads: usize,
     checkpoint_every: usize,
     summaries: bool,
+    shards: usize,
     cost: &CostModel,
 ) -> CheckerSide {
     let params = SpecSimParams::with_threads(threads)
         .trace(1 << 17)
         .checkpoint_every(checkpoint_every)
-        .epoch_summaries(summaries);
+        .epoch_summaries(summaries)
+        .checker_shards(shards);
     let r = crossinvoc_sim::speccross(w, &params, cost);
     let trace = r.trace.as_ref().expect("tracing was requested");
     let report = TraceReport::from_trace(trace);
@@ -453,6 +484,8 @@ fn checker_side(
         check_requests: r.stats.check_requests,
         comparisons: report.checker_comparisons,
         epoch_skips: report.checker_epoch_skips,
+        misspeculations: r.stats.misspeculations,
+        tasks: r.stats.tasks,
         checker_share: waiting_on_checker as f64 / total as f64,
         zero_checker_speedup: what_if(trace, &[WakeEdge::Queue, WakeEdge::Checker])
             .predicted_speedup(),
@@ -521,8 +554,8 @@ fn run_fastpath(args: &Args) -> ExitCode {
     println!(
         "[clustered] {epochs} epochs x {tasks} tasks on {threads} threads, checkpoint every {ckpt}"
     );
-    let on = checker_side(&w, threads, ckpt, true, &cost);
-    let off = checker_side(&w, threads, ckpt, false, &cost);
+    let on = checker_side(&w, threads, ckpt, true, 1, &cost);
+    let off = checker_side(&w, threads, ckpt, false, 1, &cost);
     let pruning_ratio =
         off.comparisons_per_admit() / on.comparisons_per_admit().max(f64::MIN_POSITIVE);
 
@@ -611,6 +644,155 @@ fn run_fastpath(args: &Args) -> ExitCode {
         eprintln!("criteria: FAIL");
         ExitCode::FAILURE
     }
+}
+
+// ---- BENCH_7: the sharded-checker regression suite ----
+
+fn run_shards(args: &Args) -> ExitCode {
+    let cost = CostModel::default();
+    let suite_start = Instant::now();
+
+    // Same clustered shape and configuration as the BENCH_5 pruning
+    // criterion, summaries on — the single-shard row below IS that
+    // baseline, so the share factor reads directly against BENCH_5.
+    let (epochs, tasks, threads, ckpt) = if args.smoke {
+        (12, 8, 8, 4)
+    } else {
+        (60, 32, 32, 10)
+    };
+    let w = Clustered { epochs, tasks };
+    println!(
+        "[clustered] {epochs} epochs x {tasks} tasks on {threads} threads, \
+         checkpoint every {ckpt}, shard sweep {SHARD_COUNTS:?}"
+    );
+    let rows: Vec<(usize, CheckerSide)> = SHARD_COUNTS
+        .iter()
+        .map(|&n| (n, checker_side(&w, threads, ckpt, true, n, &cost)))
+        .collect();
+    let baseline = &rows[0].1;
+    let verdicts_identical = rows.iter().all(|(_, c)| {
+        c.misspeculations == baseline.misspeculations
+            && c.tasks == baseline.tasks
+            && c.check_requests == baseline.check_requests
+    });
+    let (best_shards, best_share) = rows
+        .iter()
+        .skip(1)
+        .map(|(n, c)| (*n, c.checker_share))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("the sweep has sharded rows");
+    let share_factor = best_share / baseline.checker_share.max(f64::MIN_POSITIVE);
+
+    let pass = !args.smoke && verdicts_identical && share_factor < SHARD_SHARE_FACTOR;
+
+    let json = render_shards_json(
+        args,
+        &rows,
+        epochs,
+        tasks,
+        threads,
+        ckpt,
+        verdicts_identical,
+        share_factor,
+        pass,
+    );
+    if let Err(e) = std::fs::create_dir_all(args.out.parent().unwrap_or(&args.out)) {
+        eprintln!("bench-suite: creating output directory: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("bench-suite: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = validate_report(&json) {
+        eprintln!("bench-suite: produced malformed JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "[wrote {}] in {:.1}s",
+        args.out.display(),
+        suite_start.elapsed().as_secs_f64()
+    );
+    for (n, c) in &rows {
+        println!(
+            "  {n} shard(s): checker-wait share {:.4}, total {} ns, \
+             {} misspec / {} tasks / {} checks (what-if free checks: {:.3}x)",
+            c.checker_share,
+            c.total_ns,
+            c.misspeculations,
+            c.tasks,
+            c.check_requests,
+            c.zero_checker_speedup
+        );
+    }
+    if args.smoke {
+        println!("smoke mode: criteria not evaluated (test-scale workload)");
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "best sharded share {best_share:.4} on {best_shards} shards = {share_factor:.4} of the \
+         single-shard share (need < {SHARD_SHARE_FACTOR}), verdicts identical: {verdicts_identical}"
+    );
+    if pass {
+        println!("criteria: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("criteria: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_shards_json(
+    args: &Args,
+    rows: &[(usize, CheckerSide)],
+    epochs: usize,
+    tasks: usize,
+    threads: usize,
+    ckpt: usize,
+    verdicts_identical: bool,
+    share_factor: f64,
+    pass: bool,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"crossinvoc-bench-7\",");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"smoke\": {},", args.smoke);
+    s.push_str("  \"checker\": {\n");
+    let _ = writeln!(s, "    \"workload\": \"clustered\",");
+    let _ = writeln!(s, "    \"epochs\": {epochs},");
+    let _ = writeln!(s, "    \"tasks\": {tasks},");
+    let _ = writeln!(s, "    \"threads\": {threads},");
+    let _ = writeln!(s, "    \"checkpoint_every\": {ckpt},");
+    s.push_str("    \"shards\": [\n");
+    for (i, (n, c)) in rows.iter().enumerate() {
+        s.push_str("      {\n");
+        let _ = writeln!(s, "        \"shards\": {n},");
+        let _ = writeln!(s, "        \"total_ns\": {},", c.total_ns);
+        let _ = writeln!(s, "        \"check_requests\": {},", c.check_requests);
+        let _ = writeln!(s, "        \"comparisons\": {},", c.comparisons);
+        let _ = writeln!(s, "        \"misspeculations\": {},", c.misspeculations);
+        let _ = writeln!(s, "        \"tasks\": {},", c.tasks);
+        let _ = writeln!(s, "        \"checker_wait_share\": {:.6},", c.checker_share);
+        let _ = writeln!(
+            s,
+            "        \"what_if_zero_checker_wait_speedup\": {:.4}",
+            c.zero_checker_speedup
+        );
+        s.push_str("      }");
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ]\n  },\n");
+    s.push_str("  \"criteria\": {\n");
+    let _ = writeln!(s, "    \"evaluated\": {},", !args.smoke);
+    let _ = writeln!(s, "    \"max_share_factor\": {SHARD_SHARE_FACTOR},");
+    let _ = writeln!(s, "    \"share_factor\": {share_factor:.6},");
+    let _ = writeln!(s, "    \"verdicts_identical\": {verdicts_identical},");
+    let _ = writeln!(s, "    \"pass\": {pass}");
+    s.push_str("  }\n}\n");
+    s
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -847,6 +1029,7 @@ fn validate_report(text: &str) -> Result<String, String> {
     match root.get("schema") {
         Some(Json::Str(s)) if s == "crossinvoc-bench-3" => validate_bench3(&root),
         Some(Json::Str(s)) if s == "crossinvoc-bench-5" => validate_bench5(&root),
+        Some(Json::Str(s)) if s == "crossinvoc-bench-7" => validate_bench7(&root),
         other => Err(format!("bad schema field: {other:?}")),
     }
 }
@@ -915,6 +1098,31 @@ fn validate_bench5(root: &Json) -> Result<String, String> {
     ))
 }
 
+fn validate_bench7(root: &Json) -> Result<String, String> {
+    let criteria = root.get("criteria").ok_or("missing criteria")?;
+    if !matches!(criteria.get("pass"), Some(Json::Bool(_))) {
+        return Err("criteria.pass must be a bool".into());
+    }
+    if !matches!(criteria.get("verdicts_identical"), Some(Json::Bool(_))) {
+        return Err("criteria.verdicts_identical must be a bool".into());
+    }
+    if !matches!(criteria.get("share_factor"), Some(Json::Num(_))) {
+        return Err("criteria.share_factor must be a number".into());
+    }
+    let rows = match root.get("checker").and_then(|c| c.get("shards")) {
+        Some(Json::Arr(items)) if items.len() >= 2 => items,
+        _ => return Err("checker.shards needs the baseline and ≥1 sharded row".into()),
+    };
+    for row in rows {
+        for field in ["shards", "checker_wait_share", "misspeculations", "tasks"] {
+            if !matches!(row.get(field), Some(Json::Num(_))) {
+                return Err(format!("shard row field {field} must be a number"));
+            }
+        }
+    }
+    Ok(format!("valid BENCH_7 report, {} shard rows", rows.len()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -956,5 +1164,32 @@ mod tests {
 
         let no_rate = ok.replace("\"hit_rate\": 0.99", "\"hit_rate\": \"high\"");
         assert!(validate_report(&no_rate).is_err());
+    }
+
+    #[test]
+    fn bench7_contract_is_enforced() {
+        let err =
+            validate_report(r#"{"schema": "crossinvoc-bench-7", "criteria": {"pass": true}}"#)
+                .unwrap_err();
+        assert!(err.contains("verdicts_identical"), "{err}");
+
+        let ok = r#"{
+          "schema": "crossinvoc-bench-7",
+          "criteria": {"pass": true, "verdicts_identical": true, "share_factor": 0.82},
+          "checker": {"shards": [
+            {"shards": 1, "checker_wait_share": 0.3, "misspeculations": 0, "tasks": 1920},
+            {"shards": 4, "checker_wait_share": 0.246, "misspeculations": 0, "tasks": 1920}
+          ]}
+        }"#;
+        let desc = validate_report(ok).unwrap();
+        assert!(desc.contains("BENCH_7"), "{desc}");
+
+        // The baseline row alone is not a sweep.
+        let one_row = ok.replace(
+            ",\n            {\"shards\": 4, \"checker_wait_share\": 0.246, \
+             \"misspeculations\": 0, \"tasks\": 1920}",
+            "",
+        );
+        assert!(validate_report(&one_row).is_err());
     }
 }

@@ -7,6 +7,7 @@
 //! seed 42
 //! workers 2
 //! checkpoint-every 1
+//! checker-shards 4
 //! signature range
 //! gate-distance false
 //! degrade false
@@ -44,6 +45,7 @@ pub fn case_to_text(case: &FuzzCase) -> Result<String, String> {
     out.push_str(&format!("seed {}\n", case.seed));
     out.push_str(&format!("workers {}\n", case.workers));
     out.push_str(&format!("checkpoint-every {}\n", case.checkpoint_every));
+    out.push_str(&format!("checker-shards {}\n", case.checker_shards));
     out.push_str(&format!("signature {}\n", case.signature.as_str()));
     out.push_str(&format!("gate-distance {}\n", case.gate_distance));
     out.push_str(&format!("degrade {}\n", case.degrade));
@@ -83,6 +85,8 @@ pub fn case_from_text(input: &str) -> Result<FuzzCase, String> {
     let mut seed: Option<u64> = None;
     let mut workers: usize = 1;
     let mut checkpoint_every: usize = 1;
+    // Entries predating the sharded checker omit the key: one shard.
+    let mut checker_shards: usize = 1;
     let mut signature = SigKind::Range;
     let mut gate_distance = false;
     let mut degrade = false;
@@ -112,6 +116,9 @@ pub fn case_from_text(input: &str) -> Result<FuzzCase, String> {
                     "checkpoint-every" => {
                         checkpoint_every =
                             value.parse().map_err(|_| parse_err("checkpoint-every"))?;
+                    }
+                    "checker-shards" => {
+                        checker_shards = value.parse().map_err(|_| parse_err("checker-shards"))?;
                     }
                     "signature" => {
                         signature = match value {
@@ -163,10 +170,17 @@ pub fn case_from_text(input: &str) -> Result<FuzzCase, String> {
     if checkpoint_every == 0 {
         return Err("checkpoint-every must be at least 1".to_owned());
     }
+    if !(1..=crossinvoc_speccross::MAX_SHARDS).contains(&checker_shards) {
+        return Err(format!(
+            "checker-shards must be in 1..={}",
+            crossinvoc_speccross::MAX_SHARDS
+        ));
+    }
     Ok(FuzzCase {
         seed: seed.ok_or("missing seed header")?,
         workers,
         checkpoint_every,
+        checker_shards,
         signature,
         gate_distance,
         degrade,
@@ -245,6 +259,7 @@ mod tests {
             assert_eq!(back.seed, case.seed, "seed {seed}");
             assert_eq!(back.workers, case.workers, "seed {seed}");
             assert_eq!(back.checkpoint_every, case.checkpoint_every, "seed {seed}");
+            assert_eq!(back.checker_shards, case.checker_shards, "seed {seed}");
             assert_eq!(back.signature, case.signature, "seed {seed}");
             assert_eq!(back.gate_distance, case.gate_distance, "seed {seed}");
             assert_eq!(back.degrade, case.degrade, "seed {seed}");

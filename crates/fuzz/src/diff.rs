@@ -17,6 +17,16 @@
 //! simulators, replaying the region's recorded access trace, must produce
 //! identical misspeculation counts and schedules with the epoch-summary
 //! and schedule-memo fast paths on and off.
+//!
+//! The sharded checker rides the same split. The threaded `spec-shards`
+//! path asserts the memory contract only (sharding can drop Bloom false
+//! conflicts whose spans never share a shard — sound, and timing-dependent
+//! anyway). The simulated `sim-shards` path asserts full verdict-stream
+//! equality, but under a frictionless checker and no fault injection: with
+//! zero per-request service cost a checker clock never bounds a checkpoint
+//! rendezvous and recovery restarts are uniform time shifts, so the shard
+//! count is provably verdict-invariant. With real checker costs sharding
+//! legitimately changes overlap timing — that being the point of it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
@@ -196,6 +206,30 @@ pub fn run_case(case: &FuzzCase) -> DiffReport {
         );
         check_outcome(&mut report, "barrier", out, &expected, faults_empty);
 
+        // Sharded checker, threaded: admission must stay sound for every
+        // shard count, so the final image must still match the oracle
+        // byte-for-byte (straddling tasks are admitted only when every
+        // touched shard admits them).
+        if case.checker_shards > 1 {
+            report.paths_run.push("spec-shards");
+            let config = base()
+                .epoch_summaries(true)
+                .checker_shards(case.checker_shards);
+            let out = match case.signature {
+                SigKind::Range => exec_caught(
+                    "spec-shards",
+                    |mem| plan.execute_sig::<RangeSignature>(mem, config).map(|_| ()),
+                    case,
+                ),
+                SigKind::Bloom => exec_caught(
+                    "spec-shards",
+                    |mem| plan.execute_sig::<BloomSignature>(mem, config).map(|_| ()),
+                    case,
+                ),
+            };
+            check_outcome(&mut report, "spec-shards", out, &expected, faults_empty);
+        }
+
         // Deterministic verdict streams: replay the recorded region through
         // the simulators with each fast path on and off.
         report.paths_run.push("sim");
@@ -229,6 +263,55 @@ pub fn run_case(case: &FuzzCase) -> DiffReport {
                 ),
             );
         }
+        // Sharded checker, simulated: verdict-stream equality under a
+        // frictionless checker and no faults (see the module doc for why
+        // only that comparison is exact). Fault stalls land on one shard's
+        // clock but accumulate on a single checker's, so faulted timing is
+        // shard-dependent by design and is left to the threaded path.
+        if case.checker_shards > 1 {
+            report.paths_run.push("sim-shards");
+            let frictionless = CostModel {
+                check_request_ns: 0,
+                check_compare_ns: 0,
+                ..CostModel::default()
+            };
+            let shard_params = || {
+                SpecSimParams::with_threads(case.workers)
+                    .checkpoint_every(case.checkpoint_every)
+                    .spec_distance(distance)
+                    .epoch_summaries(true)
+            };
+            let sharded = speccross(
+                &recorded,
+                &shard_params().checker_shards(case.checker_shards),
+                &frictionless,
+            );
+            let unsharded = speccross(&recorded, &shard_params(), &frictionless);
+            if sharded.stats.misspeculations != unsharded.stats.misspeculations
+                || sharded.stats.tasks != unsharded.stats.tasks
+                || sharded.stats.check_requests != unsharded.stats.check_requests
+                || sharded.degraded != unsharded.degraded
+            {
+                report.diverge(
+                    "sim-shards",
+                    format!(
+                        "{} checker shards changed the frictionless sim verdict stream: \
+                         sharded = {{misspec: {}, tasks: {}, checks: {}, degraded: {}}}, \
+                         unsharded = {{misspec: {}, tasks: {}, checks: {}, degraded: {}}}",
+                        case.checker_shards,
+                        sharded.stats.misspeculations,
+                        sharded.stats.tasks,
+                        sharded.stats.check_requests,
+                        sharded.degraded,
+                        unsharded.stats.misspeculations,
+                        unsharded.stats.tasks,
+                        unsharded.stats.check_requests,
+                        unsharded.degraded,
+                    ),
+                );
+            }
+        }
+
         let memo_on =
             domore_configured(&recorded, case.workers, &mut RoundRobin, &cost, None, true);
         let memo_off =

@@ -12,7 +12,9 @@
 //!   invariant-shifted windows (`A[i+s]` with `s` recomputed per
 //!   invocation), disjoint strides (`A[2i+c]` written, `A[2i+1−c]` read),
 //!   producer/consumer loop pairs (`A[i]` written by one loop, read by the
-//!   next), and indirect reads through an index array (`D2[IDX[i]]`). All
+//!   next), indirect reads through an index array (`D2[IDX[i]]`), and
+//!   half-split wide spans (`A[i]` read, `A[i+trip]` written — one task's
+//!   signature straddles every checker shard under the mod-N partition). All
 //!   are accepted by `SpecCrossPlan::build`; single-loop shapes are also
 //!   accepted by `DomorePlan::build`, so those cases run through every
 //!   engine path.
@@ -86,6 +88,10 @@ pub struct FuzzCase {
     pub workers: usize,
     /// SPECCROSS checkpoint interval in epochs.
     pub checkpoint_every: usize,
+    /// Checker shard count for the sharded SPECCROSS paths (1 = the
+    /// classic single checker; biased toward >1 so the straddle merge
+    /// rule is exercised constantly).
+    pub checker_shards: usize,
     /// Signature kind for the SPECCROSS paths.
     pub signature: SigKind,
     /// Whether to gate speculation by the profiled minimum dependence
@@ -150,8 +156,16 @@ pub fn generate(seed: u64, params: &GenParams) -> FuzzCase {
     // Independent sub-streams: engine knobs, program shape, fault plan.
     let mut knobs = Rng(SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15));
     let mut shape = Rng(SplitMix64::new(seed ^ 0x5851_F42D_4C95_7F2D));
+    // Its own sub-stream, so adding the shard knob did not reshuffle the
+    // programs and fault plans the pre-sharding corpus seeds derive.
+    let mut shards = Rng(SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F));
 
     let workers = knobs.range(1, params.max_workers) as usize;
+    let checker_shards = if shards.chance(25) {
+        1
+    } else {
+        [2, 3, 4, 8][shards.below(4) as usize]
+    };
     let checkpoint_every = knobs.range(1, 4) as usize;
     let signature = if knobs.chance(25) {
         SigKind::Bloom
@@ -183,6 +197,7 @@ pub fn generate(seed: u64, params: &GenParams) -> FuzzCase {
         seed,
         workers,
         checkpoint_every,
+        checker_shards,
         signature,
         gate_distance,
         degrade,
@@ -211,6 +226,12 @@ enum SpecPattern {
     Producer,
     /// Second loop of the pair: `load SHARED[i]; store D[i]`.
     Consumer,
+    /// `load x = D[i]; store D[i+trip] = mix(x)` — reads the low half,
+    /// writes the high half. Every task's signature spans `trip + 1`
+    /// addresses, so under the mod-N shard partition it straddles (or
+    /// broadcasts to) every shard; cross-epoch write/write conflicts on
+    /// the high half keep the merge rule honest.
+    WideSpan,
 }
 
 /// Builds a SPECCROSS-acceptable region: outer loop over scalars + DOALL
@@ -237,7 +258,7 @@ fn gen_spec_region(rng: &mut Rng, params: &GenParams) -> (Program, String, u64, 
             producer_pending = false;
             SpecPattern::Consumer
         } else {
-            match rng.below(if l + 1 < num_loops { 6 } else { 4 } as u64) {
+            match rng.below(if l + 1 < num_loops { 7 } else { 5 } as u64) {
                 0 => SpecPattern::SameIndex,
                 1 => {
                     if use_shift {
@@ -248,6 +269,7 @@ fn gen_spec_region(rng: &mut Rng, params: &GenParams) -> (Program, String, u64, 
                 }
                 2 => SpecPattern::Strided,
                 3 => SpecPattern::Indirect,
+                4 => SpecPattern::WideSpan,
                 _ => {
                     producer_pending = true;
                     SpecPattern::Producer
@@ -261,6 +283,7 @@ fn gen_spec_region(rng: &mut Rng, params: &GenParams) -> (Program, String, u64, 
     // Lengths sized so every generated index stays in bounds:
     //   shifted:   i + s       < trip + shift_mod
     //   strided:   2i + 1      ≤ 2(trip−1) + 1 < 2·trip
+    //   widespan:  i + trip    ≤ 2·trip − 1    < 2·trip
     let data_len = (2 * max_trip + shift_mod as u64 + 2) as usize;
     let idx_len = max_trip.max(1) as usize;
 
@@ -353,6 +376,10 @@ fn gen_spec_region(rng: &mut Rng, params: &GenParams) -> (Program, String, u64, 
                     SpecPattern::Consumer => {
                         b.load(x, a, Expr::Var(i));
                         b.store(d2, Expr::Var(i), mix(Expr::Var(x)));
+                    }
+                    SpecPattern::WideSpan => {
+                        b.load(x, d, Expr::Var(i));
+                        b.store(d, Expr::add(Expr::Var(i), e(trip)), mix(Expr::Var(x)));
                     }
                 }
             });

@@ -32,7 +32,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::metrics::MetricsSummary;
-use crate::trace::{Event, Trace, CHECKER_TID, MANAGER_TID};
+use crate::trace::{checker_shard_of_tid, Event, Trace, CHECKER_TID, MANAGER_TID};
 use crate::ThreadId;
 
 /// Microseconds with the nanosecond remainder as three decimals — the
@@ -45,7 +45,10 @@ fn display_name(tid: ThreadId) -> String {
     match tid {
         MANAGER_TID => "manager".to_string(),
         CHECKER_TID => "checker".to_string(),
-        tid => format!("worker-{tid}"),
+        tid => match checker_shard_of_tid(tid) {
+            Some(shard) => format!("checker-{shard}"),
+            None => format!("worker-{tid}"),
+        },
     }
 }
 
@@ -201,6 +204,16 @@ impl Trace {
                 Event::ScheduleCacheHit { epoch } => {
                     w.open("schedule_cache_hit", 'i', dt, rec.t_ns)
                         .push_str(&format!(",\"s\":\"t\",\"args\":{{\"epoch\":{epoch}}}"));
+                    w.close();
+                }
+                Event::CheckerShard {
+                    shard,
+                    shards,
+                    requests,
+                } => {
+                    w.open("checker_shard", 'i', dt, rec.t_ns).push_str(&format!(
+                        ",\"s\":\"t\",\"args\":{{\"shard\":{shard},\"shards\":{shards},\"requests\":{requests}}}"
+                    ));
                     w.close();
                 }
                 Event::EpochBegin { .. } | Event::EpochEnd { .. } | Event::TaskAssign { .. } => {}

@@ -310,6 +310,8 @@ impl<'a> Dag<'a> {
             | Event::CheckerSummary { epoch, .. }
             | Event::ScheduleCacheHit { epoch } => Some(epoch),
             Event::Misspeculation { later_epoch, .. } => Some(later_epoch),
+            // Per-shard totals are pass-scoped, not epoch-scoped.
+            Event::CheckerShard { .. } => None,
             Event::Wake { edge, seq, .. } => match edge {
                 // For barrier/checkpoint edges the sequence number *is* the
                 // epoch.

@@ -67,6 +67,14 @@ pub trait AccessSignature: Clone + Send + std::fmt::Debug + 'static {
     fn clear(&mut self) {
         *self = Self::empty();
     }
+
+    /// A conservative inclusive address interval covering every recorded
+    /// access (reads and writes), or `None` when the signature is empty.
+    ///
+    /// The span is used to *route* signatures (e.g. to checker shards), not
+    /// to detect conflicts, so it only needs to be a cover: every recorded
+    /// address must lie inside it, but it may include untouched addresses.
+    fn addr_span(&self) -> Option<(usize, usize)>;
 }
 
 /// Min/max address-range signature (the thesis default, §4.2.1).
@@ -181,6 +189,18 @@ impl AccessSignature for RangeSignature {
         self.write_min = self.write_min.min(other.write_min);
         self.write_max = self.write_max.max(other.write_max);
     }
+
+    fn addr_span(&self) -> Option<(usize, usize)> {
+        // The (MAX, 0) empty convention makes min/max folding across the
+        // two ranges absorb whichever one is absent.
+        if self.is_empty() {
+            return None;
+        }
+        Some((
+            self.read_min.min(self.write_min),
+            self.read_max.max(self.write_max),
+        ))
+    }
 }
 
 /// Number of 64-bit words in a [`BloomSignature`] filter.
@@ -198,6 +218,12 @@ const BLOOM_HASHES: u64 = 2;
 pub struct BloomSignature {
     reads: [u64; BLOOM_WORDS],
     writes: [u64; BLOOM_WORDS],
+    // Inclusive bounds of every recorded address ((MAX, 0) when empty),
+    // kept alongside the filters so the signature can be routed by span
+    // (see `AccessSignature::addr_span`). Not consulted by
+    // `conflicts_with`: the filters alone stay the conflict authority.
+    addr_min: usize,
+    addr_max: usize,
 }
 
 impl BloomSignature {
@@ -219,6 +245,8 @@ impl AccessSignature for BloomSignature {
         Self {
             reads: [0; BLOOM_WORDS],
             writes: [0; BLOOM_WORDS],
+            addr_min: usize::MAX,
+            addr_max: 0,
         }
     }
 
@@ -227,6 +255,8 @@ impl AccessSignature for BloomSignature {
             AccessKind::Read => Self::set(&mut self.reads, addr),
             AccessKind::Write => Self::set(&mut self.writes, addr),
         }
+        self.addr_min = self.addr_min.min(addr);
+        self.addr_max = self.addr_max.max(addr);
     }
 
     fn conflicts_with(&self, other: &Self) -> bool {
@@ -249,6 +279,8 @@ impl AccessSignature for BloomSignature {
         for (a, b) in self.writes.iter_mut().zip(&other.writes) {
             *a |= b;
         }
+        self.addr_min = self.addr_min.min(other.addr_min);
+        self.addr_max = self.addr_max.max(other.addr_max);
     }
 
     fn clear(&mut self) {
@@ -257,6 +289,12 @@ impl AccessSignature for BloomSignature {
         // any allocation" contract and keeps the per-task reset branchless.
         self.reads.fill(0);
         self.writes.fill(0);
+        self.addr_min = usize::MAX;
+        self.addr_max = 0;
+    }
+
+    fn addr_span(&self) -> Option<(usize, usize)> {
+        (self.addr_min <= self.addr_max).then_some((self.addr_min, self.addr_max))
     }
 }
 
@@ -443,6 +481,35 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s, BloomSignature::empty());
+    }
+
+    fn addr_span_covers_all_accesses<S: AccessSignature>() {
+        let mut s = S::empty();
+        assert_eq!(s.addr_span(), None);
+        s.record(40, AccessKind::Read);
+        assert_eq!(s.addr_span(), Some((40, 40)));
+        s.record(7, AccessKind::Write);
+        s.record(90, AccessKind::Read);
+        assert_eq!(s.addr_span(), Some((7, 90)));
+
+        let mut other = S::empty();
+        other.record(3, AccessKind::Write);
+        other.record(55, AccessKind::Read);
+        s.merge(&other);
+        assert_eq!(s.addr_span(), Some((3, 90)));
+
+        s.clear();
+        assert_eq!(s.addr_span(), None);
+    }
+
+    #[test]
+    fn range_addr_span() {
+        addr_span_covers_all_accesses::<RangeSignature>();
+    }
+
+    #[test]
+    fn bloom_addr_span() {
+        addr_span_covers_all_accesses::<BloomSignature>();
     }
 
     #[test]

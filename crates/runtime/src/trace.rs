@@ -52,7 +52,33 @@ use crate::ThreadId;
 pub const MANAGER_TID: ThreadId = usize::MAX;
 
 /// Pseudo thread-id under which the SPECCROSS checker thread emits events.
+///
+/// With a sharded checker, shard `k` emits at [`checker_shard_tid`]`(k)`;
+/// shard 0 is this classic id, so single-shard traces are unchanged.
 pub const CHECKER_TID: ThreadId = usize::MAX - 1;
+
+/// Upper bound on checker shards (the reserved tid band below
+/// [`CHECKER_TID`]; also the capacity of the shard bitmask in
+/// `crossinvoc-speccross`).
+pub const MAX_CHECKER_SHARDS: usize = 64;
+
+/// Pseudo thread-id of checker shard `shard`: `CHECKER_TID - shard`.
+pub fn checker_shard_tid(shard: usize) -> ThreadId {
+    debug_assert!(shard < MAX_CHECKER_SHARDS);
+    CHECKER_TID - shard
+}
+
+/// The checker shard a pseudo thread-id belongs to, if it lies in the
+/// reserved checker band (`CHECKER_TID` itself is shard 0).
+pub fn checker_shard_of_tid(tid: ThreadId) -> Option<usize> {
+    (tid <= CHECKER_TID && tid > CHECKER_TID - MAX_CHECKER_SHARDS).then(|| CHECKER_TID - tid)
+}
+
+/// Whether `tid` is a service thread (manager or any checker shard) rather
+/// than a worker.
+pub fn is_service_tid(tid: ThreadId) -> bool {
+    tid == MANAGER_TID || checker_shard_of_tid(tid).is_some()
+}
 
 /// Which kind of cross-thread causality a [`Event::Wake`] record encodes.
 ///
@@ -193,6 +219,20 @@ pub enum Event {
         /// summary.
         comparisons: u64,
     },
+    /// Per-shard admission totals from a sharded SPECCROSS checker, emitted
+    /// once per shard when a speculative pass's checking ends (on the
+    /// shard's own [`checker_shard_tid`] timeline). Single-shard runs emit
+    /// one row with `shard: 0, shards: 1`, so the row count per pass equals
+    /// the shard count and per-shard load imbalance is visible in traces.
+    CheckerShard {
+        /// This shard's index (`0..shards`).
+        shard: u32,
+        /// Total shards the checker ran with.
+        shards: u32,
+        /// Check requests this shard admitted (straddling tasks count once
+        /// per touched shard).
+        requests: u64,
+    },
     /// The DOMORE scheduler replayed this invocation's schedule from the
     /// cross-invocation memo (one event per memoized invocation, on the
     /// manager's timeline) instead of running the scheduling logic.
@@ -266,6 +306,7 @@ impl Event {
             Event::BarrierLeave { .. } => "barrier_leave",
             Event::Checkpoint { .. } => "checkpoint",
             Event::CheckerSummary { .. } => "checker_summary",
+            Event::CheckerShard { .. } => "checker_shard",
             Event::ScheduleCacheHit { .. } => "schedule_cache_hit",
             Event::Misspeculation { .. } => "misspeculation",
             Event::Degradation { .. } => "degradation",
@@ -664,6 +705,15 @@ fn write_record(out: &mut String, rec: &TraceRecord) {
             field(out, "skips", skips);
             field(out, "comparisons", comparisons);
         }
+        Event::CheckerShard {
+            shard,
+            shards,
+            requests,
+        } => {
+            field(out, "shard", shard as u64);
+            field(out, "shards", shards as u64);
+            field(out, "requests", requests);
+        }
         Event::BarrierLeave { epoch, wait_ns } => {
             field(out, "epoch", epoch as u64);
             field(out, "wait_ns", wait_ns);
@@ -831,6 +881,11 @@ fn parse_record(line: &str) -> Result<TraceRecord, String> {
             skips: num("skips")?,
             comparisons: num("comparisons")?,
         },
+        "checker_shard" => Event::CheckerShard {
+            shard: epoch(num("shard")?),
+            shards: epoch(num("shards")?),
+            requests: num("requests")?,
+        },
         "schedule_cache_hit" => Event::ScheduleCacheHit {
             epoch: epoch(num("epoch")?),
         },
@@ -933,6 +988,10 @@ pub struct TraceReport {
     pub checker_epoch_skips: u64,
     /// Signature comparisons summed over every [`Event::CheckerSummary`].
     pub checker_comparisons: u64,
+    /// Per-shard admitted-request totals from [`Event::CheckerShard`] rows,
+    /// indexed by shard. Empty when the trace carries no shard rows
+    /// (pre-sharding traces); length 1 for a single-shard checker.
+    pub checker_shard_requests: Vec<u64>,
     /// Invocations replayed from the DOMORE schedule memo
     /// ([`Event::ScheduleCacheHit`] count).
     pub schedule_cache_hits: u64,
@@ -952,6 +1011,7 @@ impl TraceReport {
         let mut wakes = [0u64; 4];
         let mut checker_epoch_skips = 0u64;
         let mut checker_comparisons = 0u64;
+        let mut checker_shard_requests: Vec<u64> = Vec::new();
         let mut schedule_cache_hits = 0u64;
 
         let slot = |threads: &mut Vec<ThreadBreakdown>, tid: ThreadId| -> usize {
@@ -1019,6 +1079,17 @@ impl TraceReport {
                     checker_epoch_skips += skips;
                     checker_comparisons += comparisons;
                 }
+                Event::CheckerShard {
+                    shard, requests, ..
+                } => {
+                    let shard = shard as usize;
+                    if checker_shard_requests.len() <= shard {
+                        checker_shard_requests.resize(shard + 1, 0);
+                    }
+                    // Summed across passes: recovery re-runs emit a fresh
+                    // row per shard.
+                    checker_shard_requests[shard] += requests;
+                }
                 Event::ScheduleCacheHit { .. } => schedule_cache_hits += 1,
                 Event::Degradation { epoch } => degradations.push(epoch),
                 Event::Wake { edge, .. } => wakes[edge.index()] += 1,
@@ -1036,6 +1107,7 @@ impl TraceReport {
             wakes,
             checker_epoch_skips,
             checker_comparisons,
+            checker_shard_requests,
             schedule_cache_hits,
             dropped: trace.dropped(),
         }
@@ -1046,10 +1118,7 @@ impl TraceReport {
     /// threads (manager/checker) are excluded, matching the figure's
     /// accounting.
     pub fn barrier_idle_fraction(&self) -> f64 {
-        let workers = self
-            .threads
-            .iter()
-            .filter(|t| t.tid != MANAGER_TID && t.tid != CHECKER_TID);
+        let workers = self.threads.iter().filter(|t| !is_service_tid(t.tid));
         let (mut busy, mut wait) = (0u64, 0u64);
         for t in workers {
             busy += t.busy_ns;
@@ -1071,7 +1140,7 @@ impl TraceReport {
         let workers: Vec<&ThreadBreakdown> = self
             .threads
             .iter()
-            .filter(|t| t.tid != MANAGER_TID && t.tid != CHECKER_TID)
+            .filter(|t| !is_service_tid(t.tid))
             .collect();
         let total: u64 = workers.iter().map(|t| t.assigned).sum();
         if total == 0 || workers.is_empty() {
@@ -1157,7 +1226,10 @@ impl TraceReport {
             let name = match t.tid {
                 MANAGER_TID => "manager".to_string(),
                 CHECKER_TID => "checker".to_string(),
-                tid => format!("worker-{tid}"),
+                tid => match checker_shard_of_tid(tid) {
+                    Some(shard) => format!("checker-{shard}"),
+                    None => format!("worker-{tid}"),
+                },
             };
             let _ = writeln!(
                 out,
@@ -1170,7 +1242,7 @@ impl TraceReport {
         if timeline.iter().any(|row| row.iter().any(|&v| v > 0.0)) {
             let _ = writeln!(out, "utilization timeline (40 buckets):");
             for (t, row) in self.threads.iter().zip(&timeline) {
-                if t.tid == MANAGER_TID || t.tid == CHECKER_TID {
+                if is_service_tid(t.tid) {
                     continue;
                 }
                 let bar: String = row
@@ -1186,6 +1258,14 @@ impl TraceReport {
                 out,
                 "checker fast path: {} epoch skips, {} comparisons",
                 self.checker_epoch_skips, self.checker_comparisons
+            );
+        }
+        if !self.checker_shard_requests.is_empty() {
+            let _ = writeln!(
+                out,
+                "checker shards: {} (requests per shard: {:?})",
+                self.checker_shard_requests.len(),
+                self.checker_shard_requests
             );
         }
         if self.schedule_cache_hits > 0 {
@@ -1307,6 +1387,24 @@ mod tests {
                     epoch: 1,
                     skips: 4,
                     comparisons: 9,
+                },
+            },
+            TraceRecord {
+                t_ns: 77,
+                tid: CHECKER_TID,
+                event: Event::CheckerShard {
+                    shard: 0,
+                    shards: 2,
+                    requests: 6,
+                },
+            },
+            TraceRecord {
+                t_ns: 77,
+                tid: checker_shard_tid(1),
+                event: Event::CheckerShard {
+                    shard: 1,
+                    shards: 2,
+                    requests: 3,
                 },
             },
             TraceRecord {
@@ -1469,6 +1567,7 @@ mod tests {
         assert_eq!(report.wakes, [1, 0, 0, 0]);
         assert_eq!(report.checker_epoch_skips, 4);
         assert_eq!(report.checker_comparisons, 9);
+        assert_eq!(report.checker_shard_requests, vec![6, 3]);
         assert_eq!(report.schedule_cache_hits, 1);
         let w0 = report.threads.iter().find(|t| t.tid == 0).unwrap();
         assert_eq!(w0.tasks, 1);
@@ -1482,6 +1581,19 @@ mod tests {
         let render = report.render(&trace);
         assert!(render.contains("misspeculation ledger"));
         assert!(render.contains("worker-0"));
+        assert!(render.contains("checker shards: 2"));
+    }
+
+    #[test]
+    fn checker_shard_tids_map_back_to_shards() {
+        assert_eq!(checker_shard_tid(0), CHECKER_TID);
+        assert_eq!(checker_shard_of_tid(CHECKER_TID), Some(0));
+        assert_eq!(checker_shard_of_tid(checker_shard_tid(63)), Some(63));
+        assert_eq!(checker_shard_of_tid(MANAGER_TID), None);
+        assert_eq!(checker_shard_of_tid(0), None);
+        assert!(is_service_tid(MANAGER_TID));
+        assert!(is_service_tid(checker_shard_tid(5)));
+        assert!(!is_service_tid(7));
     }
 
     #[test]

@@ -193,7 +193,7 @@ pub fn domore_configured<W: SimWorkload + ?Sized>(
 ) -> SimResult {
     assert!(workers > 0, "at least one worker is required");
     let stats = RegionStats::new();
-    let mut sinks = SimSinks::new(workers, trace_capacity.unwrap_or(0));
+    let mut sinks = SimSinks::new(workers, 0, trace_capacity.unwrap_or(0));
     let mut logic = make_logic(workload);
     let mut memo = ScheduleMemo::new();
     let mut sched_clock = 0u64;

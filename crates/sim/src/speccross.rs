@@ -3,10 +3,13 @@
 //! Tasks are distributed round-robin within each epoch; workers cross epoch
 //! boundaries freely, subject only to the speculative-range gate (a task may
 //! start once every task more than `spec_distance` ahead of it in the
-//! sequential order has finished). The checker is modelled as a single
-//! server processing one request per task; its clock bounds checkpoint
-//! rendezvous and the region's completion, which is how the
-//! checker-bottleneck effect of §5.2 emerges at high thread counts.
+//! sequential order has finished). The checker is modelled as
+//! [`SpecSimParams::checker_shards`] single servers (one by default), the
+//! admission work interleaved over them by address exactly as in the
+//! threaded engine; each request is serviced by every shard its span
+//! touches, and the shard clocks bound checkpoint rendezvous and the
+//! region's completion — which is how the checker-bottleneck effect of §5.2
+//! emerges at high thread counts, and how sharding relieves it.
 //!
 //! Conflicts are *detected, not assumed*: each task's accesses are folded
 //! into a real [`RangeSignature`], and a pair of time-overlapping tasks from
@@ -19,7 +22,8 @@
 use crossinvoc_runtime::fault::{CheckFault, FaultKind, FaultPlan, TaskFault};
 use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
 use crossinvoc_runtime::stats::RegionStats;
-use crossinvoc_runtime::trace::{Event, WakeEdge, CHECKER_TID};
+use crossinvoc_runtime::trace::{checker_shard_tid, Event, WakeEdge};
+use crossinvoc_speccross::ShardMap;
 
 use crate::cost::CostModel;
 use crate::result::SimResult;
@@ -59,6 +63,13 @@ pub struct SpecSimParams {
     /// comparison count (and with it the checker's service time) changes.
     /// On by default; turn off for the pre-summary baseline.
     pub epoch_summaries: bool,
+    /// Number of checker shards, mirroring the threaded engine's
+    /// `SpecConfig::checker_shards`: admission work is interleaved over the
+    /// shards by address, each shard is its own single server with its own
+    /// virtual clock, and a signature whose span straddles shards is
+    /// serviced by (and billed to) every shard it touches. `1` (the
+    /// default) reproduces the single-checker simulation byte-for-byte.
+    pub checker_shards: usize,
 }
 
 impl SpecSimParams {
@@ -73,6 +84,7 @@ impl SpecSimParams {
             fault_plan: None,
             trace_capacity: None,
             epoch_summaries: true,
+            checker_shards: 1,
         }
     }
 
@@ -114,6 +126,21 @@ impl SpecSimParams {
     /// Enables or disables the checker's epoch-summary fast path.
     pub fn epoch_summaries(mut self, enabled: bool) -> Self {
         self.epoch_summaries = enabled;
+        self
+    }
+
+    /// Shards the simulated checker over this many servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is outside `1..=`[`crossinvoc_speccross::MAX_SHARDS`].
+    pub fn checker_shards(mut self, shards: usize) -> Self {
+        assert!(
+            (1..=crossinvoc_speccross::MAX_SHARDS).contains(&shards),
+            "checker_shards must be in 1..={}",
+            crossinvoc_speccross::MAX_SHARDS
+        );
+        self.checker_shards = shards;
         self
     }
 }
@@ -165,6 +192,9 @@ enum PassEnd {
         checkpoint_epoch: usize,
         resume_epoch: usize,
         cause: AbortCause,
+        /// Checker shard that issued the condemning verdict (0 unless the
+        /// cause is a conflict on a sharded run).
+        detect_shard: usize,
     },
 }
 
@@ -189,7 +219,16 @@ pub fn speccross<W: SimWorkload + ?Sized>(
     // Cloning replays the plan with a fresh budget, so repeated `speccross`
     // calls over the same params are deterministic.
     let fault = params.fault_plan.clone().unwrap_or_default();
-    let mut sinks = SimSinks::new(params.threads, params.trace_capacity.unwrap_or(0));
+    assert!(
+        (1..=crossinvoc_speccross::MAX_SHARDS).contains(&params.checker_shards),
+        "checker_shards must be in 1..={}",
+        crossinvoc_speccross::MAX_SHARDS
+    );
+    let mut sinks = SimSinks::new(
+        params.threads,
+        params.checker_shards,
+        params.trace_capacity.unwrap_or(0),
+    );
     let mut misspec_ordinal = 0u64;
 
     while start_epoch < num_epochs {
@@ -215,19 +254,20 @@ pub fn speccross<W: SimWorkload + ?Sized>(
                     checkpoint_epoch,
                     resume_epoch,
                     cause,
+                    detect_shard,
                 },
                 _,
             ) => {
                 if matches!(cause, AbortCause::Conflict) {
                     stats.add_misspeculation();
                     // Checker verdict → rollback: the recovery the manager
-                    // now performs was caused by the checker's decision at
-                    // `detect_time`.
+                    // now performs was caused by the issuing shard's
+                    // decision at `detect_time`.
                     sinks.manager.emit_at(
                         detect_time,
                         Event::Wake {
                             edge: WakeEdge::Checker,
-                            src_tid: CHECKER_TID,
+                            src_tid: checker_shard_tid(detect_shard),
                             seq: misspec_ordinal,
                         },
                     );
@@ -397,7 +437,9 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
     prefix.push(acc);
 
     let mut clocks = vec![t0; threads];
-    let mut checker_clock = t0;
+    let shards = params.checker_shards;
+    let shard_map = ShardMap::new(shards);
+    let mut checker_clocks = vec![t0; shards];
     stats.add_checkpoint(); // pass-entry checkpoint
     sinks.manager.emit_at(
         t0,
@@ -414,17 +456,23 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
 
     // Finish times in global order, for the gate's prefix maximum.
     let mut finish_prefix_max: Vec<u64> = Vec::with_capacity(acc as usize);
-    let mut buckets: Vec<EpochBucket> = Vec::new();
-    let mut window_len = 0usize;
+    // Per-shard retained windows: each shard keeps (and scans) only the
+    // tasks routed to it, so its epoch-bucket list is the unsharded list
+    // restricted to its addresses — straddlers appear whole in every list
+    // their span touches.
+    let mut buckets: Vec<Vec<EpochBucket>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut window_len = vec![0usize; shards];
+    // Requests serviced per shard this pass, for the exit census rows.
+    let mut routed = vec![0u64; shards];
     let mut pairs = Vec::new();
-    // Cumulative fast-path accounting for this pass; flushed as
+    // Cumulative per-shard fast-path accounting for this pass; flushed as
     // delta-encoded `CheckerSummary` events at epoch boundaries and on
     // every pass exit, mirroring the threaded checker's
     // retirement-boundary summaries.
-    let mut total_skips = 0u64;
-    let mut total_comparisons = 0u64;
+    let mut total_skips = vec![0u64; shards];
+    let mut total_comparisons = vec![0u64; shards];
     // (skips, comparisons) already covered by an emitted summary.
-    let mut reported = (0u64, 0u64);
+    let mut reported = vec![(0u64, 0u64); shards];
     fn flush_summary(
         stats: &RegionStats,
         checker: &mut crossinvoc_runtime::trace::TraceSink,
@@ -449,15 +497,34 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
     }
     macro_rules! flush_summary {
         ($epoch:expr) => {
-            flush_summary(
-                stats,
-                &mut sinks.checker,
-                checker_clock,
-                $epoch as u32,
-                total_skips,
-                total_comparisons,
-                &mut reported,
-            )
+            for k in 0..shards {
+                flush_summary(
+                    stats,
+                    &mut sinks.checkers[k],
+                    checker_clocks[k],
+                    $epoch as u32,
+                    total_skips[k],
+                    total_comparisons[k],
+                    &mut reported[k],
+                )
+            }
+        };
+    }
+    // Pass-scoped shard census, one row per shard on exit — the same
+    // `checker_shard` rows the threaded checker emits when a shard thread
+    // returns.
+    macro_rules! emit_census {
+        () => {
+            for k in 0..shards {
+                sinks.checkers[k].emit_at(
+                    checker_clocks[k],
+                    Event::CheckerShard {
+                        shard: k as u32,
+                        shards: shards as u32,
+                        requests: routed[k],
+                    },
+                );
+            }
         };
     }
 
@@ -466,14 +533,19 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
         let periodic =
             epoch > start_epoch && (epoch - start_epoch).is_multiple_of(params.checkpoint_every);
         if periodic {
-            // Rendezvous: all workers synchronize, the checker drains, the
-            // state is snapshotted.
+            // Rendezvous: all workers synchronize, every checker shard
+            // drains, the state is snapshotted.
             let worker_max = clocks.iter().copied().max().expect("threads > 0");
-            let sync = worker_max.max(checker_clock) + cost.checkpoint_ns;
-            // The release's causal source: the checker when its drain bound
-            // the rendezvous, else the slowest worker.
-            let releaser = if checker_clock > worker_max {
-                CHECKER_TID
+            let checker_max = checker_clocks.iter().copied().max().expect("shards > 0");
+            let sync = worker_max.max(checker_max) + cost.checkpoint_ns;
+            // The release's causal source: the slowest checker shard when
+            // its drain bound the rendezvous, else the slowest worker.
+            let releaser = if checker_max > worker_max {
+                let slowest = checker_clocks
+                    .iter()
+                    .position(|&c| c == checker_max)
+                    .expect("nonempty");
+                checker_shard_tid(slowest)
             } else {
                 clocks
                     .iter()
@@ -508,7 +580,9 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                     );
                 }
             }
-            checker_clock = sync;
+            for c in checker_clocks.iter_mut() {
+                *c = sync;
+            }
             if fault.snapshot_fails(epoch as u32) {
                 // Snapshot failed: the rendezvous still happened, but the
                 // previous checkpoint stays the rollback target.
@@ -532,8 +606,10 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
             }
             // Nothing before the rendezvous can race past it; this is the
             // prune watermark the threaded checker retires by.
-            buckets.clear();
-            window_len = 0;
+            for (list, len) in buckets.iter_mut().zip(window_len.iter_mut()) {
+                list.clear();
+                *len = 0;
+            }
         }
 
         let ntasks = workload.num_iterations(epoch);
@@ -588,12 +664,14 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                     idle[tid] += release - clocks[tid];
                     clocks[tid] = release;
                     flush_summary!(epoch);
+                    emit_census!();
                     return (
                         PassEnd::Aborted {
                             detect_time: release,
                             checkpoint_epoch,
                             resume_epoch: (max_epoch_started.max(epoch) + 1).min(num_epochs),
                             cause: AbortCause::Panic,
+                            detect_shard: 0,
                         },
                         release,
                     );
@@ -634,157 +712,135 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
             for &(addr, kind) in &pairs {
                 sig.record(addr, kind);
             }
-            let mut comparisons = 0u64;
-            let mut skips = 0u64;
+            let set = shard_map.shards_for_span(sig.addr_span());
             let mut conflicted = params.inject_misspec_at_task == Some(global);
             // The earlier half of the conflicting pair, for the trace's
             // misspeculation ledger; forced/injected conflicts have no real
             // partner, so both sides name the admitted task.
             let mut conflict_with: Option<(usize, usize, u64)> = None;
+            // Shard that issued the condemning verdict; defaults to the
+            // first shard the request routes to.
+            let mut detect_shard = set.iter().next().unwrap_or(0);
+            // (shard, comparisons, skips) for every shard that scanned the
+            // probe; billed to the shard's clock if the request is serviced.
+            let mut scanned: Vec<(usize, u64, u64)> = Vec::with_capacity(set.len());
             if !sig.is_empty() {
-                // Reverse bucket walk = reverse admission order. Same-epoch
-                // buckets never conflict (their tasks are mutually
-                // independent by construction); with summaries on, a
-                // cross-epoch bucket whose aggregate is disjoint from the
-                // probe is skipped whole for one comparison.
-                'scan: for bucket in buckets.iter().rev() {
-                    if bucket
-                        .entries
-                        .last()
-                        .is_none_or(|e| e.running_max_finish <= start)
-                    {
-                        break; // nothing this old (or older) overlaps
-                    }
-                    let oldest_done = bucket
-                        .entries
-                        .first()
-                        .is_none_or(|e| e.running_max_finish <= start);
-                    if bucket.epoch != epoch {
-                        let overlaps =
-                            |e: &Window| e.tid != tid && e.start < finish && start < e.finish;
-                        if params.epoch_summaries {
-                            let any = bucket
-                                .entries
-                                .iter()
-                                .rev()
-                                .take_while(|e| e.running_max_finish > start)
-                                .any(overlaps);
-                            if any {
-                                comparisons += 1; // the aggregate test
-                                if !bucket.aggregate.conflicts_with(&sig) {
-                                    skips += 1;
-                                } else {
-                                    for entry in bucket.entries.iter().rev() {
-                                        if entry.running_max_finish <= start {
-                                            break;
-                                        }
-                                        if overlaps(entry) {
-                                            comparisons += 1;
-                                            if entry.sig.conflicts_with(&sig) {
-                                                conflicted = true;
-                                                conflict_with =
-                                                    Some((entry.tid, bucket.epoch, entry.task));
-                                                break 'scan;
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                        } else {
-                            for entry in bucket.entries.iter().rev() {
-                                if entry.running_max_finish <= start {
-                                    break 'scan; // nothing older overlaps
-                                }
-                                if overlaps(entry) {
-                                    comparisons += 1;
-                                    if entry.sig.conflicts_with(&sig) {
-                                        conflicted = true;
-                                        conflict_with = Some((entry.tid, bucket.epoch, entry.task));
-                                        break 'scan;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    if oldest_done {
-                        break; // everything older has retired past the probe
+                for k in set.iter() {
+                    let mut comparisons = 0u64;
+                    let mut skips = 0u64;
+                    let found = scan_shard(
+                        &buckets[k],
+                        &sig,
+                        tid,
+                        start,
+                        finish,
+                        epoch,
+                        params.epoch_summaries,
+                        &mut comparisons,
+                        &mut skips,
+                    );
+                    scanned.push((k, comparisons, skips));
+                    if let Some(partner) = found {
+                        conflicted = true;
+                        conflict_with = Some(partner);
+                        detect_shard = k;
+                        // Later shards never see the request: the pass is
+                        // already condemned by this shard's verdict.
+                        break;
                     }
                 }
+            } else {
+                // Empty signatures route to shard 0 (span-less requests
+                // exist only for forced injections); no scan to run.
+                scanned.push((detect_shard, 0, 0));
             }
-            // Checker server: one request per non-empty signature from a
-            // task whose execution overlaps a different epoch.
+            // Checker servers: one request per non-empty signature from a
+            // task whose execution overlaps a different epoch, serviced by
+            // (and billed to) every shard the span routes to — straddlers
+            // genuinely cost duplicated admission work.
             cur_epoch[tid] = epoch;
             let epochs_overlap = cur_epoch.iter().any(|&e| e != epoch);
             if (!sig.is_empty() && epochs_overlap) || conflicted {
                 stats.add_check_request();
-                total_comparisons += comparisons;
-                total_skips += skips;
-                // SPSC produce → consume: the checker picks the request up
-                // once it is both sent (task finished) and the server is
-                // free.
-                let pickup = checker_clock.max(finish);
-                sinks.checker.emit_at(
-                    pickup,
-                    Event::Wake {
-                        edge: WakeEdge::Queue,
-                        src_tid: tid,
-                        seq: global,
-                    },
-                );
-                checker_clock =
-                    pickup + cost.check_request_ns + cost.check_compare_ns * comparisons;
-                // Checker-side faults fire while the request is processed,
-                // mirroring the threaded checker loop.
-                match fault.check(epoch as u32, task as u64, tid) {
-                    Some(CheckFault::ForceConflict) => {
-                        sinks.checker.emit_at(
-                            checker_clock,
-                            Event::FaultInjected {
-                                kind: FaultKind::FalsePositive,
-                                epoch: epoch as u32,
-                                task: task as u64,
-                            },
-                        );
-                        conflicted = true;
+                // Checker-side faults fire once per request (the shared
+                // single-shot budget of the threaded plan) while the first
+                // routed shard processes it.
+                let check_fault = fault.check(epoch as u32, task as u64, tid);
+                for (i, &(k, comparisons, skips)) in scanned.iter().enumerate() {
+                    total_comparisons[k] += comparisons;
+                    total_skips[k] += skips;
+                    routed[k] += 1;
+                    // SPSC produce → consume: shard k picks the request up
+                    // once it is both sent (task finished) and that server
+                    // is free.
+                    let pickup = checker_clocks[k].max(finish);
+                    sinks.checkers[k].emit_at(
+                        pickup,
+                        Event::Wake {
+                            edge: WakeEdge::Queue,
+                            src_tid: tid,
+                            seq: global,
+                        },
+                    );
+                    checker_clocks[k] =
+                        pickup + cost.check_request_ns + cost.check_compare_ns * comparisons;
+                    if i > 0 {
+                        continue;
                     }
-                    Some(CheckFault::Stall(d)) => {
-                        sinks.checker.emit_at(
-                            checker_clock,
-                            Event::FaultInjected {
-                                kind: FaultKind::CheckerStall(d.as_millis() as u64),
-                                epoch: epoch as u32,
-                                task: task as u64,
-                            },
-                        );
-                        checker_clock += d.as_nanos() as u64;
+                    match check_fault {
+                        Some(CheckFault::ForceConflict) => {
+                            sinks.checkers[k].emit_at(
+                                checker_clocks[k],
+                                Event::FaultInjected {
+                                    kind: FaultKind::FalsePositive,
+                                    epoch: epoch as u32,
+                                    task: task as u64,
+                                },
+                            );
+                            conflicted = true;
+                        }
+                        Some(CheckFault::Stall(d)) => {
+                            sinks.checkers[k].emit_at(
+                                checker_clocks[k],
+                                Event::FaultInjected {
+                                    kind: FaultKind::CheckerStall(d.as_millis() as u64),
+                                    epoch: epoch as u32,
+                                    task: task as u64,
+                                },
+                            );
+                            checker_clocks[k] += d.as_nanos() as u64;
+                        }
+                        Some(CheckFault::Die) => {
+                            sinks.checkers[k].emit_at(
+                                checker_clocks[k],
+                                Event::FaultInjected {
+                                    kind: FaultKind::CheckerDeath,
+                                    epoch: epoch as u32,
+                                    task: task as u64,
+                                },
+                            );
+                            flush_summary!(epoch);
+                            emit_census!();
+                            return (
+                                PassEnd::Aborted {
+                                    detect_time: checker_clocks[k],
+                                    checkpoint_epoch,
+                                    resume_epoch: (max_epoch_started + 1).min(num_epochs),
+                                    cause: AbortCause::CheckerDeath,
+                                    detect_shard: k,
+                                },
+                                checker_clocks[k],
+                            );
+                        }
+                        None => {}
                     }
-                    Some(CheckFault::Die) => {
-                        sinks.checker.emit_at(
-                            checker_clock,
-                            Event::FaultInjected {
-                                kind: FaultKind::CheckerDeath,
-                                epoch: epoch as u32,
-                                task: task as u64,
-                            },
-                        );
-                        flush_summary!(epoch);
-                        return (
-                            PassEnd::Aborted {
-                                detect_time: checker_clock,
-                                checkpoint_epoch,
-                                resume_epoch: (max_epoch_started + 1).min(num_epochs),
-                                cause: AbortCause::CheckerDeath,
-                            },
-                            checker_clock,
-                        );
-                    }
-                    None => {}
                 }
             }
             if conflicted {
                 let (e_tid, e_epoch, e_task) = conflict_with.unwrap_or((tid, epoch, task as u64));
-                sinks.checker.emit_at(
-                    checker_clock,
+                let detect_time = checker_clocks[detect_shard];
+                sinks.checkers[detect_shard].emit_at(
+                    detect_time,
                     Event::Misspeculation {
                         earlier_tid: e_tid,
                         earlier_epoch: e_epoch as u32,
@@ -796,54 +852,62 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 );
                 let resume = (max_epoch_started + 1).min(num_epochs);
                 flush_summary!(epoch);
+                emit_census!();
                 return (
                     PassEnd::Aborted {
-                        detect_time: checker_clock,
+                        detect_time,
                         checkpoint_epoch,
                         resume_epoch: resume,
                         cause: AbortCause::Conflict,
+                        detect_shard,
                     },
-                    checker_clock,
+                    checker_clocks[detect_shard],
                 );
             }
-            let running_max_finish = buckets
-                .last()
-                .and_then(|b| b.entries.last())
-                .map_or(finish, |w| w.running_max_finish.max(finish));
-            if buckets.last().is_none_or(|b| b.epoch != epoch) {
-                buckets.push(EpochBucket {
-                    epoch,
-                    entries: Vec::new(),
-                    aggregate: RangeSignature::empty(),
+            // Retain the admitted task in every touched shard's window (the
+            // whole signature, per the routing rule), so each shard's scan
+            // is the unsharded scan restricted to its requests.
+            for k in set.iter() {
+                let list = &mut buckets[k];
+                let running_max_finish = list
+                    .last()
+                    .and_then(|b| b.entries.last())
+                    .map_or(finish, |w| w.running_max_finish.max(finish));
+                if list.last().is_none_or(|b| b.epoch != epoch) {
+                    list.push(EpochBucket {
+                        epoch,
+                        entries: Vec::new(),
+                        aggregate: RangeSignature::empty(),
+                    });
+                }
+                let bucket = list.last_mut().expect("just pushed");
+                bucket.aggregate.merge(&sig);
+                bucket.entries.push(Window {
+                    tid,
+                    task: task as u64,
+                    start,
+                    finish,
+                    running_max_finish,
+                    sig: sig.clone(),
                 });
-            }
-            let bucket = buckets.last_mut().expect("just pushed");
-            bucket.aggregate.merge(&sig);
-            bucket.entries.push(Window {
-                tid,
-                task: task as u64,
-                start,
-                finish,
-                running_max_finish,
-                sig,
-            });
-            window_len += 1;
-            // Periodically drop entries that can no longer overlap any
-            // future task (every future start is at least the minimum
-            // worker clock), rebuilding the touched buckets' aggregates.
-            if window_len.is_multiple_of(4096) {
-                let min_clock = clocks.iter().copied().min().expect("threads > 0");
-                for b in buckets.iter_mut() {
-                    let before = b.entries.len();
-                    b.entries.retain(|e| e.finish > min_clock);
-                    if b.entries.len() != before {
-                        b.aggregate = RangeSignature::empty();
-                        for e in &b.entries {
-                            b.aggregate.merge(&e.sig);
+                window_len[k] += 1;
+                // Periodically drop entries that can no longer overlap any
+                // future task (every future start is at least the minimum
+                // worker clock), rebuilding the touched buckets' aggregates.
+                if window_len[k].is_multiple_of(4096) {
+                    let min_clock = clocks.iter().copied().min().expect("threads > 0");
+                    for b in list.iter_mut() {
+                        let before = b.entries.len();
+                        b.entries.retain(|e| e.finish > min_clock);
+                        if b.entries.len() != before {
+                            b.aggregate = RangeSignature::empty();
+                            for e in &b.entries {
+                                b.aggregate.merge(&e.sig);
+                            }
                         }
                     }
+                    list.retain(|b| !b.entries.is_empty());
                 }
-                buckets.retain(|b| !b.entries.is_empty());
             }
         }
         flush_summary!(epoch);
@@ -855,8 +919,89 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
         );
     }
 
-    let end = clocks.into_iter().max().unwrap_or(t0).max(checker_clock);
+    emit_census!();
+    let checker_max = checker_clocks.into_iter().max().unwrap_or(t0);
+    let end = clocks.into_iter().max().unwrap_or(t0).max(checker_max);
     (PassEnd::Completed, end)
+}
+
+/// One shard's conflict scan for a single probe: a reverse bucket walk over
+/// the shard's retained window (reverse admission order). Same-epoch buckets
+/// never conflict (their tasks are mutually independent by construction);
+/// with summaries on, a cross-epoch bucket whose aggregate is disjoint from
+/// the probe is skipped whole for one comparison. Returns the earlier half
+/// of the first conflicting pair, accumulating the comparison/skip counts
+/// the shard's service time is billed by.
+#[allow(clippy::too_many_arguments)]
+fn scan_shard(
+    buckets: &[EpochBucket],
+    sig: &RangeSignature,
+    tid: usize,
+    start: u64,
+    finish: u64,
+    epoch: usize,
+    epoch_summaries: bool,
+    comparisons: &mut u64,
+    skips: &mut u64,
+) -> Option<(usize, usize, u64)> {
+    'scan: for bucket in buckets.iter().rev() {
+        if bucket
+            .entries
+            .last()
+            .is_none_or(|e| e.running_max_finish <= start)
+        {
+            break; // nothing this old (or older) overlaps
+        }
+        let oldest_done = bucket
+            .entries
+            .first()
+            .is_none_or(|e| e.running_max_finish <= start);
+        if bucket.epoch != epoch {
+            let overlaps = |e: &Window| e.tid != tid && e.start < finish && start < e.finish;
+            if epoch_summaries {
+                let any = bucket
+                    .entries
+                    .iter()
+                    .rev()
+                    .take_while(|e| e.running_max_finish > start)
+                    .any(overlaps);
+                if any {
+                    *comparisons += 1; // the aggregate test
+                    if !bucket.aggregate.conflicts_with(sig) {
+                        *skips += 1;
+                    } else {
+                        for entry in bucket.entries.iter().rev() {
+                            if entry.running_max_finish <= start {
+                                break;
+                            }
+                            if overlaps(entry) {
+                                *comparisons += 1;
+                                if entry.sig.conflicts_with(sig) {
+                                    return Some((entry.tid, bucket.epoch, entry.task));
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                for entry in bucket.entries.iter().rev() {
+                    if entry.running_max_finish <= start {
+                        break 'scan; // nothing older overlaps
+                    }
+                    if overlaps(entry) {
+                        *comparisons += 1;
+                        if entry.sig.conflicts_with(sig) {
+                            return Some((entry.tid, bucket.epoch, entry.task));
+                        }
+                    }
+                }
+            }
+        }
+        if oldest_done {
+            break; // everything older has retired past the probe
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -1211,6 +1356,105 @@ mod tests {
         let b = speccross(&w, &p2, &CostModel::default());
         assert_eq!(a, b, "virtual-time traces must replay identically");
         assert!(a.trace.is_some());
+    }
+
+    #[test]
+    fn single_shard_is_byte_identical_to_the_unsharded_model() {
+        // checker_shards = 1 must not merely agree — the whole SimResult,
+        // trace included, must be what the pre-sharding simulator produced.
+        for w in [
+            UniformWorkload::same_cell(50, 8, 1_000),
+            UniformWorkload::independent(50, 8, 1_000),
+        ] {
+            let base = SpecSimParams::with_threads(4).trace(1 << 14);
+            let explicit = base.clone().checker_shards(1);
+            let a = speccross(&w, &base, &CostModel::default());
+            let b = speccross(&w, &explicit, &CostModel::default());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sharding_preserves_verdicts_on_clustered_epochs() {
+        // Disjoint per-epoch address clusters: no conflicts at any shard
+        // count, and splitting the admission work can only shorten the
+        // checker's critical path.
+        let w = Clustered {
+            epochs: 60,
+            tasks: 32,
+        };
+        let one = speccross(&w, &SpecSimParams::with_threads(32), &CostModel::default());
+        for shards in [2, 4, 8] {
+            let n = speccross(
+                &w,
+                &SpecSimParams::with_threads(32).checker_shards(shards),
+                &CostModel::default(),
+            );
+            assert_eq!(n.stats.misspeculations, 0);
+            assert_eq!(n.stats.tasks, one.stats.tasks);
+            assert_eq!(n.stats.check_requests, one.stats.check_requests);
+            assert!(
+                n.total_ns <= one.total_ns,
+                "sharding the checker can only help here: {} vs {}",
+                n.total_ns,
+                one.total_ns
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_conflicting_workload_still_misspeculates() {
+        // Range-signature conflicts share an address, so the shard owning
+        // it sees both sides: sharding must never lose a real conflict.
+        let w = Shifted {
+            epochs: 40,
+            tasks: 16,
+        };
+        for shards in [2, 8] {
+            let r = speccross(
+                &w,
+                &SpecSimParams::with_threads(8).checker_shards(shards),
+                &CostModel::default(),
+            );
+            assert!(
+                r.stats.misspeculations > 0,
+                "shifted writes must still conflict with {shards} shards"
+            );
+            assert!(r.stats.tasks >= 40 * 16);
+        }
+    }
+
+    #[test]
+    fn sharded_trace_has_one_census_row_per_shard_per_pass() {
+        use crossinvoc_runtime::trace::checker_shard_of_tid;
+        let w = UniformWorkload::same_cell(30, 8, 1_000);
+        let r = speccross(
+            &w,
+            &SpecSimParams::with_threads(4)
+                .checker_shards(3)
+                .trace(1 << 14),
+            &CostModel::default(),
+        );
+        let trace = r.trace.expect("tracing was requested");
+        let parsed =
+            crossinvoc_runtime::trace::Trace::from_jsonl(&trace.to_jsonl()).expect("valid JSONL");
+        assert_eq!(parsed, trace, "checker_shard rows survive the wire");
+        let mut per_shard = [0u32; 3];
+        for rec in trace.records() {
+            if let Event::CheckerShard { shard, shards, .. } = rec.event {
+                assert_eq!(shards, 3);
+                assert_eq!(checker_shard_of_tid(rec.tid), Some(shard as usize));
+                per_shard[shard as usize] += 1;
+            }
+        }
+        // One pass (no faults): exactly one row per shard.
+        assert_eq!(per_shard, [1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "checker_shards")]
+    fn zero_shards_panics() {
+        let _ = SpecSimParams::with_threads(2).checker_shards(0);
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! byte-identical traces — the same JSONL schema the threaded engines emit
 //! from wall-clock sinks (see `docs/OBSERVABILITY.md`).
 
-use crossinvoc_runtime::trace::{Trace, TraceSink, CHECKER_TID, MANAGER_TID};
+use crossinvoc_runtime::trace::{checker_shard_tid, Trace, TraceSink, MANAGER_TID};
 
-/// One sink per simulated thread plus the two service pseudo-threads.
+/// One sink per simulated thread plus the service pseudo-threads.
 ///
 /// With capacity zero every sink is disabled and each emit is a single
 /// branch, so untraced simulations pay nothing.
@@ -17,18 +17,21 @@ pub(crate) struct SimSinks {
     pub workers: Vec<TraceSink>,
     /// Sink for manager-level events (checkpoints, degradations).
     pub manager: TraceSink,
-    /// Sink for checker-side events (misspeculations, checker faults).
-    pub checker: TraceSink,
+    /// Per-checker-shard sinks on the descending service-tid band; a
+    /// single-shard simulation has exactly one, on the classic checker tid.
+    pub checkers: Vec<TraceSink>,
 }
 
 impl SimSinks {
-    pub fn new(threads: usize, capacity: usize) -> Self {
+    pub fn new(threads: usize, checker_shards: usize, capacity: usize) -> Self {
         Self {
             workers: (0..threads)
                 .map(|tid| TraceSink::with_capacity(tid, capacity))
                 .collect(),
             manager: TraceSink::with_capacity(MANAGER_TID, capacity),
-            checker: TraceSink::with_capacity(CHECKER_TID, capacity),
+            checkers: (0..checker_shards)
+                .map(|shard| TraceSink::with_capacity(checker_shard_tid(shard), capacity))
+                .collect(),
         }
     }
 
@@ -39,7 +42,7 @@ impl SimSinks {
         }
         let mut all = self.workers;
         all.push(self.manager);
-        all.push(self.checker);
+        all.extend(self.checkers);
         Some(Trace::from_sinks(all))
     }
 }

@@ -1,12 +1,16 @@
 //! The threaded SPECCROSS engine (§4.2, Fig. 4.5).
 //!
-//! One manager (the calling thread), `num_workers` worker threads and one
-//! checker thread. Workers execute epochs back-to-back, crossing barrier
-//! boundaries speculatively; each task's signature and start-time position
-//! snapshot go to the checker — buffered locally and published to a
-//! per-worker SPSC ring in batches, so the checker admits requests in
-//! bursts against the epoch-bucketed log of [`crate::check`] instead of
-//! waking once per task. Checkpoint pruning rides an atomic epoch
+//! One manager (the calling thread), `num_workers` worker threads and
+//! [`SpecConfig::checker_shards`] checker threads (one by default), the
+//! admission work interleaved over them by address (see [`crate::shard`]).
+//! Workers execute epochs back-to-back, crossing barrier boundaries
+//! speculatively; each task's signature and start-time position snapshot go
+//! to every checker shard its address span touches — buffered locally and
+//! published to a per-(worker, shard) SPSC ring in batches, so each checker
+//! admits requests in bursts against its own epoch-bucketed log of
+//! [`crate::check`] instead of waking once per task. A straddling task is
+//! admitted only when every touched shard admits it; any shard's conflict
+//! is the region's verdict. Checkpoint pruning rides an atomic epoch
 //! watermark rather than an in-band message. Every `checkpoint_every` epochs the workers rendezvous,
 //! the checker is drained, and the workload state is snapshotted. On
 //! misspeculation all workers unwind cooperatively, the last checkpoint is
@@ -57,13 +61,14 @@ use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
 use crossinvoc_runtime::spsc;
 use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
 use crossinvoc_runtime::trace::{
-    Event, Trace, TraceCollector, TraceSink, WakeEdge, CHECKER_TID, MANAGER_TID,
+    checker_shard_tid, Event, Trace, TraceCollector, TraceSink, WakeEdge, MANAGER_TID,
 };
 use crossinvoc_runtime::SpinBarrier;
 
 use crate::check::{CheckRequest, CheckerState, Conflict};
 use crate::position::{Position, PositionBoard};
 use crate::profile::{DistanceProfiler, ProfileReport};
+use crate::shard::ShardMap;
 use crate::workload::{NullRecorder, SigRecorder, SpecWorkload};
 
 /// When to give up on speculation and finish a region under plain barriers.
@@ -132,6 +137,13 @@ pub struct SpecConfig {
     /// member-by-member scan; conflict verdicts are identical either way —
     /// the differential fuzzer runs regions through both settings.
     pub epoch_summaries: bool,
+    /// Number of checker threads the admission work is sharded over by
+    /// address (see [`crate::shard`]). `1` (the default) reproduces the
+    /// single-checker engine exactly; values are validated against
+    /// `1..=`[`crate::shard::MAX_SHARDS`]. A task whose signature straddles
+    /// shards is checked by every touched shard and admitted only when all
+    /// of them admit it.
+    pub checker_shards: usize,
 }
 
 impl SpecConfig {
@@ -147,6 +159,7 @@ impl SpecConfig {
             watchdog: None,
             trace_capacity: None,
             epoch_summaries: true,
+            checker_shards: 1,
         }
     }
 
@@ -197,6 +210,13 @@ impl SpecConfig {
     /// Toggles the checker's per-epoch aggregate fast path (on by default).
     pub fn epoch_summaries(mut self, enabled: bool) -> Self {
         self.epoch_summaries = enabled;
+        self
+    }
+
+    /// Shards the checker over this many threads (default 1). Validated at
+    /// execution time against `1..=`[`crate::shard::MAX_SHARDS`].
+    pub fn checker_shards(mut self, shards: usize) -> Self {
+        self.checker_shards = shards;
         self
     }
 }
@@ -353,7 +373,9 @@ enum PassEnd {
 struct PassResult<St> {
     end: PassEnd,
     comparisons: u64,
-    conflict: Option<Conflict>,
+    /// The conflict that condemned the pass plus the checker shard that
+    /// found it (shard 0 on unsharded runs).
+    conflict: Option<(Conflict, usize)>,
     /// Epoch of the checkpoint to restore on abort.
     checkpoint_epoch: usize,
     /// State of that checkpoint.
@@ -438,7 +460,10 @@ impl SyncPoint {
 struct PassShared<St> {
     board: PositionBoard,
     misspec: AtomicBool,
-    conflict: Mutex<Option<Conflict>>,
+    /// First conflict any checker shard found, with the finding shard's
+    /// index (first-wins: shard threads race to fill it; later verdicts of
+    /// the same doomed pass are dropped).
+    conflict: Mutex<Option<(Conflict, usize)>>,
     /// First abnormal-abort reason (panic, checker loss, timeout); `None`
     /// with `misspec` raised means an ordinary conflict.
     failure: Mutex<Option<AbortReason>>,
@@ -548,6 +573,12 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 "checkpoint interval must be positive".to_string(),
             ));
         }
+        if !(1..=crate::shard::MAX_SHARDS).contains(&self.config.checker_shards) {
+            return Err(SpecError::InvalidConfig(format!(
+                "checker_shards must be in 1..={}",
+                crate::shard::MAX_SHARDS
+            )));
+        }
         Ok(())
     }
 
@@ -655,14 +686,17 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 AbortReason::Conflict => {
                     stats.add_misspeculation();
                     // The checker's verdict causes the rollback + redo that
-                    // the manager performs next.
+                    // the manager performs next; the wake edge points at the
+                    // shard that issued it so per-shard critical-path
+                    // attribution stays honest.
+                    let shard = pass.conflict.map_or(0, |(_, s)| s);
                     manager_sink.emit(Event::Wake {
                         edge: WakeEdge::Checker,
-                        src_tid: CHECKER_TID,
+                        src_tid: checker_shard_tid(shard),
                         seq: misspec_ordinal,
                     });
                     misspec_ordinal += 1;
-                    if let Some(c) = pass.conflict {
+                    if let Some((c, _)) = pass.conflict {
                         conflicts.push(c);
                     }
                     self.restore_with_retry(workload, &pass, &fault, &mut contained)?;
@@ -824,15 +858,25 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         }
         prefix.push(acc);
 
-        // One dedicated SPSC ring per worker: single-writer/single-reader
-        // cache behaviour on the exit_task → checker path (the channel this
-        // replaces serialized every worker through one shared queue).
-        let mut check_txs = Vec::with_capacity(num_workers);
-        let mut check_rxs = Vec::with_capacity(num_workers);
+        // One dedicated SPSC ring per (worker, checker shard):
+        // single-writer/single-reader cache behaviour on the exit_task →
+        // checker path (the channel this replaces serialized every worker
+        // through one shared queue). Worker w owns `shards` producers;
+        // checker shard k drains ring [w][k] of every worker.
+        let shards = self.config.checker_shards;
+        let mut check_txs: Vec<Vec<spsc::Producer<CheckRequest<S>>>> =
+            Vec::with_capacity(num_workers);
+        let mut rxs_by_shard: Vec<Vec<spsc::Consumer<CheckRequest<S>>>> = (0..shards)
+            .map(|_| Vec::with_capacity(num_workers))
+            .collect();
         for _ in 0..num_workers {
-            let (tx, rx) = spsc::Queue::with_capacity(CHECK_RING);
-            check_txs.push(tx);
-            check_rxs.push(rx);
+            let mut txs = Vec::with_capacity(shards);
+            for shard_rxs in rxs_by_shard.iter_mut() {
+                let (tx, rx) = spsc::Queue::with_capacity(CHECK_RING);
+                txs.push(tx);
+                shard_rxs.push(rx);
+            }
+            check_txs.push(txs);
         }
         let shared = PassShared {
             board: PositionBoard::new(num_workers),
@@ -860,33 +904,41 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         let mut comparisons = 0;
         let mut checker_dead = false;
         std::thread::scope(|scope| {
-            // Checker thread: its body may be killed by an injected fault
-            // (or an organic bug); contain the unwind and convert it into a
-            // cooperative abort so no worker spins on a dead checker. The
-            // sink lives outside the unwind boundary so events emitted
-            // before an injected death survive into the trace. The consumer
-            // endpoints move into the thread (they are single-reader by
-            // construction).
+            // Checker threads, one per shard: each body may be killed by an
+            // injected fault (or an organic bug); contain the unwind and
+            // convert it into a cooperative abort so no worker spins on a
+            // dead checker. The sink lives outside the unwind boundary so
+            // events emitted before an injected death survive into the
+            // trace. The consumer endpoints move into the thread (they are
+            // single-reader by construction). Losing *any* shard condemns
+            // the pass: its share of the in-flight requests was never
+            // verified.
             let shared_ref = &shared;
-            let checker = scope.spawn(move || {
-                let mut sink = collector.sink(CHECKER_TID);
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    self.checker_loop(shared_ref, &check_rxs, metrics, &mut sink)
-                }));
-                collector.absorb(sink);
-                match outcome {
-                    Ok(count) => (count, false),
-                    Err(_) => {
-                        shared_ref.misspec.store(true, Ordering::Release);
-                        (0, true)
-                    }
-                }
-            });
+            let checkers: Vec<_> = rxs_by_shard
+                .into_iter()
+                .enumerate()
+                .map(|(shard, check_rxs)| {
+                    scope.spawn(move || {
+                        let mut sink = collector.sink(checker_shard_tid(shard));
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            self.checker_loop(shared_ref, &check_rxs, shard, metrics, &mut sink)
+                        }));
+                        collector.absorb(sink);
+                        match outcome {
+                            Ok(count) => (count, false),
+                            Err(_) => {
+                                shared_ref.misspec.store(true, Ordering::Release);
+                                (0, true)
+                            }
+                        }
+                    })
+                })
+                .collect();
             // Worker threads. The whole driver runs under catch_unwind so a
             // panic anywhere in a worker poisons the pass instead of tearing
             // down the scope (and with it, the process). Each worker owns
-            // the producer endpoint of its check-request ring.
-            for (tid, check_tx) in check_txs.into_iter().enumerate() {
+            // the producer endpoints of its per-shard check-request rings.
+            for (tid, check_txs) in check_txs.into_iter().enumerate() {
                 let shared = &shared;
                 scope.spawn(move || {
                     let mut sink = collector.sink(tid);
@@ -894,7 +946,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                         self.worker_pass(
                             workload,
                             shared,
-                            &check_tx,
+                            &check_txs,
                             tid,
                             start_epoch,
                             metrics,
@@ -915,9 +967,11 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     shared.board.set_frontier(tid, u64::MAX);
                 });
             }
-            let (count, dead) = checker.join().unwrap_or((0, true));
-            comparisons = count;
-            checker_dead = dead;
+            for checker in checkers {
+                let (count, dead) = checker.join().unwrap_or((0, true));
+                comparisons += count;
+                checker_dead |= dead;
+            }
         });
 
         let (checkpoint_epoch, checkpoint_state) = {
@@ -1062,7 +1116,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         &self,
         workload: &W,
         shared: &PassShared<W::State>,
-        check_tx: &spsc::Producer<CheckRequest<S>>,
+        check_txs: &[spsc::Producer<CheckRequest<S>>],
         tid: usize,
         start_epoch: usize,
         metrics: &Metrics,
@@ -1072,11 +1126,17 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         let num_workers = self.config.num_workers;
         let num_epochs = workload.num_epochs();
         let mut recorder = SigRecorder::<S>::new();
-        // Local check-request buffer: flushed at the CHECK_BATCH threshold
-        // and at every epoch boundary, so it is empty at each rendezvous
-        // (the checkpoint drain counts on every `sent` request being in a
-        // ring by the time all workers have arrived).
-        let mut batch: Vec<CheckRequest<S>> = Vec::with_capacity(CHECK_BATCH);
+        // Local check-request buffers, one per checker shard: flushed at the
+        // CHECK_BATCH threshold and at every epoch boundary, so they are
+        // empty at each rendezvous (the checkpoint drain counts on every
+        // `sent` request being in a ring by the time all workers have
+        // arrived). A signature whose address span straddles shards is
+        // cloned into every touched shard's buffer, and `sent` counts one
+        // delivery per (request, shard) so the drain covers them all.
+        let shard_map = ShardMap::new(self.config.checker_shards);
+        let mut batches: Vec<Vec<CheckRequest<S>>> = (0..shard_map.shards())
+            .map(|_| Vec::with_capacity(CHECK_BATCH))
+            .collect();
 
         for epoch in start_epoch..num_epochs {
             if shared.misspec.load(Ordering::Acquire) {
@@ -1202,22 +1262,37 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     task: task as u64,
                 });
 
-                // exit_task: buffer the signature for the checker; a full
-                // buffer is published to the ring as one batch.
+                // exit_task: buffer the signature for its checker shard(s);
+                // a full buffer is published to that shard's ring as one
+                // batch. Straddling signatures fan out whole to every shard
+                // their span touches (the merge rule: all must admit).
                 let sig = recorder.take();
                 if !sig.is_empty() {
-                    shared.sent.fetch_add(1, Ordering::Release);
                     stats.add_check_request();
-                    batch.push(CheckRequest {
+                    let set = shard_map.shards_for_span(sig.addr_span());
+                    let mut remaining = set.len();
+                    let mut req = Some(CheckRequest {
                         tid,
                         pos,
                         snapshot,
                         sig,
                     });
-                    if batch.len() >= CHECK_BATCH
-                        && !Self::flush_checks(shared, check_tx, &mut batch)
-                    {
-                        return;
+                    for shard in set.iter() {
+                        remaining -= 1;
+                        // The last touched shard takes the original; only
+                        // genuine straddlers pay for clones.
+                        let r = if remaining == 0 {
+                            req.take().expect("one request per shard set")
+                        } else {
+                            req.as_ref().expect("one request per shard set").clone()
+                        };
+                        shared.sent.fetch_add(1, Ordering::Release);
+                        batches[shard].push(r);
+                        if batches[shard].len() >= CHECK_BATCH
+                            && !Self::flush_checks(shared, &check_txs[shard], &mut batches[shard])
+                        {
+                            return;
+                        }
                     }
                 }
                 local_counter += 1;
@@ -1234,11 +1309,13 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 );
                 task += num_workers;
             }
-            // Epoch boundary: drain the local buffer so the rendezvous /
+            // Epoch boundary: drain the local buffers so the rendezvous /
             // completion invariants hold (every `sent` request is in a ring
             // whenever this worker is parked or finished).
-            if !Self::flush_checks(shared, check_tx, &mut batch) {
-                return;
+            for (shard, batch) in batches.iter_mut().enumerate() {
+                if !Self::flush_checks(shared, &check_txs[shard], batch) {
+                    return;
+                }
             }
             if tid == 0 {
                 sink.emit(Event::EpochEnd {
@@ -1376,15 +1453,20 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         });
     }
 
-    /// The checker thread (Fig. 4.7's checker pseudo-code). Drains every
-    /// worker's SPSC ring in bursts and admits each request against the
-    /// epoch-bucketed log. Returns the number of signature comparisons
-    /// performed. May panic when the fault plan schedules a checker death;
-    /// the spawn wrapper contains it.
+    /// One checker-shard thread (Fig. 4.7's checker pseudo-code, restricted
+    /// to the requests routed to `shard`). Drains every worker's SPSC ring
+    /// for this shard in bursts and admits each request against the shard's
+    /// own epoch-bucketed log. Because routing delivers the *whole*
+    /// signature to every shard its span touches, this shard's verdicts are
+    /// exactly the unsharded checker's verdicts restricted to its requests.
+    /// Returns the number of signature comparisons performed. May panic when
+    /// the fault plan schedules a checker death; the spawn wrapper contains
+    /// it.
     fn checker_loop<St>(
         &self,
         shared: &PassShared<St>,
         check_rxs: &[spsc::Consumer<CheckRequest<S>>],
+        shard: usize,
         metrics: &Metrics,
         sink: &mut TraceSink,
     ) -> u64 {
@@ -1491,15 +1573,23 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     };
                     shared.processed.fetch_add(1, Ordering::Release);
                     if let Some(c) = conflict {
-                        sink.emit(Event::Misspeculation {
-                            earlier_tid: c.earlier.0,
-                            earlier_epoch: c.earlier.1.epoch,
-                            earlier_task: c.earlier.1.task as u64,
-                            later_tid: c.later.0,
-                            later_epoch: c.later.1.epoch,
-                            later_task: c.later.1.task as u64,
-                        });
-                        *shared.conflict.lock() = Some(c);
+                        // First-wins across shard threads: the pass is
+                        // condemned once, by whichever shard saw a conflict
+                        // first; a concurrent verdict from another shard is
+                        // redundant on an already-doomed pass and dropped.
+                        let mut slot = shared.conflict.lock();
+                        if slot.is_none() {
+                            *slot = Some((c, shard));
+                            sink.emit(Event::Misspeculation {
+                                earlier_tid: c.earlier.0,
+                                earlier_epoch: c.earlier.1.epoch,
+                                earlier_task: c.earlier.1.task as u64,
+                                later_tid: c.later.0,
+                                later_epoch: c.later.1.epoch,
+                                later_task: c.later.1.task as u64,
+                            });
+                        }
+                        drop(slot);
                         shared.misspec.store(true, Ordering::Release);
                         break 'run;
                     }
@@ -1538,6 +1628,14 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             stats,
             sink,
         );
+        // Pass-scoped shard census: one row per shard per pass, on the
+        // shard's own timeline (shard 0 of a single-shard run lands on the
+        // classic checker tid).
+        sink.emit(Event::CheckerShard {
+            shard: shard as u32,
+            shards: self.config.checker_shards as u32,
+            requests: picked,
+        });
         state.comparisons()
     }
 

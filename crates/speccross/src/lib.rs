@@ -16,6 +16,8 @@
 //! * [`position`] — packed epoch/task progress coordinates (§4.2.1).
 //! * [`check`] — the pure conflict-detection algorithm and signature log
 //!   (Figs. 4.7–4.8).
+//! * [`shard`] — address-interleaved partitioning of the checker and the
+//!   merge rule for tasks whose signatures straddle shards.
 //! * [`profile`] — minimum dependence-distance profiling (§4.4).
 //! * [`workload`] — the [`workload::SpecWorkload`] contract: epochs, tasks,
 //!   `spec_access` instrumentation, checkpointable state.
@@ -51,6 +53,7 @@ pub mod check;
 pub mod engine;
 pub mod position;
 pub mod profile;
+pub mod shard;
 pub mod workload;
 
 pub use check::{CheckRequest, CheckerState, Conflict};
@@ -59,6 +62,7 @@ pub use engine::{
 };
 pub use position::{Position, PositionBoard};
 pub use profile::{DistanceProfiler, ProfileReport};
+pub use shard::{ShardMap, ShardSet, ShardedChecker, MAX_SHARDS};
 pub use workload::{AccessRecorder, NullRecorder, SigRecorder, SpecWorkload};
 
 /// Convenient glob-import surface.

@@ -328,6 +328,118 @@ fn engine_works_with_bloom_signatures() {
 }
 
 #[test]
+fn sharded_checker_matches_sequential_when_gated() {
+    let d =
+        SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&PingPong::new(32, 4), 4)
+            .min_distance;
+    for shards in [2, 3, 8] {
+        let mut w = PingPong::new(32, 10);
+        let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+            SpecConfig::with_workers(3)
+                .spec_distance(d)
+                .checker_shards(shards),
+        )
+        .execute(&w)
+        .unwrap();
+        assert_eq!(
+            report.stats.misspeculations, 0,
+            "gated run never rolls back ({shards} shards)"
+        );
+        assert_eq!(w.result(), PingPong::sequential(32, 10));
+        assert_eq!(report.stats.tasks, 32 * 10);
+        // Every task files exactly one check request regardless of how many
+        // shards its span fans out to.
+        assert_eq!(report.stats.check_requests, 32 * 10);
+    }
+}
+
+#[test]
+fn sharded_ungated_speculation_recovers_to_correct_result() {
+    for shards in [2, 4] {
+        let mut w = PingPong::new(16, 8);
+        let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+            SpecConfig::with_workers(3).checker_shards(shards),
+        )
+        .execute(&w)
+        .unwrap();
+        assert_eq!(w.result(), PingPong::sequential(16, 8));
+        assert!(report.stats.tasks >= 16 * 8);
+    }
+}
+
+#[test]
+fn sharded_injected_conflict_recovers_once() {
+    let mut w = PingPong::new(16, 9);
+    let d =
+        SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&PingPong::new(16, 4), 4)
+            .min_distance;
+    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+        SpecConfig::with_workers(2)
+            .spec_distance(d)
+            .checker_shards(4)
+            .inject_conflict_at_epoch(Some(4)),
+    )
+    .execute(&w)
+    .unwrap();
+    // The injected conflict may be seen by several shard threads of the same
+    // pass; first-wins must still report exactly one misspeculation.
+    assert_eq!(report.stats.misspeculations, 1);
+    assert_eq!(report.conflicts.len(), 1);
+    assert_eq!(w.result(), PingPong::sequential(16, 9));
+}
+
+#[test]
+fn sharded_trace_carries_one_census_row_per_shard() {
+    use crossinvoc_runtime::trace::{checker_shard_of_tid, Event};
+    let d =
+        SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::profile(&PingPong::new(16, 4), 4)
+            .min_distance;
+    let w = PingPong::new(16, 6);
+    let report = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+        SpecConfig::with_workers(2)
+            .spec_distance(d)
+            .checker_shards(3)
+            .trace(4096),
+    )
+    .execute(&w)
+    .unwrap();
+    let trace = report.trace.expect("tracing was configured");
+    let mut rows = Vec::new();
+    let mut routed = 0u64;
+    for rec in trace.records() {
+        if let Event::CheckerShard {
+            shard,
+            shards,
+            requests,
+        } = rec.event
+        {
+            assert_eq!(shards, 3);
+            assert_eq!(checker_shard_of_tid(rec.tid), Some(shard as usize));
+            rows.push(shard);
+            routed += requests;
+        }
+    }
+    rows.sort_unstable();
+    assert_eq!(rows, vec![0, 1, 2], "one census row per shard per pass");
+    // Fan-out can only add deliveries on top of the per-task requests.
+    assert!(routed >= report.stats.check_requests);
+}
+
+#[test]
+fn invalid_shard_counts_are_rejected() {
+    let w = PingPong::new(4, 2);
+    for shards in [0, crossinvoc_speccross::MAX_SHARDS + 1] {
+        let engine = SpecCrossEngine::<crossinvoc_runtime::RangeSignature>::new(
+            SpecConfig::with_workers(2).checker_shards(shards),
+        );
+        assert!(matches!(
+            engine.execute(&w).unwrap_err(),
+            SpecError::InvalidConfig(_)
+        ));
+    }
+}
+
+#[test]
 fn single_worker_speculation_is_trivially_sound() {
     let mut w = PingPong::new(8, 5);
     let report =

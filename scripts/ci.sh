@@ -26,6 +26,33 @@ run "$TEST_TIMEOUT" cargo test -q --workspace
 run "$CLIPPY_TIMEOUT" cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" run "$BUILD_TIMEOUT" cargo doc --no-deps --workspace
 
+# Docs ↔ CLI consistency: every `--flag` the prose mentions alongside one
+# of the repo's binaries must still be parsed by one of those binaries'
+# sources, so a renamed or removed flag can't leave dangling instructions
+# behind. (Checked against the union of the three binaries because a doc
+# line may name several of them; cargo's own flags are whitelisted.)
+check_doc_flags() {
+  local bad=0 f
+  local bins='bench-suite|fuzz-diff|trace-report'
+  local srcs='crates/bench/src/bin/bench-suite.rs crates/bench/src/bin/fuzz-diff.rs crates/bench/src/bin/trace-report.rs'
+  local cargo_flags='release|bin|package|quiet|workspace|features|bench|no-deps|all-targets'
+  local s
+  for s in $srcs; do
+    [ -f "$s" ] || { echo "ERROR: docs reference binary source $s, which is missing" >&2; bad=1; }
+  done
+  for f in $(grep -rhE "\b($bins)\b" --include='*.md' README.md EXPERIMENTS.md DESIGN.md docs |
+    grep -oE -- '--[a-z][a-z-]+' | sed 's/^--//' | sort -u |
+    grep -vE "^($cargo_flags)$" || true); do
+    if ! grep -q -- "\"--$f\"" $srcs; then
+      echo "ERROR: docs mention flag --$f next to ($bins) but no binary parses it" >&2
+      bad=1
+    fi
+  done
+  return "$bad"
+}
+echo "==> docs/CLI flag consistency"
+check_doc_flags
+
 # Scheduling-policy regression smoke: must produce a well-formed
 # BENCH_3.json (the full criteria run at figure scale; see EXPERIMENTS.md).
 run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- --smoke
@@ -39,6 +66,14 @@ run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suit
   --fastpath --smoke
 run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
   --validate target/figures/BENCH_5.json
+
+# Sharded-checker regression smoke: must produce a well-formed
+# BENCH_7.json (verdict identity + checker-wait share criteria run at
+# figure scale via `--shards` without `--smoke`, see EXPERIMENTS.md).
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
+  --shards --smoke
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
+  --validate target/figures/BENCH_7.json
 
 # Differential-fuzzing smoke: replay the checked-in corpus, then a fixed
 # seed window through every engine path against the sequential oracle

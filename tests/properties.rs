@@ -457,8 +457,9 @@ fn inspector_wavefronts_are_conflict_free() {
 /// Decodes a thread id from raw bits, including the service-thread
 /// sentinels that exercise the JSONL writer's special cases.
 fn tid_from(raw: u64) -> usize {
-    use crossinvoc_runtime::trace::{CHECKER_TID, MANAGER_TID};
+    use crossinvoc_runtime::trace::{checker_shard_tid, CHECKER_TID, MANAGER_TID};
     match raw % 10 {
+        7 => checker_shard_tid((raw >> 8) as usize % 64),
         8 => CHECKER_TID,
         9 => MANAGER_TID,
         n => n as usize,
@@ -468,7 +469,7 @@ fn tid_from(raw: u64) -> usize {
 /// Builds one arbitrary trace [`Event`]: `sel` picks the variant and the
 /// raw words fill its fields. (The vendored proptest shim has no
 /// `prop_oneof!`, so variant choice is an explicit decode; callers sweep
-/// `sel` over `0..14` to guarantee every variant appears in every case.)
+/// `sel` over `0..15` to guarantee every variant appears in every case.)
 fn event_from(
     sel: usize,
     x: (u64, u64, u64),
@@ -479,7 +480,7 @@ fn event_from(
     let (a, b, c) = x;
     let (d, e, f) = y;
     let epoch = a as u32;
-    match sel % 14 {
+    match sel % 15 {
         0 => Event::EpochBegin { epoch },
         1 => Event::EpochEnd { epoch },
         2 => Event::TaskAssign {
@@ -520,6 +521,11 @@ fn event_from(
             comparisons: c,
         },
         12 => Event::ScheduleCacheHit { epoch },
+        13 => Event::CheckerShard {
+            shard: b as u32,
+            shards: c as u32,
+            requests: d,
+        },
         _ => Event::Wake {
             edge: WakeEdge::ALL[(b % 4) as usize],
             src_tid: tid_from(c),
@@ -530,18 +536,18 @@ fn event_from(
 
 proptest! {
     /// The JSONL wire schema is lossless over *every* event variant,
-    /// including `Wake` over all four edge classes and full-range `u64`
-    /// fields: a trace built from arbitrary records round-trips through
-    /// `to_jsonl`/`from_jsonl` unchanged. At least 14 records per case and
-    /// an `i % 14` variant sweep guarantee full variant coverage in every
-    /// case, not just in expectation.
+    /// including `Wake` over all four edge classes, the checker-shard tid
+    /// band and full-range `u64` fields: a trace built from arbitrary
+    /// records round-trips through `to_jsonl`/`from_jsonl` unchanged. At
+    /// least 15 records per case and an `i % 15` variant sweep guarantee
+    /// full variant coverage in every case, not just in expectation.
     #[test]
     fn trace_jsonl_round_trips_every_event_variant(
         raw in prop::collection::vec(
             (any::<u64>(), any::<u64>(),
              (any::<u64>(), any::<u64>(), any::<u64>()),
              (any::<u64>(), any::<u64>(), any::<u64>())),
-            14..40)
+            15..40)
     ) {
         use crossinvoc_runtime::trace::{Trace, TraceRecord};
         let records: Vec<TraceRecord> = raw
@@ -658,6 +664,68 @@ proptest! {
                 bucketed.retire_before(e);
                 naive.retain(|q| q.pos.epoch >= e);
                 prop_assert_eq!(bucketed.logged(), naive.len());
+            }
+        }
+    }
+
+    /// Sharding the checker is verdict-transparent for Range signatures:
+    /// over randomized request streams — multi-address spans that straddle
+    /// shards, lagging snapshot views, interleaved retirement — every shard
+    /// count issues exactly the unsharded verdict at every admission. (The
+    /// merge rule under test: a straddling task is admitted iff every
+    /// touched shard admits it, and any shard's conflict is the verdict.)
+    #[test]
+    fn sharded_checker_matches_unsharded_verdicts(
+        workers in 2usize..5,
+        shards in 2usize..10,
+        steps in prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(0usize..24, 0..4)), 1..100),
+    ) {
+        use crossinvoc_speccross::{CheckRequest, CheckerState, ShardedChecker};
+
+        let mut board = vec![Position::ZERO; workers];
+        let mut observed = vec![Position::ZERO; workers];
+        let mut live = vec![false; workers];
+        let mut plain = CheckerState::<RangeSignature>::new(workers);
+        let mut sharded = ShardedChecker::<RangeSignature>::new(workers, shards);
+
+        for (r, addrs) in steps {
+            let w = (r % workers as u64) as usize;
+            let pos = if !live[w] {
+                live[w] = true;
+                board[w]
+            } else if (r >> 4) % 3 == 0 {
+                Position { epoch: board[w].epoch + 1, task: 0 }
+            } else {
+                Position { epoch: board[w].epoch, task: board[w].task + 1 }
+            };
+            board[w] = pos;
+            if (r >> 16) % 2 == 0 {
+                let v = ((r >> 20) % workers as u64) as usize;
+                observed[v] = board[v];
+            }
+            observed[w] = pos;
+            let mut sig = RangeSignature::empty();
+            for &a in &addrs {
+                sig.record(a, AccessKind::Write);
+            }
+            let req = CheckRequest {
+                tid: w,
+                pos,
+                snapshot: observed.clone().into_boxed_slice(),
+                sig,
+            };
+            prop_assert_eq!(
+                sharded.admit(req.clone()).is_some(),
+                plain.admit(req).is_some(),
+                "verdicts diverged at {:?} with {} shards",
+                pos,
+                shards
+            );
+            if (r >> 24) % 8 == 0 {
+                let e = board.iter().map(|p| p.epoch).min().unwrap_or(0);
+                plain.retire_before(e);
+                sharded.retire_before(e);
             }
         }
     }
