@@ -46,16 +46,36 @@
 //! the checker-wait critical-path share below `0.9738×` the single-shard
 //! (BENCH_5 baseline) share.
 //!
+//! With `--regions` the suite produces `target/figures/BENCH_8.json`, the
+//! region-server saturation gate: a mixed batch of independent SPECCROSS
+//! and DOMORE regions is pushed through one shared
+//! [`WorkerPool`](crossinvoc_runtime::pool::WorkerPool) via the
+//! [`RegionServer`]. Three criteria, all
+//! deterministic and therefore evaluated in smoke mode too:
+//!
+//! * **identity** — every region's result digest (tasks, epochs, verdict
+//!   stream, final cells) through the shared pool is byte-identical to its
+//!   solo region-at-a-time run;
+//! * **throughput** — the pooled makespan, replayed in virtual time by the
+//!   FIFO gang-admission model ([`crossinvoc_sim::server`]; this container
+//!   has one core, so wall clock would measure noise), must be strictly
+//!   below region-at-a-time execution;
+//! * **isolation** — rerunning the batch with region 0 under a worker-panic
+//!   fault plan leaves every neighbour's digest (including its verdict
+//!   stream) byte-identical to solo, while region 0 itself still completes
+//!   with the fault contained.
+//!
 //! ```text
 //! bench-suite [--smoke] [--out PATH] [--workers N] [--reps N]
 //! bench-suite --fastpath [--smoke] [--out PATH] [--workers N]
 //! bench-suite --shards [--smoke] [--out PATH]
-//! bench-suite --validate PATH   # parse an existing BENCH_3/5/7 report
+//! bench-suite --regions [--smoke] [--out PATH]
+//! bench-suite --validate PATH   # parse an existing BENCH_3/5/7/8 report
 //! ```
 //!
 //! `--validate` dispatches on the report's `schema` field, so one CI step
 //! checks any artifact. Exit status is nonzero on panic, checksum
-//! mismatch, malformed JSON, or (full mode) failed criteria.
+//! mismatch, malformed JSON, or failed criteria.
 //!
 //! [`AccessKernel`]: crossinvoc_workloads::AccessKernel
 //! [`Metrics`]: crossinvoc_runtime::metrics::Metrics
@@ -63,15 +83,23 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
+use crossinvoc::server::{RegionReport, RegionServer};
 use crossinvoc_bench::json::{self, Json};
 use crossinvoc_bench::{domore_policy, out_dir};
 use crossinvoc_domore::prelude::*;
+use crossinvoc_domore::runtime::ExecutionReport;
+use crossinvoc_runtime::fault::FaultPlan;
 use crossinvoc_runtime::metrics::HistogramSummary;
-use crossinvoc_runtime::signature::AccessKind;
+use crossinvoc_runtime::signature::{AccessKind, RangeSignature};
+use crossinvoc_runtime::ThreadId;
 use crossinvoc_runtime::{critical_path, what_if, PathCategory, TraceReport, WakeEdge};
 use crossinvoc_sim::prelude::*;
+use crossinvoc_speccross::engine::{SpecConfig, SpecCrossEngine, SpecReport};
+use crossinvoc_speccross::workload::{AccessRecorder, SpecWorkload};
 use crossinvoc_workloads::{registry, AccessKernel, BenchmarkInfo, Scale};
 
 /// Minimum virtual-time win adaptive must show over round-robin on at
@@ -96,6 +124,7 @@ struct Args {
     smoke: bool,
     fastpath: bool,
     shards: bool,
+    regions: bool,
     out: PathBuf,
     workers: usize,
     reps: usize,
@@ -107,6 +136,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         fastpath: false,
         shards: false,
+        regions: false,
         out: PathBuf::new(), // resolved after the mode flags are known
         workers: 8,
         reps: 0, // resolved after --smoke is known
@@ -121,6 +151,7 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => args.smoke = true,
             "--fastpath" => args.fastpath = true,
             "--shards" => args.shards = true,
+            "--regions" => args.regions = true,
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--workers" => {
                 args.workers = value("--workers")?
@@ -139,10 +170,17 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     args.reps = reps.unwrap_or(if args.smoke { 1 } else { 5 });
-    if args.fastpath && args.shards {
-        return Err("--fastpath and --shards are mutually exclusive".into());
+    if [args.fastpath, args.shards, args.regions]
+        .iter()
+        .filter(|&&f| f)
+        .count()
+        > 1
+    {
+        return Err("--fastpath, --shards and --regions are mutually exclusive".into());
     }
-    let default_name = if args.shards {
+    let default_name = if args.regions {
+        "BENCH_8.json"
+    } else if args.shards {
         "BENCH_7.json"
     } else if args.fastpath {
         "BENCH_5.json"
@@ -182,7 +220,9 @@ fn main() -> ExitCode {
             }
         };
     }
-    if args.shards {
+    if args.regions {
+        run_regions(&args)
+    } else if args.shards {
         run_shards(&args)
     } else if args.fastpath {
         run_fastpath(&args)
@@ -880,6 +920,493 @@ fn render_fastpath_json(
     s
 }
 
+// ---- BENCH_8: the region-server saturation suite ----
+
+/// Which engine a BENCH_8 region runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionKind {
+    Spec,
+    Domore,
+}
+
+/// One region of the BENCH_8 batch.
+#[derive(Debug, Clone, Copy)]
+struct RegionDef {
+    kind: RegionKind,
+    workers: usize,
+    shards: usize,
+    epochs: usize,
+    tasks: usize,
+}
+
+impl RegionDef {
+    /// Pool slots the region's gang occupies (the DOMORE scheduler rides
+    /// the submitting manager thread, so only its workers count).
+    fn gang(&self) -> usize {
+        match self.kind {
+            RegionKind::Spec => self.workers + self.shards,
+            RegionKind::Domore => self.workers,
+        }
+    }
+
+    fn kind_name(&self) -> &'static str {
+        match self.kind {
+            RegionKind::Spec => "speccross",
+            RegionKind::Domore => "domore",
+        }
+    }
+}
+
+/// Conflict-free SPECCROSS grid: task `t` of every epoch increments cell
+/// `t`, so clean runs never misspeculate and the digest is deterministic.
+/// Atomic cells survive an injected task panic without lock poisoning.
+struct RegionIncGrid {
+    cells: Vec<AtomicU64>,
+    epochs: usize,
+}
+
+impl RegionIncGrid {
+    fn new(tasks: usize, epochs: usize) -> Self {
+        Self {
+            cells: (0..tasks).map(|_| AtomicU64::new(0)).collect(),
+            epochs,
+        }
+    }
+}
+
+impl SpecWorkload for RegionIncGrid {
+    type State = Vec<u64>;
+
+    fn num_epochs(&self) -> usize {
+        self.epochs
+    }
+
+    fn num_tasks(&self, _epoch: usize) -> usize {
+        self.cells.len()
+    }
+
+    fn execute_task(
+        &self,
+        _epoch: usize,
+        task: usize,
+        _tid: ThreadId,
+        recorder: &mut dyn AccessRecorder,
+    ) {
+        recorder.record(task, AccessKind::Write);
+        self.cells[task].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn restore(&self, state: &Vec<u64>) {
+        for (cell, v) in self.cells.iter().zip(state) {
+            cell.store(*v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The DOMORE analogue: iteration `i` of every invocation owns cell `i`.
+struct RegionDomGrid {
+    cells: Vec<AtomicU64>,
+    invocations: usize,
+}
+
+impl RegionDomGrid {
+    fn new(iterations: usize, invocations: usize) -> Self {
+        Self {
+            cells: (0..iterations).map(|_| AtomicU64::new(0)).collect(),
+            invocations,
+        }
+    }
+}
+
+impl DomoreWorkload for RegionDomGrid {
+    fn num_invocations(&self) -> usize {
+        self.invocations
+    }
+
+    fn num_iterations(&self, _inv: usize) -> usize {
+        self.cells.len()
+    }
+
+    fn touched_addrs(&self, _inv: usize, iter: usize, out: &mut Vec<usize>) {
+        out.push(iter);
+    }
+
+    fn execute_iteration(&self, _inv: usize, iter: usize, _tid: ThreadId) {
+        self.cells[iter].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        Some(self.cells.len())
+    }
+}
+
+fn cells_of(cells: &[AtomicU64]) -> Vec<u64> {
+    cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+}
+
+/// Canonical result digest of a SPECCROSS region: every deterministic
+/// observable, including the verdict stream (conflicts in detection order,
+/// misspeculation count) and the final memory image. Timing-dependent
+/// fields (wall clock, stalls, comparison counts) are deliberately absent.
+fn spec_digest(report: &SpecReport, cells: &[AtomicU64]) -> String {
+    format!(
+        "spec tasks={} epochs={} misspec={} conflicts={:?} degraded={} contained={} cells={:?}",
+        report.stats.tasks,
+        report.stats.epochs,
+        report.stats.misspeculations,
+        report.conflicts,
+        report.degraded,
+        report.contained_faults.len(),
+        cells_of(cells),
+    )
+}
+
+/// Canonical result digest of a DOMORE region (scheduling decisions are
+/// deterministic, so the synchronization-condition count is too).
+fn dom_digest(report: &ExecutionReport, cells: &[AtomicU64]) -> String {
+    format!(
+        "domore tasks={} epochs={} sync={} cells={:?}",
+        report.stats.tasks,
+        report.stats.epochs,
+        report.stats.sync_conditions,
+        cells_of(cells),
+    )
+}
+
+fn spec_region_config(def: &RegionDef) -> SpecConfig {
+    SpecConfig::with_workers(def.workers)
+        .checker_shards(def.shards)
+        .checkpoint_every(4)
+}
+
+/// Runs one region alone, the pre-region-server way: a fresh scoped gang
+/// on dedicated threads. This is the baseline every pooled digest must
+/// reproduce byte-for-byte.
+fn run_region_solo(def: &RegionDef) -> Result<String, String> {
+    match def.kind {
+        RegionKind::Spec => {
+            let w = RegionIncGrid::new(def.tasks, def.epochs);
+            let report = SpecCrossEngine::<RangeSignature>::new(spec_region_config(def))
+                .execute(&w)
+                .map_err(|e| format!("solo speccross region: {e}"))?;
+            Ok(spec_digest(&report, &w.cells))
+        }
+        RegionKind::Domore => {
+            let w = RegionDomGrid::new(def.tasks, def.epochs);
+            let report = DomoreRuntime::new(DomoreConfig::with_workers(def.workers))
+                .execute(&w)
+                .map_err(|e| format!("solo domore region: {e}"))?;
+            Ok(dom_digest(&report, &w.cells))
+        }
+    }
+}
+
+/// Workload handles kept across a pooled run so digests can read the final
+/// cells after the joins.
+enum LoadRef {
+    Spec(Arc<RegionIncGrid>),
+    Dom(Arc<RegionDomGrid>),
+}
+
+/// Submits the whole batch to one shared-pool [`RegionServer`] and joins
+/// every region. With `fault_region0` the first region (SPECCROSS by
+/// construction) runs under a worker-panic fault plan; its own digest is
+/// timing-dependent (how far the other workers ran before the rollback
+/// varies), so the returned bool instead reports whether the fault was
+/// contained *and* the region's final cells are still exact — the
+/// neighbours' digests remain byte-comparable either way.
+fn run_regions_pooled(
+    defs: &[RegionDef],
+    pool_threads: usize,
+    fault_region0: bool,
+) -> Result<(Vec<String>, bool), String> {
+    let server = RegionServer::new(pool_threads);
+    let mut loads = Vec::new();
+    let mut handles = Vec::new();
+    for (i, def) in defs.iter().enumerate() {
+        let region_id = (i + 1) as u64;
+        match def.kind {
+            RegionKind::Spec => {
+                let w = Arc::new(RegionIncGrid::new(def.tasks, def.epochs));
+                let mut config = spec_region_config(def);
+                if fault_region0 && i == 0 {
+                    config = config.fault_plan(FaultPlan::new().worker_panic_at(1, 0));
+                }
+                handles.push(server.submit_spec::<RangeSignature, _>(
+                    region_id,
+                    config,
+                    Arc::clone(&w),
+                ));
+                loads.push(LoadRef::Spec(w));
+            }
+            RegionKind::Domore => {
+                let w = Arc::new(RegionDomGrid::new(def.tasks, def.epochs));
+                handles.push(server.submit_domore(
+                    region_id,
+                    DomoreConfig::with_workers(def.workers),
+                    Arc::clone(&w),
+                ));
+                loads.push(LoadRef::Dom(w));
+            }
+        }
+    }
+    let mut digests = Vec::new();
+    let mut region0_ok = true;
+    for (i, (handle, load)) in handles.into_iter().zip(&loads).enumerate() {
+        let report = handle
+            .join()
+            .map_err(|e| format!("pooled region {}: {e}", i + 1))?;
+        if fault_region0 && i == 0 {
+            region0_ok = match (&report, load) {
+                (RegionReport::Spec(r), LoadRef::Spec(w)) => {
+                    !r.contained_faults.is_empty()
+                        && cells_of(&w.cells)
+                            .iter()
+                            .all(|&c| c == defs[0].epochs as u64)
+                }
+                _ => false,
+            };
+            digests.push(String::new());
+            continue;
+        }
+        let digest = match (&report, load) {
+            (RegionReport::Spec(r), LoadRef::Spec(w)) => spec_digest(r, &w.cells),
+            (RegionReport::Domore(r), LoadRef::Dom(w)) => dom_digest(r, &w.cells),
+            _ => return Err(format!("region {} returned the wrong report kind", i + 1)),
+        };
+        digests.push(digest);
+    }
+    Ok((digests, region0_ok))
+}
+
+/// Solo virtual-time duration of one region, for the throughput replay
+/// (the container is single-core; wall clock would measure noise).
+fn region_sim_duration(def: &RegionDef, cost: &CostModel) -> u64 {
+    let w = UniformWorkload::independent(def.epochs, def.tasks, 10_000);
+    match def.kind {
+        RegionKind::Spec => {
+            let params = SpecSimParams::with_threads(def.workers).checker_shards(def.shards);
+            crossinvoc_sim::speccross::speccross(&w, &params, cost).total_ns
+        }
+        RegionKind::Domore => domore(&w, def.workers, &mut RoundRobin, cost).total_ns,
+    }
+}
+
+fn run_regions(args: &Args) -> ExitCode {
+    let suite_start = Instant::now();
+    // Gangs are sized so the pool can overlap at least two regions
+    // (throughput must beat region-at-a-time strictly); region 0 is
+    // SPECCROSS because the isolation leg faults it via the spec fault
+    // plan. Shapes are conflict-free grids, so every digest field is
+    // deterministic and the criteria hold at either scale.
+    let (pool_threads, defs) = if args.smoke {
+        let spec = RegionDef {
+            kind: RegionKind::Spec,
+            workers: 2,
+            shards: 1,
+            epochs: 8,
+            tasks: 8,
+        };
+        let dom = RegionDef {
+            kind: RegionKind::Domore,
+            workers: 2,
+            shards: 0,
+            epochs: 8,
+            tasks: 8,
+        };
+        (6, vec![spec, dom, spec, dom])
+    } else {
+        let spec = RegionDef {
+            kind: RegionKind::Spec,
+            workers: 3,
+            shards: 1,
+            epochs: 24,
+            tasks: 16,
+        };
+        let dom = RegionDef {
+            kind: RegionKind::Domore,
+            workers: 4,
+            shards: 0,
+            epochs: 24,
+            tasks: 16,
+        };
+        (8, vec![spec, dom, spec, dom, spec, dom])
+    };
+    println!(
+        "[regions] {} regions through a {pool_threads}-thread pool (gangs {:?})",
+        defs.len(),
+        defs.iter().map(RegionDef::gang).collect::<Vec<_>>()
+    );
+
+    // Criterion 1: pooled digests byte-identical to solo digests.
+    let solo: Vec<String> = match defs.iter().map(run_region_solo).collect() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench-suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (pooled, _) = match run_regions_pooled(&defs, pool_threads, false) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench-suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let identical: Vec<bool> = solo.iter().zip(&pooled).map(|(s, p)| s == p).collect();
+    let all_identical = identical.iter().all(|&b| b);
+
+    // Criterion 2: pooled throughput strictly beats region-at-a-time in
+    // the FIFO gang-admission virtual-time replay.
+    let cost = CostModel::default();
+    let durations: Vec<u64> = defs.iter().map(|d| region_sim_duration(d, &cost)).collect();
+    let sim = region_server(
+        pool_threads,
+        &defs
+            .iter()
+            .zip(&durations)
+            .map(|(d, &duration)| RegionSpec {
+                gang: d.gang(),
+                duration,
+            })
+            .collect::<Vec<_>>(),
+    );
+    let ratio = sim.throughput_ratio();
+
+    // Criterion 3: a faulted region 0 leaves every neighbour's digest —
+    // verdict stream included — byte-identical to its solo run.
+    let (faulted, region0_contained) = match run_regions_pooled(&defs, pool_threads, true) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench-suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let isolated: Vec<bool> = solo
+        .iter()
+        .zip(&faulted)
+        .enumerate()
+        .map(|(i, (s, f))| if i == 0 { region0_contained } else { s == f })
+        .collect();
+    let isolation = isolated.iter().all(|&b| b);
+
+    let pass = all_identical && ratio > 1.0 && isolation;
+    let json = render_regions_json(
+        args,
+        pool_threads,
+        &defs,
+        &durations,
+        &identical,
+        &isolated,
+        &sim,
+        region0_contained,
+        pass,
+    );
+    if let Err(e) = std::fs::create_dir_all(args.out.parent().unwrap_or(&args.out)) {
+        eprintln!("bench-suite: creating output directory: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("bench-suite: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = validate_report(&json) {
+        eprintln!("bench-suite: produced malformed JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "[wrote {}] in {:.1}s",
+        args.out.display(),
+        suite_start.elapsed().as_secs_f64()
+    );
+    for (i, def) in defs.iter().enumerate() {
+        println!(
+            "  region {} ({}, gang {}): identical={} isolated={} sim {} ns",
+            i + 1,
+            def.kind_name(),
+            def.gang(),
+            identical[i],
+            isolated[i],
+            durations[i],
+        );
+    }
+    println!(
+        "pooled makespan {} ns vs region-at-a-time {} ns = {ratio:.3}x (need > 1.0), \
+         fault contained: {region0_contained}",
+        sim.makespan, sim.sequential
+    );
+    // The criteria are deterministic (digest equality, virtual time), so
+    // unlike the timing-calibrated suites they gate smoke mode too.
+    if pass {
+        println!("criteria: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("criteria: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_regions_json(
+    args: &Args,
+    pool_threads: usize,
+    defs: &[RegionDef],
+    durations: &[u64],
+    identical: &[bool],
+    isolated: &[bool],
+    sim: &ServerSimResult,
+    region0_contained: bool,
+    pass: bool,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"crossinvoc-bench-8\",");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(s, "  \"pool\": {{ \"threads\": {pool_threads} }},");
+    s.push_str("  \"regions\": [\n");
+    for (i, def) in defs.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"region_id\": {},", i + 1);
+        let _ = writeln!(s, "      \"kind\": \"{}\",", def.kind_name());
+        let _ = writeln!(s, "      \"gang\": {},", def.gang());
+        let _ = writeln!(s, "      \"epochs\": {},", def.epochs);
+        let _ = writeln!(s, "      \"tasks\": {},", def.tasks);
+        let _ = writeln!(s, "      \"sim_duration_ns\": {},", durations[i]);
+        let _ = writeln!(s, "      \"identical\": {},", identical[i]);
+        let _ = writeln!(s, "      \"isolated\": {}", isolated[i]);
+        s.push_str("    }");
+        s.push_str(if i + 1 < defs.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"throughput\": {\n");
+    let _ = writeln!(s, "    \"makespan_ns\": {},", sim.makespan);
+    let _ = writeln!(s, "    \"region_at_a_time_ns\": {},", sim.sequential);
+    let _ = writeln!(s, "    \"ratio\": {:.4}", sim.throughput_ratio());
+    s.push_str("  },\n");
+    s.push_str("  \"isolation\": {\n");
+    let _ = writeln!(s, "    \"faulted_region\": 1,");
+    let _ = writeln!(s, "    \"contained\": {region0_contained}");
+    s.push_str("  },\n");
+    s.push_str("  \"criteria\": {\n");
+    let _ = writeln!(s, "    \"evaluated\": true,");
+    let _ = writeln!(s, "    \"identical\": {},", identical.iter().all(|&b| b));
+    let _ = writeln!(s, "    \"min_ratio\": 1.0,");
+    let _ = writeln!(s, "    \"ratio\": {:.4},", sim.throughput_ratio());
+    let _ = writeln!(s, "    \"isolation\": {},", isolated.iter().all(|&b| b));
+    let _ = writeln!(s, "    \"pass\": {pass}");
+    s.push_str("  }\n}\n");
+    s
+}
+
 // ---- JSON rendering (hand-rolled: the workspace carries no serde) ----
 
 fn render_json(
@@ -1030,6 +1557,7 @@ fn validate_report(text: &str) -> Result<String, String> {
         Some(Json::Str(s)) if s == "crossinvoc-bench-3" => validate_bench3(&root),
         Some(Json::Str(s)) if s == "crossinvoc-bench-5" => validate_bench5(&root),
         Some(Json::Str(s)) if s == "crossinvoc-bench-7" => validate_bench7(&root),
+        Some(Json::Str(s)) if s == "crossinvoc-bench-8" => validate_bench8(&root),
         other => Err(format!("bad schema field: {other:?}")),
     }
 }
@@ -1123,6 +1651,46 @@ fn validate_bench7(root: &Json) -> Result<String, String> {
     Ok(format!("valid BENCH_7 report, {} shard rows", rows.len()))
 }
 
+fn validate_bench8(root: &Json) -> Result<String, String> {
+    let criteria = root.get("criteria").ok_or("missing criteria")?;
+    for field in ["pass", "identical", "isolation"] {
+        if !matches!(criteria.get(field), Some(Json::Bool(_))) {
+            return Err(format!("criteria.{field} must be a bool"));
+        }
+    }
+    if !matches!(criteria.get("ratio"), Some(Json::Num(_))) {
+        return Err("criteria.ratio must be a number".into());
+    }
+    let throughput = root.get("throughput").ok_or("missing throughput")?;
+    for field in ["makespan_ns", "region_at_a_time_ns", "ratio"] {
+        if !matches!(throughput.get(field), Some(Json::Num(_))) {
+            return Err(format!("throughput.{field} must be a number"));
+        }
+    }
+    let isolation = root.get("isolation").ok_or("missing isolation")?;
+    if !matches!(isolation.get("contained"), Some(Json::Bool(_))) {
+        return Err("isolation.contained must be a bool".into());
+    }
+    let regions = match root.get("regions") {
+        Some(Json::Arr(items)) if items.len() >= 2 => items,
+        _ => return Err("regions needs at least two concurrent rows".into()),
+    };
+    for row in regions {
+        if !matches!(row.get("region_id"), Some(Json::Num(_)))
+            || !matches!(row.get("gang"), Some(Json::Num(_)))
+            || !matches!(row.get("kind"), Some(Json::Str(_)))
+        {
+            return Err("region row needs region_id, gang and kind".into());
+        }
+        for field in ["identical", "isolated"] {
+            if !matches!(row.get(field), Some(Json::Bool(_))) {
+                return Err(format!("region row field {field} must be a bool"));
+            }
+        }
+    }
+    Ok(format!("valid BENCH_8 report, {} regions", regions.len()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1191,5 +1759,37 @@ mod tests {
             "",
         );
         assert!(validate_report(&one_row).is_err());
+    }
+
+    #[test]
+    fn bench8_contract_is_enforced() {
+        let err =
+            validate_report(r#"{"schema": "crossinvoc-bench-8", "criteria": {"pass": true}}"#)
+                .unwrap_err();
+        assert!(err.contains("identical"), "{err}");
+
+        let ok = r#"{
+          "schema": "crossinvoc-bench-8",
+          "criteria": {"pass": true, "identical": true, "isolation": true, "ratio": 1.9},
+          "throughput": {"makespan_ns": 100, "region_at_a_time_ns": 190, "ratio": 1.9},
+          "isolation": {"faulted_region": 1, "contained": true},
+          "regions": [
+            {"region_id": 1, "kind": "speccross", "gang": 3, "identical": true, "isolated": true},
+            {"region_id": 2, "kind": "domore", "gang": 2, "identical": true, "isolated": true}
+          ]
+        }"#;
+        let desc = validate_report(ok).unwrap();
+        assert!(desc.contains("BENCH_8"), "{desc}");
+
+        // One region is not a saturation batch.
+        let one_region = ok.replace(
+            ",\n            {\"region_id\": 2, \"kind\": \"domore\", \"gang\": 2, \
+             \"identical\": true, \"isolated\": true}",
+            "",
+        );
+        assert!(validate_report(&one_region).is_err());
+
+        let bad_iso = ok.replace("\"contained\": true", "\"contained\": \"yes\"");
+        assert!(validate_report(&bad_iso).is_err());
     }
 }

@@ -31,7 +31,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use crossinvoc_fuzz::gen::{generate, FuzzCase, GenParams};
-use crossinvoc_fuzz::{case_to_text, load_corpus, minimize, run_case, write_counterexample};
+use crossinvoc_fuzz::{
+    case_to_text, load_corpus, minimize, run_case, run_concurrent_pair, write_counterexample,
+};
 
 struct Args {
     cases: u64,
@@ -221,8 +223,12 @@ fn main() -> ExitCode {
         }
     }
 
-    // Fresh generation over the seed window.
-    let (mut spec, mut domore, mut faulty) = (0u64, 0u64, 0u64);
+    // Fresh generation over the seed window. Consecutive cases are also
+    // paired through one shared worker pool (the region-server deployment
+    // shape): the pool must be observationally invisible for fault-free
+    // pairs and degrade to typed errors at worst under faults.
+    let (mut spec, mut domore, mut faulty, mut pairs) = (0u64, 0u64, 0u64, 0u64);
+    let mut pending: Option<FuzzCase> = None;
     for seed in args.start..args.start + args.cases {
         let case = generate(seed, &params);
         let (s, d) = run_case_applicability(&case);
@@ -232,16 +238,26 @@ fn main() -> ExitCode {
         if !run_one(&case, &args, "generated") {
             failures += 1;
         }
+        match pending.take() {
+            None => pending = Some(case),
+            Some(prev) => {
+                pairs += 1;
+                if !run_pair(&prev, &case, &args) {
+                    failures += 1;
+                }
+            }
+        }
     }
     println!(
         "fuzz-diff: {} cases (seeds {}..{}), {} spec-applicable, {} domore-applicable, \
-         {} fault-injected, {} divergences, {:.1}s",
+         {} fault-injected, {} concurrent pairs, {} divergences, {:.1}s",
         args.cases,
         args.start,
         args.start + args.cases,
         spec,
         domore,
         faulty,
+        pairs,
         failures,
         t0.elapsed().as_secs_f64()
     );
@@ -253,6 +269,40 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Runs two consecutive generated cases concurrently through one shared
+/// worker pool and records the diverging case (unminimized: a
+/// concurrency-sensitive divergence need not reproduce under the
+/// shrinker's solo replays). Returns whether the pair was clean.
+fn run_pair(a: &FuzzCase, b: &FuzzCase, args: &Args) -> bool {
+    let report = run_concurrent_pair(a, b);
+    let Some(div) = report.divergence else {
+        return true;
+    };
+    let offender = if div.path == "regions-a" { a } else { b };
+    eprintln!(
+        "FAIL pair (seeds {}, {}): path {} diverged: {}",
+        a.seed, b.seed, div.path, div.detail
+    );
+    eprintln!(
+        "     reproduce solo with: fuzz-diff --seed {} (shared-pool pairing: seeds {} + {})",
+        offender.seed, a.seed, b.seed
+    );
+    let detail = format!(
+        "divergence on path {}: {}\nfound by fuzz-diff (concurrent pair, seeds {} + {})",
+        div.path, div.detail, a.seed, b.seed
+    );
+    match write_counterexample(args.out_dir(), offender, &detail) {
+        Ok(path) => eprintln!("     counterexample written to {}", path.display()),
+        Err(e) => {
+            eprintln!("     could not write counterexample: {e}");
+            if let Ok(text) = case_to_text(offender) {
+                eprintln!("{text}");
+            }
+        }
+    }
+    false
 }
 
 /// Cheap applicability probe for the coverage counters (does not execute).

@@ -60,6 +60,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod driver;
+pub mod server;
 
 pub use crossinvoc_domore as domore;
 pub use crossinvoc_pir as pir;
@@ -69,3 +70,4 @@ pub use crossinvoc_speccross as speccross;
 pub use crossinvoc_workloads as workloads;
 
 pub use driver::{AutoError, AutoParallelizer, Decision, Strategy};
+pub use server::{RegionError, RegionHandle, RegionReport, RegionServer};

@@ -1,0 +1,392 @@
+//! Region-server mode: one long-lived worker pool serving many concurrent
+//! speculative regions.
+//!
+//! The classic entry points ([`SpecCrossEngine::execute`],
+//! [`DomoreRuntime::execute`]) spawn a fresh scoped gang per region — fine
+//! for one region at a time, wasteful and oversubscribing when a program has
+//! many independent parallelized loop nests in flight. The [`RegionServer`]
+//! owns a single [`WorkerPool`] and admits whole regions through a
+//! submission front door:
+//!
+//! ```text
+//!   submit_spec ──┐                       ┌─ worker/checker roles ─┐
+//!   submit_domore ─┼─► region manager ───►│  shared WorkerPool     │─► Report
+//!   submit_spec ──┘   (one thread each)   └─ FIFO gang admission ──┘
+//! ```
+//!
+//! Each submission spawns one cheap *manager* thread that runs the engine's
+//! `execute_on` against the shared pool. All per-region state — checker
+//! shards, shadow memory, schedule memo, metrics, trace sinks, fault
+//! budgets, degradation policy — lives in that manager's call frame, so a
+//! panicking, degrading, or misspeculating region cannot poison its
+//! neighbours: the pool's job wrapper contains role panics and re-raises
+//! them only on the submitting manager, whose [`RegionHandle::join`] turns
+//! them into [`RegionError::Panicked`].
+//!
+//! Fairness comes from the pool's all-or-nothing FIFO ticket admission:
+//! gangs are granted in submission order and a wide region cannot be starved
+//! by a stream of narrow ones (see [`crossinvoc_runtime::pool`]).
+//!
+//! Traces are attributed per region: the submitted `region_id` is stamped
+//! into the engine config, and every JSONL record of that region's trace
+//! carries a `region_id` field (id 0 stays wire-invisible, so solo traces
+//! are byte-identical to the pre-region schema).
+
+use std::sync::Arc;
+use std::thread;
+
+use crossinvoc_domore::runtime::{DomoreConfig, DomoreError, DomoreRuntime, ExecutionReport};
+use crossinvoc_runtime::pool::WorkerPool;
+use crossinvoc_runtime::signature::AccessSignature;
+use crossinvoc_speccross::engine::{SpecConfig, SpecCrossEngine, SpecError, SpecReport};
+use crossinvoc_speccross::workload::SpecWorkload;
+
+use crossinvoc_domore::workload::DomoreWorkload;
+
+/// Outcome of a region served by the [`RegionServer`].
+#[derive(Debug, Clone)]
+pub enum RegionReport {
+    /// The region ran on the SPECCROSS engine.
+    Spec(SpecReport),
+    /// The region ran on the DOMORE runtime.
+    Domore(ExecutionReport),
+}
+
+impl RegionReport {
+    /// The SPECCROSS report, if this was a SPECCROSS region.
+    pub fn spec(&self) -> Option<&SpecReport> {
+        match self {
+            RegionReport::Spec(r) => Some(r),
+            RegionReport::Domore(_) => None,
+        }
+    }
+
+    /// The DOMORE report, if this was a DOMORE region.
+    pub fn domore(&self) -> Option<&ExecutionReport> {
+        match self {
+            RegionReport::Spec(_) => None,
+            RegionReport::Domore(r) => Some(r),
+        }
+    }
+}
+
+/// Failure of a region served by the [`RegionServer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionError {
+    /// The SPECCROSS engine reported an error.
+    Spec(SpecError),
+    /// The DOMORE runtime reported an error.
+    Domore(DomoreError),
+    /// The region's manager thread panicked (an uncontained role panic is
+    /// re-raised there by the pool). The payload message is preserved when
+    /// it was a string.
+    Panicked(String),
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::Spec(e) => write!(f, "speccross region failed: {e}"),
+            RegionError::Domore(e) => write!(f, "domore region failed: {e}"),
+            RegionError::Panicked(msg) => write!(f, "region manager panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// A joinable in-flight region submission.
+#[derive(Debug)]
+pub struct RegionHandle {
+    region_id: u64,
+    thread: thread::JoinHandle<Result<RegionReport, RegionError>>,
+}
+
+impl RegionHandle {
+    /// The id this region's trace records are attributed to.
+    pub fn region_id(&self) -> u64 {
+        self.region_id
+    }
+
+    /// Blocks until the region completes and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::Spec`]/[`RegionError::Domore`] when the engine failed
+    /// the region; [`RegionError::Panicked`] when the manager thread died.
+    pub fn join(self) -> Result<RegionReport, RegionError> {
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(RegionError::Panicked(msg))
+            }
+        }
+    }
+}
+
+/// A long-lived server executing speculative regions on one shared pool.
+///
+/// See the [module docs](self) for the architecture; `tests/runtime_stress.rs`
+/// exercises the fault-isolation matrix and `bench-suite --regions` gates
+/// saturation behaviour in CI (BENCH_8).
+#[derive(Debug, Clone)]
+pub struct RegionServer {
+    pool: Arc<WorkerPool>,
+    next_region: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl RegionServer {
+    /// Creates a server backed by a pool of `threads` workers.
+    ///
+    /// `threads` bounds the *sum of concurrently running gangs*, not the
+    /// per-region width: a SPECCROSS region needs
+    /// `num_workers + checker_shards` slots, a DOMORE region `num_workers`
+    /// (its scheduler rides the manager thread). A region demanding more
+    /// than `threads` slots is rejected with `InvalidConfig` at submission
+    /// execution time rather than deadlocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: Arc::new(WorkerPool::new(threads)),
+            next_region: Arc::new(std::sync::atomic::AtomicU64::new(1)),
+        }
+    }
+
+    /// The shared pool, for callers that want to run `execute_on` inline on
+    /// the current thread instead of through a manager.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Allocates a fresh nonzero region id (process-unique per server).
+    pub fn next_region_id(&self) -> u64 {
+        self.next_region
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Submits a SPECCROSS region (speculative-barrier mode).
+    ///
+    /// The engine runs `config.region(region_id)`, so the region's trace is
+    /// attributed to `region_id`. Returns immediately; the region executes
+    /// concurrently with any other in-flight submissions.
+    pub fn submit_spec<S, W>(
+        &self,
+        region_id: u64,
+        config: SpecConfig,
+        workload: Arc<W>,
+    ) -> RegionHandle
+    where
+        S: AccessSignature + 'static,
+        W: SpecWorkload + Send + Sync + 'static,
+    {
+        let pool = Arc::clone(&self.pool);
+        let thread = thread::Builder::new()
+            .name(format!("crossinvoc-region-{region_id}"))
+            .spawn(move || {
+                let engine = SpecCrossEngine::<S>::new(config.region(region_id));
+                engine
+                    .execute_on(&*workload, &*pool)
+                    .map(RegionReport::Spec)
+                    .map_err(RegionError::Spec)
+            })
+            .expect("spawn region manager thread");
+        RegionHandle { region_id, thread }
+    }
+
+    /// Submits a SPECCROSS region in non-speculative barrier mode.
+    pub fn submit_spec_barriers<S, W>(
+        &self,
+        region_id: u64,
+        config: SpecConfig,
+        workload: Arc<W>,
+    ) -> RegionHandle
+    where
+        S: AccessSignature + 'static,
+        W: SpecWorkload + Send + Sync + 'static,
+    {
+        let pool = Arc::clone(&self.pool);
+        let thread = thread::Builder::new()
+            .name(format!("crossinvoc-region-{region_id}"))
+            .spawn(move || {
+                let engine = SpecCrossEngine::<S>::new(config.region(region_id));
+                engine
+                    .execute_with_barriers_on(&*workload, &*pool)
+                    .map(RegionReport::Spec)
+                    .map_err(RegionError::Spec)
+            })
+            .expect("spawn region manager thread");
+        RegionHandle { region_id, thread }
+    }
+
+    /// Submits a DOMORE region. The manager thread doubles as the region's
+    /// scheduler; only the workers draw from the shared pool.
+    pub fn submit_domore<W>(
+        &self,
+        region_id: u64,
+        config: DomoreConfig,
+        workload: Arc<W>,
+    ) -> RegionHandle
+    where
+        W: DomoreWorkload + Send + Sync + 'static,
+    {
+        let pool = Arc::clone(&self.pool);
+        let thread = thread::Builder::new()
+            .name(format!("crossinvoc-region-{region_id}"))
+            .spawn(move || {
+                let mut runtime = DomoreRuntime::new(config.region(region_id));
+                runtime
+                    .execute_on(&*workload, &*pool)
+                    .map(RegionReport::Domore)
+                    .map_err(RegionError::Domore)
+            })
+            .expect("spawn region manager thread");
+        RegionHandle { region_id, thread }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossinvoc_runtime::signature::RangeSignature;
+    use crossinvoc_runtime::ThreadId;
+    use crossinvoc_speccross::workload::AccessRecorder;
+    use std::sync::Mutex;
+
+    /// Conflict-free grid: task `t` of every epoch increments cell `t`.
+    struct IncGrid {
+        cells: Vec<Mutex<u64>>,
+        epochs: usize,
+    }
+
+    impl IncGrid {
+        fn new(tasks: usize, epochs: usize) -> Self {
+            Self {
+                cells: (0..tasks).map(|_| Mutex::new(0)).collect(),
+                epochs,
+            }
+        }
+    }
+
+    impl SpecWorkload for IncGrid {
+        type State = Vec<u64>;
+
+        fn num_epochs(&self) -> usize {
+            self.epochs
+        }
+
+        fn num_tasks(&self, _epoch: usize) -> usize {
+            self.cells.len()
+        }
+
+        fn execute_task(
+            &self,
+            _epoch: usize,
+            task: usize,
+            _tid: ThreadId,
+            recorder: &mut dyn AccessRecorder,
+        ) {
+            recorder.record(task, crossinvoc_runtime::signature::AccessKind::Write);
+            *self.cells[task].lock().unwrap() += 1;
+        }
+
+        fn snapshot(&self) -> Vec<u64> {
+            self.cells.iter().map(|c| *c.lock().unwrap()).collect()
+        }
+
+        fn restore(&self, state: &Vec<u64>) {
+            for (cell, v) in self.cells.iter().zip(state) {
+                *cell.lock().unwrap() = *v;
+            }
+        }
+    }
+
+    struct DomoreGrid {
+        cells: Vec<Mutex<u64>>,
+        invocations: usize,
+    }
+
+    impl DomoreWorkload for DomoreGrid {
+        fn num_invocations(&self) -> usize {
+            self.invocations
+        }
+
+        fn num_iterations(&self, _inv: usize) -> usize {
+            self.cells.len()
+        }
+
+        fn touched_addrs(&self, _inv: usize, iter: usize, out: &mut Vec<usize>) {
+            out.push(iter);
+        }
+
+        fn execute_iteration(&self, _inv: usize, iter: usize, _tid: ThreadId) {
+            *self.cells[iter].lock().unwrap() += 1;
+        }
+
+        fn address_space(&self) -> Option<usize> {
+            Some(self.cells.len())
+        }
+    }
+
+    #[test]
+    fn concurrent_spec_and_domore_regions_share_one_pool() {
+        let server = RegionServer::new(6);
+        let spec = Arc::new(IncGrid::new(2, 8));
+        let dom = Arc::new(DomoreGrid {
+            cells: (0..4).map(|_| Mutex::new(0)).collect(),
+            invocations: 5,
+        });
+        let h1 = server.submit_spec::<RangeSignature, _>(
+            1,
+            SpecConfig::with_workers(2).checker_shards(1),
+            Arc::clone(&spec),
+        );
+        let h2 = server.submit_domore(2, DomoreConfig::with_workers(2), Arc::clone(&dom));
+        let r1 = h1.join().expect("spec region");
+        let r2 = h2.join().expect("domore region");
+        assert_eq!(r1.spec().unwrap().stats.misspeculations, 0);
+        assert!(r2.domore().is_some());
+        assert!(spec.cells.iter().all(|c| *c.lock().unwrap() == 8));
+        assert!(dom.cells.iter().all(|c| *c.lock().unwrap() == 5));
+    }
+
+    #[test]
+    fn oversized_region_is_rejected_not_deadlocked() {
+        let server = RegionServer::new(2);
+        let spec = Arc::new(IncGrid::new(2, 2));
+        // Demand = 4 workers + 1 shard = 5 > pool of 2.
+        let h = server.submit_spec::<RangeSignature, _>(
+            7,
+            SpecConfig::with_workers(4).checker_shards(1),
+            spec,
+        );
+        match h.join() {
+            Err(RegionError::Spec(SpecError::InvalidConfig(msg))) => {
+                assert!(msg.contains("caps gangs at 2"), "{msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn region_trace_is_stamped_with_its_id() {
+        let server = RegionServer::new(4);
+        let spec = Arc::new(IncGrid::new(2, 3));
+        let h = server.submit_spec::<RangeSignature, _>(
+            42,
+            SpecConfig::with_workers(2).checker_shards(1).trace(256),
+            spec,
+        );
+        let report = h.join().expect("region");
+        let trace = report.spec().unwrap().trace.clone().expect("trace");
+        assert_eq!(trace.region(), 42);
+        assert!(trace.to_jsonl().contains("\"region_id\":42"));
+    }
+}

@@ -47,6 +47,7 @@ use std::time::{Duration, Instant};
 use crossbeam::utils::CachePadded;
 use crossinvoc_runtime::fault::{FaultKind, FaultPlan, TaskFault};
 use crossinvoc_runtime::metrics::{Metrics, MetricsSummary};
+use crossinvoc_runtime::pool::{RegionExecutor, Role, ScopedExecutor};
 use crossinvoc_runtime::spsc::{Producer, Queue};
 use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
 use crossinvoc_runtime::trace::{Event, Trace, TraceCollector, TraceSink, WakeEdge, MANAGER_TID};
@@ -179,6 +180,7 @@ pub struct DomoreConfig {
     watchdog: Option<Duration>,
     trace_capacity: Option<usize>,
     schedule_memo: bool,
+    region_id: u64,
 }
 
 impl DomoreConfig {
@@ -192,6 +194,7 @@ impl DomoreConfig {
             watchdog: None,
             trace_capacity: None,
             schedule_memo: true,
+            region_id: 0,
         }
     }
 
@@ -229,6 +232,13 @@ impl DomoreConfig {
     /// switch exists for measurement, not correctness.
     pub fn schedule_memo(mut self, enabled: bool) -> Self {
         self.schedule_memo = enabled;
+        self
+    }
+
+    /// Attributes the region's trace to a region-server submission id
+    /// (the `region_id` JSONL field; default 0 = solo, wire-invisible).
+    pub fn region(mut self, region_id: u64) -> Self {
+        self.region_id = region_id;
         self
     }
 }
@@ -350,6 +360,22 @@ impl DomoreRuntime {
         &mut self,
         workload: &W,
     ) -> Result<ExecutionReport, DomoreError> {
+        self.execute_on(workload, &ScopedExecutor)
+    }
+
+    /// Like [`DomoreRuntime::execute`], but running the worker gang on the
+    /// given executor — a shared [`crossinvoc_runtime::pool::WorkerPool`] in
+    /// region-server mode, or [`ScopedExecutor`] for the classic
+    /// thread-per-worker behaviour. The calling thread stays the scheduler
+    /// either way, and all per-region state (shadow memory, schedule memo,
+    /// progress board, metrics, trace sinks, fault budget) lives in this
+    /// call frame, so concurrent regions on one pool cannot observe each
+    /// other.
+    pub fn execute_on<W: DomoreWorkload>(
+        &mut self,
+        workload: &W,
+        exec: &dyn RegionExecutor,
+    ) -> Result<ExecutionReport, DomoreError> {
         let num_workers = self.config.num_workers;
         if num_workers == 0 {
             return Err(DomoreError::NoWorkers);
@@ -358,6 +384,15 @@ impl DomoreRuntime {
             return Err(DomoreError::InvalidConfig(
                 "queue capacity must be positive".to_string(),
             ));
+        }
+        if let Some(cap) = exec.capacity() {
+            // The scheduler runs on the calling thread, so the gang demand
+            // is the worker count alone.
+            if num_workers > cap {
+                return Err(DomoreError::InvalidConfig(format!(
+                    "region needs a gang of {num_workers} workers but the executor caps gangs at {cap}"
+                )));
+            }
         }
         // One shared fault budget for the whole execution (Clone resets it).
         let fault = self.config.fault_plan.clone().unwrap_or_default();
@@ -370,7 +405,10 @@ impl DomoreRuntime {
         let mut memo = ScheduleMemo::new();
         let board = ProgressBoard::new(num_workers);
         let metrics = Metrics::new();
-        let collector = TraceCollector::new(self.config.trace_capacity.unwrap_or(0));
+        let collector = TraceCollector::with_region(
+            self.config.trace_capacity.unwrap_or(0),
+            self.config.region_id,
+        );
         let abort = AtomicBool::new(false);
         // Workers that panicked and now only drain; the scheduler routes
         // new assignments around them.
@@ -391,17 +429,21 @@ impl DomoreRuntime {
         };
         let start = Instant::now();
 
-        std::thread::scope(|scope| {
+        let queue_capacity = self.config.queue_capacity;
+        let schedule_memo = self.config.schedule_memo;
+        let policy = self.policy.as_mut();
+        {
             let mut producers = Vec::with_capacity(num_workers);
+            let mut roles: Vec<Role<'_>> = Vec::with_capacity(num_workers);
             for tid in 0..num_workers {
-                let (tx, rx) = Queue::<Msg>::with_capacity(self.config.queue_capacity);
+                let (tx, rx) = Queue::<Msg>::with_capacity(queue_capacity);
                 producers.push(tx);
                 let board = &board;
                 let metrics = &metrics;
                 let collector = &collector;
                 let (abort, fault) = (&abort, &fault);
                 let (dead, record, fail) = (&dead, &record, &fail);
-                scope.spawn(move || {
+                roles.push(Box::new(move || {
                     let stats = metrics.stats();
                     let mut sink = collector.sink(tid);
                     // Set after a local panic: this worker only drains
@@ -522,92 +564,165 @@ impl DomoreRuntime {
                         }
                     }
                     collector.absorb(sink);
-                });
+                }));
             }
 
-            // ---- Scheduler (this thread) ----
+            // ---- Scheduler (this thread, the executor's `local` role) ----
             // The body is contained so a panicking prologue / oracle cannot
-            // tear down the scope before the end tokens are sent. The sink
+            // strand the gang before the end tokens are sent. The sink
             // lives outside the unwind boundary so events emitted before a
             // scheduler panic survive into the trace.
-            let mut sched_sink = collector.sink(MANAGER_TID);
-            let stats = metrics.stats();
-            let sched = catch_unwind(AssertUnwindSafe(|| {
-                let mut writes = Vec::new();
-                let mut reads = Vec::new();
-                let mut addrs = Vec::new();
-                let mut conds = Vec::new();
-                // Per-worker message buffers, flushed with one batched
-                // enqueue (single tail publication each). Invariant: before
-                // a `Sync` naming `dep_tid` is buffered anywhere, pending
-                // messages for `dep_tid` are flushed — so by induction on
-                // enqueue order, every condition a worker can block on
-                // names a `Run` that is already in its owner's queue, and
-                // the region cannot deadlock on an unflushed dependency.
-                let mut pending: Vec<Vec<Msg>> = (0..num_workers)
-                    .map(|_| Vec::with_capacity(SCHED_BATCH))
-                    .collect();
-                // Buffers `conds` then the `Run` for one iteration,
-                // preserving the flush-before-`Sync` invariant above. Both
-                // the replayed and the recomputed path dispatch through
-                // here, so the two are message-for-message identical.
-                #[allow(clippy::too_many_arguments)]
-                fn dispatch(
-                    stats: &RegionStats,
-                    sink: &mut TraceSink,
-                    pending: &mut [Vec<Msg>],
-                    producers: &[Producer<Msg>],
-                    tid: ThreadId,
-                    inv: usize,
-                    iter: usize,
-                    iter_num: IterNum,
-                    conds: &[SyncCondition],
-                ) {
-                    sink.emit(Event::TaskAssign {
-                        epoch: inv as u32,
-                        task: iter as u64,
-                        worker: tid,
-                    });
-                    for &cond in conds {
-                        stats.add_sync_condition();
-                        if cond.dep_tid != tid && !pending[cond.dep_tid].is_empty() {
-                            producers[cond.dep_tid].produce_batch(&mut pending[cond.dep_tid]);
-                        }
-                        pending[tid].push(Msg::Sync {
-                            cond,
-                            inv: inv as u32,
+            let mut scheduler = |producers: Vec<Producer<Msg>>| {
+                let mut sched_sink = collector.sink(MANAGER_TID);
+                let stats = metrics.stats();
+                let sched = catch_unwind(AssertUnwindSafe(|| {
+                    let mut writes = Vec::new();
+                    let mut reads = Vec::new();
+                    let mut addrs = Vec::new();
+                    let mut conds = Vec::new();
+                    // Per-worker message buffers, flushed with one batched
+                    // enqueue (single tail publication each). Invariant: before
+                    // a `Sync` naming `dep_tid` is buffered anywhere, pending
+                    // messages for `dep_tid` are flushed — so by induction on
+                    // enqueue order, every condition a worker can block on
+                    // names a `Run` that is already in its owner's queue, and
+                    // the region cannot deadlock on an unflushed dependency.
+                    let mut pending: Vec<Vec<Msg>> = (0..num_workers)
+                        .map(|_| Vec::with_capacity(SCHED_BATCH))
+                        .collect();
+                    // Buffers `conds` then the `Run` for one iteration,
+                    // preserving the flush-before-`Sync` invariant above. Both
+                    // the replayed and the recomputed path dispatch through
+                    // here, so the two are message-for-message identical.
+                    #[allow(clippy::too_many_arguments)]
+                    fn dispatch(
+                        stats: &RegionStats,
+                        sink: &mut TraceSink,
+                        pending: &mut [Vec<Msg>],
+                        producers: &[Producer<Msg>],
+                        tid: ThreadId,
+                        inv: usize,
+                        iter: usize,
+                        iter_num: IterNum,
+                        conds: &[SyncCondition],
+                    ) {
+                        sink.emit(Event::TaskAssign {
+                            epoch: inv as u32,
+                            task: iter as u64,
+                            worker: tid,
                         });
+                        for &cond in conds {
+                            stats.add_sync_condition();
+                            if cond.dep_tid != tid && !pending[cond.dep_tid].is_empty() {
+                                producers[cond.dep_tid].produce_batch(&mut pending[cond.dep_tid]);
+                            }
+                            pending[tid].push(Msg::Sync {
+                                cond,
+                                inv: inv as u32,
+                            });
+                        }
+                        pending[tid].push(Msg::Run {
+                            inv,
+                            iter,
+                            iter_num,
+                        });
+                        if pending[tid].len() >= SCHED_BATCH {
+                            producers[tid].produce_batch(&mut pending[tid]);
+                        }
                     }
-                    pending[tid].push(Msg::Run {
-                        inv,
-                        iter,
-                        iter_num,
-                    });
-                    if pending[tid].len() >= SCHED_BATCH {
-                        producers[tid].produce_batch(&mut pending[tid]);
-                    }
-                }
-                'invocations: for inv in 0..workload.num_invocations() {
-                    if abort.load(Ordering::Acquire) {
-                        break;
-                    }
-                    workload.prologue(inv);
-                    stats.add_epoch();
-                    sched_sink.emit(Event::EpochBegin { epoch: inv as u32 });
-                    let iters = workload.num_iterations(inv);
-                    let base = logic.next_iter_num();
-                    // Memoization stands down while any worker is dead:
-                    // rerouted assignments depend on *when* workers died,
-                    // which the fingerprint cannot see.
-                    let usable = self.config.schedule_memo
-                        && !dead.iter().any(|d| d.load(Ordering::Acquire));
-                    let mut iter = 0;
-                    // Worker already assigned (policy consulted, reroute
-                    // applied) to the iteration a replay diverged on; the
-                    // recompute loop below must not consult the policy
-                    // again for it.
-                    let mut carried_tid = None;
-                    if memo.begin_invocation(iters, base, usable) {
+                    'invocations: for inv in 0..workload.num_invocations() {
+                        if abort.load(Ordering::Acquire) {
+                            break;
+                        }
+                        workload.prologue(inv);
+                        stats.add_epoch();
+                        sched_sink.emit(Event::EpochBegin { epoch: inv as u32 });
+                        let iters = workload.num_iterations(inv);
+                        let base = logic.next_iter_num();
+                        // Memoization stands down while any worker is dead:
+                        // rerouted assignments depend on *when* workers died,
+                        // which the fingerprint cannot see.
+                        let usable =
+                            schedule_memo && !dead.iter().any(|d| d.load(Ordering::Acquire));
+                        let mut iter = 0;
+                        // Worker already assigned (policy consulted, reroute
+                        // applied) to the iteration a replay diverged on; the
+                        // recompute loop below must not consult the policy
+                        // again for it.
+                        let mut carried_tid = None;
+                        if memo.begin_invocation(iters, base, usable) {
+                            while iter < iters {
+                                if abort.load(Ordering::Acquire) {
+                                    break 'invocations;
+                                }
+                                writes.clear();
+                                reads.clear();
+                                workload.touched(inv, iter, &mut writes, &mut reads);
+                                addrs.clear();
+                                addrs.extend_from_slice(&writes);
+                                addrs.extend_from_slice(&reads);
+                                // The policy is consulted (and kept in step)
+                                // during replay; `logic` is not, so its counter
+                                // has not advanced — the preview is derived.
+                                let mut tid =
+                                    policy.assign(base + iter as u64, &addrs, num_workers);
+                                if dead[tid].load(Ordering::Acquire) {
+                                    match (1..num_workers)
+                                        .map(|k| (tid + k) % num_workers)
+                                        .find(|&t| !dead[t].load(Ordering::Acquire))
+                                    {
+                                        Some(live) => tid = live,
+                                        None => {
+                                            abort.store(true, Ordering::Release);
+                                            break 'invocations;
+                                        }
+                                    }
+                                }
+                                match memo.replay_step(iter, &writes, &reads, tid) {
+                                    ReplayStep::Match {
+                                        tid,
+                                        iter_num,
+                                        conds,
+                                    } => {
+                                        dispatch(
+                                            stats,
+                                            &mut sched_sink,
+                                            &mut pending,
+                                            &producers,
+                                            tid,
+                                            inv,
+                                            iter,
+                                            iter_num,
+                                            conds,
+                                        );
+                                        iter += 1;
+                                    }
+                                    ReplayStep::Diverged => {
+                                        // Bring the shadow up to date for the
+                                        // already-dispatched prefix. Its
+                                        // conditions were emitted correctly
+                                        // during replay (they depend only on
+                                        // the start-of-invocation shadow and
+                                        // the verified prefix), so they are
+                                        // discarded here.
+                                        for k in 0..iter {
+                                            writes.clear();
+                                            reads.clear();
+                                            workload.touched(inv, k, &mut writes, &mut reads);
+                                            conds.clear();
+                                            let _ = logic.schedule_rw(
+                                                memo.recorded_tid(k),
+                                                &writes,
+                                                &reads,
+                                                &mut conds,
+                                            );
+                                        }
+                                        carried_tid = Some(tid);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
                         while iter < iters {
                             if abort.load(Ordering::Acquire) {
                                 break 'invocations;
@@ -618,11 +733,15 @@ impl DomoreRuntime {
                             addrs.clear();
                             addrs.extend_from_slice(&writes);
                             addrs.extend_from_slice(&reads);
-                            // The policy is consulted (and kept in step)
-                            // during replay; `logic` is not, so its counter
-                            // has not advanced — the preview is derived.
-                            let mut tid =
-                                self.policy.assign(base + iter as u64, &addrs, num_workers);
+                            let preview = logic.next_iter_num();
+                            let mut tid = match carried_tid.take() {
+                                Some(t) => t,
+                                None => policy.assign(preview, &addrs, num_workers),
+                            };
+                            // Route around dead workers: next live thread in id
+                            // order. Rerouting happens *before* the scheduling
+                            // logic runs, so every synchronization condition
+                            // names the worker that will actually execute.
                             if dead[tid].load(Ordering::Acquire) {
                                 match (1..num_workers)
                                     .map(|k| (tid + k) % num_workers)
@@ -630,136 +749,62 @@ impl DomoreRuntime {
                                 {
                                     Some(live) => tid = live,
                                     None => {
+                                        // Every worker is dead: condemn the
+                                        // region (the first panic is already
+                                        // recorded) and stop scheduling.
                                         abort.store(true, Ordering::Release);
                                         break 'invocations;
                                     }
                                 }
                             }
-                            match memo.replay_step(iter, &writes, &reads, tid) {
-                                ReplayStep::Match {
-                                    tid,
-                                    iter_num,
-                                    conds,
-                                } => {
-                                    dispatch(
-                                        stats,
-                                        &mut sched_sink,
-                                        &mut pending,
-                                        &producers,
-                                        tid,
-                                        inv,
-                                        iter,
-                                        iter_num,
-                                        conds,
-                                    );
-                                    iter += 1;
-                                }
-                                ReplayStep::Diverged => {
-                                    // Bring the shadow up to date for the
-                                    // already-dispatched prefix. Its
-                                    // conditions were emitted correctly
-                                    // during replay (they depend only on
-                                    // the start-of-invocation shadow and
-                                    // the verified prefix), so they are
-                                    // discarded here.
-                                    for k in 0..iter {
-                                        writes.clear();
-                                        reads.clear();
-                                        workload.touched(inv, k, &mut writes, &mut reads);
-                                        conds.clear();
-                                        let _ = logic.schedule_rw(
-                                            memo.recorded_tid(k),
-                                            &writes,
-                                            &reads,
-                                            &mut conds,
-                                        );
-                                    }
-                                    carried_tid = Some(tid);
-                                    break;
-                                }
+                            conds.clear();
+                            let iter_num = logic.schedule_rw(tid, &writes, &reads, &mut conds);
+                            debug_assert_eq!(iter_num, preview);
+                            memo.record_step(&writes, &reads, tid, &conds);
+                            dispatch(
+                                stats,
+                                &mut sched_sink,
+                                &mut pending,
+                                &producers,
+                                tid,
+                                inv,
+                                iter,
+                                iter_num,
+                                &conds,
+                            );
+                            iter += 1;
+                        }
+                        if memo.end_invocation(&mut logic) {
+                            stats.add_schedule_cache_hit();
+                            sched_sink.emit(Event::ScheduleCacheHit { epoch: inv as u32 });
+                        }
+                        // Keep the pipeline warm across the (sequential)
+                        // prologue of the next invocation.
+                        for (tx, buf) in producers.iter().zip(pending.iter_mut()) {
+                            if !buf.is_empty() {
+                                tx.produce_batch(buf);
                             }
                         }
+                        sched_sink.emit(Event::EpochEnd { epoch: inv as u32 });
                     }
-                    while iter < iters {
-                        if abort.load(Ordering::Acquire) {
-                            break 'invocations;
-                        }
-                        writes.clear();
-                        reads.clear();
-                        workload.touched(inv, iter, &mut writes, &mut reads);
-                        addrs.clear();
-                        addrs.extend_from_slice(&writes);
-                        addrs.extend_from_slice(&reads);
-                        let preview = logic.next_iter_num();
-                        let mut tid = match carried_tid.take() {
-                            Some(t) => t,
-                            None => self.policy.assign(preview, &addrs, num_workers),
-                        };
-                        // Route around dead workers: next live thread in id
-                        // order. Rerouting happens *before* the scheduling
-                        // logic runs, so every synchronization condition
-                        // names the worker that will actually execute.
-                        if dead[tid].load(Ordering::Acquire) {
-                            match (1..num_workers)
-                                .map(|k| (tid + k) % num_workers)
-                                .find(|&t| !dead[t].load(Ordering::Acquire))
-                            {
-                                Some(live) => tid = live,
-                                None => {
-                                    // Every worker is dead: condemn the
-                                    // region (the first panic is already
-                                    // recorded) and stop scheduling.
-                                    abort.store(true, Ordering::Release);
-                                    break 'invocations;
-                                }
-                            }
-                        }
-                        conds.clear();
-                        let iter_num = logic.schedule_rw(tid, &writes, &reads, &mut conds);
-                        debug_assert_eq!(iter_num, preview);
-                        memo.record_step(&writes, &reads, tid, &conds);
-                        dispatch(
-                            stats,
-                            &mut sched_sink,
-                            &mut pending,
-                            &producers,
-                            tid,
-                            inv,
-                            iter,
-                            iter_num,
-                            &conds,
-                        );
-                        iter += 1;
-                    }
-                    if memo.end_invocation(&mut logic) {
-                        stats.add_schedule_cache_hit();
-                        sched_sink.emit(Event::ScheduleCacheHit { epoch: inv as u32 });
-                    }
-                    // Keep the pipeline warm across the (sequential)
-                    // prologue of the next invocation.
                     for (tx, buf) in producers.iter().zip(pending.iter_mut()) {
                         if !buf.is_empty() {
                             tx.produce_batch(buf);
                         }
                     }
-                    sched_sink.emit(Event::EpochEnd { epoch: inv as u32 });
+                }));
+                collector.absorb(sched_sink);
+                if sched.is_err() {
+                    fail(DomoreError::SchedulerPanicked);
                 }
-                for (tx, buf) in producers.iter().zip(pending.iter_mut()) {
-                    if !buf.is_empty() {
-                        tx.produce_batch(buf);
-                    }
+                // Always send the end tokens — workers drain their queues even
+                // under abort, so this cannot jam and every worker terminates.
+                for tx in &producers {
+                    tx.produce(Msg::End);
                 }
-            }));
-            collector.absorb(sched_sink);
-            if sched.is_err() {
-                fail(DomoreError::SchedulerPanicked);
-            }
-            // Always send the end tokens — workers drain their queues even
-            // under abort, so this cannot jam and every worker terminates.
-            for tx in &producers {
-                tx.produce(Msg::End);
-            }
-        });
+            };
+            exec.run_gang(roles, Box::new(move || scheduler(producers)));
+        }
 
         if let Some(err) = error.into_inner() {
             return Err(err);

@@ -34,6 +34,7 @@ use std::time::Duration;
 use crossinvoc_domore::policy::RoundRobin;
 use crossinvoc_domore::runtime::DomoreConfig;
 use crossinvoc_pir::{DomorePlan, Memory, SpecCrossPlan};
+use crossinvoc_runtime::pool::WorkerPool;
 use crossinvoc_runtime::signature::{AccessKind, BloomSignature, RangeSignature};
 use crossinvoc_sim::prelude::*;
 use crossinvoc_speccross::engine::{DegradePolicy, SpecConfig};
@@ -352,6 +353,131 @@ pub fn run_case(case: &FuzzCase) -> DiffReport {
     report
 }
 
+/// Runs two generated cases *concurrently* through one shared
+/// [`WorkerPool`] — the region-server deployment shape — and diffs each
+/// against its own sequential oracle under the standard outcome contract
+/// (`Ok` ⇒ byte-identical memory; a typed error only when *that* case
+/// injects faults; escaped panics always diverge).
+///
+/// For a fault-free pair this is exactly the solo contract: the shared
+/// pool must be observationally invisible. Under faults the outcome
+/// *class* may legitimately differ from a solo replay (rollback windows
+/// are timing-dependent), but the contract itself still binds. Each case
+/// runs its preferred parallel plan — SPECCROSS when applicable, else
+/// DOMORE, else the sequential interpreter (still on its own thread, so
+/// the pairing pressure on the pool is preserved for the other case).
+///
+/// Divergences are attributed to path `regions-a` / `regions-b`.
+pub fn run_concurrent_pair(a: &FuzzCase, b: &FuzzCase) -> DiffReport {
+    let mut report = DiffReport::default();
+    report.paths_run.push("regions-a");
+    report.paths_run.push("regions-b");
+
+    let mut oracles = Vec::new();
+    for (path, case) in [("regions-a", a), ("regions-b", b)] {
+        match run_oracle(&case.program) {
+            Ok(mem) => oracles.push(mem),
+            Err(e) => {
+                report.diverge(path, format!("oracle rejected the program: {e}"));
+                return report;
+            }
+        }
+    }
+
+    // Size the pool so both regions' gangs can be in flight at once:
+    // spec demand = workers + 1 checker shard, domore demand = workers
+    // (the scheduler rides the submitting thread).
+    let demand = |case: &FuzzCase| case.workers + 1;
+    let pool = WorkerPool::new(demand(a) + demand(b));
+
+    let run_region = |case: &FuzzCase| -> Outcome {
+        let Some(outer) = case.outer() else {
+            return exec_caught(
+                "regions",
+                |mem| {
+                    crossinvoc_pir::Interp::new(&case.program).run(mem);
+                    Ok::<(), String>(())
+                },
+                case,
+            );
+        };
+        if let Ok(plan) = SpecCrossPlan::build(&case.program, outer) {
+            let mut config = SpecConfig::with_workers(case.workers)
+                .checkpoint_every(case.checkpoint_every)
+                .fault_plan(case.faults.clone())
+                .watchdog(WATCHDOG);
+            if case.degrade {
+                config = config.degrade(DegradePolicy::default());
+            }
+            return match case.signature {
+                SigKind::Range => exec_caught(
+                    "regions",
+                    |mem| {
+                        plan.execute_sig_on::<RangeSignature>(mem, config, &pool)
+                            .map(|_| ())
+                    },
+                    case,
+                ),
+                SigKind::Bloom => exec_caught(
+                    "regions",
+                    |mem| {
+                        plan.execute_sig_on::<BloomSignature>(mem, config, &pool)
+                            .map(|_| ())
+                    },
+                    case,
+                ),
+            };
+        }
+        if let Some(inner) = case.inner() {
+            if let Ok(plan) = DomorePlan::build(&case.program, outer, inner) {
+                let config = DomoreConfig::with_workers(case.workers)
+                    .fault_plan(case.faults.clone())
+                    .watchdog(WATCHDOG);
+                return exec_caught(
+                    "regions",
+                    |mem| plan.execute_with_on(mem, config, &pool).map(|_| ()),
+                    case,
+                );
+            }
+        }
+        exec_caught(
+            "regions",
+            |mem| {
+                crossinvoc_pir::Interp::new(&case.program).run(mem);
+                Ok::<(), String>(())
+            },
+            case,
+        )
+    };
+
+    let (out_a, out_b) = std::thread::scope(|scope| {
+        let ha = scope.spawn(|| run_region(a));
+        let hb = scope.spawn(|| run_region(b));
+        (
+            ha.join()
+                .unwrap_or_else(|p| Outcome::Panicked(panic_message(&*p))),
+            hb.join()
+                .unwrap_or_else(|p| Outcome::Panicked(panic_message(&*p))),
+        )
+    });
+
+    check_outcome(
+        &mut report,
+        "regions-a",
+        out_a,
+        &oracles[0],
+        a.faults.is_empty(),
+    );
+    check_outcome(
+        &mut report,
+        "regions-b",
+        out_b,
+        &oracles[1],
+        b.faults.is_empty(),
+    );
+    report
+}
+
 /// What one engine execution produced.
 enum Outcome {
     /// Completed; final memory image.
@@ -448,6 +574,46 @@ mod tests {
                 r.divergence.is_none(),
                 "seed {seed} ({}): {:?}",
                 case.note,
+                r.divergence
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_pairs_share_a_pool_cleanly() {
+        let params = GenParams {
+            fault_percent: 0,
+            ..GenParams::default()
+        };
+        for seed in (0..16).step_by(2) {
+            let a = generate(seed, &params);
+            let b = generate(seed + 1, &params);
+            let r = run_concurrent_pair(&a, &b);
+            assert!(
+                r.divergence.is_none(),
+                "pair ({seed}, {}) [{} | {}]: {:?}",
+                seed + 1,
+                a.note,
+                b.note,
+                r.divergence
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_pairs_terminate_with_clean_outcomes() {
+        let params = GenParams {
+            fault_percent: 100,
+            ..GenParams::default()
+        };
+        for seed in (0..10).step_by(2) {
+            let a = generate(seed, &params);
+            let b = generate(seed + 1, &params);
+            let r = run_concurrent_pair(&a, &b);
+            assert!(
+                r.divergence.is_none(),
+                "pair ({seed}, {}): {:?}",
+                seed + 1,
                 r.divergence
             );
         }

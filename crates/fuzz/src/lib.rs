@@ -19,7 +19,9 @@
 //!   (sequential interpreter, barriers, `SpecCrossEngine` with and without
 //!   epoch summaries, `DomoreRuntime` with and without schedule
 //!   memoization, and the deterministic simulators over a recorded access
-//!   trace) and classifies the outcome.
+//!   trace) and classifies the outcome; [`run_concurrent_pair`] runs two
+//!   cases at once through one shared worker pool (the region-server
+//!   deployment shape) and holds each to the same contract.
 //! * [`mod@minimize`] — a delta-debugging shrinker that reduces a diverging
 //!   case's program and fault schedule to a minimal counterexample.
 //! * [`corpus`] — the stable textual case format and the `corpus/`
@@ -39,7 +41,7 @@ pub mod minimize;
 pub mod oracle;
 
 pub use corpus::{case_from_text, case_to_text, load_corpus, write_counterexample};
-pub use diff::{run_case, DiffReport, Divergence};
+pub use diff::{run_case, run_concurrent_pair, DiffReport, Divergence};
 pub use gen::{generate, FuzzCase, GenParams, SigKind};
 pub use minimize::minimize;
 pub use oracle::{run_oracle, OracleError};

@@ -27,6 +27,7 @@ use parking_lot::Mutex;
 
 use crossinvoc_domore::prelude::*;
 use crossinvoc_domore::runtime::{DomoreConfig, DomoreError, DomoreRuntime, ExecutionReport};
+use crossinvoc_runtime::pool::{RegionExecutor, ScopedExecutor};
 use crossinvoc_runtime::signature::{AccessKind, AccessSignature, RangeSignature};
 use crossinvoc_speccross::engine::{SpecConfig, SpecCrossEngine, SpecError, SpecReport};
 use crossinvoc_speccross::profile::ProfileReport;
@@ -295,6 +296,23 @@ impl<'p> DomorePlan<'p> {
         mem: &mut Memory,
         config: DomoreConfig,
     ) -> Result<ExecutionReport, DomoreError> {
+        self.execute_with_on(mem, config, &ScopedExecutor)
+    }
+
+    /// Like [`DomorePlan::execute_with`], but running the worker gang on a
+    /// caller-supplied executor — a shared
+    /// [`crossinvoc_runtime::pool::WorkerPool`] when many regions run
+    /// concurrently in region-server mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DomoreError`] from the runtime.
+    pub fn execute_with_on(
+        &self,
+        mem: &mut Memory,
+        config: DomoreConfig,
+        exec: &dyn RegionExecutor,
+    ) -> Result<ExecutionReport, DomoreError> {
         let interp = Interp::new(self.program);
         let mut env = vec![0; self.program.vars().len()];
         let (prefix, suffix) = split_body(self.program, self.outer);
@@ -324,7 +342,7 @@ impl<'p> DomorePlan<'p> {
             sched_env: Mutex::new(env.clone()),
             inv_ctx: (0..num_inv).map(|_| Mutex::new(None)).collect(),
         };
-        let report = DomoreRuntime::new(config).execute(&adapter)?;
+        let report = DomoreRuntime::new(config).execute_on(&adapter, exec)?;
 
         // Suffix: the outer IV holds its final value, as after a real loop.
         let mut env = adapter.sched_env.into_inner();
@@ -578,10 +596,27 @@ impl<'p> SpecCrossPlan<'p> {
         mem: &mut Memory,
         config: SpecConfig,
     ) -> Result<SpecReport, SpecError> {
+        self.execute_sig_on::<S>(mem, config, &ScopedExecutor)
+    }
+
+    /// Like [`SpecCrossPlan::execute_sig`], but running the region's gangs
+    /// on a caller-supplied executor — a shared
+    /// [`crossinvoc_runtime::pool::WorkerPool`] when many regions run
+    /// concurrently in region-server mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError`] from the engine.
+    pub fn execute_sig_on<S: AccessSignature>(
+        &self,
+        mem: &mut Memory,
+        config: SpecConfig,
+        exec: &dyn RegionExecutor,
+    ) -> Result<SpecReport, SpecError> {
         let (base_env, mut exit_env) = self.run_prefix(mem);
         let report = {
             let adapter = self.make_adapter(&*mem, base_env);
-            SpecCrossEngine::<S>::new(config).execute(&adapter)?
+            SpecCrossEngine::<S>::new(config).execute_on(&adapter, exec)?
         };
         let (_, suffix) = split_body(self.program, self.outer);
         // SAFETY: the engine joined all workers; this thread is exclusive.
@@ -600,10 +635,27 @@ impl<'p> SpecCrossPlan<'p> {
         mem: &mut Memory,
         config: SpecConfig,
     ) -> Result<SpecReport, SpecError> {
+        self.execute_with_barriers_on(mem, config, &ScopedExecutor)
+    }
+
+    /// Like [`SpecCrossPlan::execute_with_barriers`], but running the worker
+    /// gang on a caller-supplied executor (see
+    /// [`SpecCrossPlan::execute_sig_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError`] from the engine.
+    pub fn execute_with_barriers_on(
+        &self,
+        mem: &mut Memory,
+        config: SpecConfig,
+        exec: &dyn RegionExecutor,
+    ) -> Result<SpecReport, SpecError> {
         let (base_env, mut exit_env) = self.run_prefix(mem);
         let report = {
             let adapter = self.make_adapter(&*mem, base_env);
-            SpecCrossEngine::<RangeSignature>::new(config).execute_with_barriers(&adapter)?
+            SpecCrossEngine::<RangeSignature>::new(config)
+                .execute_with_barriers_on(&adapter, exec)?
         };
         let (_, suffix) = split_body(self.program, self.outer);
         // SAFETY: the engine joined all workers; this thread is exclusive.

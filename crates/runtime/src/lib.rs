@@ -46,6 +46,11 @@
 //!   [`wait::Parker`]): bounded spin, bounded yields, then timed parks, so
 //!   long waits stop burning a core while abort flags and watchdog deadlines
 //!   keep being observed.
+//! * [`pool`] — the region-server execution substrate: the
+//!   [`pool::RegionExecutor`] boundary between engines and their threads,
+//!   with [`pool::ScopedExecutor`] (a fresh scoped thread per role, the
+//!   solo-region default) and [`pool::WorkerPool`] (long-lived threads with
+//!   FIFO all-or-nothing gang admission serving many concurrent regions).
 //!
 //! # Example
 //!
@@ -69,6 +74,7 @@ pub mod critpath;
 pub mod fault;
 pub mod hash;
 pub mod metrics;
+pub mod pool;
 pub mod shadow;
 pub mod shared;
 pub mod signature;
@@ -81,6 +87,7 @@ pub use barrier::{BarrierWait, SpinBarrier};
 pub use critpath::{critical_path, what_if, CritPathReport, PathCategory, WhatIfReport};
 pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use metrics::{Metrics, MetricsSummary};
+pub use pool::{RegionExecutor, Role, ScopedExecutor, WorkerPool};
 pub use shadow::{ShadowEntry, ShadowMemory};
 pub use shared::SharedSlice;
 pub use signature::{AccessSignature, BloomSignature, RangeSignature};

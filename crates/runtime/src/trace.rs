@@ -490,6 +490,7 @@ impl TraceSink {
 pub struct TraceCollector {
     capacity: usize,
     origin: Instant,
+    region: u64,
     slots: Mutex<Vec<TraceSink>>,
 }
 
@@ -498,9 +499,17 @@ impl TraceCollector {
     /// capacity disables tracing (sinks are inert and `finish` yields
     /// `None`).
     pub fn new(capacity: usize) -> Self {
+        Self::with_region(capacity, 0)
+    }
+
+    /// A collector whose finished trace is attributed to `region` (the
+    /// region-server submission id; `0` is the solo default and is omitted
+    /// from the JSONL wire format for backward compatibility).
+    pub fn with_region(capacity: usize, region: u64) -> Self {
         Self {
             capacity,
             origin: Instant::now(),
+            region,
             slots: Mutex::new(Vec::new()),
         }
     }
@@ -549,7 +558,7 @@ impl TraceCollector {
             return None;
         }
         let sinks = self.slots.into_inner().expect("trace collector poisoned");
-        Some(Trace::from_sinks(sinks))
+        Some(Trace::from_sinks(sinks).with_region(self.region))
     }
 }
 
@@ -558,6 +567,7 @@ impl TraceCollector {
 pub struct Trace {
     records: Vec<TraceRecord>,
     dropped: u64,
+    region: u64,
 }
 
 impl Trace {
@@ -573,7 +583,11 @@ impl Trace {
             dropped += drops;
         }
         records.sort_by_key(|r| (r.t_ns, r.tid));
-        Trace { records, dropped }
+        Trace {
+            records,
+            dropped,
+            region: 0,
+        }
     }
 
     /// Builds a trace from loose records (sorts them).
@@ -582,7 +596,22 @@ impl Trace {
         Trace {
             records,
             dropped: 0,
+            region: 0,
         }
+    }
+
+    /// Attributes this trace to a region-server submission id. Region `0`
+    /// (the default) marks a solo run and keeps the JSONL output
+    /// byte-identical to the pre-region schema.
+    pub fn with_region(mut self, region: u64) -> Self {
+        self.region = region;
+        self
+    }
+
+    /// The region-server submission id this trace is attributed to (`0` for
+    /// solo runs).
+    pub fn region(&self) -> u64 {
+        self.region
     }
 
     /// The time-ordered records.
@@ -601,11 +630,13 @@ impl Trace {
     }
 
     /// Serializes to JSONL: one flat JSON object per record, schema per
-    /// `docs/OBSERVABILITY.md`.
+    /// `docs/OBSERVABILITY.md`. Traces attributed to a non-zero region carry
+    /// a `region_id` field on every line; region-0 (solo) output is
+    /// byte-identical to the pre-region schema.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.records.len() * 64);
         for rec in &self.records {
-            write_record(&mut out, rec);
+            write_record(&mut out, rec, self.region);
             out.push('\n');
         }
         out
@@ -619,17 +650,20 @@ impl Trace {
     /// [`TraceParseError`] names the offending line and what was wrong.
     pub fn from_jsonl(input: &str) -> Result<Trace, TraceParseError> {
         let mut records = Vec::new();
+        let mut region = 0;
         for (idx, line) in input.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
             }
-            records.push(parse_record(line).map_err(|msg| TraceParseError {
+            let (record, line_region) = parse_record(line).map_err(|msg| TraceParseError {
                 line: idx + 1,
                 message: msg,
-            })?);
+            })?;
+            region = region.max(line_region);
+            records.push(record);
         }
-        Ok(Trace::from_records(records))
+        Ok(Trace::from_records(records).with_region(region))
     }
 }
 
@@ -677,7 +711,7 @@ fn fault_kind_parse(name: &str, param: Option<u64>) -> Result<FaultKind, String>
     })
 }
 
-fn write_record(out: &mut String, rec: &TraceRecord) {
+fn write_record(out: &mut String, rec: &TraceRecord, region: u64) {
     use std::fmt::Write as _;
     let _ = write!(
         out,
@@ -761,6 +795,9 @@ fn write_record(out: &mut String, rec: &TraceRecord) {
             field(out, "seq", seq);
         }
     }
+    if region != 0 {
+        field(out, "region_id", region);
+    }
     out.push('}');
 }
 
@@ -776,8 +813,9 @@ fn wake_edge_parse(name: &str) -> Result<WakeEdge, String> {
 
 /// Minimal parser for one flat JSON object with unsigned-integer and string
 /// values — exactly the shape [`write_record`] produces. Unknown keys are an
-/// error (the schema is closed; see `docs/OBSERVABILITY.md`).
-fn parse_record(line: &str) -> Result<TraceRecord, String> {
+/// error (the schema is closed; see `docs/OBSERVABILITY.md`). Returns the
+/// record plus the line's `region_id` attribution (`0` when absent).
+fn parse_record(line: &str) -> Result<(TraceRecord, u64), String> {
     let mut nums: Vec<(String, u64)> = Vec::new();
     let mut strs: Vec<(String, String)> = Vec::new();
 
@@ -912,7 +950,8 @@ fn parse_record(line: &str) -> Result<TraceRecord, String> {
         },
         other => return Err(format!("unknown event {other:?}")),
     };
-    Ok(TraceRecord { t_ns, tid, event })
+    let region = opt_num("region_id").unwrap_or(0);
+    Ok((TraceRecord { t_ns, tid, event }, region))
 }
 
 // ---- Trace analysis -----------------------------------------------------
@@ -1431,6 +1470,36 @@ mod tests {
         let jsonl = trace.to_jsonl();
         let parsed = Trace::from_jsonl(&jsonl).expect("parse");
         assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn region_id_round_trips_and_region_zero_is_wire_invisible() {
+        let solo = Trace::from_records(sample_records());
+        assert_eq!(solo.region(), 0);
+        assert!(
+            !solo.to_jsonl().contains("region_id"),
+            "region-0 output must stay byte-identical to the pre-region schema"
+        );
+
+        let regioned = Trace::from_records(sample_records()).with_region(7);
+        let jsonl = regioned.to_jsonl();
+        assert!(
+            jsonl.lines().all(|l| l.contains("\"region_id\":7")),
+            "every line of a regioned trace carries the attribution"
+        );
+        let parsed = Trace::from_jsonl(&jsonl).expect("parse");
+        assert_eq!(parsed.region(), 7);
+        assert_eq!(parsed, regioned);
+    }
+
+    #[test]
+    fn regioned_collector_stamps_its_trace() {
+        let collector = TraceCollector::with_region(16, 42);
+        let mut sink = collector.sink(0);
+        sink.emit(Event::Checkpoint { epoch: 0 });
+        collector.absorb(sink);
+        let trace = collector.finish().expect("enabled");
+        assert_eq!(trace.region(), 42);
     }
 
     #[test]

@@ -42,9 +42,26 @@ pub fn barrier_traced<W: SimWorkload + ?Sized>(
     cost: &CostModel,
     trace_capacity: Option<usize>,
 ) -> SimResult {
+    barrier_in_region(workload, threads, cost, trace_capacity, 0)
+}
+
+/// [`barrier_traced`] with the trace attributed to a region-server
+/// submission id (`region_id = 0` keeps the solo wire format; see
+/// `docs/OBSERVABILITY.md`).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn barrier_in_region<W: SimWorkload + ?Sized>(
+    workload: &W,
+    threads: usize,
+    cost: &CostModel,
+    trace_capacity: Option<usize>,
+    region_id: u64,
+) -> SimResult {
     assert!(threads > 0, "at least one thread is required");
     let stats = RegionStats::new();
-    let mut sinks = SimSinks::new(threads, 0, trace_capacity.unwrap_or(0));
+    let mut sinks = SimSinks::new(threads, 0, trace_capacity.unwrap_or(0)).region(region_id);
     let mut clocks = vec![0u64; threads];
     let mut busy = vec![0u64; threads];
     let mut idle = vec![0u64; threads];

@@ -191,9 +191,39 @@ pub fn domore_configured<W: SimWorkload + ?Sized>(
     trace_capacity: Option<usize>,
     schedule_memo: bool,
 ) -> SimResult {
+    domore_in_region(
+        workload,
+        workers,
+        policy,
+        cost,
+        trace_capacity,
+        schedule_memo,
+        0,
+    )
+}
+
+/// [`domore_configured`] with the trace attributed to a region-server
+/// submission id, mirroring the threaded runtime's `DomoreConfig::region`:
+/// `region_id = 0` (solo) emits the exact pre-region JSONL bytes, any other
+/// id stamps `region_id` on every record — so simulated and threaded
+/// regions of the same id are schema-identical.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn domore_in_region<W: SimWorkload + ?Sized>(
+    workload: &W,
+    workers: usize,
+    policy: &mut dyn Policy,
+    cost: &CostModel,
+    trace_capacity: Option<usize>,
+    schedule_memo: bool,
+    region_id: u64,
+) -> SimResult {
     assert!(workers > 0, "at least one worker is required");
     let stats = RegionStats::new();
-    let mut sinks = SimSinks::new(workers, 0, trace_capacity.unwrap_or(0));
+    let mut sinks = SimSinks::new(workers, 0, trace_capacity.unwrap_or(0)).region(region_id);
     let mut logic = make_logic(workload);
     let mut memo = ScheduleMemo::new();
     let mut sched_clock = 0u64;

@@ -70,6 +70,10 @@ pub struct SpecSimParams {
     /// serviced by (and billed to) every shard it touches. `1` (the
     /// default) reproduces the single-checker simulation byte-for-byte.
     pub checker_shards: usize,
+    /// Region-server attribution id stamped onto the trace, mirroring the
+    /// threaded engine's `SpecConfig::region`; 0 (the default, solo) keeps
+    /// the JSONL wire format byte-identical to the pre-region schema.
+    pub region: u64,
 }
 
 impl SpecSimParams {
@@ -85,6 +89,7 @@ impl SpecSimParams {
             trace_capacity: None,
             epoch_summaries: true,
             checker_shards: 1,
+            region: 0,
         }
     }
 
@@ -141,6 +146,13 @@ impl SpecSimParams {
             crossinvoc_speccross::MAX_SHARDS
         );
         self.checker_shards = shards;
+        self
+    }
+
+    /// Attributes the simulated region's trace to a region-server
+    /// submission id (default 0 = solo).
+    pub fn region(mut self, region_id: u64) -> Self {
+        self.region = region_id;
         self
     }
 }
@@ -228,7 +240,8 @@ pub fn speccross<W: SimWorkload + ?Sized>(
         params.threads,
         params.checker_shards,
         params.trace_capacity.unwrap_or(0),
-    );
+    )
+    .region(params.region);
     let mut misspec_ordinal = 0u64;
 
     while start_epoch < num_epochs {

@@ -20,6 +20,10 @@ pub(crate) struct SimSinks {
     /// Per-checker-shard sinks on the descending service-tid band; a
     /// single-shard simulation has exactly one, on the classic checker tid.
     pub checkers: Vec<TraceSink>,
+    /// Region-server attribution id stamped onto the merged trace; 0 (solo)
+    /// keeps the wire format byte-identical to the pre-region schema,
+    /// mirroring the threaded engines' `region_id` config knob.
+    region: u64,
 }
 
 impl SimSinks {
@@ -32,7 +36,14 @@ impl SimSinks {
             checkers: (0..checker_shards)
                 .map(|shard| TraceSink::with_capacity(checker_shard_tid(shard), capacity))
                 .collect(),
+            region: 0,
         }
+    }
+
+    /// Attributes the merged trace to a region-server submission id.
+    pub fn region(mut self, region: u64) -> Self {
+        self.region = region;
+        self
     }
 
     /// Merges every sink into a time-ordered trace; `None` when disabled.
@@ -43,6 +54,6 @@ impl SimSinks {
         let mut all = self.workers;
         all.push(self.manager);
         all.extend(self.checkers);
-        Some(Trace::from_sinks(all))
+        Some(Trace::from_sinks(all).with_region(self.region))
     }
 }

@@ -57,6 +57,7 @@ use parking_lot::Mutex;
 use crossinvoc_runtime::barrier::BarrierWait;
 use crossinvoc_runtime::fault::{CheckFault, FaultKind, FaultPlan, TaskFault};
 use crossinvoc_runtime::metrics::{Metrics, MetricsSummary};
+use crossinvoc_runtime::pool::{RegionExecutor, Role, ScopedExecutor};
 use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
 use crossinvoc_runtime::spsc;
 use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
@@ -144,6 +145,11 @@ pub struct SpecConfig {
     /// shards is checked by every touched shard and admitted only when all
     /// of them admit it.
     pub checker_shards: usize,
+    /// Region-server submission id stamped on the region's trace (the
+    /// `region_id` JSONL field; see `docs/OBSERVABILITY.md`). `0` (the
+    /// default) marks a solo run and keeps trace output byte-identical to
+    /// the pre-region schema.
+    pub region_id: u64,
 }
 
 impl SpecConfig {
@@ -160,6 +166,7 @@ impl SpecConfig {
             trace_capacity: None,
             epoch_summaries: true,
             checker_shards: 1,
+            region_id: 0,
         }
     }
 
@@ -217,6 +224,13 @@ impl SpecConfig {
     /// execution time against `1..=`[`crate::shard::MAX_SHARDS`].
     pub fn checker_shards(mut self, shards: usize) -> Self {
         self.checker_shards = shards;
+        self
+    }
+
+    /// Attributes the region's trace to a region-server submission id
+    /// (default 0 = solo).
+    pub fn region(mut self, region_id: u64) -> Self {
+        self.region_id = region_id;
         self
     }
 }
@@ -582,6 +596,20 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         Ok(())
     }
 
+    /// A region wider than the executor's gang capacity could never be
+    /// admitted (and would wedge a shared pool's FIFO queue), so it is
+    /// rejected up front as a configuration error.
+    fn validate_capacity(&self, exec: &dyn RegionExecutor, demand: usize) -> Result<(), SpecError> {
+        if let Some(cap) = exec.capacity() {
+            if demand > cap {
+                return Err(SpecError::InvalidConfig(format!(
+                    "region needs a gang of {demand} threads but the executor caps gangs at {cap}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Runs `workload` with speculative barriers, recovering from
     /// misspeculation (and contained faults — see the module docs) until the
     /// region completes or degrades to barrier execution.
@@ -594,14 +622,34 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
     /// [`SpecError::WatchdogTimeout`] for failures the engine could not
     /// absorb.
     pub fn execute<W: SpecWorkload>(&self, workload: &W) -> Result<SpecReport, SpecError> {
+        self.execute_on(workload, &ScopedExecutor)
+    }
+
+    /// Like [`SpecCrossEngine::execute`], but running the region's gangs
+    /// (workers + checker shards) on the given executor — a shared
+    /// [`crossinvoc_runtime::pool::WorkerPool`] in region-server mode, or
+    /// [`ScopedExecutor`] for the classic thread-per-role behaviour. The
+    /// calling thread stays the region's manager either way; all per-region
+    /// state (checker logs, checkpoints, metrics, trace sinks, fault budget)
+    /// lives in this call frame, so concurrent regions on one pool cannot
+    /// observe each other.
+    pub fn execute_on<W: SpecWorkload>(
+        &self,
+        workload: &W,
+        exec: &dyn RegionExecutor,
+    ) -> Result<SpecReport, SpecError> {
         self.validate()?;
+        self.validate_capacity(exec, self.config.num_workers + self.config.checker_shards)?;
         // One shared fault budget for the whole execution: a single-shot
         // fault consumed during speculation must not re-fire in recovery.
         let fault = self.config.fault_plan.clone().unwrap_or_default();
         let deadline = self.config.watchdog.map(|w| Instant::now() + w);
         let metrics = Metrics::new();
         let stats = metrics.stats();
-        let collector = TraceCollector::new(self.config.trace_capacity.unwrap_or(0));
+        let collector = TraceCollector::with_region(
+            self.config.trace_capacity.unwrap_or(0),
+            self.config.region_id,
+        );
         let mut manager_sink = collector.sink(MANAGER_TID);
         let mut conflicts = Vec::new();
         let mut comparisons = 0;
@@ -624,6 +672,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 &fault,
                 deadline,
                 &collector,
+                exec,
             );
             comparisons += pass.comparisons;
             contained.extend(pass.contained.iter().copied());
@@ -658,6 +707,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                         &fault,
                         deadline,
                         &collector,
+                        exec,
                     )?;
                     start_epoch = resume_epoch;
                 }
@@ -676,6 +726,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                             &fault,
                             deadline,
                             &collector,
+                            exec,
                         )?;
                         degraded = true;
                         degraded_at_epoch = Some(pass.checkpoint_epoch as u32);
@@ -717,6 +768,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                             &fault,
                             deadline,
                             &collector,
+                            exec,
                         )?;
                         degraded = true;
                         degraded_at_epoch = Some(pass.checkpoint_epoch as u32);
@@ -732,6 +784,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                         &fault,
                         deadline,
                         &collector,
+                        exec,
                     )?;
                     start_epoch = resume_epoch;
                 }
@@ -789,11 +842,27 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         &self,
         workload: &W,
     ) -> Result<SpecReport, SpecError> {
+        self.execute_with_barriers_on(workload, &ScopedExecutor)
+    }
+
+    /// Like [`SpecCrossEngine::execute_with_barriers`], but running the
+    /// worker gang on the given executor (see
+    /// [`SpecCrossEngine::execute_on`]). Barrier mode has no checker, so the
+    /// gang demand is `num_workers` alone.
+    pub fn execute_with_barriers_on<W: SpecWorkload>(
+        &self,
+        workload: &W,
+        exec: &dyn RegionExecutor,
+    ) -> Result<SpecReport, SpecError> {
         self.validate()?;
+        self.validate_capacity(exec, self.config.num_workers)?;
         let fault = self.config.fault_plan.clone().unwrap_or_default();
         let deadline = self.config.watchdog.map(|w| Instant::now() + w);
         let metrics = Metrics::new();
-        let collector = TraceCollector::new(self.config.trace_capacity.unwrap_or(0));
+        let collector = TraceCollector::with_region(
+            self.config.trace_capacity.unwrap_or(0),
+            self.config.region_id,
+        );
         let start = Instant::now();
         self.run_barrier_range(
             workload,
@@ -803,6 +872,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             &fault,
             deadline,
             &collector,
+            exec,
         )?;
         let metrics = metrics.snapshot();
         Ok(SpecReport {
@@ -838,6 +908,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
     }
 
     /// One speculative attempt from `start_epoch`.
+    #[allow(clippy::too_many_arguments)]
     fn speculative_pass<W: SpecWorkload>(
         &self,
         workload: &W,
@@ -846,6 +917,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         fault: &FaultPlan,
         deadline: Option<Instant>,
         collector: &TraceCollector,
+        exec: &dyn RegionExecutor,
     ) -> PassResult<W::State> {
         let stats = metrics.stats();
         let num_workers = self.config.num_workers;
@@ -903,44 +975,52 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
 
         let mut comparisons = 0;
         let mut checker_dead = false;
-        std::thread::scope(|scope| {
-            // Checker threads, one per shard: each body may be killed by an
+        {
+            // Per-shard result slots stand in for the scoped-join return
+            // values the pre-executor code used: initialized to "dead" so a
+            // checker role that never ran to completion (however it died)
+            // reads as a lost shard.
+            let checker_results: Vec<Mutex<(u64, bool)>> =
+                (0..shards).map(|_| Mutex::new((0, true))).collect();
+            let shared_ref = &shared;
+            let mut roles: Vec<Role<'_>> = Vec::with_capacity(shards + num_workers);
+            // Checker roles, one per shard: each body may be killed by an
             // injected fault (or an organic bug); contain the unwind and
             // convert it into a cooperative abort so no worker spins on a
             // dead checker. The sink lives outside the unwind boundary so
             // events emitted before an injected death survive into the
-            // trace. The consumer endpoints move into the thread (they are
+            // trace. The consumer endpoints move into the role (they are
             // single-reader by construction). Losing *any* shard condemns
             // the pass: its share of the in-flight requests was never
             // verified.
-            let shared_ref = &shared;
-            let checkers: Vec<_> = rxs_by_shard
+            for ((shard, check_rxs), slot) in rxs_by_shard
                 .into_iter()
                 .enumerate()
-                .map(|(shard, check_rxs)| {
-                    scope.spawn(move || {
-                        let mut sink = collector.sink(checker_shard_tid(shard));
-                        let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            self.checker_loop(shared_ref, &check_rxs, shard, metrics, &mut sink)
-                        }));
-                        collector.absorb(sink);
-                        match outcome {
-                            Ok(count) => (count, false),
-                            Err(_) => {
-                                shared_ref.misspec.store(true, Ordering::Release);
-                                (0, true)
-                            }
+                .zip(checker_results.iter())
+            {
+                roles.push(Box::new(move || {
+                    let mut sink = collector.sink(checker_shard_tid(shard));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        self.checker_loop(shared_ref, &check_rxs, shard, metrics, &mut sink)
+                    }));
+                    collector.absorb(sink);
+                    *slot.lock() = match outcome {
+                        Ok(count) => (count, false),
+                        Err(_) => {
+                            shared_ref.misspec.store(true, Ordering::Release);
+                            (0, true)
                         }
-                    })
-                })
-                .collect();
-            // Worker threads. The whole driver runs under catch_unwind so a
-            // panic anywhere in a worker poisons the pass instead of tearing
-            // down the scope (and with it, the process). Each worker owns
-            // the producer endpoints of its per-shard check-request rings.
+                    };
+                }));
+            }
+            // Worker roles. The whole driver runs under catch_unwind so a
+            // panic anywhere in a worker poisons the pass instead of killing
+            // the gang (and on a shared pool, neighbouring regions). Each
+            // worker owns the producer endpoints of its per-shard
+            // check-request rings.
             for (tid, check_txs) in check_txs.into_iter().enumerate() {
                 let shared = &shared;
-                scope.spawn(move || {
+                roles.push(Box::new(move || {
                     let mut sink = collector.sink(tid);
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         self.worker_pass(
@@ -965,14 +1045,15 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     shared.done_workers.fetch_add(1, Ordering::Release);
                     // A finished worker never gates anyone again.
                     shared.board.set_frontier(tid, u64::MAX);
-                });
+                }));
             }
-            for checker in checkers {
-                let (count, dead) = checker.join().unwrap_or((0, true));
+            exec.run_gang(roles, Box::new(|| {}));
+            for slot in &checker_results {
+                let (count, dead) = *slot.lock();
                 comparisons += count;
                 checker_dead |= dead;
             }
-        });
+        }
 
         let (checkpoint_epoch, checkpoint_state) = {
             let mut guard = shared.checkpoint.lock();
@@ -1653,6 +1734,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         fault: &FaultPlan,
         deadline: Option<Instant>,
         collector: &TraceCollector,
+        exec: &dyn RegionExecutor,
     ) -> Result<(), SpecError> {
         if from >= to {
             return Ok(());
@@ -1670,10 +1752,11 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             drop(slot);
             abort.store(true, Ordering::Release);
         };
-        std::thread::scope(|scope| {
+        {
+            let mut roles: Vec<Role<'_>> = Vec::with_capacity(num_workers);
             for tid in 0..num_workers {
                 let (barrier, abort, fail, fault) = (&barrier, &abort, &fail, fault);
-                scope.spawn(move || {
+                roles.push(Box::new(move || {
                     let mut sink = collector.sink(tid);
                     for epoch in from..to {
                         if tid == 0 {
@@ -1769,9 +1852,10 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                         }
                     }
                     collector.absorb(sink);
-                });
+                }));
             }
-        });
+            exec.run_gang(roles, Box::new(|| {}));
+        }
         match failure.into_inner() {
             Some(err) => Err(err),
             None => Ok(()),

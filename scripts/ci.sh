@@ -48,6 +48,17 @@ check_doc_flags() {
       bad=1
     fi
   done
+  # Docs ↔ CI gate consistency: every BENCH_*.json artifact the prose
+  # names must be validated by this script, so a documented gate can't
+  # silently drop out of CI.
+  local b
+  for b in $(grep -rhoE 'BENCH_[0-9]+\.json' --include='*.md' \
+    README.md EXPERIMENTS.md DESIGN.md docs | sort -u); do
+    if ! grep -A1 -- '--validate' "$0" | grep -q "$b"; then
+      echo "ERROR: docs mention $b but scripts/ci.sh never runs --validate on it" >&2
+      bad=1
+    fi
+  done
   return "$bad"
 }
 echo "==> docs/CLI flag consistency"
@@ -74,6 +85,16 @@ run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suit
   --shards --smoke
 run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
   --validate target/figures/BENCH_7.json
+
+# Region-server saturation smoke: N independent SPECCROSS + DOMORE regions
+# through one shared pool must produce a well-formed BENCH_8.json whose
+# criteria (per-region digests identical to solo, aggregate throughput
+# above region-at-a-time in the virtual-time model, fault isolation) are
+# deterministic and therefore gate even at smoke scale (see EXPERIMENTS.md).
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
+  --regions --smoke
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
+  --validate target/figures/BENCH_8.json
 
 # Differential-fuzzing smoke: replay the checked-in corpus, then a fixed
 # seed window through every engine path against the sequential oracle

@@ -518,6 +518,179 @@ mod fault_matrix {
         assert_eq!(w.data.snapshot(), vec![5; 8]);
     }
 
+    /// Region isolation: a faulting region served by a [`RegionServer`]
+    /// must leave a concurrently running clean neighbour *byte-identical*
+    /// to a solo run — same misspeculation count, same conflict list, same
+    /// degradation flag, same contained-fault ledger, same final memory.
+    /// One matrix case per fault class the server must firewall: a worker
+    /// panic, a checker death that degrades the region, and a forced
+    /// misspeculation; plus a DOMORE neighbour case (the other runtime
+    /// drawing from the same pool while SPECCROSS region A recovers).
+    mod region_isolation {
+        use std::sync::Arc;
+
+        use super::*;
+        use crossinvoc::server::{RegionReport, RegionServer};
+
+        fn spec_config() -> SpecConfig {
+            SpecConfig::with_workers(2)
+                .checker_shards(1)
+                .checkpoint_every(2)
+                .watchdog(WATCHDOG)
+        }
+
+        /// The order-insensitive observable outcome of a SPECCROSS region.
+        fn digest(w: &IncGrid, report: &crossinvoc_speccross::engine::SpecReport) -> String {
+            format!(
+                "misspec={} conflicts={:?} degraded={} contained={:?} cells={:?}",
+                report.stats.misspeculations,
+                report.conflicts,
+                report.degraded,
+                report.contained_faults,
+                w.cells()
+            )
+        }
+
+        /// Solo baseline: the clean grid through the classic scoped entry
+        /// point, no pool, no neighbours.
+        fn solo_digest() -> String {
+            let w = IncGrid::new(8, 6);
+            let report = SpecCrossEngine::<RangeSignature>::new(spec_config())
+                .execute(&w)
+                .unwrap();
+            digest(&w, &report)
+        }
+
+        /// Runs clean region B concurrently with region A under `fault`,
+        /// checks A's outcome with `check_a`, and returns B's digest.
+        fn neighbour_digest(
+            fault: FaultPlan,
+            a_config: SpecConfig,
+            check_a: impl FnOnce(&IncGrid, &RegionReport),
+        ) -> String {
+            // 3 slots per spec region (2 workers + 1 checker shard).
+            let server = RegionServer::new(6);
+            let a = Arc::new(IncGrid::new(8, 6));
+            let b = Arc::new(IncGrid::new(8, 6));
+            let ha = server.submit_spec::<RangeSignature, _>(
+                1,
+                a_config.fault_plan(fault),
+                Arc::clone(&a),
+            );
+            let hb = server.submit_spec::<RangeSignature, _>(2, spec_config(), Arc::clone(&b));
+            let ra = ha.join().expect("the faulting region must be contained");
+            let rb = hb.join().expect("the clean region");
+            check_a(&a, &ra);
+            digest(&b, rb.spec().unwrap())
+        }
+
+        #[test]
+        fn neighbour_unaffected_by_worker_panic_next_door() {
+            let baseline = solo_digest();
+            let b = neighbour_digest(
+                FaultPlan::default().worker_panic_at(2, 3),
+                spec_config(),
+                |a, ra| {
+                    let report = ra.spec().unwrap();
+                    assert!(
+                        report.contained_faults.iter().any(|f| matches!(
+                            f,
+                            ContainedFault::WorkerPanic { epoch: 2, task: 3 }
+                        )),
+                        "region A must contain its panic: {:?}",
+                        report.contained_faults
+                    );
+                    assert_eq!(a.cells(), a.expected(), "region A still converges");
+                },
+            );
+            assert_eq!(b, baseline, "worker panic in A must not leak into B");
+        }
+
+        #[test]
+        fn neighbour_unaffected_by_checker_death_and_degrade_next_door() {
+            let baseline = solo_digest();
+            let b = neighbour_digest(
+                FaultPlan::default().checker_death_at(1),
+                spec_config().degrade(DegradePolicy::default()),
+                |a, ra| {
+                    let report = ra.spec().unwrap();
+                    assert!(report.degraded, "region A must degrade to barriers");
+                    assert_eq!(a.cells(), a.expected(), "region A still converges");
+                },
+            );
+            assert_eq!(b, baseline, "A's degradation must not leak into B");
+        }
+
+        #[test]
+        fn neighbour_unaffected_by_forced_misspeculation_next_door() {
+            let baseline = solo_digest();
+            let b = neighbour_digest(
+                FaultPlan::default().false_positive_at(3),
+                spec_config(),
+                |a, ra| {
+                    let report = ra.spec().unwrap();
+                    assert!(report.stats.misspeculations >= 1, "A must roll back");
+                    assert_eq!(a.cells(), a.expected(), "region A still converges");
+                },
+            );
+            assert_eq!(b, baseline, "A's rollback must not leak into B");
+        }
+
+        fn dom_cells(g: &DomoreGrid) -> Vec<u64> {
+            (0..g.data.len())
+                .map(|i| unsafe { g.data.read(i) })
+                .collect()
+        }
+
+        /// Cross-runtime case: a clean DOMORE region keeps its solo result
+        /// while a SPECCROSS neighbour on the same pool panics and recovers.
+        #[test]
+        fn domore_neighbour_unaffected_by_speccross_panic() {
+            // Solo DOMORE baseline.
+            let solo = DomoreGrid {
+                data: SharedSlice::from_vec(vec![0; 8]),
+                invocations: 6,
+            };
+            let solo_report = DomoreRuntime::new(DomoreConfig::with_workers(2).watchdog(WATCHDOG))
+                .execute(&solo)
+                .unwrap();
+            let baseline = format!(
+                "tasks={} sync={} cells={:?}",
+                solo_report.stats.tasks,
+                solo_report.stats.sync_conditions,
+                dom_cells(&solo)
+            );
+
+            // 3 slots for the spec region + 2 for the DOMORE workers.
+            let server = RegionServer::new(5);
+            let a = Arc::new(IncGrid::new(8, 6));
+            let b = Arc::new(DomoreGrid {
+                data: SharedSlice::from_vec(vec![0; 8]),
+                invocations: 6,
+            });
+            let ha = server.submit_spec::<RangeSignature, _>(
+                1,
+                spec_config().fault_plan(FaultPlan::default().worker_panic_at(2, 3)),
+                Arc::clone(&a),
+            );
+            let hb = server.submit_domore(
+                2,
+                DomoreConfig::with_workers(2).watchdog(WATCHDOG),
+                Arc::clone(&b),
+            );
+            ha.join().expect("the panicking spec region is contained");
+            let rb = hb.join().expect("the clean domore region");
+            let report = rb.domore().unwrap();
+            let got = format!(
+                "tasks={} sync={} cells={:?}",
+                report.stats.tasks,
+                report.stats.sync_conditions,
+                dom_cells(&b)
+            );
+            assert_eq!(got, baseline, "A's panic must not leak into DOMORE B");
+        }
+    }
+
     /// The duplicated-scheduler variant has no fault hooks, so drive it with
     /// an organically panicking workload: containment must hold there too.
     #[test]

@@ -294,6 +294,54 @@ fn chrome_export_is_schema_valid_with_flows_for_all_edge_classes() {
     }
 }
 
+/// Region attribution: a nonzero `region_id` stamps every JSONL line from
+/// both the threaded engine and the simulator, the stamped stream
+/// round-trips, and region 0 stays wire-invisible — a solo trace is
+/// byte-identical to the pre-region schema.
+#[test]
+fn region_id_stamps_every_line_and_zero_is_wire_invisible() {
+    // Threaded engine, region 7.
+    let w = IncGrid::new(8, 6);
+    let report = SpecCrossEngine::<RangeSignature>::new(
+        SpecConfig::with_workers(2)
+            .checkpoint_every(2)
+            .trace(1 << 14)
+            .region(7),
+    )
+    .execute(&w)
+    .unwrap();
+    let engine_trace = report.trace.expect("tracing was configured");
+
+    // Simulator, same region id.
+    let model = UniformWorkload::independent(20, 16, 1_000);
+    let params = SpecSimParams::with_threads(2)
+        .checkpoint_every(2)
+        .trace(1 << 14)
+        .region(7);
+    let sim = speccross(&model, &params, &CostModel::default());
+    let sim_trace = sim.trace.expect("tracing was requested");
+
+    for (label, trace) in [("engine", &engine_trace), ("sim", &sim_trace)] {
+        assert_eq!(trace.region(), 7, "{label}");
+        let jsonl = trace.to_jsonl();
+        assert!(
+            jsonl.lines().all(|l| l.contains("\"region_id\":7")),
+            "{label}: every line carries the region id"
+        );
+        let parsed = Trace::from_jsonl(&jsonl).expect("stamped stream parses");
+        assert_eq!(&parsed, trace, "{label}: stamped stream round-trips");
+    }
+
+    // Region 0 (the default) never appears on the wire.
+    let w0 = IncGrid::new(8, 6);
+    let report0 = traced_engine(FaultPlan::default()).execute(&w0).unwrap();
+    let jsonl0 = report0.trace.expect("tracing was configured").to_jsonl();
+    assert!(
+        !jsonl0.contains("region_id"),
+        "solo traces keep the pre-region schema"
+    );
+}
+
 /// Overhead smoke: with tracing off the engine reports no trace, and a
 /// disabled sink costs one branch — no ring allocation, no atomics (the
 /// sink is a plain-field struct; see the ordering notes in
