@@ -65,12 +65,33 @@
 //!   stream) byte-identical to solo, while region 0 itself still completes
 //!   with the fault contained.
 //!
+//! With `--telemetry` the suite produces `target/figures/BENCH_9.json`,
+//! the live-telemetry-plane gate over the BENCH_8 region batch (see
+//! `docs/OBSERVABILITY.md`). Four criteria, all evaluated in smoke mode:
+//!
+//! * **overhead** — the batch rerun on CPU-heavy spin regions with the
+//!   registry attached must keep ≥ `0.97×` the telemetry-off throughput
+//!   (best-of-N wall time, arms interleaved so frequency drift cancels);
+//! * **consistency** — after the joins, each region's registry snapshot row
+//!   must equal the engine report's final `MetricsSummary` exactly (the
+//!   engines alias the registry cell's counters, so live snapshots and the
+//!   final report read the same memory);
+//! * **flight** — a worker-panic fault plan on region 1 must produce
+//!   exactly one flight-recorder dump, trigger `fault`, whose JSONL
+//!   round-trips through the trace parser with exact drop accounting;
+//! * **identity** — telemetry-on region digests (verdict streams included)
+//!   must be byte-identical to telemetry-off.
+//!
+//! The run also writes `BENCH_9.snapshots.jsonl` (wire-schema snapshots
+//! for `server-stats`) and `BENCH_9.prom` (Prometheus text exposition).
+//!
 //! ```text
 //! bench-suite [--smoke] [--out PATH] [--workers N] [--reps N]
 //! bench-suite --fastpath [--smoke] [--out PATH] [--workers N]
 //! bench-suite --shards [--smoke] [--out PATH]
 //! bench-suite --regions [--smoke] [--out PATH]
-//! bench-suite --validate PATH   # parse an existing BENCH_3/5/7/8 report
+//! bench-suite --telemetry [--smoke] [--out PATH]
+//! bench-suite --validate PATH   # parse an existing BENCH_3/5/7/8/9 report
 //! ```
 //!
 //! `--validate` dispatches on the report's `schema` field, so one CI step
@@ -95,6 +116,10 @@ use crossinvoc_domore::runtime::ExecutionReport;
 use crossinvoc_runtime::fault::FaultPlan;
 use crossinvoc_runtime::metrics::HistogramSummary;
 use crossinvoc_runtime::signature::{AccessKind, RangeSignature};
+use crossinvoc_runtime::telemetry::{
+    FlightRecorder, RegionState, RegistrySnapshot, ServerRegistry,
+};
+use crossinvoc_runtime::trace::Trace;
 use crossinvoc_runtime::ThreadId;
 use crossinvoc_runtime::{critical_path, what_if, PathCategory, TraceReport, WakeEdge};
 use crossinvoc_sim::prelude::*;
@@ -125,6 +150,7 @@ struct Args {
     fastpath: bool,
     shards: bool,
     regions: bool,
+    telemetry: bool,
     out: PathBuf,
     workers: usize,
     reps: usize,
@@ -137,6 +163,7 @@ fn parse_args() -> Result<Args, String> {
         fastpath: false,
         shards: false,
         regions: false,
+        telemetry: false,
         out: PathBuf::new(), // resolved after the mode flags are known
         workers: 8,
         reps: 0, // resolved after --smoke is known
@@ -152,6 +179,7 @@ fn parse_args() -> Result<Args, String> {
             "--fastpath" => args.fastpath = true,
             "--shards" => args.shards = true,
             "--regions" => args.regions = true,
+            "--telemetry" => args.telemetry = true,
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--workers" => {
                 args.workers = value("--workers")?
@@ -170,15 +198,19 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     args.reps = reps.unwrap_or(if args.smoke { 1 } else { 5 });
-    if [args.fastpath, args.shards, args.regions]
+    if [args.fastpath, args.shards, args.regions, args.telemetry]
         .iter()
         .filter(|&&f| f)
         .count()
         > 1
     {
-        return Err("--fastpath, --shards and --regions are mutually exclusive".into());
+        return Err(
+            "--fastpath, --shards, --regions and --telemetry are mutually exclusive".into(),
+        );
     }
-    let default_name = if args.regions {
+    let default_name = if args.telemetry {
+        "BENCH_9.json"
+    } else if args.regions {
         "BENCH_8.json"
     } else if args.shards {
         "BENCH_7.json"
@@ -220,7 +252,9 @@ fn main() -> ExitCode {
             }
         };
     }
-    if args.regions {
+    if args.telemetry {
+        run_telemetry(&args)
+    } else if args.regions {
         run_regions(&args)
     } else if args.shards {
         run_shards(&args)
@@ -1115,6 +1149,19 @@ enum LoadRef {
     Dom(Arc<RegionDomGrid>),
 }
 
+/// What a telemetry-attached pooled run observed, for the BENCH_9 gates.
+struct TelemetryOutcome {
+    /// Every region's snapshot row equals the engine report's final
+    /// `MetricsSummary` (the aliasing contract), with state `done`.
+    consistent: bool,
+    /// Gang admissions the pool hooks recorded.
+    admissions: u64,
+    /// Flight dumps taken: `(region_id, trigger, records, dropped, jsonl)`.
+    dumps: Vec<(u64, String, usize, u64, String)>,
+    /// The post-join registry snapshot.
+    snapshot: RegistrySnapshot,
+}
+
 /// Submits the whole batch to one shared-pool [`RegionServer`] and joins
 /// every region. With `fault_region0` the first region (SPECCROSS by
 /// construction) runs under a worker-panic fault plan; its own digest is
@@ -1122,12 +1169,25 @@ enum LoadRef {
 /// varies), so the returned bool instead reports whether the fault was
 /// contained *and* the region's final cells are still exact — the
 /// neighbours' digests remain byte-comparable either way.
+///
+/// With `telemetry`, the server carries a live registry plus a
+/// flight recorder, and the returned [`TelemetryOutcome`] reports what the
+/// telemetry plane observed. Digests are computed identically either way —
+/// BENCH_9's identity criterion diffs them across the two settings.
 fn run_regions_pooled(
     defs: &[RegionDef],
     pool_threads: usize,
     fault_region0: bool,
-) -> Result<(Vec<String>, bool), String> {
-    let server = RegionServer::new(pool_threads);
+    telemetry: bool,
+) -> Result<(Vec<String>, bool, Option<TelemetryOutcome>), String> {
+    let server = if telemetry {
+        RegionServer::with_telemetry(
+            pool_threads,
+            ServerRegistry::new(pool_threads).with_recorder(FlightRecorder::new(512)),
+        )
+    } else {
+        RegionServer::new(pool_threads)
+    };
     let mut loads = Vec::new();
     let mut handles = Vec::new();
     for (i, def) in defs.iter().enumerate() {
@@ -1158,11 +1218,16 @@ fn run_regions_pooled(
         }
     }
     let mut digests = Vec::new();
+    let mut final_metrics = Vec::new();
     let mut region0_ok = true;
     for (i, (handle, load)) in handles.into_iter().zip(&loads).enumerate() {
         let report = handle
             .join()
             .map_err(|e| format!("pooled region {}: {e}", i + 1))?;
+        final_metrics.push(match &report {
+            RegionReport::Spec(r) => r.metrics,
+            RegionReport::Domore(r) => r.metrics,
+        });
         if fault_region0 && i == 0 {
             region0_ok = match (&report, load) {
                 (RegionReport::Spec(r), LoadRef::Spec(w)) => {
@@ -1183,7 +1248,37 @@ fn run_regions_pooled(
         };
         digests.push(digest);
     }
-    Ok((digests, region0_ok))
+    let outcome = server.registry().map(|registry| {
+        let snapshot = registry.snapshot();
+        let consistent = snapshot.regions.len() == defs.len()
+            && snapshot.regions.iter().zip(&final_metrics).all(|(row, m)| {
+                row.metrics == *m && matches!(row.state, RegionState::Done | RegionState::Faulted)
+            });
+        let dumps = registry
+            .flight_recorder()
+            .map(|rec| {
+                rec.dumps()
+                    .iter()
+                    .map(|d| {
+                        (
+                            d.region_id,
+                            d.trigger.to_string(),
+                            d.records,
+                            d.dropped,
+                            d.jsonl.clone(),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        TelemetryOutcome {
+            consistent,
+            admissions: snapshot.pool.admissions,
+            dumps,
+            snapshot,
+        }
+    });
+    Ok((digests, region0_ok, outcome))
 }
 
 /// Solo virtual-time duration of one region, for the throughput replay
@@ -1199,14 +1294,15 @@ fn region_sim_duration(def: &RegionDef, cost: &CostModel) -> u64 {
     }
 }
 
-fn run_regions(args: &Args) -> ExitCode {
-    let suite_start = Instant::now();
-    // Gangs are sized so the pool can overlap at least two regions
-    // (throughput must beat region-at-a-time strictly); region 0 is
-    // SPECCROSS because the isolation leg faults it via the spec fault
-    // plan. Shapes are conflict-free grids, so every digest field is
-    // deterministic and the criteria hold at either scale.
-    let (pool_threads, defs) = if args.smoke {
+/// The BENCH_8 batch shapes, shared with the BENCH_9 telemetry gate.
+///
+/// Gangs are sized so the pool can overlap at least two regions
+/// (throughput must beat region-at-a-time strictly); region 0 is
+/// SPECCROSS because the isolation/flight legs fault it via the spec fault
+/// plan. Shapes are conflict-free grids, so every digest field is
+/// deterministic and the criteria hold at either scale.
+fn regions_batch(smoke: bool) -> (usize, Vec<RegionDef>) {
+    if smoke {
         let spec = RegionDef {
             kind: RegionKind::Spec,
             workers: 2,
@@ -1238,7 +1334,12 @@ fn run_regions(args: &Args) -> ExitCode {
             tasks: 16,
         };
         (8, vec![spec, dom, spec, dom, spec, dom])
-    };
+    }
+}
+
+fn run_regions(args: &Args) -> ExitCode {
+    let suite_start = Instant::now();
+    let (pool_threads, defs) = regions_batch(args.smoke);
     println!(
         "[regions] {} regions through a {pool_threads}-thread pool (gangs {:?})",
         defs.len(),
@@ -1253,7 +1354,7 @@ fn run_regions(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (pooled, _) = match run_regions_pooled(&defs, pool_threads, false) {
+    let (pooled, _, _) = match run_regions_pooled(&defs, pool_threads, false, false) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("bench-suite: {e}");
@@ -1282,7 +1383,8 @@ fn run_regions(args: &Args) -> ExitCode {
 
     // Criterion 3: a faulted region 0 leaves every neighbour's digest —
     // verdict stream included — byte-identical to its solo run.
-    let (faulted, region0_contained) = match run_regions_pooled(&defs, pool_threads, true) {
+    let (faulted, region0_contained, _) = match run_regions_pooled(&defs, pool_threads, true, false)
+    {
         Ok(v) => v,
         Err(e) => {
             eprintln!("bench-suite: {e}");
@@ -1402,6 +1504,372 @@ fn render_regions_json(
     let _ = writeln!(s, "    \"min_ratio\": 1.0,");
     let _ = writeln!(s, "    \"ratio\": {:.4},", sim.throughput_ratio());
     let _ = writeln!(s, "    \"isolation\": {},", isolated.iter().all(|&b| b));
+    let _ = writeln!(s, "    \"pass\": {pass}");
+    s.push_str("  }\n}\n");
+    s
+}
+
+// ---- BENCH_9: the live-telemetry-plane suite ----
+
+/// Minimum telemetry-on / telemetry-off throughput the registry must keep
+/// on the saturated spin batch (BENCH_9; best-of-N wall time either arm).
+const TELEMETRY_MIN_RATIO: f64 = 0.97;
+
+/// Busy-spins for `ns` nanoseconds — CPU-heavy task bodies for the
+/// overhead arm, so per-task telemetry cost is measured against real work
+/// rather than against an empty increment.
+fn spin_for(ns: u64) {
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+/// [`RegionIncGrid`] with a busy-spin task body.
+struct SpinIncGrid {
+    inner: RegionIncGrid,
+    spin_ns: u64,
+}
+
+impl SpecWorkload for SpinIncGrid {
+    type State = Vec<u64>;
+
+    fn num_epochs(&self) -> usize {
+        self.inner.num_epochs()
+    }
+
+    fn num_tasks(&self, epoch: usize) -> usize {
+        self.inner.num_tasks(epoch)
+    }
+
+    fn execute_task(
+        &self,
+        epoch: usize,
+        task: usize,
+        tid: ThreadId,
+        recorder: &mut dyn AccessRecorder,
+    ) {
+        spin_for(self.spin_ns);
+        self.inner.execute_task(epoch, task, tid, recorder);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.inner.snapshot()
+    }
+
+    fn restore(&self, state: &Vec<u64>) {
+        self.inner.restore(state);
+    }
+}
+
+/// [`RegionDomGrid`] with a busy-spin iteration body.
+struct SpinDomGrid {
+    inner: RegionDomGrid,
+    spin_ns: u64,
+}
+
+impl DomoreWorkload for SpinDomGrid {
+    fn num_invocations(&self) -> usize {
+        self.inner.num_invocations()
+    }
+
+    fn num_iterations(&self, inv: usize) -> usize {
+        self.inner.num_iterations(inv)
+    }
+
+    fn touched_addrs(&self, inv: usize, iter: usize, out: &mut Vec<usize>) {
+        self.inner.touched_addrs(inv, iter, out);
+    }
+
+    fn execute_iteration(&self, inv: usize, iter: usize, tid: ThreadId) {
+        spin_for(self.spin_ns);
+        self.inner.execute_iteration(inv, iter, tid);
+    }
+
+    fn address_space(&self) -> Option<usize> {
+        self.inner.address_space()
+    }
+}
+
+/// Wall time of one spin batch through the shared pool, submit to last
+/// join, with or without the telemetry plane attached.
+fn telemetry_batch_wall(
+    defs: &[RegionDef],
+    pool_threads: usize,
+    spin_ns: u64,
+    telemetry: bool,
+) -> Result<u64, String> {
+    let server = if telemetry {
+        RegionServer::with_telemetry(
+            pool_threads,
+            ServerRegistry::new(pool_threads).with_recorder(FlightRecorder::new(512)),
+        )
+    } else {
+        RegionServer::new(pool_threads)
+    };
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for (i, def) in defs.iter().enumerate() {
+        let region_id = (i + 1) as u64;
+        match def.kind {
+            RegionKind::Spec => {
+                let w = Arc::new(SpinIncGrid {
+                    inner: RegionIncGrid::new(def.tasks, def.epochs),
+                    spin_ns,
+                });
+                handles.push(server.submit_spec::<RangeSignature, _>(
+                    region_id,
+                    spec_region_config(def),
+                    w,
+                ));
+            }
+            RegionKind::Domore => {
+                let w = Arc::new(SpinDomGrid {
+                    inner: RegionDomGrid::new(def.tasks, def.epochs),
+                    spin_ns,
+                });
+                handles.push(server.submit_domore(
+                    region_id,
+                    DomoreConfig::with_workers(def.workers),
+                    w,
+                ));
+            }
+        }
+    }
+    for (i, handle) in handles.into_iter().enumerate() {
+        handle
+            .join()
+            .map_err(|e| format!("spin region {}: {e}", i + 1))?;
+    }
+    Ok(start.elapsed().as_nanos() as u64)
+}
+
+/// What the flight-recorder leg observed, for rendering and the criteria.
+struct FlightCheck {
+    dumps: usize,
+    region_id: u64,
+    trigger: String,
+    records: usize,
+    dropped: u64,
+    roundtrip: bool,
+    ok: bool,
+}
+
+/// Checks the fault run's dumps: exactly one, on region 1, trigger
+/// `fault`, non-empty, and its JSONL must round-trip through the trace
+/// parser with record and drop counts intact.
+fn check_flight(outcome: &TelemetryOutcome, contained: bool) -> FlightCheck {
+    let (region_id, trigger, records, dropped, roundtrip) = match outcome.dumps.as_slice() {
+        [(region_id, trigger, records, dropped, jsonl)] => {
+            let roundtrip = match Trace::from_jsonl_region(jsonl, *region_id) {
+                Ok(trace) => trace.records().len() == *records && trace.dropped() == *dropped,
+                Err(_) => false,
+            };
+            (*region_id, trigger.clone(), *records, *dropped, roundtrip)
+        }
+        _ => (0, String::new(), 0, 0, false),
+    };
+    let ok = contained
+        && outcome.dumps.len() == 1
+        && region_id == 1
+        && trigger == "fault"
+        && records > 0
+        && roundtrip;
+    FlightCheck {
+        dumps: outcome.dumps.len(),
+        region_id,
+        trigger,
+        records,
+        dropped,
+        roundtrip,
+        ok,
+    }
+}
+
+fn run_telemetry(args: &Args) -> ExitCode {
+    let suite_start = Instant::now();
+    let (pool_threads, defs) = regions_batch(args.smoke);
+    println!(
+        "[telemetry] {} regions through a {pool_threads}-thread pool, registry attached",
+        defs.len(),
+    );
+
+    // Criterion 1: identity — telemetry-on digests byte-identical to
+    // telemetry-off (verdict streams included).
+    let (off_digests, _, _) = match run_regions_pooled(&defs, pool_threads, false, false) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench-suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (on_digests, _, on_outcome) = match run_regions_pooled(&defs, pool_threads, false, true) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench-suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = on_outcome.expect("telemetry-attached run reports an outcome");
+    let identical = off_digests == on_digests;
+
+    // Criterion 2: consistency — every region's snapshot row equals its
+    // report's final MetricsSummary, the pool saw every admission, and a
+    // healthy batch takes no flight dumps.
+    let consistency =
+        outcome.consistent && outcome.admissions >= defs.len() as u64 && outcome.dumps.is_empty();
+
+    // Criterion 3: flight — rerun with region 1 under a worker panic; the
+    // recorder must dump exactly that region's armed ring.
+    let (_, contained, fault_outcome) = match run_regions_pooled(&defs, pool_threads, true, true) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench-suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fault_outcome = fault_outcome.expect("telemetry-attached run reports an outcome");
+    let flight = check_flight(&fault_outcome, contained);
+
+    // Criterion 4: overhead — best-of-N wall time over CPU-heavy spin
+    // regions, arms interleaved so clock drift hits both equally.
+    let spin_ns: u64 = if args.smoke { 200_000 } else { 100_000 };
+    let reps = if args.smoke { 3 } else { 5 };
+    let (mut best_off, mut best_on) = (u64::MAX, u64::MAX);
+    for _ in 0..reps {
+        match (
+            telemetry_batch_wall(&defs, pool_threads, spin_ns, false),
+            telemetry_batch_wall(&defs, pool_threads, spin_ns, true),
+        ) {
+            (Ok(off), Ok(on)) => {
+                best_off = best_off.min(off);
+                best_on = best_on.min(on);
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench-suite: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let ratio = best_off as f64 / best_on as f64;
+    let overhead = ratio >= TELEMETRY_MIN_RATIO;
+
+    let pass = identical && consistency && flight.ok && overhead;
+    let json = render_telemetry_json(
+        args,
+        pool_threads,
+        defs.len(),
+        &outcome,
+        &flight,
+        (spin_ns, reps, best_off, best_on, ratio),
+        (identical, consistency, overhead, pass),
+    );
+    if let Err(e) = std::fs::create_dir_all(args.out.parent().unwrap_or(&args.out)) {
+        eprintln!("bench-suite: creating output directory: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("bench-suite: writing {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = validate_report(&json) {
+        eprintln!("bench-suite: produced malformed JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+    // Exposition artifacts: wire-schema snapshots for `server-stats`
+    // (healthy batch, then the faulted batch) and Prometheus text format.
+    let snapshots = args.out.with_file_name("BENCH_9.snapshots.jsonl");
+    let prom = args.out.with_file_name("BENCH_9.prom");
+    let jsonl = format!(
+        "{}\n{}\n",
+        outcome.snapshot.to_json(),
+        fault_outcome.snapshot.to_json()
+    );
+    for (path, text) in [
+        (&snapshots, jsonl),
+        (&prom, fault_outcome.snapshot.to_prometheus()),
+    ] {
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("bench-suite: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "[wrote {} + snapshots.jsonl + prom] in {:.1}s",
+        args.out.display(),
+        suite_start.elapsed().as_secs_f64()
+    );
+    println!(
+        "  identity: telemetry-on digests identical to off = {identical}\n  \
+         consistency: snapshot rows == final MetricsSummary = {} (admissions {})\n  \
+         flight: {} dump(s), region {}, trigger {:?}, {} records, roundtrip={}\n  \
+         overhead: best off {} ns vs on {} ns = {ratio:.4}x (need >= {TELEMETRY_MIN_RATIO})",
+        outcome.consistent,
+        outcome.admissions,
+        flight.dumps,
+        flight.region_id,
+        flight.trigger,
+        flight.records,
+        flight.roundtrip,
+        best_off,
+        best_on,
+    );
+    if pass {
+        println!("criteria: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("criteria: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+fn render_telemetry_json(
+    args: &Args,
+    pool_threads: usize,
+    num_regions: usize,
+    outcome: &TelemetryOutcome,
+    flight: &FlightCheck,
+    (spin_ns, reps, best_off, best_on, ratio): (u64, usize, u64, u64, f64),
+    (identical, consistency, overhead, pass): (bool, bool, bool, bool),
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"crossinvoc-bench-9\",");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(
+        s,
+        "  \"pool\": {{ \"threads\": {pool_threads}, \"regions\": {num_regions} }},"
+    );
+    s.push_str("  \"overhead\": {\n");
+    let _ = writeln!(s, "    \"spin_ns\": {spin_ns},");
+    let _ = writeln!(s, "    \"reps\": {reps},");
+    let _ = writeln!(s, "    \"best_off_ns\": {best_off},");
+    let _ = writeln!(s, "    \"best_on_ns\": {best_on},");
+    let _ = writeln!(s, "    \"throughput_ratio\": {ratio:.4},");
+    let _ = writeln!(s, "    \"min_ratio\": {TELEMETRY_MIN_RATIO}");
+    s.push_str("  },\n");
+    s.push_str("  \"consistency\": {\n");
+    let _ = writeln!(s, "    \"regions\": {num_regions},");
+    let _ = writeln!(s, "    \"snapshot_matches_final\": {},", outcome.consistent);
+    let _ = writeln!(s, "    \"admissions\": {},", outcome.admissions);
+    let _ = writeln!(s, "    \"clean_run_dumps\": {}", outcome.dumps.len());
+    s.push_str("  },\n");
+    s.push_str("  \"flight\": {\n");
+    let _ = writeln!(s, "    \"dumps\": {},", flight.dumps);
+    let _ = writeln!(s, "    \"region_id\": {},", flight.region_id);
+    let _ = writeln!(s, "    \"trigger\": \"{}\",", flight.trigger);
+    let _ = writeln!(s, "    \"records\": {},", flight.records);
+    let _ = writeln!(s, "    \"dropped\": {},", flight.dropped);
+    let _ = writeln!(s, "    \"roundtrip\": {}", flight.roundtrip);
+    s.push_str("  },\n");
+    s.push_str("  \"criteria\": {\n");
+    let _ = writeln!(s, "    \"evaluated\": true,");
+    let _ = writeln!(s, "    \"identical\": {identical},");
+    let _ = writeln!(s, "    \"consistency\": {consistency},");
+    let _ = writeln!(s, "    \"flight\": {},", flight.ok);
+    let _ = writeln!(s, "    \"overhead\": {overhead},");
     let _ = writeln!(s, "    \"pass\": {pass}");
     s.push_str("  }\n}\n");
     s
@@ -1558,6 +2026,7 @@ fn validate_report(text: &str) -> Result<String, String> {
         Some(Json::Str(s)) if s == "crossinvoc-bench-5" => validate_bench5(&root),
         Some(Json::Str(s)) if s == "crossinvoc-bench-7" => validate_bench7(&root),
         Some(Json::Str(s)) if s == "crossinvoc-bench-8" => validate_bench8(&root),
+        Some(Json::Str(s)) if s == "crossinvoc-bench-9" => validate_bench9(&root),
         other => Err(format!("bad schema field: {other:?}")),
     }
 }
@@ -1691,6 +2160,42 @@ fn validate_bench8(root: &Json) -> Result<String, String> {
     Ok(format!("valid BENCH_8 report, {} regions", regions.len()))
 }
 
+fn validate_bench9(root: &Json) -> Result<String, String> {
+    let criteria = root.get("criteria").ok_or("missing criteria")?;
+    for field in ["pass", "identical", "consistency", "flight", "overhead"] {
+        if !matches!(criteria.get(field), Some(Json::Bool(_))) {
+            return Err(format!("criteria.{field} must be a bool"));
+        }
+    }
+    let overhead = root.get("overhead").ok_or("missing overhead")?;
+    for field in ["best_off_ns", "best_on_ns", "throughput_ratio", "min_ratio"] {
+        if !matches!(overhead.get(field), Some(Json::Num(_))) {
+            return Err(format!("overhead.{field} must be a number"));
+        }
+    }
+    let consistency = root.get("consistency").ok_or("missing consistency")?;
+    if !matches!(
+        consistency.get("snapshot_matches_final"),
+        Some(Json::Bool(_))
+    ) {
+        return Err("consistency.snapshot_matches_final must be a bool".into());
+    }
+    let flight = root.get("flight").ok_or("missing flight")?;
+    for field in ["dumps", "region_id", "records", "dropped"] {
+        if !matches!(flight.get(field), Some(Json::Num(_))) {
+            return Err(format!("flight.{field} must be a number"));
+        }
+    }
+    if !matches!(flight.get("roundtrip"), Some(Json::Bool(_))) {
+        return Err("flight.roundtrip must be a bool".into());
+    }
+    let ratio = overhead
+        .get("throughput_ratio")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    Ok(format!("valid BENCH_9 report, throughput ratio {ratio:.4}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1791,5 +2296,34 @@ mod tests {
 
         let bad_iso = ok.replace("\"contained\": true", "\"contained\": \"yes\"");
         assert!(validate_report(&bad_iso).is_err());
+    }
+
+    #[test]
+    fn bench9_contract_is_enforced() {
+        let err =
+            validate_report(r#"{"schema": "crossinvoc-bench-9", "criteria": {"pass": true}}"#)
+                .unwrap_err();
+        assert!(err.contains("identical"), "{err}");
+
+        let ok = r#"{
+          "schema": "crossinvoc-bench-9",
+          "criteria": {"pass": true, "identical": true, "consistency": true,
+                       "flight": true, "overhead": true},
+          "overhead": {"spin_ns": 200000, "reps": 3, "best_off_ns": 51000000,
+                       "best_on_ns": 51200000, "throughput_ratio": 0.9961, "min_ratio": 0.97},
+          "consistency": {"regions": 4, "snapshot_matches_final": true,
+                          "admissions": 9, "clean_run_dumps": 0},
+          "flight": {"dumps": 1, "region_id": 1, "trigger": "fault",
+                     "records": 120, "dropped": 0, "roundtrip": true}
+        }"#;
+        let desc = validate_report(ok).unwrap();
+        assert!(desc.contains("BENCH_9"), "{desc}");
+
+        // The overhead gate cannot be reported without its measurement.
+        let no_ratio = ok.replace("\"throughput_ratio\": 0.9961, ", "");
+        assert!(validate_report(&no_ratio).is_err());
+
+        let bad_roundtrip = ok.replace("\"roundtrip\": true", "\"roundtrip\": \"yes\"");
+        assert!(validate_report(&bad_roundtrip).is_err());
     }
 }

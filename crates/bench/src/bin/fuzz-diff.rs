@@ -32,7 +32,8 @@ use std::time::Instant;
 
 use crossinvoc_fuzz::gen::{generate, FuzzCase, GenParams};
 use crossinvoc_fuzz::{
-    case_to_text, load_corpus, minimize, run_case, run_concurrent_pair, write_counterexample,
+    case_to_text, load_corpus, minimize, run_case, run_concurrent_pair,
+    run_concurrent_pair_telemetry, write_counterexample,
 };
 
 struct Args {
@@ -272,15 +273,24 @@ fn main() -> ExitCode {
 }
 
 /// Runs two consecutive generated cases concurrently through one shared
-/// worker pool and records the diverging case (unminimized: a
-/// concurrency-sensitive divergence need not reproduce under the
-/// shrinker's solo replays). Returns whether the pair was clean.
+/// worker pool — first plain, then again with the live telemetry plane
+/// attached (registry + flight recorder), which must be observationally
+/// invisible: same region digests and verdict streams. Records the
+/// diverging case (unminimized: a concurrency-sensitive divergence need
+/// not reproduce under the shrinker's solo replays). Returns whether the
+/// pair was clean.
 fn run_pair(a: &FuzzCase, b: &FuzzCase, args: &Args) -> bool {
-    let report = run_concurrent_pair(a, b);
-    let Some(div) = report.divergence else {
+    let div = run_concurrent_pair(a, b)
+        .divergence
+        .or_else(|| run_concurrent_pair_telemetry(a, b).divergence);
+    let Some(div) = div else {
         return true;
     };
-    let offender = if div.path == "regions-a" { a } else { b };
+    let offender = if div.path.starts_with("regions-a") {
+        a
+    } else {
+        b
+    };
     eprintln!(
         "FAIL pair (seeds {}, {}): path {} diverged: {}",
         a.seed, b.seed, div.path, div.detail

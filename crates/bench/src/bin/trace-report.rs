@@ -9,11 +9,14 @@
 //! `Trace::to_jsonl`. Usage:
 //!
 //! ```text
-//! trace-report [--strict] [--chrome OUT] <trace.jsonl>...
+//! trace-report [--strict] [--region N] [--chrome OUT] <trace.jsonl>...
 //! ```
 //!
 //! * `--strict` — exit nonzero when any trace dropped records to ring
 //!   overflow (for CI: a truncated trace silently understates every total).
+//! * `--region N` — keep only records of region `N` before reporting, for
+//!   merged region-server traces and flight-recorder dumps (`N = 0` selects
+//!   solo-schema records, which carry no `region_id` field on the wire).
 //! * `--chrome OUT` — additionally export Chrome/Perfetto trace_event JSON:
 //!   with one input, to the file `OUT`; with several, into the directory
 //!   `OUT` as `<stem>.chrome.json`. Open the result at `ui.perfetto.dev`.
@@ -27,6 +30,7 @@ use crossinvoc_runtime::trace::{Event, Trace, TraceReport, WakeEdge};
 
 struct Args {
     strict: bool,
+    region: Option<u64>,
     chrome: Option<PathBuf>,
     paths: Vec<String>,
 }
@@ -34,6 +38,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         strict: false,
+        region: None,
         chrome: None,
         paths: Vec::new(),
     };
@@ -41,6 +46,13 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--strict" => args.strict = true,
+            "--region" => {
+                let n = it.next().ok_or("--region needs a region id")?;
+                args.region = Some(
+                    n.parse()
+                        .map_err(|_| format!("--region: invalid region id {n:?}"))?,
+                );
+            }
             "--chrome" => {
                 let out = it.next().ok_or("--chrome needs an output path")?;
                 args.chrome = Some(PathBuf::from(out));
@@ -118,7 +130,7 @@ fn main() -> ExitCode {
         }
     };
     if args.paths.is_empty() {
-        eprintln!("usage: trace-report [--strict] [--chrome OUT] <trace.jsonl>...");
+        eprintln!("usage: trace-report [--strict] [--region N] [--chrome OUT] <trace.jsonl>...");
         eprintln!(
             "hint: run a figure bench with CROSSINVOC_TRACE=1 to write \
              target/figures/<name>.trace.jsonl"
@@ -143,10 +155,17 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        match Trace::from_jsonl(&text) {
+        let parsed = match args.region {
+            Some(region) => Trace::from_jsonl_region(&text, region),
+            None => Trace::from_jsonl(&text),
+        };
+        match parsed {
             Ok(trace) => {
                 let report = TraceReport::from_trace(&trace);
-                println!("== {path}");
+                match args.region {
+                    Some(region) => println!("== {path} (region {region})"),
+                    None => println!("== {path}"),
+                }
                 if trace.dropped() > 0 {
                     total_dropped += trace.dropped();
                     println!(

@@ -32,12 +32,15 @@
 //! carries a `region_id` field (id 0 stays wire-invisible, so solo traces
 //! are byte-identical to the pre-region schema).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use crossinvoc_domore::runtime::{DomoreConfig, DomoreError, DomoreRuntime, ExecutionReport};
 use crossinvoc_runtime::pool::WorkerPool;
 use crossinvoc_runtime::signature::AccessSignature;
+use crossinvoc_runtime::telemetry::{RegionTelemetry, RegistrySnapshot, ServerRegistry};
 use crossinvoc_speccross::engine::{SpecConfig, SpecCrossEngine, SpecError, SpecReport};
 use crossinvoc_speccross::workload::SpecWorkload;
 
@@ -138,6 +141,7 @@ impl RegionHandle {
 pub struct RegionServer {
     pool: Arc<WorkerPool>,
     next_region: Arc<std::sync::atomic::AtomicU64>,
+    registry: Option<Arc<ServerRegistry>>,
 }
 
 impl RegionServer {
@@ -157,7 +161,87 @@ impl RegionServer {
         Self {
             pool: Arc::new(WorkerPool::new(threads)),
             next_region: Arc::new(std::sync::atomic::AtomicU64::new(1)),
+            registry: None,
         }
+    }
+
+    /// Creates a telemetry-enabled server: every submission is registered in
+    /// `registry`, the pool's admission/busy hot paths feed its pool gauges,
+    /// and — when the registry carries a
+    /// [`crossinvoc_runtime::telemetry::FlightRecorder`] — regions with
+    /// tracing off get their trace rings armed at the recorder's capacity so
+    /// a post-mortem dump is always available.
+    ///
+    /// The registry's `pool_slots` should equal `threads`; the utilization
+    /// gauge is computed against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_telemetry(threads: usize, registry: ServerRegistry) -> Self {
+        let registry = Arc::new(registry);
+        let pool = Arc::new(WorkerPool::new(threads));
+        pool.attach_telemetry(Arc::clone(&registry));
+        Self {
+            pool,
+            next_region: Arc::new(std::sync::atomic::AtomicU64::new(1)),
+            registry: Some(registry),
+        }
+    }
+
+    /// The live telemetry registry, when this server was built with
+    /// [`RegionServer::with_telemetry`].
+    pub fn registry(&self) -> Option<&Arc<ServerRegistry>> {
+        self.registry.as_ref()
+    }
+
+    /// Registers a region cell and stamps the engine config, arming the
+    /// flight-recorder trace ring when the caller left tracing off.
+    fn register_spec(
+        &self,
+        region_id: u64,
+        kind: &'static str,
+        gang: usize,
+        mut config: SpecConfig,
+    ) -> (SpecConfig, Option<Arc<RegionTelemetry>>) {
+        let Some(registry) = &self.registry else {
+            return (config, None);
+        };
+        if let Some(recorder) = registry.flight_recorder() {
+            config = config.trace_default(recorder.capacity());
+        }
+        let cell = registry.register(region_id, kind, gang);
+        config = config.telemetry(Arc::clone(&cell));
+        (config, Some(cell))
+    }
+
+    /// Spawns a snapshot pump: a background thread that snapshots the
+    /// registry every `interval`, hands each [`RegistrySnapshot`] to `sink`
+    /// (e.g. a JSONL writer feeding `server-stats --follow`), and emits one
+    /// final snapshot when stopped. Returns `None` when the server has no
+    /// telemetry registry.
+    pub fn spawn_snapshot_pump<F>(&self, interval: Duration, mut sink: F) -> Option<TelemetryPump>
+    where
+        F: FnMut(RegistrySnapshot) + Send + 'static,
+    {
+        let registry = Arc::clone(self.registry.as_ref()?);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = thread::Builder::new()
+            .name("crossinvoc-telemetry-pump".to_string())
+            .spawn(move || loop {
+                if stop_flag.load(Ordering::Acquire) {
+                    sink(registry.snapshot());
+                    return;
+                }
+                sink(registry.snapshot());
+                thread::park_timeout(interval);
+            })
+            .expect("spawn telemetry pump thread");
+        Some(TelemetryPump {
+            stop,
+            thread: Some(thread),
+        })
     }
 
     /// The shared pool, for callers that want to run `execute_on` inline on
@@ -187,15 +271,21 @@ impl RegionServer {
         S: AccessSignature + 'static,
         W: SpecWorkload + Send + Sync + 'static,
     {
+        let gang = config.num_workers + config.checker_shards;
+        let (config, cell) = self.register_spec(region_id, "speccross", gang, config);
         let pool = Arc::clone(&self.pool);
         let thread = thread::Builder::new()
             .name(format!("crossinvoc-region-{region_id}"))
             .spawn(move || {
                 let engine = SpecCrossEngine::<S>::new(config.region(region_id));
-                engine
-                    .execute_on(&*workload, &*pool)
-                    .map(RegionReport::Spec)
-                    .map_err(RegionError::Spec)
+                let result = engine.execute_on(&*workload, &*pool);
+                // Safety net for errors raised before the engine's own
+                // lifecycle calls (e.g. config validation); the first
+                // complete/fail wins, so this is a no-op on normal paths.
+                if let (Err(_), Some(cell)) = (&result, &cell) {
+                    cell.fail(None);
+                }
+                result.map(RegionReport::Spec).map_err(RegionError::Spec)
             })
             .expect("spawn region manager thread");
         RegionHandle { region_id, thread }
@@ -212,15 +302,18 @@ impl RegionServer {
         S: AccessSignature + 'static,
         W: SpecWorkload + Send + Sync + 'static,
     {
+        let gang = config.num_workers;
+        let (config, cell) = self.register_spec(region_id, "speccross-barrier", gang, config);
         let pool = Arc::clone(&self.pool);
         let thread = thread::Builder::new()
             .name(format!("crossinvoc-region-{region_id}"))
             .spawn(move || {
                 let engine = SpecCrossEngine::<S>::new(config.region(region_id));
-                engine
-                    .execute_with_barriers_on(&*workload, &*pool)
-                    .map(RegionReport::Spec)
-                    .map_err(RegionError::Spec)
+                let result = engine.execute_with_barriers_on(&*workload, &*pool);
+                if let (Err(_), Some(cell)) = (&result, &cell) {
+                    cell.fail(None);
+                }
+                result.map(RegionReport::Spec).map_err(RegionError::Spec)
             })
             .expect("spawn region manager thread");
         RegionHandle { region_id, thread }
@@ -237,18 +330,65 @@ impl RegionServer {
     where
         W: DomoreWorkload + Send + Sync + 'static,
     {
+        let (config, cell) = match &self.registry {
+            None => (config, None),
+            Some(registry) => {
+                let mut config = config;
+                if let Some(recorder) = registry.flight_recorder() {
+                    config = config.trace_default(recorder.capacity());
+                }
+                let cell = registry.register(region_id, "domore", config.num_workers());
+                (config.telemetry(Arc::clone(&cell)), Some(cell))
+            }
+        };
         let pool = Arc::clone(&self.pool);
         let thread = thread::Builder::new()
             .name(format!("crossinvoc-region-{region_id}"))
             .spawn(move || {
                 let mut runtime = DomoreRuntime::new(config.region(region_id));
-                runtime
-                    .execute_on(&*workload, &*pool)
+                let result = runtime.execute_on(&*workload, &*pool);
+                if let (Err(_), Some(cell)) = (&result, &cell) {
+                    cell.fail(None);
+                }
+                result
                     .map(RegionReport::Domore)
                     .map_err(RegionError::Domore)
             })
             .expect("spawn region manager thread");
         RegionHandle { region_id, thread }
+    }
+}
+
+/// Handle to the background snapshot thread spawned by
+/// [`RegionServer::spawn_snapshot_pump`].
+///
+/// Stopping (or dropping) the pump wakes the thread, emits one final
+/// snapshot through the sink, and joins — so the last snapshot a consumer
+/// sees always reflects every region's terminal state.
+#[derive(Debug)]
+pub struct TelemetryPump {
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl TelemetryPump {
+    /// Stops the pump, flushing one final snapshot, and joins the thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            thread.thread().unpark();
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TelemetryPump {
+    fn drop(&mut self) {
+        self.halt();
     }
 }
 
@@ -373,6 +513,123 @@ mod tests {
             }
             other => panic!("expected InvalidConfig, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn telemetry_server_snapshots_agree_with_reports() {
+        use crossinvoc_runtime::telemetry::{FlightRecorder, RegionState, ServerRegistry};
+
+        let registry = ServerRegistry::new(6).with_recorder(FlightRecorder::new(256));
+        let server = RegionServer::with_telemetry(6, registry);
+        let spec = Arc::new(IncGrid::new(2, 8));
+        let dom = Arc::new(DomoreGrid {
+            cells: (0..4).map(|_| Mutex::new(0)).collect(),
+            invocations: 5,
+        });
+        let h1 = server.submit_spec::<RangeSignature, _>(
+            1,
+            SpecConfig::with_workers(2).checker_shards(1),
+            Arc::clone(&spec),
+        );
+        let h2 = server.submit_domore(2, DomoreConfig::with_workers(2), dom);
+        let r1 = h1.join().expect("spec region");
+        let r2 = h2.join().expect("domore region");
+
+        let snap = server.registry().unwrap().snapshot();
+        assert!(snap.pool.admissions >= 2, "{}", snap.pool.admissions);
+        assert_eq!(snap.pool.in_flight, 0);
+        assert_eq!(snap.regions.len(), 2);
+
+        let spec_row = snap.regions.iter().find(|r| r.region_id == 1).unwrap();
+        assert_eq!(spec_row.kind, "speccross");
+        assert_eq!(spec_row.state, RegionState::Done);
+        // Aliased metrics: the snapshot and the report read the same counters.
+        assert_eq!(spec_row.metrics, r1.spec().unwrap().metrics);
+
+        let dom_row = snap.regions.iter().find(|r| r.region_id == 2).unwrap();
+        assert_eq!(dom_row.kind, "domore");
+        assert_eq!(dom_row.state, RegionState::Done);
+        assert_eq!(dom_row.metrics, r2.domore().unwrap().metrics);
+
+        // Healthy regions never trip the flight recorder.
+        assert_eq!(
+            server
+                .registry()
+                .unwrap()
+                .flight_recorder()
+                .unwrap()
+                .dumps_taken(),
+            0
+        );
+    }
+
+    #[test]
+    fn contained_fault_triggers_flight_dump_with_armed_ring() {
+        use crossinvoc_runtime::fault::FaultPlan;
+        use crossinvoc_runtime::telemetry::{FlightRecorder, ServerRegistry};
+
+        let registry = ServerRegistry::new(4).with_recorder(FlightRecorder::new(128));
+        let server = RegionServer::with_telemetry(4, registry);
+        let spec = Arc::new(IncGrid::new(2, 4));
+        // Tracing is left off here: the server must arm the ring itself from
+        // the recorder's capacity so the dump is non-empty.
+        let h = server.submit_spec::<RangeSignature, _>(
+            9,
+            SpecConfig::with_workers(2)
+                .checker_shards(1)
+                .checkpoint_every(2)
+                .fault_plan(FaultPlan::new().worker_panic_at(1, 0)),
+            spec,
+        );
+        let report = h.join().expect("contained fault still completes");
+        assert!(!report.spec().unwrap().contained_faults.is_empty());
+
+        let registry = server.registry().unwrap();
+        let recorder = registry.flight_recorder().unwrap();
+        assert_eq!(recorder.dumps_taken(), 1);
+        let dumps = recorder.dumps();
+        assert_eq!(dumps[0].region_id, 9);
+        assert_eq!(dumps[0].trigger.as_str(), "fault");
+        assert!(dumps[0].records > 0, "armed ring must capture events");
+
+        let snap = registry.snapshot();
+        let row = snap.regions.iter().find(|r| r.region_id == 9).unwrap();
+        assert!(row.faults > 0);
+        assert_eq!(snap.flight_dumps, 1);
+    }
+
+    #[test]
+    fn snapshot_pump_flushes_final_state_on_stop() {
+        use crossinvoc_runtime::telemetry::ServerRegistry;
+        use std::sync::mpsc;
+
+        let server = RegionServer::with_telemetry(4, ServerRegistry::new(4));
+        let spec = Arc::new(IncGrid::new(2, 4));
+        let (tx, rx) = mpsc::channel();
+        let pump = server
+            .spawn_snapshot_pump(Duration::from_millis(5), move |snap| {
+                let _ = tx.send(snap);
+            })
+            .expect("telemetry server has a pump");
+        let h = server.submit_spec::<RangeSignature, _>(
+            1,
+            SpecConfig::with_workers(2).checker_shards(1),
+            spec,
+        );
+        h.join().expect("region");
+        pump.stop();
+        let last = rx.iter().last().expect("at least one snapshot");
+        assert_eq!(last.regions.len(), 1);
+        assert_eq!(last.regions[0].state.as_str(), "done");
+    }
+
+    #[test]
+    fn untelemetered_server_has_no_registry_or_pump() {
+        let server = RegionServer::new(2);
+        assert!(server.registry().is_none());
+        assert!(server
+            .spawn_snapshot_pump(Duration::from_millis(5), |_| {})
+            .is_none());
     }
 
     #[test]

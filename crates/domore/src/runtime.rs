@@ -42,6 +42,7 @@
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::utils::CachePadded;
@@ -50,6 +51,7 @@ use crossinvoc_runtime::metrics::{Metrics, MetricsSummary};
 use crossinvoc_runtime::pool::{RegionExecutor, Role, ScopedExecutor};
 use crossinvoc_runtime::spsc::{Producer, Queue};
 use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
+use crossinvoc_runtime::telemetry::RegionTelemetry;
 use crossinvoc_runtime::trace::{Event, Trace, TraceCollector, TraceSink, WakeEdge, MANAGER_TID};
 use crossinvoc_runtime::wait::{AdaptiveSpin, Parker, PARK_SLICE};
 use crossinvoc_runtime::{IterNum, ThreadId};
@@ -181,6 +183,7 @@ pub struct DomoreConfig {
     trace_capacity: Option<usize>,
     schedule_memo: bool,
     region_id: u64,
+    telemetry: Option<Arc<RegionTelemetry>>,
 }
 
 impl DomoreConfig {
@@ -195,6 +198,7 @@ impl DomoreConfig {
             trace_capacity: None,
             schedule_memo: true,
             region_id: 0,
+            telemetry: None,
         }
     }
 
@@ -226,6 +230,19 @@ impl DomoreConfig {
         self
     }
 
+    /// The configured worker-thread count (the region's pool-slot demand).
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Enables tracing with `capacity` only when tracing is off — the
+    /// region server uses this to arm always-on flight-recorder rings
+    /// without overriding an explicitly configured capacity.
+    pub fn trace_default(mut self, capacity: usize) -> Self {
+        self.trace_capacity.get_or_insert(capacity);
+        self
+    }
+
     /// Enables or disables cross-invocation schedule memoization
     /// ([`crate::memo::ScheduleMemo`]). On by default; replayed and
     /// recomputed schedules are decision-for-decision identical, so this
@@ -239,6 +256,16 @@ impl DomoreConfig {
     /// (the `region_id` JSONL field; default 0 = solo, wire-invisible).
     pub fn region(mut self, region_id: u64) -> Self {
         self.region_id = region_id;
+        self
+    }
+
+    /// Attaches a live telemetry cell (region-server mode; see
+    /// `crossinvoc_runtime::telemetry`). The runtime then writes its
+    /// metrics through the cell — live registry snapshots and the final
+    /// [`ExecutionReport::metrics`] read the same counters — and drives the
+    /// cell's lifecycle. `None` (the default, solo mode) costs nothing.
+    pub fn telemetry(mut self, cell: Arc<RegionTelemetry>) -> Self {
+        self.telemetry = Some(cell);
         self
     }
 }
@@ -404,7 +431,21 @@ impl DomoreRuntime {
         };
         let mut memo = ScheduleMemo::new();
         let board = ProgressBoard::new(num_workers);
-        let metrics = Metrics::new();
+        let telemetry = self.config.telemetry.as_deref();
+        if let Some(cell) = telemetry {
+            cell.mark_running();
+        }
+        // In region-server mode the metrics live in the telemetry cell, so
+        // live registry snapshots and the final report read the same
+        // counters and cannot disagree.
+        let owned_metrics;
+        let metrics: &Metrics = match telemetry {
+            Some(cell) => cell.metrics(),
+            None => {
+                owned_metrics = Metrics::new();
+                &owned_metrics
+            }
+        };
         let collector = TraceCollector::with_region(
             self.config.trace_capacity.unwrap_or(0),
             self.config.region_id,
@@ -439,7 +480,6 @@ impl DomoreRuntime {
                 let (tx, rx) = Queue::<Msg>::with_capacity(queue_capacity);
                 producers.push(tx);
                 let board = &board;
-                let metrics = &metrics;
                 let collector = &collector;
                 let (abort, fault) = (&abort, &fault);
                 let (dead, record, fail) = (&dead, &record, &fail);
@@ -803,21 +843,34 @@ impl DomoreRuntime {
                     tx.produce(Msg::End);
                 }
             };
-            exec.run_gang(roles, Box::new(move || scheduler(producers)));
+            let gang_stats = exec.run_gang(roles, Box::new(move || scheduler(producers)));
+            if let Some(cell) = telemetry {
+                cell.add_queue_wait(gang_stats.queue_wait_ns);
+            }
         }
 
+        let elapsed = start.elapsed();
+        let trace = collector.finish();
         if let Some(err) = error.into_inner() {
+            // Hard failure: deposit the trace with the telemetry cell so
+            // the flight recorder can dump the window that led here.
+            if let Some(cell) = telemetry {
+                cell.fail(trace.as_ref());
+            }
             return Err(err);
         }
         // The worker scope has joined: snapshots are exact per the
         // RegionStats ordering contract.
         let metrics = metrics.snapshot();
+        if let Some(cell) = telemetry {
+            cell.complete(0, false, trace.as_ref());
+        }
         Ok(ExecutionReport {
             stats: metrics.stats,
-            elapsed: start.elapsed(),
+            elapsed,
             num_workers,
             metrics,
-            trace: collector.finish(),
+            trace,
         })
     }
 }

@@ -29,13 +29,16 @@
 //! legitimately changes overlap timing — that being the point of it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crossinvoc_domore::policy::RoundRobin;
 use crossinvoc_domore::runtime::DomoreConfig;
 use crossinvoc_pir::{DomorePlan, Memory, SpecCrossPlan};
+use crossinvoc_runtime::metrics::MetricsSummary;
 use crossinvoc_runtime::pool::WorkerPool;
 use crossinvoc_runtime::signature::{AccessKind, BloomSignature, RangeSignature};
+use crossinvoc_runtime::telemetry::{FlightRecorder, RegionState, RegionTelemetry, ServerRegistry};
 use crossinvoc_sim::prelude::*;
 use crossinvoc_speccross::engine::{DegradePolicy, SpecConfig};
 
@@ -390,69 +393,9 @@ pub fn run_concurrent_pair(a: &FuzzCase, b: &FuzzCase) -> DiffReport {
     let demand = |case: &FuzzCase| case.workers + 1;
     let pool = WorkerPool::new(demand(a) + demand(b));
 
-    let run_region = |case: &FuzzCase| -> Outcome {
-        let Some(outer) = case.outer() else {
-            return exec_caught(
-                "regions",
-                |mem| {
-                    crossinvoc_pir::Interp::new(&case.program).run(mem);
-                    Ok::<(), String>(())
-                },
-                case,
-            );
-        };
-        if let Ok(plan) = SpecCrossPlan::build(&case.program, outer) {
-            let mut config = SpecConfig::with_workers(case.workers)
-                .checkpoint_every(case.checkpoint_every)
-                .fault_plan(case.faults.clone())
-                .watchdog(WATCHDOG);
-            if case.degrade {
-                config = config.degrade(DegradePolicy::default());
-            }
-            return match case.signature {
-                SigKind::Range => exec_caught(
-                    "regions",
-                    |mem| {
-                        plan.execute_sig_on::<RangeSignature>(mem, config, &pool)
-                            .map(|_| ())
-                    },
-                    case,
-                ),
-                SigKind::Bloom => exec_caught(
-                    "regions",
-                    |mem| {
-                        plan.execute_sig_on::<BloomSignature>(mem, config, &pool)
-                            .map(|_| ())
-                    },
-                    case,
-                ),
-            };
-        }
-        if let Some(inner) = case.inner() {
-            if let Ok(plan) = DomorePlan::build(&case.program, outer, inner) {
-                let config = DomoreConfig::with_workers(case.workers)
-                    .fault_plan(case.faults.clone())
-                    .watchdog(WATCHDOG);
-                return exec_caught(
-                    "regions",
-                    |mem| plan.execute_with_on(mem, config, &pool).map(|_| ()),
-                    case,
-                );
-            }
-        }
-        exec_caught(
-            "regions",
-            |mem| {
-                crossinvoc_pir::Interp::new(&case.program).run(mem);
-                Ok::<(), String>(())
-            },
-            case,
-        )
-    };
-
     let (out_a, out_b) = std::thread::scope(|scope| {
-        let ha = scope.spawn(|| run_region(a));
-        let hb = scope.spawn(|| run_region(b));
+        let ha = scope.spawn(|| run_pair_region(a, &pool, None).0);
+        let hb = scope.spawn(|| run_pair_region(b, &pool, None).0);
         (
             ha.join()
                 .unwrap_or_else(|p| Outcome::Panicked(panic_message(&*p))),
@@ -472,6 +415,248 @@ pub fn run_concurrent_pair(a: &FuzzCase, b: &FuzzCase) -> DiffReport {
         &mut report,
         "regions-b",
         out_b,
+        &oracles[1],
+        b.faults.is_empty(),
+    );
+    report
+}
+
+/// Runs one case of a shared-pool pair through its preferred parallel plan
+/// (SPECCROSS when applicable, else DOMORE, else the sequential
+/// interpreter), optionally with a telemetry cell stamped into the engine
+/// config. Returns the outcome plus the engine's final [`MetricsSummary`]
+/// when a parallel plan completed (`None` for sequential fallbacks and
+/// failed runs), so callers can hold the live registry to the engine's own
+/// verdict stream.
+///
+/// When a cell is attached, the engine drives its lifecycle; the fallback
+/// paths here finish it by hand so every registered cell reaches a
+/// terminal state (the finish is idempotent — first writer wins).
+fn run_pair_region(
+    case: &FuzzCase,
+    pool: &WorkerPool,
+    cell: Option<&Arc<RegionTelemetry>>,
+) -> (Outcome, Option<MetricsSummary>) {
+    let sequential = |cell: Option<&Arc<RegionTelemetry>>| {
+        let out = exec_caught(
+            "regions",
+            |mem| {
+                crossinvoc_pir::Interp::new(&case.program).run(mem);
+                Ok::<(), String>(())
+            },
+            case,
+        );
+        if let Some(cell) = cell {
+            cell.mark_running();
+            cell.complete(0, false, None);
+        }
+        (out, None)
+    };
+    let Some(outer) = case.outer() else {
+        return sequential(cell);
+    };
+    let metrics = Mutex::new(None);
+    let outcome = if let Ok(plan) = SpecCrossPlan::build(&case.program, outer) {
+        let mut config = SpecConfig::with_workers(case.workers)
+            .checkpoint_every(case.checkpoint_every)
+            .fault_plan(case.faults.clone())
+            .watchdog(WATCHDOG);
+        if case.degrade {
+            config = config.degrade(DegradePolicy::default());
+        }
+        if let Some(cell) = cell {
+            config = config.telemetry(Arc::clone(cell));
+        }
+        match case.signature {
+            SigKind::Range => exec_caught(
+                "regions",
+                |mem| {
+                    plan.execute_sig_on::<RangeSignature>(mem, config, pool)
+                        .map(|r| *metrics.lock().unwrap() = Some(r.metrics))
+                },
+                case,
+            ),
+            SigKind::Bloom => exec_caught(
+                "regions",
+                |mem| {
+                    plan.execute_sig_on::<BloomSignature>(mem, config, pool)
+                        .map(|r| *metrics.lock().unwrap() = Some(r.metrics))
+                },
+                case,
+            ),
+        }
+    } else if let Some(plan) = case
+        .inner()
+        .and_then(|inner| DomorePlan::build(&case.program, outer, inner).ok())
+    {
+        let mut config = DomoreConfig::with_workers(case.workers)
+            .fault_plan(case.faults.clone())
+            .watchdog(WATCHDOG);
+        if let Some(cell) = cell {
+            config = config.telemetry(Arc::clone(cell));
+        }
+        exec_caught(
+            "regions",
+            |mem| {
+                plan.execute_with_on(mem, config, pool)
+                    .map(|r| *metrics.lock().unwrap() = Some(r.metrics))
+            },
+            case,
+        )
+    } else {
+        return sequential(cell);
+    };
+    if let Some(cell) = cell {
+        // Safety net for a panic that escaped before the engine finished
+        // the cell; a no-op for normally-finished cells.
+        match &outcome {
+            Outcome::Ok(_) => cell.complete(0, false, None),
+            _ => cell.fail(None),
+        }
+    }
+    (outcome, metrics.into_inner().unwrap())
+}
+
+/// Runs the shared-pool pair of [`run_concurrent_pair`] twice — telemetry
+/// plane detached, then attached (a [`ServerRegistry`] with an armed
+/// [`FlightRecorder`] on the same pool shape) — and asserts the plane is
+/// observationally invisible:
+///
+/// * each telemetry-on region still satisfies the standard oracle
+///   contract (memory digest, typed-error policy, no escaped panics);
+/// * for a fault-free pair the two settings must agree on outcome class
+///   and final memory byte-for-byte (verdict *counts* of the threaded
+///   engines are timing-dependent — see the module docs — so stream
+///   equality is asserted where it is deterministic, next);
+/// * within the telemetry-on run, every region's registry snapshot row
+///   must carry exactly the [`MetricsSummary`] its engine reported — the
+///   registry may not fork, dampen, or re-derive the verdict stream — and
+///   every registered cell must reach a terminal state.
+///
+/// Divergences are attributed to `regions-a-telemetry` /
+/// `regions-b-telemetry`.
+pub fn run_concurrent_pair_telemetry(a: &FuzzCase, b: &FuzzCase) -> DiffReport {
+    let mut report = DiffReport::default();
+    report.paths_run.push("regions-a-telemetry");
+    report.paths_run.push("regions-b-telemetry");
+
+    let mut oracles = Vec::new();
+    for (path, case) in [("regions-a-telemetry", a), ("regions-b-telemetry", b)] {
+        match run_oracle(&case.program) {
+            Ok(mem) => oracles.push(mem),
+            Err(e) => {
+                report.diverge(path, format!("oracle rejected the program: {e}"));
+                return report;
+            }
+        }
+    }
+
+    let demand = |case: &FuzzCase| case.workers + 1;
+    let slots = demand(a) + demand(b);
+
+    // One full pair run per setting; pool and registry are rebuilt so both
+    // settings start from identical state.
+    let run_setting = |telemetry: bool| {
+        let pool = WorkerPool::new(slots);
+        let registry = telemetry.then(|| {
+            let registry =
+                Arc::new(ServerRegistry::new(slots).with_recorder(FlightRecorder::new(128)));
+            pool.attach_telemetry(Arc::clone(&registry));
+            registry
+        });
+        let cells: Vec<Option<Arc<RegionTelemetry>>> = [a, b]
+            .into_iter()
+            .enumerate()
+            .map(|(i, case)| {
+                registry
+                    .as_ref()
+                    .map(|r| r.register(i as u64 + 1, "fuzz-pair", demand(case)))
+            })
+            .collect();
+        let (ra, rb) = std::thread::scope(|scope| {
+            let ha = scope.spawn(|| run_pair_region(a, &pool, cells[0].as_ref()));
+            let hb = scope.spawn(|| run_pair_region(b, &pool, cells[1].as_ref()));
+            (
+                ha.join()
+                    .unwrap_or_else(|p| (Outcome::Panicked(panic_message(&*p)), None)),
+                hb.join()
+                    .unwrap_or_else(|p| (Outcome::Panicked(panic_message(&*p)), None)),
+            )
+        });
+        (ra, rb, registry)
+    };
+
+    let ((off_a, _), (off_b, _), _) = run_setting(false);
+    let ((on_a, metrics_a), (on_b, metrics_b), registry) = run_setting(true);
+
+    // Registry-side checks: terminal states and verdict-stream fidelity
+    // (snapshot rows must mirror the engines' own reports exactly — the
+    // metrics-aliasing guarantee of region-server mode).
+    let registry = registry.expect("telemetry setting always builds a registry");
+    let snapshot = registry.snapshot();
+    for (path, row, metrics) in [
+        ("regions-a-telemetry", &snapshot.regions[0], &metrics_a),
+        ("regions-b-telemetry", &snapshot.regions[1], &metrics_b),
+    ] {
+        if !matches!(row.state, RegionState::Done | RegionState::Faulted) {
+            report.diverge(
+                path,
+                format!("region cell never finished: state {:?}", row.state),
+            );
+        }
+        if let Some(metrics) = metrics {
+            if row.metrics != *metrics {
+                report.diverge(
+                    path,
+                    format!(
+                        "registry forked the verdict stream: snapshot {:?} != report {:?}",
+                        row.metrics, metrics
+                    ),
+                );
+            }
+        }
+    }
+
+    // Cross-setting checks, deterministic only for a fault-free pair (see
+    // run_concurrent_pair on why outcome classes may shift under faults).
+    if a.faults.is_empty() && b.faults.is_empty() {
+        for (path, off, on) in [
+            ("regions-a-telemetry", &off_a, &on_a),
+            ("regions-b-telemetry", &off_b, &on_b),
+        ] {
+            match (off, on) {
+                (Outcome::Ok(off_mem), Outcome::Ok(on_mem)) if off_mem != on_mem => {
+                    report.diverge(
+                        path,
+                        format!(
+                            "telemetry changed the region digest: {}",
+                            first_mismatch(off_mem, on_mem)
+                        ),
+                    );
+                }
+                (Outcome::Ok(_), Outcome::Ok(_)) => {}
+                (Outcome::Ok(_), _) | (_, Outcome::Ok(_)) => {
+                    report.diverge(
+                        path,
+                        "telemetry changed the outcome class of a fault-free region".to_string(),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    check_outcome(
+        &mut report,
+        "regions-a-telemetry",
+        on_a,
+        &oracles[0],
+        a.faults.is_empty(),
+    );
+    check_outcome(
+        &mut report,
+        "regions-b-telemetry",
+        on_b,
         &oracles[1],
         b.faults.is_empty(),
     );
@@ -595,6 +780,46 @@ mod tests {
                 seed + 1,
                 a.note,
                 b.note,
+                r.divergence
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_is_invisible_on_fault_free_pairs() {
+        let params = GenParams {
+            fault_percent: 0,
+            ..GenParams::default()
+        };
+        for seed in (0..12).step_by(2) {
+            let a = generate(seed, &params);
+            let b = generate(seed + 1, &params);
+            let r = run_concurrent_pair_telemetry(&a, &b);
+            assert!(
+                r.divergence.is_none(),
+                "pair ({seed}, {}) [{} | {}]: {:?}",
+                seed + 1,
+                a.note,
+                b.note,
+                r.divergence
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_pairs_hold_the_contract_under_faults() {
+        let params = GenParams {
+            fault_percent: 100,
+            ..GenParams::default()
+        };
+        for seed in (0..8).step_by(2) {
+            let a = generate(seed, &params);
+            let b = generate(seed + 1, &params);
+            let r = run_concurrent_pair_telemetry(&a, &b);
+            assert!(
+                r.divergence.is_none(),
+                "pair ({seed}, {}): {:?}",
+                seed + 1,
                 r.divergence
             );
         }

@@ -21,7 +21,9 @@
 //!   memoization, and the deterministic simulators over a recorded access
 //!   trace) and classifies the outcome; [`run_concurrent_pair`] runs two
 //!   cases at once through one shared worker pool (the region-server
-//!   deployment shape) and holds each to the same contract.
+//!   deployment shape) and holds each to the same contract, and
+//!   [`run_concurrent_pair_telemetry`] re-runs the pair with the live
+//!   telemetry plane attached, asserting it is observationally invisible.
 //! * [`mod@minimize`] — a delta-debugging shrinker that reduces a diverging
 //!   case's program and fault schedule to a minimal counterexample.
 //! * [`corpus`] — the stable textual case format and the `corpus/`
@@ -41,7 +43,9 @@ pub mod minimize;
 pub mod oracle;
 
 pub use corpus::{case_from_text, case_to_text, load_corpus, write_counterexample};
-pub use diff::{run_case, run_concurrent_pair, DiffReport, Divergence};
+pub use diff::{
+    run_case, run_concurrent_pair, run_concurrent_pair_telemetry, DiffReport, Divergence,
+};
 pub use gen::{generate, FuzzCase, GenParams, SigKind};
 pub use minimize::minimize;
 pub use oracle::{run_oracle, OracleError};

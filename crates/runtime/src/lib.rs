@@ -51,6 +51,13 @@
 //!   with [`pool::ScopedExecutor`] (a fresh scoped thread per role, the
 //!   solo-region default) and [`pool::WorkerPool`] (long-lived threads with
 //!   FIFO all-or-nothing gang admission serving many concurrent regions).
+//! * [`telemetry`] — the live telemetry plane for the region server: a
+//!   [`telemetry::ServerRegistry`] of pool-wide and per-region gauges
+//!   updated from the hot paths and snapshotted without stopping workers, a
+//!   [`telemetry::FlightRecorder`] that dumps the bounded trace rings as
+//!   post-mortem JSONL when a region faults / degrades / blows a latency
+//!   deadline, and Prometheus + JSON exposition
+//!   ([`telemetry::RegistrySnapshot`]).
 //!
 //! # Example
 //!
@@ -80,6 +87,7 @@ pub mod shared;
 pub mod signature;
 pub mod spsc;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod wait;
 
@@ -92,6 +100,9 @@ pub use shadow::{ShadowEntry, ShadowMemory};
 pub use shared::SharedSlice;
 pub use signature::{AccessSignature, BloomSignature, RangeSignature};
 pub use spsc::Queue;
+pub use telemetry::{
+    FlightRecorder, RegionState, RegionTelemetry, RegistrySnapshot, ServerRegistry,
+};
 pub use trace::{Event, Trace, TraceCollector, TraceRecord, TraceReport, TraceSink, WakeEdge};
 pub use wait::{AdaptiveSpin, Parker};
 

@@ -34,16 +34,29 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::telemetry::ServerRegistry;
 use crate::wait::{AdaptiveSpin, Parker, PARK_SLICE};
 
 /// One member of a region's gang: a worker or checker-shard body. Boxed so
 /// heterogeneous roles (workers and checkers of one pass) travel in one
 /// `Vec`, bounded by the caller's stack lifetime `'s`.
 pub type Role<'s> = Box<dyn FnOnce() + Send + 's>;
+
+/// What one [`RegionExecutor::run_gang`] call observed, for telemetry
+/// attribution. Engines forward `queue_wait_ns` to their region's
+/// [`crate::telemetry::RegionTelemetry`] cell; executors without an
+/// admission queue ([`ScopedExecutor`]) return zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GangStats {
+    /// Nanoseconds this gang waited in the admission queue before its slots
+    /// were claimed.
+    pub queue_wait_ns: u64,
+}
 
 /// Executes one region *pass*: a gang of concurrent roles plus a closure for
 /// the submitting thread. `run_gang` must not return before every role has
@@ -56,8 +69,10 @@ pub type Role<'s> = Box<dyn FnOnce() + Send + 's>;
 /// thread.
 pub trait RegionExecutor: Sync {
     /// Runs `roles` concurrently, runs `local` on the calling thread, and
-    /// returns once all of them have finished.
-    fn run_gang<'s>(&self, roles: Vec<Role<'s>>, local: Box<dyn FnOnce() + 's>);
+    /// returns once all of them have finished. The returned [`GangStats`]
+    /// carry per-call telemetry (admission queue wait); callers that don't
+    /// attribute telemetry simply ignore them.
+    fn run_gang<'s>(&self, roles: Vec<Role<'s>>, local: Box<dyn FnOnce() + 's>) -> GangStats;
 
     /// Maximum gang width this executor can run concurrently, or `None` when
     /// unbounded (a fresh thread per role). Engines validate their
@@ -78,13 +93,14 @@ pub trait RegionExecutor: Sync {
 pub struct ScopedExecutor;
 
 impl RegionExecutor for ScopedExecutor {
-    fn run_gang<'s>(&self, roles: Vec<Role<'s>>, local: Box<dyn FnOnce() + 's>) {
+    fn run_gang<'s>(&self, roles: Vec<Role<'s>>, local: Box<dyn FnOnce() + 's>) -> GangStats {
         std::thread::scope(|scope| {
             for role in roles {
                 scope.spawn(role);
             }
             local();
         });
+        GangStats::default()
     }
 }
 
@@ -152,6 +168,10 @@ struct PoolShared {
     admission: Mutex<Admission>,
     admit_cv: Condvar,
     shutdown: std::sync::atomic::AtomicBool,
+    /// Telemetry registry, set once by [`WorkerPool::attach_telemetry`].
+    /// When unset every hook is a single relaxed-ish `OnceLock` load — the
+    /// untelemetered hot path stays effectively free.
+    telemetry: OnceLock<Arc<ServerRegistry>>,
 }
 
 /// A fixed-width pool of long-lived worker threads executing region gangs
@@ -214,13 +234,14 @@ impl WorkerPool {
             }),
             admit_cv: Condvar::new(),
             shutdown: std::sync::atomic::AtomicBool::new(false),
+            telemetry: OnceLock::new(),
         });
         let threads = (0..size)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("crossinvoc-pool-{i}"))
-                    .spawn(move || pool_thread(&shared))
+                    .spawn(move || pool_thread(&shared, i))
                     .expect("spawn pool thread")
             })
             .collect();
@@ -234,6 +255,15 @@ impl WorkerPool {
     /// Number of pool threads — the widest gang this pool can admit.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Attaches a telemetry registry: from now on every gang admission
+    /// reports its queue wait, every slot release updates the busy gauge,
+    /// and pool threads attribute their busy time to per-slot shards. First
+    /// call wins (returns `false` if a registry was already attached); the
+    /// registry should be sized with [`WorkerPool::size`] slots.
+    pub fn attach_telemetry(&self, registry: Arc<ServerRegistry>) -> bool {
+        self.shared.telemetry.set(registry).is_ok()
     }
 
     /// Blocks until `k` slots are free *and* this caller holds the oldest
@@ -261,6 +291,9 @@ impl WorkerPool {
         adm.free += 1;
         drop(adm);
         shared.admit_cv.notify_all();
+        if let Some(registry) = shared.telemetry.get() {
+            registry.note_slot_release();
+        }
     }
 }
 
@@ -276,18 +309,23 @@ impl RegionExecutor for WorkerPool {
     ///
     /// If a role panics, the first captured payload is re-raised here after
     /// the whole gang has retired (scoped-join semantics).
-    fn run_gang<'s>(&self, roles: Vec<Role<'s>>, local: Box<dyn FnOnce() + 's>) {
+    fn run_gang<'s>(&self, roles: Vec<Role<'s>>, local: Box<dyn FnOnce() + 's>) -> GangStats {
         let k = roles.len();
         if k == 0 {
             local();
-            return;
+            return GangStats::default();
         }
         assert!(
             k <= self.size,
             "gang of {k} roles exceeds pool capacity {}",
             self.size
         );
+        let enqueued = Instant::now();
         self.admit(k);
+        let queue_wait_ns = enqueued.elapsed().as_nanos() as u64;
+        if let Some(registry) = self.shared.telemetry.get() {
+            registry.note_admission(k, queue_wait_ns);
+        }
 
         let latch = Arc::new(GangLatch::new(k));
         {
@@ -339,6 +377,7 @@ impl RegionExecutor for WorkerPool {
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
+        GangStats { queue_wait_ns }
     }
 
     fn capacity(&self) -> Option<usize> {
@@ -360,8 +399,9 @@ impl Drop for WorkerPool {
 
 /// Pool thread main loop: pop a job, run it, repeat until shutdown. Jobs
 /// arrive pre-wrapped in `catch_unwind`, so pool threads never die to a
-/// region's panic.
-fn pool_thread(shared: &PoolShared) {
+/// region's panic. `slot` is this thread's index, used to attribute busy
+/// time to its telemetry shard without cross-thread contention.
+fn pool_thread(shared: &PoolShared, slot: usize) {
     loop {
         let job = {
             let mut queue = shared.queue.lock();
@@ -375,7 +415,14 @@ fn pool_thread(shared: &PoolShared) {
                 shared.work_cv.wait(&mut queue);
             }
         };
-        job();
+        match shared.telemetry.get() {
+            Some(registry) => {
+                let started = Instant::now();
+                job();
+                registry.add_busy_ns(slot, started.elapsed().as_nanos() as u64);
+            }
+            None => job(),
+        }
     }
 }
 
@@ -541,6 +588,37 @@ mod tests {
             }),
         );
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn telemetry_hooks_observe_admissions_and_busy_time() {
+        let pool = WorkerPool::new(2);
+        let registry = Arc::new(ServerRegistry::new(pool.size()));
+        assert!(pool.attach_telemetry(Arc::clone(&registry)));
+        // Second attach is refused: first registry keeps the pool.
+        assert!(!pool.attach_telemetry(Arc::new(ServerRegistry::new(2))));
+
+        let stats = pool.run_gang(
+            gang(2, |_| {
+                std::thread::sleep(Duration::from_millis(2));
+            }),
+            Box::new(|| {}),
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.pool.admissions, 1);
+        assert_eq!(snap.pool.queue_wait.count, 1);
+        assert_eq!(snap.pool.slots_busy, 0, "all slots released after gang");
+        assert!(
+            snap.pool.busy_ns >= 2 * 1_000_000,
+            "two 2ms roles must register busy time, got {}",
+            snap.pool.busy_ns
+        );
+        assert!(stats.queue_wait_ns < 10_000_000_000, "sane queue wait");
+
+        // Empty gangs skip admission entirely.
+        let stats = pool.run_gang(Vec::new(), Box::new(|| {}));
+        assert_eq!(stats, GangStats::default());
+        assert_eq!(registry.snapshot().pool.admissions, 1);
     }
 
     #[test]

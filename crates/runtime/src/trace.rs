@@ -665,6 +665,33 @@ impl Trace {
         }
         Ok(Trace::from_records(records).with_region(region))
     }
+
+    /// Like [`Trace::from_jsonl`], but keeps only the lines attributed to
+    /// `region` — the per-region filter for merged multi-region streams.
+    /// Note that region-0 lines carry no `region_id` field on the wire, so
+    /// `region == 0` selects exactly the solo-schema lines.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceParseError`] names the offending line and what was wrong
+    /// (every line is parsed, matching or not).
+    pub fn from_jsonl_region(input: &str, region: u64) -> Result<Trace, TraceParseError> {
+        let mut records = Vec::new();
+        for (idx, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (record, line_region) = parse_record(line).map_err(|msg| TraceParseError {
+                line: idx + 1,
+                message: msg,
+            })?;
+            if line_region == region {
+                records.push(record);
+            }
+        }
+        Ok(Trace::from_records(records).with_region(region))
+    }
 }
 
 /// Why a JSONL trace line failed to parse.

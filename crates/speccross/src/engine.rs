@@ -49,6 +49,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::utils::Backoff;
@@ -61,6 +62,7 @@ use crossinvoc_runtime::pool::{RegionExecutor, Role, ScopedExecutor};
 use crossinvoc_runtime::signature::{AccessSignature, RangeSignature};
 use crossinvoc_runtime::spsc;
 use crossinvoc_runtime::stats::{RegionStats, StatsSummary};
+use crossinvoc_runtime::telemetry::RegionTelemetry;
 use crossinvoc_runtime::trace::{
     checker_shard_tid, Event, Trace, TraceCollector, TraceSink, WakeEdge, MANAGER_TID,
 };
@@ -150,6 +152,14 @@ pub struct SpecConfig {
     /// default) marks a solo run and keeps trace output byte-identical to
     /// the pre-region schema.
     pub region_id: u64,
+    /// Live telemetry cell for this region (region-server mode; see
+    /// `crossinvoc_runtime::telemetry`). When set, the engine writes its
+    /// metrics *through the cell* — so live registry snapshots and the
+    /// final [`SpecReport::metrics`] read the same counters — and drives
+    /// the cell's lifecycle (running → done/faulted, degrade events, queue
+    /// waits, flight-recorder dumps). `None` (the default, solo mode) costs
+    /// nothing.
+    pub telemetry: Option<Arc<RegionTelemetry>>,
 }
 
 impl SpecConfig {
@@ -167,6 +177,7 @@ impl SpecConfig {
             epoch_summaries: true,
             checker_shards: 1,
             region_id: 0,
+            telemetry: None,
         }
     }
 
@@ -214,6 +225,14 @@ impl SpecConfig {
         self
     }
 
+    /// Enables tracing with `capacity` only when tracing is off — the
+    /// region server uses this to arm always-on flight-recorder rings
+    /// without overriding an explicitly configured capacity.
+    pub fn trace_default(mut self, capacity: usize) -> Self {
+        self.trace_capacity.get_or_insert(capacity);
+        self
+    }
+
     /// Toggles the checker's per-epoch aggregate fast path (on by default).
     pub fn epoch_summaries(mut self, enabled: bool) -> Self {
         self.epoch_summaries = enabled;
@@ -231,6 +250,13 @@ impl SpecConfig {
     /// (default 0 = solo).
     pub fn region(mut self, region_id: u64) -> Self {
         self.region_id = region_id;
+        self
+    }
+
+    /// Attaches a live telemetry cell (region-server mode). See
+    /// [`SpecConfig::telemetry`].
+    pub fn telemetry(mut self, cell: Arc<RegionTelemetry>) -> Self {
+        self.telemetry = Some(cell);
         self
     }
 }
@@ -644,7 +670,21 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         // fault consumed during speculation must not re-fire in recovery.
         let fault = self.config.fault_plan.clone().unwrap_or_default();
         let deadline = self.config.watchdog.map(|w| Instant::now() + w);
-        let metrics = Metrics::new();
+        let telemetry = self.config.telemetry.as_deref();
+        if let Some(cell) = telemetry {
+            cell.mark_running();
+        }
+        // In region-server mode the metrics live in the telemetry cell, so
+        // live registry snapshots and the final report read the same
+        // counters and cannot disagree.
+        let owned_metrics;
+        let metrics: &Metrics = match telemetry {
+            Some(cell) => cell.metrics(),
+            None => {
+                owned_metrics = Metrics::new();
+                &owned_metrics
+            }
+        };
         let stats = metrics.stats();
         let collector = TraceCollector::with_region(
             self.config.trace_capacity.unwrap_or(0),
@@ -664,140 +704,167 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         let mut start_epoch = 0usize;
         let num_epochs = workload.num_epochs();
 
-        while start_epoch < num_epochs {
-            let pass = self.speculative_pass(
-                workload,
-                start_epoch,
-                &metrics,
-                &fault,
-                deadline,
-                &collector,
-                exec,
-            );
-            comparisons += pass.comparisons;
-            contained.extend(pass.contained.iter().copied());
+        // The recovery loop runs inside an immediately-invoked closure so
+        // every failure path funnels through one exit below — where the
+        // manager sink is absorbed, the trace finished, and the telemetry
+        // cell finalised (flight dumps must happen on hard errors too).
+        let outcome: Result<(), SpecError> = (|| {
+            while start_epoch < num_epochs {
+                let pass = self.speculative_pass(
+                    workload,
+                    start_epoch,
+                    metrics,
+                    &fault,
+                    deadline,
+                    &collector,
+                    exec,
+                );
+                comparisons += pass.comparisons;
+                contained.extend(pass.contained.iter().copied());
 
-            let (resume_epoch, reason) = match pass.end {
-                PassEnd::Completed => break,
-                PassEnd::Aborted {
-                    resume_epoch,
-                    reason,
-                } => (resume_epoch, reason),
-            };
-            consecutive_failures += 1;
-            if let Some(policy) = self.config.degrade {
-                recent.push_back(matches!(reason, AbortReason::Conflict));
-                while recent.len() > policy.window {
-                    recent.pop_front();
-                }
-            }
-
-            match reason {
-                AbortReason::Timeout => return Err(SpecError::WatchdogTimeout),
-                AbortReason::TaskPanic { epoch, task } => {
-                    contained.push(ContainedFault::WorkerPanic { epoch, task });
-                    self.restore_with_retry(workload, &pass, &fault, &mut contained)?;
-                    // Re-execute non-speculatively; a repeat panic there is
-                    // no longer maskable and surfaces as TaskPanicked.
-                    self.run_barrier_range(
-                        workload,
-                        pass.checkpoint_epoch,
+                let (resume_epoch, reason) = match pass.end {
+                    PassEnd::Completed => break,
+                    PassEnd::Aborted {
                         resume_epoch,
-                        &metrics,
-                        &fault,
-                        deadline,
-                        &collector,
-                        exec,
-                    )?;
-                    start_epoch = resume_epoch;
+                        reason,
+                    } => (resume_epoch, reason),
+                };
+                consecutive_failures += 1;
+                if let Some(policy) = self.config.degrade {
+                    recent.push_back(matches!(reason, AbortReason::Conflict));
+                    while recent.len() > policy.window {
+                        recent.pop_front();
+                    }
                 }
-                AbortReason::CheckerLoss { unprocessed } => {
-                    if self.config.degrade.is_some() {
-                        contained.push(ContainedFault::CheckerLoss { unprocessed });
+
+                match reason {
+                    AbortReason::Timeout => return Err(SpecError::WatchdogTimeout),
+                    AbortReason::TaskPanic { epoch, task } => {
+                        contained.push(ContainedFault::WorkerPanic { epoch, task });
                         self.restore_with_retry(workload, &pass, &fault, &mut contained)?;
-                        manager_sink.emit(Event::Degradation {
-                            epoch: pass.checkpoint_epoch as u32,
-                        });
+                        // Re-execute non-speculatively; a repeat panic there is
+                        // no longer maskable and surfaces as TaskPanicked.
                         self.run_barrier_range(
                             workload,
                             pass.checkpoint_epoch,
-                            num_epochs,
-                            &metrics,
+                            resume_epoch,
+                            metrics,
                             &fault,
                             deadline,
                             &collector,
                             exec,
                         )?;
-                        degraded = true;
-                        degraded_at_epoch = Some(pass.checkpoint_epoch as u32);
-                        break;
+                        start_epoch = resume_epoch;
                     }
-                    return Err(SpecError::CheckerFailed { unprocessed });
-                }
-                AbortReason::Conflict => {
-                    stats.add_misspeculation();
-                    // The checker's verdict causes the rollback + redo that
-                    // the manager performs next; the wake edge points at the
-                    // shard that issued it so per-shard critical-path
-                    // attribution stays honest.
-                    let shard = pass.conflict.map_or(0, |(_, s)| s);
-                    manager_sink.emit(Event::Wake {
-                        edge: WakeEdge::Checker,
-                        src_tid: checker_shard_tid(shard),
-                        seq: misspec_ordinal,
-                    });
-                    misspec_ordinal += 1;
-                    if let Some((c, _)) = pass.conflict {
-                        conflicts.push(c);
+                    AbortReason::CheckerLoss { unprocessed } => {
+                        if self.config.degrade.is_some() {
+                            contained.push(ContainedFault::CheckerLoss { unprocessed });
+                            self.restore_with_retry(workload, &pass, &fault, &mut contained)?;
+                            manager_sink.emit(Event::Degradation {
+                                epoch: pass.checkpoint_epoch as u32,
+                            });
+                            if let Some(cell) = telemetry {
+                                cell.add_degrade_event();
+                            }
+                            self.run_barrier_range(
+                                workload,
+                                pass.checkpoint_epoch,
+                                num_epochs,
+                                metrics,
+                                &fault,
+                                deadline,
+                                &collector,
+                                exec,
+                            )?;
+                            degraded = true;
+                            degraded_at_epoch = Some(pass.checkpoint_epoch as u32);
+                            break;
+                        }
+                        return Err(SpecError::CheckerFailed { unprocessed });
                     }
-                    self.restore_with_retry(workload, &pass, &fault, &mut contained)?;
-                    let give_up = self.config.degrade.is_some_and(|policy| {
-                        let in_window = recent.iter().filter(|&&m| m).count() as u32;
-                        in_window >= policy.max_misspeculations
-                            || consecutive_failures >= policy.max_consecutive_failures
-                    });
-                    if give_up {
-                        manager_sink.emit(Event::Degradation {
-                            epoch: pass.checkpoint_epoch as u32,
+                    AbortReason::Conflict => {
+                        stats.add_misspeculation();
+                        // The checker's verdict causes the rollback + redo that
+                        // the manager performs next; the wake edge points at the
+                        // shard that issued it so per-shard critical-path
+                        // attribution stays honest.
+                        let shard = pass.conflict.map_or(0, |(_, s)| s);
+                        manager_sink.emit(Event::Wake {
+                            edge: WakeEdge::Checker,
+                            src_tid: checker_shard_tid(shard),
+                            seq: misspec_ordinal,
                         });
+                        misspec_ordinal += 1;
+                        if let Some((c, _)) = pass.conflict {
+                            conflicts.push(c);
+                        }
+                        self.restore_with_retry(workload, &pass, &fault, &mut contained)?;
+                        let give_up = self.config.degrade.is_some_and(|policy| {
+                            let in_window = recent.iter().filter(|&&m| m).count() as u32;
+                            in_window >= policy.max_misspeculations
+                                || consecutive_failures >= policy.max_consecutive_failures
+                        });
+                        if give_up {
+                            manager_sink.emit(Event::Degradation {
+                                epoch: pass.checkpoint_epoch as u32,
+                            });
+                            if let Some(cell) = telemetry {
+                                cell.add_degrade_event();
+                            }
+                            self.run_barrier_range(
+                                workload,
+                                pass.checkpoint_epoch,
+                                num_epochs,
+                                metrics,
+                                &fault,
+                                deadline,
+                                &collector,
+                                exec,
+                            )?;
+                            degraded = true;
+                            degraded_at_epoch = Some(pass.checkpoint_epoch as u32);
+                            break;
+                        }
+                        // Roll forward the misspeculated epochs with real
+                        // barriers (§4.2.2), then speculate again.
                         self.run_barrier_range(
                             workload,
                             pass.checkpoint_epoch,
-                            num_epochs,
-                            &metrics,
+                            resume_epoch,
+                            metrics,
                             &fault,
                             deadline,
                             &collector,
                             exec,
                         )?;
-                        degraded = true;
-                        degraded_at_epoch = Some(pass.checkpoint_epoch as u32);
-                        break;
+                        start_epoch = resume_epoch;
                     }
-                    // Roll forward the misspeculated epochs with real
-                    // barriers (§4.2.2), then speculate again.
-                    self.run_barrier_range(
-                        workload,
-                        pass.checkpoint_epoch,
-                        resume_epoch,
-                        &metrics,
-                        &fault,
-                        deadline,
-                        &collector,
-                        exec,
-                    )?;
-                    start_epoch = resume_epoch;
                 }
             }
-        }
+            Ok(())
+        })();
 
         collector.absorb(manager_sink);
-        // Every region thread has joined (thread::scope) by this point, so
-        // the snapshot is exact per the RegionStats ordering contract.
+        let elapsed = start.elapsed();
+        let trace = collector.finish();
+        if let Err(err) = outcome {
+            // Hard failure: deposit the trace with the telemetry cell so
+            // the flight recorder can dump the window that led here.
+            if let Some(cell) = telemetry {
+                cell.fail(trace.as_ref());
+            }
+            return Err(err);
+        }
+        // Every region thread has joined (thread::scope or pool latch) by
+        // this point, so the snapshot is exact per the RegionStats ordering
+        // contract.
         let metrics = metrics.snapshot();
+        if let Some(cell) = telemetry {
+            cell.complete(contained.len() as u64, degraded, trace.as_ref());
+        }
         Ok(SpecReport {
             stats: metrics.stats,
-            elapsed: start.elapsed(),
+            elapsed,
             num_workers: self.config.num_workers,
             comparisons,
             conflicts,
@@ -805,7 +872,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             degraded_at_epoch,
             contained_faults: contained,
             metrics,
-            trace: collector.finish(),
+            trace,
         })
     }
 
@@ -858,26 +925,48 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         self.validate_capacity(exec, self.config.num_workers)?;
         let fault = self.config.fault_plan.clone().unwrap_or_default();
         let deadline = self.config.watchdog.map(|w| Instant::now() + w);
-        let metrics = Metrics::new();
+        let telemetry = self.config.telemetry.as_deref();
+        if let Some(cell) = telemetry {
+            cell.mark_running();
+        }
+        let owned_metrics;
+        let metrics: &Metrics = match telemetry {
+            Some(cell) => cell.metrics(),
+            None => {
+                owned_metrics = Metrics::new();
+                &owned_metrics
+            }
+        };
         let collector = TraceCollector::with_region(
             self.config.trace_capacity.unwrap_or(0),
             self.config.region_id,
         );
         let start = Instant::now();
-        self.run_barrier_range(
+        let outcome = self.run_barrier_range(
             workload,
             0,
             workload.num_epochs(),
-            &metrics,
+            metrics,
             &fault,
             deadline,
             &collector,
             exec,
-        )?;
+        );
+        let elapsed = start.elapsed();
+        let trace = collector.finish();
+        if let Err(err) = outcome {
+            if let Some(cell) = telemetry {
+                cell.fail(trace.as_ref());
+            }
+            return Err(err);
+        }
         let metrics = metrics.snapshot();
+        if let Some(cell) = telemetry {
+            cell.complete(0, false, trace.as_ref());
+        }
         Ok(SpecReport {
             stats: metrics.stats,
-            elapsed: start.elapsed(),
+            elapsed,
             num_workers: self.config.num_workers,
             comparisons: 0,
             conflicts: Vec::new(),
@@ -885,7 +974,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
             degraded_at_epoch: None,
             contained_faults: Vec::new(),
             metrics,
-            trace: collector.finish(),
+            trace,
         })
     }
 
@@ -1047,7 +1136,10 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     shared.board.set_frontier(tid, u64::MAX);
                 }));
             }
-            exec.run_gang(roles, Box::new(|| {}));
+            let gang_stats = exec.run_gang(roles, Box::new(|| {}));
+            if let Some(cell) = self.config.telemetry.as_deref() {
+                cell.add_queue_wait(gang_stats.queue_wait_ns);
+            }
             for slot in &checker_results {
                 let (count, dead) = *slot.lock();
                 comparisons += count;
@@ -1854,7 +1946,10 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     collector.absorb(sink);
                 }));
             }
-            exec.run_gang(roles, Box::new(|| {}));
+            let gang_stats = exec.run_gang(roles, Box::new(|| {}));
+            if let Some(cell) = self.config.telemetry.as_deref() {
+                cell.add_queue_wait(gang_stats.queue_wait_ns);
+            }
         }
         match failure.into_inner() {
             Some(err) => Err(err),

@@ -29,12 +29,12 @@ RUSTDOCFLAGS="-D warnings" run "$BUILD_TIMEOUT" cargo doc --no-deps --workspace
 # Docs ↔ CLI consistency: every `--flag` the prose mentions alongside one
 # of the repo's binaries must still be parsed by one of those binaries'
 # sources, so a renamed or removed flag can't leave dangling instructions
-# behind. (Checked against the union of the three binaries because a doc
+# behind. (Checked against the union of the four binaries because a doc
 # line may name several of them; cargo's own flags are whitelisted.)
 check_doc_flags() {
   local bad=0 f
-  local bins='bench-suite|fuzz-diff|trace-report'
-  local srcs='crates/bench/src/bin/bench-suite.rs crates/bench/src/bin/fuzz-diff.rs crates/bench/src/bin/trace-report.rs'
+  local bins='bench-suite|fuzz-diff|trace-report|server-stats'
+  local srcs='crates/bench/src/bin/bench-suite.rs crates/bench/src/bin/fuzz-diff.rs crates/bench/src/bin/trace-report.rs crates/bench/src/bin/server-stats.rs'
   local cargo_flags='release|bin|package|quiet|workspace|features|bench|no-deps|all-targets'
   local s
   for s in $srcs; do
@@ -95,6 +95,18 @@ run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suit
   --regions --smoke
 run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
   --validate target/figures/BENCH_8.json
+
+# Telemetry-plane smoke: the BENCH_8 fleet with the live registry + flight
+# recorder attached must produce a well-formed BENCH_9.json whose criteria
+# (digest identity on vs. off, snapshot-vs-report metrics consistency, one
+# well-formed flight dump under an injected fault, >= 0.97x throughput)
+# gate at smoke scale too (see EXPERIMENTS.md). Also leaves
+# BENCH_9.snapshots.jsonl + BENCH_9.prom as exposition exemplars for
+# server-stats and Prometheus scrapes.
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
+  --telemetry --smoke
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
+  --validate target/figures/BENCH_9.json
 
 # Differential-fuzzing smoke: replay the checked-in corpus, then a fixed
 # seed window through every engine path against the sequential oracle

@@ -10,6 +10,8 @@ use proptest::prelude::*;
 use crossinvoc_domore::logic::SchedulerLogic;
 use crossinvoc_domore::prelude::*;
 use crossinvoc_runtime::signature::{AccessKind, AccessSignature, BloomSignature, RangeSignature};
+use crossinvoc_runtime::telemetry::{RegionState, ServerRegistry};
+use crossinvoc_runtime::trace::{Event, Trace, TraceSink};
 use crossinvoc_runtime::SharedSlice;
 use crossinvoc_sim::prelude::*;
 use crossinvoc_speccross::Position;
@@ -895,4 +897,128 @@ proptest! {
             report.divergence
         );
     }
+}
+
+proptest! {
+    /// The flight-recorder substrate: a trace ring of capacity `c` handed
+    /// `n` records keeps exactly the newest `min(n, c)` in emission order
+    /// and accounts every eviction — `dropped()` is `n - min(n, c)`
+    /// *exactly*, on the sink and on the merged [`Trace`] alike, so a
+    /// post-mortem dump can always say how much history it is missing.
+    #[test]
+    fn trace_ring_drop_accounting_is_exact(capacity in 1usize..48, n in 0usize..128) {
+        let mut sink = TraceSink::with_capacity(0, capacity);
+        for i in 0..n {
+            sink.emit_at(i as u64, Event::EpochBegin { epoch: i as u32 });
+        }
+        let kept = n.min(capacity);
+        let evicted = (n - kept) as u64;
+        prop_assert_eq!(sink.len(), kept);
+        prop_assert_eq!(sink.dropped(), evicted);
+        let trace = Trace::from_sinks([sink]);
+        prop_assert_eq!(trace.records().len(), kept);
+        prop_assert_eq!(trace.dropped(), evicted);
+        // Survivors are exactly the newest `kept` records, oldest first.
+        for (j, rec) in trace.records().iter().enumerate() {
+            prop_assert_eq!(rec.t_ns, evicted + j as u64);
+        }
+    }
+
+    /// Registry snapshots are consistent at every step of an arbitrary
+    /// interleaving of registrations and cell lifecycle mutations: row
+    /// counts and counters reflect exactly the operations applied so far,
+    /// and a finish is terminal — replaying every cell with the *opposite*
+    /// outcome afterwards changes nothing.
+    #[test]
+    fn registry_snapshots_reflect_applied_operations(
+        specs in prop::collection::vec(
+            (1usize..5, any::<bool>(), 0u64..4, 0u64..3), 1..8)
+    ) {
+        let registry = std::sync::Arc::new(ServerRegistry::new(8));
+        let mut cells = Vec::new();
+        for (i, &(gang, hard_fail, degrades, waits)) in specs.iter().enumerate() {
+            let cell = registry.register(i as u64 + 1, "prop", gang);
+            // Snapshot mid-registration: earlier regions present, in order.
+            prop_assert_eq!(registry.snapshot().regions.len(), i + 1);
+            cell.mark_running();
+            for _ in 0..waits {
+                cell.add_queue_wait(7);
+            }
+            for _ in 0..degrades {
+                cell.add_degrade_event();
+            }
+            if hard_fail {
+                cell.fail(None);
+            } else {
+                cell.complete(0, false, None);
+            }
+            cells.push(cell);
+        }
+        let snap = registry.snapshot();
+        prop_assert_eq!(snap.pool.slots, 8);
+        prop_assert_eq!(snap.regions.len(), specs.len());
+        for (row, &(gang, hard_fail, degrades, waits)) in snap.regions.iter().zip(&specs) {
+            prop_assert_eq!(row.gang, gang);
+            prop_assert_eq!(row.queue_wait_ns, waits * 7);
+            prop_assert_eq!(row.degrade_events, degrades);
+            prop_assert_eq!(row.faults, u64::from(hard_fail));
+            let want = if hard_fail { RegionState::Faulted } else { RegionState::Done };
+            prop_assert_eq!(row.state, want);
+        }
+        // Terminality: contradicting finishes must be no-ops.
+        for (cell, &(_, hard_fail, _, _)) in cells.iter().zip(&specs) {
+            if hard_fail {
+                cell.complete(5, true, None);
+            } else {
+                cell.fail(None);
+            }
+        }
+        prop_assert_eq!(registry.snapshot().regions, snap.regions);
+    }
+}
+
+/// Snapshots taken *while* a cell is mutated from another thread are
+/// always internally consistent: the degrade counter only moves forward,
+/// never exceeds what the mutator has applied, a snapshot that observes
+/// the terminal state also observes every prior counter update, and the
+/// post-join snapshot is exact. (Threaded companion to the sequential
+/// `registry_snapshots_reflect_applied_operations` property, following the
+/// suite's convention of keeping threaded checks outside `proptest!`.)
+#[test]
+fn registry_snapshots_stay_consistent_under_concurrent_mutation() {
+    const EVENTS: u64 = 10_000;
+    let registry = std::sync::Arc::new(ServerRegistry::new(4));
+    let cell = registry.register(1, "prop-threaded", 2);
+    std::thread::scope(|scope| {
+        let mutator = {
+            let cell = std::sync::Arc::clone(&cell);
+            scope.spawn(move || {
+                cell.mark_running();
+                for _ in 0..EVENTS {
+                    cell.add_degrade_event();
+                }
+                cell.complete(0, false, None);
+            })
+        };
+        let mut last = 0u64;
+        loop {
+            let snap = registry.snapshot();
+            assert_eq!(snap.regions.len(), 1);
+            let row = &snap.regions[0];
+            assert!(row.degrade_events >= last, "degrade counter went backwards");
+            assert!(row.degrade_events <= EVENTS, "counter overshot the mutator");
+            last = row.degrade_events;
+            if row.state == RegionState::Done {
+                // The terminal-state store releases every prior update.
+                assert_eq!(row.degrade_events, EVENTS);
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        mutator.join().unwrap();
+    });
+    let row = &registry.snapshot().regions[0];
+    assert_eq!(row.degrade_events, EVENTS);
+    assert_eq!(row.faults, 0);
+    assert_eq!(row.state, RegionState::Done);
 }
