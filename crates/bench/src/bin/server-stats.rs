@@ -114,7 +114,7 @@ fn render(snap: &Json) -> String {
     }
     let _ = writeln!(
         out,
-        "{:>6}  {:<18} {:<8} {:>4}  {:>9}  {:>9}  {:>8}  {:>8}  {:>7}  {:>6}  {}",
+        "{:>6}  {:<18} {:<8} {:>4}  {:>9}  {:>9}  {:>8}  {:>7}  {:>8}  {:>7}  {:>6}  {}",
         "REGION",
         "KIND",
         "STATE",
@@ -122,6 +122,7 @@ fn render(snap: &Json) -> String {
         "QWAIT",
         "LATENCY",
         "TASKS",
+        "ELIDED",
         "MISSPEC%",
         "DEGRADE",
         "FAULTS",
@@ -140,7 +141,7 @@ fn render(snap: &Json) -> String {
         };
         let _ = writeln!(
             out,
-            "{:>6}  {:<18} {:<8} {:>4}  {:>9}  {:>9}  {:>8}  {:>8.2}  {:>7}  {:>6}  {}",
+            "{:>6}  {:<18} {:<8} {:>4}  {:>9}  {:>9}  {:>8}  {:>7}  {:>8.2}  {:>7}  {:>6}  {}",
             num(r, "region_id") as u64,
             text(r, "kind"),
             state,
@@ -148,6 +149,7 @@ fn render(snap: &Json) -> String {
             dur(num(r, "queue_wait_ns")),
             dur(num(r, "latency_ns")),
             num(r, "tasks") as u64,
+            num(r, "elided_admits") as u64,
             num(r, "misspec_rate") * 100.0,
             degrades,
             faults,
@@ -251,6 +253,7 @@ mod tests {
         let table = render(&snap);
         assert!(table.contains("slots 3/6 busy"), "{table}");
         assert!(table.contains("flight-dumps 1"), "{table}");
+        assert!(table.contains("ELIDED"), "{table}");
         let faulted = table.lines().find(|l| l.contains("faulted")).unwrap();
         assert!(faulted.trim_end().ends_with("!!"), "{faulted}");
         let done = table.lines().find(|l| l.contains("done")).unwrap();

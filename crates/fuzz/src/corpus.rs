@@ -11,6 +11,7 @@
 //! signature range
 //! gate-distance false
 //! degrade false
+//! elide false
 //! note spec region: ...
 //! [program]
 //! <crossinvoc_pir::text format>
@@ -49,6 +50,7 @@ pub fn case_to_text(case: &FuzzCase) -> Result<String, String> {
     out.push_str(&format!("signature {}\n", case.signature.as_str()));
     out.push_str(&format!("gate-distance {}\n", case.gate_distance));
     out.push_str(&format!("degrade {}\n", case.degrade));
+    out.push_str(&format!("elide {}\n", case.elide));
     if !case.note.is_empty() {
         out.push_str(&format!("note {}\n", case.note.replace('\n', " ")));
     }
@@ -90,6 +92,8 @@ pub fn case_from_text(input: &str) -> Result<FuzzCase, String> {
     let mut signature = SigKind::Range;
     let mut gate_distance = false;
     let mut degrade = false;
+    // Entries predating static check elision omit the key: off.
+    let mut elide = false;
     let mut note = String::new();
     let mut program_text = String::new();
     let mut fault_text = String::new();
@@ -131,6 +135,7 @@ pub fn case_from_text(input: &str) -> Result<FuzzCase, String> {
                         gate_distance = value.parse().map_err(|_| parse_err("gate-distance"))?;
                     }
                     "degrade" => degrade = value.parse().map_err(|_| parse_err("degrade"))?,
+                    "elide" => elide = value.parse().map_err(|_| parse_err("elide"))?,
                     "note" => note = value.to_owned(),
                     _ => return Err(format!("unknown header key: {key:?}")),
                 }
@@ -184,6 +189,7 @@ pub fn case_from_text(input: &str) -> Result<FuzzCase, String> {
         signature,
         gate_distance,
         degrade,
+        elide,
         program,
         faults,
         note,
@@ -263,6 +269,7 @@ mod tests {
             assert_eq!(back.signature, case.signature, "seed {seed}");
             assert_eq!(back.gate_distance, case.gate_distance, "seed {seed}");
             assert_eq!(back.degrade, case.degrade, "seed {seed}");
+            assert_eq!(back.elide, case.elide, "seed {seed}");
             assert_eq!(back.program, case.program, "seed {seed}");
             assert_eq!(back.faults.specs(), case.faults.specs(), "seed {seed}");
             // Text form is a fixed point as well.

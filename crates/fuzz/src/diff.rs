@@ -18,6 +18,14 @@
 //! identical misspeculation counts and schedules with the epoch-summary
 //! and schedule-memo fast paths on and off.
 //!
+//! Static check elision rides the same split. The threaded `spec-elide`
+//! path re-runs the plan with elision forced on and asserts the memory
+//! contract only; the simulated `sim-elide` path asserts full verdict-
+//! stream equality (and a monotone reduction in check requests) on
+//! fault-free cases — under faults, checker-targeted faults ride on
+//! admissions elision removes, so which faults fire is legitimately
+//! elision-dependent.
+//!
 //! The sharded checker rides the same split. The threaded `spec-shards`
 //! path asserts the memory contract only (sharding can drop Bloom false
 //! conflicts whose spans never share a shard — sound, and timing-dependent
@@ -83,6 +91,9 @@ impl DiffReport {
 struct RecordedWorkload {
     epochs: Vec<Vec<Vec<(usize, AccessKind)>>>,
     space: usize,
+    /// Per-epoch `pir::elide` verdicts (epoch → region loop, modulo the
+    /// loop count — the same mapping the threaded adapter uses).
+    proven: Vec<bool>,
 }
 
 impl RecordedWorkload {
@@ -94,7 +105,12 @@ impl RecordedWorkload {
             .map(|&(a, _)| a + 1)
             .max()
             .unwrap_or(1);
-        Self { epochs, space }
+        let proven = vec![false; epochs.len()];
+        Self {
+            epochs,
+            space,
+            proven,
+        }
     }
 }
 
@@ -117,6 +133,10 @@ impl SimWorkload for RecordedWorkload {
 
     fn address_space(&self) -> Option<usize> {
         Some(self.space)
+    }
+
+    fn invocation_is_proven(&self, inv: usize) -> bool {
+        self.proven.get(inv).copied().unwrap_or(false)
     }
 }
 
@@ -177,6 +197,7 @@ pub fn run_case(case: &FuzzCase) -> DiffReport {
                 .checkpoint_every(case.checkpoint_every)
                 .spec_distance(distance)
                 .fault_plan(case.faults.clone())
+                .elide(case.elide)
                 .watchdog(WATCHDOG);
             if case.degrade {
                 c = c.degrade(DegradePolicy::default());
@@ -210,6 +231,29 @@ pub fn run_case(case: &FuzzCase) -> DiffReport {
         );
         check_outcome(&mut report, "barrier", out, &expected, faults_empty);
 
+        // Static-elision lane, threaded: the same plan with elision forced
+        // on. Loops `pir::elide` proved conflict-free skip signature
+        // generation and checker admission entirely; elision may only
+        // remove work, so the memory contract must hold unchanged (under
+        // faults the standard outcome-class policy binds — checker-
+        // targeted faults ride on admissions elision removes, so which
+        // faults fire is legitimately elision-dependent).
+        report.paths_run.push("spec-elide");
+        let config = base().epoch_summaries(true).elide(true);
+        let out = match case.signature {
+            SigKind::Range => exec_caught(
+                "spec-elide",
+                |mem| plan.execute_sig::<RangeSignature>(mem, config).map(|_| ()),
+                case,
+            ),
+            SigKind::Bloom => exec_caught(
+                "spec-elide",
+                |mem| plan.execute_sig::<BloomSignature>(mem, config).map(|_| ()),
+                case,
+            ),
+        };
+        check_outcome(&mut report, "spec-elide", out, &expected, faults_empty);
+
         // Sharded checker, threaded: admission must stay sound for every
         // shard count, so the final image must still match the oracle
         // byte-for-byte (straddling tasks are admitted only when every
@@ -238,7 +282,11 @@ pub fn run_case(case: &FuzzCase) -> DiffReport {
         // the simulators with each fast path on and off.
         report.paths_run.push("sim");
         let mut scratch = Memory::zeroed(&case.program);
-        let recorded = RecordedWorkload::new(plan.record_region(&mut scratch));
+        let mut recorded = RecordedWorkload::new(plan.record_region(&mut scratch));
+        let num_loops = plan.elision().loops.len();
+        recorded.proven = (0..recorded.epochs.len())
+            .map(|e| num_loops > 0 && plan.elision().loop_is_proven(e % num_loops))
+            .collect();
         let cost = CostModel::default();
         let params = || {
             SpecSimParams::with_threads(case.workers)
@@ -267,6 +315,44 @@ pub fn run_case(case: &FuzzCase) -> DiffReport {
                 ),
             );
         }
+        // Static elision, simulated: on the deterministic replay elision
+        // must be verdict-invariant — a proven epoch can never conflict
+        // with a compared task, so skipping its checks removes work only
+        // (check requests may shrink, never grow). Faulted cases are
+        // exempt for the same reason as the threaded lane: checker-
+        // targeted faults ride on admissions elision removes.
+        if faults_empty {
+            report.paths_run.push("sim-elide");
+            let sim_elide = speccross(
+                &recorded,
+                &params().epoch_summaries(true).elide(true),
+                &cost,
+            );
+            if sim_elide.stats.misspeculations != sim_on.stats.misspeculations
+                || sim_elide.stats.tasks != sim_on.stats.tasks
+                || sim_elide.degraded != sim_on.degraded
+                || sim_elide.stats.check_requests > sim_on.stats.check_requests
+            {
+                report.diverge(
+                    "sim-elide",
+                    format!(
+                        "static elision changed the sim verdict stream: \
+                         elide = {{misspec: {}, tasks: {}, checks: {}, elided: {}, degraded: {}}}, \
+                         base = {{misspec: {}, tasks: {}, checks: {}, degraded: {}}}",
+                        sim_elide.stats.misspeculations,
+                        sim_elide.stats.tasks,
+                        sim_elide.stats.check_requests,
+                        sim_elide.stats.elided_admits,
+                        sim_elide.degraded,
+                        sim_on.stats.misspeculations,
+                        sim_on.stats.tasks,
+                        sim_on.stats.check_requests,
+                        sim_on.degraded,
+                    ),
+                );
+            }
+        }
+
         // Sharded checker, simulated: verdict-stream equality under a
         // frictionless checker and no faults (see the module doc for why
         // only that comparison is exact). Fault stalls land on one shard's
@@ -460,6 +546,7 @@ fn run_pair_region(
         let mut config = SpecConfig::with_workers(case.workers)
             .checkpoint_every(case.checkpoint_every)
             .fault_plan(case.faults.clone())
+            .elide(case.elide)
             .watchdog(WATCHDOG);
         if case.degrade {
             config = config.degrade(DegradePolicy::default());

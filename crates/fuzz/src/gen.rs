@@ -23,6 +23,14 @@
 //!   loop-carried store (`C[j+1]`) or indirect addressing through a
 //!   read-only index array (the `computeAddr` slice pattern).
 //!
+//! A separate elision sub-stream can override a spec-friendly region with
+//! one of two static-elision families: **cluster-disjoint** (every loop
+//! writes per-epoch address clusters of a private array — `pir::elide`
+//! proves the whole region, so elision retires every check) and **mixed**
+//! (a proven cluster loop interleaved with a producer and an indirect
+//! consumer the analysis must refuse to prove). The override rides its own
+//! SplitMix64 stream so pre-elision corpus seeds keep their programs.
+//!
 //! Index expressions are kept structurally in-bounds (lengths are computed
 //! from the chosen trip counts and shifts), so any out-of-bounds access
 //! reported by the [`crate::oracle`] is a generator bug and is surfaced as
@@ -99,6 +107,13 @@ pub struct FuzzCase {
     pub gate_distance: bool,
     /// Whether SPECCROSS runs with a degradation policy installed.
     pub degrade: bool,
+    /// Whether the threaded SPECCROSS paths run with static check elision
+    /// enabled ([`crossinvoc_speccross::engine::SpecConfig::elide`]). The
+    /// dedicated `spec-elide`/`sim-elide` diff lanes run regardless; this
+    /// knob additionally turns elision on inside every other SPECCROSS
+    /// path, so elision is exercised under faults, degradation, sharding
+    /// and shared-pool pairing too.
+    pub elide: bool,
     /// The program: sequential prefix, one outermost region loop (the last
     /// top-level `for`), optional sequential suffix.
     pub program: Program,
@@ -159,6 +174,10 @@ pub fn generate(seed: u64, params: &GenParams) -> FuzzCase {
     // Its own sub-stream, so adding the shard knob did not reshuffle the
     // programs and fault plans the pre-sharding corpus seeds derive.
     let mut shards = Rng(SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F));
+    // Likewise its own sub-stream for the static-elision epoch: the elide
+    // knob and the two elision-focused program families (cluster-disjoint
+    // and mixed proven+indirect) must not reshuffle pre-elision seeds.
+    let mut elision = Rng(SplitMix64::new(seed ^ 0x6C2E_A417_B99D_E255));
 
     let workers = knobs.range(1, params.max_workers) as usize;
     let checker_shards = if shards.chance(25) {
@@ -174,12 +193,18 @@ pub fn generate(seed: u64, params: &GenParams) -> FuzzCase {
     };
     let gate_distance = knobs.chance(40);
     let degrade = knobs.chance(50);
+    let elide = elision.chance(60);
+    let family = match elision.below(5) {
+        0 => ElideShape::Cluster,
+        1 => ElideShape::Mixed,
+        _ => ElideShape::Legacy,
+    };
 
     let domore_only = shape.chance(30);
     let (program, note, epochs, tasks) = if domore_only {
         gen_domore_nest(&mut shape, params)
     } else {
-        gen_spec_region(&mut shape, params)
+        gen_spec_region(&mut shape, params, family)
     };
 
     let faults = if knobs.chance(params.fault_percent) {
@@ -201,10 +226,26 @@ pub fn generate(seed: u64, params: &GenParams) -> FuzzCase {
         signature,
         gate_distance,
         degrade,
+        elide,
         program,
         faults,
         note,
     }
+}
+
+/// Program-family override drawn from the elision sub-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ElideShape {
+    /// The original spec-region grammar, untouched.
+    Legacy,
+    /// Every loop writes its own per-epoch address cluster
+    /// (`E_l[trip*t + i]`): `pir::elide` proves the whole region
+    /// conflict-free, so elision retires every check.
+    Cluster,
+    /// Loop 0 is a provable cluster loop; the remaining loops read loop
+    /// 0's array *indirectly* through an index array, which the analysis
+    /// cannot resolve — proven and unproven epochs interleave.
+    Mixed,
 }
 
 /// Per-loop dependence pattern of the spec-friendly family.
@@ -232,11 +273,32 @@ enum SpecPattern {
     /// broadcasts to) every shard; cross-epoch write/write conflicts on
     /// the high half keep the merge rule honest.
     WideSpan,
+    /// `load x = E[trip*t + i]; store E[trip*t + i] = mix(x)` over a
+    /// per-loop array sized `trip * epochs` — every epoch owns a disjoint
+    /// address cluster, so `pir::elide` proves the loop conflict-free and
+    /// elision retires every check it would have filed.
+    Cluster,
+    /// `load v = IDX[i]; load x = A[v]; store D[i] = mix(x + v)` — an
+    /// indirect read of the *watched* array `A` a sibling `Producer` loop
+    /// writes. The analysis cannot resolve `A[v]`, which poisons every
+    /// access to `A`, so this loop (and the producer) stay on the full
+    /// admission path while the cluster loop (on its private array) still
+    /// elides. Still DOALL within one invocation: the unprovenness is
+    /// purely cross-invocation.
+    IndirectWatched,
 }
 
 /// Builds a SPECCROSS-acceptable region: outer loop over scalars + DOALL
 /// inner loops. Returns (program, note, epochs, max tasks per epoch).
-fn gen_spec_region(rng: &mut Rng, params: &GenParams) -> (Program, String, u64, u64) {
+///
+/// All shape draws happen before the `family` override is applied, so a
+/// `Legacy` call is draw-for-draw identical to the pre-elision generator
+/// and pinned corpus seeds keep their programs.
+fn gen_spec_region(
+    rng: &mut Rng,
+    params: &GenParams,
+    family: ElideShape,
+) -> (Program, String, u64, u64) {
     let outer_trip = if rng.chance(8) {
         0 // zero-trip region: every engine must handle an empty schedule
     } else {
@@ -279,6 +341,29 @@ fn gen_spec_region(rng: &mut Rng, params: &GenParams) -> (Program, String, u64, 
         patterns.push(p);
     }
 
+    // Elision-family override (after every legacy draw, so `Legacy` seeds
+    // are untouched; the extra trip draw below only happens for `Mixed`).
+    match family {
+        ElideShape::Legacy => {}
+        ElideShape::Cluster => {
+            patterns.iter_mut().for_each(|p| *p = SpecPattern::Cluster);
+        }
+        ElideShape::Mixed => {
+            // Cluster (proven) + producer of A + indirect consumer of A
+            // (both unproven: the unresolved `A[v]` read poisons `A`).
+            while trips.len() < 3 {
+                trips.push(rng.range(1, params.max_tasks));
+            }
+            trips.truncate(3);
+            patterns = vec![
+                SpecPattern::Cluster,
+                SpecPattern::Producer,
+                SpecPattern::IndirectWatched,
+            ];
+        }
+    }
+    let num_loops = trips.len();
+
     let max_trip = trips.iter().copied().max().unwrap_or(1);
     // Lengths sized so every generated index stays in bounds:
     //   shifted:   i + s       < trip + shift_mod
@@ -292,6 +377,16 @@ fn gen_spec_region(rng: &mut Rng, params: &GenParams) -> (Program, String, u64, 
     let d2 = b.array("B", data_len);
     let src = b.array("SRC", data_len);
     let idx = b.array("IDX", idx_len);
+    // Per-loop cluster arrays: `E_l[trip*t + i]` stays strictly below
+    // `trip * outer_trip` (length 1 when the region is zero-trip).
+    let cluster_arrays: Vec<_> = patterns
+        .iter()
+        .enumerate()
+        .map(|(l, &p)| {
+            (p == SpecPattern::Cluster)
+                .then(|| b.array(&format!("E{l}"), (trips[l] * outer_trip).max(1) as usize))
+        })
+        .collect();
     let t = b.var("t");
     let i = b.var("i");
     let x = b.var("x");
@@ -380,6 +475,17 @@ fn gen_spec_region(rng: &mut Rng, params: &GenParams) -> (Program, String, u64, 
                     SpecPattern::WideSpan => {
                         b.load(x, d, Expr::Var(i));
                         b.store(d, Expr::add(Expr::Var(i), e(trip)), mix(Expr::Var(x)));
+                    }
+                    SpecPattern::Cluster => {
+                        let earr = cluster_arrays[l].expect("cluster loop has its array");
+                        let at = Expr::add(Expr::mul(Expr::Var(t), e(trip)), Expr::Var(i));
+                        b.load(x, earr, at.clone());
+                        b.store(earr, at, mix(Expr::Var(x)));
+                    }
+                    SpecPattern::IndirectWatched => {
+                        b.load(v, idx, Expr::Var(i));
+                        b.load(x, a, Expr::Var(v));
+                        b.store(d2, Expr::Var(i), mix(Expr::add(Expr::Var(x), Expr::Var(v))));
                     }
                 }
             });
@@ -534,6 +640,48 @@ mod tests {
             run_oracle(&case.program)
                 .unwrap_or_else(|e| panic!("seed {seed}: oracle rejected the case: {e}"));
         }
+    }
+
+    #[test]
+    fn elision_families_classify_as_designed() {
+        // Cluster regions must come out fully proven, mixed regions must
+        // interleave a proven cluster loop with unproven indirect loops —
+        // otherwise the elide diff lanes degenerate to no-ops.
+        let p = GenParams::default();
+        let (mut clusters, mut mixeds) = (0, 0);
+        for seed in 0..400 {
+            let case = generate(seed, &p);
+            if !case.note.contains("Cluster") || case.note.contains("spec region: 0 epochs") {
+                continue;
+            }
+            let outer = case.outer().expect("spec case has a region loop");
+            // A sequential suffix displaces the region as the last
+            // top-level loop; such cases are not spec-applicable (same
+            // rule as the diff harness) and prove nothing about elision.
+            let Ok(plan) = SpecCrossPlan::build(&case.program, outer) else {
+                continue;
+            };
+            let elision = plan.elision();
+            if case.note.contains("IndirectWatched") {
+                mixeds += 1;
+                assert!(
+                    elision.loop_is_proven(0),
+                    "seed {seed}: mixed loop 0 is the provable cluster loop"
+                );
+                assert!(
+                    (1..elision.loops.len()).all(|l| !elision.loop_is_proven(l)),
+                    "seed {seed}: indirect reads of a watched array must stay unproven"
+                );
+            } else {
+                clusters += 1;
+                assert!(
+                    elision.fully_proven(),
+                    "seed {seed}: cluster region must prove every access"
+                );
+            }
+        }
+        assert!(clusters > 20, "cluster family is common (got {clusters})");
+        assert!(mixeds > 20, "mixed family is common (got {mixeds})");
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * [`analysis`] — affine index analysis and the may-depend test between
 //!   memory accesses, including loop-carried and cross-invocation
 //!   classification and constant dependence distances (§4.5.6).
+//! * [`elide`] — static conflict-freedom proofs for speculative regions:
+//!   affine cross-invocation footprints whose compared task pairs provably
+//!   never collide are elided from signature generation and checker
+//!   admission (the runtime consults the per-loop mask).
 //! * [`pdg`] — program dependence graphs over statements: register, memory
 //!   and control edges (Fig. 3.1(b)/(c)).
 //! * [`scc`] — Tarjan SCCs, the DAG-SCC, and the DOMORE scheduler/worker
@@ -44,6 +48,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod analysis;
+pub mod elide;
 pub mod interp;
 pub mod ir;
 pub mod mtcg;
@@ -55,6 +60,7 @@ pub mod text;
 pub mod transform;
 
 pub use analysis::{AffineForm, DepTest};
+pub use elide::{ElisionPlan, LoopElision, UnprovenReason};
 pub use interp::{Interp, Memory, TraceEvent};
 pub use ir::{ArrayId, BinOp, Expr, Program, ProgramBuilder, Stmt, StmtId, VarId};
 pub use mtcg::{MtcgDisplay, MtcgOutput, SchedulerStep, WorkerStep};

@@ -34,6 +34,7 @@ use crossinvoc_speccross::profile::ProfileReport;
 use crossinvoc_speccross::workload::{AccessRecorder, SpecWorkload};
 
 use crate::analysis::collect_accesses;
+use crate::elide::ElisionPlan;
 use crate::interp::{Env, Interp, Memory, TraceEvent};
 use crate::ir::{ArrayId, Expr, Program, Stmt, StmtId};
 use crate::pdg::Pdg;
@@ -495,10 +496,13 @@ pub struct SpecCrossPlan<'p> {
     /// Arrays whose accesses must be reported to the speculation engine
     /// (written somewhere in the region).
     watched: HashSet<ArrayId>,
+    /// Per-loop static conflict-freedom verdicts (the `pir::elide`
+    /// analysis), threaded into the engine as a proven-epoch mask.
+    elision: ElisionPlan,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RegionItem {
+pub(crate) enum RegionItem {
     Scalar(StmtId),
     Loop(StmtId),
 }
@@ -545,12 +549,17 @@ impl<'p> SpecCrossPlan<'p> {
             return Err(TransformError::EmptyRegion);
         }
         let watched = arrays_written(program, &program.subtree(outer));
+        let Stmt::For { var: outer_iv, .. } = program.stmt(outer) else {
+            unreachable!("validated above");
+        };
+        let elision = crate::elide::analyze(program, &items, &loops, &watched, *outer_iv);
         Ok(SpecCrossPlan {
             program,
             outer,
             items,
             loops,
             watched,
+            elision,
         })
     }
 
@@ -563,6 +572,15 @@ impl<'p> SpecCrossPlan<'p> {
     /// Alg. 5).
     pub fn watched_arrays(&self) -> &HashSet<ArrayId> {
         &self.watched
+    }
+
+    /// The static conflict-freedom analysis of the region's loops: which
+    /// accesses (and whole loops) are proven disjoint across all compared
+    /// task pairs. The engine consults this — gated by
+    /// [`SpecConfig::elide`] — to skip signature generation and checker
+    /// admission for proven epochs.
+    pub fn elision(&self) -> &ElisionPlan {
+        &self.elision
     }
 
     /// Profiles the region's minimum cross-epoch dependence distance
@@ -734,6 +752,7 @@ impl<'p> SpecCrossPlan<'p> {
             outer_iv: outer_iv.0,
             outer_from,
             num_outer: (outer_to - outer_from).max(0) as usize,
+            proven: self.elision.proven_mask(),
         }
     }
 }
@@ -757,6 +776,8 @@ struct SpecAdapter<'a, 'p> {
     outer_iv: usize,
     outer_from: i64,
     num_outer: usize,
+    /// Per-ordinal proven mask from the elision analysis.
+    proven: Vec<bool>,
 }
 
 impl<'a, 'p> SpecAdapter<'a, 'p> {
@@ -858,5 +879,9 @@ impl SpecWorkload for SpecAdapter<'_, '_> {
     fn restore(&self, state: &Vec<i64>) {
         // SAFETY: the engine calls this only during quiesced recovery.
         unsafe { self.mem.restore_quiesced(state) };
+    }
+
+    fn epoch_is_proven(&self, epoch: usize) -> bool {
+        self.proven[epoch % self.plan.loops.len()]
     }
 }

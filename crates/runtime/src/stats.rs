@@ -37,6 +37,9 @@ pub struct RegionStats {
     stalls: AtomicU64,
     checker_epoch_skips: AtomicU64,
     schedule_cache_hits: AtomicU64,
+    elided_signatures: AtomicU64,
+    elided_admits: AtomicU64,
+    proven_accesses: AtomicU64,
 }
 
 macro_rules! counter {
@@ -93,6 +96,30 @@ impl RegionStats {
         add_schedule_cache_hit, schedule_cache_hits, schedule_cache_hits
     );
 
+    counter!(
+        /// Records one task whose signature generation was skipped because
+        /// static analysis proved its footprint conflict-free (SPECCROSS
+        /// elision).
+        add_elided_signature, elided_signatures, elided_signatures
+    );
+    counter!(
+        /// Records one checker admission skipped for a statically-proven
+        /// task (SPECCROSS elision).
+        add_elided_admit, elided_admits, elided_admits
+    );
+
+    /// Records `n` speculative accesses executed under a static
+    /// conflict-freedom proof (SPECCROSS elision). Bulk because workers
+    /// count per task and fold in once.
+    pub fn add_proven_accesses(&self, n: u64) {
+        self.proven_accesses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the proven-access counter.
+    pub fn proven_accesses(&self) -> u64 {
+        self.proven_accesses.load(Ordering::Relaxed)
+    }
+
     /// Records `n` whole-epoch log skips taken by the checker's
     /// aggregate-signature fast path (SPECCROSS). Bulk because the checker
     /// accumulates skips locally and folds them in at drain points.
@@ -121,6 +148,9 @@ impl RegionStats {
             stalls: self.stalls(),
             checker_epoch_skips: self.checker_epoch_skips(),
             schedule_cache_hits: self.schedule_cache_hits(),
+            elided_signatures: self.elided_signatures(),
+            elided_admits: self.elided_admits(),
+            proven_accesses: self.proven_accesses(),
         }
     }
 
@@ -143,6 +173,9 @@ impl RegionStats {
             stalls: self.stalls.load(Ordering::Acquire),
             checker_epoch_skips: self.checker_epoch_skips.load(Ordering::Acquire),
             schedule_cache_hits: self.schedule_cache_hits.load(Ordering::Acquire),
+            elided_signatures: self.elided_signatures.load(Ordering::Acquire),
+            elided_admits: self.elided_admits.load(Ordering::Acquire),
+            proven_accesses: self.proven_accesses.load(Ordering::Acquire),
         }
     }
 }
@@ -170,6 +203,15 @@ pub struct StatsSummary {
     /// Invocations whose DOMORE schedule was replayed from the
     /// cross-invocation memo instead of recomputed.
     pub schedule_cache_hits: u64,
+    /// Tasks whose signature generation was skipped under a static
+    /// conflict-freedom proof (SPECCROSS elision).
+    pub elided_signatures: u64,
+    /// Checker admissions skipped for statically-proven tasks (SPECCROSS
+    /// elision).
+    pub elided_admits: u64,
+    /// Speculative accesses executed under a static conflict-freedom proof
+    /// (SPECCROSS elision).
+    pub proven_accesses: u64,
 }
 
 #[cfg(test)]
@@ -189,6 +231,9 @@ mod tests {
         s.add_stall();
         s.add_checker_epoch_skips(3);
         s.add_schedule_cache_hit();
+        s.add_elided_signature();
+        s.add_elided_admit();
+        s.add_proven_accesses(5);
         let sum = s.summary();
         assert_eq!(sum.tasks, 2);
         assert_eq!(sum.epochs, 1);
@@ -199,6 +244,9 @@ mod tests {
         assert_eq!(sum.stalls, 1);
         assert_eq!(sum.checker_epoch_skips, 3);
         assert_eq!(sum.schedule_cache_hits, 1);
+        assert_eq!(sum.elided_signatures, 1);
+        assert_eq!(sum.elided_admits, 1);
+        assert_eq!(sum.proven_accesses, 5);
     }
 
     #[test]

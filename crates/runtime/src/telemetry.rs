@@ -729,7 +729,7 @@ impl RegistrySnapshot {
             }
             let s = &r.metrics.stats;
             out.push_str(&format!(
-                "{{\"region_id\":{},\"kind\":\"{}\",\"gang\":{},\"state\":\"{}\",\"queue_wait_ns\":{},\"degrade_events\":{},\"faults\":{},\"latency_ns\":{},\"misspec_rate\":{:.6},\"tasks\":{},\"epochs\":{},\"check_requests\":{},\"sync_conditions\":{},\"misspeculations\":{},\"checkpoints\":{},\"stalls\":{},\"checker_epoch_skips\":{},\"schedule_cache_hits\":{},\"barrier_wait\":{},\"stall_wait\":{}}}",
+                "{{\"region_id\":{},\"kind\":\"{}\",\"gang\":{},\"state\":\"{}\",\"queue_wait_ns\":{},\"degrade_events\":{},\"faults\":{},\"latency_ns\":{},\"misspec_rate\":{:.6},\"tasks\":{},\"epochs\":{},\"check_requests\":{},\"elided_admits\":{},\"sync_conditions\":{},\"misspeculations\":{},\"checkpoints\":{},\"stalls\":{},\"checker_epoch_skips\":{},\"schedule_cache_hits\":{},\"barrier_wait\":{},\"stall_wait\":{}}}",
                 r.region_id,
                 json_escape(&r.kind),
                 r.gang,
@@ -742,6 +742,7 @@ impl RegistrySnapshot {
                 s.tasks,
                 s.epochs,
                 s.check_requests,
+                s.elided_admits,
                 s.sync_conditions,
                 s.misspeculations,
                 s.checkpoints,
@@ -837,7 +838,7 @@ impl RegistrySnapshot {
             self.flight_dumps,
         );
         type Family = (&'static str, &'static str, fn(&RegionSnapshot) -> u64);
-        let families: [Family; 9] = [
+        let families: [Family; 10] = [
             (
                 "crossinvoc_region_state",
                 "Region state code: 0 queued, 1 running, 2 done, 3 faulted.",
@@ -853,6 +854,11 @@ impl RegistrySnapshot {
                 "crossinvoc_region_misspeculations_total",
                 "Misspeculations detected.",
                 |r| r.metrics.stats.misspeculations,
+            ),
+            (
+                "crossinvoc_region_elided_admits_total",
+                "Checker admissions skipped by static elision.",
+                |r| r.metrics.stats.elided_admits,
             ),
             ("crossinvoc_region_stalls_total", "Worker stalls.", |r| {
                 r.metrics.stats.stalls

@@ -233,6 +233,20 @@ pub enum Event {
         /// per touched shard).
         requests: u64,
     },
+    /// A worker ran tasks of a statically-proven epoch without signature
+    /// generation or checker admission (SPECCROSS static elision). Emitted
+    /// once per (worker, epoch) at the epoch boundary rather than per task,
+    /// so the bounded flight-recorder rings are not flooded.
+    CheckElided {
+        /// The proven epoch.
+        epoch: u32,
+        /// Tasks this worker elided in the epoch (those with at least one
+        /// speculative access).
+        tasks: u64,
+        /// Speculative accesses those tasks executed under the proof —
+        /// signature records and admission work that never happened.
+        accesses: u64,
+    },
     /// The DOMORE scheduler replayed this invocation's schedule from the
     /// cross-invocation memo (one event per memoized invocation, on the
     /// manager's timeline) instead of running the scheduling logic.
@@ -307,6 +321,7 @@ impl Event {
             Event::Checkpoint { .. } => "checkpoint",
             Event::CheckerSummary { .. } => "checker_summary",
             Event::CheckerShard { .. } => "checker_shard",
+            Event::CheckElided { .. } => "check_elided",
             Event::ScheduleCacheHit { .. } => "schedule_cache_hit",
             Event::Misspeculation { .. } => "misspeculation",
             Event::Degradation { .. } => "degradation",
@@ -775,6 +790,15 @@ fn write_record(out: &mut String, rec: &TraceRecord, region: u64) {
             field(out, "shards", shards as u64);
             field(out, "requests", requests);
         }
+        Event::CheckElided {
+            epoch,
+            tasks,
+            accesses,
+        } => {
+            field(out, "epoch", epoch as u64);
+            field(out, "tasks", tasks);
+            field(out, "accesses", accesses);
+        }
         Event::BarrierLeave { epoch, wait_ns } => {
             field(out, "epoch", epoch as u64);
             field(out, "wait_ns", wait_ns);
@@ -951,6 +975,11 @@ fn parse_record(line: &str) -> Result<(TraceRecord, u64), String> {
             shards: epoch(num("shards")?),
             requests: num("requests")?,
         },
+        "check_elided" => Event::CheckElided {
+            epoch: epoch(num("epoch")?),
+            tasks: num("tasks")?,
+            accesses: num("accesses")?,
+        },
         "schedule_cache_hit" => Event::ScheduleCacheHit {
             epoch: epoch(num("epoch")?),
         },
@@ -1061,6 +1090,12 @@ pub struct TraceReport {
     /// Invocations replayed from the DOMORE schedule memo
     /// ([`Event::ScheduleCacheHit`] count).
     pub schedule_cache_hits: u64,
+    /// Tasks that ran under a static conflict-freedom proof, summed over
+    /// every [`Event::CheckElided`] in the trace.
+    pub elided_tasks: u64,
+    /// Speculative accesses executed under the proof (signature records and
+    /// admissions that never happened), summed over [`Event::CheckElided`].
+    pub elided_accesses: u64,
     /// Records lost to ring overflow (analysis is approximate if nonzero).
     pub dropped: u64,
 }
@@ -1079,6 +1114,8 @@ impl TraceReport {
         let mut checker_comparisons = 0u64;
         let mut checker_shard_requests: Vec<u64> = Vec::new();
         let mut schedule_cache_hits = 0u64;
+        let mut elided_tasks = 0u64;
+        let mut elided_accesses = 0u64;
 
         let slot = |threads: &mut Vec<ThreadBreakdown>, tid: ThreadId| -> usize {
             match threads.iter().position(|t| t.tid == tid) {
@@ -1156,6 +1193,12 @@ impl TraceReport {
                     // row per shard.
                     checker_shard_requests[shard] += requests;
                 }
+                Event::CheckElided {
+                    tasks, accesses, ..
+                } => {
+                    elided_tasks += tasks;
+                    elided_accesses += accesses;
+                }
                 Event::ScheduleCacheHit { .. } => schedule_cache_hits += 1,
                 Event::Degradation { epoch } => degradations.push(epoch),
                 Event::Wake { edge, .. } => wakes[edge.index()] += 1,
@@ -1175,6 +1218,8 @@ impl TraceReport {
             checker_comparisons,
             checker_shard_requests,
             schedule_cache_hits,
+            elided_tasks,
+            elided_accesses,
             dropped: trace.dropped(),
         }
     }
@@ -1334,6 +1379,19 @@ impl TraceReport {
                 self.checker_shard_requests
             );
         }
+        if self.elided_tasks > 0 {
+            let total: u64 = self.threads.iter().map(|t| t.tasks).sum();
+            let pct = if total > 0 {
+                100.0 * self.elided_tasks as f64 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "static elision: {} proven accesses, {} admits skipped ({pct:.1}% of tasks fully elided)",
+                self.elided_accesses, self.elided_tasks
+            );
+        }
         if self.schedule_cache_hits > 0 {
             let _ = writeln!(
                 out,
@@ -1471,6 +1529,15 @@ mod tests {
                     shard: 1,
                     shards: 2,
                     requests: 3,
+                },
+            },
+            TraceRecord {
+                t_ns: 77,
+                tid: 0,
+                event: Event::CheckElided {
+                    epoch: 1,
+                    tasks: 3,
+                    accesses: 12,
                 },
             },
             TraceRecord {
@@ -1665,6 +1732,8 @@ mod tests {
         assert_eq!(report.checker_comparisons, 9);
         assert_eq!(report.checker_shard_requests, vec![6, 3]);
         assert_eq!(report.schedule_cache_hits, 1);
+        assert_eq!(report.elided_tasks, 3);
+        assert_eq!(report.elided_accesses, 12);
         let w0 = report.threads.iter().find(|t| t.tid == 0).unwrap();
         assert_eq!(w0.tasks, 1);
         assert_eq!(w0.busy_ns, 20);

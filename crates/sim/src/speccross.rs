@@ -70,6 +70,16 @@ pub struct SpecSimParams {
     /// serviced by (and billed to) every shard it touches. `1` (the
     /// default) reproduces the single-checker simulation byte-for-byte.
     pub checker_shards: usize,
+    /// Mirror of the threaded engine's `SpecConfig::elide`: invocations the
+    /// workload reports statically proven conflict-free
+    /// ([`crate::workload::SimWorkload::invocation_is_proven`]) skip the
+    /// simulated signature build, conflict scan, and checker billing — the
+    /// virtual-time model of tasks that never touch the check rings.
+    /// Verdicts are unchanged (the proof guarantees the skipped comparisons
+    /// could never conflict); only the checker's service time and the
+    /// counters move. `false` (the default) keeps every invocation on the
+    /// full check path, byte-identical to the pre-elision model.
+    pub elide: bool,
     /// Region-server attribution id stamped onto the trace, mirroring the
     /// threaded engine's `SpecConfig::region`; 0 (the default, solo) keeps
     /// the JSONL wire format byte-identical to the pre-region schema.
@@ -89,6 +99,7 @@ impl SpecSimParams {
             trace_capacity: None,
             epoch_summaries: true,
             checker_shards: 1,
+            elide: false,
             region: 0,
         }
     }
@@ -146,6 +157,13 @@ impl SpecSimParams {
             crossinvoc_speccross::MAX_SHARDS
         );
         self.checker_shards = shards;
+        self
+    }
+
+    /// Lets statically-proven invocations skip the simulated checker
+    /// entirely (off by default). See [`SpecSimParams::elide`].
+    pub fn elide(mut self, enabled: bool) -> Self {
+        self.elide = enabled;
         self
     }
 
@@ -632,6 +650,12 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 epoch: epoch as u32,
             },
         );
+        // Static elision (mirror of the threaded engine's `SpecConfig::elide`
+        // path): proven invocations never build a signature, never scan, and
+        // never bill the checker — per-worker (tasks, accesses) tallies feed
+        // the `check_elided` rows at the epoch boundary.
+        let proven = params.elide && workload.invocation_is_proven(epoch);
+        let mut elided = vec![(0u64, 0u64); threads];
         for task in 0..ntasks {
             let tid = task % threads;
             let global = prefix[epoch - start_epoch] + task as u64;
@@ -716,6 +740,25 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
             let last_max = finish_prefix_max.last().copied().unwrap_or(0);
             finish_prefix_max.push(last_max.max(finish));
             max_epoch_started = max_epoch_started.max(epoch);
+
+            if proven {
+                // Elided task: the static proof replaces the admission. The
+                // epoch tracker still advances (other tasks' overlap test
+                // must keep observing this worker), but no signature, scan,
+                // retention, or checker billing happens — including forced
+                // conflicts, which ride on admissions that no longer exist.
+                pairs.clear();
+                workload.accesses(epoch, task, &mut pairs);
+                cur_epoch[tid] = epoch;
+                if !pairs.is_empty() {
+                    stats.add_elided_signature();
+                    stats.add_elided_admit();
+                    stats.add_proven_accesses(pairs.len() as u64);
+                    elided[tid].0 += 1;
+                    elided[tid].1 += pairs.len() as u64;
+                }
+                continue;
+            }
 
             // Build the signature and run the real conflict test against
             // overlapping cross-epoch tasks.
@@ -923,6 +966,18 @@ fn speculative_pass<W: SimWorkload + ?Sized>(
                 }
             }
         }
+        for (tid, &(tasks, accesses)) in elided.iter().enumerate() {
+            if tasks > 0 {
+                sinks.workers[tid].emit_at(
+                    clocks[tid],
+                    Event::CheckElided {
+                        epoch: epoch as u32,
+                        tasks,
+                        accesses,
+                    },
+                );
+            }
+        }
         flush_summary!(epoch);
         sinks.workers[0].emit_at(
             clocks[0],
@@ -1114,6 +1169,9 @@ mod tests {
         }
         fn accesses(&self, inv: usize, iter: usize, out: &mut Vec<(usize, AccessKind)>) {
             out.push((inv * self.tasks + iter, AccessKind::Write));
+        }
+        fn invocation_is_proven(&self, _inv: usize) -> bool {
+            true // disjoint per-epoch clusters: provably conflict-free
         }
         fn address_space(&self) -> Option<usize> {
             Some(self.epochs * self.tasks)
@@ -1468,6 +1526,70 @@ mod tests {
     #[should_panic(expected = "checker_shards")]
     fn zero_shards_panics() {
         let _ = SpecSimParams::with_threads(2).checker_shards(0);
+    }
+
+    #[test]
+    fn elision_skips_proven_invocations_without_changing_verdicts() {
+        let w = Clustered {
+            epochs: 60,
+            tasks: 32,
+        };
+        let off = speccross(
+            &w,
+            &SpecSimParams::with_threads(32).trace(1 << 17),
+            &CostModel::default(),
+        );
+        let on = speccross(
+            &w,
+            &SpecSimParams::with_threads(32).trace(1 << 17).elide(true),
+            &CostModel::default(),
+        );
+        assert_eq!(on.stats.misspeculations, off.stats.misspeculations);
+        assert_eq!(on.stats.tasks, off.stats.tasks);
+        assert_eq!(on.stats.check_requests, 0, "fully-proven region");
+        assert!(on.stats.elided_signatures > 0);
+        assert_eq!(on.stats.elided_admits, on.stats.elided_signatures);
+        assert!(on.stats.proven_accesses >= on.stats.elided_signatures);
+        assert_eq!(off.stats.elided_signatures, 0, "off by default");
+        assert!(
+            on.total_ns <= off.total_ns,
+            "a checker with no work can only help"
+        );
+        let report = crossinvoc_runtime::trace::TraceReport::from_trace(on.trace.as_ref().unwrap());
+        assert_eq!(report.elided_tasks, on.stats.elided_signatures);
+        assert_eq!(report.elided_accesses, on.stats.proven_accesses);
+    }
+
+    #[test]
+    fn elide_is_inert_on_unproven_invocations() {
+        // Shifted never reports proven, so elide(true) must be the identity
+        // — trace and all.
+        let w = Shifted {
+            epochs: 40,
+            tasks: 16,
+        };
+        let base = SpecSimParams::with_threads(8).trace(1 << 14);
+        let off = speccross(&w, &base, &CostModel::default());
+        let on = speccross(&w, &base.clone().elide(true), &CostModel::default());
+        assert_eq!(on, off);
+    }
+
+    #[test]
+    fn elision_of_proven_same_cell_chains_preserves_verdicts() {
+        // same_cell: iteration i writes cell i in every epoch — the chain
+        // stays on one worker under round-robin, so it is provably
+        // conflict-free and the full path never misspeculates either.
+        let w = UniformWorkload::same_cell(50, 8, 1_000);
+        let off = speccross(&w, &SpecSimParams::with_threads(4), &CostModel::default());
+        let on = speccross(
+            &w.clone().assume_proven(),
+            &SpecSimParams::with_threads(4).elide(true),
+            &CostModel::default(),
+        );
+        assert_eq!(on.stats.misspeculations, off.stats.misspeculations);
+        assert_eq!(on.stats.tasks, off.stats.tasks);
+        assert_eq!(on.stats.check_requests, 0);
+        assert!(on.total_ns <= off.total_ns);
     }
 
     #[test]

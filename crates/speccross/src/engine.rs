@@ -72,7 +72,7 @@ use crate::check::{CheckRequest, CheckerState, Conflict};
 use crate::position::{Position, PositionBoard};
 use crate::profile::{DistanceProfiler, ProfileReport};
 use crate::shard::ShardMap;
-use crate::workload::{NullRecorder, SigRecorder, SpecWorkload};
+use crate::workload::{CountingRecorder, NullRecorder, SigRecorder, SpecWorkload};
 
 /// When to give up on speculation and finish a region under plain barriers.
 ///
@@ -140,6 +140,16 @@ pub struct SpecConfig {
     /// member-by-member scan; conflict verdicts are identical either way —
     /// the differential fuzzer runs regions through both settings.
     pub epoch_summaries: bool,
+    /// Whether statically-proven epochs skip the checker entirely. When set,
+    /// every epoch for which [`SpecWorkload::epoch_is_proven`] returns `true`
+    /// runs its tasks without signature generation and without checker
+    /// admission — the `pir::elide` analysis has already proven the compared
+    /// task pairs conflict-free, so the runtime check is redundant. Unproven
+    /// epochs stay on the full admission path; `false` (the default) checks
+    /// everything, byte-identical to the pre-elision engine.
+    ///
+    /// [`SpecWorkload::epoch_is_proven`]: crate::workload::SpecWorkload::epoch_is_proven
+    pub elide: bool,
     /// Number of checker threads the admission work is sharded over by
     /// address (see [`crate::shard`]). `1` (the default) reproduces the
     /// single-checker engine exactly; values are validated against
@@ -175,6 +185,7 @@ impl SpecConfig {
             watchdog: None,
             trace_capacity: None,
             epoch_summaries: true,
+            elide: false,
             checker_shards: 1,
             region_id: 0,
             telemetry: None,
@@ -236,6 +247,13 @@ impl SpecConfig {
     /// Toggles the checker's per-epoch aggregate fast path (on by default).
     pub fn epoch_summaries(mut self, enabled: bool) -> Self {
         self.epoch_summaries = enabled;
+        self
+    }
+
+    /// Lets statically-proven epochs skip signature generation and checker
+    /// admission (off by default). See [`SpecConfig::elide`].
+    pub fn elide(mut self, enabled: bool) -> Self {
+        self.elide = enabled;
         self
     }
 
@@ -1299,6 +1317,7 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
         let num_workers = self.config.num_workers;
         let num_epochs = workload.num_epochs();
         let mut recorder = SigRecorder::<S>::new();
+        let mut counting = CountingRecorder::default();
         // Local check-request buffers, one per checker shard: flushed at the
         // CHECK_BATCH threshold and at every epoch boundary, so they are
         // empty at each rendezvous (the checkpoint drain counts on every
@@ -1374,6 +1393,18 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 continue;
             }
 
+            // Static elision (`pir::elide`): a proven epoch's tasks cannot
+            // conflict with any compared task, so signature generation and
+            // checker admission are both redundant. Such tasks run with a
+            // counting recorder (metrics only) and never touch the check
+            // rings; `sent` is untouched, so every drain / completion
+            // invariant holds unchanged. Positions and frontiers still
+            // advance exactly as on the full path — unproven tasks' snapshots
+            // must keep observing this worker's progress.
+            let proven = self.config.elide && workload.epoch_is_proven(epoch);
+            let mut elided_tasks = 0u64;
+            let mut elided_accesses = 0u64;
+
             let mut task = tid;
             let mut local_counter = 0u32;
             while task < ntasks {
@@ -1420,51 +1451,78 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                     task: local_counter,
                 };
                 shared.board.set_position(tid, pos);
-                let snapshot = shared.board.snapshot();
 
                 sink.emit(Event::TaskDispatch {
                     epoch: epoch as u32,
                     task: task as u64,
                 });
-                if !self.contained_task(workload, shared, epoch, task, tid, &mut recorder, sink) {
-                    return;
-                }
-                stats.add_task();
-                sink.emit(Event::TaskRetire {
-                    epoch: epoch as u32,
-                    task: task as u64,
-                });
-
-                // exit_task: buffer the signature for its checker shard(s);
-                // a full buffer is published to that shard's ring as one
-                // batch. Straddling signatures fan out whole to every shard
-                // their span touches (the merge rule: all must admit).
-                let sig = recorder.take();
-                if !sig.is_empty() {
-                    stats.add_check_request();
-                    let set = shard_map.shards_for_span(sig.addr_span());
-                    let mut remaining = set.len();
-                    let mut req = Some(CheckRequest {
-                        tid,
-                        pos,
-                        snapshot,
-                        sig,
+                if proven {
+                    if !self.contained_task(workload, shared, epoch, task, tid, &mut counting, sink)
+                    {
+                        return;
+                    }
+                    stats.add_task();
+                    sink.emit(Event::TaskRetire {
+                        epoch: epoch as u32,
+                        task: task as u64,
                     });
-                    for shard in set.iter() {
-                        remaining -= 1;
-                        // The last touched shard takes the original; only
-                        // genuine straddlers pay for clones.
-                        let r = if remaining == 0 {
-                            req.take().expect("one request per shard set")
-                        } else {
-                            req.as_ref().expect("one request per shard set").clone()
-                        };
-                        shared.sent.fetch_add(1, Ordering::Release);
-                        batches[shard].push(r);
-                        if batches[shard].len() >= CHECK_BATCH
-                            && !Self::flush_checks(shared, &check_txs[shard], &mut batches[shard])
-                        {
-                            return;
+                    // exit_task (elided): the static proof stands in for the
+                    // admission this task would otherwise have queued.
+                    let accesses = counting.take();
+                    if accesses > 0 {
+                        stats.add_elided_signature();
+                        stats.add_elided_admit();
+                        stats.add_proven_accesses(accesses);
+                        elided_tasks += 1;
+                        elided_accesses += accesses;
+                    }
+                } else {
+                    let snapshot = shared.board.snapshot();
+                    if !self.contained_task(workload, shared, epoch, task, tid, &mut recorder, sink)
+                    {
+                        return;
+                    }
+                    stats.add_task();
+                    sink.emit(Event::TaskRetire {
+                        epoch: epoch as u32,
+                        task: task as u64,
+                    });
+
+                    // exit_task: buffer the signature for its checker shard(s);
+                    // a full buffer is published to that shard's ring as one
+                    // batch. Straddling signatures fan out whole to every shard
+                    // their span touches (the merge rule: all must admit).
+                    let sig = recorder.take();
+                    if !sig.is_empty() {
+                        stats.add_check_request();
+                        let set = shard_map.shards_for_span(sig.addr_span());
+                        let mut remaining = set.len();
+                        let mut req = Some(CheckRequest {
+                            tid,
+                            pos,
+                            snapshot,
+                            sig,
+                        });
+                        for shard in set.iter() {
+                            remaining -= 1;
+                            // The last touched shard takes the original; only
+                            // genuine straddlers pay for clones.
+                            let r = if remaining == 0 {
+                                req.take().expect("one request per shard set")
+                            } else {
+                                req.as_ref().expect("one request per shard set").clone()
+                            };
+                            shared.sent.fetch_add(1, Ordering::Release);
+                            batches[shard].push(r);
+                            if batches[shard].len() >= CHECK_BATCH
+                                && !Self::flush_checks(
+                                    shared,
+                                    &check_txs[shard],
+                                    &mut batches[shard],
+                                )
+                            {
+                                return;
+                            }
                         }
                     }
                 }
@@ -1489,6 +1547,15 @@ impl<S: AccessSignature> SpecCrossEngine<S> {
                 if !Self::flush_checks(shared, &check_txs[shard], batch) {
                     return;
                 }
+            }
+            if elided_tasks > 0 {
+                // Once per (worker, epoch): how much admission work the
+                // static proof saved on this worker.
+                sink.emit(Event::CheckElided {
+                    epoch: epoch as u32,
+                    tasks: elided_tasks,
+                    accesses: elided_accesses,
+                });
             }
             if tid == 0 {
                 sink.emit(Event::EpochEnd {

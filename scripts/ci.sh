@@ -108,6 +108,15 @@ run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suit
 run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
   --validate target/figures/BENCH_9.json
 
+# Static-elision smoke: the registry transparency sweep (elide-on digests
+# and verdicts identical to elide-off) plus the clustered/mixed checker-side
+# measurements must produce a well-formed BENCH_10.json (see EXPERIMENTS.md;
+# the pruning-ratio and wait-share criteria gate at full scale only).
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
+  --elide --smoke
+run "$BENCH_TIMEOUT" cargo run --release -q -p crossinvoc-bench --bin bench-suite -- \
+  --validate target/figures/BENCH_10.json
+
 # Differential-fuzzing smoke: replay the checked-in corpus, then a fixed
 # seed window through every engine path against the sequential oracle
 # (docs/FUZZING.md). Any divergence is minimized into
